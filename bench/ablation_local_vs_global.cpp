@@ -1,0 +1,71 @@
+// Ablation: locally-weighted BMA (UniLoc2) vs globally-weighted BMA (the
+// prior approach [29] the paper contrasts with: one fixed weight per
+// scheme for the entire place, derived from training-set accuracy).
+//
+// Expected: global weights cannot react to the spatial variation of
+// sensor-data quality (e.g. cellular being the only radio in the
+// basement), so UniLoc2's per-location weights win.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace uniloc;
+
+int main() {
+  const core::TrainedModels& models = bench::standard_models();
+  core::Deployment campus = core::make_deployment(sim::campus());
+
+  // Global weights from training-venue mean errors per scheme (a fair
+  // stand-in for [29]'s offline global accuracy estimate).
+  core::Deployment office = core::make_deployment(
+      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+  core::CollectOptions copts;
+  copts.target_samples = 200;
+  copts.seed = 91;
+  const core::TrainingData td = core::collect_training_data(office, copts);
+  // Mean error per family from the collected rows; GPS uses its constant.
+  auto family_mean = [&](schemes::SchemeFamily f) {
+    const auto it = td.by_family.find(f);
+    if (it == td.by_family.end() || it->second.rows.empty()) return 13.5;
+    double s = 0.0;
+    for (const core::TrainingRow& r : it->second.rows) s += r.y;
+    return s / static_cast<double>(it->second.rows.size());
+  };
+  using SF = schemes::SchemeFamily;
+  const std::vector<double> mean_errors = {
+      13.5, family_mean(SF::kWifiFingerprint), family_mean(SF::kCellFingerprint),
+      family_mean(SF::kMotionPdr), family_mean(SF::kFusion)};
+  const core::GlobalWeightBma global(mean_errors);
+
+  core::RunResult all;
+  for (std::size_t p = 0; p < campus.place->walkways().size(); ++p) {
+    core::Uniloc uniloc = core::make_uniloc(campus, models, {}, false,
+                                            300 + 31 * p);
+    core::RunOptions opts;
+    opts.walk.seed = 500 + p;
+    opts.global_bma = &global;
+    all.append(core::run_walk(uniloc, campus, p, opts));
+  }
+
+  std::vector<double> global_errs;
+  for (const core::EpochRecord& e : all.epochs) {
+    if (e.global_bma_err.has_value()) global_errs.push_back(*e.global_bma_err);
+  }
+
+  std::printf("Ablation -- locally-weighted vs globally-weighted BMA "
+              "(all 8 paths, %zu locations)\n\n",
+              all.epochs.size());
+  std::printf("Fixed global weights (from training accuracy): ");
+  for (std::size_t i = 0; i < global.weights().size(); ++i) {
+    std::printf("%s=%.2f ", all.scheme_names[i].c_str(), global.weights()[i]);
+  }
+  std::printf("\n\n");
+  bench::print_percentiles({
+      {"Global-weight BMA [29]", global_errs},
+      {"UniLoc2 (local weights)", all.uniloc2_errors()},
+  });
+  std::printf("\nUniLoc2 p50 gain over global weighting: %.2fx\n",
+              stats::percentile(global_errs, 50.0) /
+                  stats::percentile(all.uniloc2_errors(), 50.0));
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation: person diversity (paper Sec. III-B: "We test with 6 persons,
+// including both females and males with different ages... the individual
+// difference does not impact the localization accuracy much", thanks to
+// the per-particle step-scale personalization).
+//
+// Six gait profiles spanning step length 0.58-0.82 m, period 0.45-0.65 s
+// and different hand-trembling levels walk Path 1; the table shows the
+// motion scheme and UniLoc2 per person.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace uniloc;
+
+int main() {
+  const core::TrainedModels& models = bench::standard_models();
+  core::Deployment campus = core::make_deployment(sim::campus());
+
+  struct Person {
+    const char* label;
+    double step_len, period, trembling;
+  };
+  const Person persons[] = {
+      {"P1 (f, 20s)", 0.62, 0.48, 0.15}, {"P2 (m, 20s)", 0.78, 0.52, 0.10},
+      {"P3 (f, 30s)", 0.66, 0.55, 0.25}, {"P4 (m, 30s)", 0.82, 0.58, 0.20},
+      {"P5 (f, 50s)", 0.58, 0.63, 0.35}, {"P6 (m, 50s)", 0.70, 0.65, 0.30},
+  };
+
+  std::printf("Ablation -- person diversity on Path 1 (step-model "
+              "personalization via per-particle scale adaptation)\n\n");
+  io::Table t({"person", "step (m)", "period (s)", "trembling",
+               "Motion mean (m)", "UniLoc2 mean (m)"});
+  std::vector<double> motion_means, u2_means;
+  for (std::size_t i = 0; i < std::size(persons); ++i) {
+    const Person& p = persons[i];
+    core::Uniloc uniloc = core::make_uniloc(campus, models, {}, false,
+                                            40 + 3 * i);
+    core::RunOptions opts;
+    opts.walk.seed = 900 + i;
+    opts.walk.gait.step_length_m = p.step_len;
+    opts.walk.gait.step_period_s = p.period;
+    opts.walk.gait.trembling = p.trembling;
+    const core::RunResult run = core::run_walk(uniloc, campus, 0, opts);
+
+    double motion_mean = -1.0;
+    for (std::size_t s = 0; s < run.scheme_names.size(); ++s) {
+      if (run.scheme_names[s] == "Motion") {
+        motion_mean = stats::mean(run.scheme_errors(s));
+      }
+    }
+    const double u2 = stats::mean(run.uniloc2_errors());
+    motion_means.push_back(motion_mean);
+    u2_means.push_back(u2);
+    t.add_row({p.label, io::Table::num(p.step_len, 2),
+               io::Table::num(p.period, 2), io::Table::num(p.trembling, 2),
+               io::Table::num(motion_mean), io::Table::num(u2)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\nSpread across persons: Motion %.1f-%.1f m (%.1fx), "
+              "UniLoc2 %.1f-%.1f m (%.1fx).\nThe ensemble absorbs most of "
+              "the per-person variation of the motion scheme -- extreme "
+              "gaits (slow + trembling) defeat the step detector, but the "
+              "other schemes carry those users.\n",
+              stats::min_of(motion_means), stats::max_of(motion_means),
+              stats::max_of(motion_means) / stats::min_of(motion_means),
+              stats::min_of(u2_means), stats::max_of(u2_means),
+              stats::max_of(u2_means) / stats::min_of(u2_means));
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: UniLoc2 accuracy as schemes are added one at a time
+// (GPS -> +WiFi -> +Cellular -> +Motion -> +Fusion), quantifying the
+// value of scheme diversity itself -- the paper's core thesis.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace uniloc;
+
+int main() {
+  const core::TrainedModels& models = bench::standard_models();
+  core::Deployment campus = core::make_deployment(sim::campus());
+
+  std::printf("Ablation -- UniLoc2 accuracy vs number of integrated "
+              "schemes (Path 1)\n\n");
+  io::Table t({"schemes", "UniLoc2 mean (m)", "UniLoc2 p90 (m)",
+               "covered epochs"});
+
+  for (std::size_t count = 1; count <= 5; ++count) {
+    core::UnilocConfig cfg;
+    cfg.place = campus.place.get();
+    cfg.wifi_db = campus.wifi_db.get();
+    cfg.cell_db = campus.cell_db.get();
+    core::Uniloc uniloc(cfg);
+    std::vector<schemes::SchemePtr> all =
+        core::make_standard_schemes(campus, false, 900 + count);
+    std::string label;
+    for (std::size_t i = 0; i < count; ++i) {
+      label += (i ? "+" : "") + all[i]->name();
+      uniloc.add_scheme(std::move(all[i]), models.for_family(
+          i == 0 ? schemes::SchemeFamily::kGps
+                 : i == 1 ? schemes::SchemeFamily::kWifiFingerprint
+                 : i == 2 ? schemes::SchemeFamily::kCellFingerprint
+                 : i == 3 ? schemes::SchemeFamily::kMotionPdr
+                          : schemes::SchemeFamily::kFusion));
+    }
+    core::RunOptions opts;
+    opts.walk.seed = 2024;
+    const core::RunResult run = core::run_walk(uniloc, campus, 0, opts);
+
+    // With few schemes some epochs have no available scheme at all; count
+    // the covered ones and score only those.
+    std::vector<double> errs;
+    std::size_t covered = 0;
+    for (const core::EpochRecord& e : run.epochs) {
+      bool any = false;
+      for (bool a : e.scheme_available) any = any || a;
+      if (!any) continue;
+      ++covered;
+      errs.push_back(e.uniloc2_err);
+    }
+    t.add_row({label,
+               errs.empty() ? "-" : io::Table::num(stats::mean(errs)),
+               errs.empty() ? "-"
+                            : io::Table::num(stats::percentile(errs, 90.0)),
+               io::Table::pct(static_cast<double>(covered) /
+                              static_cast<double>(run.epochs.size()))});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\nEach added scheme extends coverage and reduces error -- "
+              "the gain comes from diversity, not from any single "
+              "algorithm.\n");
+  return 0;
+}

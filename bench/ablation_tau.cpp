@@ -1,0 +1,42 @@
+// Ablation: adaptive tau (paper default -- the mean predicted error of
+// the available schemes) vs fixed thresholds.
+//
+// A fixed tau misjudges either easy places (threshold too loose: bad
+// schemes keep weight) or hard places (too tight: everything saturates
+// near zero confidence); the adaptive threshold tracks the local regime.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace uniloc;
+
+int main() {
+  const core::TrainedModels& models = bench::standard_models();
+  core::Deployment campus = core::make_deployment(sim::campus());
+
+  std::printf("Ablation -- adaptive vs fixed confidence threshold tau "
+              "(Path 1 + Path 3)\n\n");
+  io::Table t({"tau", "UniLoc1 mean (m)", "UniLoc2 mean (m)",
+               "UniLoc2 p90 (m)"});
+
+  const double taus[] = {0.0, 2.0, 5.0, 10.0, 20.0, 40.0};
+  for (double tau : taus) {
+    core::UnilocConfig cfg;
+    cfg.fixed_tau_m = tau;
+    core::RunResult all;
+    for (std::size_t p : {std::size_t{0}, std::size_t{2}}) {
+      core::Uniloc uniloc = core::make_uniloc(campus, models, cfg, false,
+                                              600 + 31 * p);
+      core::RunOptions opts;
+      opts.walk.seed = 700 + p;
+      all.append(core::run_walk(uniloc, campus, p, opts));
+    }
+    t.add_row({tau == 0.0 ? "adaptive" : io::Table::num(tau, 0) + " m",
+               io::Table::num(stats::mean(all.uniloc1_errors())),
+               io::Table::num(stats::mean(all.uniloc2_errors())),
+               io::Table::num(
+                   stats::percentile(all.uniloc2_errors(), 90.0))});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared helpers for the experiment benches: standard training, standard
+// deployments, error aggregation, CDF printing.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "io/table.h"
+#include "stats/descriptive.h"
+#include "stats/ecdf.h"
+
+namespace uniloc::bench {
+
+/// Train the standard error models once per process (cached).
+inline const core::TrainedModels& standard_models() {
+  static const core::TrainedModels models =
+      core::train_standard_models(/*seed=*/42, /*target_samples=*/300);
+  return models;
+}
+
+/// Mean of errors over epochs in a segment-type bucket for one scheme.
+struct SegmentErrors {
+  std::map<sim::SegmentType, std::vector<double>> by_segment;
+
+  void add(sim::SegmentType t, double err) { by_segment[t].push_back(err); }
+  double mean_of(sim::SegmentType t) const {
+    const auto it = by_segment.find(t);
+    return it == by_segment.end() || it->second.empty()
+               ? -1.0
+               : stats::mean(it->second);
+  }
+};
+
+/// Print one "CDF" table: percentiles per series (the textual equivalent
+/// of the paper's CDF figures).
+inline void print_percentiles(
+    const std::vector<std::pair<std::string, std::vector<double>>>& series) {
+  io::Table t({"series", "p50 (m)", "p90 (m)", "mean (m)", "max (m)", "n"});
+  for (const auto& [name, errs] : series) {
+    if (errs.empty()) {
+      t.add_row({name, "-", "-", "-", "-", "0"});
+      continue;
+    }
+    t.add_row({name, io::Table::num(stats::percentile(errs, 50.0)),
+               io::Table::num(stats::percentile(errs, 90.0)),
+               io::Table::num(stats::mean(errs)),
+               io::Table::num(stats::max_of(errs)),
+               std::to_string(errs.size())});
+  }
+  std::printf("%s", t.to_string().c_str());
+}
+
+/// Run all eight campus paths and concatenate the records.
+inline core::RunResult run_all_campus_paths(const core::Deployment& campus,
+                                            const core::TrainedModels& models,
+                                            std::uint64_t seed = 2024) {
+  core::RunResult all;
+  for (std::size_t p = 0; p < campus.place->walkways().size(); ++p) {
+    core::Uniloc uniloc = core::make_uniloc(campus, models, {}, false,
+                                            seed + 31 * p);
+    core::RunOptions opts;
+    opts.walk.seed = seed + p;
+    all.append(core::run_walk(uniloc, campus, p, opts));
+  }
+  return all;
+}
+
+}  // namespace uniloc::bench

@@ -1,0 +1,49 @@
+// Figure 5: usage of the different localization schemes -- how often each
+// scheme is chosen by UniLoc1 vs by the oracle along Path 1.
+//
+// Paper finding: UniLoc1's usage mix tracks the oracle's even though the
+// online error prediction is imperfect; when UniLoc1 picks a suboptimal
+// scheme, the top schemes' accuracies are close, so the mistake is cheap.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace uniloc;
+
+int main() {
+  const core::TrainedModels& models = bench::standard_models();
+  core::Deployment campus = core::make_deployment(sim::campus());
+  core::Uniloc uniloc = core::make_uniloc(campus, models);
+
+  core::RunOptions opts;
+  opts.walk.seed = 2024;
+  const core::RunResult run = core::run_walk(uniloc, campus, 0, opts);
+
+  std::printf("Fig. 5 -- scheme usage along Path 1 (%zu locations)\n\n",
+              run.epochs.size());
+  const std::vector<double> u1 = run.uniloc1_usage();
+  const std::vector<double> oracle = run.oracle_usage();
+  io::Table t({"scheme", "UniLoc1 usage", "Oracle usage"});
+  for (std::size_t i = 0; i < run.scheme_names.size(); ++i) {
+    t.add_row({run.scheme_names[i], io::Table::pct(u1[i]),
+               io::Table::pct(oracle[i])});
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  // Cost of misclassification: at locations where UniLoc1 != oracle, how
+  // much worse is the chosen scheme than the best one?
+  std::vector<double> regret;
+  for (const core::EpochRecord& e : run.epochs) {
+    if (e.uniloc1_choice >= 0 && e.oracle_choice >= 0 &&
+        e.uniloc1_choice != e.oracle_choice) {
+      regret.push_back(e.uniloc1_err - e.oracle_err);
+    }
+  }
+  if (!regret.empty()) {
+    std::printf("\nUniLoc1 disagreed with the oracle at %zu locations; "
+                "median extra error at those locations: %.2f m (the "
+                "misclassified schemes are usually close in accuracy).\n",
+                regret.size(), stats::median(regret));
+  }
+  return 0;
+}

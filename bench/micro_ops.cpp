@@ -1,0 +1,184 @@
+// Micro-benchmarks (google-benchmark) for UniLoc's hot operations:
+// error prediction, confidence, BMA weighting, fingerprint matching,
+// particle-filter update, posterior mixing. These are the numbers behind
+// Table V's "light-weight computation" claim -- everything UniLoc adds is
+// simple linear calculation.
+#include <benchmark/benchmark.h>
+
+#include "core/confidence.h"
+#include "core/deployment.h"
+#include "core/map_matching.h"
+#include "core/posterior_fusion.h"
+#include "core/trainer.h"
+#include "filter/particle_filter.h"
+#include "schemes/fingerprint_db.h"
+#include "schemes/horus_scheme.h"
+#include "sim/floorplan.h"
+#include "stats/gaussian.h"
+#include "stats/regression.h"
+
+using namespace uniloc;
+
+namespace {
+
+const core::Deployment& office() {
+  static core::Deployment d = core::make_deployment(
+      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+  return d;
+}
+
+const core::TrainedModels& models() {
+  static core::TrainedModels m = core::train_standard_models(42, 200);
+  return m;
+}
+
+std::vector<sim::ApReading> sample_scan() {
+  stats::Rng rng(7);
+  return office().radio->wifi_scan({20.0, 8.0}, rng);
+}
+
+void BM_ErrorPrediction(benchmark::State& state) {
+  const core::ErrorModel& m =
+      models().for_family(schemes::SchemeFamily::kWifiFingerprint);
+  const std::vector<double> x{4.5, 2.1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.predict(x, true));
+  }
+}
+BENCHMARK(BM_ErrorPrediction);
+
+void BM_Confidence(benchmark::State& state) {
+  const stats::Gaussian g{4.2, 2.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::confidence(g, 5.0));
+  }
+}
+BENCHMARK(BM_Confidence);
+
+void BM_BmaWeights(benchmark::State& state) {
+  const std::vector<double> confs{0.9, 0.4, 0.2, 0.95, 0.85};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::bma_weights(confs));
+  }
+}
+BENCHMARK(BM_BmaWeights);
+
+void BM_FingerprintMatch(benchmark::State& state) {
+  const auto scan = sample_scan();
+  const schemes::FingerprintDatabase& db = *office().wifi_db;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.k_nearest(scan, 3));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(db.size()));
+}
+BENCHMARK(BM_FingerprintMatch);
+
+void BM_ParticleFilterStep(benchmark::State& state) {
+  filter::ParticleFilter pf(300, stats::Rng(3));
+  pf.init({10.0, 5.0}, 0.0, 1.0, 0.1, 0.05);
+  for (auto _ : state) {
+    pf.predict(0.7, 0.01, 0.1, 0.03);
+    pf.reweight([](const filter::Particle& p) {
+      return p.pos.x > 0.0 ? 1.0 : 0.1;
+    });
+    pf.resample();
+    benchmark::DoNotOptimize(pf.mean());
+  }
+}
+BENCHMARK(BM_ParticleFilterStep);
+
+void BM_OlsFit(benchmark::State& state) {
+  stats::Rng rng(5);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(0.0, 50.0), b = rng.uniform(0.0, 10.0);
+    x.push_back({a, b});
+    y.push_back(0.5 + 0.2 * a - 0.1 * b + rng.normal(0.0, 1.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fit_ols(x, y));
+  }
+}
+BENCHMARK(BM_OlsFit);
+
+void BM_PosteriorMix(benchmark::State& state) {
+  std::vector<schemes::Posterior> posts;
+  stats::Rng rng(11);
+  for (int n = 0; n < 5; ++n) {
+    schemes::Posterior p;
+    for (int i = 0; i < 300; ++i) {
+      p.support.push_back({{rng.uniform(0.0, 50.0), rng.uniform(0.0, 20.0)},
+                           rng.uniform(0.0, 1.0)});
+    }
+    p.normalize();
+    posts.push_back(std::move(p));
+  }
+  const std::vector<double> w{0.3, 0.25, 0.2, 0.15, 0.1};
+  for (auto _ : state) {
+    geo::Vec2 fused{};
+    for (std::size_t i = 0; i < posts.size(); ++i) {
+      fused += posts[i].mean() * w[i];
+    }
+    benchmark::DoNotOptimize(fused);
+  }
+}
+BENCHMARK(BM_PosteriorMix);
+
+void BM_HorusMatch(benchmark::State& state) {
+  const auto scan = sample_scan();
+  schemes::HorusScheme horus(office().wifi_db.get(), {});
+  sim::SensorFrame frame;
+  frame.wifi = scan;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(horus.update(frame));
+  }
+}
+BENCHMARK(BM_HorusMatch);
+
+void BM_MapMatcherUpdate(benchmark::State& state) {
+  core::MapMatcher matcher(office().place.get());
+  double x = 5.0;
+  for (auto _ : state) {
+    x += 0.7;
+    if (x > 50.0) x = 5.0;
+    benchmark::DoNotOptimize(matcher.update({x, 2.0}));
+  }
+}
+BENCHMARK(BM_MapMatcherUpdate);
+
+void BM_PosteriorGridFusion(benchmark::State& state) {
+  const geo::Grid grid(office().place->bounds(), 3.0);
+  stats::Rng rng(13);
+  std::vector<schemes::SchemeOutput> outs(5);
+  for (auto& o : outs) {
+    o.available = true;
+    o.estimate = {rng.uniform(0.0, 50.0), rng.uniform(0.0, 20.0)};
+    o.posterior = schemes::Posterior::gaussian(o.estimate, 4.0);
+  }
+  const std::vector<double> w{0.3, 0.25, 0.2, 0.15, 0.1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fuse_posteriors(grid, outs, w));
+  }
+}
+BENCHMARK(BM_PosteriorGridFusion);
+
+void BM_WallCrossingQuery(benchmark::State& state) {
+  static sim::Place campus = [] {
+    sim::Place p = sim::campus(42);
+    sim::deploy_walls(p, sim::hub_aware_wall_options(p));
+    return p;
+  }();
+  stats::Rng rng(17);
+  for (auto _ : state) {
+    const geo::Vec2 a{rng.uniform(0.0, 100.0), rng.uniform(0.0, 60.0)};
+    benchmark::DoNotOptimize(
+        campus.crosses_wall(a, a + geo::Vec2{0.7, 0.1}));
+  }
+}
+BENCHMARK(BM_WallCrossingQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+// Table III: normalized RMSE of the online error prediction, per scheme,
+// across the four validation configurations of the paper:
+// {same places, new places} x {same device, different device}.
+//
+// "Same places" are the training venues (office + open space); "new
+// places" are venues the error models never saw (the mall and a campus
+// path). The different device is the LG G3 model (affine RSSI offset vs
+// the Nexus 5X used for training and fingerprinting).
+//
+// Paper result: average ~0.49 same-place/same-device, rising to ~0.76 for
+// new place + new device -- imperfect but sufficient to rank schemes.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace uniloc;
+
+namespace {
+
+/// Per-scheme normalized RMSE of predicted vs measured error over a run.
+std::vector<double> prediction_rmse(const core::RunResult& run,
+                                    std::size_t max_tuples = 200) {
+  const std::size_t n = run.scheme_names.size();
+  std::vector<double> out(n, -1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> pred, truth;
+    for (const core::EpochRecord& e : run.epochs) {
+      if (std::isnan(e.scheme_err[i]) || std::isnan(e.predicted_mu[i])) {
+        continue;
+      }
+      pred.push_back(e.predicted_mu[i]);
+      truth.push_back(e.scheme_err[i]);
+      if (pred.size() >= max_tuples) break;
+    }
+    if (pred.size() >= 20) {
+      out[i] = stats::normalized_rmse(pred, truth);
+    }
+  }
+  return out;
+}
+
+core::RunResult run_config(const core::Deployment& d,
+                           const core::TrainedModels& models,
+                           bool lg_device, std::uint64_t seed) {
+  core::RunResult all;
+  for (std::size_t w = 0; w < d.place->walkways().size() && w < 3; ++w) {
+    core::Uniloc u = core::make_uniloc(d, models, {}, false, seed + w);
+    core::RunOptions opts;
+    opts.walk.seed = seed + 100 + w;
+    if (lg_device) opts.walk.device = sim::lg_g3();
+    opts.record_every = 3;
+    all.append(core::run_walk(u, d, w, opts));
+  }
+  return all;
+}
+
+}  // namespace
+
+int main() {
+  const core::TrainedModels& models = bench::standard_models();
+
+  // Same places: the training venues.
+  core::Deployment office = core::make_deployment(
+      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+  core::Deployment open = core::make_deployment(
+      sim::open_space_place(42), core::DeploymentOptions{.seed = 43});
+  // New places: the mall and a second campus that nothing else trains or
+  // tunes on (models never saw either).
+  core::Deployment mall = core::make_deployment(
+      sim::mall_place(7), core::DeploymentOptions{.seed = 7});
+  core::Deployment campus = core::make_deployment(
+      sim::campus_b(), core::DeploymentOptions{.seed = 1234});
+
+  struct Config {
+    const char* name;
+    std::vector<core::RunResult> runs;
+  };
+  auto gather = [&](bool lg, std::uint64_t seed, bool new_places) {
+    std::vector<core::RunResult> rs;
+    if (new_places) {
+      rs.push_back(run_config(mall, models, lg, seed));
+      rs.push_back(run_config(campus, models, lg, seed + 1000));
+    } else {
+      rs.push_back(run_config(office, models, lg, seed));
+      rs.push_back(run_config(open, models, lg, seed + 1000));
+    }
+    return rs;
+  };
+
+  Config configs[] = {
+      {"same place / same device", gather(false, 10, false)},
+      {"same place / diff device", gather(true, 20, false)},
+      {"new place / same device", gather(false, 30, true)},
+      {"new place / diff device", gather(true, 40, true)},
+  };
+
+  std::printf("Table III -- normalized RMSE of online error prediction\n\n");
+  const std::vector<std::string> names = configs[0].runs[0].scheme_names;
+  io::Table t({"scheme", "same pl/same dev", "same pl/diff dev",
+               "new pl/same dev", "new pl/diff dev"});
+  std::vector<double> col_sums(4, 0.0);
+  std::vector<int> col_counts(4, 0);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    std::vector<std::string> cells{names[i]};
+    for (int c = 0; c < 4; ++c) {
+      // Merge all runs of a config and compute the scheme's RMSE.
+      core::RunResult merged;
+      for (const core::RunResult& r : configs[c].runs) merged.append(r);
+      const std::vector<double> rmse = prediction_rmse(merged);
+      if (rmse[i] >= 0.0) {
+        cells.push_back(io::Table::num(rmse[i], 2));
+        col_sums[static_cast<std::size_t>(c)] += rmse[i];
+        col_counts[static_cast<std::size_t>(c)]++;
+      } else {
+        cells.push_back("-");
+      }
+    }
+    t.add_row(cells);
+  }
+  std::vector<std::string> avg{"Average"};
+  for (int c = 0; c < 4; ++c) {
+    avg.push_back(col_counts[c] > 0
+                      ? io::Table::num(col_sums[c] / col_counts[c], 2)
+                      : "-");
+  }
+  t.add_row(avg);
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\nPaper shape: prediction degrades from same-place/same-"
+              "device toward new-place/new-device but remains usable for "
+              "ranking schemes.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Table IV: power and energy consumption of UniLoc and all underlying
+// schemes along daily Path 1 (parametric marginal-power model; see
+// DESIGN.md for the Monsoon-monitor substitution).
+//
+// Paper claims reproduced: the motion-based PDR is the cheapest scheme;
+// UniLoc (w/ GPS) costs only ~14% more than it; duty-cycling cuts outdoor
+// GPS energy by ~2x.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "energy/energy_model.h"
+
+using namespace uniloc;
+
+int main() {
+  const core::TrainedModels& models = bench::standard_models();
+  core::Deployment campus = core::make_deployment(sim::campus());
+  core::Uniloc uniloc = core::make_uniloc(campus, models);
+
+  core::RunOptions opts;
+  opts.walk.seed = 2024;
+  const core::RunResult run = core::run_walk(uniloc, campus, 0, opts);
+  const double epoch_s = opts.walk.gait.step_period_s;
+
+  std::printf("Table IV -- power and energy along Path 1 (%.0f m, "
+              "%.0f s walk)\n\n",
+              campus.place->walkways()[0].line.length(),
+              static_cast<double>(run.epochs.size()) * epoch_s);
+
+  const std::vector<energy::EnergyRow> rows =
+      energy::account_energy(run, epoch_s);
+  io::Table t({"scheme", "power (mW)", "time (s)", "energy (J)"});
+  double motion_j = 0.0, uniloc_j = 0.0;
+  for (const energy::EnergyRow& r : rows) {
+    t.add_row({r.scheme, io::Table::num(r.power_mw, 1),
+               io::Table::num(r.time_s, 1), io::Table::num(r.energy_j, 2)});
+    if (r.scheme == "Motion") motion_j = r.energy_j;
+    if (r.scheme == "UniLoc w/ GPS") uniloc_j = r.energy_j;
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  if (motion_j > 0.0) {
+    std::printf("\nUniLoc w/ GPS vs motion-PDR: +%.0f%% energy "
+                "(paper: +14%%).\n",
+                100.0 * (uniloc_j / motion_j - 1.0));
+  }
+  const energy::GpsSavings gps = energy::gps_savings(run, epoch_s);
+  std::printf("Outdoor GPS energy: duty-cycled %.2f J vs always-on %.2f J "
+              "=> %.1fx reduction (paper: 2.1x).\n",
+              gps.duty_cycled_j, gps.always_on_j, gps.ratio);
+  std::printf("GPS enabled on %.1f%% of epochs overall.\n",
+              100.0 * run.gps_duty_fraction());
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Table V: average response time of one location estimate, decomposed
+// into phone-side sensing/pre-processing, uplink, server-side scheme
+// execution (parallel => max over schemes), error prediction, BMA, and
+// downlink.
+//
+// Scheme/ensemble compute is *measured* on this machine by timing the
+// real implementations over a walk; network latencies are constants (see
+// energy/latency_model.h). Paper shape: transmissions dominate (~73% of
+// the total); the computation UniLoc adds on top of the schemes is a few
+// milliseconds.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/confidence.h"
+#include "energy/latency_model.h"
+
+using namespace uniloc;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  const core::TrainedModels& models = bench::standard_models();
+  core::Deployment campus = core::make_deployment(sim::campus());
+
+  // Time each scheme's update() and the ensemble stages over one walk.
+  std::vector<schemes::SchemePtr> scheme_list =
+      core::make_standard_schemes(campus, false, 5);
+  const std::size_t n = scheme_list.size();
+
+  sim::WalkConfig wc;
+  wc.seed = 77;
+  sim::Walker walker(campus.place.get(), campus.radio.get(), 0, wc);
+  const schemes::StartCondition start{walker.start_position(),
+                                      walker.start_heading()};
+  for (auto& s : scheme_list) s->reset(start);
+
+  std::vector<double> scheme_ms(n, 0.0), predict_ms(n, 0.0);
+  double bma_ms = 0.0;
+  std::size_t epochs = 0;
+
+  core::FeatureContext ctx;
+  ctx.place = campus.place.get();
+  ctx.wifi_db = campus.wifi_db.get();
+  ctx.cell_db = campus.cell_db.get();
+
+  while (!walker.done()) {
+    const sim::SensorFrame frame = walker.step(true);
+    ++epochs;
+    ctx.predicted_location = frame.truth_pos;
+    ctx.indoor = sim::is_indoor(frame.truth_env);
+
+    std::vector<schemes::SchemeOutput> outs(n);
+    std::vector<stats::Gaussian> preds(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto t0 = Clock::now();
+      outs[i] = scheme_list[i]->update(frame);
+      scheme_ms[i] += ms_since(t0);
+      if (outs[i].available) {
+        t0 = Clock::now();
+        const auto x = core::extract_features(scheme_list[i]->family(), frame,
+                                              outs[i], ctx);
+        preds[i] =
+            models.for_family(scheme_list[i]->family()).predict(x, ctx.indoor);
+        predict_ms[i] += ms_since(t0);
+      }
+    }
+    // BMA: confidences, weights, mixture mean.
+    const auto t0 = Clock::now();
+    std::vector<double> confs(n, 0.0);
+    std::vector<stats::Gaussian> avail;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (outs[i].available) avail.push_back(preds[i]);
+    }
+    const double tau = core::adaptive_tau(avail);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (outs[i].available) confs[i] = core::confidence(preds[i], tau);
+    }
+    const std::vector<double> w = core::bma_weights(confs);
+    geo::Vec2 fused{};
+    for (std::size_t i = 0; i < n; ++i) {
+      if (w[i] > 0.0) fused += outs[i].posterior.mean() * w[i];
+    }
+    bma_ms += ms_since(t0);
+  }
+
+  std::vector<energy::SchemeCompute> computes;
+  for (std::size_t i = 0; i < n; ++i) {
+    computes.push_back({scheme_list[i]->name(),
+                        scheme_ms[i] / static_cast<double>(epochs),
+                        predict_ms[i] / static_cast<double>(epochs)});
+  }
+  const energy::ResponseTimeReport report =
+      energy::make_report(std::move(computes),
+                          bma_ms / static_cast<double>(epochs));
+
+  std::printf("Table V -- average response time for one location estimate "
+              "(measured over %zu epochs)\n\n",
+              epochs);
+  io::Table t({"component", "time (ms)"});
+  t.add_row({"phone: sensing + pre-processing",
+             io::Table::num(report.phone_ms, 1)});
+  t.add_row({"uplink", io::Table::num(report.uplink_ms, 1)});
+  for (const energy::SchemeCompute& s : report.schemes) {
+    t.add_row({"server: " + s.name + " execution",
+               io::Table::num(s.server_ms, 3)});
+  }
+  double pred_total = 0.0;
+  for (const energy::SchemeCompute& s : report.schemes) {
+    pred_total += s.error_prediction_ms;
+  }
+  t.add_row({"server: error prediction (all schemes)",
+             io::Table::num(pred_total, 3)});
+  t.add_row({"server: BMA", io::Table::num(report.bma_ms, 3)});
+  t.add_row({"server total (parallel schemes)",
+             io::Table::num(report.server_ms(), 2)});
+  t.add_row({"downlink", io::Table::num(report.downlink_ms, 1)});
+  t.add_row({"TOTAL", io::Table::num(report.total_ms(), 1)});
+  std::printf("%s", t.to_string().c_str());
+
+  std::printf("\nTransmissions are %.0f%% of the response time "
+              "(paper: 73%%); the computation UniLoc adds (error "
+              "prediction + BMA) is %.2f ms (paper: ~6.1 ms).\n",
+              100.0 * report.transmission_fraction(),
+              pred_total + report.bma_ms);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Render a venue (and optionally a UniLoc trajectory over it) as ASCII.
+//
+//   show_venue [campus|office|open_space|mall] [--walk <walkway-index>]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/runner.h"
+#include "io/ascii_map.h"
+#include "sim/floorplan.h"
+#include "stats/descriptive.h"
+
+using namespace uniloc;
+
+int main(int argc, char** argv) {
+  const std::string venue = argc > 1 ? argv[1] : "campus";
+  int walk = -1;
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--walk") == 0) walk = std::atoi(argv[i + 1]);
+  }
+
+  sim::Place place = venue == "office"       ? sim::office_place()
+                     : venue == "open_space" ? sim::open_space_place()
+                     : venue == "mall"       ? sim::mall_place()
+                                             : sim::campus();
+  sim::deploy_walls(place, sim::hub_aware_wall_options(place));
+
+  std::vector<geo::Vec2> trajectory;
+  if (walk >= 0) {
+    const core::TrainedModels models = core::train_standard_models(42, 200);
+    core::Deployment d = core::make_deployment(std::move(place));
+    core::Uniloc uniloc = core::make_uniloc(d, models);
+    core::RunOptions opts;
+    opts.walk.seed = 11;
+    opts.record_every = 4;
+    const core::RunResult run =
+        core::run_walk(uniloc, d, static_cast<std::size_t>(walk), opts);
+    for (const core::EpochRecord& e : run.epochs) {
+      trajectory.push_back(e.truth);
+    }
+    std::printf("%s, walkway %d (%zu samples, UniLoc2 mean err %.2f m)\n",
+                venue.c_str(), walk, trajectory.size(),
+                stats::mean(run.uniloc2_errors()));
+    io::AsciiMapOptions mopts;
+    std::printf("%s", io::render_ascii_map(*d.place, mopts, trajectory)
+                          .c_str());
+  } else {
+    std::printf("%s: %zu walkways, %zu APs, %zu landmarks, %zu walls\n",
+                venue.c_str(), place.walkways().size(),
+                place.access_points().size(), place.landmarks().size(),
+                place.walls().size());
+    std::printf("%s", io::render_ascii_map(place).c_str());
+  }
+  std::printf("\nlegend: . walkway  # wall  A access point  * landmark  "
+              "o trajectory (S start, E end)\n");
+  return 0;
+}

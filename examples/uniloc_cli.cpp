@@ -1,0 +1,143 @@
+// uniloc_cli: record / replay sensor traces from the command line.
+//
+//   uniloc_cli venues
+//   uniloc_cli record <venue> <walkway-index> <seed> <out.trace>
+//   uniloc_cli replay <venue> <trace-file> [--cold-start]
+//
+// `record` walks a venue and saves the full sensor stream (dataset
+// collection). `replay` runs UniLoc offline over a saved trace and prints
+// accuracy -- identical inputs for every algorithm variant you evaluate.
+// With --cold-start the recorded start position is withheld and UniLoc
+// bootstraps it from the first WiFi scans (Zee-style).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/cold_start.h"
+#include "core/runner.h"
+#include "sim/trace_io.h"
+#include "stats/descriptive.h"
+
+using namespace uniloc;
+
+namespace {
+
+const char* kVenues[] = {"campus", "office", "open_space", "mall"};
+
+sim::Place venue_by_name(const std::string& name, std::uint64_t seed) {
+  if (name == "campus") return sim::campus(seed);
+  if (name == "office") return sim::office_place(seed);
+  if (name == "open_space") return sim::open_space_place(seed);
+  if (name == "mall") return sim::mall_place(seed);
+  throw std::runtime_error("unknown venue: " + name);
+}
+
+int cmd_venues() {
+  std::printf("venue       walkways  length(m)\n");
+  for (const char* name : kVenues) {
+    const sim::Place p = venue_by_name(name, 42);
+    std::printf("%-11s %8zu %10.0f\n", name, p.walkways().size(),
+                p.total_walkway_length());
+  }
+  return 0;
+}
+
+int cmd_record(const std::string& venue, std::size_t walkway,
+               std::uint64_t seed, const std::string& out) {
+  core::Deployment d = core::make_deployment(
+      venue_by_name(venue, 42), core::DeploymentOptions{.seed = 42});
+  sim::WalkConfig wc;
+  wc.seed = seed;
+  sim::Walker walker(d.place.get(), d.radio.get(), walkway, wc);
+
+  sim::Trace trace;
+  trace.venue = venue;
+  trace.step_period_s = wc.gait.step_period_s;
+  trace.start_pos = walker.start_position();
+  trace.start_heading = walker.start_heading();
+  while (!walker.done()) trace.frames.push_back(walker.step(true));
+  sim::write_trace(trace, out);
+  std::printf("recorded %zu frames (%.0f m walk) to %s\n",
+              trace.frames.size(),
+              d.place->walkways()[walkway].line.length(), out.c_str());
+  return 0;
+}
+
+int cmd_replay(const std::string& venue, const std::string& path,
+               bool cold_start) {
+  const sim::Trace trace = sim::read_trace(path);
+  if (trace.venue != venue) {
+    std::fprintf(stderr, "warning: trace was recorded in '%s'\n",
+                 trace.venue.c_str());
+  }
+  std::printf("training error models...\n");
+  const core::TrainedModels models = core::train_standard_models(42, 300);
+  core::Deployment d = core::make_deployment(
+      venue_by_name(venue, 42), core::DeploymentOptions{.seed = 42});
+  core::Uniloc uniloc = core::make_uniloc(d, models);
+
+  std::size_t first_frame = 0;
+  if (cold_start) {
+    core::ColdStartLocator locator(d.wifi_db.get());
+    std::optional<schemes::StartCondition> start;
+    while (first_frame < trace.frames.size() && !start.has_value()) {
+      start = locator.observe(trace.frames[first_frame++]);
+    }
+    if (!start.has_value()) {
+      std::fprintf(stderr, "cold start failed: no usable WiFi scans\n");
+      return 1;
+    }
+    std::printf("cold start after %zu frames: (%.1f, %.1f), true start "
+                "(%.1f, %.1f) -> %.1f m off\n",
+                first_frame, start->pos.x, start->pos.y, trace.start_pos.x,
+                trace.start_pos.y,
+                geo::distance(start->pos, trace.start_pos));
+    uniloc.reset(*start);
+  } else {
+    uniloc.reset({trace.start_pos, trace.start_heading});
+  }
+
+  std::vector<double> u1, u2;
+  for (std::size_t i = first_frame; i < trace.frames.size(); ++i) {
+    const core::EpochDecision dec = uniloc.update(trace.frames[i]);
+    u1.push_back(geo::distance(dec.uniloc1, trace.frames[i].truth_pos));
+    u2.push_back(geo::distance(dec.uniloc2, trace.frames[i].truth_pos));
+  }
+  std::printf("replayed %zu frames: UniLoc1 mean %.2f m (p90 %.2f), "
+              "UniLoc2 mean %.2f m (p90 %.2f)\n",
+              u1.size(), stats::mean(u1), stats::percentile(u1, 90.0),
+              stats::mean(u2), stats::percentile(u2, 90.0));
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  uniloc_cli venues\n"
+               "  uniloc_cli record <venue> <walkway> <seed> <out.trace>\n"
+               "  uniloc_cli replay <venue> <trace> [--cold-start]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "venues") return cmd_venues();
+    if (cmd == "record" && argc == 6) {
+      return cmd_record(argv[2], std::stoul(argv[3]), std::stoull(argv[4]),
+                        argv[5]);
+    }
+    if (cmd == "replay" && (argc == 4 || argc == 5)) {
+      const bool cold =
+          argc == 5 && std::strcmp(argv[4], "--cold-start") == 0;
+      return cmd_replay(argv[2], argv[3], cold);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,39 @@
+#include "core/aloc_baseline.h"
+
+#include <limits>
+
+namespace uniloc::core {
+
+ALocSelector::ALocSelector(std::vector<SchemeCost> costs,
+                           double accuracy_req_m)
+    : costs_(std::move(costs)), accuracy_req_m_(accuracy_req_m) {}
+
+int ALocSelector::select(const std::vector<schemes::SchemeOutput>& outputs,
+                         const std::vector<stats::Gaussian>& predicted) const {
+  int cheapest_ok = -1;
+  double cheapest_power = std::numeric_limits<double>::infinity();
+  int most_accurate = -1;
+  double best_mu = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < outputs.size() && i < costs_.size(); ++i) {
+    if (!outputs[i].available) continue;
+    if (predicted[i].mean < best_mu) {
+      best_mu = predicted[i].mean;
+      most_accurate = static_cast<int>(i);
+    }
+    if (predicted[i].mean <= accuracy_req_m_ &&
+        costs_[i].power_mw < cheapest_power) {
+      cheapest_power = costs_[i].power_mw;
+      cheapest_ok = static_cast<int>(i);
+    }
+  }
+  return cheapest_ok >= 0 ? cheapest_ok : most_accurate;
+}
+
+std::vector<ALocSelector::SchemeCost> standard_scheme_costs() {
+  // Mirrors energy::EnergyParams marginal powers: GPS is expensive;
+  // cellular is nearly free; motion pays IMU + preprocessing; fusion pays
+  // motion + WiFi scanning.
+  return {{385.0}, {8.0}, {2.0}, {54.0}, {62.0}};
+}
+
+}  // namespace uniloc::core

@@ -1,0 +1,45 @@
+// A-Loc baseline ([28]) -- the closest prior system the paper contrasts
+// UniLoc against (Sec. VI).
+//
+// A-Loc uses per-scheme error models to pick the *cheapest* scheme whose
+// predicted error meets an accuracy requirement; it never combines
+// outputs, and its original error records are place-specific. We give it
+// the benefit of UniLoc's transferable error models (so the comparison
+// isolates the selection-vs-combination question) and rank schemes by the
+// marginal power of their sensors.
+#pragma once
+
+#include <vector>
+
+#include "core/error_model.h"
+#include "schemes/scheme.h"
+
+namespace uniloc::core {
+
+class ALocSelector {
+ public:
+  struct SchemeCost {
+    double power_mw{0.0};
+  };
+
+  /// `costs` are index-aligned with the scheme list UniLoc runs.
+  ALocSelector(std::vector<SchemeCost> costs, double accuracy_req_m);
+
+  /// Index of the cheapest available scheme whose predicted error mean is
+  /// below the accuracy requirement; if none qualifies, the available
+  /// scheme with the smallest predicted error. -1 if nothing is available.
+  int select(const std::vector<schemes::SchemeOutput>& outputs,
+             const std::vector<stats::Gaussian>& predicted) const;
+
+  double accuracy_requirement() const { return accuracy_req_m_; }
+
+ private:
+  std::vector<SchemeCost> costs_;
+  double accuracy_req_m_;
+};
+
+/// Marginal sensor power of the standard five schemes, matching the
+/// energy model's constants: GPS, WiFi, cellular, motion, fusion.
+std::vector<ALocSelector::SchemeCost> standard_scheme_costs();
+
+}  // namespace uniloc::core

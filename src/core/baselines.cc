@@ -1,0 +1,52 @@
+#include "core/baselines.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace uniloc::core {
+
+int oracle_choice(const std::vector<schemes::SchemeOutput>& outputs,
+                  geo::Vec2 truth) {
+  int best = -1;
+  double best_err = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    if (!outputs[i].available) continue;
+    const double err = geo::distance(outputs[i].estimate, truth);
+    if (err < best_err) {
+      best_err = err;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+GlobalWeightBma::GlobalWeightBma(
+    const std::vector<double>& mean_training_error) {
+  weights_.resize(mean_training_error.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < mean_training_error.size(); ++i) {
+    if (mean_training_error[i] <= 0.0) {
+      throw std::invalid_argument("GlobalWeightBma: non-positive error");
+    }
+    weights_[i] = 1.0 / mean_training_error[i];
+    total += weights_[i];
+  }
+  for (double& w : weights_) w /= total;
+}
+
+geo::Vec2 GlobalWeightBma::combine(
+    const std::vector<schemes::SchemeOutput>& outputs) const {
+  geo::Vec2 fused{};
+  double mass = 0.0;
+  for (std::size_t i = 0; i < outputs.size() && i < weights_.size(); ++i) {
+    if (!outputs[i].available) continue;
+    const geo::Vec2 m = outputs[i].posterior.empty()
+                            ? outputs[i].estimate
+                            : outputs[i].posterior.mean();
+    fused += m * weights_[i];
+    mass += weights_[i];
+  }
+  return mass > 0.0 ? fused / mass : geo::Vec2{};
+}
+
+}  // namespace uniloc::core

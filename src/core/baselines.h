@@ -1,0 +1,39 @@
+// Comparison baselines.
+//
+//  * Oracle ("optimal single-selection"): knows the true error of every
+//    scheme and always picks the best one. Only computable by the harness
+//    (it needs ground truth); the paper uses it as the upper bound of any
+//    selection-based approach (Figs. 2, 3, 5).
+//  * GlobalWeightBma: BMA with one fixed weight per scheme for the whole
+//    place (the prior approach [29] the paper contrasts with). Weights
+//    come from training-time mean errors; they never adapt to the local
+//    context.
+#pragma once
+
+#include <vector>
+
+#include "schemes/scheme.h"
+
+namespace uniloc::core {
+
+/// Index of the scheme with the smallest true error; -1 if none available.
+int oracle_choice(const std::vector<schemes::SchemeOutput>& outputs,
+                  geo::Vec2 truth);
+
+class GlobalWeightBma {
+ public:
+  /// `mean_training_error[i]` is scheme i's average error on the training
+  /// set; the fixed weight is its inverse, normalized.
+  explicit GlobalWeightBma(const std::vector<double>& mean_training_error);
+
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Combine available schemes' posterior means with the fixed weights
+  /// (renormalized over the available subset).
+  geo::Vec2 combine(const std::vector<schemes::SchemeOutput>& outputs) const;
+
+ private:
+  std::vector<double> weights_;
+};
+
+}  // namespace uniloc::core

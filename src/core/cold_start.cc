@@ -1,0 +1,61 @@
+#include "core/cold_start.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace uniloc::core {
+
+ColdStartLocator::ColdStartLocator(const schemes::FingerprintDatabase* db,
+                                   Options opts)
+    : db_(db), opts_(opts) {}
+
+std::optional<schemes::StartCondition> ColdStartLocator::observe(
+    const sim::SensorFrame& f) {
+  // Heading evidence from the magnetometer (circular mean).
+  for (const sim::ImuSample& s : f.imu) {
+    heading_sum_sin_ += std::sin(s.mag_heading);
+    heading_sum_cos_ += std::cos(s.mag_heading);
+    ++heading_samples_;
+  }
+
+  if (!f.wifi.empty() && db_ != nullptr && !db_->empty()) {
+    ++scans_;
+    for (const schemes::Match& m :
+         db_->k_nearest(f.wifi, opts_.matches_per_scan)) {
+      match_positions_.push_back(db_->fingerprints()[m.index].pos);
+    }
+  }
+  if (scans_ < opts_.min_scans) return std::nullopt;
+
+  const std::optional<schemes::StartCondition> guess = current_guess();
+  if (!guess.has_value()) return std::nullopt;
+
+  // Confident when the recent matches cluster tightly around the guess.
+  double spread2 = 0.0;
+  for (const geo::Vec2& p : match_positions_) {
+    spread2 += geo::distance2(p, guess->pos);
+  }
+  spread2 /= static_cast<double>(match_positions_.size());
+  if (std::sqrt(spread2) <= opts_.cluster_radius_m ||
+      scans_ >= opts_.max_scans) {
+    return guess;
+  }
+  return std::nullopt;
+}
+
+std::optional<schemes::StartCondition> ColdStartLocator::current_guess()
+    const {
+  if (match_positions_.empty()) return std::nullopt;
+  geo::Vec2 mean{};
+  for (const geo::Vec2& p : match_positions_) mean += p;
+  mean = mean / static_cast<double>(match_positions_.size());
+  schemes::StartCondition start;
+  start.pos = mean;
+  start.heading = heading_samples_ > 0
+                      ? std::atan2(heading_sum_sin_, heading_sum_cos_)
+                      : 0.0;
+  return start;
+}
+
+}  // namespace uniloc::core

@@ -1,0 +1,52 @@
+// Cold-start localization (Zee-style [9]).
+//
+// The motion and fusion schemes need a StartCondition; the paper (like
+// Travi-Navi and [7]) starts every trace at a known point. Zee [9] removes
+// that assumption by bootstrapping the start from WiFi. This utility does
+// the same: it accumulates the first few WiFi scans, clusters their
+// fingerprint matches, and reports a start estimate once the cluster is
+// tight enough; heading comes from the first stretch of magnetometer
+// readings. Used by the CLI for replayed traces without metadata.
+#pragma once
+
+#include <optional>
+
+#include "schemes/fingerprint_db.h"
+#include "schemes/scheme.h"
+#include "sim/sensor_frame.h"
+
+namespace uniloc::core {
+
+class ColdStartLocator {
+ public:
+  struct Options {
+    std::size_t min_scans = 3;        ///< Scans before a verdict.
+    std::size_t max_scans = 12;       ///< Give up refining after this many.
+    double cluster_radius_m = 10.0;   ///< Matches must agree this tightly.
+    std::size_t matches_per_scan = 3;
+  };
+
+  explicit ColdStartLocator(const schemes::FingerprintDatabase* db)
+      : ColdStartLocator(db, Options{}) {}
+  ColdStartLocator(const schemes::FingerprintDatabase* db, Options opts);
+
+  /// Feed one frame; returns the start estimate once confident.
+  std::optional<schemes::StartCondition> observe(const sim::SensorFrame& f);
+
+  /// Best-effort estimate even if not yet confident (empty before any
+  /// usable scan).
+  std::optional<schemes::StartCondition> current_guess() const;
+
+  std::size_t scans_consumed() const { return scans_; }
+
+ private:
+  const schemes::FingerprintDatabase* db_;
+  Options opts_;
+  std::vector<geo::Vec2> match_positions_;
+  double heading_sum_sin_{0.0};
+  double heading_sum_cos_{0.0};
+  std::size_t heading_samples_{0};
+  std::size_t scans_{0};
+};
+
+}  // namespace uniloc::core

@@ -1,0 +1,27 @@
+#include "core/confidence.h"
+
+namespace uniloc::core {
+
+double confidence(const stats::Gaussian& predicted, double tau) {
+  return stats::normal_cdf(tau, predicted.mean, predicted.sd);
+}
+
+double adaptive_tau(const std::vector<stats::Gaussian>& predictions) {
+  if (predictions.empty()) return 0.0;
+  double sum = 0.0;
+  for (const stats::Gaussian& g : predictions) sum += g.mean;
+  return sum / static_cast<double>(predictions.size());
+}
+
+std::vector<double> bma_weights(const std::vector<double>& confidences) {
+  std::vector<double> w(confidences.size(), 0.0);
+  double total = 0.0;
+  for (double c : confidences) total += c;
+  if (total <= 0.0) return w;
+  for (std::size_t i = 0; i < confidences.size(); ++i) {
+    w[i] = confidences[i] / total;
+  }
+  return w;
+}
+
+}  // namespace uniloc::core

@@ -1,0 +1,24 @@
+// Scheme confidence and BMA weights (paper Eq. 2 and Eq. 5).
+#pragma once
+
+#include <vector>
+
+#include "stats/gaussian.h"
+
+namespace uniloc::core {
+
+/// Confidence of a scheme whose predicted error is `predicted`:
+/// c_t = P(Y_t <= tau), the probability its error is below the threshold.
+double confidence(const stats::Gaussian& predicted, double tau);
+
+/// The adaptive threshold: the mean of the available schemes' predicted
+/// errors ("tau is set adaptively at different locations, as the average
+/// predicted error of all available schemes", Sec. IV-A).
+double adaptive_tau(const std::vector<stats::Gaussian>& predictions);
+
+/// BMA weights w_n = c_n / sum_i c_i (Eq. 5). Zero-confidence (i.e.
+/// unavailable) schemes get weight zero; if every confidence is zero the
+/// result is all-zero.
+std::vector<double> bma_weights(const std::vector<double>& confidences);
+
+}  // namespace uniloc::core

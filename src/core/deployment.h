@@ -1,0 +1,59 @@
+// Deployment: a venue bundled with its radio environment and fingerprint
+// databases, plus the standard five-scheme setup of the paper's
+// evaluation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "schemes/fingerprint_db.h"
+#include "schemes/scheme.h"
+#include "sim/builders.h"
+#include "sim/radio.h"
+
+namespace uniloc::core {
+
+struct DeploymentOptions {
+  double indoor_fp_spacing_m = 3.0;   ///< Paper: 3 x 3 m indoor resolution.
+  double outdoor_fp_spacing_m = 12.0; ///< Paper: ~12 m in open spaces.
+  /// Cellular fingerprints are collected on a coarser grid: GSM RSSI
+  /// barely changes across a 3 m cell, so a denser grid only stores
+  /// duplicates. The coarse grid is what makes cellular the paper's
+  /// "coarse but available everywhere" scheme.
+  double cell_indoor_fp_spacing_m = 9.0;
+  double cell_outdoor_fp_spacing_m = 24.0;
+  sim::RadioParams wifi{};
+  sim::CellRadioParams cell{};
+  std::uint64_t seed = 42;
+};
+
+/// Owns the world and its derived infrastructure; pointers handed to
+/// schemes stay valid for the Deployment's lifetime (members are
+/// heap-allocated so the Deployment itself can be moved).
+struct Deployment {
+  std::unique_ptr<sim::Place> place;
+  std::unique_ptr<sim::RadioEnvironment> radio;
+  std::unique_ptr<schemes::FingerprintDatabase> wifi_db;
+  std::unique_ptr<schemes::FingerprintDatabase> cell_db;
+  DeploymentOptions options;
+};
+
+Deployment make_deployment(sim::Place place, DeploymentOptions opts = {});
+
+/// The five schemes of the paper's evaluation, in canonical order:
+/// GPS, WiFi (RADAR), Cellular, Motion PDR, Fusion (Travi-Navi).
+/// `calibrate_offset` switches on online device-offset calibration in the
+/// fingerprinting schemes (the Fig. 8d "w/ calibration" configuration).
+std::vector<schemes::SchemePtr> make_standard_schemes(
+    const Deployment& d, bool calibrate_offset = false,
+    std::uint64_t seed = 7);
+
+/// Same, with explicit infrastructure handles (the trainer uses this to
+/// bind schemes to downsampled fingerprint databases).
+std::vector<schemes::SchemePtr> make_schemes(
+    const sim::Place* place, const schemes::FingerprintDatabase* wifi_db,
+    const schemes::FingerprintDatabase* cell_db, bool calibrate_offset,
+    std::uint64_t seed);
+
+}  // namespace uniloc::core

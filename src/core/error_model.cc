@@ -1,0 +1,40 @@
+#include "core/error_model.h"
+
+#include <algorithm>
+
+namespace uniloc::core {
+
+ErrorModel ErrorModel::constant(double mu, double sigma) {
+  ErrorModel m;
+  m.constant_ = stats::Gaussian{mu, std::max(0.1, sigma)};
+  return m;
+}
+
+ErrorModel ErrorModel::fitted(stats::LinearModel indoor,
+                              stats::LinearModel outdoor) {
+  ErrorModel m;
+  m.indoor_ = std::move(indoor);
+  m.outdoor_ = std::move(outdoor);
+  return m;
+}
+
+ErrorModel ErrorModel::fitted_single(stats::LinearModel model) {
+  ErrorModel m;
+  m.indoor_ = model;
+  m.outdoor_ = std::move(model);
+  return m;
+}
+
+stats::Gaussian ErrorModel::predict(std::span<const double> x,
+                                    bool indoor) const {
+  if (constant_.has_value()) return *constant_;
+  const stats::LinearModel& lm = indoor ? indoor_ : outdoor_;
+  const std::size_t p = lm.coefficients.size() - (lm.has_intercept ? 1 : 0);
+  if (x.size() > p) x = x.subspan(0, p);
+  stats::Gaussian g;
+  g.mean = std::max(0.1, lm.predict(x));
+  g.sd = std::max(0.1, lm.residual_sd);
+  return g;
+}
+
+}  // namespace uniloc::core

@@ -1,0 +1,59 @@
+// Per-scheme localization-error models (paper Sec. III).
+//
+// An ErrorModel predicts a scheme's instantaneous localization error as a
+// Gaussian Y_t ~ N(mu_t, sigma_eps): mu_t from the fitted regression on
+// the real-time features, sigma_eps from the regression residual. Indoor
+// and outdoor environments get separate fits ("most localization schemes
+// have distinct characteristics in indoor and outdoor environments",
+// Sec. III-A). GPS uses a constant model -- the paper's key trick for
+// predicting GPS error without powering the GPS radio.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "stats/gaussian.h"
+#include "stats/regression.h"
+
+namespace uniloc::core {
+
+class ErrorModel {
+ public:
+  ErrorModel() = default;
+
+  /// Constant model (GPS): error ~ N(mu, sigma) regardless of features.
+  static ErrorModel constant(double mu, double sigma);
+
+  /// Regression model with separate indoor / outdoor fits.
+  static ErrorModel fitted(stats::LinearModel indoor,
+                           stats::LinearModel outdoor);
+
+  /// Regression model valid in only one environment; the other
+  /// environment falls back to the same fit.
+  static ErrorModel fitted_single(stats::LinearModel model);
+
+  bool is_constant() const { return constant_.has_value(); }
+
+  /// Predicted error distribution given features and environment.
+  /// The mean is clamped to be non-negative (an error cannot be < 0).
+  /// If `x` has more features than the selected fit uses, the extra ones
+  /// are ignored: the fusion scheme shares the motion scheme's 2-feature
+  /// model outdoors (paper Sec. III-B) while extracting 3 features.
+  stats::Gaussian predict(std::span<const double> x, bool indoor) const;
+
+  /// Replace one environment's fit (used to alias fusion-outdoor to
+  /// motion-outdoor).
+  void set_outdoor_model(stats::LinearModel m) { outdoor_ = std::move(m); }
+
+  /// Access the underlying fits (Table II reporting).
+  const stats::LinearModel& indoor_model() const { return indoor_; }
+  const stats::LinearModel& outdoor_model() const { return outdoor_; }
+
+ private:
+  std::optional<stats::Gaussian> constant_;
+  stats::LinearModel indoor_;
+  stats::LinearModel outdoor_;
+};
+
+}  // namespace uniloc::core

@@ -1,0 +1,27 @@
+#include "core/iodetector.h"
+
+namespace uniloc::core {
+
+double IoDetector::indoor_score(const sim::SensorFrame& frame) const {
+  double score = 0.0;
+  score += frame.ambient.light_lux < params_.light_threshold_lux
+               ? params_.light_vote
+               : -params_.light_vote;
+  score += frame.ambient.mag_field_sd_ut > params_.mag_sd_threshold_ut
+               ? params_.mag_vote
+               : -params_.mag_vote;
+  if (!frame.cell.empty()) {
+    double mean = 0.0;
+    for (const sim::ApReading& r : frame.cell) mean += r.rssi_dbm;
+    mean /= static_cast<double>(frame.cell.size());
+    score += mean < params_.cell_rssi_threshold_dbm ? params_.cell_vote
+                                                    : -params_.cell_vote;
+  }
+  return score;
+}
+
+bool IoDetector::is_indoor(const sim::SensorFrame& frame) const {
+  return indoor_score(frame) > 0.0;
+}
+
+}  // namespace uniloc::core

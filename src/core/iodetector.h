@@ -1,0 +1,38 @@
+// IODetector: indoor/outdoor classification from low-power sensors.
+//
+// Re-implementation of the detector the paper adopts ([36]): light
+// intensity (daylight dwarfs indoor lighting), magnetic-field fluctuation
+// (steel structure indoors) and cellular signal strength (attenuated
+// indoors) vote on the environment class. UniLoc uses the verdict to pick
+// the indoor or outdoor error model and to keep GPS off indoors.
+#pragma once
+
+#include "sim/sensor_frame.h"
+
+namespace uniloc::core {
+
+struct IoDetectorParams {
+  double light_threshold_lux{3000.0};
+  double mag_sd_threshold_ut{2.0};
+  double cell_rssi_threshold_dbm{-82.0};
+  double light_vote{1.0};
+  double mag_vote{1.0};
+  double cell_vote{0.5};
+};
+
+class IoDetector {
+ public:
+  IoDetector() : IoDetector(IoDetectorParams{}) {}
+  explicit IoDetector(IoDetectorParams params) : params_(params) {}
+
+  /// True if the frame looks indoor. Stateless per-frame vote.
+  bool is_indoor(const sim::SensorFrame& frame) const;
+
+  /// Signed score (> 0 indoor); exposed for calibration tests.
+  double indoor_score(const sim::SensorFrame& frame) const;
+
+ private:
+  IoDetectorParams params_;
+};
+
+}  // namespace uniloc::core

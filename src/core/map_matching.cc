@@ -1,0 +1,124 @@
+#include "core/map_matching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/gaussian.h"
+
+namespace uniloc::core {
+
+MapMatcher::MapMatcher(const sim::Place* place, Options opts)
+    : place_(place), opts_(opts) {
+  // Discretize every walkway.
+  for (std::size_t w = 0; w < place_->walkways().size(); ++w) {
+    const geo::Polyline& line = place_->walkways()[w].line;
+    for (double s = 0.0; s <= line.length(); s += opts_.bin_m) {
+      states_.push_back({w, s, line.point_at(s)});
+    }
+  }
+  // Precompute reachable neighbors: same-walkway bins within the motion
+  // reach, plus cross-walkway bins at junctions.
+  const double reach =
+      std::max(opts_.step_m + 4.0 * opts_.motion_sd_m, 2.0 * opts_.bin_m);
+  neighbors_.resize(states_.size());
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    for (std::size_t j = 0; j < states_.size(); ++j) {
+      const bool same = states_[i].walkway == states_[j].walkway;
+      if (same) {
+        if (std::fabs(states_[j].arclen - states_[i].arclen) <= reach) {
+          neighbors_[i].push_back(j);
+        }
+      } else if (geo::distance(states_[i].pos, states_[j].pos) <=
+                 opts_.junction_radius_m) {
+        neighbors_[i].push_back(j);
+      }
+    }
+  }
+  reset();
+}
+
+void MapMatcher::reset() {
+  belief_.assign(states_.size(),
+                 states_.empty() ? 0.0
+                                 : 1.0 / static_cast<double>(states_.size()));
+  started_ = false;
+}
+
+double MapMatcher::transition(const State& from, const State& to) const {
+  double advance;
+  if (from.walkway == to.walkway) {
+    advance = to.arclen - from.arclen;
+  } else {
+    // A junction hop: treat the Euclidean gap as the advance.
+    advance = geo::distance(from.pos, to.pos);
+  }
+  const double expected = opts_.step_m;
+  // Forward motion is most likely; standing/backtracking allowed with a
+  // wider, flatter kernel when enabled.
+  const double forward =
+      stats::normal_pdf((advance - expected) / opts_.motion_sd_m);
+  if (!opts_.allow_backtrack) return forward;
+  const double loiter =
+      0.2 * stats::normal_pdf(advance / (2.0 * opts_.motion_sd_m));
+  return forward + loiter;
+}
+
+geo::Vec2 MapMatcher::update(geo::Vec2 raw_estimate) {
+  std::vector<double> next(states_.size(), 0.0);
+  if (!started_) {
+    // First observation: emission only.
+    for (std::size_t j = 0; j < states_.size(); ++j) {
+      next[j] = stats::normal_pdf(
+          geo::distance(states_[j].pos, raw_estimate) / opts_.emission_sd_m);
+    }
+    started_ = true;
+  } else {
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      const double b = belief_[i];
+      if (b <= 1e-12) continue;
+      for (std::size_t j : neighbors_[i]) {
+        next[j] += b * transition(states_[i], states_[j]);
+      }
+    }
+    // A tiny uniform "teleport" mass lets the belief escape a wrong mode
+    // (e.g. after an outlier pinned it to the wrong corridor).
+    const double teleport = 1e-5 / static_cast<double>(states_.size());
+    for (std::size_t j = 0; j < states_.size(); ++j) {
+      next[j] = (next[j] + teleport) *
+                stats::normal_pdf(geo::distance(states_[j].pos, raw_estimate) /
+                                  opts_.emission_sd_m);
+    }
+  }
+  double total = 0.0;
+  for (double v : next) total += v;
+  if (total <= 0.0) {
+    // Estimate so far off every path that all emissions underflow: put
+    // the belief on the spatially nearest state (no recursion -- a
+    // second underflow would loop forever).
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < states_.size(); ++j) {
+      const double d = geo::distance2(states_[j].pos, raw_estimate);
+      if (d < best_d) {
+        best_d = d;
+        best = j;
+      }
+    }
+    std::fill(next.begin(), next.end(), 0.0);
+    next[best] = 1.0;
+    belief_ = std::move(next);
+    started_ = true;
+    return current();
+  }
+  for (double& v : next) v /= total;
+  belief_ = std::move(next);
+  return current();
+}
+
+geo::Vec2 MapMatcher::current() const {
+  const auto it = std::max_element(belief_.begin(), belief_.end());
+  return states_[static_cast<std::size_t>(it - belief_.begin())].pos;
+}
+
+}  // namespace uniloc::core

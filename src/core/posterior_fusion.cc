@@ -1,0 +1,68 @@
+#include "core/posterior_fusion.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uniloc::core {
+
+geo::Vec2 FusedPosterior::expectation() const {
+  geo::Vec2 e{};
+  for (std::size_t i = 0; i < mass.size(); ++i) {
+    if (mass[i] > 0.0) e += grid.center(i) * mass[i];
+  }
+  return e;
+}
+
+geo::Vec2 FusedPosterior::map_estimate() const {
+  const auto it = std::max_element(mass.begin(), mass.end());
+  return grid.center(static_cast<std::size_t>(it - mass.begin()));
+}
+
+double FusedPosterior::entropy() const {
+  double h = 0.0;
+  for (double m : mass) {
+    if (m > 0.0) h -= m * std::log(m);
+  }
+  return h;
+}
+
+double FusedPosterior::mass_within(geo::Vec2 center, double radius) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < mass.size(); ++i) {
+    if (mass[i] > 0.0 && geo::distance(grid.center(i), center) <= radius) {
+      total += mass[i];
+    }
+  }
+  return total;
+}
+
+FusedPosterior fuse_posteriors(
+    const geo::Grid& grid,
+    const std::vector<schemes::SchemeOutput>& outputs,
+    const std::vector<double>& weights) {
+  FusedPosterior fused;
+  fused.grid = grid;
+  fused.mass.assign(grid.num_cells(), 0.0);
+  double total = 0.0;
+  for (std::size_t n = 0; n < outputs.size() && n < weights.size(); ++n) {
+    if (weights[n] <= 0.0 || !outputs[n].available) continue;
+    if (outputs[n].posterior.empty()) {
+      fused.mass[grid.flat_of(outputs[n].estimate)] += weights[n];
+      total += weights[n];
+      continue;
+    }
+    for (const schemes::WeightedPoint& wp : outputs[n].posterior.support) {
+      fused.mass[grid.flat_of(wp.pos)] += weights[n] * wp.weight;
+    }
+    total += weights[n];
+  }
+  if (total <= 0.0) {
+    const double u = 1.0 / static_cast<double>(fused.mass.size());
+    std::fill(fused.mass.begin(), fused.mass.end(), u);
+    return fused;
+  }
+  for (double& m : fused.mass) m /= total;
+  return fused;
+}
+
+}  // namespace uniloc::core

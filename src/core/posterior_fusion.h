@@ -1,0 +1,43 @@
+// Full grid-based BMA posterior (Eq. 3-4 in their literal discrete form).
+//
+// UniLoc2's point estimate only needs the mixture expectation, which the
+// framework computes in closed form from the schemes' posterior means.
+// Some applications want the *full* fused distribution P(l = l_i | s_t)
+// over the place's location grid -- e.g. to report a MAP cell, a
+// confidence region, or the posterior entropy as a self-assessed quality
+// signal. This utility rasterizes and mixes the scheme posteriors.
+#pragma once
+
+#include <vector>
+
+#include "geo/grid.h"
+#include "schemes/scheme.h"
+
+namespace uniloc::core {
+
+struct FusedPosterior {
+  geo::Grid grid;
+  std::vector<double> mass;  ///< Per-cell probability; sums to 1.
+
+  /// Eq. 4: the posterior expectation, computed per axis.
+  geo::Vec2 expectation() const;
+
+  /// Center of the most probable cell.
+  geo::Vec2 map_estimate() const;
+
+  /// Shannon entropy (nats) -- high when the ensemble is undecided.
+  double entropy() const;
+
+  /// Total mass within `radius` of a point (confidence-region queries).
+  double mass_within(geo::Vec2 center, double radius) const;
+};
+
+/// Mix the available schemes' posteriors with the given BMA weights onto
+/// `grid`. Weights of unavailable schemes must be zero (Uniloc guarantees
+/// this). If all weights are zero the result is the uniform distribution.
+FusedPosterior fuse_posteriors(
+    const geo::Grid& grid,
+    const std::vector<schemes::SchemeOutput>& outputs,
+    const std::vector<double>& weights);
+
+}  // namespace uniloc::core

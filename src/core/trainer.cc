@@ -1,0 +1,175 @@
+#include "core/trainer.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "sim/walker.h"
+#include "stats/descriptive.h"
+
+namespace uniloc::core {
+
+TrainingData collect_training_data(const Deployment& venue,
+                                   CollectOptions opts) {
+  TrainingData data;
+  // The venue's character: indoor if its walkways are predominantly
+  // indoor (training venues are homogeneous by design).
+  double indoor_len = 0.0, total_len = 0.0;
+  for (const sim::Walkway& w : venue.place->walkways()) {
+    indoor_len += w.length_where(sim::is_indoor);
+    total_len += w.line.length();
+  }
+  data.venue_indoor = indoor_len > total_len / 2.0;
+
+  // The density feature needs variation to be learnable: following the
+  // paper, walks cycle through downsampled copies of the fingerprint
+  // database (3 m native spacing -> ~3/6/9/15 m effective).
+  static constexpr std::size_t kDensityFactors[] = {1, 2, 3, 5};
+
+  std::uint64_t walk_seed = opts.seed;
+  std::size_t walkway = 0;
+  std::size_t walk_count = 0;
+  while (data.num_epochs < opts.target_samples) {
+    const std::size_t factor =
+        kDensityFactors[walk_count % std::size(kDensityFactors)];
+    const schemes::FingerprintDatabase wifi_db =
+        venue.wifi_db->downsampled(factor, walk_count);
+    const schemes::FingerprintDatabase cell_db =
+        venue.cell_db->downsampled(factor, walk_count);
+    std::vector<schemes::SchemePtr> schemes_vec = make_schemes(
+        venue.place.get(), &wifi_db, &cell_db, /*calibrate_offset=*/false,
+        stats::hash_combine(opts.seed, 0x7EA1 + walk_count));
+    ++walk_count;
+
+    sim::WalkConfig wc = opts.walk;
+    wc.seed = stats::hash_combine(walk_seed++, 0x11);
+    sim::Walker walker(venue.place.get(), venue.radio.get(),
+                       walkway % venue.place->walkways().size(), wc);
+    walkway++;
+
+    const schemes::StartCondition start{walker.start_position(),
+                                        walker.start_heading()};
+    for (auto& s : schemes_vec) s->reset(start);
+
+    int step_idx = 0;
+    while (!walker.done() && data.num_epochs < opts.target_samples) {
+      const sim::SensorFrame frame = walker.step(/*gps_enabled=*/true);
+      // Schemes consume every frame (PDR needs the continuous stream);
+      // only every record_every-th location enters the training database.
+      const bool record = (++step_idx % std::max(1, opts.record_every)) == 0;
+      if (record) ++data.num_epochs;
+
+      // Training knows the true location: features are computed against
+      // ground truth (Sec. III-B), the environment label is the venue's.
+      FeatureContext ctx;
+      ctx.predicted_location = frame.truth_pos;
+      ctx.indoor = data.venue_indoor;
+      ctx.place = venue.place.get();
+      ctx.wifi_db = &wifi_db;
+      ctx.cell_db = &cell_db;
+
+      for (auto& s : schemes_vec) {
+        const schemes::SchemeOutput out = s->update(frame);
+        if (!record || !out.available) continue;
+        const double err = geo::distance(out.estimate, frame.truth_pos);
+        if (s->family() == schemes::SchemeFamily::kGps) {
+          data.gps_errors.push_back(err);
+          continue;
+        }
+        TrainingRow row;
+        row.x = extract_candidate_features(s->family(), frame, out, ctx);
+        row.y = err;
+        data.by_family[s->family()].rows.push_back(std::move(row));
+      }
+    }
+  }
+  return data;
+}
+
+namespace {
+
+stats::LinearModel fit_family(const FamilyData& fd,
+                              schemes::SchemeFamily family) {
+  const std::vector<std::string> names = feature_names(family);
+  const std::size_t p = names.size();
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  x.reserve(fd.rows.size());
+  for (const TrainingRow& row : fd.rows) {
+    assert(row.x.size() >= p);
+    x.emplace_back(row.x.begin(), row.x.begin() + static_cast<long>(p));
+    y.push_back(row.y);
+  }
+  return stats::fit_ols(x, y, names);
+}
+
+}  // namespace
+
+const ErrorModel& TrainedModels::for_family(schemes::SchemeFamily f) const {
+  const auto it = by_family.find(f);
+  if (it == by_family.end()) {
+    throw std::out_of_range("TrainedModels: no model for family");
+  }
+  return it->second;
+}
+
+TrainedModels fit_error_models(const TrainingData& indoor_data,
+                               const TrainingData& outdoor_data) {
+  TrainedModels models;
+  using SF = schemes::SchemeFamily;
+  for (SF family : {SF::kWifiFingerprint, SF::kCellFingerprint, SF::kMotionPdr,
+                    SF::kFusion}) {
+    const auto in_it = indoor_data.by_family.find(family);
+    const auto out_it = outdoor_data.by_family.find(family);
+    const bool has_in =
+        in_it != indoor_data.by_family.end() && in_it->second.rows.size() > 8;
+    const bool has_out = out_it != outdoor_data.by_family.end() &&
+                         out_it->second.rows.size() > 8;
+    if (has_in && has_out) {
+      models.by_family[family] = ErrorModel::fitted(
+          fit_family(in_it->second, family), fit_family(out_it->second, family));
+    } else if (has_in) {
+      models.by_family[family] =
+          ErrorModel::fitted_single(fit_family(in_it->second, family));
+    } else if (has_out) {
+      models.by_family[family] =
+          ErrorModel::fitted_single(fit_family(out_it->second, family));
+    }
+  }
+  // Fusion behaves like plain PDR outdoors -- the coarse outdoor RSSI
+  // cannot refine the particle filter -- so it shares the motion scheme's
+  // outdoor model (paper Sec. III-B).
+  if (models.by_family.count(SF::kFusion) &&
+      models.by_family.count(SF::kMotionPdr)) {
+    models.by_family[SF::kFusion].set_outdoor_model(
+        models.by_family[SF::kMotionPdr].outdoor_model());
+  }
+  // GPS: constant model from outdoor errors (paper: mean 13.5 m, sd 9.4 m
+  // on their hardware; ours come from the simulated receiver).
+  std::vector<double> gps = outdoor_data.gps_errors;
+  gps.insert(gps.end(), indoor_data.gps_errors.begin(),
+             indoor_data.gps_errors.end());
+  if (!gps.empty()) {
+    models.by_family[SF::kGps] =
+        ErrorModel::constant(stats::mean(gps), stats::stddev(gps));
+  } else {
+    models.by_family[SF::kGps] = ErrorModel::constant(13.5, 9.4);
+  }
+  return models;
+}
+
+TrainedModels train_standard_models(std::uint64_t seed,
+                                    std::size_t target_samples) {
+  Deployment office = make_deployment(sim::office_place(seed),
+                                      DeploymentOptions{.seed = seed});
+  Deployment open = make_deployment(sim::open_space_place(seed),
+                                    DeploymentOptions{.seed = seed + 1});
+  CollectOptions copts;
+  copts.target_samples = target_samples;
+  copts.seed = seed + 2;
+  const TrainingData indoor_data = collect_training_data(office, copts);
+  copts.seed = seed + 3;
+  const TrainingData outdoor_data = collect_training_data(open, copts);
+  return fit_error_models(indoor_data, outdoor_data);
+}
+
+}  // namespace uniloc::core

@@ -1,0 +1,156 @@
+#include "core/uniloc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/confidence.h"
+
+namespace uniloc::core {
+
+Uniloc::Uniloc(UnilocConfig cfg) : cfg_(cfg) {}
+
+std::size_t Uniloc::add_scheme(schemes::SchemePtr scheme, ErrorModel model) {
+  entries_.push_back({std::move(scheme), std::move(model)});
+  return entries_.size() - 1;
+}
+
+std::vector<std::string> Uniloc::scheme_names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& e : entries_) names.push_back(e.scheme->name());
+  return names;
+}
+
+void Uniloc::reset(const schemes::StartCondition& start) {
+  for (Entry& e : entries_) e.scheme->reset(start);
+  predictor_.reset();
+  predictor_.observe(start.pos);
+  gps_enable_ = true;
+}
+
+FeatureContext Uniloc::make_context(bool indoor) const {
+  FeatureContext ctx;
+  ctx.indoor = indoor;
+  ctx.place = cfg_.place;
+  ctx.wifi_db = cfg_.wifi_db;
+  ctx.cell_db = cfg_.cell_db;
+  const auto pred = predictor_.predict();
+  ctx.predicted_location = pred.value_or(geo::Vec2{});
+  return ctx;
+}
+
+EpochDecision Uniloc::update(const sim::SensorFrame& frame) {
+  EpochDecision d;
+  const std::size_t n = entries_.size();
+  d.outputs.resize(n);
+  d.predicted_error.assign(n, stats::Gaussian{0.0, 1.0});
+  d.confidence.assign(n, 0.0);
+  d.weight.assign(n, 0.0);
+
+  // 1. Run every scheme on the frame (conceptually in parallel; the paper
+  //    offloads this to a server). User-integrated schemes are untrusted:
+  //    an output containing non-finite values is treated as unavailable
+  //    rather than poisoning the ensemble.
+  for (std::size_t i = 0; i < n; ++i) {
+    d.outputs[i] = entries_[i].scheme->update(frame);
+    schemes::SchemeOutput& out = d.outputs[i];
+    if (out.available) {
+      bool finite = std::isfinite(out.estimate.x) &&
+                    std::isfinite(out.estimate.y);
+      for (const schemes::WeightedPoint& wp : out.posterior.support) {
+        finite = finite && std::isfinite(wp.pos.x) &&
+                 std::isfinite(wp.pos.y) && std::isfinite(wp.weight) &&
+                 wp.weight >= 0.0;
+      }
+      if (!finite) out = schemes::SchemeOutput{};
+    }
+  }
+
+  // 2. Environment classification and feature context.
+  d.indoor = io_detector_.is_indoor(frame);
+  const FeatureContext ctx = make_context(d.indoor);
+
+  // 3. Online error prediction per available scheme.
+  std::vector<stats::Gaussian> available_predictions;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!d.outputs[i].available) continue;
+    const std::vector<double> x = extract_features(
+        entries_[i].scheme->family(), frame, d.outputs[i], ctx);
+    d.predicted_error[i] = entries_[i].model.predict(x, d.indoor);
+    available_predictions.push_back(d.predicted_error[i]);
+  }
+
+  // 4. Adaptive threshold and confidences (Eq. 2).
+  d.tau = cfg_.fixed_tau_m > 0.0 ? cfg_.fixed_tau_m
+                                 : adaptive_tau(available_predictions);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!d.outputs[i].available) continue;  // confidence stays 0 (excluded)
+    d.confidence[i] = confidence(d.predicted_error[i], d.tau);
+  }
+
+  // 5. UniLoc1: the highest-confidence scheme.
+  d.selected = -1;
+  double best_c = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d.outputs[i].available && d.confidence[i] > best_c) {
+      best_c = d.confidence[i];
+      d.selected = static_cast<int>(i);
+    }
+  }
+
+  // 6. UniLoc2: locally-weighted BMA. The fused location (Eq. 4, per
+  //    axis) is the mixture expectation: sum_n w_n * E[l | M_n, s_t].
+  //    Confidences are sharpened before normalization (see UnilocConfig).
+  std::vector<double> sharpened(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sharpened[i] = std::pow(d.confidence[i], cfg_.confidence_sharpness);
+  }
+  d.weight = bma_weights(sharpened);
+  geo::Vec2 fused{};
+  double mass = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d.weight[i] <= 0.0) continue;
+    const geo::Vec2 m = d.outputs[i].posterior.empty()
+                            ? d.outputs[i].estimate
+                            : d.outputs[i].posterior.mean();
+    fused += m * d.weight[i];
+    mass += d.weight[i];
+  }
+
+  const geo::Vec2 fallback =
+      predictor_.predict().value_or(geo::Vec2{});
+  d.uniloc2 = mass > 0.0 ? fused : fallback;
+  d.uniloc1 = d.selected >= 0
+                  ? d.outputs[static_cast<std::size_t>(d.selected)].estimate
+                  : fallback;
+
+  // 7. Advance the location predictor with the fused result.
+  predictor_.observe(d.uniloc2);
+
+  // 8. GPS duty cycling for the next epoch: off indoors; outdoors only
+  //    when the constant GPS model beats every other scheme's prediction.
+  d.gps_enable_next = true;
+  if (cfg_.gps_duty_cycle) {
+    if (d.indoor) {
+      d.gps_enable_next = false;
+    } else {
+      double gps_mu = std::numeric_limits<double>::infinity();
+      double best_other = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (entries_[i].scheme->family() == schemes::SchemeFamily::kGps) {
+          // The GPS model needs no sensor input, so its error can be
+          // predicted with the radio off.
+          gps_mu = entries_[i].model.predict({}, /*indoor=*/false).mean;
+        } else if (d.outputs[i].available) {
+          best_other = std::min(best_other, d.predicted_error[i].mean);
+        }
+      }
+      d.gps_enable_next = gps_mu <= best_other;
+    }
+  }
+  gps_enable_ = d.gps_enable_next;
+  return d;
+}
+
+}  // namespace uniloc::core

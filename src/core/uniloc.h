@@ -1,0 +1,108 @@
+// The UniLoc framework (paper Sec. IV).
+//
+// Registered schemes run in parallel on each SensorFrame. For every
+// available scheme the framework extracts the family's features, predicts
+// the localization error Y ~ N(mu, sigma_eps) with the offline-trained
+// error model, and converts it to a confidence c = P(Y <= tau) against the
+// adaptive threshold tau (the mean predicted error of available schemes).
+//
+//   UniLoc1  selects the highest-confidence scheme's estimate.
+//   UniLoc2  locally-weighted BMA: mixes the schemes' location posteriors
+//            with weights w_n = c_n / sum c_i and reports the posterior
+//            expectation per axis (Eq. 3-5).
+//
+// Energy: the GPS duty-cycle controller keeps GPS off indoors and, when
+// outdoors, only enables it when its (constant, feature-free) predicted
+// error is the smallest among all schemes -- so the decision needs no GPS
+// power at all.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/error_model.h"
+#include "core/features.h"
+#include "core/iodetector.h"
+#include "filter/location_predictor.h"
+#include "schemes/scheme.h"
+
+namespace uniloc::core {
+
+struct UnilocConfig {
+  /// 0 => adaptive tau (paper default); otherwise a fixed threshold in
+  /// meters (ablation bench).
+  double fixed_tau_m = 0.0;
+  /// Exponent applied to confidences before normalizing into BMA weights.
+  /// The paper's Table II reports tiny regression residuals (sigma_eps as
+  /// low as 0.26 m for the motion model), which make its Eq. 2 confidence
+  /// nearly a step function of (tau - mu); our simulator's residuals are
+  /// several meters, flattening the same formula. The exponent restores
+  /// the paper's effective weight sharpness; 1.0 recovers the literal
+  /// Eq. 5. See bench/ablation_sharpness.
+  double confidence_sharpness = 4.0;
+  /// Enable the GPS duty-cycle controller.
+  bool gps_duty_cycle = true;
+  /// Infrastructure handles for feature extraction (may be null; the
+  /// corresponding features then fall back to conservative defaults).
+  const sim::Place* place = nullptr;
+  const schemes::FingerprintDatabase* wifi_db = nullptr;
+  const schemes::FingerprintDatabase* cell_db = nullptr;
+};
+
+/// Everything UniLoc decided in one epoch. Vectors are index-aligned with
+/// the registered scheme list.
+struct EpochDecision {
+  std::vector<schemes::SchemeOutput> outputs;
+  std::vector<stats::Gaussian> predicted_error;  ///< Valid where available.
+  std::vector<double> confidence;                ///< 0 where unavailable.
+  std::vector<double> weight;                    ///< BMA weights (Eq. 5).
+  double tau{0.0};
+  bool indoor{true};
+  int selected{-1};         ///< UniLoc1's scheme index (-1: nothing ran).
+  geo::Vec2 uniloc1;        ///< Best-scheme estimate.
+  geo::Vec2 uniloc2;        ///< Locally-weighted BMA estimate.
+  bool gps_enable_next{true};  ///< Duty-cycling decision for next epoch.
+};
+
+class Uniloc {
+ public:
+  explicit Uniloc(UnilocConfig cfg);
+
+  /// Register a scheme with its offline-trained error model.
+  /// Integration cost of a new scheme is exactly this call (the paper's
+  /// "general" design feature). Returns the scheme's index.
+  std::size_t add_scheme(schemes::SchemePtr scheme, ErrorModel model);
+
+  std::size_t num_schemes() const { return entries_.size(); }
+  std::vector<std::string> scheme_names() const;
+  const schemes::LocalizationScheme& scheme(std::size_t i) const {
+    return *entries_[i].scheme;
+  }
+
+  /// Prepare all schemes for a walk starting at `start`.
+  void reset(const schemes::StartCondition& start);
+
+  /// Run one epoch: localize with every scheme, predict errors, combine.
+  EpochDecision update(const sim::SensorFrame& frame);
+
+  /// The duty-cycling decision computed by the previous update() (true
+  /// before the first epoch: the controller cannot rule GPS out yet).
+  bool gps_enabled() const { return gps_enable_; }
+
+ private:
+  struct Entry {
+    schemes::SchemePtr scheme;
+    ErrorModel model;
+  };
+
+  FeatureContext make_context(bool indoor) const;
+
+  UnilocConfig cfg_;
+  std::vector<Entry> entries_;
+  IoDetector io_detector_;
+  filter::LocationPredictor predictor_;
+  bool gps_enable_{true};
+};
+
+}  // namespace uniloc::core

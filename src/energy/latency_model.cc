@@ -1,0 +1,37 @@
+#include "energy/latency_model.h"
+
+#include <algorithm>
+
+namespace uniloc::energy {
+
+double ResponseTimeReport::server_ms() const {
+  double slowest = 0.0;
+  double prediction = 0.0;
+  for (const SchemeCompute& s : schemes) {
+    slowest = std::max(slowest, s.server_ms);
+    prediction += s.error_prediction_ms;
+  }
+  return slowest + prediction + bma_ms;
+}
+
+double ResponseTimeReport::total_ms() const {
+  return phone_ms + uplink_ms + server_ms() + downlink_ms;
+}
+
+double ResponseTimeReport::transmission_fraction() const {
+  const double total = total_ms();
+  return total > 0.0 ? (uplink_ms + downlink_ms) / total : 0.0;
+}
+
+ResponseTimeReport make_report(std::vector<SchemeCompute> schemes,
+                               double bma_ms, const LatencyParams& p) {
+  ResponseTimeReport r;
+  r.schemes = std::move(schemes);
+  r.bma_ms = bma_ms;
+  r.phone_ms = p.phone_sense_ms;
+  r.uplink_ms = p.uplink_ms;
+  r.downlink_ms = p.downlink_ms;
+  return r;
+}
+
+}  // namespace uniloc::energy

@@ -1,0 +1,47 @@
+// Response-time decomposition (paper Sec. V-D and Table V).
+//
+// One location estimate = phone-side sensing/pre-processing + uplink +
+// server-side scheme execution (parallel, so max over schemes) + error
+// prediction + BMA + downlink. Scheme/ensemble compute times are measured
+// on this machine by the caller (table5 bench times the real
+// implementations); network latencies are constants representative of a
+// campus WLAN, as in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace uniloc::energy {
+
+struct LatencyParams {
+  double phone_sense_ms = 18.0;      ///< Sensor read + step-model inference.
+  double uplink_ms = 52.0;           ///< WiFi/cellular upload.
+  double downlink_ms = 63.0;         ///< Result push (paper: 63 ms).
+};
+
+struct SchemeCompute {
+  std::string name;
+  double server_ms{0.0};         ///< Measured scheme execution time.
+  double error_prediction_ms{0.0};  ///< Measured feature+prediction time.
+};
+
+struct ResponseTimeReport {
+  std::vector<SchemeCompute> schemes;
+  double bma_ms{0.0};
+  double phone_ms{0.0};
+  double uplink_ms{0.0};
+  double downlink_ms{0.0};
+
+  /// Server compute = slowest scheme (parallel execution) + total error
+  /// prediction + BMA.
+  double server_ms() const;
+  double total_ms() const;
+  /// Fraction of the total spent in data transmissions.
+  double transmission_fraction() const;
+};
+
+/// Assemble the report from measured compute times and the constants.
+ResponseTimeReport make_report(std::vector<SchemeCompute> schemes,
+                               double bma_ms, const LatencyParams& p = {});
+
+}  // namespace uniloc::energy

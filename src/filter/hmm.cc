@@ -1,0 +1,142 @@
+#include "filter/hmm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace uniloc::filter {
+
+namespace {
+void normalize(std::vector<double>& v) {
+  double total = 0.0;
+  for (double x : v) total += x;
+  if (total <= 0.0) {
+    const double u = 1.0 / static_cast<double>(v.size());
+    std::fill(v.begin(), v.end(), u);
+    return;
+  }
+  for (double& x : v) x /= total;
+}
+}  // namespace
+
+Hmm::Hmm(std::size_t num_states,
+         std::function<double(std::size_t, std::size_t)> transition)
+    : n_(num_states), transition_(std::move(transition)) {
+  if (n_ == 0) throw std::invalid_argument("Hmm: zero states");
+  reset_uniform();
+}
+
+void Hmm::set_belief(std::vector<double> belief) {
+  if (belief.size() != n_) throw std::invalid_argument("Hmm: belief size");
+  belief_ = std::move(belief);
+  normalize(belief_);
+}
+
+void Hmm::reset_uniform() {
+  belief_.assign(n_, 1.0 / static_cast<double>(n_));
+}
+
+void Hmm::step(const std::function<double(std::size_t)>& emission) {
+  std::vector<double> next(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double b = belief_[i];
+    if (b <= 0.0) continue;
+    for (std::size_t j = 0; j < n_; ++j) {
+      next[j] += b * transition_(i, j);
+    }
+  }
+  for (std::size_t j = 0; j < n_; ++j) next[j] *= emission(j);
+  normalize(next);
+  belief_ = std::move(next);
+}
+
+std::size_t Hmm::map_state() const {
+  return static_cast<std::size_t>(
+      std::max_element(belief_.begin(), belief_.end()) - belief_.begin());
+}
+
+std::vector<std::size_t> Hmm::viterbi(
+    const std::vector<std::function<double(std::size_t)>>& emissions,
+    const std::vector<double>& initial) const {
+  if (emissions.empty()) return {};
+  if (initial.size() != n_) throw std::invalid_argument("viterbi: initial");
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  auto safe_log = [&](double p) { return p > 0.0 ? std::log(p) : neg_inf; };
+
+  std::vector<double> score(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    score[j] = safe_log(initial[j]) + safe_log(emissions[0](j));
+  }
+  std::vector<std::vector<std::size_t>> back(emissions.size(),
+                                             std::vector<std::size_t>(n_, 0));
+  for (std::size_t t = 1; t < emissions.size(); ++t) {
+    std::vector<double> next(n_, neg_inf);
+    for (std::size_t j = 0; j < n_; ++j) {
+      for (std::size_t i = 0; i < n_; ++i) {
+        const double s = score[i] + safe_log(transition_(i, j));
+        if (s > next[j]) {
+          next[j] = s;
+          back[t][j] = i;
+        }
+      }
+      next[j] += safe_log(emissions[t](j));
+    }
+    score = std::move(next);
+  }
+  std::vector<std::size_t> path(emissions.size());
+  path.back() = static_cast<std::size_t>(
+      std::max_element(score.begin(), score.end()) - score.begin());
+  for (std::size_t t = emissions.size() - 1; t > 0; --t) {
+    path[t - 1] = back[t][path[t]];
+  }
+  return path;
+}
+
+SecondOrderHmm::SecondOrderHmm(
+    std::size_t num_states,
+    std::function<double(std::size_t, std::size_t, std::size_t)> transition2)
+    : n_(num_states), transition2_(std::move(transition2)) {
+  if (n_ == 0) throw std::invalid_argument("SecondOrderHmm: zero states");
+  reset_uniform();
+}
+
+void SecondOrderHmm::reset_uniform() {
+  belief_.assign(n_ * n_, 1.0 / static_cast<double>(n_ * n_));
+}
+
+void SecondOrderHmm::step(const std::function<double(std::size_t)>& emission) {
+  std::vector<double> next(n_ * n_, 0.0);
+  for (std::size_t p = 0; p < n_; ++p) {
+    for (std::size_t c = 0; c < n_; ++c) {
+      const double b = belief_[p * n_ + c];
+      if (b <= 0.0) continue;
+      for (std::size_t x = 0; x < n_; ++x) {
+        next[c * n_ + x] += b * transition2_(p, c, x);
+      }
+    }
+  }
+  for (std::size_t c = 0; c < n_; ++c) {
+    const double e = emission(c);
+    for (std::size_t p = 0; p < n_; ++p) next[p * n_ + c] *= e;
+  }
+  normalize(next);
+  belief_ = std::move(next);
+}
+
+std::vector<double> SecondOrderHmm::marginal() const {
+  std::vector<double> m(n_, 0.0);
+  for (std::size_t p = 0; p < n_; ++p) {
+    for (std::size_t c = 0; c < n_; ++c) m[c] += belief_[p * n_ + c];
+  }
+  return m;
+}
+
+std::size_t SecondOrderHmm::map_state() const {
+  const std::vector<double> m = marginal();
+  return static_cast<std::size_t>(std::max_element(m.begin(), m.end()) -
+                                  m.begin());
+}
+
+}  // namespace uniloc::filter

@@ -1,0 +1,83 @@
+// Discrete hidden Markov model: forward filtering and Viterbi decoding.
+//
+// UniLoc uses an HMM as the online location predictor whose output feeds
+// the fingerprint-density feature (paper Sec. III-B: "we use a second
+// order HMM, which can provide an acceptable estimation accuracy"). The
+// generic machinery lives here; the second-order location predictor built
+// on top of it is in location_predictor.h.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace uniloc::filter {
+
+class Hmm {
+ public:
+  /// `transition(i, j)` = P(next = j | cur = i); rows need not be
+  /// pre-normalized, the filter normalizes the posterior.
+  /// `num_states` must be > 0.
+  Hmm(std::size_t num_states,
+      std::function<double(std::size_t, std::size_t)> transition);
+
+  std::size_t num_states() const { return n_; }
+
+  /// Reset the belief to a distribution (normalized internally).
+  void set_belief(std::vector<double> belief);
+
+  /// Reset to the uniform distribution.
+  void reset_uniform();
+
+  /// One forward step: belief <- normalize(emission .* (T' * belief)).
+  /// `emission(j)` = P(observation | state j).
+  void step(const std::function<double(std::size_t)>& emission);
+
+  /// Current filtered belief (sums to 1).
+  const std::vector<double>& belief() const { return belief_; }
+
+  /// Index of the most probable current state.
+  std::size_t map_state() const;
+
+  /// Viterbi decoding of an observation sequence given an initial
+  /// distribution; returns the most likely state path.
+  std::vector<std::size_t> viterbi(
+      const std::vector<std::function<double(std::size_t)>>& emissions,
+      const std::vector<double>& initial) const;
+
+ private:
+  std::size_t n_;
+  std::function<double(std::size_t, std::size_t)> transition_;
+  std::vector<double> belief_;
+};
+
+/// Lift a first-order chain over `n` states into the equivalent
+/// second-order chain over n^2 composite states (prev, cur). The composite
+/// transition allows (p,c) -> (c,n) only and scores it with
+/// `transition2(p, c, n)`.
+class SecondOrderHmm {
+ public:
+  SecondOrderHmm(
+      std::size_t num_states,
+      std::function<double(std::size_t, std::size_t, std::size_t)> transition2);
+
+  std::size_t num_states() const { return n_; }
+
+  /// Belief over composite states is maintained internally; observations
+  /// address the *current* primitive state.
+  void reset_uniform();
+  void step(const std::function<double(std::size_t)>& emission);
+
+  /// Marginal belief over the current primitive state.
+  std::vector<double> marginal() const;
+
+  /// Most probable current primitive state.
+  std::size_t map_state() const;
+
+ private:
+  std::size_t n_;
+  std::function<double(std::size_t, std::size_t, std::size_t)> transition2_;
+  std::vector<double> belief_;  ///< size n^2, index = prev * n + cur.
+};
+
+}  // namespace uniloc::filter

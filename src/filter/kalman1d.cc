@@ -1,0 +1,26 @@
+#include "filter/kalman1d.h"
+
+#include <cmath>
+
+namespace uniloc::filter {
+
+Kalman1d::Kalman1d(double initial_estimate, double initial_sd,
+                   double process_sd, double measurement_sd)
+    : x_(initial_estimate),
+      p_(initial_sd * initial_sd),
+      q_(process_sd * process_sd),
+      r_(measurement_sd * measurement_sd) {}
+
+double Kalman1d::update(double measurement) {
+  // Predict: random walk.
+  p_ += q_;
+  // Update.
+  const double k = p_ / (p_ + r_);
+  x_ += k * (measurement - x_);
+  p_ *= (1.0 - k);
+  return x_;
+}
+
+double Kalman1d::sd() const { return std::sqrt(p_); }
+
+}  // namespace uniloc::filter

@@ -1,0 +1,30 @@
+// Scalar Kalman filter (random-walk state model).
+//
+// Used for the online device-heterogeneity RSSI offset calibration
+// (RSSI_A = alpha * RSSI_B + delta, paper Sec. III-B) and for smoothing
+// heading estimates in the IMU front-end.
+#pragma once
+
+namespace uniloc::filter {
+
+class Kalman1d {
+ public:
+  /// `process_sd`: per-step random-walk drift of the hidden state;
+  /// `measurement_sd`: observation noise.
+  Kalman1d(double initial_estimate, double initial_sd, double process_sd,
+           double measurement_sd);
+
+  /// Incorporate one measurement; returns the updated estimate.
+  double update(double measurement);
+
+  double estimate() const { return x_; }
+  double sd() const;
+
+ private:
+  double x_;
+  double p_;  ///< Estimate variance.
+  double q_;  ///< Process variance.
+  double r_;  ///< Measurement variance.
+};
+
+}  // namespace uniloc::filter

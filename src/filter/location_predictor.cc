@@ -1,0 +1,90 @@
+#include "filter/location_predictor.h"
+
+#include <cmath>
+
+#include "stats/gaussian.h"
+
+namespace uniloc::filter {
+
+LocationPredictor::LocationPredictor(Config cfg) : cfg_(cfg) {}
+
+void LocationPredictor::reset() {
+  state_ = State{};
+  cells_.clear();
+  belief_.clear();
+}
+
+void LocationPredictor::observe(geo::Vec2 estimate) {
+  // Build the window around the motion-extrapolated point so the belief
+  // tracks the walker even between observations of mediocre quality.
+  geo::Vec2 center = estimate;
+  geo::Vec2 velocity{0.0, 0.0};
+  if (state_.has_cur && state_.has_prev) {
+    velocity = state_.cur - state_.prev;
+    center = state_.cur + velocity;  // second-order extrapolation
+  } else if (state_.has_cur) {
+    center = state_.cur;
+  }
+
+  const int h = cfg_.half_extent_cells;
+  std::vector<geo::Vec2> cells;
+  cells.reserve(static_cast<std::size_t>(2 * h + 1) *
+                static_cast<std::size_t>(2 * h + 1));
+  for (int iy = -h; iy <= h; ++iy) {
+    for (int ix = -h; ix <= h; ++ix) {
+      cells.push_back({center.x + ix * cfg_.cell_size_m,
+                       center.y + iy * cfg_.cell_size_m});
+    }
+  }
+
+  std::vector<double> belief(cells.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    // Motion prior: a cell is likely if it continues the (prev -> cur)
+    // motion; before two observations exist, the prior is flat.
+    double prior = 1.0;
+    if (state_.has_cur && state_.has_prev) {
+      const geo::Vec2 expected = state_.cur + velocity;
+      const double d = geo::distance(cells[i], expected);
+      prior = stats::normal_pdf(d / cfg_.motion_sd_m);
+    }
+    const double obs = stats::normal_pdf(
+        geo::distance(cells[i], estimate) / cfg_.obs_sd_m);
+    belief[i] = prior * obs;
+    total += belief[i];
+  }
+  if (total > 0.0) {
+    for (double& b : belief) b /= total;
+  } else {
+    const double u = 1.0 / static_cast<double>(belief.size());
+    for (double& b : belief) b = u;
+  }
+  cells_ = std::move(cells);
+  belief_ = std::move(belief);
+
+  // Advance the second-order state with the belief mean.
+  geo::Vec2 mean{};
+  for (std::size_t i = 0; i < cells_.size(); ++i) mean += cells_[i] * belief_[i];
+  state_.prev = state_.cur;
+  state_.has_prev = state_.has_cur;
+  state_.cur = mean;
+  state_.has_cur = true;
+}
+
+std::optional<geo::Vec2> LocationPredictor::predict() const {
+  if (!state_.has_cur) return std::nullopt;
+  return state_.cur;
+}
+
+double LocationPredictor::uncertainty() const {
+  if (belief_.empty()) return 0.0;
+  geo::Vec2 mean{};
+  for (std::size_t i = 0; i < cells_.size(); ++i) mean += cells_[i] * belief_[i];
+  double s = 0.0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    s += geo::distance2(cells_[i], mean) * belief_[i];
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace uniloc::filter

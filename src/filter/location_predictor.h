@@ -1,0 +1,56 @@
+// Online location predictor used for feature computation.
+//
+// The fingerprint-density feature beta1 needs the *user's location* before
+// any scheme has produced this epoch's estimate. During training the true
+// location is known; online, UniLoc predicts it with a second-order HMM
+// over a local grid of candidate cells (paper Sec. III-B). The predictor
+// here maintains a belief over the cells of a small moving window; the
+// second-order transition kernel scores a candidate next cell by how well
+// it continues the motion implied by the previous two cells.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/vec2.h"
+
+namespace uniloc::filter {
+
+class LocationPredictor {
+ public:
+  struct Config {
+    double cell_size_m = 3.0;       ///< Local grid resolution.
+    int half_extent_cells = 4;      ///< Window is (2h+1)^2 cells.
+    double obs_sd_m = 6.0;          ///< Observation likelihood spread.
+    double motion_sd_m = 2.0;       ///< Second-order continuation spread.
+  };
+
+  LocationPredictor() : LocationPredictor(Config{}) {}
+  explicit LocationPredictor(Config cfg);
+
+  /// Feed the latest combined location estimate (observation).
+  void observe(geo::Vec2 estimate);
+
+  /// Predicted current location; empty before the first observation.
+  std::optional<geo::Vec2> predict() const;
+
+  /// Positional uncertainty (RMS spread of the belief), 0 before start.
+  double uncertainty() const;
+
+  void reset();
+
+ private:
+  struct State {
+    geo::Vec2 prev;
+    geo::Vec2 cur;
+    bool has_prev{false};
+    bool has_cur{false};
+  };
+
+  Config cfg_;
+  State state_;
+  std::vector<geo::Vec2> cells_;    ///< Current window cell centers.
+  std::vector<double> belief_;      ///< Belief over cells_.
+};
+
+}  // namespace uniloc::filter

@@ -1,0 +1,129 @@
+#include "filter/particle_filter.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace uniloc::filter {
+
+ParticleFilter::ParticleFilter(std::size_t num_particles, stats::Rng rng)
+    : particles_(num_particles), rng_(rng) {
+  assert(num_particles > 0);
+}
+
+void ParticleFilter::init(geo::Vec2 pos, double heading, double pos_sd,
+                          double heading_sd, double scale_sd) {
+  for (Particle& p : particles_) {
+    p.pos = {pos.x + rng_.normal(0.0, pos_sd), pos.y + rng_.normal(0.0, pos_sd)};
+    p.heading = geo::wrap_angle(heading + rng_.normal(0.0, heading_sd));
+    p.step_scale = std::max(0.5, 1.0 + rng_.normal(0.0, scale_sd));
+    p.weight = 1.0 / static_cast<double>(particles_.size());
+  }
+}
+
+void ParticleFilter::predict(double step_len, double dheading,
+                             double step_len_sd, double heading_sd) {
+  for (Particle& p : particles_) {
+    p.heading = geo::wrap_angle(p.heading + dheading +
+                                rng_.normal(0.0, heading_sd));
+    const double len =
+        std::max(0.0, step_len * p.step_scale + rng_.normal(0.0, step_len_sd));
+    p.pos += geo::Vec2{std::cos(p.heading), std::sin(p.heading)} * len;
+  }
+}
+
+void ParticleFilter::reweight(
+    const std::function<double(const Particle&)>& likelihood) {
+  reweight_indexed(
+      [&likelihood](std::size_t, const Particle& p) { return likelihood(p); });
+}
+
+void ParticleFilter::reweight_indexed(
+    const std::function<double(std::size_t, const Particle&)>& likelihood) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    Particle& p = particles_[i];
+    p.weight *= likelihood(i, p);
+    total += p.weight;
+  }
+  if (total <= 0.0) {
+    // Every particle was killed (e.g. all crossed a wall): reset to uniform
+    // rather than dividing by zero; the caller's map constraints will
+    // re-shape the cloud on subsequent updates.
+    const double w = 1.0 / static_cast<double>(particles_.size());
+    for (Particle& p : particles_) p.weight = w;
+    return;
+  }
+  for (Particle& p : particles_) p.weight /= total;
+}
+
+void ParticleFilter::normalize_weights() {
+  double total = 0.0;
+  for (const Particle& p : particles_) total += p.weight;
+  if (total <= 0.0) {
+    const double w = 1.0 / static_cast<double>(particles_.size());
+    for (Particle& p : particles_) p.weight = w;
+    return;
+  }
+  for (Particle& p : particles_) p.weight /= total;
+}
+
+double ParticleFilter::effective_sample_size() const {
+  double sum2 = 0.0;
+  for (const Particle& p : particles_) sum2 += p.weight * p.weight;
+  return sum2 > 0.0 ? 1.0 / sum2 : 0.0;
+}
+
+void ParticleFilter::resample(double ess_threshold_fraction) {
+  normalize_weights();
+  const double n = static_cast<double>(particles_.size());
+  if (effective_sample_size() >= ess_threshold_fraction * n) return;
+
+  std::vector<Particle> next;
+  next.reserve(particles_.size());
+  const double step = 1.0 / n;
+  double u = rng_.uniform(0.0, step);
+  double cum = particles_[0].weight;
+  std::size_t i = 0;
+  for (std::size_t k = 0; k < particles_.size(); ++k) {
+    while (u > cum && i + 1 < particles_.size()) {
+      ++i;
+      cum += particles_[i].weight;
+    }
+    Particle p = particles_[i];
+    p.weight = step;
+    next.push_back(p);
+    u += step;
+  }
+  particles_ = std::move(next);
+}
+
+geo::Vec2 ParticleFilter::mean() const {
+  geo::Vec2 m;
+  double total = 0.0;
+  for (const Particle& p : particles_) {
+    m += p.pos * p.weight;
+    total += p.weight;
+  }
+  return total > 0.0 ? m / total : geo::Vec2{};
+}
+
+double ParticleFilter::mean_heading() const {
+  double sx = 0.0, sy = 0.0;
+  for (const Particle& p : particles_) {
+    sx += std::cos(p.heading) * p.weight;
+    sy += std::sin(p.heading) * p.weight;
+  }
+  return std::atan2(sy, sx);
+}
+
+double ParticleFilter::spread() const {
+  const geo::Vec2 m = mean();
+  double s = 0.0, total = 0.0;
+  for (const Particle& p : particles_) {
+    s += geo::distance2(p.pos, m) * p.weight;
+    total += p.weight;
+  }
+  return total > 0.0 ? std::sqrt(s / total) : 0.0;
+}
+
+}  // namespace uniloc::filter

@@ -1,0 +1,78 @@
+// Generic 2-D particle filter.
+//
+// Both the motion-based PDR scheme [7] and the Travi-Navi-style fusion
+// scheme [11] maintain ~300 particles that are propagated by the step
+// model, weighted (by map constraints and/or RSSI likelihood) and
+// systematically resampled. The filter is generic over the motion and
+// weighting callbacks so the two schemes share one implementation.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "geo/vec2.h"
+#include "stats/rng.h"
+
+namespace uniloc::filter {
+
+struct Particle {
+  geo::Vec2 pos;
+  double heading{0.0};      ///< Per-particle heading (rad, CCW from +x).
+  double step_scale{1.0};   ///< Per-particle step-length multiplier
+                            ///< (gait personalization, paper Sec. III-B).
+  double weight{1.0};
+};
+
+class ParticleFilter {
+ public:
+  ParticleFilter(std::size_t num_particles, stats::Rng rng);
+
+  /// Initialize all particles at `pos` with heading jitter `heading_sd`,
+  /// position jitter `pos_sd` and step-scale jitter `scale_sd`.
+  void init(geo::Vec2 pos, double heading, double pos_sd, double heading_sd,
+            double scale_sd);
+
+  /// Propagate every particle by one step of nominal length `step_len`
+  /// turned by `dheading` since the last update, with process noise.
+  void predict(double step_len, double dheading, double step_len_sd,
+               double heading_sd);
+
+  /// Multiply each particle's weight by `likelihood(particle)`.
+  /// Weights are renormalized; if all likelihoods are zero the particle
+  /// cloud is left unweighted (uniform) to avoid collapse.
+  void reweight(const std::function<double(const Particle&)>& likelihood);
+
+  /// Like reweight, but the callback also receives the particle's index
+  /// (used to correlate with externally-kept per-particle state such as
+  /// pre-step positions for wall-crossing tests).
+  void reweight_indexed(
+      const std::function<double(std::size_t, const Particle&)>& likelihood);
+
+  /// Systematic resampling. Runs only when the effective sample size
+  /// drops below `ess_threshold_fraction * N` (pass 1.0 to always resample).
+  void resample(double ess_threshold_fraction = 0.5);
+
+  /// Weighted mean position of the cloud.
+  geo::Vec2 mean() const;
+
+  /// Weighted circular-mean heading of the cloud.
+  double mean_heading() const;
+
+  /// Weighted positional spread (RMS distance from the mean).
+  double spread() const;
+
+  /// Effective sample size 1 / sum(w^2) for normalized weights.
+  double effective_sample_size() const;
+
+  const std::vector<Particle>& particles() const { return particles_; }
+  std::vector<Particle>& mutable_particles() { return particles_; }
+  std::size_t size() const { return particles_.size(); }
+
+ private:
+  void normalize_weights();
+
+  std::vector<Particle> particles_;
+  stats::Rng rng_;
+};
+
+}  // namespace uniloc::filter

@@ -1,0 +1,61 @@
+// Axis-aligned bounding box in the local metric frame.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "geo/vec2.h"
+
+namespace uniloc::geo {
+
+struct BBox {
+  Vec2 min{std::numeric_limits<double>::infinity(),
+           std::numeric_limits<double>::infinity()};
+  Vec2 max{-std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity()};
+
+  constexpr BBox() = default;
+  constexpr BBox(Vec2 min_, Vec2 max_) : min(min_), max(max_) {}
+
+  /// True if no point was ever added.
+  constexpr bool empty() const { return min.x > max.x || min.y > max.y; }
+
+  constexpr double width() const { return empty() ? 0.0 : max.x - min.x; }
+  constexpr double height() const { return empty() ? 0.0 : max.y - min.y; }
+  constexpr double area() const { return width() * height(); }
+  constexpr Vec2 center() const {
+    return {(min.x + max.x) / 2.0, (min.y + max.y) / 2.0};
+  }
+
+  /// Grow the box to contain `p`.
+  constexpr void extend(Vec2 p) {
+    min.x = std::min(min.x, p.x);
+    min.y = std::min(min.y, p.y);
+    max.x = std::max(max.x, p.x);
+    max.y = std::max(max.y, p.y);
+  }
+
+  /// Grow the box to contain another box.
+  constexpr void extend(const BBox& o) {
+    if (o.empty()) return;
+    extend(o.min);
+    extend(o.max);
+  }
+
+  /// Grow the box outward by `margin` meters on every side.
+  constexpr BBox inflated(double margin) const {
+    return {{min.x - margin, min.y - margin}, {max.x + margin, max.y + margin}};
+  }
+
+  /// Inclusive containment test.
+  constexpr bool contains(Vec2 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  /// Closest point inside the box to `p`.
+  constexpr Vec2 clamp(Vec2 p) const {
+    return {std::clamp(p.x, min.x, max.x), std::clamp(p.y, min.y, max.y)};
+  }
+};
+
+}  // namespace uniloc::geo

@@ -1,0 +1,39 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace uniloc::geo {
+
+Grid::Grid(const BBox& bounds, double cell_size)
+    : bounds_(bounds), cell_size_(cell_size) {
+  assert(cell_size > 0.0);
+  assert(!bounds.empty());
+  nx_ = std::max(1, static_cast<int>(std::ceil(bounds.width() / cell_size)));
+  ny_ = std::max(1, static_cast<int>(std::ceil(bounds.height() / cell_size)));
+}
+
+CellIndex Grid::cell_of(Vec2 p) const {
+  int ix = static_cast<int>(std::floor((p.x - bounds_.min.x) / cell_size_));
+  int iy = static_cast<int>(std::floor((p.y - bounds_.min.y) / cell_size_));
+  ix = std::clamp(ix, 0, nx_ - 1);
+  iy = std::clamp(iy, 0, ny_ - 1);
+  return {ix, iy};
+}
+
+Vec2 Grid::center(CellIndex c) const {
+  return {bounds_.min.x + (c.ix + 0.5) * cell_size_,
+          bounds_.min.y + (c.iy + 0.5) * cell_size_};
+}
+
+std::vector<Vec2> Grid::all_centers() const {
+  std::vector<Vec2> out;
+  out.reserve(num_cells());
+  for (int iy = 0; iy < ny_; ++iy) {
+    for (int ix = 0; ix < nx_; ++ix) out.push_back(center({ix, iy}));
+  }
+  return out;
+}
+
+}  // namespace uniloc::geo

@@ -1,0 +1,73 @@
+// Uniform 2-D grid over a bounding box.
+//
+// Used to discretize a place into "locations" (the l_1..l_I of the paper's
+// BMA formulation, Eq. 3-4), to histogram particles, and to accumulate
+// posterior mass per cell.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/vec2.h"
+
+namespace uniloc::geo {
+
+struct CellIndex {
+  int ix{0};
+  int iy{0};
+  constexpr bool operator==(const CellIndex&) const = default;
+};
+
+class Grid {
+ public:
+  Grid() = default;
+  /// Cover `bounds` with square cells of side `cell_size` meters.
+  Grid(const BBox& bounds, double cell_size);
+
+  double cell_size() const { return cell_size_; }
+  const BBox& bounds() const { return bounds_; }
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  std::size_t num_cells() const {
+    return static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_);
+  }
+
+  /// Cell containing point `p` (clamped to the grid edge).
+  CellIndex cell_of(Vec2 p) const;
+
+  /// Flat index of a cell (row-major).
+  std::size_t flat(CellIndex c) const {
+    return static_cast<std::size_t>(c.iy) * static_cast<std::size_t>(nx_) +
+           static_cast<std::size_t>(c.ix);
+  }
+
+  /// Flat index of the cell containing `p`.
+  std::size_t flat_of(Vec2 p) const { return flat(cell_of(p)); }
+
+  /// Cell from a flat index.
+  CellIndex unflat(std::size_t i) const {
+    return {static_cast<int>(i % static_cast<std::size_t>(nx_)),
+            static_cast<int>(i / static_cast<std::size_t>(nx_))};
+  }
+
+  /// Center point of a cell.
+  Vec2 center(CellIndex c) const;
+  Vec2 center(std::size_t flat_index) const { return center(unflat(flat_index)); }
+
+  /// True if the index addresses a cell inside the grid.
+  bool valid(CellIndex c) const {
+    return c.ix >= 0 && c.ix < nx_ && c.iy >= 0 && c.iy < ny_;
+  }
+
+  /// Centers of all cells in row-major order.
+  std::vector<Vec2> all_centers() const;
+
+ private:
+  BBox bounds_;
+  double cell_size_{1.0};
+  int nx_{0};
+  int ny_{0};
+};
+
+}  // namespace uniloc::geo

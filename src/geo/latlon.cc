@@ -1,0 +1,39 @@
+#include "geo/latlon.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace uniloc::geo {
+
+namespace {
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+// WGS-84 derived constants for the equirectangular approximation.
+constexpr double kMetersPerDegLat = 110574.0;
+constexpr double kMetersPerDegLonEquator = 111320.0;
+}  // namespace
+
+LocalFrame::LocalFrame(LatLon anchor) : anchor_(anchor) {
+  meters_per_deg_lat_ = kMetersPerDegLat;
+  meters_per_deg_lon_ =
+      kMetersPerDegLonEquator * std::cos(anchor.lat_deg * kDegToRad);
+}
+
+Vec2 LocalFrame::to_local(LatLon g) const {
+  return {(g.lon_deg - anchor_.lon_deg) * meters_per_deg_lon_,
+          (g.lat_deg - anchor_.lat_deg) * meters_per_deg_lat_};
+}
+
+LatLon LocalFrame::to_geo(Vec2 p) const {
+  return {anchor_.lat_deg + p.y / meters_per_deg_lat_,
+          anchor_.lon_deg + p.x / meters_per_deg_lon_};
+}
+
+double geo_distance_m(LatLon a, LatLon b) {
+  const double mean_lat = (a.lat_deg + b.lat_deg) / 2.0 * kDegToRad;
+  const double dx =
+      (a.lon_deg - b.lon_deg) * kMetersPerDegLonEquator * std::cos(mean_lat);
+  const double dy = (a.lat_deg - b.lat_deg) * kMetersPerDegLat;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace uniloc::geo

@@ -1,0 +1,45 @@
+// Geographic coordinates and conversion to the local metric frame.
+//
+// GPS reports latitude/longitude in the geographic coordinate system; the
+// fingerprinting and PDR schemes work in the local map frame. UniLoc
+// converts GPS output to the map frame "by the public digital map
+// information" (paper Sec. IV-B) -- here, an equirectangular local-tangent
+// projection anchored at a reference point, which is accurate to well under
+// a centimeter over campus-sized extents.
+#pragma once
+
+#include "geo/vec2.h"
+
+namespace uniloc::geo {
+
+struct LatLon {
+  double lat_deg{0.0};
+  double lon_deg{0.0};
+  constexpr bool operator==(const LatLon&) const = default;
+};
+
+/// Local tangent-plane frame anchored at a geographic reference point.
+class LocalFrame {
+ public:
+  LocalFrame() = default;
+  explicit LocalFrame(LatLon anchor);
+
+  LatLon anchor() const { return anchor_; }
+
+  /// Geographic -> local metric (x east, y north, meters).
+  Vec2 to_local(LatLon g) const;
+
+  /// Local metric -> geographic.
+  LatLon to_geo(Vec2 p) const;
+
+ private:
+  LatLon anchor_{};
+  double meters_per_deg_lat_{110574.0};
+  double meters_per_deg_lon_{111320.0};
+};
+
+/// Great-circle-free small-extent distance between two geographic points,
+/// using the equirectangular approximation (meters).
+double geo_distance_m(LatLon a, LatLon b);
+
+}  // namespace uniloc::geo

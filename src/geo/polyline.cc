@@ -1,0 +1,97 @@
+#include "geo/polyline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace uniloc::geo {
+
+Polyline::Polyline(std::vector<Vec2> pts) {
+  pts_.reserve(pts.size());
+  for (const Vec2& p : pts) {
+    if (!pts_.empty() && distance2(pts_.back(), p) < 1e-18) continue;
+    pts_.push_back(p);
+    bounds_.extend(p);
+  }
+  cum_.resize(pts_.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < pts_.size(); ++i) {
+    if (i > 0) s += distance(pts_[i - 1], pts_[i]);
+    cum_[i] = s;
+  }
+}
+
+std::size_t Polyline::segment_of(double s) const {
+  assert(pts_.size() >= 2);
+  // First vertex with cum_ > s, minus one; clamp to a valid segment index.
+  auto it = std::upper_bound(cum_.begin(), cum_.end(), s);
+  std::size_t idx = static_cast<std::size_t>(it - cum_.begin());
+  if (idx == 0) return 0;
+  if (idx >= pts_.size()) return pts_.size() - 2;
+  return idx - 1;
+}
+
+Vec2 Polyline::point_at(double s) const {
+  if (pts_.empty()) return {};
+  if (pts_.size() == 1) return pts_[0];
+  s = std::clamp(s, 0.0, length());
+  const std::size_t i = segment_of(s);
+  const double seg_len = cum_[i + 1] - cum_[i];
+  const double t = seg_len > 0.0 ? (s - cum_[i]) / seg_len : 0.0;
+  return lerp(pts_[i], pts_[i + 1], t);
+}
+
+Vec2 Polyline::tangent_at(double s) const {
+  if (pts_.size() < 2) return {1.0, 0.0};
+  s = std::clamp(s, 0.0, length());
+  const std::size_t i = segment_of(s);
+  return (pts_[i + 1] - pts_[i]).normalized();
+}
+
+double Polyline::heading_at(double s) const { return tangent_at(s).angle(); }
+
+Projection Polyline::project(Vec2 p) const {
+  Projection best;
+  best.distance = std::numeric_limits<double>::infinity();
+  if (pts_.empty()) return best;
+  if (pts_.size() == 1) {
+    return {0.0, pts_[0], distance(p, pts_[0]), 0};
+  }
+  for (std::size_t i = 0; i + 1 < pts_.size(); ++i) {
+    const Vec2 a = pts_[i], b = pts_[i + 1];
+    const Vec2 ab = b - a;
+    const double len2 = ab.norm2();
+    double t = len2 > 0.0 ? std::clamp((p - a).dot(ab) / len2, 0.0, 1.0) : 0.0;
+    const Vec2 q = lerp(a, b, t);
+    const double d = distance(p, q);
+    if (d < best.distance) {
+      best.distance = d;
+      best.point = q;
+      best.arclen = cum_[i] + t * std::sqrt(len2);
+      best.segment = i;
+    }
+  }
+  return best;
+}
+
+std::vector<Vec2> Polyline::sample(double spacing) const {
+  std::vector<Vec2> out;
+  if (pts_.empty()) return out;
+  const double L = length();
+  if (L <= 0.0 || spacing <= 0.0) return {pts_.front()};
+  const auto n = static_cast<std::size_t>(std::floor(L / spacing));
+  out.reserve(n + 2);
+  for (std::size_t i = 0; i <= n; ++i) {
+    out.push_back(point_at(static_cast<double>(i) * spacing));
+  }
+  if (distance(out.back(), pts_.back()) > 1e-9) out.push_back(pts_.back());
+  return out;
+}
+
+void Polyline::append(const Polyline& other) {
+  std::vector<Vec2> merged = pts_;
+  merged.insert(merged.end(), other.pts_.begin(), other.pts_.end());
+  *this = Polyline(std::move(merged));
+}
+
+}  // namespace uniloc::geo

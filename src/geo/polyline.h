@@ -1,0 +1,69 @@
+// Polyline with arc-length parametrisation.
+//
+// Walkable paths, corridors and trajectories are all polylines. The class
+// precomputes cumulative arc lengths so that point_at / project run in
+// O(log n).
+#pragma once
+
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/vec2.h"
+
+namespace uniloc::geo {
+
+/// Result of projecting a point onto a polyline.
+struct Projection {
+  double arclen{0.0};    ///< Arc length of the closest point from the start.
+  Vec2 point;            ///< The closest point on the polyline.
+  double distance{0.0};  ///< Euclidean distance from the query point.
+  std::size_t segment{0};  ///< Index of the segment containing the point.
+};
+
+class Polyline {
+ public:
+  Polyline() = default;
+  /// Construct from vertices. Consecutive duplicate vertices are merged.
+  explicit Polyline(std::vector<Vec2> pts);
+
+  const std::vector<Vec2>& points() const { return pts_; }
+  std::size_t size() const { return pts_.size(); }
+  bool empty() const { return pts_.empty(); }
+
+  /// Total arc length in meters.
+  double length() const { return cum_.empty() ? 0.0 : cum_.back(); }
+
+  /// Point at arc length `s` from the start; clamped to [0, length()].
+  Vec2 point_at(double s) const;
+
+  /// Tangent direction (unit vector) at arc length `s`.
+  Vec2 tangent_at(double s) const;
+
+  /// Heading (radians, CCW from +x) at arc length `s`.
+  double heading_at(double s) const;
+
+  /// Closest point on the polyline to `p`.
+  Projection project(Vec2 p) const;
+
+  /// Cumulative arc length of vertex `i`.
+  double arclen_of_vertex(std::size_t i) const { return cum_.at(i); }
+
+  /// Bounding box of all vertices.
+  const BBox& bounds() const { return bounds_; }
+
+  /// Evenly spaced sample points every `spacing` meters (includes both ends).
+  std::vector<Vec2> sample(double spacing) const;
+
+  /// Append another polyline's vertices (joining end to start).
+  void append(const Polyline& other);
+
+ private:
+  /// Index of the segment containing arc length s (binary search).
+  std::size_t segment_of(double s) const;
+
+  std::vector<Vec2> pts_;
+  std::vector<double> cum_;  ///< cum_[i] = arc length from start to vertex i.
+  BBox bounds_;
+};
+
+}  // namespace uniloc::geo

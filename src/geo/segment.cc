@@ -1,0 +1,61 @@
+#include "geo/segment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uniloc::geo {
+
+namespace {
+
+/// Orientation of the triplet (a, b, c): >0 CCW, <0 CW, 0 collinear.
+double orient(Vec2 a, Vec2 b, Vec2 c) { return (b - a).cross(c - a); }
+
+bool on_segment(Vec2 a, Vec2 b, Vec2 p) {
+  return std::min(a.x, b.x) - 1e-12 <= p.x && p.x <= std::max(a.x, b.x) + 1e-12 &&
+         std::min(a.y, b.y) - 1e-12 <= p.y && p.y <= std::max(a.y, b.y) + 1e-12;
+}
+
+}  // namespace
+
+bool segments_intersect(Vec2 p1, Vec2 p2, Vec2 q1, Vec2 q2) {
+  const double o1 = orient(p1, p2, q1);
+  const double o2 = orient(p1, p2, q2);
+  const double o3 = orient(q1, q2, p1);
+  const double o4 = orient(q1, q2, p2);
+  if (((o1 > 0.0) != (o2 > 0.0)) && ((o3 > 0.0) != (o4 > 0.0)) &&
+      o1 != 0.0 && o2 != 0.0 && o3 != 0.0 && o4 != 0.0) {
+    return true;
+  }
+  // Collinear / touching cases.
+  if (o1 == 0.0 && on_segment(p1, p2, q1)) return true;
+  if (o2 == 0.0 && on_segment(p1, p2, q2)) return true;
+  if (o3 == 0.0 && on_segment(q1, q2, p1)) return true;
+  if (o4 == 0.0 && on_segment(q1, q2, p2)) return true;
+  return false;
+}
+
+std::optional<Vec2> segment_intersection(Vec2 p1, Vec2 p2, Vec2 q1, Vec2 q2) {
+  if (!segments_intersect(p1, p2, q1, q2)) return std::nullopt;
+  const Vec2 r = p2 - p1;
+  const Vec2 s = q2 - q1;
+  const double denom = r.cross(s);
+  if (std::fabs(denom) < 1e-15) {
+    // Collinear overlap: return the endpoint that lies on the other
+    // segment.
+    if (on_segment(p1, p2, q1)) return q1;
+    if (on_segment(p1, p2, q2)) return q2;
+    return p1;
+  }
+  const double t = (q1 - p1).cross(s) / denom;
+  return p1 + r * t;
+}
+
+double point_segment_distance(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const double len2 = ab.norm2();
+  if (len2 <= 0.0) return distance(p, a);
+  const double t = std::clamp((p - a).dot(ab) / len2, 0.0, 1.0);
+  return distance(p, a + ab * t);
+}
+
+}  // namespace uniloc::geo

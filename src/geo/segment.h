@@ -1,0 +1,29 @@
+// Line-segment geometry: intersection tests used by the wall-aware
+// particle filter (a particle step that crosses a wall is impossible).
+#pragma once
+
+#include <optional>
+
+#include "geo/vec2.h"
+
+namespace uniloc::geo {
+
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  double length() const { return distance(a, b); }
+  Vec2 midpoint() const { return (a + b) * 0.5; }
+};
+
+/// True if segments [p1,p2] and [q1,q2] intersect (including touching).
+bool segments_intersect(Vec2 p1, Vec2 p2, Vec2 q1, Vec2 q2);
+
+/// Intersection point of the two segments, if any. For collinear overlap
+/// an arbitrary shared point is returned.
+std::optional<Vec2> segment_intersection(Vec2 p1, Vec2 p2, Vec2 q1, Vec2 q2);
+
+/// Distance from point `p` to segment [a,b].
+double point_segment_distance(Vec2 p, Vec2 a, Vec2 b);
+
+}  // namespace uniloc::geo

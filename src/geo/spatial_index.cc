@@ -1,0 +1,148 @@
+#include "geo/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace uniloc::geo {
+
+namespace {
+
+BBox bounds_of(const std::vector<Vec2>& pts) {
+  BBox box;
+  for (const Vec2& p : pts) box.extend(p);
+  if (box.empty()) box = {{0.0, 0.0}, {1.0, 1.0}};
+  return box.inflated(1.0);
+}
+
+}  // namespace
+
+PointIndex::PointIndex(const std::vector<Vec2>& points, double cell_size)
+    : points_(points), grid_(bounds_of(points), std::max(0.1, cell_size)) {
+  buckets_.resize(grid_.num_cells());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    buckets_[grid_.flat_of(points_[i])].push_back(i);
+  }
+}
+
+std::size_t PointIndex::nearest(Vec2 q) const {
+  if (points_.empty()) return 0;
+  // Expand rings of cells around the query until a hit is found, then one
+  // more ring to guarantee correctness (a closer point can sit in the
+  // next ring at diagonal cells).
+  const CellIndex c0 = grid_.cell_of(q);
+  std::size_t best = points_.size();
+  double best_d2 = std::numeric_limits<double>::infinity();
+  const int max_ring = std::max(grid_.nx(), grid_.ny());
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    bool any_cell = false;
+    for (int dy = -ring; dy <= ring; ++dy) {
+      for (int dx = -ring; dx <= ring; ++dx) {
+        if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;
+        const CellIndex c{c0.ix + dx, c0.iy + dy};
+        if (!grid_.valid(c)) continue;
+        any_cell = true;
+        for (std::size_t i : buckets_[grid_.flat(c)]) {
+          const double d2 = distance2(points_[i], q);
+          if (d2 < best_d2) {
+            best_d2 = d2;
+            best = i;
+          }
+        }
+      }
+    }
+    if (best != points_.size() &&
+        static_cast<double>(ring) * grid_.cell_size() >
+            std::sqrt(best_d2) + grid_.cell_size()) {
+      break;  // no closer point can exist beyond this ring
+    }
+    if (!any_cell && ring > 0 && best != points_.size()) break;
+  }
+  return best;
+}
+
+std::vector<std::size_t> PointIndex::within(Vec2 q, double radius) const {
+  std::vector<std::size_t> out;
+  if (points_.empty()) return out;
+  const CellIndex lo = grid_.cell_of({q.x - radius, q.y - radius});
+  const CellIndex hi = grid_.cell_of({q.x + radius, q.y + radius});
+  const double r2 = radius * radius;
+  for (int iy = lo.iy; iy <= hi.iy; ++iy) {
+    for (int ix = lo.ix; ix <= hi.ix; ++ix) {
+      for (std::size_t i : buckets_[grid_.flat({ix, iy})]) {
+        if (distance2(points_[i], q) <= r2) out.push_back(i);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> PointIndex::k_nearest(Vec2 q, std::size_t k) const {
+  if (points_.empty() || k == 0) return {};
+  // Grow the search radius until at least k candidates are inside, then
+  // sort by distance.
+  double radius = grid_.cell_size();
+  std::vector<std::size_t> candidates;
+  // A radius that provably covers every indexed point, even when the
+  // query lies outside the grid bounds.
+  const double cover = std::hypot(grid_.bounds().width(),
+                                  grid_.bounds().height()) +
+                       distance(q, grid_.bounds().center());
+  while (candidates.size() < std::min(k, points_.size()) && radius < cover) {
+    candidates = within(q, radius);
+    radius *= 2.0;
+  }
+  if (candidates.size() < std::min(k, points_.size())) {
+    candidates = within(q, cover);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](std::size_t a, std::size_t b) {
+              return distance2(points_[a], q) < distance2(points_[b], q);
+            });
+  if (candidates.size() > k) candidates.resize(k);
+  return candidates;
+}
+
+SegmentIndex::SegmentIndex(std::vector<Segment> segments, double cell_size)
+    : segments_(std::move(segments)) {
+  BBox box;
+  for (const Segment& s : segments_) {
+    box.extend(s.a);
+    box.extend(s.b);
+  }
+  if (box.empty()) box = {{0.0, 0.0}, {1.0, 1.0}};
+  grid_ = Grid(box.inflated(1.0), std::max(0.1, cell_size));
+  buckets_.resize(grid_.num_cells());
+  // Register each segment in every cell its bounding box touches
+  // (conservative, simple, fine for near-axis-aligned walls).
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const Segment& s = segments_[i];
+    const CellIndex lo = grid_.cell_of({std::min(s.a.x, s.b.x),
+                                        std::min(s.a.y, s.b.y)});
+    const CellIndex hi = grid_.cell_of({std::max(s.a.x, s.b.x),
+                                        std::max(s.a.y, s.b.y)});
+    for (int iy = lo.iy; iy <= hi.iy; ++iy) {
+      for (int ix = lo.ix; ix <= hi.ix; ++ix) {
+        buckets_[grid_.flat({ix, iy})].push_back(i);
+      }
+    }
+  }
+}
+
+bool SegmentIndex::crosses(Vec2 a, Vec2 b) const {
+  if (segments_.empty()) return false;
+  const CellIndex lo = grid_.cell_of({std::min(a.x, b.x), std::min(a.y, b.y)});
+  const CellIndex hi = grid_.cell_of({std::max(a.x, b.x), std::max(a.y, b.y)});
+  for (int iy = lo.iy; iy <= hi.iy; ++iy) {
+    for (int ix = lo.ix; ix <= hi.ix; ++ix) {
+      for (std::size_t i : buckets_[grid_.flat({ix, iy})]) {
+        if (segments_intersect(a, b, segments_[i].a, segments_[i].b)) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace uniloc::geo

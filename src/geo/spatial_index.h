@@ -1,0 +1,63 @@
+// Uniform-grid spatial indexes for points and segments.
+//
+// The hot loops (fusion reweighting against fingerprints, wall-crossing
+// tests for 300 particles, local-density feature queries) are all
+// proximity queries; a bucket grid turns their linear scans into
+// constant-time neighborhood lookups.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/grid.h"
+#include "geo/segment.h"
+#include "geo/vec2.h"
+
+namespace uniloc::geo {
+
+/// Index over a fixed set of points (identified by their insertion index).
+class PointIndex {
+ public:
+  PointIndex() = default;
+  /// `cell_size` should be on the order of the typical query radius.
+  PointIndex(const std::vector<Vec2>& points, double cell_size);
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// Index of the nearest point to `q` (size() when empty).
+  std::size_t nearest(Vec2 q) const;
+
+  /// Indices of all points within `radius` of `q` (unordered).
+  std::vector<std::size_t> within(Vec2 q, double radius) const;
+
+  /// Indices of the k nearest points, ascending by distance.
+  std::vector<std::size_t> k_nearest(Vec2 q, std::size_t k) const;
+
+ private:
+  std::vector<Vec2> points_;
+  Grid grid_;
+  std::vector<std::vector<std::size_t>> buckets_;
+};
+
+/// Index over a fixed set of segments (e.g. walls).
+class SegmentIndex {
+ public:
+  SegmentIndex() = default;
+  SegmentIndex(std::vector<Segment> segments, double cell_size);
+
+  std::size_t size() const { return segments_.size(); }
+  bool empty() const { return segments_.empty(); }
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  /// True if the move a -> b crosses any indexed segment.
+  bool crosses(Vec2 a, Vec2 b) const;
+
+ private:
+  std::vector<Segment> segments_;
+  Grid grid_;
+  std::vector<std::vector<std::size_t>> buckets_;
+};
+
+}  // namespace uniloc::geo

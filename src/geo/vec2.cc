@@ -1,0 +1,17 @@
+#include "geo/vec2.h"
+
+#include <numbers>
+
+namespace uniloc::geo {
+
+double wrap_angle(double a) {
+  constexpr double two_pi = 2.0 * std::numbers::pi;
+  a = std::fmod(a, two_pi);
+  if (a > std::numbers::pi) a -= two_pi;
+  if (a <= -std::numbers::pi) a += two_pi;
+  return a;
+}
+
+double angle_diff(double a, double b) { return wrap_angle(a - b); }
+
+}  // namespace uniloc::geo

@@ -1,0 +1,83 @@
+// 2-D vector / point type used throughout UniLoc.
+//
+// All world coordinates are expressed in a local metric frame (meters,
+// x east, y north). Conversions to/from geographic coordinates live in
+// latlon.h.
+#pragma once
+
+#include <cmath>
+
+namespace uniloc::geo {
+
+struct Vec2 {
+  double x{0.0};
+  double y{0.0};
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  /// Dot product.
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// Z component of the 3-D cross product (signed parallelogram area).
+  constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+  /// Squared Euclidean norm.
+  constexpr double norm2() const { return x * x + y * y; }
+  /// Euclidean norm.
+  double norm() const { return std::sqrt(norm2()); }
+  /// Unit vector in the same direction; returns {0,0} for the zero vector.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  /// Perpendicular vector (rotated +90 degrees counter-clockwise).
+  constexpr Vec2 perp() const { return {-y, x}; }
+  /// Heading of this vector in radians, measured counter-clockwise from +x.
+  double angle() const { return std::atan2(y, x); }
+  /// Rotate by `rad` radians counter-clockwise.
+  Vec2 rotated(double rad) const {
+    const double c = std::cos(rad), s = std::sin(rad);
+    return {c * x - s * y, s * x + c * y};
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+/// Euclidean distance between two points.
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Squared Euclidean distance between two points.
+constexpr double distance2(Vec2 a, Vec2 b) { return (a - b).norm2(); }
+
+/// Linear interpolation: t=0 -> a, t=1 -> b.
+constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) { return a + (b - a) * t; }
+
+/// Smallest signed difference between two angles, result in (-pi, pi].
+double angle_diff(double a, double b);
+
+/// Wrap an angle into (-pi, pi].
+double wrap_angle(double a);
+
+using Point = Vec2;
+
+}  // namespace uniloc::geo

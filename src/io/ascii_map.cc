@@ -1,0 +1,110 @@
+#include "io/ascii_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uniloc::io {
+
+namespace {
+
+class Raster {
+ public:
+  Raster(const geo::BBox& bounds, int width_chars)
+      : bounds_(bounds),
+        scale_(static_cast<double>(width_chars) /
+               std::max(1.0, bounds.width())),
+        width_(width_chars),
+        // Terminal cells are ~2x taller than wide; halve the row density.
+        height_(std::max(1, static_cast<int>(std::lround(
+                                bounds.height() * scale_ / 2.0)))),
+        cells_(static_cast<std::size_t>(width_ + 1) *
+                   static_cast<std::size_t>(height_ + 1),
+               ' ') {}
+
+  void plot(geo::Vec2 p, char c) {
+    const int x = static_cast<int>((p.x - bounds_.min.x) * scale_);
+    const int y = static_cast<int>((bounds_.max.y - p.y) * scale_ / 2.0);
+    if (x < 0 || x > width_ || y < 0 || y > height_) return;
+    char& cell = cells_[static_cast<std::size_t>(y) *
+                            static_cast<std::size_t>(width_ + 1) +
+                        static_cast<std::size_t>(x)];
+    // Later layers win only over "weaker" glyphs.
+    static const std::string priority = " .#A*To SE";
+    if (priority.find(cell) <= priority.find(c)) cell = c;
+  }
+
+  void plot_line(geo::Vec2 a, geo::Vec2 b, char c) {
+    const double len = geo::distance(a, b);
+    const int steps = std::max(1, static_cast<int>(len * scale_));
+    for (int i = 0; i <= steps; ++i) {
+      plot(geo::lerp(a, b, static_cast<double>(i) / steps), c);
+    }
+  }
+
+  std::string to_string() const {
+    std::string out;
+    out.reserve(cells_.size() + static_cast<std::size_t>(height_ + 1));
+    for (int y = 0; y <= height_; ++y) {
+      std::string row(cells_.begin() +
+                          static_cast<long>(y) * (width_ + 1),
+                      cells_.begin() +
+                          static_cast<long>(y + 1) * (width_ + 1));
+      // Trim trailing spaces.
+      while (!row.empty() && row.back() == ' ') row.pop_back();
+      out += row;
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  geo::BBox bounds_;
+  double scale_;
+  int width_;
+  int height_;
+  std::vector<char> cells_;
+};
+
+}  // namespace
+
+std::string render_ascii_map(const sim::Place& place,
+                             const AsciiMapOptions& opts,
+                             const std::vector<geo::Vec2>& trajectory) {
+  geo::BBox bounds = place.bounds();
+  if (opts.show_towers) {
+    for (const sim::CellTower& t : place.cell_towers()) bounds.extend(t.pos);
+    bounds = bounds.inflated(5.0);
+  }
+  Raster raster(bounds, opts.width_chars);
+
+  for (const sim::Walkway& w : place.walkways()) {
+    const auto& pts = w.line.points();
+    for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+      raster.plot_line(pts[i], pts[i + 1], '.');
+    }
+  }
+  if (opts.show_walls) {
+    for (const geo::Segment& s : place.walls()) {
+      raster.plot_line(s.a, s.b, '#');
+    }
+  }
+  if (opts.show_access_points) {
+    for (const sim::AccessPoint& ap : place.access_points()) {
+      raster.plot(ap.pos, 'A');
+    }
+  }
+  if (opts.show_landmarks) {
+    for (const sim::Landmark& l : place.landmarks()) raster.plot(l.pos, '*');
+  }
+  if (opts.show_towers) {
+    for (const sim::CellTower& t : place.cell_towers()) raster.plot(t.pos, 'T');
+  }
+  for (const geo::Vec2& p : trajectory) raster.plot(p, 'o');
+  if (!trajectory.empty()) {
+    raster.plot(trajectory.front(), 'S');
+    raster.plot(trajectory.back(), 'E');
+  }
+  return raster.to_string();
+}
+
+}  // namespace uniloc::io

@@ -1,0 +1,28 @@
+// ASCII rendering of a venue: walkways, walls, infrastructure, and
+// optionally a trajectory overlay. Handy for eyeballing generated worlds
+// and for documenting experiments in plain text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/vec2.h"
+#include "sim/place.h"
+
+namespace uniloc::io {
+
+struct AsciiMapOptions {
+  int width_chars = 100;   ///< Output raster width.
+  bool show_walls = true;
+  bool show_access_points = true;
+  bool show_landmarks = true;
+  bool show_towers = false;  ///< Towers are usually far outside the frame.
+};
+
+/// Legend:  . walkway   # wall   A access point   * landmark   T tower
+///          o trajectory sample   S trajectory start   E trajectory end
+std::string render_ascii_map(const sim::Place& place,
+                             const AsciiMapOptions& opts = {},
+                             const std::vector<geo::Vec2>& trajectory = {});
+
+}  // namespace uniloc::io

@@ -1,0 +1,54 @@
+#include "io/csv.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace uniloc::io {
+
+namespace {
+std::string quote_if_needed(const std::string& s) {
+  if (s.find(',') == std::string::npos && s.find('"') == std::string::npos) {
+    return s;
+  }
+  std::string q = "\"";
+  for (char ch : s) {
+    if (ch == '"') q += '"';
+    q += ch;
+  }
+  q += '"';
+  return q;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  write_row(header);
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  if (values.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: column count mismatch");
+  }
+  std::ostringstream os;
+  os.precision(12);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os << ',';
+    os << values[i];
+  }
+  out_ << os.str() << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& values) {
+  if (values.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: column count mismatch");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << quote_if_needed(values[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace uniloc::io

@@ -1,0 +1,27 @@
+// Minimal CSV writer for exporting experiment series.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace uniloc::io {
+
+class CsvWriter {
+ public:
+  /// Open `path` for writing and emit the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Write a data row. Values are formatted with max precision.
+  void write_row(const std::vector<double>& values);
+
+  /// Write a row of preformatted strings (quoted if they contain commas).
+  void write_row(const std::vector<std::string>& values);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace uniloc::io

@@ -1,0 +1,39 @@
+// Fixed-width text table printer for bench output.
+//
+// Every bench regenerates one of the paper's tables or figure series; this
+// printer renders them as aligned monospace tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace uniloc::io {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add a row of already-formatted cells. Missing cells render empty.
+  void add_row(std::vector<std::string> cells);
+
+  /// Format a double with `digits` decimals.
+  static std::string num(double v, int digits = 2);
+
+  /// Format a percentage (0.123 -> "12.3%").
+  static std::string pct(double fraction, int digits = 1);
+
+  /// Render to a stream with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Render to a string.
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace uniloc::io

@@ -1,0 +1,73 @@
+#include "offload/payload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace uniloc::offload {
+
+StepPayload StepPayload::encode(double heading_rad, double distance_m) {
+  StepPayload p;
+  const double wrapped = geo::wrap_angle(heading_rad);
+  // (-pi, pi] -> [0, 65535].
+  p.heading_q = static_cast<std::uint16_t>(std::lround(
+      (wrapped + std::numbers::pi) / (2.0 * std::numbers::pi) * 65535.0));
+  const double clamped = std::clamp(distance_m, 0.0, kMaxDistance);
+  p.distance_q = static_cast<std::uint16_t>(
+      std::lround(clamped / kMaxDistance * 65535.0));
+  return p;
+}
+
+double StepPayload::heading() const {
+  return geo::wrap_angle(static_cast<double>(heading_q) / 65535.0 *
+                             (2.0 * std::numbers::pi) -
+                         std::numbers::pi);
+}
+
+double StepPayload::distance() const {
+  return static_cast<double>(distance_q) / 65535.0 * kMaxDistance;
+}
+
+ScanPayload ScanPayload::encode(const std::vector<sim::ApReading>& scan) {
+  ScanPayload p;
+  p.readings.reserve(scan.size());
+  for (const sim::ApReading& r : scan) {
+    sim::ApReading q = r;
+    // 0.5 dB steps from -127.5 dBm, one byte.
+    const double steps =
+        std::clamp(std::round((r.rssi_dbm + 127.5) * 2.0), 0.0, 255.0);
+    q.rssi_dbm = steps / 2.0 - 127.5;
+    p.readings.push_back(q);
+  }
+  return p;
+}
+
+GpsPayload GpsPayload::encode(const sim::GpsFix& fix) {
+  GpsPayload p;
+  // 1e-7 degree fixed point.
+  p.pos.lat_deg = std::round(fix.pos.lat_deg * 1e7) / 1e7;
+  p.pos.lon_deg = std::round(fix.pos.lon_deg * 1e7) / 1e7;
+  p.hdop = std::round(fix.hdop * 10.0) / 10.0;  // one decimal
+  p.num_satellites = fix.num_satellites;
+  return p;
+}
+
+std::size_t UplinkFrame::bytes() const {
+  std::size_t total = 0;
+  if (step.has_value()) total += StepPayload::kBytes;
+  if (wifi.has_value()) total += wifi->bytes();
+  if (cell.has_value()) total += cell->bytes();
+  if (gps.has_value()) total += GpsPayload::kBytes;
+  return total;
+}
+
+DownlinkFrame DownlinkFrame::encode(geo::Vec2 p) {
+  DownlinkFrame f;
+  f.position = {std::round(p.x * 100.0) / 100.0,
+                std::round(p.y * 100.0) / 100.0};
+  return f;
+}
+
+geo::Vec2 DownlinkFrame::decoded() const { return position; }
+
+}  // namespace uniloc::offload

@@ -1,0 +1,85 @@
+// Offloading payloads (paper Sec. IV-C).
+//
+// The particle filters are too heavy for the phone ("the updating cannot
+// be accomplished within 0.5 s on Google Nexus 5"), so raw sensing is
+// reduced on the phone and only compact payloads travel to the server:
+//
+//   * the walking-model update -- moving direction + distance since the
+//     last update -- "represented by four bytes and transmitted to the
+//     server every 0.5 s";
+//   * the WiFi / cellular scans (id + RSSI per audible transmitter);
+//   * the GPS coordinate, only when the fix passes the validity gate.
+//
+// This module implements the actual wire encoding with explicit
+// quantization, so the energy/latency models can count real bytes and the
+// tests can bound the quantization error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "schemes/pdr_frontend.h"
+#include "sim/gps_sim.h"
+#include "sim/radio.h"
+
+namespace uniloc::offload {
+
+/// The four-byte walking-model update: heading quantized to 16 bits over
+/// (-pi, pi], displacement quantized to 16 bits over [0, 4) m (sub-mm
+/// resolution -- far below sensing error).
+struct StepPayload {
+  static constexpr double kMaxDistance = 4.0;
+
+  std::uint16_t heading_q{0};
+  std::uint16_t distance_q{0};
+
+  static StepPayload encode(double heading_rad, double distance_m);
+  double heading() const;
+  double distance() const;
+
+  static constexpr std::size_t kBytes = 4;
+};
+
+/// One scan entry on the wire: 2-byte transmitter id + 1-byte RSSI
+/// (0.5 dB steps from -127.5 dBm), 3 bytes per audible transmitter plus a
+/// 2-byte count header.
+struct ScanPayload {
+  std::vector<sim::ApReading> readings;
+
+  static ScanPayload encode(const std::vector<sim::ApReading>& scan);
+  std::size_t bytes() const { return 2 + 3 * readings.size(); }
+};
+
+/// GPS coordinate: two 4-byte fixed-point degrees (1e-7 deg ~ 1 cm) plus
+/// HDOP and satellite count bytes.
+struct GpsPayload {
+  geo::LatLon pos;
+  double hdop{0.0};
+  int num_satellites{0};
+
+  static GpsPayload encode(const sim::GpsFix& fix);
+  static constexpr std::size_t kBytes = 10;
+};
+
+/// Everything one epoch uploads; mirrors what the energy model charges.
+struct UplinkFrame {
+  std::optional<StepPayload> step;
+  std::optional<ScanPayload> wifi;
+  std::optional<ScanPayload> cell;
+  std::optional<GpsPayload> gps;
+
+  std::size_t bytes() const;
+};
+
+/// The server's reply: the fused coordinate (two 4-byte fixed-point map
+/// meters, cm resolution).
+struct DownlinkFrame {
+  geo::Vec2 position;
+
+  static constexpr std::size_t kBytes = 8;
+  static DownlinkFrame encode(geo::Vec2 p);
+  geo::Vec2 decoded() const;
+};
+
+}  // namespace uniloc::offload

@@ -1,0 +1,48 @@
+#include "offload/session.h"
+
+namespace uniloc::offload {
+
+void PhoneAgent::reset(double initial_heading) {
+  frontend_.reset(initial_heading);
+}
+
+UplinkFrame PhoneAgent::reduce(const sim::SensorFrame& frame) {
+  UplinkFrame up;
+  // IMU -> 4-byte walking model (the phone-side computation).
+  const schemes::StepInference inf = frontend_.process(frame.imu);
+  if (inf.steps > 0) {
+    up.step = StepPayload::encode(
+        inf.heading_rad, inf.step_length_m * static_cast<double>(inf.steps));
+  }
+  if (!frame.wifi.empty()) up.wifi = ScanPayload::encode(frame.wifi);
+  if (!frame.cell.empty()) up.cell = ScanPayload::encode(frame.cell);
+  if (frame.gps.has_value()) up.gps = GpsPayload::encode(*frame.gps);
+  return up;
+}
+
+DownlinkFrame ServerAgent::handle(const sim::SensorFrame& frame,
+                                  core::EpochDecision* decision_out) {
+  const core::EpochDecision d = uniloc_->update(frame);
+  if (decision_out != nullptr) *decision_out = d;
+  return DownlinkFrame::encode(d.uniloc2);
+}
+
+TrafficStats run_offloaded_walk(core::Uniloc& uniloc, sim::Walker& walker) {
+  PhoneAgent phone;
+  ServerAgent server(&uniloc);
+  phone.reset(walker.start_heading());
+  uniloc.reset({walker.start_position(), walker.start_heading()});
+
+  TrafficStats stats;
+  while (!walker.done()) {
+    const sim::SensorFrame frame = walker.step(uniloc.gps_enabled());
+    const UplinkFrame up = phone.reduce(frame);
+    stats.uplink_bytes += up.bytes();
+    server.handle(frame);
+    stats.downlink_bytes += DownlinkFrame::kBytes;
+    ++stats.epochs;
+  }
+  return stats;
+}
+
+}  // namespace uniloc::offload

@@ -1,0 +1,63 @@
+// Phone/server offloading session.
+//
+// Wires the pieces together the way the deployed system would run them:
+// the phone side reduces the sensor frame to an UplinkFrame (running the
+// PDR front-end locally, exactly the split of Sec. IV-C); the server side
+// hands the payloads to UniLoc and replies with the fused coordinate.
+// Byte counters on both directions feed the energy and response-time
+// models with measured traffic instead of constants.
+#pragma once
+
+#include <cstddef>
+
+#include "core/uniloc.h"
+#include "offload/payload.h"
+#include "sim/walker.h"
+
+namespace uniloc::offload {
+
+struct TrafficStats {
+  std::size_t uplink_bytes{0};
+  std::size_t downlink_bytes{0};
+  std::size_t epochs{0};
+
+  double uplink_bytes_per_epoch() const {
+    return epochs > 0 ? static_cast<double>(uplink_bytes) /
+                            static_cast<double>(epochs)
+                      : 0.0;
+  }
+};
+
+/// Phone side: reduces raw frames to wire payloads. Owns the PDR
+/// front-end (raw 50 Hz IMU never leaves the device).
+class PhoneAgent {
+ public:
+  PhoneAgent() = default;
+
+  void reset(double initial_heading);
+
+  /// Reduce one sensor frame to its uplink payload.
+  UplinkFrame reduce(const sim::SensorFrame& frame);
+
+ private:
+  schemes::PdrFrontend frontend_;
+};
+
+/// Server side: feeds the frame to UniLoc and encodes the reply.
+/// (UniLoc's schemes consume the full SensorFrame here; the payloads are
+/// the accounting boundary -- see DESIGN.md on this simplification.)
+class ServerAgent {
+ public:
+  explicit ServerAgent(core::Uniloc* uniloc) : uniloc_(uniloc) {}
+
+  DownlinkFrame handle(const sim::SensorFrame& frame,
+                       core::EpochDecision* decision_out = nullptr);
+
+ private:
+  core::Uniloc* uniloc_;
+};
+
+/// Run a full offloaded walk and account the traffic.
+TrafficStats run_offloaded_walk(core::Uniloc& uniloc, sim::Walker& walker);
+
+}  // namespace uniloc::offload

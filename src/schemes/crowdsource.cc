@@ -1,0 +1,31 @@
+#include "schemes/crowdsource.h"
+
+namespace uniloc::schemes {
+
+FingerprintCrowdsourcer::FingerprintCrowdsourcer(FingerprintDatabase* db,
+                                                 Options opts)
+    : db_(db), opts_(opts), counts_(db->size(), 0) {}
+
+bool FingerprintCrowdsourcer::contribute(
+    geo::Vec2 estimated_pos, double position_error_m,
+    const std::vector<sim::ApReading>& scan) {
+  if (db_->empty() || scan.empty() ||
+      position_error_m > opts_.max_position_error_m) {
+    ++rejected_;
+    return false;
+  }
+  const std::size_t idx = db_->nearest_spatial(estimated_pos);
+  const Fingerprint& fp = db_->fingerprints()[idx];
+  if (geo::distance(fp.pos, estimated_pos) > opts_.max_snap_distance_m) {
+    ++rejected_;
+    return false;
+  }
+  for (const sim::ApReading& r : scan) {
+    db_->blend_reading(idx, r.id, r.rssi_dbm, opts_.blend);
+  }
+  ++counts_[idx];
+  ++accepted_;
+  return true;
+}
+
+}  // namespace uniloc::schemes

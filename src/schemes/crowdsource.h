@@ -1,0 +1,63 @@
+// Crowdsourced fingerprint maintenance.
+//
+// The paper's operating assumption (Sec. III-B): "we assume that a RSSI
+// fingerprint database is updated by service providers or crowdsourcing
+// [9], [10]" -- otherwise environmental drift (renovations, seasonal
+// humidity, AP replacement) slowly rots the offline database. This module
+// implements the crowdsourcing half: walks contribute (estimated
+// position, scan) pairs; contributions are binned onto the fingerprint
+// grid and blended into the database with an exponential moving average,
+// gated on the contributor's own position confidence so bad estimates do
+// not poison the map (the Zee/LiFS recipe).
+#pragma once
+
+#include <cstddef>
+
+#include "schemes/fingerprint_db.h"
+
+namespace uniloc::schemes {
+
+class FingerprintCrowdsourcer {
+ public:
+  struct Options {
+    /// Contributions whose reported position confidence (predicted error,
+    /// meters) exceeds this are discarded.
+    double max_position_error_m = 4.0;
+    /// Contributions farther than this from any existing fingerprint are
+    /// discarded (we refresh the map, we do not grow it).
+    double max_snap_distance_m = 4.0;
+    /// EMA blend factor per accepted contribution (new = a*obs + (1-a)*old).
+    double blend = 0.25;
+    /// Minimum accepted contributions for a fingerprint before its
+    /// readings are considered refreshed.
+    std::size_t min_contributions = 2;
+  };
+
+  /// Maintains `db` in place; `db` must outlive the crowdsourcer.
+  FingerprintCrowdsourcer(FingerprintDatabase* db, Options opts);
+  explicit FingerprintCrowdsourcer(FingerprintDatabase* db)
+      : FingerprintCrowdsourcer(db, Options{}) {}
+
+  /// Offer one contribution: the contributor's position estimate, its
+  /// self-assessed error (meters) and the scan taken there.
+  /// Returns true if accepted.
+  bool contribute(geo::Vec2 estimated_pos, double position_error_m,
+                  const std::vector<sim::ApReading>& scan);
+
+  std::size_t accepted() const { return accepted_; }
+  std::size_t rejected() const { return rejected_; }
+
+  /// Contributions accepted per fingerprint index.
+  const std::vector<std::size_t>& contribution_counts() const {
+    return counts_;
+  }
+
+ private:
+  FingerprintDatabase* db_;
+  Options opts_;
+  std::vector<std::size_t> counts_;
+  std::size_t accepted_{0};
+  std::size_t rejected_{0};
+};
+
+}  // namespace uniloc::schemes

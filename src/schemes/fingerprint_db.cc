@@ -1,0 +1,149 @@
+#include "schemes/fingerprint_db.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "stats/rng.h"
+
+namespace uniloc::schemes {
+
+double rssi_distance(const std::vector<sim::ApReading>& scan,
+                     const Fingerprint& fp, double floor_dbm) {
+  if (scan.empty() && fp.rssi.empty()) {
+    return std::numeric_limits<double>::max();
+  }
+  double sum2 = 0.0;
+  std::size_t shared = 0;
+  // Transmitters in the scan.
+  for (const sim::ApReading& r : scan) {
+    const auto it = fp.rssi.find(r.id);
+    const double offline = it != fp.rssi.end() ? it->second : floor_dbm;
+    if (it != fp.rssi.end()) ++shared;
+    const double d = r.rssi_dbm - offline;
+    sum2 += d * d;
+  }
+  // Transmitters only in the fingerprint.
+  for (const auto& [id, offline] : fp.rssi) {
+    const bool in_scan =
+        std::any_of(scan.begin(), scan.end(),
+                    [id = id](const sim::ApReading& r) { return r.id == id; });
+    if (!in_scan) {
+      const double d = offline - floor_dbm;
+      sum2 += d * d;
+    }
+  }
+  if (shared == 0) return std::numeric_limits<double>::max();
+  return std::sqrt(sum2);
+}
+
+FingerprintDatabase FingerprintDatabase::build(
+    const sim::Place& place, const sim::RadioEnvironment& radio, Source source,
+    double indoor_spacing_m, double outdoor_spacing_m, std::uint64_t seed) {
+  FingerprintDatabase db;
+  db.source_ = source;
+  stats::Rng rng(stats::hash_combine(seed, 0xF1DB));
+  for (const sim::Walkway& w : place.walkways()) {
+    for (const sim::PathSegment& seg : w.segments) {
+      const double spacing =
+          sim::is_indoor(seg.type) ? indoor_spacing_m : outdoor_spacing_m;
+      for (double s = seg.start_arclen; s < seg.end_arclen; s += spacing) {
+        const geo::Vec2 pos = w.line.point_at(s);
+        Fingerprint fp;
+        fp.pos = pos;
+        fp.indoor = sim::is_indoor(seg.type);
+        stats::Rng scan_rng = rng.fork(static_cast<std::uint64_t>(s * 100.0));
+        const std::vector<sim::ApReading> scan =
+            source == Source::kWifi ? radio.wifi_scan(pos, scan_rng)
+                                    : radio.cell_scan(pos, scan_rng);
+        for (const sim::ApReading& r : scan) fp.rssi[r.id] = r.rssi_dbm;
+        if (!fp.rssi.empty()) db.fps_.push_back(std::move(fp));
+      }
+    }
+  }
+  db.rebuild_spatial_index();
+  return db;
+}
+
+void FingerprintDatabase::rebuild_spatial_index() {
+  std::vector<geo::Vec2> positions;
+  positions.reserve(fps_.size());
+  for (const Fingerprint& fp : fps_) positions.push_back(fp.pos);
+  spatial_ = geo::PointIndex(positions, /*cell_size=*/6.0);
+}
+
+std::vector<Match> FingerprintDatabase::k_nearest(
+    const std::vector<sim::ApReading>& scan, std::size_t k) const {
+  std::vector<Match> matches;
+  if (scan.empty() || fps_.empty() || k == 0) return matches;
+  matches.reserve(fps_.size());
+  for (std::size_t i = 0; i < fps_.size(); ++i) {
+    const double d = rssi_distance(scan, fps_[i], floor_dbm());
+    if (d < std::numeric_limits<double>::max()) matches.push_back({i, d});
+  }
+  const std::size_t kk = std::min(k, matches.size());
+  std::partial_sort(matches.begin(), matches.begin() + kk, matches.end(),
+                    [](const Match& a, const Match& b) {
+                      return a.distance < b.distance;
+                    });
+  matches.resize(kk);
+  return matches;
+}
+
+std::vector<double> FingerprintDatabase::all_distances(
+    const std::vector<sim::ApReading>& scan) const {
+  std::vector<double> out(fps_.size(), std::numeric_limits<double>::max());
+  for (std::size_t i = 0; i < fps_.size(); ++i) {
+    out[i] = rssi_distance(scan, fps_[i], floor_dbm());
+  }
+  return out;
+}
+
+double FingerprintDatabase::local_density(geo::Vec2 pos, std::size_t k) const {
+  if (fps_.empty()) return std::numeric_limits<double>::max();
+  const std::vector<std::size_t> nn = spatial_.k_nearest(pos, k + 1);
+  // Skip the closest (it may be the query location itself); average the
+  // next k inter-fingerprint gaps.
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 1; i < nn.size(); ++i) {
+    sum += geo::distance(fps_[nn[i]].pos, pos);
+    ++count;
+  }
+  if (count == 0) return geo::distance(fps_[nn[0]].pos, pos);
+  return sum / static_cast<double>(count);
+}
+
+void FingerprintDatabase::blend_reading(std::size_t index, int transmitter_id,
+                                        double rssi_dbm, double alpha) {
+  assert(index < fps_.size());
+  auto [it, inserted] = fps_[index].rssi.try_emplace(transmitter_id, rssi_dbm);
+  if (!inserted) {
+    it->second = alpha * rssi_dbm + (1.0 - alpha) * it->second;
+  }
+}
+
+FingerprintDatabase FingerprintDatabase::downsampled(std::size_t keep_every,
+                                                     std::uint64_t seed) const {
+  FingerprintDatabase db;
+  db.source_ = source_;
+  if (keep_every <= 1) {
+    db.fps_ = fps_;
+    db.rebuild_spatial_index();
+    return db;
+  }
+  const std::size_t phase = stats::splitmix64(seed) % keep_every;
+  for (std::size_t i = 0; i < fps_.size(); ++i) {
+    if (i % keep_every == phase) db.fps_.push_back(fps_[i]);
+  }
+  db.rebuild_spatial_index();
+  return db;
+}
+
+std::size_t FingerprintDatabase::nearest_spatial(geo::Vec2 pos) const {
+  assert(!fps_.empty());
+  return spatial_.nearest(pos);
+}
+
+}  // namespace uniloc::schemes

@@ -1,0 +1,106 @@
+// Offline RSSI fingerprint database (RADAR-style).
+//
+// Fingerprints are collected along the walkways of a place on a fixed
+// spacing (the paper: 1-3 m indoors, ~12 m in open spaces, one sample per
+// audible AP). The database answers:
+//   * nearest / k-nearest fingerprints in RSSI space (the matching core of
+//     RADAR [1] and the cellular scheme [22]),
+//   * local fingerprint spatial density (the beta1 error-model feature),
+//   * per-fingerprint RSSI distances for particle weighting (Travi-Navi).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "geo/spatial_index.h"
+#include "geo/vec2.h"
+#include "sim/place.h"
+#include "sim/radio.h"
+
+namespace uniloc::schemes {
+
+struct Fingerprint {
+  geo::Vec2 pos;
+  std::map<int, double> rssi;  ///< AP/tower id -> RSSI (dBm).
+  bool indoor{true};
+};
+
+/// RSSI distance between an online scan and an offline fingerprint:
+/// Euclidean over the union of transmitters, with missing readings imputed
+/// at `floor_dbm`. Returns a large value when nothing is shared.
+double rssi_distance(const std::vector<sim::ApReading>& scan,
+                     const Fingerprint& fp, double floor_dbm = -95.0);
+
+struct Match {
+  std::size_t index{0};   ///< Fingerprint index.
+  double distance{0.0};   ///< RSSI distance.
+};
+
+class FingerprintDatabase {
+ public:
+  enum class Source { kWifi, kCellular };
+
+  FingerprintDatabase() = default;
+
+  /// Collect fingerprints along every walkway of `place`:
+  /// indoor stretches every `indoor_spacing_m`, outdoor stretches every
+  /// `outdoor_spacing_m`. One scan (single sample per AP, matching the
+  /// paper's collection protocol) is stored per point.
+  static FingerprintDatabase build(const sim::Place& place,
+                                   const sim::RadioEnvironment& radio,
+                                   Source source, double indoor_spacing_m,
+                                   double outdoor_spacing_m,
+                                   std::uint64_t seed);
+
+  const std::vector<Fingerprint>& fingerprints() const { return fps_; }
+  bool empty() const { return fps_.empty(); }
+  std::size_t size() const { return fps_.size(); }
+  Source source() const { return source_; }
+
+  /// Imputation level for transmitters missing from a scan/fingerprint:
+  /// just below the radio's audibility threshold (-95 dBm WiFi, -115 dBm
+  /// cellular -- cellular signals live far below WiFi levels).
+  double floor_dbm() const {
+    return source_ == Source::kWifi ? -95.0 : -115.0;
+  }
+
+  /// k fingerprints with the smallest RSSI distance to `scan`
+  /// (ascending). Empty if the database or the scan is empty.
+  std::vector<Match> k_nearest(const std::vector<sim::ApReading>& scan,
+                               std::size_t k) const;
+
+  /// RSSI distance from `scan` to every fingerprint (index-aligned).
+  std::vector<double> all_distances(
+      const std::vector<sim::ApReading>& scan) const;
+
+  /// beta1 feature: mean distance to the `k` spatially nearest
+  /// fingerprints around `pos` -- large when coverage is sparse.
+  double local_density(geo::Vec2 pos, std::size_t k = 4) const;
+
+  /// Index of the fingerprint spatially closest to `pos`.
+  std::size_t nearest_spatial(geo::Vec2 pos) const;
+
+  /// Blend an observed reading into fingerprint `index` with an
+  /// exponential moving average (new = alpha*obs + (1-alpha)*old); creates
+  /// the transmitter entry if absent. Crowdsourced maintenance uses this
+  /// to keep the offline database fresh (paper Sec. III-B assumption).
+  void blend_reading(std::size_t index, int transmitter_id, double rssi_dbm,
+                     double alpha);
+
+  /// Keep every `keep_every`-th fingerprint (with a seed-derived phase).
+  /// The paper trains the density feature by downsampling the fine-grained
+  /// database to coarser spacings (Sec. III-B).
+  FingerprintDatabase downsampled(std::size_t keep_every,
+                                  std::uint64_t seed = 0) const;
+
+ private:
+  void rebuild_spatial_index();
+
+  std::vector<Fingerprint> fps_;
+  Source source_{Source::kWifi};
+  geo::PointIndex spatial_;  ///< Bucket index over fingerprint positions.
+};
+
+}  // namespace uniloc::schemes

@@ -1,0 +1,66 @@
+#include "schemes/fingerprint_scheme.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace uniloc::schemes {
+
+FingerprintScheme::FingerprintScheme(const FingerprintDatabase* db,
+                                     Options opts)
+    : db_(db), opts_(opts) {}
+
+std::string FingerprintScheme::name() const {
+  return db_->source() == FingerprintDatabase::Source::kWifi ? "WiFi"
+                                                             : "Cellular";
+}
+
+SchemeFamily FingerprintScheme::family() const {
+  return db_->source() == FingerprintDatabase::Source::kWifi
+             ? SchemeFamily::kWifiFingerprint
+             : SchemeFamily::kCellFingerprint;
+}
+
+void FingerprintScheme::reset(const StartCondition&) {
+  if (opts_.calibrate_offset) calibrator_ = OffsetCalibrator();
+}
+
+SchemeOutput FingerprintScheme::update(const sim::SensorFrame& frame) {
+  SchemeOutput out;
+  std::vector<sim::ApReading> scan =
+      db_->source() == FingerprintDatabase::Source::kWifi ? frame.wifi
+                                                          : frame.cell;
+  if (scan.size() < opts_.min_transmitters || db_->empty()) return out;
+  if (opts_.calibrate_offset) {
+    scan = calibrator_.calibrate(std::move(scan), *db_);
+  }
+
+  const std::vector<Match> matches = db_->k_nearest(scan, opts_.top_k);
+  if (matches.empty()) return out;
+
+  out.available = true;
+  out.estimate = db_->fingerprints()[matches[0].index].pos;
+
+  // Softmax posterior over the top-K candidates, relative to the best
+  // distance so the temperature acts on the *gap* between candidates.
+  const double best = matches[0].distance;
+  for (const Match& m : matches) {
+    const double w =
+        std::exp(-(m.distance - best) / opts_.softmax_scale_db);
+    out.posterior.support.push_back({db_->fingerprints()[m.index].pos, w});
+  }
+  out.posterior.normalize();
+
+  // Public observables mirroring what a deployed RADAR exposes.
+  out.observables["num_transmitters"] = static_cast<double>(scan.size());
+  std::vector<double> top3;
+  for (std::size_t i = 0; i < matches.size() && i < 3; ++i) {
+    top3.push_back(matches[i].distance);
+  }
+  out.observables["top_distance"] = best;
+  out.observables["top3_distance_sd"] =
+      top3.size() >= 2 ? stats::stddev(top3) : 0.0;
+  return out;
+}
+
+}  // namespace uniloc::schemes

@@ -1,0 +1,39 @@
+#include "schemes/fusion_scheme.h"
+
+#include <cmath>
+
+#include "stats/gaussian.h"
+
+namespace uniloc::schemes {
+
+FusionScheme::FusionScheme(const sim::Place* place,
+                           const FingerprintDatabase* db, FusionOptions opts)
+    : PdrScheme(place, opts.pdr), db_(db), opts_(opts) {}
+
+void FusionScheme::extra_reweight(const sim::SensorFrame& frame) {
+  if (frame.wifi.empty() || db_->empty()) return;
+
+  const std::vector<Match> candidates =
+      db_->k_nearest(frame.wifi, opts_.rssi_top_k);
+  if (candidates.empty()) return;
+
+  // RSSI likelihood of each candidate, relative to the best match.
+  const double best = candidates[0].distance;
+  std::vector<double> rssi_w(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    rssi_w[i] =
+        std::exp(-(candidates[i].distance - best) / opts_.rssi_scale_db);
+  }
+
+  pf().reweight([&](const filter::Particle& p) {
+    double like = opts_.floor_likelihood;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const geo::Vec2 fp_pos = db_->fingerprints()[candidates[i].index].pos;
+      const double d = geo::distance(p.pos, fp_pos);
+      like += rssi_w[i] * stats::normal_pdf(d / opts_.spatial_sd_m);
+    }
+    return like;
+  });
+}
+
+}  // namespace uniloc::schemes

@@ -1,0 +1,27 @@
+#include "schemes/gps_scheme.h"
+
+namespace uniloc::schemes {
+
+GpsScheme::GpsScheme(geo::LocalFrame frame) : frame_(frame) {}
+
+void GpsScheme::reset(const StartCondition&) {}
+
+SchemeOutput GpsScheme::update(const sim::SensorFrame& frame) {
+  SchemeOutput out;
+  if (!frame.gps.has_value()) return out;  // unavailable
+
+  const geo::Vec2 local = frame_.to_local(frame.gps->pos);
+  out.available = true;
+  out.estimate = local;
+  // The posterior spread reflects the receiver's own confidence (HDOP
+  // scales the nominal accuracy). UERE ~ 5 m is a typical user-equivalent
+  // range error for smartphone receivers.
+  const double sigma = std::max(3.0, 5.0 * frame.gps->hdop + 8.0);
+  out.posterior = Posterior::gaussian(local, sigma);
+  out.observables["hdop"] = frame.gps->hdop;
+  out.observables["num_satellites"] =
+      static_cast<double>(frame.gps->num_satellites);
+  return out;
+}
+
+}  // namespace uniloc::schemes

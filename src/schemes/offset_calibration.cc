@@ -1,0 +1,43 @@
+#include "schemes/offset_calibration.h"
+
+#include <limits>
+
+namespace uniloc::schemes {
+
+OffsetCalibrator::OffsetCalibrator()
+    : kalman_(/*initial_estimate=*/0.0, /*initial_sd=*/6.0,
+              /*process_sd=*/0.05, /*measurement_sd=*/3.0) {}
+
+std::vector<sim::ApReading> OffsetCalibrator::calibrate(
+    std::vector<sim::ApReading> scan, const FingerprintDatabase& db) {
+  if (scan.empty() || db.empty()) return scan;
+
+  // Apply the current correction, then find the best match with the
+  // corrected scan (the match is what anchors the next offset update).
+  std::vector<sim::ApReading> corrected = scan;
+  for (sim::ApReading& r : corrected) r.rssi_dbm += kalman_.estimate();
+
+  const std::vector<Match> nn = db.k_nearest(corrected, 1);
+  if (nn.empty()) return corrected;
+  const Fingerprint& fp = db.fingerprints()[nn[0].index];
+
+  // Mean discrepancy over shared transmitters of the *raw* scan vs the
+  // matched fingerprint: an observation of -delta.
+  double sum = 0.0;
+  int shared = 0;
+  for (const sim::ApReading& r : scan) {
+    const auto it = fp.rssi.find(r.id);
+    if (it == fp.rssi.end()) continue;
+    sum += it->second - r.rssi_dbm;
+    ++shared;
+  }
+  if (shared >= 2) {
+    kalman_.update(sum / shared);
+    // Re-apply the refreshed offset.
+    corrected = scan;
+    for (sim::ApReading& r : corrected) r.rssi_dbm += kalman_.estimate();
+  }
+  return corrected;
+}
+
+}  // namespace uniloc::schemes

@@ -1,0 +1,36 @@
+// Online device-heterogeneity RSSI offset calibration.
+//
+// A phone other than the fingerprinting device reports shifted RSSIs:
+// RSSI_A = alpha * RSSI_B + delta with alpha ~ 1 (paper Sec. III-B,
+// following [38]). The calibrator estimates delta online with a scalar
+// Kalman filter over the per-scan discrepancy between the online scan and
+// its best-matching fingerprint, then corrects subsequent scans. With
+// alpha ~ 1 this additive correction captures most of the offset, which is
+// what Fig. 8d ("w/ calibration") demonstrates.
+#pragma once
+
+#include <vector>
+
+#include "filter/kalman1d.h"
+#include "schemes/fingerprint_db.h"
+
+namespace uniloc::schemes {
+
+class OffsetCalibrator {
+ public:
+  OffsetCalibrator();
+
+  /// Update the offset estimate from one scan and its best fingerprint
+  /// match, then return the corrected scan. A scan with no shared
+  /// transmitters is returned unmodified.
+  std::vector<sim::ApReading> calibrate(std::vector<sim::ApReading> scan,
+                                        const FingerprintDatabase& db);
+
+  /// Current offset estimate (dB added to incoming readings).
+  double offset_db() const { return kalman_.estimate(); }
+
+ private:
+  filter::Kalman1d kalman_;
+};
+
+}  // namespace uniloc::schemes

@@ -1,0 +1,84 @@
+#include "schemes/pdr_frontend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/vec2.h"
+
+namespace uniloc::schemes {
+
+PdrFrontend::PdrFrontend(PdrFrontendOptions opts) : opts_(opts) {}
+
+void PdrFrontend::reset(double initial_heading) {
+  heading_ = initial_heading;
+  heading_init_ = true;
+  prev_epoch_heading_ = initial_heading;
+  last_peak_t_ = -1.0;
+  above_ = false;
+}
+
+StepInference PdrFrontend::process(const std::vector<sim::ImuSample>& imu) {
+  StepInference out;
+  if (imu.empty()) {
+    out.heading_rad = heading_;
+    return out;
+  }
+
+  // --- heading: complementary filter over all samples ------------------
+  double prev_t = imu.front().t;
+  if (!heading_init_) {
+    heading_ = imu.front().mag_heading;
+    heading_init_ = true;
+    prev_epoch_heading_ = heading_;
+  }
+  for (const sim::ImuSample& s : imu) {
+    const double dt = std::max(0.0, s.t - prev_t);
+    prev_t = s.t;
+    heading_ = geo::wrap_angle(heading_ + s.gyro_z * dt);
+    // Pull gently toward the magnetometer; its random error averages out
+    // across the ~25-35 samples of a step.
+    heading_ = geo::wrap_angle(
+        heading_ +
+        (1.0 - opts_.gyro_weight) * geo::angle_diff(s.mag_heading, heading_));
+  }
+
+  // --- step detection: rising-edge peaks with period compensation ------
+  double amax = imu.front().accel_mag, amin = imu.front().accel_mag;
+  int raw_steps = 0;
+  int compensated = 0;
+  for (const sim::ImuSample& s : imu) {
+    amax = std::max(amax, s.accel_mag);
+    amin = std::min(amin, s.accel_mag);
+    const bool now_above = s.accel_mag > opts_.peak_threshold;
+    if (now_above && !above_) {
+      // Rising edge: a candidate step boundary.
+      const double period = last_peak_t_ >= 0.0 ? s.t - last_peak_t_ : -1.0;
+      if (period >= 0.0 && period < opts_.min_step_period_s) {
+        // Too fast to be a real step: trembling-induced false positive --
+        // delete it (do not count, do not advance the period anchor).
+      } else {
+        ++raw_steps;
+        if (period > opts_.max_step_period_s &&
+            period < 2.0 * opts_.max_step_period_s && last_peak_t_ >= 0.0) {
+          // A missed peak in between: false negative -- add one step back.
+          ++compensated;
+        }
+        last_peak_t_ = s.t;
+      }
+    }
+    above_ = now_above;
+  }
+  out.steps = raw_steps + compensated;
+
+  // --- step length: Weinberg estimate from the acceleration envelope ---
+  const double envelope = std::max(0.0, amax - amin);
+  out.step_length_m =
+      out.steps > 0 ? opts_.weinberg_k * std::pow(envelope, 0.25) : 0.0;
+
+  out.heading_rad = heading_;
+  out.dheading_rad = geo::angle_diff(heading_, prev_epoch_heading_);
+  prev_epoch_heading_ = heading_;
+  return out;
+}
+
+}  // namespace uniloc::schemes

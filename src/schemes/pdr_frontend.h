@@ -1,0 +1,63 @@
+// PDR front-end: step and orientation inference from raw 50 Hz IMU data.
+//
+// This is the phone-side pre-processing of the paper's offloading design
+// (Sec. IV-C): raw inertial samples are reduced to a walking model --
+// step count, step length and heading -- and only those few bytes go to
+// the server. It implements:
+//   * peak-based step detection with the paper's compensation mechanism
+//     ("the normal period of one human walking step is from 0.4 s to
+//      0.7 s; if the time duration of one step is less than 0.4 s or
+//      larger than 0.7 s, the system will infer a false positive or false
+//      negative step, and delete or add one step"),
+//   * Weinberg-style step-length estimation from the acceleration
+//     envelope,
+//   * a gyro+magnetometer complementary filter for heading (random
+//     magnetic error averages out over many samples, Sec. III-B).
+#pragma once
+
+#include <vector>
+
+#include "sim/imu_sim.h"
+
+namespace uniloc::schemes {
+
+/// The walking-model update inferred from one epoch of IMU samples
+/// (this is the "four bytes every 0.5 s" payload of the offloading path).
+struct StepInference {
+  int steps{0};             ///< Steps detected this epoch (>= 0).
+  double step_length_m{0.0};///< Estimated length of each step.
+  double heading_rad{0.0};  ///< Filtered heading at the end of the epoch.
+  double dheading_rad{0.0}; ///< Heading change across the epoch.
+};
+
+struct PdrFrontendOptions {
+  double peak_threshold{10.9};     ///< Accel magnitude marking a step peak.
+  double min_step_period_s{0.4};
+  double max_step_period_s{0.7};
+  double weinberg_k{0.47};         ///< Step length = K * (amax-amin)^(1/4).
+  double gyro_weight{0.98};        ///< Complementary-filter gyro share.
+};
+
+class PdrFrontend {
+ public:
+  PdrFrontend() : PdrFrontend(PdrFrontendOptions{}) {}
+  explicit PdrFrontend(PdrFrontendOptions opts);
+
+  /// Initialize the heading filter (known start orientation).
+  void reset(double initial_heading);
+
+  /// Process one epoch of samples.
+  StepInference process(const std::vector<sim::ImuSample>& imu);
+
+  double heading() const { return heading_; }
+
+ private:
+  PdrFrontendOptions opts_;
+  double heading_{0.0};
+  bool heading_init_{false};
+  double prev_epoch_heading_{0.0};
+  double last_peak_t_{-1.0};
+  bool above_{false};
+};
+
+}  // namespace uniloc::schemes

@@ -1,0 +1,110 @@
+#include "schemes/pdr_scheme.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/gaussian.h"
+
+namespace uniloc::schemes {
+
+PdrScheme::PdrScheme(const sim::Place* place, PdrOptions opts)
+    : place_(place),
+      opts_(opts),
+      pf_(opts.num_particles, stats::Rng(opts.seed)) {}
+
+void PdrScheme::reset(const StartCondition& start) {
+  frontend_.reset(start.heading);
+  pf_ = filter::ParticleFilter(opts_.num_particles, stats::Rng(opts_.seed));
+  pf_.init(start.pos, start.heading, /*pos_sd=*/0.8,
+           /*heading_sd=*/0.08, /*scale_sd=*/0.07);
+  dist_since_landmark_ = 0.0;
+  started_ = true;
+}
+
+void PdrScheme::apply_map_constraint() {
+  if (!opts_.use_map || place_ == nullptr) return;
+  pf_.reweight([this](const filter::Particle& p) {
+    const sim::LocalEnvironment env = place_->environment_at(p.pos);
+    const double beyond =
+        std::max(0.0, env.distance_to_walkway - env.corridor_width_m / 2.0);
+    if (beyond <= 0.0) return 1.0;
+    const double z = beyond / opts_.map_slack_m;
+    return std::exp(-0.5 * z * z);
+  });
+}
+
+void PdrScheme::apply_landmarks(const sim::SensorFrame& frame) {
+  if (!opts_.use_landmarks || frame.landmarks.empty()) return;
+  for (const sim::LandmarkObservation& lm : frame.landmarks) {
+    // If the whole cloud has diverged far from the recognized landmark,
+    // reweighting cannot pull it back (every likelihood underflows);
+    // re-anchor the filter at the landmark instead -- the UnLoc-style
+    // hard calibration.
+    double closest = std::numeric_limits<double>::infinity();
+    for (const filter::Particle& p : pf_.particles()) {
+      closest = std::min(closest, geo::distance(p.pos, lm.map_pos));
+    }
+    if (closest > 3.0 * opts_.landmark_sd_m) {
+      const double heading = pf_.mean_heading();
+      pf_.init(lm.map_pos, heading, opts_.landmark_sd_m,
+               /*heading_sd=*/0.15, /*scale_sd=*/0.07);
+    } else {
+      pf_.reweight([&](const filter::Particle& p) {
+        const double d = geo::distance(p.pos, lm.map_pos);
+        return stats::normal_pdf(d / opts_.landmark_sd_m) + 1e-6;
+      });
+    }
+  }
+  dist_since_landmark_ = 0.0;
+}
+
+void PdrScheme::apply_wall_constraint(const std::vector<geo::Vec2>& before) {
+  if (!opts_.use_walls || place_ == nullptr || place_->walls().empty()) {
+    return;
+  }
+  pf_.reweight_indexed([&](std::size_t i, const filter::Particle& p) {
+    return place_->crosses_wall(before[i], p.pos) ? 1e-9 : 1.0;
+  });
+}
+
+void PdrScheme::extra_reweight(const sim::SensorFrame&) {}
+
+SchemeOutput PdrScheme::make_output() const {
+  SchemeOutput out;
+  out.available = started_;
+  if (!started_) return out;
+  out.estimate = pf_.mean();
+  for (const filter::Particle& p : pf_.particles()) {
+    out.posterior.support.push_back({p.pos, p.weight});
+  }
+  out.posterior.normalize();
+  out.observables["dist_since_landmark"] = dist_since_landmark_;
+  out.observables["particle_spread"] = pf_.spread();
+  return out;
+}
+
+SchemeOutput PdrScheme::update(const sim::SensorFrame& frame) {
+  if (!started_) return {};
+
+  const StepInference inf = frontend_.process(frame.imu);
+  std::vector<geo::Vec2> before;
+  if (opts_.use_walls && inf.steps > 0) {
+    before.reserve(pf_.size());
+    for (const filter::Particle& p : pf_.particles()) before.push_back(p.pos);
+  }
+  for (int s = 0; s < inf.steps; ++s) {
+    pf_.predict(inf.step_length_m,
+                inf.dheading_rad / static_cast<double>(inf.steps),
+                opts_.step_len_sd, opts_.heading_sd);
+    dist_since_landmark_ += inf.step_length_m;
+  }
+  if (!before.empty()) apply_wall_constraint(before);
+  apply_map_constraint();
+  extra_reweight(frame);
+  apply_landmarks(frame);
+  pf_.resample();
+  return make_output();
+}
+
+}  // namespace uniloc::schemes

@@ -1,0 +1,101 @@
+// The localization-scheme abstraction.
+//
+// UniLoc treats every scheme as a black box that turns the current
+// SensorFrame into (a) a point estimate, and (b) a posterior
+// P(l = l_i | M_n, s_t) over locations -- the quantity the locally-weighted
+// BMA of Eq. 3 mixes. A scheme that cannot localize this epoch reports
+// available = false and is excluded from the ensemble (its confidence is
+// treated as zero, paper Sec. IV-A).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/vec2.h"
+#include "sim/sensor_frame.h"
+
+namespace uniloc::schemes {
+
+/// Families group schemes by the sensor data they consume; every family
+/// shares one error-model feature set (paper Table I).
+enum class SchemeFamily {
+  kGps,
+  kWifiFingerprint,
+  kCellFingerprint,
+  kMotionPdr,
+  kFusion,
+  kOther,  ///< User-integrated schemes (see examples/custom_scheme.cpp).
+};
+
+const char* family_name(SchemeFamily f);
+
+/// Discrete posterior over candidate locations, kept sparse: only cells
+/// with non-negligible mass are stored. Weights are normalized to sum to 1.
+struct WeightedPoint {
+  geo::Vec2 pos;
+  double weight{0.0};
+};
+
+struct Posterior {
+  std::vector<WeightedPoint> support;
+
+  bool empty() const { return support.empty(); }
+
+  /// Normalize weights in place (no-op on empty support).
+  void normalize();
+
+  /// Posterior expectation E[l] -- what Eq. 4 evaluates per axis.
+  geo::Vec2 mean() const;
+
+  /// RMS distance of support from the mean (posterior spread).
+  double spread() const;
+
+  /// Rasterize onto a grid (cell mass = sum of contained support mass).
+  std::vector<double> to_grid(const geo::Grid& grid) const;
+
+  /// A single-point posterior.
+  static Posterior point(geo::Vec2 p);
+
+  /// Gaussian-kernel posterior around `center` with scale `sigma`,
+  /// sampled on a (2r+1)^2 stencil with spacing sigma/2.
+  static Posterior gaussian(geo::Vec2 center, double sigma, int r = 3);
+};
+
+struct SchemeOutput {
+  bool available{false};
+  geo::Vec2 estimate;        ///< Point estimate in the local map frame.
+  Posterior posterior;       ///< P(l | M_n, s_t); empty if unavailable.
+  /// Scheme-reported auxiliary observables (e.g. GPS "hdop",
+  /// "num_satellites"). These mirror what a real scheme exposes in its
+  /// public output; UniLoc's feature extractors may read them but never
+  /// require scheme internals.
+  std::map<std::string, double> observables;
+};
+
+/// Known starting state for dead-reckoning style schemes (the paper starts
+/// every trace at a known point, as do Travi-Navi and [7]).
+struct StartCondition {
+  geo::Vec2 pos;
+  double heading{0.0};
+};
+
+class LocalizationScheme {
+ public:
+  virtual ~LocalizationScheme() = default;
+
+  virtual std::string name() const = 0;
+  virtual SchemeFamily family() const = 0;
+
+  /// Prepare for a new walk starting at `start`.
+  virtual void reset(const StartCondition& start) = 0;
+
+  /// Consume one epoch of sensor data and localize.
+  virtual SchemeOutput update(const sim::SensorFrame& frame) = 0;
+};
+
+using SchemePtr = std::unique_ptr<LocalizationScheme>;
+
+}  // namespace uniloc::schemes

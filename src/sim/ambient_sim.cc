@@ -1,0 +1,41 @@
+#include "sim/ambient_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uniloc::sim {
+
+AmbientSimulator::AmbientSimulator(AmbientParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+AmbientReading AmbientSimulator::sample(SegmentType env) {
+  AmbientReading r;
+  double lux_mean;
+  double mag_sd_mean;
+  switch (env) {
+    case SegmentType::kOpenSpace:
+      lux_mean = params_.outdoor_day_lux;
+      mag_sd_mean = params_.outdoor_mag_sd;
+      break;
+    case SegmentType::kBasement:
+    case SegmentType::kMallAisle:
+      lux_mean = params_.basement_lux;
+      mag_sd_mean = params_.indoor_mag_sd;
+      break;
+    case SegmentType::kCorridor:
+      // Semi-open corridors get some daylight; the paper still labels them
+      // indoor -- IODetector has to work harder here.
+      lux_mean = params_.indoor_lux * 4.0;
+      mag_sd_mean = params_.indoor_mag_sd * 0.6;
+      break;
+    default:
+      lux_mean = params_.indoor_lux;
+      mag_sd_mean = params_.indoor_mag_sd;
+      break;
+  }
+  r.light_lux = std::max(0.0, lux_mean * (1.0 + rng_.normal(0.0, 0.25)));
+  r.mag_field_sd_ut = std::max(0.0, mag_sd_mean * (1.0 + rng_.normal(0.0, 0.3)));
+  return r;
+}
+
+}  // namespace uniloc::sim

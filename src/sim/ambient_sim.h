@@ -1,0 +1,39 @@
+// Ambient sensors feeding IODetector: light and magnetic-field variance.
+//
+// IODetector [36] classifies indoor vs outdoor from low-power sensors:
+// light intensity (daylight outdoors is orders of magnitude brighter),
+// magnetic-field fluctuation (steel structures indoors) and cellular
+// signal strength. The ambient simulator provides the first two; cellular
+// comes from RadioEnvironment.
+#pragma once
+
+#include "sim/types.h"
+#include "stats/rng.h"
+
+namespace uniloc::sim {
+
+struct AmbientReading {
+  double light_lux{0.0};
+  double mag_field_sd_ut{0.0};  ///< Short-window magnetic fluctuation (uT).
+};
+
+struct AmbientParams {
+  double outdoor_day_lux{12000.0};
+  double indoor_lux{350.0};
+  double basement_lux{120.0};
+  double outdoor_mag_sd{0.8};
+  double indoor_mag_sd{4.5};
+};
+
+class AmbientSimulator {
+ public:
+  AmbientSimulator(AmbientParams params, std::uint64_t seed);
+
+  AmbientReading sample(SegmentType env);
+
+ private:
+  AmbientParams params_;
+  stats::Rng rng_;
+};
+
+}  // namespace uniloc::sim

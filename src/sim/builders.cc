@@ -1,0 +1,410 @@
+#include "sim/builders.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "stats/rng.h"
+
+namespace uniloc::sim {
+
+namespace {
+
+constexpr double deg2rad(double d) { return d * std::numbers::pi / 180.0; }
+
+/// Per-segment-type AP deployment spacing in meters (0 = no APs).
+double ap_spacing(SegmentType t) {
+  switch (t) {
+    case SegmentType::kOffice: return 15.0;
+    case SegmentType::kCorridor: return 22.0;
+    case SegmentType::kBasement: return 0.0;
+    case SegmentType::kCarPark: return 55.0;
+    case SegmentType::kOpenSpace: return 70.0;
+    case SegmentType::kMallAisle: return 14.0;
+  }
+  return 0.0;
+}
+
+geo::LatLon campus_anchor() { return {1.3483, 103.6831}; }  // NTU campus.
+
+}  // namespace
+
+Walkway make_walkway(std::string name, geo::Vec2 start, double heading_deg,
+                     const std::vector<Leg>& legs) {
+  Walkway w;
+  w.name = std::move(name);
+  std::vector<geo::Vec2> pts{start};
+  double heading = deg2rad(heading_deg);
+  double arclen = 0.0;
+  for (const Leg& leg : legs) {
+    const geo::Vec2 dir{std::cos(heading), std::sin(heading)};
+    pts.push_back(pts.back() + dir * leg.length_m);
+    const double seg_start = arclen;
+    arclen += leg.length_m;
+    const double width =
+        leg.width_m > 0.0 ? leg.width_m : default_corridor_width(leg.type);
+    if (!w.segments.empty() && w.segments.back().type == leg.type &&
+        w.segments.back().corridor_width_m == width) {
+      w.segments.back().end_arclen = arclen;
+    } else {
+      w.segments.push_back({leg.type, seg_start, arclen, width});
+    }
+    heading += deg2rad(leg.turn_after_deg);
+  }
+  w.line = geo::Polyline(std::move(pts));
+  return w;
+}
+
+void deploy_access_points(Place& place, std::uint64_t seed) {
+  stats::Rng rng(stats::hash_combine(seed, 0xA9));
+  int next_id = 1;
+  for (const Walkway& w : place.walkways()) {
+    for (const PathSegment& seg : w.segments) {
+      const double spacing = ap_spacing(seg.type);
+      if (spacing <= 0.0) continue;
+      // First AP half a spacing in, then every `spacing` meters, offset
+      // laterally by several meters (APs sit in rooms/on walls, not on the
+      // walking path itself).
+      for (double s = seg.start_arclen + spacing / 2.0; s < seg.end_arclen;
+           s += spacing) {
+        const geo::Vec2 on_path = w.line.point_at(s);
+        const geo::Vec2 lateral = w.line.tangent_at(s).perp();
+        const double off = (rng.chance(0.5) ? 1.0 : -1.0) *
+                           rng.uniform(2.0, seg.type == SegmentType::kOpenSpace
+                                                ? 20.0
+                                                : 6.0);
+        AccessPoint ap;
+        ap.id = next_id++;
+        ap.pos = on_path + lateral * off;
+        // Nobody installs APs in basements; if the lateral offset lands
+        // the AP in a basement-classified spot (adjacent path), flip the
+        // side or skip.
+        if (place.environment_at(ap.pos).type == SegmentType::kBasement) {
+          ap.pos = on_path - lateral * off;
+          if (place.environment_at(ap.pos).type == SegmentType::kBasement) {
+            continue;
+          }
+        }
+        ap.tx_power_dbm = -40.0 + rng.normal(0.0, 2.0);
+        // APs serving open spaces are mounted on building facades and are
+        // attenuated toward the outdoor receiver.
+        ap.indoor = true;
+        place.add_access_point(ap);
+      }
+    }
+  }
+}
+
+void deploy_landmarks(Place& place, std::uint64_t seed) {
+  stats::Rng rng(stats::hash_combine(seed, 0x1A));
+  place.add_turn_landmarks();
+  for (const Walkway& w : place.walkways()) {
+    for (const PathSegment& seg : w.segments) {
+      double spacing = 0.0;
+      LandmarkKind kind = LandmarkKind::kDoor;
+      switch (seg.type) {
+        case SegmentType::kOffice:
+          spacing = 25.0;
+          kind = LandmarkKind::kDoor;
+          break;
+        case SegmentType::kCorridor:
+          spacing = 45.0;
+          kind = LandmarkKind::kWifiSignature;
+          break;
+        case SegmentType::kMallAisle:
+          spacing = 30.0;
+          kind = LandmarkKind::kDoor;
+          break;
+        case SegmentType::kCarPark:
+          spacing = 70.0;
+          kind = LandmarkKind::kWifiSignature;
+          break;
+        default:
+          break;  // basements and open spaces: no calibration opportunities
+      }
+      if (spacing <= 0.0) continue;
+      for (double s = seg.start_arclen + spacing * 0.6; s < seg.end_arclen;
+           s += spacing * rng.uniform(0.85, 1.15)) {
+        place.add_landmark({w.line.point_at(s), kind, 2.0});
+      }
+    }
+  }
+}
+
+Place campus(std::uint64_t seed) {
+  Place place("campus", campus_anchor());
+
+  using T = SegmentType;
+  // Eight daily paths radiating from a common start (Fig. 4). Lengths sum
+  // to ~2.8 km; open-space stretches sum to ~0.8 km.
+  const geo::Vec2 start{0.0, 0.0};
+
+  // Path 1 -- the 320 m daily path of Fig. 2 (96 m outdoor).
+  place.add_walkway(make_walkway(
+      "Path1", start, 0.0,
+      {{T::kOffice, 20, -90}, {T::kOffice, 20, 90}, {T::kOffice, 20, 0},
+       {T::kCorridor, 35, 90}, {T::kCorridor, 30, 0},
+       {T::kBasement, 30, -90}, {T::kBasement, 25, 0},
+       {T::kCarPark, 44, 90},
+       {T::kOpenSpace, 48, -45}, {T::kOpenSpace, 48, 0}}));
+
+  // Path 2 -- 290 m, 60 m outdoor.
+  place.add_walkway(make_walkway(
+      "Path2", start, 90.0,
+      {{T::kOffice, 18, 90}, {T::kOffice, 22, -90}, {T::kOffice, 20, 0},
+       {T::kCorridor, 40, -90}, {T::kCorridor, 45, 90},
+       {T::kOpenSpace, 60, 0},
+       {T::kCorridor, 45, -90}, {T::kOffice, 40, 0}}));
+
+  // Path 3 -- 392 m, 120 m outdoor.
+  place.add_walkway(make_walkway(
+      "Path3", start, 180.0,
+      {{T::kOffice, 25, -90}, {T::kOffice, 25, 0},
+       {T::kCorridor, 50, 90}, {T::kCorridor, 42, 0},
+       {T::kOpenSpace, 60, -45}, {T::kOpenSpace, 60, 0},
+       {T::kCarPark, 50, 90}, {T::kCorridor, 45, -90}, {T::kOffice, 35, 0}}));
+
+  // Path 4 -- 376 m, 90 m outdoor.
+  place.add_walkway(make_walkway(
+      "Path4", start, -90.0,
+      {{T::kOffice, 20, 90}, {T::kOffice, 24, -90},
+       {T::kCorridor, 55, -90}, {T::kCorridor, 47, 90},
+       {T::kBasement, 40, 0},
+       {T::kOpenSpace, 90, 45},
+       {T::kCorridor, 60, -45}, {T::kOffice, 40, 0}}));
+
+  // Path 5 -- 415 m, 150 m outdoor.
+  place.add_walkway(make_walkway(
+      "Path5", start, 45.0,
+      {{T::kOffice, 22, -90}, {T::kOffice, 23, 90},
+       {T::kCorridor, 60, 0},
+       {T::kOpenSpace, 75, 90}, {T::kOpenSpace, 75, -90},
+       {T::kCarPark, 60, 45}, {T::kCorridor, 58, -45}, {T::kOffice, 42, 0}}));
+
+  // Path 6 -- 343 m, 80 m outdoor.
+  place.add_walkway(make_walkway(
+      "Path6", start, 135.0,
+      {{T::kOffice, 25, 90}, {T::kOffice, 20, -90},
+       {T::kCorridor, 48, -90}, {T::kCorridor, 50, 90},
+       {T::kOpenSpace, 80, 0},
+       {T::kBasement, 45, -90}, {T::kOffice, 75, 0}}));
+
+  // Path 7 -- 372 m, 124 m outdoor.
+  place.add_walkway(make_walkway(
+      "Path7", start, -135.0,
+      {{T::kOffice, 24, -90}, {T::kOffice, 24, 90},
+       {T::kCorridor, 52, 90}, {T::kCorridor, 48, -90},
+       {T::kOpenSpace, 62, -45}, {T::kOpenSpace, 62, 45},
+       {T::kCarPark, 56, 0}, {T::kOffice, 44, 0}}));
+
+  // Path 8 -- 290 m, 80 m outdoor.
+  place.add_walkway(make_walkway(
+      "Path8", start, -45.0,
+      {{T::kOffice, 20, 90}, {T::kOffice, 20, 0},
+       {T::kCorridor, 45, -90}, {T::kCorridor, 40, 90},
+       {T::kOpenSpace, 80, -90},
+       {T::kCorridor, 45, 90}, {T::kOffice, 40, 0}}));
+
+  deploy_access_points(place, seed);
+  deploy_landmarks(place, seed);
+
+  // Campus-scale cellular: six towers at irregular ranges, bearings and
+  // powers (a symmetric ring would make path loss identical at equal
+  // radius and manufacture fingerprint collisions across the campus).
+  // Two towers reach basements.
+  const geo::Vec2 c = place.bounds().center();
+  const double base_r = std::max(place.bounds().width(),
+                                 place.bounds().height()) / 2.0;
+  struct TowerSpec {
+    double bearing_deg, extra_r, power_offset_db;
+    bool basement;
+  };
+  const TowerSpec specs[] = {
+      {23.0, 180.0, 0.0, true},   {95.0, 420.0, 4.0, false},
+      {151.0, 260.0, -3.0, false}, {208.0, 550.0, 6.0, true},
+      {266.0, 330.0, -5.0, false}, {331.0, 480.0, 2.0, false},
+  };
+  int tid = 100;
+  for (const TowerSpec& s : specs) {
+    CellTower t;
+    t.id = tid++;
+    const double a = deg2rad(s.bearing_deg);
+    t.pos = c + geo::Vec2{std::cos(a), std::sin(a)} * (base_r + s.extra_r);
+    t.tx_power_dbm += s.power_offset_db;
+    t.basement_reachable = s.basement;
+    place.add_cell_tower(t);
+  }
+  return place;
+}
+
+Place office_place(std::uint64_t seed) {
+  Place place("office", campus_anchor());
+  using T = SegmentType;
+  // 56 x 20 m office floor: serpentine corridor with many turns (the
+  // paper: "the office has more stable wireless signals and narrow
+  // corridors with many turns"). Corridor widths vary leg to leg so the
+  // width feature carries signal during training.
+  place.add_walkway(make_walkway(
+      "office-loop", {2.0, 2.0}, 0.0,
+      {{T::kOffice, 52, 90, 2.0}, {T::kOffice, 8, 90, 3.5},
+       {T::kOffice, 52, -90, 6.0}, {T::kOffice, 8, -90, 3.0},
+       {T::kOffice, 52, 0, 4.5}}));
+  deploy_access_points(place, seed);
+  deploy_landmarks(place, seed);
+  const double radii_o[] = {320.0, 540.0, 410.0, 650.0};
+  const double bearings_o[] = {38.0, 122.0, 231.0, 305.0};
+  for (int i = 0; i < 4; ++i) {
+    CellTower t;
+    t.id = 200 + i;
+    t.pos = geo::Vec2{28.0, 10.0} +
+            geo::Vec2{std::cos(deg2rad(bearings_o[i])),
+                      std::sin(deg2rad(bearings_o[i]))} *
+                radii_o[i];
+    t.tx_power_dbm += (i % 2 == 0 ? 3.0 : -2.0);
+    place.add_cell_tower(t);
+  }
+  return place;
+}
+
+Place open_space_place(std::uint64_t seed) {
+  Place place("open_space", campus_anchor());
+  using T = SegmentType;
+  // Urban open space: long, wide outdoor paths with a single turn.
+  place.add_walkway(make_walkway("plaza-1", {0.0, 0.0}, 0.0,
+                                 {{T::kOpenSpace, 90, 90, 8.0},
+                                  {T::kOpenSpace, 50, -90, 14.0},
+                                  {T::kOpenSpace, 80, 0, 11.0}}));
+  place.add_walkway(make_walkway("plaza-2", {0.0, 20.0}, 0.0,
+                                 {{T::kOpenSpace, 120, -45, 16.0},
+                                  {T::kOpenSpace, 100, 0, 9.0}}));
+  deploy_access_points(place, seed);
+  deploy_landmarks(place, seed);
+  const double radii_p[] = {280.0, 510.0, 390.0, 620.0, 450.0};
+  const double bearings_p[] = {15.0, 98.0, 170.0, 244.0, 322.0};
+  for (int i = 0; i < 5; ++i) {
+    CellTower t;
+    t.id = 300 + i;
+    t.pos = geo::Vec2{80.0, 30.0} +
+            geo::Vec2{std::cos(deg2rad(bearings_p[i])),
+                      std::sin(deg2rad(bearings_p[i]))} *
+                radii_p[i];
+    t.tx_power_dbm += (i - 2) * 2.0;
+    place.add_cell_tower(t);
+  }
+  return place;
+}
+
+Place mall_place(std::uint64_t seed) {
+  Place place("mall", campus_anchor());
+  using T = SegmentType;
+  // One 95 x 27 m mall floor: two long aisles joined by cross aisles.
+  place.add_walkway(make_walkway(
+      "aisles", {2.0, 4.0}, 0.0,
+      {{T::kMallAisle, 90, 90}, {T::kMallAisle, 18, 90},
+       {T::kMallAisle, 90, -90}, {T::kMallAisle, 0.5, 0}}));
+  place.add_walkway(make_walkway("cross-1", {30.0, 4.0}, 90.0,
+                                 {{T::kMallAisle, 18, 0}}));
+  place.add_walkway(make_walkway("cross-2", {60.0, 4.0}, 90.0,
+                                 {{T::kMallAisle, 18, 0}}));
+  deploy_access_points(place, seed);
+  deploy_landmarks(place, seed);
+  // Basement floor: only two towers effectively audible (paper Sec. V-B3).
+  const double radii_m[] = {360.0, 560.0, 430.0, 680.0};
+  const double bearings_m[] = {52.0, 137.0, 228.0, 316.0};
+  for (int i = 0; i < 4; ++i) {
+    CellTower t;
+    t.id = 400 + i;
+    t.pos = geo::Vec2{47.0, 13.0} +
+            geo::Vec2{std::cos(deg2rad(bearings_m[i])),
+                      std::sin(deg2rad(bearings_m[i]))} *
+                radii_m[i];
+    t.tx_power_dbm += (i % 2 == 0 ? -2.0 : 3.0);
+    t.basement_reachable = (i < 2);
+    place.add_cell_tower(t);
+  }
+  return place;
+}
+
+Place campus_b(std::uint64_t seed) {
+  Place place("campus_b", campus_anchor());
+  using T = SegmentType;
+  // Three daily paths with different proportions from the main campus:
+  // longer basements, an L-shaped outdoor plaza, a wide car park.
+  place.add_walkway(make_walkway(
+      "B1", {0.0, 0.0}, 30.0,
+      {{T::kOffice, 30, 90}, {T::kOffice, 18, -90},
+       {T::kBasement, 55, 90}, {T::kBasement, 20, 0},
+       {T::kCorridor, 48, -45},
+       {T::kOpenSpace, 70, 90}, {T::kOpenSpace, 40, 0},
+       {T::kOffice, 35, 0}}));
+  place.add_walkway(make_walkway(
+      "B2", {10.0, -15.0}, -60.0,
+      {{T::kCorridor, 42, -90}, {T::kCorridor, 36, 90},
+       {T::kCarPark, 75, 45},
+       {T::kOpenSpace, 55, -90},
+       {T::kOffice, 48, 0}}));
+  place.add_walkway(make_walkway(
+      "B3", {-12.0, 8.0}, 150.0,
+      {{T::kOffice, 26, -90}, {T::kOffice, 22, 90, 5.0},
+       {T::kCorridor, 58, 90},
+       {T::kBasement, 34, -90},
+       {T::kCorridor, 40, 45}, {T::kOpenSpace, 65, 0}}));
+  deploy_access_points(place, seed);
+  deploy_landmarks(place, seed);
+  const geo::Vec2 c = place.bounds().center();
+  const double radii[] = {240.0, 590.0, 380.0, 700.0, 460.0};
+  const double bearings[] = {41.0, 118.0, 199.0, 262.0, 347.0};
+  for (int i = 0; i < 5; ++i) {
+    CellTower t;
+    t.id = 500 + i;
+    t.pos = c + geo::Vec2{std::cos(deg2rad(bearings[i])),
+                          std::sin(deg2rad(bearings[i]))} *
+                    radii[i];
+    t.tx_power_dbm += (i - 2) * 2.5;
+    t.basement_reachable = (i == 1 || i == 4);
+    place.add_cell_tower(t);
+  }
+  return place;
+}
+
+std::vector<std::size_t> add_random_walkways(Place& place, int count,
+                                             double length_m, SegmentType type,
+                                             std::uint64_t seed) {
+  stats::Rng rng(stats::hash_combine(seed, 0x77A1));
+  const geo::BBox box = place.bounds().inflated(-10.0);
+  std::vector<std::size_t> indices;
+  for (int k = 0; k < count; ++k) {
+    std::vector<geo::Vec2> pts;
+    geo::Vec2 pos{rng.uniform(box.min.x, box.max.x),
+                  rng.uniform(box.min.y, box.max.y)};
+    pts.push_back(pos);
+    double heading = 90.0 * rng.uniform_int(0, 3);
+    double remaining = length_m;
+    while (remaining > 0.0) {
+      const double leg_len = std::min(remaining, rng.uniform(15.0, 40.0));
+      geo::Vec2 end = pos + geo::Vec2{std::cos(deg2rad(heading)),
+                                      std::sin(deg2rad(heading))} *
+                                leg_len;
+      // Turn until the leg stays inside the venue.
+      int guard = 0;
+      while (!box.contains(end) && guard++ < 8) {
+        heading += 90.0;
+        end = pos + geo::Vec2{std::cos(deg2rad(heading)),
+                              std::sin(deg2rad(heading))} *
+                        leg_len;
+      }
+      pts.push_back(end);
+      pos = end;
+      remaining -= leg_len;
+      if (rng.chance(0.6)) heading += rng.chance(0.5) ? 90.0 : -90.0;
+    }
+    Walkway w;
+    w.name = "traj-" + std::to_string(k);
+    w.line = geo::Polyline(std::move(pts));
+    w.segments = {
+        {type, 0.0, w.line.length(), default_corridor_width(type)}};
+    indices.push_back(place.add_walkway(std::move(w)));
+  }
+  return indices;
+}
+
+}  // namespace uniloc::sim

@@ -1,0 +1,67 @@
+// Venue builders: the places of the paper's evaluation.
+//
+//  * campus()          -- eight daily paths (Fig. 4), 2.78 km total with
+//                         ~0.8 km outdoor; Path 1 is the 320 m daily path
+//                         of Fig. 2 (office, corridor, basement, car park,
+//                         open space).
+//  * office_place()    -- the 56 x 20 m office used to train the indoor
+//                         error models (Sec. III-B) and in Fig. 8c.
+//  * open_space_place()-- the urban open space used to train the outdoor
+//                         models and in Fig. 8b.
+//  * mall_place()      -- one 95 x 27 m floor of a shopping mall
+//                         (basement floor: only ~2 cell towers audible),
+//                         Fig. 8a.
+//
+// Builders deterministically deploy WiFi APs, cell towers and PDR
+// landmarks; all randomness is derived from the `seed` argument.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/place.h"
+
+namespace uniloc::sim {
+
+/// One straight stretch of a walkway under construction.
+struct Leg {
+  SegmentType type{SegmentType::kCorridor};
+  double length_m{10.0};
+  double turn_after_deg{0.0};  ///< CCW turn applied after this leg.
+  double width_m{0.0};         ///< Corridor width; 0 = type default.
+};
+
+/// Build a walkway from consecutive legs starting at `start` with initial
+/// heading `heading_deg` (CCW from +x). Consecutive legs of the same type
+/// merge into one PathSegment.
+Walkway make_walkway(std::string name, geo::Vec2 start, double heading_deg,
+                     const std::vector<Leg>& legs);
+
+/// Deploy WiFi APs along every walkway of `place` with per-segment-type
+/// spacing, offset laterally from the path. Deterministic given `seed`.
+void deploy_access_points(Place& place, std::uint64_t seed);
+
+/// Deploy door / signature landmarks along walkways (offices get doors,
+/// corridors get WiFi signatures; basements and open spaces stay bare,
+/// which is what makes PDR drift there).
+void deploy_landmarks(Place& place, std::uint64_t seed);
+
+Place campus(std::uint64_t seed = 42);
+Place office_place(std::uint64_t seed = 42);
+Place open_space_place(std::uint64_t seed = 42);
+Place mall_place(std::uint64_t seed = 42);
+
+/// A second, differently-shaped campus (three paths, other infrastructure
+/// seeds) that no bench trains or tunes on -- the genuinely-unseen "new
+/// place" used in the Table III transfer validation.
+Place campus_b(std::uint64_t seed = 1234);
+
+/// Add `count` random rectilinear walkways of ~`length_m` of type `type`
+/// inside the place's current bounds (the "10 different 300-m
+/// trajectories" of the Fig. 8 venues). Returns indices of new walkways.
+std::vector<std::size_t> add_random_walkways(Place& place, int count,
+                                             double length_m, SegmentType type,
+                                             std::uint64_t seed);
+
+}  // namespace uniloc::sim

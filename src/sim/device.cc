@@ -1,0 +1,20 @@
+#include "sim/device.h"
+
+namespace uniloc::sim {
+
+std::vector<ApReading> DeviceModel::transform(std::vector<ApReading> scan,
+                                              stats::Rng& rng) const {
+  for (ApReading& r : scan) {
+    r.rssi_dbm = rssi_alpha * r.rssi_dbm + rssi_delta_db;
+    if (extra_noise_sd_db > 0.0) {
+      r.rssi_dbm += rng.normal(0.0, extra_noise_sd_db);
+    }
+  }
+  return scan;
+}
+
+DeviceModel nexus_5x() { return {"Nexus5X", 1.0, 0.0, 0.0}; }
+
+DeviceModel lg_g3() { return {"LG-G3", 0.94, -7.5, 1.0}; }
+
+}  // namespace uniloc::sim

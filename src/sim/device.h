@@ -1,0 +1,33 @@
+// Device (phone model) heterogeneity.
+//
+// Two phones observe different RSSI from the same signal; the paper models
+// the relation between devices A and B as RSSI_A = alpha * RSSI_B + delta
+// with alpha close to 1 ([38], Sec. III-B). The fingerprint database is
+// collected with the reference device (Nexus 5X); online experiments with
+// the LG G3 exercise the offset-calibration path (Fig. 8d).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/radio.h"
+
+namespace uniloc::sim {
+
+struct DeviceModel {
+  std::string name{"reference"};
+  double rssi_alpha{1.0};
+  double rssi_delta_db{0.0};
+  double extra_noise_sd_db{0.0};  ///< Chipset-specific measurement noise.
+
+  /// Transform a scan taken by the reference device into what this device
+  /// would report.
+  std::vector<ApReading> transform(std::vector<ApReading> scan,
+                                   stats::Rng& rng) const;
+};
+
+/// The two phones of the paper's evaluation.
+DeviceModel nexus_5x();  ///< Reference device (Qualcomm QCA6174).
+DeviceModel lg_g3();     ///< Heterogeneous device (Broadcom BCM4339).
+
+}  // namespace uniloc::sim

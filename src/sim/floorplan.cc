@@ -1,0 +1,123 @@
+#include "sim/floorplan.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uniloc::sim {
+
+namespace {
+
+/// Emit wall pieces along one side of a straight corridor stretch,
+/// leaving periodic doorway gaps.
+void emit_side(const geo::Polyline& line, double s0, double s1, double offset,
+               const WallOptions& opts, std::vector<geo::Segment>* out) {
+  double cursor = s0;
+  // First door half a spacing in, so walls start with a solid piece.
+  double next_door = s0 + opts.door_spacing_m / 2.0;
+  while (cursor < s1 - 0.05) {
+    const double piece_end = std::min(s1, next_door);
+    if (piece_end - cursor > 0.2) {
+      const geo::Vec2 a =
+          line.point_at(cursor) + line.tangent_at(cursor).perp() * offset;
+      const geo::Vec2 b = line.point_at(piece_end) +
+                          line.tangent_at(piece_end).perp() * offset;
+      out->push_back({a, b});
+    }
+    cursor = piece_end + opts.door_width_m;
+    next_door += opts.door_spacing_m;
+  }
+}
+
+}  // namespace
+
+std::vector<geo::Segment> generate_walls(const Walkway& walkway,
+                                         const WallOptions& opts) {
+  std::vector<geo::Segment> walls;
+  const geo::Polyline& line = walkway.line;
+  for (const PathSegment& seg : walkway.segments) {
+    if (!is_indoor(seg.type)) continue;
+    const double half = seg.corridor_width_m / 2.0;
+    // Junction openings at segment boundaries; split the stretch at
+    // polyline vertices so walls follow corners.
+    const double s_begin = seg.start_arclen + opts.junction_gap_m / 2.0;
+    const double s_end = seg.end_arclen - opts.junction_gap_m / 2.0;
+    if (s_end <= s_begin) continue;
+    // Walk vertex to vertex within [s_begin, s_end]. Corners get a
+    // clearance of half-width + corner_clearance on both sides so the
+    // inside of a turn stays walkable.
+    const double corner_gap = half + opts.corner_clearance_m;
+    double piece_start = s_begin;
+    for (std::size_t v = 0; v + 1 < line.size(); ++v) {
+      const double vs = line.arclen_of_vertex(v + 1);
+      if (vs <= piece_start || piece_start >= s_end) continue;
+      const bool at_line_end = v + 2 >= line.size();
+      const double piece_end =
+          std::min(at_line_end ? vs : vs - corner_gap, s_end);
+      emit_side(line, piece_start, std::max(piece_start, piece_end), half,
+                opts, &walls);
+      emit_side(line, piece_start, std::max(piece_start, piece_end), -half,
+                opts, &walls);
+      piece_start = vs + corner_gap;
+      if (piece_start >= s_end) break;
+    }
+  }
+  // Exclusion zones (shared hubs).
+  if (opts.exclusion_radius_m > 0.0 && !opts.exclusion_centers.empty()) {
+    std::vector<geo::Segment> kept;
+    kept.reserve(walls.size());
+    for (const geo::Segment& w : walls) {
+      bool excluded = false;
+      for (const geo::Vec2& c : opts.exclusion_centers) {
+        if (geo::point_segment_distance(c, w.a, w.b) <
+            opts.exclusion_radius_m) {
+          excluded = true;
+          break;
+        }
+      }
+      if (!excluded) kept.push_back(w);
+    }
+    walls = std::move(kept);
+  }
+  return walls;
+}
+
+void deploy_walls(Place& place, const WallOptions& opts) {
+  // A wall cannot stand inside another corridor: where two walkways
+  // cross, the junction stays open. Drop wall pieces that intrude into a
+  // different walkway's corridor.
+  auto intrudes = [&](const geo::Segment& wall, std::size_t own) {
+    for (std::size_t j = 0; j < place.walkways().size(); ++j) {
+      if (j == own) continue;
+      const Walkway& other = place.walkways()[j];
+      for (const geo::Vec2 probe :
+           {wall.a, wall.midpoint(), wall.b}) {
+        const geo::Projection proj = other.line.project(probe);
+        const PathSegment& seg = other.segment_at(proj.arclen);
+        if (proj.distance < seg.corridor_width_m / 2.0 + 0.5) return true;
+      }
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < place.walkways().size(); ++i) {
+    for (const geo::Segment& s : generate_walls(place.walkways()[i], opts)) {
+      if (!intrudes(s, i)) place.add_wall(s);
+    }
+  }
+}
+
+WallOptions hub_aware_wall_options(const Place& place, double hub_radius_m) {
+  WallOptions opts;
+  opts.exclusion_radius_m = hub_radius_m;
+  for (const Walkway& w : place.walkways()) {
+    if (w.line.empty()) continue;
+    const geo::Vec2 start = w.line.point_at(0.0);
+    bool duplicate = false;
+    for (const geo::Vec2& c : opts.exclusion_centers) {
+      duplicate = duplicate || geo::distance(c, start) < 1.0;
+    }
+    if (!duplicate) opts.exclusion_centers.push_back(start);
+  }
+  return opts;
+}
+
+}  // namespace uniloc::sim

@@ -1,0 +1,47 @@
+// Floor-plan walls.
+//
+// The paper's PDR "uses a particle filter to incorporate the map
+// constraints (e.g., path edges and walls)" [7]. The default PdrScheme
+// constraint is the soft corridor tube (stay near the walkway); this
+// module generates the *physical* version: wall segments flanking every
+// indoor corridor at half the corridor width, with periodic doorway gaps.
+// A particle step that crosses a wall is impossible and is killed -- the
+// stricter constraint of the original system, available via
+// PdrOptions::use_walls and compared in bench/ablation_walls.
+#pragma once
+
+#include <vector>
+
+#include "geo/segment.h"
+#include "sim/place.h"
+
+namespace uniloc::sim {
+
+struct WallOptions {
+  double door_spacing_m = 12.0;  ///< A doorway gap roughly this often.
+  double door_width_m = 1.2;
+  double junction_gap_m = 2.5;   ///< Opening at segment boundaries.
+  /// Extra clearance around corners beyond the corridor half-width, so
+  /// the inside of a turn stays walkable.
+  double corner_clearance_m = 0.8;
+  /// No walls within `exclusion_radius_m` of these points -- used for
+  /// hub areas where several walkways meet (e.g. the campus start hall,
+  /// which all eight daily paths radiate from).
+  std::vector<geo::Vec2> exclusion_centers;
+  double exclusion_radius_m = 0.0;
+};
+
+/// Wall segments flanking the indoor stretches of one walkway.
+std::vector<geo::Segment> generate_walls(const Walkway& walkway,
+                                         const WallOptions& opts = {});
+
+/// Generate and attach walls for every walkway of the place.
+void deploy_walls(Place& place, const WallOptions& opts = {});
+
+/// Wall options with the walkways' shared start points excluded -- the
+/// right default for hub-and-spoke venues like the campus, whose eight
+/// paths all leave the same hall.
+WallOptions hub_aware_wall_options(const Place& place,
+                                   double hub_radius_m = 30.0);
+
+}  // namespace uniloc::sim

@@ -1,0 +1,46 @@
+#include "sim/gps_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace uniloc::sim {
+
+GpsSimulator::GpsSimulator(const geo::LocalFrame& frame, GpsParams params)
+    : frame_(frame), params_(params) {}
+
+std::optional<GpsFix> GpsSimulator::sample(geo::Vec2 true_pos,
+                                           double sky_visibility,
+                                           stats::Rng& rng) const {
+  sky_visibility = std::clamp(sky_visibility, 0.0, 1.0);
+  if (sky_visibility < params_.min_visibility_for_fix) return std::nullopt;
+
+  // Satellite count scales with visible sky; Poisson-ish jitter.
+  const double expected_sats = params_.open_sky_satellites * sky_visibility;
+  const int sats = std::max(
+      0, static_cast<int>(std::lround(expected_sats + rng.normal(0.0, 1.0))));
+  // HDOP degrades as geometry worsens with fewer satellites.
+  const double hdop = params_.open_sky_hdop / std::max(0.05, sky_visibility) +
+                      std::fabs(rng.normal(0.0, 0.3));
+  if (sats <= params_.min_satellites - 1 || hdop >= params_.max_hdop) {
+    return std::nullopt;
+  }
+
+  // Radial error: Gaussian magnitude (truncated at 0), uniform direction.
+  // Partial sky inflates the error roughly inversely with visibility.
+  const double inflate = 1.0 / std::max(0.25, sky_visibility);
+  const double mag =
+      std::max(0.0, rng.normal(params_.open_sky_error_mean_m * inflate,
+                               params_.open_sky_error_sd_m * inflate));
+  const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const geo::Vec2 reported =
+      true_pos + geo::Vec2{std::cos(theta), std::sin(theta)} * mag;
+
+  GpsFix fix;
+  fix.pos = frame_.to_geo(reported);
+  fix.hdop = hdop;
+  fix.num_satellites = sats;
+  return fix;
+}
+
+}  // namespace uniloc::sim

@@ -1,0 +1,55 @@
+// GPS receiver simulator.
+//
+// The paper measured smartphone GPS outdoors: ~10.9 visible satellites,
+// HDOP ~0.9, and a localization error that "follows a Gaussian
+// distribution with a mean of 13.5 m and a deviation of 9.4 m"
+// (Sec. III-B). The simulator reproduces exactly that: outdoors it emits a
+// fix whose radial error is Gaussian(13.5, 9.4) in a uniform direction;
+// under partial sky (car park, corridor edge) satellites drop, HDOP grows
+// and error inflates; with no sky (office interior, basement, mall) there
+// is no fix. A fix is reported only when n_sats > 4 and HDOP < 6 -- the
+// validity gate of [28] the paper adopts.
+#pragma once
+
+#include <optional>
+
+#include "geo/latlon.h"
+#include "geo/vec2.h"
+#include "stats/rng.h"
+
+namespace uniloc::sim {
+
+struct GpsFix {
+  geo::LatLon pos;
+  double hdop{1.0};
+  int num_satellites{0};
+};
+
+struct GpsParams {
+  double open_sky_error_mean_m{13.5};
+  double open_sky_error_sd_m{9.4};
+  double open_sky_satellites{10.9};
+  double open_sky_hdop{0.9};
+  double min_visibility_for_fix{0.18};  ///< Below this no fix at all.
+  int min_satellites{5};                ///< Paper/[28]: need > 4 sats.
+  double max_hdop{6.0};                 ///< Paper/[28]: need HDOP < 6.
+};
+
+class GpsSimulator {
+ public:
+  GpsSimulator(const geo::LocalFrame& frame, GpsParams params = {});
+
+  /// Sample a fix at true position `true_pos` with sky fraction
+  /// `sky_visibility` in [0,1]. Returns nullopt when the receiver cannot
+  /// produce a valid fix.
+  std::optional<GpsFix> sample(geo::Vec2 true_pos, double sky_visibility,
+                               stats::Rng& rng) const;
+
+  const GpsParams& params() const { return params_; }
+
+ private:
+  geo::LocalFrame frame_;
+  GpsParams params_;
+};
+
+}  // namespace uniloc::sim

@@ -1,0 +1,90 @@
+#include "sim/imu_sim.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "geo/vec2.h"
+
+namespace uniloc::sim {
+
+ImuSimulator::ImuSimulator(ImuParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+std::vector<ImuSample> ImuSimulator::step_trace(const GaitProfile& gait,
+                                                double true_heading,
+                                                double true_dheading,
+                                                bool indoor) {
+  const double dt = 1.0 / params_.sample_rate_hz;
+  const auto n = static_cast<std::size_t>(
+      std::max(1.0, std::round(gait.step_period_s / dt)));
+  std::vector<ImuSample> out;
+  out.reserve(n);
+
+  const double start_heading = geo::wrap_angle(true_heading - true_dheading);
+  const double turn_rate = true_dheading / gait.step_period_s;
+  // Advance the persistent magnetic offset (constant within one step).
+  const double rw_sd = indoor ? params_.mag_offset_rw_indoor
+                              : params_.mag_offset_rw_outdoor;
+  mag_offset_ =
+      params_.mag_offset_decay * mag_offset_ + rng_.normal(0.0, rw_sd);
+  const double mag_offset = mag_offset_;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    ImuSample s;
+    s.t = t_;
+    const double phase =
+        static_cast<double>(i) / static_cast<double>(n);  // 0..1 within step
+    // One sinusoidal bump per step plus heel-strike sharpness.
+    double accel = 9.81 + params_.step_peak_amp *
+                              std::sin(phase * std::numbers::pi) *
+                              std::sin(phase * std::numbers::pi);
+    accel += rng_.normal(0.0, params_.accel_noise_sd);
+    // Hand trembling adds spiky jitter that can fool a naive step counter.
+    if (gait.trembling > 0.0 && rng_.chance(0.08 * gait.trembling)) {
+      accel += rng_.normal(0.0, 2.5 * gait.trembling);
+    }
+    s.accel_mag = accel;
+
+    gyro_bias_ += rng_.normal(0.0, params_.gyro_bias_drift_sd);
+    s.gyro_z = turn_rate + gyro_bias_ + rng_.normal(0.0, params_.gyro_noise_sd);
+    if (gait.trembling > 0.0 && rng_.chance(0.05 * gait.trembling)) {
+      s.gyro_z += rng_.normal(0.0, 0.4 * gait.trembling);
+    }
+
+    const double heading_now =
+        geo::wrap_angle(start_heading + true_dheading * phase);
+    s.mag_heading = geo::wrap_angle(heading_now + mag_offset +
+                                    rng_.normal(0.0, params_.mag_noise_sd));
+    out.push_back(s);
+    t_ += dt;
+  }
+  return out;
+}
+
+std::vector<ImuSample> ImuSimulator::idle_trace(double duration_s,
+                                                double true_heading,
+                                                bool indoor) {
+  const double dt = 1.0 / params_.sample_rate_hz;
+  const auto n = static_cast<std::size_t>(std::max(1.0, duration_s / dt));
+  std::vector<ImuSample> out;
+  out.reserve(n);
+  const double rw_sd = indoor ? params_.mag_offset_rw_indoor
+                              : params_.mag_offset_rw_outdoor;
+  mag_offset_ =
+      params_.mag_offset_decay * mag_offset_ + rng_.normal(0.0, rw_sd);
+  const double mag_offset = mag_offset_;
+  for (std::size_t i = 0; i < n; ++i) {
+    ImuSample s;
+    s.t = t_;
+    s.accel_mag = 9.81 + rng_.normal(0.0, params_.accel_noise_sd * 0.5);
+    gyro_bias_ += rng_.normal(0.0, params_.gyro_bias_drift_sd);
+    s.gyro_z = gyro_bias_ + rng_.normal(0.0, params_.gyro_noise_sd);
+    s.mag_heading = geo::wrap_angle(true_heading + mag_offset +
+                                    rng_.normal(0.0, params_.mag_noise_sd));
+    out.push_back(s);
+    t_ += dt;
+  }
+  return out;
+}
+
+}  // namespace uniloc::sim

@@ -1,0 +1,78 @@
+// Inertial sensor (IMU) trace synthesis.
+//
+// The phone samples its inertial sensors at 50 Hz (paper Sec. IV-C). For
+// each walking step the simulator emits an accelerometer-magnitude trace
+// (gravity + a per-step sinusoidal bump + noise + hand-trembling jitters),
+// a gyroscope z-rate trace (true turn rate + bias drift + noise) and a
+// magnetometer heading trace (true heading + hard-iron-ish offset field +
+// noise). The PDR front-end in src/schemes consumes these raw samples to
+// infer step count, step length and orientation -- exactly the pipeline
+// of [7] that the paper implements.
+#pragma once
+
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace uniloc::sim {
+
+struct ImuSample {
+  double t{0.0};             ///< Seconds since walk start.
+  double accel_mag{9.81};    ///< |accelerometer| (m/s^2).
+  double gyro_z{0.0};        ///< Turn rate (rad/s), phone-frame z.
+  double mag_heading{0.0};   ///< Magnetometer heading estimate (rad).
+};
+
+struct ImuParams {
+  double sample_rate_hz{50.0};
+  double accel_noise_sd{0.4};
+  double step_peak_amp{2.2};          ///< Peak accel above gravity per step.
+  double gyro_noise_sd{0.03};
+  double gyro_bias_drift_sd{0.002};   ///< Random-walk bias per sample.
+  double mag_noise_sd{0.12};
+  /// The magnetometer heading carries a slowly-varying offset from nearby
+  /// ferromagnetic structure (an AR(1) random walk across steps). It is
+  /// what makes heading drift *persist*: a zero-mean per-sample error
+  /// would average out in the complementary filter.
+  double mag_offset_rw_indoor{0.08};   ///< Per-step innovation sd (rad).
+  double mag_offset_rw_outdoor{0.03};
+  double mag_offset_decay{0.98};       ///< AR(1) pull toward zero.
+};
+
+/// Per-person gait (paper tests 6 persons aged 20s-50s; step period must
+/// land in the "normal" 0.4-0.7 s band that the compensation mechanism
+/// assumes).
+struct GaitProfile {
+  double step_length_m{0.70};
+  double step_period_s{0.55};
+  double trembling{0.2};  ///< 0 = steady hand; ~1 = heavy trembling.
+};
+
+class ImuSimulator {
+ public:
+  ImuSimulator(ImuParams params, std::uint64_t seed);
+
+  /// Synthesize the samples covering one true step: the walker turned by
+  /// `true_dheading` (rad) during the step and ends at heading
+  /// `true_heading`. `indoor` selects magnetic disturbance level.
+  std::vector<ImuSample> step_trace(const GaitProfile& gait,
+                                    double true_heading, double true_dheading,
+                                    bool indoor);
+
+  /// Synthesize `duration_s` of standing-still samples (no step bump).
+  std::vector<ImuSample> idle_trace(double duration_s, double true_heading,
+                                    bool indoor);
+
+  double gyro_bias() const { return gyro_bias_; }
+  double mag_offset() const { return mag_offset_; }
+  double clock() const { return t_; }
+
+ private:
+  ImuParams params_;
+  stats::Rng rng_;
+  double t_{0.0};
+  double gyro_bias_{0.0};
+  double mag_offset_{0.0};
+};
+
+}  // namespace uniloc::sim

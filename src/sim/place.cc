@@ -1,0 +1,133 @@
+#include "sim/place.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+namespace uniloc::sim {
+
+const PathSegment& Walkway::segment_at(double arclen) const {
+  assert(!segments.empty());
+  for (const PathSegment& s : segments) {
+    if (arclen >= s.start_arclen && arclen <= s.end_arclen) return s;
+  }
+  return arclen < segments.front().start_arclen ? segments.front()
+                                                : segments.back();
+}
+
+double Walkway::length_where(bool (*pred)(SegmentType)) const {
+  double total = 0.0;
+  for (const PathSegment& s : segments) {
+    if (pred(s.type)) total += s.end_arclen - s.start_arclen;
+  }
+  return total;
+}
+
+std::vector<Landmark> Walkway::turn_landmarks(double min_turn_rad) const {
+  std::vector<Landmark> out;
+  const auto& pts = line.points();
+  for (std::size_t i = 1; i + 1 < pts.size(); ++i) {
+    const double h0 = (pts[i] - pts[i - 1]).angle();
+    const double h1 = (pts[i + 1] - pts[i]).angle();
+    if (std::fabs(geo::angle_diff(h1, h0)) >= min_turn_rad) {
+      out.push_back({pts[i], LandmarkKind::kTurn, 2.0});
+    }
+  }
+  return out;
+}
+
+Place::Place(std::string name, geo::LatLon anchor)
+    : name_(std::move(name)), frame_(anchor) {}
+
+std::size_t Place::add_walkway(Walkway w) {
+  if (w.line.size() < 2) throw std::invalid_argument("walkway needs >=2 pts");
+  if (w.segments.empty()) {
+    // Default: one corridor segment covering the whole line.
+    w.segments.push_back({SegmentType::kCorridor, 0.0, w.line.length(),
+                          default_corridor_width(SegmentType::kCorridor)});
+  }
+  walkways_.push_back(std::move(w));
+  return walkways_.size() - 1;
+}
+
+void Place::add_access_point(AccessPoint ap) { aps_.push_back(ap); }
+void Place::add_cell_tower(CellTower t) { towers_.push_back(t); }
+void Place::add_landmark(Landmark l) { landmarks_.push_back(l); }
+void Place::add_wall(geo::Segment wall) {
+  walls_.push_back(wall);
+  wall_index_.reset();  // rebuild lazily on next query
+}
+
+bool Place::crosses_wall(geo::Vec2 a, geo::Vec2 b) const {
+  if (walls_.empty()) return false;
+  if (wall_index_ == nullptr) {
+    wall_index_ =
+        std::make_shared<const geo::SegmentIndex>(walls_, /*cell_size=*/8.0);
+  }
+  return wall_index_->crosses(a, b);
+}
+
+void Place::add_turn_landmarks(double min_turn_rad) {
+  for (const Walkway& w : walkways_) {
+    for (const Landmark& l : w.turn_landmarks(min_turn_rad)) {
+      // Outdoor turns are not usable landmarks: "it is hard to find
+      // sufficient signatures outdoors" (paper Sec. V-B2) -- open spaces
+      // have no walls or doorways to disambiguate a heading change.
+      const geo::Projection proj = w.line.project(l.pos);
+      if (!is_indoor(w.segment_at(proj.arclen).type)) continue;
+      landmarks_.push_back(l);
+    }
+  }
+}
+
+geo::BBox Place::bounds() const {
+  geo::BBox box;
+  for (const Walkway& w : walkways_) box.extend(w.line.bounds());
+  return box.inflated(10.0);
+}
+
+LocalEnvironment Place::environment_at(geo::Vec2 p) const {
+  LocalEnvironment env;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < walkways_.size(); ++i) {
+    const geo::Projection proj = walkways_[i].line.project(p);
+    if (proj.distance < best) {
+      best = proj.distance;
+      const PathSegment& seg = walkways_[i].segment_at(proj.arclen);
+      env.type = seg.type;
+      env.corridor_width_m = seg.corridor_width_m;
+      env.indoor = is_indoor(seg.type);
+      env.sky_visibility = sim::sky_visibility(seg.type);
+      env.walkway = i;
+      env.arclen = proj.arclen;
+      env.distance_to_walkway = proj.distance;
+    }
+  }
+  // A point far off every walkway is treated as outdoors.
+  if (best > 25.0) {
+    env.type = SegmentType::kOpenSpace;
+    env.corridor_width_m = default_corridor_width(SegmentType::kOpenSpace);
+    env.indoor = false;
+    env.sky_visibility = 1.0;
+  }
+  return env;
+}
+
+std::vector<const Landmark*> Place::landmarks_near(geo::Vec2 p,
+                                                   double radius) const {
+  std::vector<const Landmark*> out;
+  for (const Landmark& l : landmarks_) {
+    if (geo::distance(l.pos, p) <= radius) out.push_back(&l);
+  }
+  return out;
+}
+
+double Place::total_walkway_length() const {
+  double total = 0.0;
+  for (const Walkway& w : walkways_) total += w.line.length();
+  return total;
+}
+
+}  // namespace uniloc::sim

@@ -1,0 +1,104 @@
+// Place: a named venue with walkable paths, radio infrastructure and
+// landmarks -- the world every experiment runs in.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/spatial_index.h"
+#include "geo/latlon.h"
+#include "geo/polyline.h"
+#include "geo/segment.h"
+#include "geo/vec2.h"
+#include "sim/types.h"
+
+namespace uniloc::sim {
+
+/// One named walkable route through a place (e.g. "Path 1" of Fig. 4),
+/// a polyline annotated with typed segments by arc length.
+struct Walkway {
+  std::string name;
+  geo::Polyline line;
+  std::vector<PathSegment> segments;  ///< Ordered, covering [0, length].
+
+  /// Segment attributes at arc length s (clamped).
+  const PathSegment& segment_at(double arclen) const;
+
+  /// Total length of stretches satisfying a predicate.
+  double length_where(bool (*pred)(SegmentType)) const;
+
+  /// Landmarks implied by geometry: one kTurn at every vertex whose
+  /// direction change exceeds `min_turn_rad`.
+  std::vector<Landmark> turn_landmarks(double min_turn_rad = 0.5) const;
+};
+
+/// Attributes of the environment at a point (resolved via the nearest
+/// walkway; points far from all walkways resolve to open space).
+struct LocalEnvironment {
+  SegmentType type{SegmentType::kOpenSpace};
+  double corridor_width_m{12.0};
+  bool indoor{false};
+  double sky_visibility{1.0};
+  std::size_t walkway{0};
+  double arclen{0.0};
+  double distance_to_walkway{0.0};
+};
+
+class Place {
+ public:
+  Place(std::string name, geo::LatLon anchor);
+
+  const std::string& name() const { return name_; }
+  const geo::LocalFrame& frame() const { return frame_; }
+
+  /// --- construction -------------------------------------------------
+  /// Add a walkway; returns its index.
+  std::size_t add_walkway(Walkway w);
+  void add_access_point(AccessPoint ap);
+  void add_cell_tower(CellTower t);
+  void add_landmark(Landmark l);
+  void add_wall(geo::Segment wall);
+
+  /// Derive kTurn landmarks for all walkways and append them.
+  void add_turn_landmarks(double min_turn_rad = 0.5);
+
+  /// --- queries --------------------------------------------------------
+  const std::vector<Walkway>& walkways() const { return walkways_; }
+  const std::vector<AccessPoint>& access_points() const { return aps_; }
+  const std::vector<CellTower>& cell_towers() const { return towers_; }
+  const std::vector<Landmark>& landmarks() const { return landmarks_; }
+  const std::vector<geo::Segment>& walls() const { return walls_; }
+
+  /// True if the straight move a -> b crosses any wall.
+  bool crosses_wall(geo::Vec2 a, geo::Vec2 b) const;
+
+  /// Bounding box of all walkways (inflated a little for grids).
+  geo::BBox bounds() const;
+
+  /// Environment attributes at a point.
+  LocalEnvironment environment_at(geo::Vec2 p) const;
+
+  /// Landmarks within `radius` of a point.
+  std::vector<const Landmark*> landmarks_near(geo::Vec2 p,
+                                              double radius) const;
+
+  /// Total walkway length (meters).
+  double total_walkway_length() const;
+
+ private:
+  std::string name_;
+  geo::LocalFrame frame_;
+  std::vector<Walkway> walkways_;
+  std::vector<AccessPoint> aps_;
+  std::vector<CellTower> towers_;
+  std::vector<Landmark> landmarks_;
+  std::vector<geo::Segment> walls_;
+  /// Lazily (re)built bucket index over walls_; invalidated by add_wall.
+  /// shared_ptr keeps Place copyable (copies share the immutable index).
+  mutable std::shared_ptr<const geo::SegmentIndex> wall_index_;
+};
+
+}  // namespace uniloc::sim

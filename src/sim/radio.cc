@@ -1,0 +1,124 @@
+#include "sim/radio.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace uniloc::sim {
+
+RadioEnvironment::RadioEnvironment(const Place* place, RadioParams wifi_params,
+                                   CellRadioParams cell_params,
+                                   std::uint64_t shadow_seed)
+    : place_(place),
+      wifi_(wifi_params),
+      cell_(cell_params),
+      shadow_seed_(shadow_seed) {
+  assert(place != nullptr);
+  ap_shadow_.reserve(place->access_points().size());
+  for (const AccessPoint& ap : place->access_points()) {
+    ap_shadow_.emplace_back(
+        stats::hash_combine(shadow_seed_, static_cast<std::uint64_t>(ap.id)),
+        wifi_.shadow_corr_m, wifi_.shadow_sd_db);
+  }
+  tower_shadow_.reserve(place->cell_towers().size());
+  for (const CellTower& t : place->cell_towers()) {
+    tower_shadow_.emplace_back(
+        stats::hash_combine(shadow_seed_ ^ 0xC311ULL,
+                            static_cast<std::uint64_t>(t.id) + 7919),
+        cell_.shadow_corr_m, cell_.shadow_sd_db);
+  }
+}
+
+double RadioEnvironment::wifi_path_rssi(const AccessPoint& ap,
+                                        geo::Vec2 pos) const {
+  const double d = std::max(1.0, geo::distance(ap.pos, pos));
+  const LocalEnvironment env = place_->environment_at(pos);
+  const double n =
+      env.indoor ? wifi_.path_loss_exp_indoor : wifi_.path_loss_exp_outdoor;
+  double rssi = ap.tx_power_dbm - 10.0 * n * std::log10(d);
+  if (ap.indoor != env.indoor) rssi -= wifi_.wall_penetration_db;
+  if (env.type == SegmentType::kBasement) rssi -= wifi_.basement_extra_loss_db;
+  return rssi;
+}
+
+std::optional<double> RadioEnvironment::wifi_mean_rssi(const AccessPoint& ap,
+                                                       geo::Vec2 pos) const {
+  const std::size_t idx = static_cast<std::size_t>(&ap - place_->access_points().data());
+  const double shadow = idx < ap_shadow_.size() ? ap_shadow_[idx].at(pos) : 0.0;
+  const double rssi = wifi_path_rssi(ap, pos) + shadow;
+  if (rssi < wifi_.audible_threshold_dbm) return std::nullopt;
+  return rssi;
+}
+
+std::vector<ApReading> RadioEnvironment::wifi_scan(geo::Vec2 pos,
+                                                   stats::Rng& rng) const {
+  std::vector<ApReading> out;
+  const auto& aps = place_->access_points();
+  for (std::size_t i = 0; i < aps.size(); ++i) {
+    const double rssi = wifi_path_rssi(aps[i], pos) + ap_shadow_[i].at(pos) +
+                        rng.normal(0.0, wifi_.temporal_sd_db);
+    if (rssi >= wifi_.audible_threshold_dbm) out.push_back({aps[i].id, rssi});
+  }
+  return out;
+}
+
+std::vector<ApReading> RadioEnvironment::wifi_scan_noiseless(
+    geo::Vec2 pos) const {
+  std::vector<ApReading> out;
+  const auto& aps = place_->access_points();
+  for (std::size_t i = 0; i < aps.size(); ++i) {
+    if (auto rssi = wifi_mean_rssi(aps[i], pos)) out.push_back({aps[i].id, *rssi});
+  }
+  return out;
+}
+
+double RadioEnvironment::cell_path_rssi(const CellTower& tower,
+                                        geo::Vec2 pos) const {
+  const double d = std::max(1.0, geo::distance(tower.pos, pos));
+  const LocalEnvironment env = place_->environment_at(pos);
+  double rssi = tower.tx_power_dbm - 10.0 * cell_.path_loss_exp * std::log10(d);
+  if (env.indoor) rssi -= cell_.indoor_loss_db;
+  if (env.type == SegmentType::kBasement ||
+      env.type == SegmentType::kMallAisle) {
+    rssi -= cell_.basement_loss_db;
+    if (!tower.basement_reachable) rssi -= cell_.nonreachable_extra_db;
+  }
+  return rssi;
+}
+
+std::optional<double> RadioEnvironment::cell_mean_rssi(const CellTower& tower,
+                                                       geo::Vec2 pos) const {
+  const std::size_t idx =
+      static_cast<std::size_t>(&tower - place_->cell_towers().data());
+  const double shadow =
+      idx < tower_shadow_.size() ? tower_shadow_[idx].at(pos) : 0.0;
+  const double rssi = cell_path_rssi(tower, pos) + shadow;
+  if (rssi < cell_.audible_threshold_dbm) return std::nullopt;
+  return rssi;
+}
+
+std::vector<ApReading> RadioEnvironment::cell_scan(geo::Vec2 pos,
+                                                   stats::Rng& rng) const {
+  std::vector<ApReading> out;
+  const auto& towers = place_->cell_towers();
+  for (std::size_t i = 0; i < towers.size(); ++i) {
+    const double rssi = cell_path_rssi(towers[i], pos) +
+                        tower_shadow_[i].at(pos) +
+                        rng.normal(0.0, cell_.temporal_sd_db);
+    if (rssi >= cell_.audible_threshold_dbm) out.push_back({towers[i].id, rssi});
+  }
+  return out;
+}
+
+std::vector<ApReading> RadioEnvironment::cell_scan_noiseless(
+    geo::Vec2 pos) const {
+  std::vector<ApReading> out;
+  const auto& towers = place_->cell_towers();
+  for (std::size_t i = 0; i < towers.size(); ++i) {
+    if (auto rssi = cell_mean_rssi(towers[i], pos)) {
+      out.push_back({towers[i].id, *rssi});
+    }
+  }
+  return out;
+}
+
+}  // namespace uniloc::sim

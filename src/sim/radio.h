@@ -1,0 +1,94 @@
+// Radio propagation: log-distance path loss + static spatial shadowing +
+// temporal noise.
+//
+// RSSI(d) = P_tx(1m) - 10 n log10(d) - L_wall + S(pos) + N_t
+// where S is a per-transmitter spatially-correlated field that is *fixed
+// over time* (so offline fingerprints and online scans agree up to N_t --
+// the paper collects online scans "within half an hour" of the offline
+// fingerprints) and N_t is i.i.d. temporal noise per scan.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geo/vec2.h"
+#include "sim/place.h"
+#include "sim/types.h"
+#include "stats/noise_field.h"
+#include "stats/rng.h"
+
+namespace uniloc::sim {
+
+struct RadioParams {
+  double path_loss_exp_indoor{3.0};
+  double path_loss_exp_outdoor{2.3};
+  double wall_penetration_db{12.0};  ///< Applied when indoor flag differs.
+  double shadow_sd_db{5.0};
+  double shadow_corr_m{10.0};
+  double temporal_sd_db{3.5};
+  double audible_threshold_dbm{-90.0};
+  double basement_extra_loss_db{35.0};  ///< WiFi cannot reach basements.
+};
+
+struct CellRadioParams {
+  double path_loss_exp{3.2};
+  double shadow_sd_db{7.0};
+  double shadow_corr_m{30.0};
+  double temporal_sd_db{1.2};
+  double audible_threshold_dbm{-110.0};
+  double indoor_loss_db{10.0};
+  double basement_loss_db{22.0};  ///< Strong, but some towers still audible.
+  /// Additional loss for towers without basement line-of-entry. Moderate
+  /// (campus basements: most towers stay weakly audible) by default; the
+  /// mall deployment raises it so only ~2 towers are receivable on its
+  /// basement floor (paper Sec. V-B3).
+  double nonreachable_extra_db{18.0};
+};
+
+struct ApReading {
+  int id{0};
+  double rssi_dbm{0.0};
+};
+
+/// Deterministic-in-space radio environment over a Place.
+class RadioEnvironment {
+ public:
+  /// `shadow_seed` fixes the spatial shadowing realisation of the venue.
+  RadioEnvironment(const Place* place, RadioParams wifi_params,
+                   CellRadioParams cell_params, std::uint64_t shadow_seed);
+
+  /// Mean (noise-free) WiFi RSSI of one AP at a position, or nullopt if
+  /// below the audibility threshold. Used for fingerprint ground truth.
+  std::optional<double> wifi_mean_rssi(const AccessPoint& ap,
+                                       geo::Vec2 pos) const;
+
+  /// One WiFi scan at `pos`: audible APs with temporal noise applied.
+  std::vector<ApReading> wifi_scan(geo::Vec2 pos, stats::Rng& rng) const;
+
+  /// Like wifi_scan but with zero temporal noise (fingerprint collection
+  /// averages several samples; the paper uses one sample per AP, so scans
+  /// for the offline database should use wifi_scan too).
+  std::vector<ApReading> wifi_scan_noiseless(geo::Vec2 pos) const;
+
+  std::optional<double> cell_mean_rssi(const CellTower& tower,
+                                       geo::Vec2 pos) const;
+  std::vector<ApReading> cell_scan(geo::Vec2 pos, stats::Rng& rng) const;
+  std::vector<ApReading> cell_scan_noiseless(geo::Vec2 pos) const;
+
+  const RadioParams& wifi_params() const { return wifi_; }
+  const CellRadioParams& cell_params() const { return cell_; }
+
+ private:
+  double wifi_path_rssi(const AccessPoint& ap, geo::Vec2 pos) const;
+  double cell_path_rssi(const CellTower& tower, geo::Vec2 pos) const;
+
+  const Place* place_;
+  RadioParams wifi_;
+  CellRadioParams cell_;
+  std::uint64_t shadow_seed_;
+  std::vector<stats::NoiseField> ap_shadow_;     ///< One field per AP.
+  std::vector<stats::NoiseField> tower_shadow_;  ///< One field per tower.
+};
+
+}  // namespace uniloc::sim

@@ -1,0 +1,53 @@
+// SensorFrame: everything the phone sensed during one epoch (one step).
+//
+// This is the s_t of the paper: the complete real-time sensor context
+// from which schemes localize and from which UniLoc computes error-model
+// features. Ground truth rides along for the harness (error measurement,
+// training-database construction) but is never read by schemes or by the
+// UniLoc core at localization time.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/vec2.h"
+#include "sim/ambient_sim.h"
+#include "sim/gps_sim.h"
+#include "sim/imu_sim.h"
+#include "sim/radio.h"
+#include "sim/types.h"
+
+namespace uniloc::sim {
+
+/// A recognized PDR calibration landmark (paper Sec. II, following
+/// UnLoc [12]): the landmark-detection front-end matched a sensor
+/// signature (turn, door, WiFi signature) against the landmark map and
+/// reports the landmark's known map position. Detection is itself a
+/// sensing process; the simulator emits these with a miss probability and
+/// only while the walker actually passes the landmark.
+struct LandmarkObservation {
+  geo::Vec2 map_pos;  ///< Position of the matched landmark on the map.
+  SegmentType env{SegmentType::kCorridor};
+  int kind{0};        ///< Mirrors LandmarkKind.
+};
+
+struct SensorFrame {
+  double t{0.0};  ///< Seconds since walk start (end of this step).
+
+  std::vector<ApReading> wifi;   ///< WiFi scan (empty if nothing audible).
+  std::vector<ApReading> cell;   ///< Cellular scan.
+  std::optional<GpsFix> gps;     ///< Present only when GPS was enabled and
+                                 ///< produced a valid fix.
+  bool gps_enabled{true};        ///< Duty-cycling decision for this epoch.
+  std::vector<ImuSample> imu;    ///< 50 Hz samples covering this step.
+  AmbientReading ambient;        ///< Light / magnetic (IODetector inputs).
+  std::vector<LandmarkObservation> landmarks;  ///< Recognized this epoch.
+
+  // --- harness-only ground truth ------------------------------------
+  geo::Vec2 truth_pos;
+  double truth_heading{0.0};
+  SegmentType truth_env{SegmentType::kOpenSpace};
+  double truth_arclen{0.0};  ///< Along the walked walkway.
+};
+
+}  // namespace uniloc::sim

@@ -1,0 +1,184 @@
+#include "sim/trace_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace uniloc::sim {
+
+namespace {
+
+// Record kinds, one per line:
+//   V <venue> ; P <step_period> ; S <x> <y> <heading>    (header)
+//   F <t> <truth_x> <truth_y> <truth_heading> <truth_env> <truth_arclen>
+//     <gps_enabled>                                       (starts a frame)
+//   W <id> <rssi> ...   (wifi scan of the current frame)
+//   C <id> <rssi> ...   (cell scan)
+//   G <lat> <lon> <hdop> <sats>                           (gps fix)
+//   I <t> <accel> <gyro> <mag> ...                        (imu samples, 4
+//                                                          numbers each)
+//   A <lux> <mag_sd>                                      (ambient)
+//   L <x> <y> <env> <kind> ...                            (landmarks, 4
+//                                                          numbers each)
+
+void write_scan(std::ostream& os, char tag,
+                const std::vector<ApReading>& scan) {
+  if (scan.empty()) return;
+  os << tag;
+  for (const ApReading& r : scan) os << ' ' << r.id << ' ' << r.rssi_dbm;
+  os << '\n';
+}
+
+std::vector<ApReading> parse_scan(std::istringstream& ss) {
+  std::vector<ApReading> scan;
+  int id;
+  double rssi;
+  while (ss >> id >> rssi) scan.push_back({id, rssi});
+  return scan;
+}
+
+}  // namespace
+
+void write_trace(const Trace& trace, std::ostream& os) {
+  os << std::setprecision(17);
+  os << "# uniloc sensor trace v1\n";
+  os << "V " << trace.venue << '\n';
+  os << "P " << trace.step_period_s << '\n';
+  os << "S " << trace.start_pos.x << ' ' << trace.start_pos.y << ' '
+     << trace.start_heading << '\n';
+  for (const SensorFrame& f : trace.frames) {
+    os << "F " << f.t << ' ' << f.truth_pos.x << ' ' << f.truth_pos.y << ' '
+       << f.truth_heading << ' ' << static_cast<int>(f.truth_env) << ' '
+       << f.truth_arclen << ' ' << (f.gps_enabled ? 1 : 0) << '\n';
+    write_scan(os, 'W', f.wifi);
+    write_scan(os, 'C', f.cell);
+    if (f.gps.has_value()) {
+      os << "G " << f.gps->pos.lat_deg << ' ' << f.gps->pos.lon_deg << ' '
+         << f.gps->hdop << ' ' << f.gps->num_satellites << '\n';
+    }
+    if (!f.imu.empty()) {
+      os << 'I';
+      for (const ImuSample& s : f.imu) {
+        os << ' ' << s.t << ' ' << s.accel_mag << ' ' << s.gyro_z << ' '
+           << s.mag_heading;
+      }
+      os << '\n';
+    }
+    os << "A " << f.ambient.light_lux << ' ' << f.ambient.mag_field_sd_ut
+       << '\n';
+    if (!f.landmarks.empty()) {
+      os << 'L';
+      for (const LandmarkObservation& l : f.landmarks) {
+        os << ' ' << l.map_pos.x << ' ' << l.map_pos.y << ' '
+           << static_cast<int>(l.env) << ' ' << l.kind;
+      }
+      os << '\n';
+    }
+  }
+}
+
+void write_trace(const Trace& trace, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_trace: cannot open " + path);
+  write_trace(trace, os);
+  if (!os) throw std::runtime_error("write_trace: write failed: " + path);
+}
+
+Trace read_trace(std::istream& is) {
+  Trace trace;
+  std::string line;
+  SensorFrame* cur = nullptr;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    char tag;
+    ss >> tag;
+    auto fail = [&](const char* why) {
+      throw std::runtime_error("read_trace: line " + std::to_string(line_no) +
+                               ": " + why);
+    };
+    switch (tag) {
+      case 'V':
+        ss >> trace.venue;
+        break;
+      case 'P':
+        if (!(ss >> trace.step_period_s)) fail("bad period");
+        break;
+      case 'S':
+        if (!(ss >> trace.start_pos.x >> trace.start_pos.y >>
+              trace.start_heading)) {
+          fail("bad start");
+        }
+        break;
+      case 'F': {
+        SensorFrame f;
+        int env = 0, gps_en = 0;
+        if (!(ss >> f.t >> f.truth_pos.x >> f.truth_pos.y >>
+              f.truth_heading >> env >> f.truth_arclen >> gps_en)) {
+          fail("bad frame");
+        }
+        f.truth_env = static_cast<SegmentType>(env);
+        f.gps_enabled = gps_en != 0;
+        trace.frames.push_back(std::move(f));
+        cur = &trace.frames.back();
+        break;
+      }
+      case 'W':
+        if (cur == nullptr) fail("scan before frame");
+        cur->wifi = parse_scan(ss);
+        break;
+      case 'C':
+        if (cur == nullptr) fail("scan before frame");
+        cur->cell = parse_scan(ss);
+        break;
+      case 'G': {
+        if (cur == nullptr) fail("gps before frame");
+        GpsFix fix;
+        if (!(ss >> fix.pos.lat_deg >> fix.pos.lon_deg >> fix.hdop >>
+              fix.num_satellites)) {
+          fail("bad gps");
+        }
+        cur->gps = fix;
+        break;
+      }
+      case 'I': {
+        if (cur == nullptr) fail("imu before frame");
+        ImuSample s;
+        while (ss >> s.t >> s.accel_mag >> s.gyro_z >> s.mag_heading) {
+          cur->imu.push_back(s);
+        }
+        break;
+      }
+      case 'A':
+        if (cur == nullptr) fail("ambient before frame");
+        if (!(ss >> cur->ambient.light_lux >> cur->ambient.mag_field_sd_ut)) {
+          fail("bad ambient");
+        }
+        break;
+      case 'L': {
+        if (cur == nullptr) fail("landmark before frame");
+        LandmarkObservation l;
+        int env;
+        while (ss >> l.map_pos.x >> l.map_pos.y >> env >> l.kind) {
+          l.env = static_cast<SegmentType>(env);
+          cur->landmarks.push_back(l);
+        }
+        break;
+      }
+      default:
+        fail("unknown record tag");
+    }
+  }
+  return trace;
+}
+
+Trace read_trace(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_trace: cannot open " + path);
+  return read_trace(is);
+}
+
+}  // namespace uniloc::sim

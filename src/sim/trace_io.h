@@ -1,0 +1,38 @@
+// Sensor-trace recording and replay.
+//
+// A recorded walk (the full per-epoch SensorFrame stream, ground truth
+// included) can be saved to a portable text format and replayed later --
+// the dataset workflow of real localization research: collect once,
+// evaluate many algorithm variants offline against identical inputs.
+// bench and test runs replay byte-identical traces regardless of
+// simulator version drift.
+//
+// Format: line-oriented, one record per line, '#' comments, documented in
+// write_trace(). Floats are printed with enough digits to round-trip.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/sensor_frame.h"
+
+namespace uniloc::sim {
+
+struct Trace {
+  std::string venue;              ///< Free-form provenance tag.
+  double step_period_s{0.55};
+  geo::Vec2 start_pos;            ///< StartCondition for schemes.
+  double start_heading{0.0};
+  std::vector<SensorFrame> frames;
+};
+
+/// Serialize a trace. Throws std::runtime_error on I/O failure.
+void write_trace(const Trace& trace, const std::string& path);
+void write_trace(const Trace& trace, std::ostream& os);
+
+/// Parse a trace. Throws std::runtime_error on malformed input.
+Trace read_trace(const std::string& path);
+Trace read_trace(std::istream& is);
+
+}  // namespace uniloc::sim

@@ -1,0 +1,41 @@
+#include "sim/types.h"
+
+namespace uniloc::sim {
+
+const char* segment_name(SegmentType t) {
+  switch (t) {
+    case SegmentType::kOffice: return "office";
+    case SegmentType::kCorridor: return "corridor";
+    case SegmentType::kBasement: return "basement";
+    case SegmentType::kCarPark: return "car_park";
+    case SegmentType::kOpenSpace: return "open_space";
+    case SegmentType::kMallAisle: return "mall_aisle";
+  }
+  return "unknown";
+}
+
+double sky_visibility(SegmentType t) {
+  switch (t) {
+    case SegmentType::kOffice: return 0.05;
+    case SegmentType::kCorridor: return 0.15;
+    case SegmentType::kBasement: return 0.0;
+    case SegmentType::kCarPark: return 0.10;
+    case SegmentType::kOpenSpace: return 1.0;
+    case SegmentType::kMallAisle: return 0.0;
+  }
+  return 0.0;
+}
+
+double default_corridor_width(SegmentType t) {
+  switch (t) {
+    case SegmentType::kOffice: return 3.5;
+    case SegmentType::kCorridor: return 4.5;
+    case SegmentType::kBasement: return 4.0;
+    case SegmentType::kCarPark: return 8.0;
+    case SegmentType::kOpenSpace: return 14.0;
+    case SegmentType::kMallAisle: return 5.0;
+  }
+  return 4.0;
+}
+
+}  // namespace uniloc::sim

@@ -1,0 +1,71 @@
+// Core world-model value types for the UniLoc simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/vec2.h"
+
+namespace uniloc::sim {
+
+/// Environment classes along the paper's walking paths (Fig. 2: office,
+/// corridor, basement passageway, car park, open space; plus the mall
+/// aisles of the Fig. 8a experiment).
+enum class SegmentType {
+  kOffice,
+  kCorridor,     ///< Semi-open corridor (roofed => "indoor" per the paper).
+  kBasement,     ///< No WiFi, no GPS; weak cellular.
+  kCarPark,      ///< Roofed parking; sparse WiFi, degraded GPS.
+  kOpenSpace,    ///< Outdoor.
+  kMallAisle,    ///< Shopping-mall floor (crowded, basement-floor cellular).
+};
+
+/// The paper treats every roofed area as indoor (Sec. III-A).
+constexpr bool is_indoor(SegmentType t) { return t != SegmentType::kOpenSpace; }
+
+const char* segment_name(SegmentType t);
+
+/// Fraction of open sky visible (drives GPS availability and quality).
+double sky_visibility(SegmentType t);
+
+/// Typical walkable corridor/path width in meters (the beta2 factor of the
+/// motion error model: wider corridor => looser map constraint).
+double default_corridor_width(SegmentType t);
+
+/// PDR calibration landmarks (paper Sec. II: "turns, doors and
+/// signatures" following UnLoc [12]).
+enum class LandmarkKind { kTurn, kDoor, kWifiSignature };
+
+struct Landmark {
+  geo::Vec2 pos;
+  LandmarkKind kind{LandmarkKind::kTurn};
+  double detect_radius_m{2.0};  ///< Walker must pass this close to trigger.
+};
+
+/// A WiFi access point. `indoor` matters for wall-penetration loss.
+struct AccessPoint {
+  int id{0};
+  geo::Vec2 pos;
+  double tx_power_dbm{-40.0};  ///< RSSI at the 1 m reference distance.
+  bool indoor{true};
+};
+
+/// A cellular base station. Longer range, fewer of them. The power is the
+/// effective received level at the 1 m reference distance (towers radiate
+/// tens of watts, hence the large value relative to WiFi APs).
+struct CellTower {
+  int id{0};
+  geo::Vec2 pos;
+  double tx_power_dbm{18.0};
+  bool basement_reachable{true};  ///< Some towers penetrate to basements.
+};
+
+/// One typed stretch of a walkway, addressed by arc length on its polyline.
+struct PathSegment {
+  SegmentType type{SegmentType::kCorridor};
+  double start_arclen{0.0};
+  double end_arclen{0.0};
+  double corridor_width_m{3.0};
+};
+
+}  // namespace uniloc::sim

@@ -1,0 +1,141 @@
+#include "sim/walker.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace uniloc::sim {
+
+Walker::Walker(const Place* place, const RadioEnvironment* radio,
+               std::size_t walkway_index, WalkConfig cfg)
+    : place_(place),
+      radio_(radio),
+      walkway_index_(walkway_index),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      gps_sim_(place->frame(), cfg.gps),
+      imu_sim_(cfg.imu, stats::hash_combine(cfg.seed, 0x1407)),
+      ambient_sim_(cfg.ambient, stats::hash_combine(cfg.seed, 0xA3B1)) {
+  assert(place != nullptr && radio != nullptr);
+  if (walkway_index >= place->walkways().size()) {
+    throw std::out_of_range("Walker: walkway index");
+  }
+  prev_heading_ = walkway().line.heading_at(0.0);
+}
+
+const Walkway& Walker::walkway() const {
+  return place_->walkways()[walkway_index_];
+}
+
+geo::Vec2 Walker::start_position() const {
+  return walkway().line.point_at(0.0);
+}
+
+double Walker::start_heading() const { return walkway().line.heading_at(0.0); }
+
+bool Walker::done() const {
+  return arclen_ + cfg_.gait.step_length_m > walkway().line.length();
+}
+
+SensorFrame Walker::step(bool gps_enabled) {
+  const geo::Polyline& line = walkway().line;
+  // Natural per-step length variation (~5%).
+  const double step_len =
+      std::max(0.3, cfg_.gait.step_length_m * (1.0 + rng_.normal(0.0, 0.05)));
+  arclen_ = std::min(line.length(), arclen_ + step_len);
+  t_ += cfg_.gait.step_period_s;
+
+  SensorFrame f;
+  f.t = t_;
+  const PathSegment& seg = walkway().segment_at(arclen_);
+  f.truth_env = seg.type;
+
+  // Pedestrians wander laterally inside the corridor rather than tracing
+  // the centerline (AR(1) lateral offset, clamped to the walkable width).
+  const double max_lat = std::max(0.2, seg.corridor_width_m / 2.0 - 0.3);
+  const double prev_lateral = lateral_;
+  lateral_ = std::clamp(
+      0.93 * lateral_ + rng_.normal(0.0, seg.corridor_width_m * 0.05),
+      -max_lat, max_lat);
+  const geo::Vec2 center = line.point_at(arclen_);
+  const geo::Vec2 tangent = line.tangent_at(arclen_);
+  f.truth_pos = center + tangent.perp() * lateral_;
+  f.truth_heading = geo::wrap_angle(
+      tangent.angle() + std::atan2(lateral_ - prev_lateral, step_len));
+  f.truth_arclen = arclen_;
+
+  const bool indoor = is_indoor(seg.type);
+  const double dheading = geo::angle_diff(f.truth_heading, prev_heading_);
+  prev_heading_ = f.truth_heading;
+
+  // Radio scans as the reference device sees them, shifted by the walk's
+  // quasi-static per-transmitter drift, then transformed by the phone
+  // actually carried.
+  stats::Rng scan_rng = rng_.fork(0x5CA4);
+  auto apply_bias = [this](std::vector<ApReading> scan, double sd,
+                           std::uint64_t stream) {
+    if (sd <= 0.0) return scan;
+    for (ApReading& r : scan) {
+      const std::uint64_t h = stats::hash_combine(
+          stats::hash_combine(cfg_.seed, stream),
+          static_cast<std::uint64_t>(r.id));
+      // Box-Muller-free Gaussian-ish offset: sum of three uniforms.
+      const double u = (stats::hash_to_unit(h) +
+                        stats::hash_to_unit(stats::splitmix64(h)) +
+                        stats::hash_to_unit(stats::splitmix64(h ^ 0x9E37))) /
+                           1.5 - 1.0;  // ~N(0, 0.33) in [-1, 1]
+      r.rssi_dbm += u * 3.0 * sd;
+    }
+    return scan;
+  };
+  f.wifi = cfg_.device.transform(
+      apply_bias(radio_->wifi_scan(f.truth_pos, scan_rng),
+                 cfg_.wifi_bias_sd_db, 0xB1A5),
+      scan_rng);
+  f.cell = cfg_.device.transform(
+      apply_bias(radio_->cell_scan(f.truth_pos, scan_rng),
+                 cfg_.cell_bias_sd_db, 0xB1A6),
+      scan_rng);
+
+  f.gps_enabled = gps_enabled;
+  if (gps_enabled) {
+    stats::Rng gps_rng = rng_.fork(0x6A5F);
+    f.gps = gps_sim_.sample(f.truth_pos, sky_visibility(seg.type), gps_rng);
+  }
+
+  f.imu = imu_sim_.step_trace(cfg_.gait, f.truth_heading, dheading, indoor);
+  f.ambient = ambient_sim_.sample(seg.type);
+
+  // Landmark recognition: the front-end fires when the walker passes
+  // within a landmark's detection radius; each landmark triggers at most
+  // once per pass, with a kind-dependent recognition rate (turns are easy
+  // to sense with the gyroscope; doors and WiFi signatures are less
+  // reliably matched).
+  auto recognition_rate = [](LandmarkKind k) {
+    switch (k) {
+      case LandmarkKind::kTurn: return 0.85;
+      case LandmarkKind::kDoor: return 0.50;
+      case LandmarkKind::kWifiSignature: return 0.60;
+    }
+    return 0.5;
+  };
+  const auto& lms = place_->landmarks();
+  for (std::size_t i = 0; i < lms.size(); ++i) {
+    const bool near = geo::distance(lms[i].pos, f.truth_pos) <=
+                      lms[i].detect_radius_m;
+    const bool was_near = near_landmark_.count(i) > 0;
+    if (near && !was_near && rng_.chance(recognition_rate(lms[i].kind))) {
+      f.landmarks.push_back(
+          {lms[i].pos, seg.type, static_cast<int>(lms[i].kind)});
+    }
+    if (near) {
+      near_landmark_.insert(i);
+    } else {
+      near_landmark_.erase(i);
+    }
+  }
+  return f;
+}
+
+}  // namespace uniloc::sim

@@ -1,0 +1,69 @@
+// Walker: advances a pedestrian along a walkway one step at a time and
+// assembles the per-step SensorFrame from all sensor simulators.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "sim/device.h"
+#include "sim/place.h"
+#include "sim/sensor_frame.h"
+
+namespace uniloc::sim {
+
+struct WalkConfig {
+  GaitProfile gait{};
+  DeviceModel device = nexus_5x();
+  GpsParams gps{};
+  ImuParams imu{};
+  AmbientParams ambient{};
+  /// Quasi-static per-transmitter RSSI drift between the offline
+  /// fingerprint collection and this walk (people, doors, humidity,
+  /// interference): a constant per-(walk, transmitter) offset.
+  double wifi_bias_sd_db{4.0};
+  double cell_bias_sd_db{1.0};
+  std::uint64_t seed{1};
+};
+
+class Walker {
+ public:
+  /// Walk along `place.walkways()[walkway_index]` from its start.
+  Walker(const Place* place, const RadioEnvironment* radio,
+         std::size_t walkway_index, WalkConfig cfg);
+
+  /// True start position (schemes that need a known start, like PDR, are
+  /// given this -- same as the paper, which starts every trace at a known
+  /// point).
+  geo::Vec2 start_position() const;
+  double start_heading() const;
+
+  /// True whether another step fits on the walkway.
+  bool done() const;
+
+  /// Advance one step and return the sensed frame.
+  /// `gps_enabled`: the energy controller's duty-cycling decision.
+  SensorFrame step(bool gps_enabled = true);
+
+  /// Current true arc-length along the walkway.
+  double arclen() const { return arclen_; }
+  const Walkway& walkway() const;
+
+ private:
+  const Place* place_;
+  const RadioEnvironment* radio_;
+  std::size_t walkway_index_;
+  WalkConfig cfg_;
+  stats::Rng rng_;
+  GpsSimulator gps_sim_;
+  ImuSimulator imu_sim_;
+  AmbientSimulator ambient_sim_;
+  double arclen_{0.0};
+  double t_{0.0};
+  double prev_heading_{0.0};
+  double lateral_{0.0};  ///< Lateral wander offset from the centerline.
+  std::set<std::size_t> near_landmark_;  ///< Landmarks currently in range.
+};
+
+}  // namespace uniloc::sim

@@ -1,0 +1,67 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace uniloc::stats {
+
+double mean(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double variance(std::span<const double> v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size() - 1);
+}
+
+double stddev(std::span<const double> v) { return std::sqrt(variance(v)); }
+
+double rmse(std::span<const double> predicted, std::span<const double> truth) {
+  if (predicted.size() != truth.size() || predicted.empty()) {
+    throw std::invalid_argument("rmse: size mismatch or empty");
+  }
+  double s = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double d = predicted[i] - truth[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(predicted.size()));
+}
+
+double normalized_rmse(std::span<const double> predicted,
+                       std::span<const double> truth) {
+  const double denom = mean(truth);
+  if (denom == 0.0) throw std::invalid_argument("normalized_rmse: zero mean");
+  return rmse(predicted, truth) / denom;
+}
+
+double min_of(std::span<const double> v) {
+  assert(!v.empty());
+  return *std::min_element(v.begin(), v.end());
+}
+
+double max_of(std::span<const double> v) {
+  assert(!v.empty());
+  return *std::max_element(v.begin(), v.end());
+}
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) throw std::invalid_argument("percentile: empty sample");
+  q = std::clamp(q, 0.0, 100.0);
+  std::sort(v.begin(), v.end());
+  const double pos = q / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+}  // namespace uniloc::stats

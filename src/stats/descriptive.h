@@ -1,0 +1,40 @@
+// Descriptive statistics over samples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace uniloc::stats {
+
+/// Arithmetic mean. Returns 0 for an empty span.
+double mean(std::span<const double> v);
+
+/// Sample variance (n-1 denominator). Returns 0 for fewer than 2 samples.
+double variance(std::span<const double> v);
+
+/// Sample standard deviation.
+double stddev(std::span<const double> v);
+
+/// Root-mean-square error between predictions and ground truth.
+/// Spans must have equal, non-zero length.
+double rmse(std::span<const double> predicted, std::span<const double> truth);
+
+/// RMSE normalized by the mean of the ground truth (paper Eq. 7:
+/// "normalized Root-Mean-Square Error of the predicted localization error").
+double normalized_rmse(std::span<const double> predicted,
+                       std::span<const double> truth);
+
+/// Minimum / maximum of a non-empty span.
+double min_of(std::span<const double> v);
+double max_of(std::span<const double> v);
+
+/// Linear-interpolated percentile, q in [0, 100]. Sorts a copy.
+double percentile(std::vector<double> v, double q);
+
+/// Median shorthand.
+inline double median(std::vector<double> v) {
+  return percentile(std::move(v), 50.0);
+}
+
+}  // namespace uniloc::stats

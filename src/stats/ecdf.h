@@ -1,0 +1,38 @@
+// Empirical cumulative distribution function.
+//
+// Every "CDF of localization error" figure in the paper (Figs. 7, 8a-8d)
+// is generated from one of these.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace uniloc::stats {
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+  /// Build from samples (copied and sorted).
+  explicit Ecdf(std::vector<double> samples);
+
+  bool empty() const { return sorted_.empty(); }
+  std::size_t size() const { return sorted_.size(); }
+
+  /// Fraction of samples <= x.
+  double at(double x) const;
+
+  /// Value below which fraction `p` (in [0,1]) of samples fall
+  /// (linear interpolation between order statistics).
+  double quantile(double p) const;
+
+  /// Evenly spaced (x, F(x)) pairs suitable for plotting,
+  /// from min sample to max sample.
+  std::vector<std::pair<double, double>> curve(std::size_t points = 50) const;
+
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace uniloc::stats

@@ -1,0 +1,35 @@
+// Univariate Gaussian distribution helpers.
+//
+// UniLoc models each scheme's predicted localization error as
+// Y_t ~ N(mu_t, sigma_eps) and computes the confidence
+// c_t = P(Y_t <= tau) (paper Eq. 2) via the Gaussian CDF.
+#pragma once
+
+namespace uniloc::stats {
+
+/// Standard normal probability density.
+double normal_pdf(double x);
+
+/// Probability density of N(mean, sd) at x.
+double normal_pdf(double x, double mean, double sd);
+
+/// Standard normal cumulative distribution function.
+double normal_cdf(double x);
+
+/// CDF of N(mean, sd) at x. sd must be > 0.
+double normal_cdf(double x, double mean, double sd);
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9). p must be in (0, 1).
+double normal_quantile(double p);
+
+/// A Gaussian distribution value object.
+struct Gaussian {
+  double mean{0.0};
+  double sd{1.0};
+
+  double pdf(double x) const { return normal_pdf(x, mean, sd); }
+  double cdf(double x) const { return normal_cdf(x, mean, sd); }
+};
+
+}  // namespace uniloc::stats

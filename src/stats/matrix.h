@@ -1,0 +1,58 @@
+// Small dense matrix with the operations regression needs.
+//
+// The design-matrix sizes in UniLoc are tiny (N x p with p <= 4), so a
+// straightforward row-major double matrix with Gaussian-elimination
+// inversion is both sufficient and easy to verify.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace uniloc::stats {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Construct from nested braces: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  Matrix transpose() const;
+  Matrix operator*(const Matrix& o) const;
+  Matrix operator+(const Matrix& o) const;
+  Matrix operator-(const Matrix& o) const;
+  Matrix operator*(double s) const;
+
+  /// Matrix-vector product.
+  std::vector<double> operator*(const std::vector<double>& v) const;
+
+  /// Inverse via Gauss-Jordan with partial pivoting.
+  /// Throws std::runtime_error on (near-)singular input.
+  Matrix inverse() const;
+
+  /// Solve A x = b for x (this = A). Throws on singular A.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Max absolute element difference against another matrix.
+  double max_abs_diff(const Matrix& o) const;
+
+ private:
+  std::size_t rows_{0};
+  std::size_t cols_{0};
+  std::vector<double> data_;
+};
+
+}  // namespace uniloc::stats

@@ -1,0 +1,44 @@
+#include "stats/noise_field.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "stats/rng.h"
+
+namespace uniloc::stats {
+
+NoiseField::NoiseField(std::uint64_t stream, double correlation_m,
+                       double amplitude)
+    : stream_(stream), correlation_m_(correlation_m), amplitude_(amplitude) {
+  assert(correlation_m > 0.0);
+}
+
+double NoiseField::lattice(std::int64_t ix, std::int64_t iy) const {
+  const std::uint64_t h = splitmix64(
+      hash_combine(stream_, hash_combine(static_cast<std::uint64_t>(ix),
+                                         static_cast<std::uint64_t>(iy))));
+  return 2.0 * hash_to_unit(h) - 1.0;
+}
+
+double NoiseField::at(geo::Vec2 p) const {
+  const double gx = p.x / correlation_m_;
+  const double gy = p.y / correlation_m_;
+  const auto x0 = static_cast<std::int64_t>(std::floor(gx));
+  const auto y0 = static_cast<std::int64_t>(std::floor(gy));
+  const double fx = gx - static_cast<double>(x0);
+  const double fy = gy - static_cast<double>(y0);
+  // Smoothstep for C1-continuous interpolation.
+  const double sx = fx * fx * (3.0 - 2.0 * fx);
+  const double sy = fy * fy * (3.0 - 2.0 * fy);
+  const double v00 = lattice(x0, y0);
+  const double v10 = lattice(x0 + 1, y0);
+  const double v01 = lattice(x0, y0 + 1);
+  const double v11 = lattice(x0 + 1, y0 + 1);
+  const double a = v00 + (v10 - v00) * sx;
+  const double b = v01 + (v11 - v01) * sx;
+  // Lattice values are uniform in [-1,1] (sd ~= 0.577); scale so that the
+  // field's point-wise sd is ~amplitude.
+  return (a + (b - a) * sy) * amplitude_ * 1.732;
+}
+
+}  // namespace uniloc::stats

@@ -1,0 +1,39 @@
+// Deterministic, spatially-correlated scalar noise field (value noise).
+//
+// Radio shadowing must be *static in space* (the same at fingerprinting
+// time and at online-measurement time, so that RSSI fingerprints carry
+// location information) but vary smoothly between nearby locations. A
+// hash-based value-noise field gives exactly that: a pure function of
+// (stream id, position) with controllable correlation length and amplitude,
+// reproducible across runs without storing anything.
+#pragma once
+
+#include <cstdint>
+
+#include "geo/vec2.h"
+
+namespace uniloc::stats {
+
+class NoiseField {
+ public:
+  /// `stream` separates independent fields (e.g. one per access point);
+  /// `correlation_m` is the lattice spacing (decorrelation distance);
+  /// `amplitude` scales the output to roughly N(0, amplitude^2).
+  NoiseField(std::uint64_t stream, double correlation_m, double amplitude);
+
+  /// Field value at a position; smooth, deterministic, zero-mean.
+  double at(geo::Vec2 p) const;
+
+  double amplitude() const { return amplitude_; }
+  double correlation() const { return correlation_m_; }
+
+ private:
+  /// Pseudo-random value in [-1, 1] at an integer lattice point.
+  double lattice(std::int64_t ix, std::int64_t iy) const;
+
+  std::uint64_t stream_;
+  double correlation_m_;
+  double amplitude_;
+};
+
+}  // namespace uniloc::stats

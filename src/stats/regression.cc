@@ -1,0 +1,125 @@
+#include "stats/regression.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/matrix.h"
+#include "stats/special.h"
+
+namespace uniloc::stats {
+
+double LinearModel::predict(std::span<const double> x) const {
+  const std::size_t p = coefficients.size() - (has_intercept ? 1 : 0);
+  if (x.size() != p) {
+    throw std::invalid_argument("predict: feature vector has wrong size");
+  }
+  std::size_t idx = 0;
+  double y = 0.0;
+  if (has_intercept) y = coefficients[idx++].estimate;
+  for (double xi : x) y += coefficients[idx++].estimate * xi;
+  return y;
+}
+
+std::vector<double> LinearModel::betas() const {
+  std::vector<double> out;
+  out.reserve(coefficients.size());
+  for (const auto& c : coefficients) out.push_back(c.estimate);
+  return out;
+}
+
+LinearModel fit_ols(const std::vector<std::vector<double>>& x,
+                    const std::vector<double>& y,
+                    const std::vector<std::string>& feature_names,
+                    bool with_intercept) {
+  const std::size_t n = x.size();
+  if (n == 0 || n != y.size()) {
+    throw std::invalid_argument("fit_ols: empty or mismatched data");
+  }
+  const std::size_t p = x[0].size();
+  if (p == 0) throw std::invalid_argument("fit_ols: no features");
+  for (const auto& row : x) {
+    if (row.size() != p) {
+      throw std::invalid_argument("fit_ols: ragged feature rows");
+    }
+  }
+  const std::size_t k = p + (with_intercept ? 1 : 0);  // fitted parameters
+  if (n <= k) throw std::invalid_argument("fit_ols: too few samples");
+  if (!feature_names.empty() && feature_names.size() != p) {
+    throw std::invalid_argument("fit_ols: feature_names size mismatch");
+  }
+
+  // Design matrix.
+  Matrix X(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t c = 0;
+    if (with_intercept) X(i, c++) = 1.0;
+    for (std::size_t j = 0; j < p; ++j) X(i, c++) = x[i][j];
+  }
+  const Matrix Xt = X.transpose();
+  Matrix XtX = Xt * X;
+  // Tiny ridge keeps nearly-collinear designs (e.g. a feature that barely
+  // varies in a training venue) invertible without meaningfully biasing
+  // well-conditioned fits.
+  double trace = 0.0;
+  for (std::size_t c = 0; c < k; ++c) trace += XtX(c, c);
+  const double ridge = 1e-10 * std::max(1.0, trace / static_cast<double>(k));
+  for (std::size_t c = 0; c < k; ++c) XtX(c, c) += ridge;
+  Matrix XtX_inv = XtX.inverse();
+
+  std::vector<double> Xty(k, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < n; ++i) Xty[c] += X(i, c) * y[i];
+  }
+  const std::vector<double> beta = XtX_inv * Xty;
+
+  // Residuals.
+  double sse = 0.0, res_sum = 0.0;
+  double y_mean = 0.0;
+  for (double yi : y) y_mean += yi;
+  y_mean /= static_cast<double>(n);
+  double sst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double yhat = 0.0;
+    for (std::size_t c = 0; c < k; ++c) yhat += X(i, c) * beta[c];
+    const double r = y[i] - yhat;
+    sse += r * r;
+    res_sum += r;
+    sst += (y[i] - y_mean) * (y[i] - y_mean);
+  }
+  const double dof = static_cast<double>(n - k);
+  const double sigma2 = sse / dof;
+
+  LinearModel model;
+  model.has_intercept = with_intercept;
+  model.n_samples = n;
+  model.residual_mean = res_sum / static_cast<double>(n);
+  model.residual_sd = std::sqrt(sigma2);
+  model.r_squared = sst > 0.0 ? 1.0 - sse / sst : 0.0;
+  model.adjusted_r_squared =
+      sst > 0.0 ? 1.0 - (sse / dof) / (sst / static_cast<double>(n - 1)) : 0.0;
+
+  model.coefficients.resize(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    Coefficient& coef = model.coefficients[c];
+    if (with_intercept && c == 0) {
+      coef.name = "(intercept)";
+    } else {
+      const std::size_t j = c - (with_intercept ? 1 : 0);
+      coef.name = feature_names.empty() ? "x" + std::to_string(j + 1)
+                                        : feature_names[j];
+    }
+    coef.estimate = beta[c];
+    coef.std_error = std::sqrt(sigma2 * XtX_inv(c, c));
+    if (coef.std_error > 0.0) {
+      coef.t_stat = coef.estimate / coef.std_error;
+      coef.p_value = t_test_p_value(coef.t_stat, dof);
+    } else {
+      coef.t_stat = 0.0;
+      coef.p_value = 1.0;
+    }
+  }
+  return model;
+}
+
+}  // namespace uniloc::stats

@@ -1,0 +1,54 @@
+// Ordinary-least-squares multiple linear regression with inference.
+//
+// This is the error-modeling engine of UniLoc (paper Sec. III): for each
+// localization scheme the localization error y is regressed on the
+// scheme-family's data features x_1..x_p,
+//     y_i = b0 + b1 x_1i + ... + bp x_pi + eps_i,
+// and the fitted model ships with per-coefficient p-values, R^2 and the
+// residual moments (mu_eps, sigma_eps) that Table II reports and that the
+// online confidence computation (Eq. 2) consumes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace uniloc::stats {
+
+/// One fitted coefficient with its inference statistics.
+struct Coefficient {
+  std::string name;
+  double estimate{0.0};
+  double std_error{0.0};
+  double t_stat{0.0};
+  double p_value{1.0};
+};
+
+/// A fitted linear model.
+struct LinearModel {
+  std::vector<Coefficient> coefficients;  ///< Intercept first (if fitted).
+  bool has_intercept{true};
+  double r_squared{0.0};
+  double adjusted_r_squared{0.0};
+  double residual_mean{0.0};   ///< mu_eps; ~0 by construction with intercept.
+  double residual_sd{0.0};     ///< sigma_eps (sqrt of SSE/(n-k)).
+  std::size_t n_samples{0};
+
+  /// Predict y for a feature vector (without intercept column).
+  double predict(std::span<const double> x) const;
+
+  /// Raw coefficient estimates in order (intercept first if present).
+  std::vector<double> betas() const;
+};
+
+/// Fit y ~ X by OLS. `x` is row-major: x[i] is sample i's feature vector.
+/// All rows must have the same length p >= 1 and n must exceed the number
+/// of fitted parameters. Throws std::invalid_argument on malformed input
+/// and std::runtime_error on a singular normal-equation matrix.
+LinearModel fit_ols(const std::vector<std::vector<double>>& x,
+                    const std::vector<double>& y,
+                    const std::vector<std::string>& feature_names = {},
+                    bool with_intercept = true);
+
+}  // namespace uniloc::stats

@@ -1,0 +1,76 @@
+#include "stats/special.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace uniloc::stats {
+
+double log_gamma(double x) { return std::lgamma(x); }
+
+namespace {
+
+// Continued fraction for the incomplete beta function (Lentz's method,
+// Numerical Recipes betacf).
+double beta_cf(double a, double b, double x) {
+  constexpr int max_iter = 300;
+  constexpr double eps = 3e-14;
+  constexpr double fpmin = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < fpmin) d = fpmin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= max_iter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < fpmin) d = fpmin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < fpmin) c = fpmin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < fpmin) d = fpmin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < fpmin) c = fpmin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < eps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  assert(x >= 0.0 && x <= 1.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_beta =
+      log_gamma(a + b) - log_gamma(a) - log_gamma(b);
+  const double front =
+      std::exp(ln_beta + a * std::log(x) + b * std::log(1.0 - x));
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double dof) {
+  assert(dof > 0.0);
+  const double x = dof / (dof + t * t);
+  const double p = 0.5 * incomplete_beta(dof / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - p : p;
+}
+
+double t_test_p_value(double t, double dof) {
+  const double x = dof / (dof + t * t);
+  return incomplete_beta(dof / 2.0, 0.5, x);
+}
+
+}  // namespace uniloc::stats

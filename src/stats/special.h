@@ -1,0 +1,18 @@
+// Special functions needed for regression inference.
+#pragma once
+
+namespace uniloc::stats {
+
+/// Natural log of the gamma function (Lanczos approximation).
+double log_gamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b), x in [0,1].
+double incomplete_beta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `dof` degrees of freedom.
+double student_t_cdf(double t, double dof);
+
+/// Two-sided p-value for a t statistic with `dof` degrees of freedom.
+double t_test_p_value(double t, double dof);
+
+}  // namespace uniloc::stats

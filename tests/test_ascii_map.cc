@@ -1,0 +1,61 @@
+#include "io/ascii_map.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/builders.h"
+#include "sim/floorplan.h"
+
+namespace uniloc::io {
+namespace {
+
+TEST(AsciiMap, RendersWalkwaysAndInfrastructure) {
+  const sim::Place office = sim::office_place(42);
+  const std::string map = render_ascii_map(office);
+  EXPECT_NE(map.find('.'), std::string::npos);  // walkway dots
+  EXPECT_NE(map.find('A'), std::string::npos);  // access points
+  EXPECT_NE(map.find('*'), std::string::npos);  // landmarks
+}
+
+TEST(AsciiMap, WallsOnlyWhenDeployedAndEnabled) {
+  sim::Place office = sim::office_place(42);
+  EXPECT_EQ(render_ascii_map(office).find('#'), std::string::npos);
+  sim::deploy_walls(office);
+  EXPECT_NE(render_ascii_map(office).find('#'), std::string::npos);
+  AsciiMapOptions opts;
+  opts.show_walls = false;
+  EXPECT_EQ(render_ascii_map(office, opts).find('#'), std::string::npos);
+}
+
+TEST(AsciiMap, TrajectoryOverlayWithEndpoints) {
+  const sim::Place office = sim::office_place(42);
+  const std::vector<geo::Vec2> traj{{5.0, 5.0}, {10.0, 5.0}, {15.0, 5.0}};
+  const std::string map = render_ascii_map(office, {}, traj);
+  EXPECT_NE(map.find('S'), std::string::npos);
+  EXPECT_NE(map.find('E'), std::string::npos);
+  EXPECT_NE(map.find('o'), std::string::npos);
+}
+
+TEST(AsciiMap, WidthControlsRaster) {
+  const sim::Place office = sim::office_place(42);
+  AsciiMapOptions narrow;
+  narrow.width_chars = 40;
+  const std::string map = render_ascii_map(office, narrow);
+  // No line may exceed width + 1 characters.
+  std::size_t start = 0;
+  while (start < map.size()) {
+    const std::size_t end = map.find('\n', start);
+    EXPECT_LE(end - start, 41u);
+    start = end + 1;
+  }
+}
+
+TEST(AsciiMap, OutOfFramePointsIgnored) {
+  const sim::Place office = sim::office_place(42);
+  const std::vector<geo::Vec2> traj{{1e6, 1e6}};
+  // Must not crash or write out of bounds.
+  const std::string map = render_ascii_map(office, {}, traj);
+  EXPECT_FALSE(map.empty());
+}
+
+}  // namespace
+}  // namespace uniloc::io

@@ -1,0 +1,182 @@
+#include "sim/builders.h"
+
+#include <gtest/gtest.h>
+
+namespace uniloc::sim {
+namespace {
+
+TEST(Campus, EightPaths) {
+  const Place c = campus();
+  EXPECT_EQ(c.walkways().size(), 8u);
+}
+
+TEST(Campus, TotalLengthMatchesPaper) {
+  const Place c = campus();
+  const double total = c.total_walkway_length();
+  EXPECT_NEAR(total, 2780.0, 120.0);  // paper: 2.78 km
+  double outdoor = 0.0;
+  for (const Walkway& w : c.walkways()) {
+    outdoor += w.line.length() - w.length_where(is_indoor);
+  }
+  EXPECT_NEAR(outdoor, 800.0, 100.0);  // paper: 0.80 km outdoor
+}
+
+TEST(Campus, Path1IsThe320mDailyPath) {
+  const Place c = campus();
+  const Walkway& p1 = c.walkways()[0];
+  EXPECT_EQ(p1.name, "Path1");
+  EXPECT_NEAR(p1.line.length(), 320.0, 1.0);
+  // Segment order: office, corridor, basement, car park, open space.
+  EXPECT_EQ(p1.segment_at(10.0).type, SegmentType::kOffice);
+  EXPECT_EQ(p1.segment_at(80.0).type, SegmentType::kCorridor);
+  EXPECT_EQ(p1.segment_at(150.0).type, SegmentType::kBasement);
+  EXPECT_EQ(p1.segment_at(200.0).type, SegmentType::kCarPark);
+  EXPECT_EQ(p1.segment_at(300.0).type, SegmentType::kOpenSpace);
+}
+
+TEST(Campus, PathLengthsInPaperRange) {
+  const Place c = campus();
+  for (const Walkway& w : c.walkways()) {
+    EXPECT_GE(w.line.length(), 280.0) << w.name;
+    EXPECT_LE(w.line.length(), 420.0) << w.name;
+  }
+}
+
+TEST(Campus, HasInfrastructure) {
+  const Place c = campus();
+  EXPECT_GT(c.access_points().size(), 30u);
+  EXPECT_EQ(c.cell_towers().size(), 6u);
+  EXPECT_GT(c.landmarks().size(), 20u);
+}
+
+TEST(Campus, NoAccessPointsInBasements) {
+  const Place c = campus();
+  for (const AccessPoint& ap : c.access_points()) {
+    const LocalEnvironment env = c.environment_at(ap.pos);
+    EXPECT_NE(env.type, SegmentType::kBasement);
+  }
+}
+
+TEST(Campus, SomeTowersReachBasements) {
+  const Place c = campus();
+  int reachable = 0;
+  for (const CellTower& t : c.cell_towers()) {
+    if (t.basement_reachable) ++reachable;
+  }
+  EXPECT_EQ(reachable, 2);
+}
+
+TEST(Campus, DeterministicForSameSeed) {
+  const Place a = campus(5), b = campus(5);
+  ASSERT_EQ(a.access_points().size(), b.access_points().size());
+  for (std::size_t i = 0; i < a.access_points().size(); ++i) {
+    EXPECT_EQ(a.access_points()[i].pos, b.access_points()[i].pos);
+  }
+}
+
+TEST(Campus, SeedChangesDeployment) {
+  const Place a = campus(5), b = campus(6);
+  bool any_diff = a.access_points().size() != b.access_points().size();
+  for (std::size_t i = 0;
+       !any_diff && i < a.access_points().size(); ++i) {
+    any_diff = !(a.access_points()[i].pos == b.access_points()[i].pos);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Office, DimensionsMatchPaper) {
+  const Place o = office_place();
+  const geo::BBox b = o.bounds().inflated(-10.0);  // undo bounds margin
+  EXPECT_NEAR(b.width(), 56.0, 6.0);   // paper: 56 x 20 m
+  EXPECT_NEAR(b.height(), 20.0, 6.0);
+  // All indoor.
+  for (const Walkway& w : o.walkways()) {
+    EXPECT_DOUBLE_EQ(w.length_where(is_indoor), w.line.length());
+  }
+}
+
+TEST(Office, CorridorWidthsVary) {
+  const Place o = office_place();
+  double min_w = 1e9, max_w = 0.0;
+  for (const PathSegment& s : o.walkways()[0].segments) {
+    min_w = std::min(min_w, s.corridor_width_m);
+    max_w = std::max(max_w, s.corridor_width_m);
+  }
+  EXPECT_LT(min_w, max_w);  // width feature must carry signal
+}
+
+TEST(OpenSpace, AllOutdoor) {
+  const Place p = open_space_place();
+  for (const Walkway& w : p.walkways()) {
+    EXPECT_DOUBLE_EQ(w.length_where(is_indoor), 0.0);
+  }
+}
+
+TEST(Mall, AllIndoorAisles) {
+  const Place m = mall_place();
+  for (const Walkway& w : m.walkways()) {
+    for (const PathSegment& s : w.segments) {
+      EXPECT_EQ(s.type, SegmentType::kMallAisle);
+    }
+  }
+}
+
+TEST(Mall, TwoBasementReachableTowers) {
+  const Place m = mall_place();
+  int reachable = 0;
+  for (const CellTower& t : m.cell_towers()) {
+    if (t.basement_reachable) ++reachable;
+  }
+  EXPECT_EQ(reachable, 2);
+}
+
+TEST(AddRandomWalkways, CountAndLength) {
+  Place m = mall_place();
+  const std::size_t before = m.walkways().size();
+  const auto idx =
+      add_random_walkways(m, 5, 150.0, SegmentType::kMallAisle, 3);
+  EXPECT_EQ(idx.size(), 5u);
+  EXPECT_EQ(m.walkways().size(), before + 5);
+  for (std::size_t i : idx) {
+    EXPECT_NEAR(m.walkways()[i].line.length(), 150.0, 30.0);
+  }
+}
+
+TEST(CampusB, ThreePathsAllSegmentKindsCovered) {
+  const Place c = campus_b();
+  EXPECT_EQ(c.walkways().size(), 3u);
+  bool has[6] = {};
+  for (const Walkway& w : c.walkways()) {
+    for (const PathSegment& s : w.segments) {
+      has[static_cast<int>(s.type)] = true;
+    }
+  }
+  EXPECT_TRUE(has[static_cast<int>(SegmentType::kOffice)]);
+  EXPECT_TRUE(has[static_cast<int>(SegmentType::kCorridor)]);
+  EXPECT_TRUE(has[static_cast<int>(SegmentType::kBasement)]);
+  EXPECT_TRUE(has[static_cast<int>(SegmentType::kCarPark)]);
+  EXPECT_TRUE(has[static_cast<int>(SegmentType::kOpenSpace)]);
+  EXPECT_GT(c.access_points().size(), 10u);
+  EXPECT_EQ(c.cell_towers().size(), 5u);
+}
+
+TEST(CampusB, GeometryDiffersFromMainCampus) {
+  const Place a = campus(), b = campus_b();
+  EXPECT_NE(a.walkways().size(), b.walkways().size());
+  EXPECT_NE(a.access_points().size(), b.access_points().size());
+}
+
+TEST(AddRandomWalkways, StaysInsideVenue) {
+  Place m = mall_place();
+  const geo::BBox bounds = m.bounds().inflated(5.0);
+  const auto idx =
+      add_random_walkways(m, 5, 200.0, SegmentType::kMallAisle, 11);
+  for (std::size_t i : idx) {
+    for (const geo::Vec2& p : m.walkways()[i].line.points()) {
+      EXPECT_TRUE(bounds.contains(p));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uniloc::sim

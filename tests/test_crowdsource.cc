@@ -1,0 +1,124 @@
+#include "schemes/crowdsource.h"
+
+#include <gtest/gtest.h>
+
+#include "core/deployment.h"
+#include "schemes/fingerprint_scheme.h"
+#include "sim/walker.h"
+#include "stats/rng.h"
+
+namespace uniloc::schemes {
+namespace {
+
+class CrowdsourceTest : public ::testing::Test {
+ protected:
+  CrowdsourceTest()
+      : deployment_(core::make_deployment(
+            sim::office_place(42), core::DeploymentOptions{.seed = 42})),
+        db_(*deployment_.wifi_db) {}
+
+  core::Deployment deployment_;
+  FingerprintDatabase db_;  // private working copy
+};
+
+TEST_F(CrowdsourceTest, RejectsLowConfidenceContributions) {
+  FingerprintCrowdsourcer cs(&db_);
+  const Fingerprint& fp = db_.fingerprints()[3];
+  const std::vector<sim::ApReading> scan{{1, -60.0}};
+  EXPECT_FALSE(cs.contribute(fp.pos, /*position_error_m=*/20.0, scan));
+  EXPECT_EQ(cs.accepted(), 0u);
+  EXPECT_EQ(cs.rejected(), 1u);
+}
+
+TEST_F(CrowdsourceTest, RejectsOffGridContributions) {
+  FingerprintCrowdsourcer cs(&db_);
+  const std::vector<sim::ApReading> scan{{1, -60.0}};
+  EXPECT_FALSE(cs.contribute({500.0, 500.0}, 1.0, scan));
+}
+
+TEST_F(CrowdsourceTest, RejectsEmptyScan) {
+  FingerprintCrowdsourcer cs(&db_);
+  EXPECT_FALSE(cs.contribute(db_.fingerprints()[0].pos, 1.0, {}));
+}
+
+TEST_F(CrowdsourceTest, BlendsAcceptedReadings) {
+  FingerprintCrowdsourcer::Options opts;
+  opts.blend = 0.5;
+  FingerprintCrowdsourcer cs(&db_, opts);
+  const std::size_t idx = 5;
+  const Fingerprint before = db_.fingerprints()[idx];
+  const int ap_id = before.rssi.begin()->first;
+  const double old_rssi = before.rssi.begin()->second;
+
+  EXPECT_TRUE(cs.contribute(before.pos, 1.0, {{ap_id, old_rssi + 8.0}}));
+  const double updated = db_.fingerprints()[idx].rssi.at(ap_id);
+  EXPECT_NEAR(updated, old_rssi + 4.0, 1e-9);  // EMA with blend 0.5
+  EXPECT_EQ(cs.contribution_counts()[idx], 1u);
+}
+
+TEST_F(CrowdsourceTest, CreatesEntryForNewTransmitter) {
+  FingerprintCrowdsourcer cs(&db_);
+  const std::size_t idx = 7;
+  const geo::Vec2 pos = db_.fingerprints()[idx].pos;
+  EXPECT_TRUE(cs.contribute(pos, 1.0, {{99999, -70.0}}));
+  EXPECT_DOUBLE_EQ(db_.fingerprints()[idx].rssi.at(99999), -70.0);
+}
+
+TEST_F(CrowdsourceTest, MaintenanceTracksEnvironmentDrift) {
+  // Apply a uniform +10 dB drift to the world; a maintained DB must match
+  // drifted scans better than the stale one.
+  FingerprintDatabase stale = db_;
+  FingerprintCrowdsourcer cs(&db_);
+  stats::Rng rng(3);
+
+  auto drifted_scan = [&](geo::Vec2 pos) {
+    stats::Rng scan_rng = rng.fork(17);
+    std::vector<sim::ApReading> scan =
+        deployment_.radio->wifi_scan(pos, scan_rng);
+    for (sim::ApReading& r : scan) r.rssi_dbm += 10.0;
+    return scan;
+  };
+
+  // Feed maintenance passes over every fingerprint position.
+  for (int pass = 0; pass < 4; ++pass) {
+    for (const Fingerprint& fp : db_.fingerprints()) {
+      cs.contribute(fp.pos, 1.0, drifted_scan(fp.pos));
+    }
+  }
+  EXPECT_GT(cs.accepted(), 100u);
+
+  // Matching quality on fresh drifted scans.
+  double stale_err = 0.0, maintained_err = 0.0;
+  int n = 0;
+  for (std::size_t i = 0; i < db_.size(); i += 5) {
+    const geo::Vec2 pos = db_.fingerprints()[i].pos;
+    const auto scan = drifted_scan(pos);
+    const auto s = stale.k_nearest(scan, 1);
+    const auto m = db_.k_nearest(scan, 1);
+    ASSERT_FALSE(s.empty());
+    ASSERT_FALSE(m.empty());
+    stale_err += geo::distance(stale.fingerprints()[s[0].index].pos, pos);
+    maintained_err += geo::distance(db_.fingerprints()[m[0].index].pos, pos);
+    ++n;
+  }
+  EXPECT_LE(maintained_err / n, stale_err / n + 0.5);
+}
+
+TEST_F(CrowdsourceTest, GatingPreventsPoisoning) {
+  // A flood of WRONG-position contributions with honest (large) error
+  // estimates must leave the database untouched.
+  FingerprintCrowdsourcer cs(&db_);
+  const FingerprintDatabase before = db_;
+  stats::Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const geo::Vec2 wrong{rng.uniform(0.0, 56.0), rng.uniform(0.0, 20.0)};
+    cs.contribute(wrong, /*position_error_m=*/30.0, {{1, -40.0}});
+  }
+  EXPECT_EQ(cs.accepted(), 0u);
+  for (std::size_t i = 0; i < db_.size(); ++i) {
+    EXPECT_EQ(db_.fingerprints()[i].rssi, before.fingerprints()[i].rssi);
+  }
+}
+
+}  // namespace
+}  // namespace uniloc::schemes

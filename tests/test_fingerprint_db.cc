@@ -1,0 +1,146 @@
+#include "schemes/fingerprint_db.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/builders.h"
+
+namespace uniloc::schemes {
+namespace {
+
+class FingerprintDbTest : public ::testing::Test {
+ protected:
+  FingerprintDbTest()
+      : place_(sim::office_place(42)),
+        radio_(&place_, sim::RadioParams{}, sim::CellRadioParams{}, 42),
+        db_(FingerprintDatabase::build(place_, radio_,
+                                       FingerprintDatabase::Source::kWifi,
+                                       3.0, 12.0, 7)) {}
+
+  sim::Place place_;
+  sim::RadioEnvironment radio_;
+  FingerprintDatabase db_;
+};
+
+TEST_F(FingerprintDbTest, BuildsAlongWalkways) {
+  // ~172 m of office walkway at 3 m spacing.
+  EXPECT_GT(db_.size(), 40u);
+  EXPECT_LT(db_.size(), 90u);
+  for (const Fingerprint& fp : db_.fingerprints()) {
+    EXPECT_FALSE(fp.rssi.empty());
+    EXPECT_TRUE(fp.indoor);
+  }
+}
+
+TEST_F(FingerprintDbTest, FingerprintsLieOnWalkway) {
+  const geo::Polyline& line = place_.walkways()[0].line;
+  for (const Fingerprint& fp : db_.fingerprints()) {
+    EXPECT_LT(line.project(fp.pos).distance, 0.01);
+  }
+}
+
+TEST_F(FingerprintDbTest, NearestMatchIsSpatiallyClose) {
+  // A noiseless scan at a known position must match a nearby fingerprint.
+  const geo::Vec2 pos = place_.walkways()[0].line.point_at(31.0);
+  const auto scan = radio_.wifi_scan_noiseless(pos);
+  const std::vector<Match> nn = db_.k_nearest(scan, 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_LT(geo::distance(db_.fingerprints()[nn[0].index].pos, pos), 7.0);
+}
+
+TEST_F(FingerprintDbTest, KNearestSortedAscending) {
+  stats::Rng rng(1);
+  const auto scan = radio_.wifi_scan({20.0, 5.0}, rng);
+  const std::vector<Match> nn = db_.k_nearest(scan, 5);
+  ASSERT_GE(nn.size(), 2u);
+  for (std::size_t i = 1; i < nn.size(); ++i) {
+    EXPECT_GE(nn[i].distance, nn[i - 1].distance);
+  }
+}
+
+TEST_F(FingerprintDbTest, KNearestEmptyCases) {
+  EXPECT_TRUE(db_.k_nearest({}, 3).empty());
+  stats::Rng rng(2);
+  const auto scan = radio_.wifi_scan({20.0, 5.0}, rng);
+  EXPECT_TRUE(db_.k_nearest(scan, 0).empty());
+  const FingerprintDatabase empty;
+  EXPECT_TRUE(empty.k_nearest(scan, 3).empty());
+}
+
+TEST_F(FingerprintDbTest, AllDistancesAligned) {
+  stats::Rng rng(3);
+  const auto scan = radio_.wifi_scan({25.0, 5.0}, rng);
+  const std::vector<double> d = db_.all_distances(scan);
+  EXPECT_EQ(d.size(), db_.size());
+  const std::vector<Match> nn = db_.k_nearest(scan, 1);
+  ASSERT_FALSE(nn.empty());
+  EXPECT_DOUBLE_EQ(d[nn[0].index], nn[0].distance);
+}
+
+TEST_F(FingerprintDbTest, LocalDensityTracksSpacing) {
+  const geo::Vec2 pos = place_.walkways()[0].line.point_at(30.0);
+  const double dense = db_.local_density(pos);
+  const double sparse = db_.downsampled(3, 1).local_density(pos);
+  EXPECT_GT(dense, 1.0);
+  EXPECT_LT(dense, 8.0);    // ~3 m spacing
+  EXPECT_GT(sparse, dense); // downsampling reduces density
+}
+
+TEST_F(FingerprintDbTest, NearestSpatial) {
+  const Fingerprint& fp = db_.fingerprints()[10];
+  EXPECT_EQ(db_.nearest_spatial(fp.pos), 10u);
+}
+
+TEST_F(FingerprintDbTest, DownsampledKeepsEveryKth) {
+  const FingerprintDatabase half = db_.downsampled(2, 0);
+  EXPECT_NEAR(static_cast<double>(half.size()),
+              static_cast<double>(db_.size()) / 2.0, 1.5);
+  EXPECT_EQ(db_.downsampled(1, 0).size(), db_.size());
+}
+
+TEST_F(FingerprintDbTest, FloorDbmPerSource) {
+  EXPECT_DOUBLE_EQ(db_.floor_dbm(), -95.0);
+  FingerprintDatabase cell = FingerprintDatabase::build(
+      place_, radio_, FingerprintDatabase::Source::kCellular, 9.0, 24.0, 7);
+  EXPECT_DOUBLE_EQ(cell.floor_dbm(), -115.0);
+}
+
+TEST(RssiDistance, ZeroForIdenticalVectors) {
+  Fingerprint fp;
+  fp.rssi = {{1, -60.0}, {2, -70.0}};
+  const std::vector<sim::ApReading> scan{{1, -60.0}, {2, -70.0}};
+  EXPECT_DOUBLE_EQ(rssi_distance(scan, fp), 0.0);
+}
+
+TEST(RssiDistance, EuclideanOverSharedAps) {
+  Fingerprint fp;
+  fp.rssi = {{1, -60.0}, {2, -70.0}};
+  const std::vector<sim::ApReading> scan{{1, -63.0}, {2, -66.0}};
+  EXPECT_DOUBLE_EQ(rssi_distance(scan, fp), 5.0);  // sqrt(9 + 16)
+}
+
+TEST(RssiDistance, ImputesMissingAtFloor) {
+  Fingerprint fp;
+  fp.rssi = {{1, -60.0}};
+  const std::vector<sim::ApReading> scan{{1, -60.0}, {2, -85.0}};
+  // AP 2 missing offline -> imputed at -95: contributes (85-95)^2.
+  EXPECT_DOUBLE_EQ(rssi_distance(scan, fp, -95.0), 10.0);
+}
+
+TEST(RssiDistance, NoSharedApIsInfinite) {
+  Fingerprint fp;
+  fp.rssi = {{1, -60.0}};
+  const std::vector<sim::ApReading> scan{{2, -60.0}};
+  EXPECT_EQ(rssi_distance(scan, fp),
+            std::numeric_limits<double>::max());
+}
+
+TEST(RssiDistance, PenalizesExtraOfflineAps) {
+  Fingerprint near_fp, far_fp;
+  near_fp.rssi = {{1, -60.0}};
+  far_fp.rssi = {{1, -60.0}, {2, -65.0}};  // strong AP 2 not heard online
+  const std::vector<sim::ApReading> scan{{1, -60.0}};
+  EXPECT_LT(rssi_distance(scan, near_fp), rssi_distance(scan, far_fp));
+}
+
+}  // namespace
+}  // namespace uniloc::schemes

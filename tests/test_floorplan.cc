@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "core/deployment.h"
+#include "geo/segment.h"
+#include "schemes/pdr_scheme.h"
+#include "sim/builders.h"
+#include "sim/floorplan.h"
+#include "sim/walker.h"
+
+namespace uniloc {
+namespace {
+
+// --------------------------------------------------------------- segments
+
+TEST(Segment, BasicProperties) {
+  const geo::Segment s{{0.0, 0.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(s.length(), 5.0);
+  EXPECT_EQ(s.midpoint(), (geo::Vec2{1.5, 2.0}));
+}
+
+TEST(SegmentIntersect, CrossingSegments) {
+  EXPECT_TRUE(geo::segments_intersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  const auto p = geo::segment_intersection({0, 0}, {2, 2}, {0, 2}, {2, 0});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->x, 1.0, 1e-12);
+  EXPECT_NEAR(p->y, 1.0, 1e-12);
+}
+
+TEST(SegmentIntersect, NonCrossing) {
+  EXPECT_FALSE(geo::segments_intersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+  EXPECT_FALSE(
+      geo::segment_intersection({0, 0}, {1, 0}, {0, 1}, {1, 1}).has_value());
+}
+
+TEST(SegmentIntersect, ParallelDisjoint) {
+  EXPECT_FALSE(geo::segments_intersect({0, 0}, {5, 0}, {0, 1}, {5, 1}));
+}
+
+TEST(SegmentIntersect, TouchingAtEndpoint) {
+  EXPECT_TRUE(geo::segments_intersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+}
+
+TEST(SegmentIntersect, CollinearOverlap) {
+  EXPECT_TRUE(geo::segments_intersect({0, 0}, {4, 0}, {2, 0}, {6, 0}));
+  EXPECT_TRUE(geo::segment_intersection({0, 0}, {4, 0}, {2, 0}, {6, 0})
+                  .has_value());
+}
+
+TEST(SegmentIntersect, CollinearDisjoint) {
+  EXPECT_FALSE(geo::segments_intersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+TEST(PointSegmentDistance, Cases) {
+  EXPECT_DOUBLE_EQ(geo::point_segment_distance({1, 1}, {0, 0}, {2, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(geo::point_segment_distance({-3, 4}, {0, 0}, {2, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(geo::point_segment_distance({1, 0}, {0, 0}, {2, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(geo::point_segment_distance({5, 0}, {1, 0}, {1, 0}), 4.0);
+}
+
+// -------------------------------------------------------------- floorplan
+
+TEST(Floorplan, WallsFlankIndoorStretches) {
+  const sim::Place campus = sim::campus(42);
+  const sim::Walkway& path1 = campus.walkways()[0];
+  const std::vector<geo::Segment> walls = sim::generate_walls(path1);
+  ASSERT_GT(walls.size(), 10u);
+  // Every wall sits roughly half a corridor width off the path.
+  for (const geo::Segment& w : walls) {
+    const geo::Projection proj = path1.line.project(w.midpoint());
+    const sim::PathSegment& seg = path1.segment_at(proj.arclen);
+    EXPECT_NEAR(proj.distance, seg.corridor_width_m / 2.0, 1.2);
+  }
+}
+
+TEST(Floorplan, NoWallsOutdoors) {
+  const sim::Place campus = sim::campus(42);
+  const sim::Walkway& path1 = campus.walkways()[0];
+  for (const geo::Segment& w : sim::generate_walls(path1)) {
+    const geo::Projection proj = path1.line.project(w.midpoint());
+    EXPECT_TRUE(sim::is_indoor(path1.segment_at(proj.arclen).type));
+  }
+}
+
+TEST(Floorplan, DoorGapsExist) {
+  // Count gaps: total wall length per side must be clearly below the
+  // indoor length (doors + junction gaps removed).
+  const sim::Place campus = sim::campus(42);
+  const sim::Walkway& path1 = campus.walkways()[0];
+  double wall_len = 0.0;
+  for (const geo::Segment& w : sim::generate_walls(path1)) {
+    wall_len += w.length();
+  }
+  const double indoor_len = path1.length_where(sim::is_indoor);
+  EXPECT_LT(wall_len, 2.0 * indoor_len * 0.98);
+  EXPECT_GT(wall_len, indoor_len);  // but most of the corridor is walled
+}
+
+TEST(Floorplan, DeployAttachesToPlace) {
+  sim::Place campus = sim::campus(42);
+  EXPECT_TRUE(campus.walls().empty());
+  sim::deploy_walls(campus, sim::hub_aware_wall_options(campus));
+  EXPECT_GT(campus.walls().size(), 50u);
+}
+
+TEST(Floorplan, CrossesWallDetection) {
+  sim::Place p("t", {1.35, 103.68});
+  p.add_walkway(sim::make_walkway("w", {0.0, 0.0}, 0.0,
+                                  {{sim::SegmentType::kOffice, 30.0, 0.0}}));
+  p.add_wall({{5.0, -2.0}, {5.0, 2.0}});
+  EXPECT_TRUE(p.crosses_wall({4.0, 0.0}, {6.0, 0.0}));
+  EXPECT_FALSE(p.crosses_wall({4.0, 0.0}, {4.9, 0.0}));
+  EXPECT_FALSE(p.crosses_wall({4.0, 5.0}, {6.0, 5.0}));  // above the wall
+}
+
+TEST(Floorplan, WalkerNeverCrossesWalls) {
+  // The walker's lateral wander is bounded by the corridor width, so the
+  // truth trajectory must never step through a wall.
+  sim::Place campus = sim::campus(42);
+  sim::deploy_walls(campus, sim::hub_aware_wall_options(campus));
+  const sim::RadioEnvironment radio(&campus, sim::RadioParams{},
+                                    sim::CellRadioParams{}, 42);
+  sim::WalkConfig wc;
+  wc.seed = 3;
+  sim::Walker walker(&campus, &radio, 0, wc);
+  geo::Vec2 prev = walker.start_position();
+  while (!walker.done()) {
+    const sim::SensorFrame f = walker.step(false);
+    EXPECT_FALSE(campus.crosses_wall(prev, f.truth_pos))
+        << "at arclen " << f.truth_arclen;
+    prev = f.truth_pos;
+  }
+}
+
+TEST(Floorplan, WallConstraintKeepsPdrInCorridor) {
+  sim::Place campus_plain = sim::campus(42);
+  core::DeploymentOptions dopts;
+  core::Deployment d = core::make_deployment(std::move(campus_plain), dopts);
+  sim::deploy_walls(*d.place, sim::hub_aware_wall_options(*d.place));
+
+  schemes::PdrOptions opts;
+  opts.use_walls = true;
+  schemes::PdrScheme pdr(d.place.get(), opts);
+  sim::WalkConfig wc;
+  wc.seed = 4;
+  sim::Walker walker(d.place.get(), d.radio.get(), 0, wc);
+  pdr.reset({walker.start_position(), walker.start_heading()});
+  double err_sum = 0.0;
+  int n = 0;
+  while (!walker.done()) {
+    const sim::SensorFrame f = walker.step(false);
+    const schemes::SchemeOutput out = pdr.update(f);
+    if (out.available && sim::is_indoor(f.truth_env)) {
+      err_sum += geo::distance(out.estimate, f.truth_pos);
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 100);
+  EXPECT_LT(err_sum / n, 12.0);  // stays usable under the wall constraint
+}
+
+}  // namespace
+}  // namespace uniloc

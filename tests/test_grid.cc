@@ -1,0 +1,91 @@
+#include "geo/grid.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/latlon.h"
+
+namespace uniloc::geo {
+namespace {
+
+TEST(Grid, Dimensions) {
+  Grid g(BBox{{0.0, 0.0}, {10.0, 6.0}}, 2.0);
+  EXPECT_EQ(g.nx(), 5);
+  EXPECT_EQ(g.ny(), 3);
+  EXPECT_EQ(g.num_cells(), 15u);
+}
+
+TEST(Grid, DimensionsRoundUp) {
+  Grid g(BBox{{0.0, 0.0}, {10.1, 5.9}}, 2.0);
+  EXPECT_EQ(g.nx(), 6);
+  EXPECT_EQ(g.ny(), 3);
+}
+
+TEST(Grid, CellOfAndCenterRoundTrip) {
+  Grid g(BBox{{0.0, 0.0}, {10.0, 10.0}}, 1.0);
+  for (int iy = 0; iy < g.ny(); ++iy) {
+    for (int ix = 0; ix < g.nx(); ++ix) {
+      const CellIndex c{ix, iy};
+      EXPECT_EQ(g.cell_of(g.center(c)), c);
+    }
+  }
+}
+
+TEST(Grid, CellOfClampsOutside) {
+  Grid g(BBox{{0.0, 0.0}, {10.0, 10.0}}, 1.0);
+  EXPECT_EQ(g.cell_of({-5.0, -5.0}), (CellIndex{0, 0}));
+  EXPECT_EQ(g.cell_of({50.0, 50.0}), (CellIndex{9, 9}));
+}
+
+TEST(Grid, FlatUnflatRoundTrip) {
+  Grid g(BBox{{0.0, 0.0}, {7.0, 5.0}}, 1.0);
+  for (std::size_t i = 0; i < g.num_cells(); ++i) {
+    EXPECT_EQ(g.flat(g.unflat(i)), i);
+  }
+}
+
+TEST(Grid, AllCentersCount) {
+  Grid g(BBox{{0.0, 0.0}, {4.0, 4.0}}, 2.0);
+  EXPECT_EQ(g.all_centers().size(), g.num_cells());
+  EXPECT_EQ(g.all_centers()[0], (Vec2{1.0, 1.0}));
+}
+
+TEST(Grid, ValidIndex) {
+  Grid g(BBox{{0.0, 0.0}, {4.0, 4.0}}, 2.0);
+  EXPECT_TRUE(g.valid({0, 0}));
+  EXPECT_TRUE(g.valid({1, 1}));
+  EXPECT_FALSE(g.valid({2, 0}));
+  EXPECT_FALSE(g.valid({-1, 0}));
+}
+
+TEST(LocalFrame, RoundTrip) {
+  const LocalFrame frame({1.3483, 103.6831});
+  const Vec2 p{123.4, -56.7};
+  const Vec2 back = frame.to_local(frame.to_geo(p));
+  EXPECT_NEAR(back.x, p.x, 1e-6);
+  EXPECT_NEAR(back.y, p.y, 1e-6);
+}
+
+TEST(LocalFrame, AnchorMapsToOrigin) {
+  const LatLon anchor{1.35, 103.68};
+  const LocalFrame frame(anchor);
+  const Vec2 origin = frame.to_local(anchor);
+  EXPECT_NEAR(origin.x, 0.0, 1e-9);
+  EXPECT_NEAR(origin.y, 0.0, 1e-9);
+}
+
+TEST(LocalFrame, NorthIsPositiveY) {
+  const LocalFrame frame({1.35, 103.68});
+  const Vec2 north = frame.to_local({1.351, 103.68});
+  EXPECT_GT(north.y, 100.0);  // ~110 m per millidegree
+  EXPECT_NEAR(north.x, 0.0, 1e-9);
+}
+
+TEST(GeoDistance, MatchesLocalFrameDistance) {
+  const LocalFrame frame({1.35, 103.68});
+  const LatLon a = frame.to_geo({0.0, 0.0});
+  const LatLon b = frame.to_geo({300.0, 400.0});
+  EXPECT_NEAR(geo_distance_m(a, b), 500.0, 0.5);
+}
+
+}  // namespace
+}  // namespace uniloc::geo

@@ -1,0 +1,109 @@
+#include "core/map_matching.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/builders.h"
+#include "stats/rng.h"
+
+namespace uniloc::core {
+namespace {
+
+sim::Place straight_place() {
+  sim::Place p("line", {1.35, 103.68});
+  p.add_walkway(sim::make_walkway(
+      "main", {0.0, 0.0}, 0.0, {{sim::SegmentType::kCorridor, 60.0, 0.0}}));
+  return p;
+}
+
+TEST(MapMatcher, StatesCoverWalkways) {
+  const sim::Place p = straight_place();
+  MapMatcher m(&p);
+  // 60 m at 2 m bins -> ~31 states.
+  EXPECT_NEAR(static_cast<double>(m.num_states()), 31.0, 2.0);
+}
+
+TEST(MapMatcher, SnapsOffPathEstimateOntoPath) {
+  const sim::Place p = straight_place();
+  MapMatcher m(&p);
+  const geo::Vec2 snapped = m.update({20.0, 5.0});  // 5 m off the corridor
+  EXPECT_NEAR(snapped.y, 0.0, 1e-9);   // on the path
+  EXPECT_NEAR(snapped.x, 20.0, 2.1);   // at the right position along it
+}
+
+TEST(MapMatcher, TracksNoisyWalk) {
+  const sim::Place p = straight_place();
+  MapMatcher m(&p);
+  stats::Rng rng(3);
+  double worst = 0.0;
+  for (int step = 0; step < 70; ++step) {
+    const geo::Vec2 truth{0.7 * step, 0.0};
+    const geo::Vec2 noisy{truth.x + rng.normal(0.0, 3.0),
+                          truth.y + rng.normal(0.0, 3.0)};
+    const geo::Vec2 matched = m.update(noisy);
+    if (step > 10) {
+      worst = std::max(worst, geo::distance(matched, truth));
+    }
+  }
+  // Continuity smooths the 3 m observation noise.
+  EXPECT_LT(worst, 7.0);
+}
+
+TEST(MapMatcher, SmootherThanRawEstimates) {
+  const sim::Place p = straight_place();
+  MapMatcher m(&p);
+  stats::Rng rng(4);
+  double raw_err = 0.0, matched_err = 0.0;
+  int n = 0;
+  for (int step = 0; step < 80; ++step) {
+    const geo::Vec2 truth{0.7 * step, 0.0};
+    const geo::Vec2 noisy{truth.x + rng.normal(0.0, 4.0),
+                          truth.y + rng.normal(0.0, 4.0)};
+    const geo::Vec2 matched = m.update(noisy);
+    if (step > 10) {
+      raw_err += geo::distance(noisy, truth);
+      matched_err += geo::distance(matched, truth);
+      ++n;
+    }
+  }
+  EXPECT_LT(matched_err / n, raw_err / n);
+}
+
+TEST(MapMatcher, SwitchesWalkwaysAtJunction) {
+  sim::Place p("cross", {1.35, 103.68});
+  p.add_walkway(sim::make_walkway(
+      "ew", {0.0, 0.0}, 0.0, {{sim::SegmentType::kCorridor, 40.0, 0.0}}));
+  p.add_walkway(sim::make_walkway(
+      "ns", {20.0, -20.0}, 90.0, {{sim::SegmentType::kCorridor, 40.0, 0.0}}));
+  MapMatcher m(&p);
+  // Walk east to the junction, then north along the second walkway.
+  geo::Vec2 matched{};
+  for (double x = 0.0; x <= 20.0; x += 0.7) matched = m.update({x, 0.0});
+  for (double y = 0.7; y <= 15.0; y += 0.7) matched = m.update({20.0, y});
+  EXPECT_NEAR(matched.x, 20.0, 2.1);
+  EXPECT_NEAR(matched.y, 15.0, 4.0);
+}
+
+TEST(MapMatcher, RecoversFromFarOffEstimate) {
+  const sim::Place p = straight_place();
+  MapMatcher m(&p);
+  for (double x = 0.0; x <= 10.0; x += 0.7) m.update({x, 0.0});
+  // A wild outlier far from every path must not produce NaNs or a stuck
+  // belief.
+  const geo::Vec2 after_outlier = m.update({500.0, 500.0});
+  EXPECT_TRUE(std::isfinite(after_outlier.x));
+  geo::Vec2 recovered{};
+  for (int k = 0; k < 3; ++k) recovered = m.update({12.0, 0.0});
+  EXPECT_NEAR(recovered.x, 12.0, 6.0);
+}
+
+TEST(MapMatcher, ResetRestoresUniformStart) {
+  const sim::Place p = straight_place();
+  MapMatcher m(&p);
+  m.update({50.0, 0.0});
+  m.reset();
+  const geo::Vec2 fresh = m.update({5.0, 0.0});
+  EXPECT_NEAR(fresh.x, 5.0, 2.1);  // no memory of the previous walk
+}
+
+}  // namespace
+}  // namespace uniloc::core

@@ -1,0 +1,103 @@
+#include "stats/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace uniloc::stats {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, Multiply) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyIdentityIsNoop) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ((a * Matrix::identity(2)).max_abs_diff(a), 0.0);
+}
+
+TEST(Matrix, AddSubtractScale) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ((a + b)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ((a - b)(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ((a * 2.0)(1, 0), 6.0);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> v = a * std::vector<double>{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+}
+
+TEST(Matrix, InverseTwoByTwo) {
+  Matrix a{{4.0, 7.0}, {2.0, 6.0}};
+  const Matrix inv = a.inverse();
+  EXPECT_LT((a * inv).max_abs_diff(Matrix::identity(2)), 1e-12);
+}
+
+TEST(Matrix, InverseWithPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a{{0.0, 1.0, 2.0}, {1.0, 0.0, 3.0}, {4.0, -3.0, 8.0}};
+  const Matrix inv = a.inverse();
+  EXPECT_LT((a * inv).max_abs_diff(Matrix::identity(3)), 1e-10);
+}
+
+TEST(Matrix, InverseSingularThrows) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(a.inverse(), std::runtime_error);
+}
+
+TEST(Matrix, InverseNonSquareThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(a.inverse(), std::runtime_error);
+}
+
+TEST(Matrix, Solve) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const std::vector<double> x = a.solve({5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace uniloc::stats

@@ -1,0 +1,84 @@
+#include "stats/noise_field.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace uniloc::stats {
+namespace {
+
+TEST(NoiseField, DeterministicAcrossInstances) {
+  const NoiseField a(42, 10.0, 4.0);
+  const NoiseField b(42, 10.0, 4.0);
+  for (double x = -50.0; x <= 50.0; x += 7.3) {
+    EXPECT_DOUBLE_EQ(a.at({x, 2.0 * x}), b.at({x, 2.0 * x}));
+  }
+}
+
+TEST(NoiseField, DifferentStreamsDiffer) {
+  const NoiseField a(1, 10.0, 4.0);
+  const NoiseField b(2, 10.0, 4.0);
+  int same = 0;
+  for (double x = 0.0; x < 100.0; x += 3.1) {
+    if (std::fabs(a.at({x, 0.0}) - b.at({x, 0.0})) < 1e-9) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(NoiseField, SpatiallySmooth) {
+  const NoiseField f(7, 10.0, 4.0);
+  // Values 10 cm apart must be close relative to the amplitude.
+  for (double x = 0.0; x < 50.0; x += 1.7) {
+    const double d = std::fabs(f.at({x, 5.0}) - f.at({x + 0.1, 5.0}));
+    EXPECT_LT(d, 0.5);
+  }
+}
+
+TEST(NoiseField, DecorrelatesBeyondCorrelationLength) {
+  const NoiseField f(9, 5.0, 1.0);
+  // Correlation between points 10x the correlation length apart ~ 0:
+  // estimate empirically over many probe pairs.
+  std::vector<double> a, b;
+  for (int i = 0; i < 300; ++i) {
+    const double x = i * 13.7;
+    a.push_back(f.at({x, 0.0}));
+    b.push_back(f.at({x + 50.0, 1000.0}));
+  }
+  double cov = 0.0;
+  const double ma = mean(a), mb = mean(b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+  }
+  cov /= static_cast<double>(a.size() - 1);
+  const double corr = cov / (stddev(a) * stddev(b));
+  EXPECT_LT(std::fabs(corr), 0.15);
+}
+
+TEST(NoiseField, ApproximatelyZeroMeanUnitScale) {
+  const NoiseField f(3, 8.0, 4.0);
+  std::vector<double> vals;
+  for (int i = 0; i < 2000; ++i) {
+    vals.push_back(f.at({i * 17.3, i * 11.1}));
+  }
+  EXPECT_NEAR(mean(vals), 0.0, 0.3);
+  EXPECT_NEAR(stddev(vals), 4.0, 1.2);  // amplitude ~ point-wise sd
+}
+
+TEST(NoiseField, AccessorssReturnParameters) {
+  const NoiseField f(3, 8.0, 4.0);
+  EXPECT_DOUBLE_EQ(f.amplitude(), 4.0);
+  EXPECT_DOUBLE_EQ(f.correlation(), 8.0);
+}
+
+TEST(NoiseField, NegativeCoordinates) {
+  const NoiseField f(5, 10.0, 2.0);
+  // Must be continuous across the origin (floor vs trunc bug guard).
+  const double eps = 1e-6;
+  EXPECT_NEAR(f.at({-eps, 0.0}), f.at({eps, 0.0}), 0.01);
+  EXPECT_NEAR(f.at({0.0, -eps}), f.at({0.0, eps}), 0.01);
+}
+
+}  // namespace
+}  // namespace uniloc::stats

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/runner.h"
+#include "core/trainer.h"
+#include "offload/session.h"
+
+namespace uniloc::offload {
+namespace {
+
+// ---------------------------------------------------------------- payloads
+
+TEST(StepPayload, RoundTripQuantizationError) {
+  for (double h = -3.1; h <= 3.1; h += 0.37) {
+    for (double d = 0.0; d <= 3.9; d += 0.53) {
+      const StepPayload p = StepPayload::encode(h, d);
+      EXPECT_NEAR(geo::angle_diff(p.heading(), h), 0.0, 1e-3);
+      EXPECT_NEAR(p.distance(), d, 1e-3);
+    }
+  }
+}
+
+TEST(StepPayload, IsFourBytes) {
+  EXPECT_EQ(StepPayload::kBytes, 4u);  // the paper's "four bytes"
+  EXPECT_EQ(sizeof(StepPayload::heading_q) + sizeof(StepPayload::distance_q),
+            4u);
+}
+
+TEST(StepPayload, ClampsDistance) {
+  const StepPayload p = StepPayload::encode(0.0, 100.0);
+  EXPECT_NEAR(p.distance(), StepPayload::kMaxDistance, 1e-6);
+  const StepPayload n = StepPayload::encode(0.0, -5.0);
+  EXPECT_NEAR(n.distance(), 0.0, 1e-6);
+}
+
+TEST(StepPayload, HeadingWrap) {
+  const StepPayload p = StepPayload::encode(4.0 * std::numbers::pi + 0.5, 1.0);
+  EXPECT_NEAR(geo::angle_diff(p.heading(), 0.5), 0.0, 1e-3);
+}
+
+TEST(ScanPayload, QuantizesToHalfDb) {
+  const ScanPayload p =
+      ScanPayload::encode({{1, -63.26}, {2, -90.74}, {3, -40.1}});
+  ASSERT_EQ(p.readings.size(), 3u);
+  EXPECT_NEAR(p.readings[0].rssi_dbm, -63.5, 0.26);
+  for (const sim::ApReading& r : p.readings) {
+    const double steps = (r.rssi_dbm + 127.5) * 2.0;
+    EXPECT_NEAR(steps, std::round(steps), 1e-9);  // exact half-dB grid
+  }
+}
+
+TEST(ScanPayload, ByteCount) {
+  const ScanPayload p = ScanPayload::encode({{1, -60.0}, {2, -70.0}});
+  EXPECT_EQ(p.bytes(), 2u + 3u * 2u);
+  EXPECT_EQ(ScanPayload::encode({}).bytes(), 2u);
+}
+
+TEST(GpsPayload, CentimeterResolution) {
+  sim::GpsFix fix;
+  fix.pos = {1.3483123456, 103.6831123456};
+  fix.hdop = 1.234;
+  fix.num_satellites = 9;
+  const GpsPayload p = GpsPayload::encode(fix);
+  EXPECT_NEAR(p.pos.lat_deg, fix.pos.lat_deg, 1e-7);
+  EXPECT_NEAR(p.hdop, 1.2, 1e-9);
+  EXPECT_EQ(p.num_satellites, 9);
+}
+
+TEST(UplinkFrame, BytesSumComponents) {
+  UplinkFrame f;
+  EXPECT_EQ(f.bytes(), 0u);
+  f.step = StepPayload::encode(0.0, 0.7);
+  f.wifi = ScanPayload::encode({{1, -60.0}});
+  EXPECT_EQ(f.bytes(), 4u + 5u);
+  f.gps = GpsPayload{};
+  EXPECT_EQ(f.bytes(), 4u + 5u + GpsPayload::kBytes);
+}
+
+TEST(DownlinkFrame, CentimeterRoundTrip) {
+  const DownlinkFrame f = DownlinkFrame::encode({123.456789, -9.876543});
+  EXPECT_NEAR(f.decoded().x, 123.46, 1e-9);
+  EXPECT_NEAR(f.decoded().y, -9.88, 1e-9);
+  EXPECT_EQ(DownlinkFrame::kBytes, 8u);
+}
+
+// ----------------------------------------------------------------- session
+
+TEST(OffloadSession, PhoneReducesFrames) {
+  core::Deployment office = core::make_deployment(
+      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+  sim::WalkConfig wc;
+  wc.seed = 5;
+  sim::Walker walker(office.place.get(), office.radio.get(), 0, wc);
+  PhoneAgent phone;
+  phone.reset(walker.start_heading());
+  std::size_t with_step = 0, total = 0;
+  while (!walker.done()) {
+    const sim::SensorFrame f = walker.step(false);
+    const UplinkFrame up = phone.reduce(f);
+    ++total;
+    if (up.step.has_value()) {
+      ++with_step;
+      EXPECT_GT(up.step->distance(), 0.0);
+    }
+    // Indoors without GPS: no GPS payload ever.
+    EXPECT_FALSE(up.gps.has_value());
+    EXPECT_GT(up.bytes(), 0u);
+    EXPECT_LT(up.bytes(), 200u);  // compact by construction
+  }
+  // Most epochs carry a step update.
+  EXPECT_GT(static_cast<double>(with_step) / static_cast<double>(total), 0.7);
+}
+
+TEST(OffloadSession, EndToEndTrafficIsSmall) {
+  const core::TrainedModels models = core::train_standard_models(42, 100);
+  core::Deployment office = core::make_deployment(
+      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+  core::Uniloc uniloc = core::make_uniloc(office, models);
+  sim::WalkConfig wc;
+  wc.seed = 6;
+  sim::Walker walker(office.place.get(), office.radio.get(), 0, wc);
+  const TrafficStats stats = run_offloaded_walk(uniloc, walker);
+  ASSERT_GT(stats.epochs, 100u);
+  // Tens of bytes per epoch, not kilobytes: the point of pre-processing
+  // on the phone (50 Hz raw IMU would be ~27 samples * 3 sensors * 4+
+  // bytes per epoch).
+  EXPECT_LT(stats.uplink_bytes_per_epoch(), 120.0);
+  EXPECT_GT(stats.uplink_bytes_per_epoch(), 4.0);
+  EXPECT_EQ(stats.downlink_bytes, stats.epochs * DownlinkFrame::kBytes);
+}
+
+TEST(OffloadSession, ServerReturnsFusedCoordinate) {
+  const core::TrainedModels models = core::train_standard_models(42, 100);
+  core::Deployment office = core::make_deployment(
+      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+  core::Uniloc uniloc = core::make_uniloc(office, models);
+  sim::WalkConfig wc;
+  wc.seed = 7;
+  sim::Walker walker(office.place.get(), office.radio.get(), 0, wc);
+  uniloc.reset({walker.start_position(), walker.start_heading()});
+  ServerAgent server(&uniloc);
+  const sim::SensorFrame f = walker.step(false);
+  core::EpochDecision d;
+  const DownlinkFrame reply = server.handle(f, &d);
+  EXPECT_NEAR(reply.decoded().x, d.uniloc2.x, 0.01);
+  EXPECT_NEAR(reply.decoded().y, d.uniloc2.y, 0.01);
+}
+
+}  // namespace
+}  // namespace uniloc::offload

@@ -1,0 +1,122 @@
+#include "schemes/pdr_frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/vec2.h"
+#include "sim/imu_sim.h"
+
+namespace uniloc::schemes {
+namespace {
+
+sim::GaitProfile steady_gait() {
+  sim::GaitProfile g;
+  g.trembling = 0.0;
+  return g;
+}
+
+TEST(PdrFrontend, DetectsOneStepPerTrace) {
+  sim::ImuSimulator imu(sim::ImuParams{}, 1);
+  PdrFrontend fe;
+  fe.reset(0.0);
+  int total = 0;
+  const int walks = 100;
+  for (int i = 0; i < walks; ++i) {
+    total += fe.process(imu.step_trace(steady_gait(), 0.0, 0.0, false)).steps;
+  }
+  // One true step per trace; small detection error tolerated.
+  EXPECT_NEAR(total, walks, 12);
+}
+
+TEST(PdrFrontend, CompensationLimitsTremblingDamage) {
+  // With heavy trembling, the raw peak detector would over/under-count;
+  // the 0.4-0.7 s period gate keeps the count near truth (paper: "such a
+  // mechanism can well mitigate the localization error caused by
+  // trembling").
+  sim::ImuSimulator imu(sim::ImuParams{}, 2);
+  sim::GaitProfile g;
+  g.trembling = 1.0;
+  PdrFrontend fe;
+  fe.reset(0.0);
+  int total = 0;
+  const int walks = 200;
+  for (int i = 0; i < walks; ++i) {
+    total += fe.process(imu.step_trace(g, 0.0, 0.0, false)).steps;
+  }
+  EXPECT_NEAR(total, walks, 50);  // within 25% despite heavy trembling
+}
+
+TEST(PdrFrontend, NoStepsWhenIdle) {
+  sim::ImuSimulator imu(sim::ImuParams{}, 3);
+  PdrFrontend fe;
+  fe.reset(0.0);
+  int total = 0;
+  for (int i = 0; i < 20; ++i) {
+    total += fe.process(imu.idle_trace(0.55, 0.0, false)).steps;
+  }
+  EXPECT_LE(total, 2);
+}
+
+TEST(PdrFrontend, StepLengthInHumanRange) {
+  sim::ImuSimulator imu(sim::ImuParams{}, 4);
+  PdrFrontend fe;
+  fe.reset(0.0);
+  for (int i = 0; i < 50; ++i) {
+    const StepInference inf =
+        fe.process(imu.step_trace(steady_gait(), 0.0, 0.0, false));
+    if (inf.steps == 0) continue;
+    EXPECT_GT(inf.step_length_m, 0.35);
+    EXPECT_LT(inf.step_length_m, 1.1);
+  }
+}
+
+TEST(PdrFrontend, HeadingTracksTruthOutdoors) {
+  sim::ImuSimulator imu(sim::ImuParams{}, 5);
+  PdrFrontend fe;
+  fe.reset(0.5);
+  double heading = 0.5;
+  for (int i = 0; i < 120; ++i) {
+    fe.process(imu.step_trace(steady_gait(), heading, 0.0, false));
+  }
+  EXPECT_NEAR(uniloc::geo::angle_diff(fe.heading(), heading), 0.0, 0.35);
+}
+
+TEST(PdrFrontend, HeadingFollowsTurn) {
+  sim::ImuSimulator imu(sim::ImuParams{}, 6);
+  PdrFrontend fe;
+  fe.reset(0.0);
+  // Turn 90 degrees over 10 steps.
+  double truth = 0.0;
+  double accumulated_dh = 0.0;
+  const double per_step = std::numbers::pi / 2.0 / 10.0;
+  for (int i = 0; i < 10; ++i) {
+    truth += per_step;
+    const StepInference inf =
+        fe.process(imu.step_trace(steady_gait(), truth, per_step, false));
+    accumulated_dh += inf.dheading_rad;
+  }
+  EXPECT_NEAR(accumulated_dh, std::numbers::pi / 2.0, 0.35);
+}
+
+TEST(PdrFrontend, EmptyTraceIsNoop) {
+  PdrFrontend fe;
+  fe.reset(1.0);
+  const StepInference inf = fe.process({});
+  EXPECT_EQ(inf.steps, 0);
+  EXPECT_DOUBLE_EQ(inf.heading_rad, 1.0);
+}
+
+TEST(PdrFrontend, ResetReinitializesHeading) {
+  sim::ImuSimulator imu(sim::ImuParams{}, 7);
+  PdrFrontend fe;
+  fe.reset(0.0);
+  for (int i = 0; i < 30; ++i) {
+    fe.process(imu.step_trace(steady_gait(), 1.2, 0.0, true));
+  }
+  fe.reset(-2.0);
+  EXPECT_DOUBLE_EQ(fe.heading(), -2.0);
+}
+
+}  // namespace
+}  // namespace uniloc::schemes

@@ -1,0 +1,132 @@
+#include "geo/polyline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace uniloc::geo {
+namespace {
+
+Polyline lshape() {
+  return Polyline({{0.0, 0.0}, {10.0, 0.0}, {10.0, 5.0}});
+}
+
+TEST(Polyline, LengthOfSegments) {
+  EXPECT_DOUBLE_EQ(lshape().length(), 15.0);
+  EXPECT_DOUBLE_EQ(Polyline({{0, 0}}).length(), 0.0);
+  EXPECT_DOUBLE_EQ(Polyline().length(), 0.0);
+}
+
+TEST(Polyline, MergesDuplicateVertices) {
+  Polyline p({{0, 0}, {0, 0}, {1, 0}, {1, 0}, {2, 0}});
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.length(), 2.0);
+}
+
+TEST(Polyline, PointAtInterpolates) {
+  const Polyline p = lshape();
+  EXPECT_EQ(p.point_at(0.0), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(p.point_at(5.0), (Vec2{5.0, 0.0}));
+  EXPECT_EQ(p.point_at(10.0), (Vec2{10.0, 0.0}));
+  EXPECT_EQ(p.point_at(12.5), (Vec2{10.0, 2.5}));
+  EXPECT_EQ(p.point_at(15.0), (Vec2{10.0, 5.0}));
+}
+
+TEST(Polyline, PointAtClampsOutOfRange) {
+  const Polyline p = lshape();
+  EXPECT_EQ(p.point_at(-3.0), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(p.point_at(100.0), (Vec2{10.0, 5.0}));
+}
+
+TEST(Polyline, TangentFollowsSegments) {
+  const Polyline p = lshape();
+  EXPECT_EQ(p.tangent_at(5.0), (Vec2{1.0, 0.0}));
+  EXPECT_EQ(p.tangent_at(12.0), (Vec2{0.0, 1.0}));
+}
+
+TEST(Polyline, HeadingAt) {
+  const Polyline p = lshape();
+  EXPECT_NEAR(p.heading_at(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(p.heading_at(12.0), std::numbers::pi / 2.0, 1e-12);
+}
+
+TEST(Polyline, ProjectOntoSegmentInterior) {
+  const Polyline p = lshape();
+  const Projection proj = p.project({5.0, 2.0});
+  EXPECT_NEAR(proj.arclen, 5.0, 1e-12);
+  EXPECT_NEAR(proj.distance, 2.0, 1e-12);
+  EXPECT_EQ(proj.segment, 0u);
+}
+
+TEST(Polyline, ProjectOntoCorner) {
+  const Polyline p = lshape();
+  const Projection proj = p.project({12.0, -1.0});
+  EXPECT_NEAR(proj.point.x, 10.0, 1e-12);
+  EXPECT_NEAR(proj.point.y, 0.0, 1e-12);
+  EXPECT_NEAR(proj.arclen, 10.0, 1e-12);
+}
+
+TEST(Polyline, ProjectionRoundTrip) {
+  const Polyline p = lshape();
+  for (double s = 0.0; s <= p.length(); s += 0.5) {
+    const Projection proj = p.project(p.point_at(s));
+    EXPECT_NEAR(proj.arclen, s, 1e-9);
+    EXPECT_NEAR(proj.distance, 0.0, 1e-9);
+  }
+}
+
+TEST(Polyline, SampleSpacing) {
+  const Polyline p = lshape();
+  const std::vector<Vec2> samples = p.sample(5.0);
+  ASSERT_EQ(samples.size(), 4u);  // 0, 5, 10, 15
+  EXPECT_EQ(samples.front(), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(samples.back(), (Vec2{10.0, 5.0}));
+}
+
+TEST(Polyline, SampleIncludesEndpointWhenNotOnGrid) {
+  const Polyline p({{0, 0}, {7, 0}});
+  const std::vector<Vec2> samples = p.sample(2.0);
+  EXPECT_EQ(samples.back(), (Vec2{7.0, 0.0}));
+}
+
+TEST(Polyline, BoundsCoverAllVertices) {
+  const BBox b = lshape().bounds();
+  EXPECT_EQ(b.min, (Vec2{0.0, 0.0}));
+  EXPECT_EQ(b.max, (Vec2{10.0, 5.0}));
+}
+
+TEST(Polyline, AppendJoins) {
+  Polyline a({{0, 0}, {1, 0}});
+  const Polyline b({{1, 0}, {1, 1}});
+  a.append(b);
+  EXPECT_DOUBLE_EQ(a.length(), 2.0);
+  EXPECT_EQ(a.size(), 3u);  // duplicate joint vertex merged
+}
+
+TEST(BBox, ExtendAndContain) {
+  BBox b;
+  EXPECT_TRUE(b.empty());
+  b.extend({1.0, 2.0});
+  b.extend({-1.0, 5.0});
+  EXPECT_FALSE(b.empty());
+  EXPECT_TRUE(b.contains({0.0, 3.0}));
+  EXPECT_FALSE(b.contains({2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(b.width(), 2.0);
+  EXPECT_DOUBLE_EQ(b.height(), 3.0);
+}
+
+TEST(BBox, InflateAndClamp) {
+  BBox b{{0.0, 0.0}, {2.0, 2.0}};
+  const BBox big = b.inflated(1.0);
+  EXPECT_TRUE(big.contains({-0.5, -0.5}));
+  EXPECT_EQ(b.clamp({5.0, -1.0}), (Vec2{2.0, 0.0}));
+}
+
+TEST(BBox, CenterAndArea) {
+  BBox b{{0.0, 0.0}, {4.0, 2.0}};
+  EXPECT_EQ(b.center(), (Vec2{2.0, 1.0}));
+  EXPECT_DOUBLE_EQ(b.area(), 8.0);
+}
+
+}  // namespace
+}  // namespace uniloc::geo

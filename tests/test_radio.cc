@@ -1,0 +1,152 @@
+#include "sim/radio.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/builders.h"
+
+namespace uniloc::sim {
+namespace {
+
+class RadioTest : public ::testing::Test {
+ protected:
+  RadioTest()
+      : place_(office_place(42)),
+        radio_(&place_, RadioParams{}, CellRadioParams{}, 42) {}
+
+  Place place_;
+  RadioEnvironment radio_;
+};
+
+TEST_F(RadioTest, RssiDecreasesWithDistance) {
+  const AccessPoint& ap = place_.access_points().front();
+  const auto near = radio_.wifi_mean_rssi(ap, ap.pos + geo::Vec2{2.0, 0.0});
+  const auto far = radio_.wifi_mean_rssi(ap, ap.pos + geo::Vec2{30.0, 0.0});
+  ASSERT_TRUE(near.has_value());
+  if (far.has_value()) {
+    EXPECT_GT(*near, *far + 5.0);
+  }
+}
+
+TEST_F(RadioTest, MeanRssiDeterministic) {
+  const AccessPoint& ap = place_.access_points().front();
+  const geo::Vec2 pos{20.0, 10.0};
+  EXPECT_EQ(radio_.wifi_mean_rssi(ap, pos), radio_.wifi_mean_rssi(ap, pos));
+}
+
+TEST_F(RadioTest, ScanJittersAroundMean) {
+  const geo::Vec2 pos{20.0, 8.0};
+  stats::Rng rng(1);
+  const auto scan1 = radio_.wifi_scan(pos, rng);
+  const auto noiseless = radio_.wifi_scan_noiseless(pos);
+  ASSERT_FALSE(scan1.empty());
+  ASSERT_FALSE(noiseless.empty());
+  // Same transmitters (modulo threshold edge cases), different values.
+  bool any_diff = false;
+  for (const ApReading& r : scan1) {
+    for (const ApReading& m : noiseless) {
+      if (m.id == r.id && std::abs(m.rssi_dbm - r.rssi_dbm) > 1e-9) {
+        any_diff = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(RadioTest, ScanRespectsAudibilityThreshold) {
+  stats::Rng rng(2);
+  const auto scan = radio_.wifi_scan({20.0, 8.0}, rng);
+  for (const ApReading& r : scan) {
+    EXPECT_GE(r.rssi_dbm, radio_.wifi_params().audible_threshold_dbm);
+  }
+}
+
+TEST_F(RadioTest, ShadowingIsStaticInSpace) {
+  // Two scans at the same position differ only by temporal noise, whose
+  // sd is temporal_sd_db -- so averages converge to the same mean.
+  const geo::Vec2 pos{25.0, 10.0};
+  const AccessPoint& ap = place_.access_points().front();
+  const auto mean1 = radio_.wifi_mean_rssi(ap, pos);
+  RadioEnvironment radio2(&place_, RadioParams{}, CellRadioParams{}, 42);
+  const auto mean2 = radio2.wifi_mean_rssi(ap, pos);
+  ASSERT_TRUE(mean1.has_value());
+  ASSERT_TRUE(mean2.has_value());
+  EXPECT_DOUBLE_EQ(*mean1, *mean2);  // same seed => same shadow field
+}
+
+TEST_F(RadioTest, DifferentSeedDifferentShadow) {
+  const geo::Vec2 pos{25.0, 10.0};
+  const AccessPoint& ap = place_.access_points().front();
+  RadioEnvironment other(&place_, RadioParams{}, CellRadioParams{}, 43);
+  const auto a = radio_.wifi_mean_rssi(ap, pos);
+  const auto b = other.wifi_mean_rssi(ap, pos);
+  if (a.has_value() && b.has_value()) {
+    EXPECT_NE(*a, *b);
+  }
+}
+
+TEST_F(RadioTest, CellularAudibleEverywhereInOffice) {
+  stats::Rng rng(3);
+  for (double x = 5.0; x < 50.0; x += 10.0) {
+    const auto scan = radio_.cell_scan({x, 10.0}, rng);
+    EXPECT_GE(scan.size(), 2u) << "at x=" << x;
+  }
+}
+
+TEST_F(RadioTest, CellNoiselessMatchesMean) {
+  const auto scan = radio_.cell_scan_noiseless({20.0, 10.0});
+  for (const ApReading& r : scan) {
+    for (const CellTower& t : place_.cell_towers()) {
+      if (t.id != r.id) continue;
+      const auto mean = radio_.cell_mean_rssi(t, {20.0, 10.0});
+      ASSERT_TRUE(mean.has_value());
+      EXPECT_DOUBLE_EQ(*mean, r.rssi_dbm);
+    }
+  }
+}
+
+TEST(RadioBasement, WifiUnreachableCellWeakened) {
+  const Place c = campus(42);
+  const RadioEnvironment radio(&c, RadioParams{}, CellRadioParams{}, 42);
+  // A point deep in Path 1's basement segment (arclen ~155 m).
+  const geo::Vec2 basement = c.walkways()[0].line.point_at(155.0);
+  ASSERT_EQ(c.environment_at(basement).type, SegmentType::kBasement);
+
+  stats::Rng rng(4);
+  EXPECT_TRUE(radio.wifi_scan(basement, rng).empty());
+  const auto cell = radio.cell_scan(basement, rng);
+  EXPECT_GE(cell.size(), 1u);  // cellular still reaches the basement
+
+  // Outdoors the same towers are much stronger.
+  const geo::Vec2 outdoor = c.walkways()[0].line.point_at(300.0);
+  const auto cell_out = radio.cell_scan(outdoor, rng);
+  double best_base = -1e9, best_out = -1e9;
+  for (const ApReading& r : cell) best_base = std::max(best_base, r.rssi_dbm);
+  for (const ApReading& r : cell_out) best_out = std::max(best_out, r.rssi_dbm);
+  EXPECT_GT(best_out, best_base + 10.0);
+}
+
+TEST(RadioWall, PenetrationLossAppliesAcrossIndoorOutdoor) {
+  Place p("t", {1.35, 103.68});
+  p.add_walkway(make_walkway("w", {0.0, 0.0}, 0.0,
+                             {{SegmentType::kOffice, 30.0, 0.0},
+                              {SegmentType::kOpenSpace, 30.0, 0.0}}));
+  AccessPoint ap;
+  ap.id = 1;
+  ap.pos = {10.0, 0.0};
+  ap.indoor = true;
+  p.add_access_point(ap);
+  const RadioEnvironment radio(&p, RadioParams{}, CellRadioParams{}, 1);
+  // Indoor and outdoor receivers at the same distance from the AP.
+  const auto indoor = radio.wifi_mean_rssi(p.access_points()[0], {20.0, 0.0});
+  const auto outdoor =
+      radio.wifi_mean_rssi(p.access_points()[0], {42.0, 0.0});
+  ASSERT_TRUE(indoor.has_value());
+  // The outdoor receiver pays the wall penetration (plus distance); even
+  // at a generous margin it must be well below the indoor level.
+  if (outdoor.has_value()) {
+    EXPECT_LT(*outdoor, *indoor - 10.0);
+  }
+}
+
+}  // namespace
+}  // namespace uniloc::sim

@@ -1,0 +1,136 @@
+#include "stats/regression.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace uniloc::stats {
+namespace {
+
+/// Synthetic dataset y = b0 + b1 x1 + b2 x2 + noise.
+struct Synthetic {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+};
+
+Synthetic make_data(double b0, double b1, double b2, double noise_sd,
+                    std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Synthetic d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x1 = rng.uniform(0.0, 50.0);
+    const double x2 = rng.uniform(0.0, 10.0);
+    d.x.push_back({x1, x2});
+    d.y.push_back(b0 + b1 * x1 + b2 * x2 + rng.normal(0.0, noise_sd));
+  }
+  return d;
+}
+
+TEST(Ols, RecoversCoefficientsExactlyWithoutNoise) {
+  const Synthetic d = make_data(2.0, 0.5, -1.5, 0.0, 100, 1);
+  const LinearModel m = fit_ols(d.x, d.y);
+  ASSERT_EQ(m.coefficients.size(), 3u);
+  // Tolerances account for the intentional tiny ridge in fit_ols.
+  EXPECT_NEAR(m.coefficients[0].estimate, 2.0, 1e-4);
+  EXPECT_NEAR(m.coefficients[1].estimate, 0.5, 1e-5);
+  EXPECT_NEAR(m.coefficients[2].estimate, -1.5, 1e-5);
+  EXPECT_NEAR(m.r_squared, 1.0, 1e-9);
+  EXPECT_NEAR(m.residual_sd, 0.0, 1e-4);
+}
+
+class OlsRecovery : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OlsRecovery, RecoversCoefficientsWithNoise) {
+  const Synthetic d = make_data(1.0, 0.3, -0.8, 1.0, 500, GetParam());
+  const LinearModel m = fit_ols(d.x, d.y);
+  EXPECT_NEAR(m.coefficients[0].estimate, 1.0, 0.5);
+  EXPECT_NEAR(m.coefficients[1].estimate, 0.3, 0.05);
+  EXPECT_NEAR(m.coefficients[2].estimate, -0.8, 0.15);
+  EXPECT_NEAR(m.residual_sd, 1.0, 0.2);
+  // Both features explain most variance here.
+  EXPECT_GT(m.r_squared, 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OlsRecovery,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Ols, SignificantFeatureHasSmallPValue) {
+  const Synthetic d = make_data(0.0, 1.0, 0.0, 0.5, 300, 9);
+  const LinearModel m = fit_ols(d.x, d.y, {"real", "junk"});
+  EXPECT_LT(m.coefficients[1].p_value, 0.001);  // x1 truly matters
+  EXPECT_GT(m.coefficients[2].p_value, 0.01);   // x2 is noise
+  EXPECT_EQ(m.coefficients[1].name, "real");
+  EXPECT_EQ(m.coefficients[2].name, "junk");
+}
+
+TEST(Ols, ResidualMeanNearZeroWithIntercept) {
+  const Synthetic d = make_data(5.0, 0.2, 0.1, 2.0, 400, 10);
+  const LinearModel m = fit_ols(d.x, d.y);
+  EXPECT_NEAR(m.residual_mean, 0.0, 1e-5);
+}
+
+TEST(Ols, PredictMatchesManualComputation) {
+  const Synthetic d = make_data(1.0, 2.0, 3.0, 0.0, 50, 11);
+  const LinearModel m = fit_ols(d.x, d.y);
+  const std::vector<double> x{4.0, 5.0};
+  EXPECT_NEAR(m.predict(x), 1.0 + 2.0 * 4.0 + 3.0 * 5.0, 1e-6);
+}
+
+TEST(Ols, PredictRejectsWrongArity) {
+  const Synthetic d = make_data(1.0, 2.0, 3.0, 0.1, 50, 12);
+  const LinearModel m = fit_ols(d.x, d.y);
+  EXPECT_THROW(m.predict(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Ols, WithoutIntercept) {
+  std::vector<std::vector<double>> x{{1.0}, {2.0}, {3.0}, {4.0}};
+  std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  const LinearModel m = fit_ols(x, y, {}, /*with_intercept=*/false);
+  ASSERT_EQ(m.coefficients.size(), 1u);
+  EXPECT_NEAR(m.coefficients[0].estimate, 2.0, 1e-9);
+  EXPECT_FALSE(m.has_intercept);
+}
+
+TEST(Ols, AdjustedR2BelowR2) {
+  const Synthetic d = make_data(1.0, 0.3, -0.8, 2.0, 100, 13);
+  const LinearModel m = fit_ols(d.x, d.y);
+  EXPECT_LE(m.adjusted_r_squared, m.r_squared);
+}
+
+TEST(Ols, RejectsMalformedInput) {
+  EXPECT_THROW(fit_ols({}, {}), std::invalid_argument);
+  EXPECT_THROW(fit_ols({{1.0}}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(fit_ols({{1.0}, {1.0, 2.0}}, {1.0, 2.0}),
+               std::invalid_argument);
+  // Too few samples for the parameter count.
+  EXPECT_THROW(fit_ols({{1.0, 2.0}, {2.0, 1.0}}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Ols, NearConstantFeatureSurvivesViaRidge) {
+  // One feature barely varies -- the exact situation of a homogeneous
+  // training venue; the tiny ridge keeps the fit finite.
+  Rng rng(14);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    const double x1 = rng.uniform(0.0, 10.0);
+    x.push_back({x1, 3.0});  // constant second feature
+    y.push_back(2.0 * x1 + rng.normal(0.0, 0.5));
+  }
+  const LinearModel m = fit_ols(x, y);
+  EXPECT_NEAR(m.coefficients[1].estimate, 2.0, 0.1);
+  EXPECT_TRUE(std::isfinite(m.coefficients[2].estimate));
+}
+
+TEST(Ols, BetasOrder) {
+  const Synthetic d = make_data(1.0, 2.0, 3.0, 0.0, 50, 15);
+  const LinearModel m = fit_ols(d.x, d.y);
+  const std::vector<double> b = m.betas();
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_NEAR(b[0], 1.0, 1e-6);
+  EXPECT_NEAR(b[1], 2.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace uniloc::stats

@@ -1,0 +1,109 @@
+// Additional runner / framework-configuration coverage.
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "core/trainer.h"
+#include "schemes/horus_scheme.h"
+#include "stats/descriptive.h"
+
+namespace uniloc::core {
+namespace {
+
+const TrainedModels& models() {
+  static const TrainedModels m = train_standard_models(42, 150);
+  return m;
+}
+
+const Deployment& office() {
+  static Deployment d = make_deployment(sim::office_place(42),
+                                        DeploymentOptions{.seed = 42});
+  return d;
+}
+
+TEST(RunnerExtra, DutyCycleDisabledKeepsGpsOn) {
+  Uniloc u = make_uniloc(office(), models());
+  RunOptions opts;
+  opts.walk.seed = 21;
+  opts.use_gps_duty_cycle = false;
+  const RunResult run = run_walk(u, office(), 0, opts);
+  for (const EpochRecord& e : run.epochs) {
+    EXPECT_TRUE(e.gps_was_enabled);
+  }
+  EXPECT_DOUBLE_EQ(run.gps_duty_fraction(), 1.0);
+}
+
+TEST(RunnerExtra, DutyCycleEnabledTurnsGpsOffIndoors) {
+  Uniloc u = make_uniloc(office(), models());
+  RunOptions opts;
+  opts.walk.seed = 22;
+  const RunResult run = run_walk(u, office(), 0, opts);
+  // The office is fully indoor: after the first epoch GPS must be off.
+  EXPECT_LT(run.gps_duty_fraction(), 0.05);
+}
+
+TEST(RunnerExtra, SchemeErrorsSkipUnavailableEpochs) {
+  Uniloc u = make_uniloc(office(), models());
+  RunOptions opts;
+  opts.walk.seed = 23;
+  const RunResult run = run_walk(u, office(), 0, opts);
+  // GPS never fixes indoors: its error list must be empty, and its
+  // availability flag false at every epoch.
+  const std::vector<double> gps_errs = run.scheme_errors(0);
+  EXPECT_TRUE(gps_errs.empty());
+  for (const EpochRecord& e : run.epochs) {
+    if (e.t > 1.0) {
+      EXPECT_FALSE(e.scheme_available[0]);
+    }
+  }
+}
+
+TEST(RunnerExtra, ScanCountsRecorded) {
+  Uniloc u = make_uniloc(office(), models());
+  RunOptions opts;
+  opts.walk.seed = 24;
+  const RunResult run = run_walk(u, office(), 0, opts);
+  double wifi_sum = 0.0;
+  for (const EpochRecord& e : run.epochs) {
+    wifi_sum += static_cast<double>(e.wifi_count);
+    EXPECT_GE(e.cell_count, 1u);  // cellular pervasive
+  }
+  EXPECT_GT(wifi_sum / static_cast<double>(run.epochs.size()), 1.0);
+}
+
+TEST(RunnerExtra, SchemeAccessorExposesRegisteredSchemes) {
+  Uniloc u = make_uniloc(office(), models());
+  ASSERT_EQ(u.num_schemes(), 5u);
+  EXPECT_EQ(u.scheme(0).family(), schemes::SchemeFamily::kGps);
+  EXPECT_EQ(u.scheme(4).family(), schemes::SchemeFamily::kFusion);
+}
+
+TEST(RunnerExtra, HorusOnCellularDatabaseReportsCellFamily) {
+  schemes::HorusScheme horus(office().cell_db.get(), {});
+  EXPECT_EQ(horus.family(), schemes::SchemeFamily::kCellFingerprint);
+}
+
+TEST(RunnerExtra, AllCampusPathsComplete) {
+  static Deployment campus = make_deployment(sim::campus());
+  for (std::size_t p = 0; p < campus.place->walkways().size(); ++p) {
+    Uniloc u = make_uniloc(campus, models(), {}, false, 70 + p);
+    RunOptions opts;
+    opts.walk.seed = 80 + p;
+    opts.record_every = 6;
+    const RunResult run = run_walk(u, campus, p, opts);
+    EXPECT_GT(run.epochs.size(), 50u) << "path " << p;
+    EXPECT_LT(stats::mean(run.uniloc2_errors()), 60.0) << "path " << p;
+  }
+}
+
+TEST(RunnerExtra, CalibratedUnilocRunsOnHeterogeneousDevice) {
+  Uniloc u = make_uniloc(office(), models(), {}, /*calibrate_offset=*/true);
+  RunOptions opts;
+  opts.walk.seed = 25;
+  opts.walk.device = sim::lg_g3();
+  const RunResult run = run_walk(u, office(), 0, opts);
+  EXPECT_GT(run.epochs.size(), 100u);
+  EXPECT_LT(stats::mean(run.uniloc2_errors()), 12.0);
+}
+
+}  // namespace
+}  // namespace uniloc::core

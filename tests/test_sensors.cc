@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/ambient_sim.h"
+#include "sim/device.h"
+#include "sim/gps_sim.h"
+#include "sim/imu_sim.h"
+
+namespace uniloc::sim {
+namespace {
+
+// ------------------------------------------------------------------- GPS
+
+class GpsTest : public ::testing::Test {
+ protected:
+  geo::LocalFrame frame_{geo::LatLon{1.35, 103.68}};
+  GpsSimulator gps_{frame_};
+};
+
+TEST_F(GpsTest, NoFixWithoutSky) {
+  stats::Rng rng(1);
+  EXPECT_FALSE(gps_.sample({0.0, 0.0}, 0.0, rng).has_value());
+  EXPECT_FALSE(gps_.sample({0.0, 0.0}, 0.1, rng).has_value());
+}
+
+TEST_F(GpsTest, OpenSkyFixStatistics) {
+  stats::Rng rng(2);
+  std::vector<double> errors;
+  int sats_sum = 0;
+  int n_fix = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto fix = gps_.sample({100.0, 50.0}, 1.0, rng);
+    if (!fix.has_value()) continue;
+    ++n_fix;
+    sats_sum += fix->num_satellites;
+    errors.push_back(
+        geo::distance(frame_.to_local(fix->pos), {100.0, 50.0}));
+  }
+  ASSERT_GT(n_fix, 1800);  // open sky: fixes nearly always
+  double mean_err = 0.0;
+  for (double e : errors) mean_err += e;
+  mean_err /= static_cast<double>(errors.size());
+  // Paper: error Gaussian(13.5, 9.4) in the open.
+  EXPECT_NEAR(mean_err, 13.5, 2.0);
+  EXPECT_NEAR(static_cast<double>(sats_sum) / n_fix, 10.9, 1.5);
+}
+
+TEST_F(GpsTest, FixRespectsValidityGate) {
+  stats::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const auto fix = gps_.sample({0.0, 0.0}, 0.5, rng);
+    if (!fix.has_value()) continue;
+    EXPECT_GT(fix->num_satellites, 4);   // paper/[28]: > 4 satellites
+    EXPECT_LT(fix->hdop, 6.0);           // paper/[28]: HDOP < 6
+  }
+}
+
+TEST_F(GpsTest, PartialSkyDegradesAccuracy) {
+  stats::Rng rng(4);
+  auto mean_error = [&](double sky) {
+    double sum = 0.0;
+    int n = 0;
+    for (int i = 0; i < 1500; ++i) {
+      const auto fix = gps_.sample({0.0, 0.0}, sky, rng);
+      if (!fix.has_value()) continue;
+      sum += geo::distance(frame_.to_local(fix->pos), {0.0, 0.0});
+      ++n;
+    }
+    return n > 30 ? sum / n : -1.0;
+  };
+  const double open = mean_error(1.0);
+  const double partial = mean_error(0.45);
+  ASSERT_GT(open, 0.0);
+  ASSERT_GT(partial, 0.0);
+  EXPECT_GT(partial, open);
+}
+
+// ------------------------------------------------------------------- IMU
+
+TEST(ImuSim, StepTraceCoversStepPeriod) {
+  ImuSimulator imu(ImuParams{}, 1);
+  GaitProfile gait;
+  const auto trace = imu.step_trace(gait, 0.0, 0.0, true);
+  EXPECT_NEAR(static_cast<double>(trace.size()),
+              gait.step_period_s * 50.0, 1.5);
+  EXPECT_NEAR(imu.clock(), gait.step_period_s, 0.05);
+}
+
+TEST(ImuSim, AccelHasStepBump) {
+  ImuSimulator imu(ImuParams{}, 2);
+  GaitProfile gait;
+  gait.trembling = 0.0;
+  const auto trace = imu.step_trace(gait, 0.0, 0.0, true);
+  double amax = 0.0, amin = 100.0;
+  for (const ImuSample& s : trace) {
+    amax = std::max(amax, s.accel_mag);
+    amin = std::min(amin, s.accel_mag);
+  }
+  EXPECT_GT(amax, 10.8);  // peak above gravity
+  EXPECT_GT(amax - amin, 1.0);
+}
+
+TEST(ImuSim, IdleTraceHasNoBump) {
+  ImuSimulator imu(ImuParams{}, 3);
+  const auto trace = imu.idle_trace(1.0, 0.0, true);
+  for (const ImuSample& s : trace) {
+    EXPECT_LT(std::fabs(s.accel_mag - 9.81), 1.5);
+  }
+}
+
+TEST(ImuSim, GyroTracksTurnRate) {
+  ImuSimulator imu(ImuParams{}, 4);
+  GaitProfile gait;
+  const double dheading = 0.5;
+  const auto trace = imu.step_trace(gait, dheading, dheading, false);
+  double integrated = 0.0;
+  for (const ImuSample& s : trace) integrated += s.gyro_z / 50.0;
+  EXPECT_NEAR(integrated, dheading, 0.15);
+}
+
+TEST(ImuSim, MagHeadingNearTruthOutdoors) {
+  ImuSimulator imu(ImuParams{}, 5);
+  GaitProfile gait;
+  double worst = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const auto trace = imu.step_trace(gait, 1.0, 0.0, false);
+    for (const ImuSample& s : trace) {
+      worst = std::max(worst, std::fabs(geo::angle_diff(s.mag_heading, 1.0)));
+    }
+  }
+  EXPECT_LT(worst, 0.9);
+}
+
+TEST(ImuSim, IndoorMagOffsetDriftsMoreThanOutdoor) {
+  // Steady-state |offset| should be larger indoors (AR(1) with a larger
+  // innovation).
+  auto steady_offset = [](bool indoor) {
+    ImuSimulator imu(ImuParams{}, 6);
+    GaitProfile gait;
+    double acc = 0.0;
+    for (int i = 0; i < 400; ++i) {
+      imu.step_trace(gait, 0.0, 0.0, indoor);
+      if (i >= 200) acc += std::fabs(imu.mag_offset());
+    }
+    return acc / 200.0;
+  };
+  EXPECT_GT(steady_offset(true), steady_offset(false));
+}
+
+// ---------------------------------------------------------------- ambient
+
+TEST(AmbientSim, OutdoorBrighterThanIndoor) {
+  AmbientSimulator amb(AmbientParams{}, 1);
+  double lux_out = 0.0, lux_in = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    lux_out += amb.sample(SegmentType::kOpenSpace).light_lux;
+    lux_in += amb.sample(SegmentType::kOffice).light_lux;
+  }
+  EXPECT_GT(lux_out / 100.0, 5.0 * lux_in / 100.0);
+}
+
+TEST(AmbientSim, IndoorMagneticFluctuationHigher) {
+  AmbientSimulator amb(AmbientParams{}, 2);
+  double mag_out = 0.0, mag_in = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    mag_out += amb.sample(SegmentType::kOpenSpace).mag_field_sd_ut;
+    mag_in += amb.sample(SegmentType::kBasement).mag_field_sd_ut;
+  }
+  EXPECT_GT(mag_in, 2.0 * mag_out);
+}
+
+TEST(AmbientSim, ReadingsNonNegative) {
+  AmbientSimulator amb(AmbientParams{}, 3);
+  for (int i = 0; i < 200; ++i) {
+    const AmbientReading r = amb.sample(SegmentType::kCorridor);
+    EXPECT_GE(r.light_lux, 0.0);
+    EXPECT_GE(r.mag_field_sd_ut, 0.0);
+  }
+}
+
+// ----------------------------------------------------------------- device
+
+TEST(Device, ReferenceDeviceIsIdentity) {
+  const DeviceModel ref = nexus_5x();
+  stats::Rng rng(1);
+  std::vector<ApReading> scan{{1, -60.0}, {2, -75.0}};
+  const auto out = ref.transform(scan, rng);
+  EXPECT_DOUBLE_EQ(out[0].rssi_dbm, -60.0);
+  EXPECT_DOUBLE_EQ(out[1].rssi_dbm, -75.0);
+}
+
+TEST(Device, LgG3AppliesAffineOffset) {
+  const DeviceModel lg = lg_g3();
+  stats::Rng rng(2);
+  std::vector<ApReading> scan{{1, -60.0}};
+  const auto out = lg.transform(scan, rng);
+  // alpha * -60 + delta, plus small chipset noise.
+  const double expected = lg.rssi_alpha * -60.0 + lg.rssi_delta_db;
+  EXPECT_NEAR(out[0].rssi_dbm, expected, 4.0 * lg.extra_noise_sd_db);
+  EXPECT_LT(out[0].rssi_dbm, -60.0);  // LG reads lower than the Nexus
+}
+
+TEST(Device, TransformPreservesIds) {
+  const DeviceModel lg = lg_g3();
+  stats::Rng rng(3);
+  std::vector<ApReading> scan{{7, -50.0}, {9, -80.0}};
+  const auto out = lg.transform(scan, rng);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 7);
+  EXPECT_EQ(out[1].id, 9);
+}
+
+}  // namespace
+}  // namespace uniloc::sim

@@ -1,0 +1,130 @@
+#include "geo/spatial_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stats/rng.h"
+
+namespace uniloc::geo {
+namespace {
+
+std::vector<Vec2> random_points(std::size_t n, std::uint64_t seed,
+                                double extent = 100.0) {
+  stats::Rng rng(seed);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, extent), rng.uniform(0.0, extent)});
+  }
+  return pts;
+}
+
+std::size_t brute_nearest(const std::vector<Vec2>& pts, Vec2 q) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (distance2(pts[i], q) < distance2(pts[best], q)) best = i;
+  }
+  return best;
+}
+
+TEST(PointIndex, EmptyIndex) {
+  PointIndex idx;
+  EXPECT_TRUE(idx.empty());
+  EXPECT_TRUE(idx.within({0.0, 0.0}, 10.0).empty());
+  EXPECT_TRUE(idx.k_nearest({0.0, 0.0}, 3).empty());
+}
+
+TEST(PointIndex, NearestMatchesBruteForce) {
+  const std::vector<Vec2> pts = random_points(300, 1);
+  const PointIndex idx(pts, 5.0);
+  stats::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 q{rng.uniform(-10.0, 110.0), rng.uniform(-10.0, 110.0)};
+    const std::size_t got = idx.nearest(q);
+    const std::size_t want = brute_nearest(pts, q);
+    EXPECT_DOUBLE_EQ(distance2(pts[got], q), distance2(pts[want], q));
+  }
+}
+
+TEST(PointIndex, WithinMatchesBruteForce) {
+  const std::vector<Vec2> pts = random_points(300, 3);
+  const PointIndex idx(pts, 5.0);
+  stats::Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const Vec2 q{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    const double r = rng.uniform(2.0, 20.0);
+    std::vector<std::size_t> got = idx.within(q, r);
+    std::sort(got.begin(), got.end());
+    std::vector<std::size_t> want;
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      if (distance(pts[j], q) <= r) want.push_back(j);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(PointIndex, KNearestSortedAndCorrect) {
+  const std::vector<Vec2> pts = random_points(200, 5);
+  const PointIndex idx(pts, 5.0);
+  const Vec2 q{50.0, 50.0};
+  const std::vector<std::size_t> got = idx.k_nearest(q, 10);
+  ASSERT_EQ(got.size(), 10u);
+  // Sorted ascending by distance.
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_GE(distance2(pts[got[i]], q), distance2(pts[got[i - 1]], q));
+  }
+  // The set matches brute force.
+  std::vector<std::size_t> all(pts.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  std::sort(all.begin(), all.end(), [&](std::size_t a, std::size_t b) {
+    return distance2(pts[a], q) < distance2(pts[b], q);
+  });
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], all[i]);
+}
+
+TEST(PointIndex, KLargerThanSize) {
+  const std::vector<Vec2> pts = random_points(5, 6);
+  const PointIndex idx(pts, 5.0);
+  EXPECT_EQ(idx.k_nearest({0.0, 0.0}, 50).size(), 5u);
+}
+
+TEST(PointIndex, SinglePoint) {
+  const PointIndex idx({{3.0, 4.0}}, 5.0);
+  EXPECT_EQ(idx.nearest({100.0, 100.0}), 0u);
+  EXPECT_EQ(idx.k_nearest({0.0, 0.0}, 1).size(), 1u);
+}
+
+TEST(SegmentIndex, EmptyNeverCrosses) {
+  SegmentIndex idx;
+  EXPECT_FALSE(idx.crosses({0.0, 0.0}, {100.0, 100.0}));
+}
+
+TEST(SegmentIndex, MatchesBruteForce) {
+  stats::Rng rng(7);
+  std::vector<Segment> segs;
+  for (int i = 0; i < 150; ++i) {
+    const Vec2 a{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    segs.push_back({a, a + Vec2{rng.uniform(-8.0, 8.0),
+                                rng.uniform(-8.0, 8.0)}});
+  }
+  const SegmentIndex idx(segs, 10.0);
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 a{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    const Vec2 b = a + Vec2{rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0)};
+    bool brute = false;
+    for (const Segment& s : segs) {
+      brute = brute || segments_intersect(a, b, s.a, s.b);
+    }
+    EXPECT_EQ(idx.crosses(a, b), brute);
+  }
+}
+
+TEST(SegmentIndex, LongQuerySpanningManyCells) {
+  const SegmentIndex idx({{{50.0, -10.0}, {50.0, 10.0}}}, 4.0);
+  EXPECT_TRUE(idx.crosses({0.0, 0.0}, {100.0, 0.0}));
+  EXPECT_FALSE(idx.crosses({0.0, 20.0}, {100.0, 20.0}));
+}
+
+}  // namespace
+}  // namespace uniloc::geo

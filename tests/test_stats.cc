@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/ecdf.h"
+#include "stats/gaussian.h"
+#include "stats/rng.h"
+#include "stats/special.h"
+
+namespace uniloc::stats {
+namespace {
+
+TEST(Gaussian, PdfSymmetricAndPeaked) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_DOUBLE_EQ(normal_pdf(1.5), normal_pdf(-1.5));
+  EXPECT_GT(normal_pdf(0.0), normal_pdf(0.1));
+}
+
+TEST(Gaussian, PdfScalesWithSd) {
+  EXPECT_NEAR(normal_pdf(0.0, 0.0, 2.0), normal_pdf(0.0) / 2.0, 1e-12);
+}
+
+TEST(Gaussian, CdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(Gaussian, CdfMonotone) {
+  double prev = 0.0;
+  for (double x = -5.0; x <= 5.0; x += 0.1) {
+    const double c = normal_cdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(Gaussian, QuantileInvertsCdf) {
+  for (double p = 0.01; p < 1.0; p += 0.01) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-7);
+  }
+}
+
+TEST(Gaussian, ParameterizedCdf) {
+  EXPECT_NEAR(normal_cdf(10.0, 10.0, 3.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(13.0, 10.0, 3.0), normal_cdf(1.0), 1e-12);
+}
+
+TEST(Gaussian, ValueObject) {
+  const Gaussian g{5.0, 2.0};
+  EXPECT_NEAR(g.cdf(5.0), 0.5, 1e-12);
+  EXPECT_GT(g.pdf(5.0), g.pdf(8.0));
+}
+
+TEST(Descriptive, MeanAndVariance) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(variance(v), 4.571428571428571, 1e-12);  // n-1 denominator
+  EXPECT_NEAR(stddev(v), std::sqrt(variance(v)), 1e-12);
+}
+
+TEST(Descriptive, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(Descriptive, Rmse) {
+  const std::vector<double> pred{1.0, 2.0, 3.0};
+  const std::vector<double> truth{1.0, 2.0, 5.0};
+  EXPECT_NEAR(rmse(pred, truth), std::sqrt(4.0 / 3.0), 1e-12);
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(rmse(pred, one), std::invalid_argument);
+}
+
+TEST(Descriptive, NormalizedRmse) {
+  const std::vector<double> pred{2.0, 2.0};
+  const std::vector<double> truth{1.0, 3.0};
+  // rmse = 1, mean(truth) = 2.
+  EXPECT_NEAR(normalized_rmse(pred, truth), 0.5, 1e-12);
+}
+
+TEST(Descriptive, Percentile) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.0);
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+}
+
+TEST(Descriptive, PercentileInterpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 90.0), 9.0);
+}
+
+TEST(Descriptive, MinMax) {
+  const std::vector<double> v{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_of(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(v), 7.0);
+}
+
+TEST(Ecdf, FractionBelow) {
+  const Ecdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+}
+
+TEST(Ecdf, QuantileOrderStatistics) {
+  const Ecdf cdf({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+}
+
+TEST(Ecdf, CurveIsMonotone) {
+  const Ecdf cdf({5.0, 1.0, 3.0, 2.0, 4.0, 2.5});
+  const auto curve = cdf.curve(20);
+  ASSERT_FALSE(curve.empty());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+  }
+}
+
+TEST(Special, IncompleteBetaBoundaries) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(Special, IncompleteBetaSymmetry) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a)
+  EXPECT_NEAR(incomplete_beta(2.0, 5.0, 0.3),
+              1.0 - incomplete_beta(5.0, 2.0, 0.7), 1e-10);
+}
+
+TEST(Special, StudentTCdfKnownValues) {
+  // t(inf dof) -> normal; t=0 -> 0.5 always.
+  EXPECT_NEAR(student_t_cdf(0.0, 5.0), 0.5, 1e-12);
+  EXPECT_NEAR(student_t_cdf(2.015, 5.0), 0.95, 1e-3);   // t table
+  EXPECT_NEAR(student_t_cdf(-2.015, 5.0), 0.05, 1e-3);
+  EXPECT_NEAR(student_t_cdf(1.96, 1e6), normal_cdf(1.96), 1e-4);
+}
+
+TEST(Special, TwoSidedPValue) {
+  EXPECT_NEAR(t_test_p_value(0.0, 10.0), 1.0, 1e-12);
+  EXPECT_NEAR(t_test_p_value(2.228, 10.0), 0.05, 1e-3);  // t table, dof=10
+  EXPECT_NEAR(t_test_p_value(2.228, 10.0), t_test_p_value(-2.228, 10.0),
+              1e-12);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(r.normal(3.0, 2.0));
+  EXPECT_NEAR(mean(xs), 3.0, 0.1);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.1);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng base(1);
+  Rng a = base.fork(1);
+  Rng b = base.fork(2);
+  // Different streams should diverge immediately.
+  EXPECT_NE(a.uniform(), b.uniform());
+}
+
+TEST(Rng, HashToUnitInRange) {
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const double u = hash_to_unit(splitmix64(i));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, SplitmixAvalanche) {
+  // Adjacent inputs produce very different outputs.
+  EXPECT_NE(splitmix64(1) >> 32, splitmix64(2) >> 32);
+  EXPECT_NE(splitmix64(0), 0u);
+}
+
+}  // namespace
+}  // namespace uniloc::stats

@@ -1,0 +1,161 @@
+#include "sim/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/cold_start.h"
+#include "core/deployment.h"
+#include "sim/builders.h"
+#include "sim/walker.h"
+
+namespace uniloc {
+namespace {
+
+sim::Trace record_walk(std::uint64_t seed, int max_frames = 80) {
+  static core::Deployment office = core::make_deployment(
+      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+  sim::WalkConfig wc;
+  wc.seed = seed;
+  sim::Walker walker(office.place.get(), office.radio.get(), 0, wc);
+  sim::Trace t;
+  t.venue = "office";
+  t.step_period_s = wc.gait.step_period_s;
+  t.start_pos = walker.start_position();
+  t.start_heading = walker.start_heading();
+  int n = 0;
+  while (!walker.done() && n++ < max_frames) {
+    t.frames.push_back(walker.step(true));
+  }
+  return t;
+}
+
+void expect_traces_equal(const sim::Trace& a, const sim::Trace& b) {
+  EXPECT_EQ(a.venue, b.venue);
+  EXPECT_DOUBLE_EQ(a.step_period_s, b.step_period_s);
+  EXPECT_EQ(a.start_pos, b.start_pos);
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  for (std::size_t i = 0; i < a.frames.size(); ++i) {
+    const sim::SensorFrame& fa = a.frames[i];
+    const sim::SensorFrame& fb = b.frames[i];
+    EXPECT_DOUBLE_EQ(fa.t, fb.t);
+    EXPECT_EQ(fa.truth_pos, fb.truth_pos);
+    EXPECT_EQ(fa.truth_env, fb.truth_env);
+    EXPECT_EQ(fa.gps_enabled, fb.gps_enabled);
+    ASSERT_EQ(fa.wifi.size(), fb.wifi.size());
+    for (std::size_t j = 0; j < fa.wifi.size(); ++j) {
+      EXPECT_EQ(fa.wifi[j].id, fb.wifi[j].id);
+      EXPECT_DOUBLE_EQ(fa.wifi[j].rssi_dbm, fb.wifi[j].rssi_dbm);
+    }
+    ASSERT_EQ(fa.cell.size(), fb.cell.size());
+    EXPECT_EQ(fa.gps.has_value(), fb.gps.has_value());
+    if (fa.gps.has_value()) {
+      EXPECT_DOUBLE_EQ(fa.gps->pos.lat_deg, fb.gps->pos.lat_deg);
+      EXPECT_EQ(fa.gps->num_satellites, fb.gps->num_satellites);
+    }
+    ASSERT_EQ(fa.imu.size(), fb.imu.size());
+    for (std::size_t j = 0; j < fa.imu.size(); ++j) {
+      EXPECT_DOUBLE_EQ(fa.imu[j].accel_mag, fb.imu[j].accel_mag);
+      EXPECT_DOUBLE_EQ(fa.imu[j].gyro_z, fb.imu[j].gyro_z);
+    }
+    EXPECT_DOUBLE_EQ(fa.ambient.light_lux, fb.ambient.light_lux);
+    ASSERT_EQ(fa.landmarks.size(), fb.landmarks.size());
+    for (std::size_t j = 0; j < fa.landmarks.size(); ++j) {
+      EXPECT_EQ(fa.landmarks[j].map_pos, fb.landmarks[j].map_pos);
+      EXPECT_EQ(fa.landmarks[j].kind, fb.landmarks[j].kind);
+    }
+  }
+}
+
+TEST(TraceIo, RoundTripThroughStream) {
+  const sim::Trace original = record_walk(1);
+  std::stringstream ss;
+  sim::write_trace(original, ss);
+  const sim::Trace loaded = sim::read_trace(ss);
+  expect_traces_equal(original, loaded);
+}
+
+TEST(TraceIo, RoundTripThroughFile) {
+  const std::string path = "/tmp/uniloc_trace_test.trace";
+  const sim::Trace original = record_walk(2, 30);
+  sim::write_trace(original, path);
+  const sim::Trace loaded = sim::read_trace(path);
+  expect_traces_equal(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss;
+  ss << "# comment\n\nV test\nP 0.5\nS 1 2 0.3\n"
+     << "F 0.5 1.7 2 0.3 0 0.7 1\nA 300 4\n";
+  const sim::Trace t = sim::read_trace(ss);
+  EXPECT_EQ(t.venue, "test");
+  ASSERT_EQ(t.frames.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.frames[0].ambient.light_lux, 300.0);
+}
+
+TEST(TraceIo, MalformedInputThrows) {
+  std::stringstream bad_tag("X 1 2 3\n");
+  EXPECT_THROW(sim::read_trace(bad_tag), std::runtime_error);
+  std::stringstream scan_without_frame("V t\nW 1 -60\n");
+  EXPECT_THROW(sim::read_trace(scan_without_frame), std::runtime_error);
+  std::stringstream truncated_frame("F 0.5 1.0\n");
+  EXPECT_THROW(sim::read_trace(truncated_frame), std::runtime_error);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(sim::read_trace(std::string("/nonexistent/x.trace")),
+               std::runtime_error);
+}
+
+// -------------------------------------------------------------- cold start
+
+TEST(ColdStart, LocatesStartFromWifi) {
+  core::Deployment office = core::make_deployment(
+      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+  const sim::Trace trace = record_walk(3, 40);
+  core::ColdStartLocator locator(office.wifi_db.get());
+  std::optional<schemes::StartCondition> start;
+  std::size_t used = 0;
+  for (const sim::SensorFrame& f : trace.frames) {
+    ++used;
+    start = locator.observe(f);
+    if (start.has_value()) break;
+  }
+  ASSERT_TRUE(start.has_value());
+  EXPECT_LE(used, 12u);
+  // The walker has moved `used` steps, so allow start error accordingly.
+  EXPECT_LT(geo::distance(start->pos, trace.start_pos),
+            8.0 + 0.7 * static_cast<double>(used));
+}
+
+TEST(ColdStart, NoVerdictWithoutWifi) {
+  core::ColdStartLocator locator(nullptr);
+  sim::SensorFrame f;
+  f.wifi = {{1, -60.0}};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(locator.observe(f).has_value());
+  }
+  EXPECT_FALSE(locator.current_guess().has_value());
+}
+
+TEST(ColdStart, HeadingFromMagnetometer) {
+  core::Deployment office = core::make_deployment(
+      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+  const sim::Trace trace = record_walk(4, 20);
+  core::ColdStartLocator locator(office.wifi_db.get());
+  std::optional<schemes::StartCondition> start;
+  for (const sim::SensorFrame& f : trace.frames) {
+    start = locator.observe(f);
+    if (start.has_value()) break;
+  }
+  ASSERT_TRUE(start.has_value());
+  // The office loop starts heading east (0 rad); magnetometer-derived
+  // heading should be in the right quadrant despite indoor disturbance.
+  EXPECT_LT(std::fabs(geo::angle_diff(start->heading, trace.start_heading)),
+            0.8);
+}
+
+}  // namespace
+}  // namespace uniloc

@@ -1,0 +1,288 @@
+// Integration tests: the full train -> deploy -> walk pipeline.
+//
+// These exercise the paper's headline behaviours end-to-end: error models
+// trained in two small venues transfer to the campus; UniLoc tracks or
+// beats the best individual scheme; unavailability is tolerated; GPS is
+// duty-cycled; the whole pipeline is deterministic under a fixed seed.
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "core/trainer.h"
+#include "stats/descriptive.h"
+
+namespace uniloc::core {
+namespace {
+
+/// Train once for the whole test binary (takes ~0.3 s).
+const TrainedModels& models() {
+  static const TrainedModels m = train_standard_models(42, 300);
+  return m;
+}
+
+const Deployment& campus() {
+  static Deployment d = make_deployment(sim::campus());
+  return d;
+}
+
+TEST(Trainer, CollectsRequestedSampleCount) {
+  Deployment office = make_deployment(sim::office_place(42),
+                                      DeploymentOptions{.seed = 42});
+  CollectOptions opts;
+  opts.target_samples = 120;
+  const TrainingData data = collect_training_data(office, opts);
+  EXPECT_EQ(data.num_epochs, 120u);
+  EXPECT_TRUE(data.venue_indoor);
+  // All four regression families must have rows.
+  using SF = schemes::SchemeFamily;
+  for (SF f : {SF::kWifiFingerprint, SF::kCellFingerprint, SF::kMotionPdr,
+               SF::kFusion}) {
+    ASSERT_TRUE(data.by_family.count(f));
+    EXPECT_GT(data.by_family.at(f).rows.size(), 50u);
+  }
+}
+
+TEST(Trainer, OutdoorVenueCollectsGpsErrors) {
+  Deployment open = make_deployment(sim::open_space_place(42),
+                                    DeploymentOptions{.seed = 43});
+  CollectOptions opts;
+  opts.target_samples = 120;
+  const TrainingData data = collect_training_data(open, opts);
+  EXPECT_FALSE(data.venue_indoor);
+  EXPECT_GT(data.gps_errors.size(), 30u);
+}
+
+TEST(Trainer, ModelsHaveAllFamilies) {
+  using SF = schemes::SchemeFamily;
+  for (SF f : {SF::kGps, SF::kWifiFingerprint, SF::kCellFingerprint,
+               SF::kMotionPdr, SF::kFusion}) {
+    EXPECT_NO_THROW(models().for_family(f));
+  }
+  EXPECT_THROW(models().for_family(SF::kOther), std::out_of_range);
+}
+
+TEST(Trainer, LearnedSignsMatchPaper) {
+  // Table II qualitative structure: fingerprint density raises error,
+  // RSSI-distance deviation lowers it, landmark distance raises it.
+  const ErrorModel& wifi =
+      models().for_family(schemes::SchemeFamily::kWifiFingerprint);
+  EXPECT_GT(wifi.indoor_model().coefficients[1].estimate, 0.0);  // density
+  EXPECT_LT(wifi.indoor_model().coefficients[2].estimate, 0.0);  // deviation
+  const ErrorModel& motion =
+      models().for_family(schemes::SchemeFamily::kMotionPdr);
+  EXPECT_GT(motion.indoor_model().coefficients[1].estimate, 0.0);
+  EXPECT_GT(motion.outdoor_model().coefficients[1].estimate, 0.0);
+}
+
+TEST(Trainer, GpsModelMatchesSimulatedReceiver) {
+  const stats::Gaussian g =
+      models().for_family(schemes::SchemeFamily::kGps).predict({}, false);
+  EXPECT_NEAR(g.mean, 13.5, 3.5);  // paper: 13.5 m
+  EXPECT_NEAR(g.sd, 9.4, 4.0);     // paper: 9.4 m
+}
+
+TEST(Trainer, FusionOutdoorAliasesMotionOutdoor) {
+  const ErrorModel& fusion =
+      models().for_family(schemes::SchemeFamily::kFusion);
+  const ErrorModel& motion =
+      models().for_family(schemes::SchemeFamily::kMotionPdr);
+  const std::vector<double> x{20.0, 10.0, 3.0};
+  EXPECT_DOUBLE_EQ(fusion.predict(x, false).mean,
+                   motion.predict(x, false).mean);
+}
+
+TEST(UnilocIntegration, FiveSchemesRegistered) {
+  Uniloc u = make_uniloc(campus(), models());
+  EXPECT_EQ(u.num_schemes(), 5u);
+  const auto names = u.scheme_names();
+  EXPECT_EQ(names[0], "GPS");
+  EXPECT_EQ(names[4], "Fusion");
+}
+
+TEST(UnilocIntegration, WalkProducesFiniteEstimates) {
+  Uniloc u = make_uniloc(campus(), models());
+  RunOptions opts;
+  opts.walk.seed = 99;
+  const RunResult run = run_walk(u, campus(), 0, opts);
+  ASSERT_GT(run.epochs.size(), 300u);
+  for (const EpochRecord& e : run.epochs) {
+    EXPECT_TRUE(std::isfinite(e.uniloc1_err));
+    EXPECT_TRUE(std::isfinite(e.uniloc2_err));
+    EXPECT_LT(e.uniloc2_err, 500.0);
+  }
+}
+
+TEST(UnilocIntegration, WeightsFormDistribution) {
+  Uniloc u = make_uniloc(campus(), models());
+  RunOptions opts;
+  opts.walk.seed = 100;
+  const RunResult run = run_walk(u, campus(), 0, opts);
+  for (const EpochRecord& e : run.epochs) {
+    double sum = 0.0;
+    for (double w : e.weight) {
+      EXPECT_GE(w, 0.0);
+      sum += w;
+    }
+    EXPECT_TRUE(std::abs(sum - 1.0) < 1e-9 || sum == 0.0);
+    for (double c : e.confidence) {
+      EXPECT_GE(c, 0.0);
+      EXPECT_LE(c, 1.0);
+    }
+  }
+}
+
+TEST(UnilocIntegration, UnavailableSchemesGetZeroWeight) {
+  Uniloc u = make_uniloc(campus(), models());
+  RunOptions opts;
+  opts.walk.seed = 101;
+  const RunResult run = run_walk(u, campus(), 0, opts);
+  for (const EpochRecord& e : run.epochs) {
+    for (std::size_t i = 0; i < e.scheme_available.size(); ++i) {
+      if (!e.scheme_available[i]) {
+        EXPECT_DOUBLE_EQ(e.weight[i], 0.0);
+        EXPECT_DOUBLE_EQ(e.confidence[i], 0.0);
+      }
+    }
+  }
+}
+
+TEST(UnilocIntegration, BeatsWorstAndTracksBestScheme) {
+  Uniloc u = make_uniloc(campus(), models());
+  RunOptions opts;
+  opts.walk.seed = 102;
+  const RunResult run = run_walk(u, campus(), 0, opts);
+  double best = 1e18, worst = -1.0;
+  for (std::size_t i = 0; i < run.scheme_names.size(); ++i) {
+    const auto errs = run.scheme_errors(i);
+    if (errs.size() < run.epochs.size() / 2) continue;
+    best = std::min(best, stats::mean(errs));
+    worst = std::max(worst, stats::mean(errs));
+  }
+  const double u2 = stats::mean(run.uniloc2_errors());
+  EXPECT_LT(u2, worst);
+  EXPECT_LT(u2, best * 1.6);  // at worst modestly above the best scheme
+}
+
+TEST(UnilocIntegration, OracleLowerBoundsSelection) {
+  Uniloc u = make_uniloc(campus(), models());
+  RunOptions opts;
+  opts.walk.seed = 103;
+  const RunResult run = run_walk(u, campus(), 0, opts);
+  for (const EpochRecord& e : run.epochs) {
+    if (e.oracle_choice < 0 || e.uniloc1_choice < 0) continue;
+    EXPECT_LE(e.oracle_err, e.uniloc1_err + 1e-9);
+  }
+}
+
+TEST(UnilocIntegration, GpsDutyCycleKeepsGpsOffIndoors) {
+  Uniloc u = make_uniloc(campus(), models());
+  RunOptions opts;
+  opts.walk.seed = 104;
+  const RunResult run = run_walk(u, campus(), 0, opts);
+  int indoor_on = 0, outdoor_on = 0;
+  for (const EpochRecord& e : run.epochs) {
+    // Skip the warm-up epoch (controller has no verdict yet).
+    if (e.t < 1.0) continue;
+    if (e.indoor_truth && e.gps_was_enabled) ++indoor_on;
+    if (!e.indoor_truth && e.gps_was_enabled) ++outdoor_on;
+  }
+  EXPECT_LE(indoor_on, 8);   // a few misdetections allowed
+  EXPECT_GT(outdoor_on, 5);  // GPS does get its turn outdoors
+}
+
+TEST(UnilocIntegration, DeterministicUnderSeed) {
+  RunOptions opts;
+  opts.walk.seed = 105;
+  Uniloc u1 = make_uniloc(campus(), models(), {}, false, 7);
+  Uniloc u2 = make_uniloc(campus(), models(), {}, false, 7);
+  const RunResult a = run_walk(u1, campus(), 0, opts);
+  const RunResult b = run_walk(u2, campus(), 0, opts);
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.epochs[i].uniloc2_err, b.epochs[i].uniloc2_err);
+  }
+}
+
+TEST(UnilocIntegration, IoDetectorMostlyCorrect) {
+  Uniloc u = make_uniloc(campus(), models());
+  RunOptions opts;
+  opts.walk.seed = 106;
+  const RunResult run = run_walk(u, campus(), 0, opts);
+  int correct = 0;
+  for (const EpochRecord& e : run.epochs) {
+    if (e.indoor_detected == e.indoor_truth) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) /
+                static_cast<double>(run.epochs.size()),
+            0.9);
+}
+
+TEST(UnilocIntegration, RecordEverySubsamples) {
+  Uniloc u = make_uniloc(campus(), models());
+  RunOptions every;
+  every.walk.seed = 107;
+  RunOptions fifth = every;
+  fifth.record_every = 5;
+  const RunResult all = run_walk(u, campus(), 0, every);
+  Uniloc u2 = make_uniloc(campus(), models());
+  const RunResult sub = run_walk(u2, campus(), 0, fifth);
+  EXPECT_NEAR(static_cast<double>(all.epochs.size()) / 5.0,
+              static_cast<double>(sub.epochs.size()), 2.0);
+}
+
+TEST(UnilocIntegration, UsageFractionsSumToOne) {
+  Uniloc u = make_uniloc(campus(), models());
+  RunOptions opts;
+  opts.walk.seed = 108;
+  const RunResult run = run_walk(u, campus(), 0, opts);
+  double sum = 0.0;
+  for (double f : run.uniloc1_usage()) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  sum = 0.0;
+  for (double f : run.oracle_usage()) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(UnilocIntegration, AppendMergesRuns) {
+  Uniloc u = make_uniloc(campus(), models());
+  RunOptions opts;
+  opts.walk.seed = 109;
+  RunResult a = run_walk(u, campus(), 0, opts);
+  const std::size_t n = a.epochs.size();
+  Uniloc u2 = make_uniloc(campus(), models());
+  opts.walk.seed = 110;
+  const RunResult b = run_walk(u2, campus(), 1, opts);
+  a.append(b);
+  EXPECT_EQ(a.epochs.size(), n + b.epochs.size());
+}
+
+TEST(UnilocIntegration, FixedTauChangesBehaviour) {
+  UnilocConfig tight;
+  tight.fixed_tau_m = 1.0;
+  UnilocConfig loose;
+  loose.fixed_tau_m = 100.0;
+  RunOptions opts;
+  opts.walk.seed = 111;
+  Uniloc ut = make_uniloc(campus(), models(), tight);
+  Uniloc ul = make_uniloc(campus(), models(), loose);
+  const RunResult rt = run_walk(ut, campus(), 0, opts);
+  const RunResult rl = run_walk(ul, campus(), 0, opts);
+  // A huge tau saturates all confidences -> near-uniform weights; the two
+  // configurations must differ measurably.
+  EXPECT_NE(stats::mean(rt.uniloc2_errors()), stats::mean(rl.uniloc2_errors()));
+}
+
+TEST(UnilocIntegration, ModelsTransferToUnseenVenue) {
+  // The paper's scalability claim: train in office+open space, deploy in
+  // the mall. UniLoc2 must stay within sane error bounds there.
+  Deployment mall = make_deployment(sim::mall_place(7),
+                                    DeploymentOptions{.seed = 7});
+  Uniloc u = make_uniloc(mall, models());
+  RunOptions opts;
+  opts.walk.seed = 112;
+  const RunResult run = run_walk(u, mall, 0, opts);
+  ASSERT_GT(run.epochs.size(), 100u);
+  EXPECT_LT(stats::mean(run.uniloc2_errors()), 15.0);
+}
+
+}  // namespace
+}  // namespace uniloc::core

@@ -1,0 +1,104 @@
+#include "geo/vec2.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace uniloc::geo {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Vec2, DefaultIsZero) {
+  Vec2 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+}
+
+TEST(Vec2, Arithmetic) {
+  Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Vec2{0.5, 1.0}));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 a{1.0, 1.0};
+  a += {2.0, 3.0};
+  EXPECT_EQ(a, (Vec2{3.0, 4.0}));
+  a -= {1.0, 1.0};
+  EXPECT_EQ(a, (Vec2{2.0, 3.0}));
+  a *= 2.0;
+  EXPECT_EQ(a, (Vec2{4.0, 6.0}));
+}
+
+TEST(Vec2, DotAndCross) {
+  Vec2 a{1.0, 0.0}, b{0.0, 1.0};
+  EXPECT_EQ(a.dot(b), 0.0);
+  EXPECT_EQ(a.cross(b), 1.0);
+  EXPECT_EQ(b.cross(a), -1.0);
+  EXPECT_EQ(a.dot(a), 1.0);
+}
+
+TEST(Vec2, NormAndNormalized) {
+  Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  const Vec2 u = v.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(u.x, 0.6, 1e-12);
+}
+
+TEST(Vec2, NormalizedZeroVectorIsZero) {
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+}
+
+TEST(Vec2, Perpendicular) {
+  Vec2 v{1.0, 0.0};
+  EXPECT_EQ(v.perp(), (Vec2{0.0, 1.0}));
+  EXPECT_NEAR(v.perp().dot(v), 0.0, 1e-12);
+}
+
+TEST(Vec2, AngleAndRotation) {
+  EXPECT_NEAR((Vec2{1.0, 0.0}).angle(), 0.0, 1e-12);
+  EXPECT_NEAR((Vec2{0.0, 1.0}).angle(), kPi / 2.0, 1e-12);
+  const Vec2 r = Vec2{1.0, 0.0}.rotated(kPi / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+}
+
+TEST(Vec2, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance2({0.0, 0.0}, {3.0, 4.0}), 25.0);
+}
+
+TEST(Vec2, Lerp) {
+  const Vec2 m = lerp({0.0, 0.0}, {10.0, 20.0}, 0.5);
+  EXPECT_EQ(m, (Vec2{5.0, 10.0}));
+  EXPECT_EQ(lerp({1.0, 1.0}, {2.0, 2.0}, 0.0), (Vec2{1.0, 1.0}));
+  EXPECT_EQ(lerp({1.0, 1.0}, {2.0, 2.0}, 1.0), (Vec2{2.0, 2.0}));
+}
+
+TEST(WrapAngle, StaysInRange) {
+  for (double a = -20.0; a <= 20.0; a += 0.37) {
+    const double w = wrap_angle(a);
+    EXPECT_GT(w, -kPi - 1e-12);
+    EXPECT_LE(w, kPi + 1e-12);
+    // Same direction.
+    EXPECT_NEAR(std::cos(w), std::cos(a), 1e-9);
+    EXPECT_NEAR(std::sin(w), std::sin(a), 1e-9);
+  }
+}
+
+TEST(AngleDiff, SignedSmallestDifference) {
+  EXPECT_NEAR(angle_diff(0.1, -0.1), 0.2, 1e-12);
+  EXPECT_NEAR(angle_diff(-0.1, 0.1), -0.2, 1e-12);
+  // Wraps across the +-pi boundary.
+  EXPECT_NEAR(angle_diff(kPi - 0.05, -kPi + 0.05), -0.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace uniloc::geo

@@ -1,0 +1,170 @@
+#include "sim/walker.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/builders.h"
+
+namespace uniloc::sim {
+namespace {
+
+class WalkerTest : public ::testing::Test {
+ protected:
+  WalkerTest()
+      : place_(campus(42)),
+        radio_(&place_, RadioParams{}, CellRadioParams{}, 42) {}
+
+  Walker make_walker(std::uint64_t seed = 1, std::size_t walkway = 0) {
+    WalkConfig cfg;
+    cfg.seed = seed;
+    return Walker(&place_, &radio_, walkway, cfg);
+  }
+
+  Place place_;
+  RadioEnvironment radio_;
+};
+
+TEST_F(WalkerTest, StartsAtWalkwayOrigin) {
+  Walker w = make_walker();
+  EXPECT_EQ(w.start_position(), place_.walkways()[0].line.point_at(0.0));
+  EXPECT_FALSE(w.done());
+}
+
+TEST_F(WalkerTest, AdvancesByStepsUntilDone) {
+  Walker w = make_walker();
+  int steps = 0;
+  double prev_arclen = 0.0;
+  while (!w.done()) {
+    const SensorFrame f = w.step();
+    EXPECT_GT(f.truth_arclen, prev_arclen);
+    prev_arclen = f.truth_arclen;
+    ++steps;
+    ASSERT_LT(steps, 2000) << "walker never finished";
+  }
+  // 320 m at ~0.7 m/step.
+  EXPECT_NEAR(steps, 457, 60);
+}
+
+TEST_F(WalkerTest, TruthStaysInsideCorridor) {
+  Walker w = make_walker();
+  const geo::Polyline& line = place_.walkways()[0].line;
+  while (!w.done()) {
+    const SensorFrame f = w.step();
+    const geo::Projection proj = line.project(f.truth_pos);
+    const PathSegment& seg = place_.walkways()[0].segment_at(proj.arclen);
+    EXPECT_LE(proj.distance, seg.corridor_width_m / 2.0 + 0.2);
+  }
+}
+
+TEST_F(WalkerTest, FrameCarriesEnvironmentTruth) {
+  Walker w = make_walker();
+  bool saw_office = false, saw_basement = false, saw_open = false;
+  while (!w.done()) {
+    const SensorFrame f = w.step();
+    saw_office |= f.truth_env == SegmentType::kOffice;
+    saw_basement |= f.truth_env == SegmentType::kBasement;
+    saw_open |= f.truth_env == SegmentType::kOpenSpace;
+  }
+  EXPECT_TRUE(saw_office);
+  EXPECT_TRUE(saw_basement);
+  EXPECT_TRUE(saw_open);
+}
+
+TEST_F(WalkerTest, GpsAbsentWhenDisabled) {
+  Walker w = make_walker();
+  while (!w.done()) {
+    const SensorFrame f = w.step(/*gps_enabled=*/false);
+    EXPECT_FALSE(f.gps.has_value());
+    EXPECT_FALSE(f.gps_enabled);
+  }
+}
+
+TEST_F(WalkerTest, GpsAppearsOutdoorsWhenEnabled) {
+  Walker w = make_walker();
+  int outdoor_fixes = 0, indoor_fixes = 0;
+  while (!w.done()) {
+    const SensorFrame f = w.step(true);
+    if (f.gps.has_value()) {
+      (f.truth_env == SegmentType::kOpenSpace ? outdoor_fixes : indoor_fixes)++;
+    }
+  }
+  EXPECT_GT(outdoor_fixes, 50);
+  EXPECT_EQ(indoor_fixes, 0);  // no sky under roofs on this campus
+}
+
+TEST_F(WalkerTest, WifiSilentInBasement) {
+  Walker w = make_walker();
+  while (!w.done()) {
+    const SensorFrame f = w.step();
+    if (f.truth_env == SegmentType::kBasement && f.truth_arclen > 135.0 &&
+        f.truth_arclen < 175.0) {
+      EXPECT_TRUE(f.wifi.empty()) << "at arclen " << f.truth_arclen;
+    }
+  }
+}
+
+TEST_F(WalkerTest, ImuSamplesEveryStep) {
+  Walker w = make_walker();
+  while (!w.done()) {
+    const SensorFrame f = w.step();
+    EXPECT_GE(f.imu.size(), 20u);  // ~27 samples at 50 Hz per 0.55 s step
+    EXPECT_LE(f.imu.size(), 40u);
+  }
+}
+
+TEST_F(WalkerTest, LandmarksTriggerOncePerPass) {
+  Walker w = make_walker();
+  // A landmark may re-trigger if the walker wanders out of and back into
+  // its radius, but never on back-to-back epochs (hysteresis).
+  std::vector<std::pair<geo::Vec2, int>> seen;  // position, epoch
+  int epoch = 0;
+  std::size_t triggers = 0;
+  while (!w.done()) {
+    const SensorFrame f = w.step();
+    ++epoch;
+    for (const LandmarkObservation& lm : f.landmarks) {
+      ++triggers;
+      for (const auto& [pos, when] : seen) {
+        if (geo::distance(pos, lm.map_pos) < 0.1) {
+          EXPECT_GT(epoch - when, 1) << "landmark re-fired immediately";
+        }
+      }
+      seen.emplace_back(lm.map_pos, epoch);
+    }
+  }
+  EXPECT_GT(triggers, 2u);  // some landmarks recognized along Path 1
+}
+
+TEST_F(WalkerTest, DeterministicForSeed) {
+  Walker a = make_walker(7), b = make_walker(7);
+  for (int i = 0; i < 50; ++i) {
+    const SensorFrame fa = a.step(), fb = b.step();
+    EXPECT_EQ(fa.truth_pos, fb.truth_pos);
+    ASSERT_EQ(fa.wifi.size(), fb.wifi.size());
+    for (std::size_t j = 0; j < fa.wifi.size(); ++j) {
+      EXPECT_DOUBLE_EQ(fa.wifi[j].rssi_dbm, fb.wifi[j].rssi_dbm);
+    }
+  }
+}
+
+TEST_F(WalkerTest, SeedsProduceDifferentNoise) {
+  Walker a = make_walker(7), b = make_walker(8);
+  a.step();
+  b.step();
+  const SensorFrame fa = a.step(), fb = b.step();
+  EXPECT_NE(fa.truth_pos, fb.truth_pos);  // lateral wander differs
+}
+
+TEST_F(WalkerTest, InvalidWalkwayThrows) {
+  WalkConfig cfg;
+  EXPECT_THROW(Walker(&place_, &radio_, 99, cfg), std::out_of_range);
+}
+
+TEST_F(WalkerTest, TimeAdvancesByStepPeriod) {
+  Walker w = make_walker();
+  const SensorFrame f1 = w.step();
+  const SensorFrame f2 = w.step();
+  EXPECT_NEAR(f2.t - f1.t, 0.55, 1e-9);
+}
+
+}  // namespace
+}  // namespace uniloc::sim
