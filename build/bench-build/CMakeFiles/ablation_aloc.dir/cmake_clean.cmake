@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_aloc"
+  "../bench/ablation_aloc.pdb"
+  "CMakeFiles/ablation_aloc.dir/ablation_aloc.cpp.o"
+  "CMakeFiles/ablation_aloc.dir/ablation_aloc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_crowdsource"
+  "../bench/ablation_crowdsource.pdb"
+  "CMakeFiles/ablation_crowdsource.dir/ablation_crowdsource.cpp.o"
+  "CMakeFiles/ablation_crowdsource.dir/ablation_crowdsource.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_crowdsource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fp_density"
+  "../bench/ablation_fp_density.pdb"
+  "CMakeFiles/ablation_fp_density.dir/ablation_fp_density.cpp.o"
+  "CMakeFiles/ablation_fp_density.dir/ablation_fp_density.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fp_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

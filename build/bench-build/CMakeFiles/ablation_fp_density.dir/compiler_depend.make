@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_fp_density.
+# This may be replaced when dependencies are built.

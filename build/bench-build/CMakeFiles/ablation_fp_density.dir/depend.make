@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_fp_density.
+# This may be replaced when dependencies are built.

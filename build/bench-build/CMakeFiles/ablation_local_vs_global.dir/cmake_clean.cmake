@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_local_vs_global"
+  "../bench/ablation_local_vs_global.pdb"
+  "CMakeFiles/ablation_local_vs_global.dir/ablation_local_vs_global.cpp.o"
+  "CMakeFiles/ablation_local_vs_global.dir/ablation_local_vs_global.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_local_vs_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

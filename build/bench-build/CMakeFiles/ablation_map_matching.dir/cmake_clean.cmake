@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_map_matching"
+  "../bench/ablation_map_matching.pdb"
+  "CMakeFiles/ablation_map_matching.dir/ablation_map_matching.cpp.o"
+  "CMakeFiles/ablation_map_matching.dir/ablation_map_matching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_map_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

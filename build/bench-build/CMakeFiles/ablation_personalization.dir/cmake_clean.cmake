@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_personalization"
+  "../bench/ablation_personalization.pdb"
+  "CMakeFiles/ablation_personalization.dir/ablation_personalization.cpp.o"
+  "CMakeFiles/ablation_personalization.dir/ablation_personalization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_personalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

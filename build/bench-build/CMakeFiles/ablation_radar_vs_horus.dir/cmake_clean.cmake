@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_radar_vs_horus"
+  "../bench/ablation_radar_vs_horus.pdb"
+  "CMakeFiles/ablation_radar_vs_horus.dir/ablation_radar_vs_horus.cpp.o"
+  "CMakeFiles/ablation_radar_vs_horus.dir/ablation_radar_vs_horus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_radar_vs_horus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_radar_vs_horus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_scheme_count"
+  "../bench/ablation_scheme_count.pdb"
+  "CMakeFiles/ablation_scheme_count.dir/ablation_scheme_count.cpp.o"
+  "CMakeFiles/ablation_scheme_count.dir/ablation_scheme_count.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scheme_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

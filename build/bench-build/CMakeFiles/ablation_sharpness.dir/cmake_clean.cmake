@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sharpness"
+  "../bench/ablation_sharpness.pdb"
+  "CMakeFiles/ablation_sharpness.dir/ablation_sharpness.cpp.o"
+  "CMakeFiles/ablation_sharpness.dir/ablation_sharpness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sharpness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

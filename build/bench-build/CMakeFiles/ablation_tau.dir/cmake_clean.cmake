@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tau"
+  "../bench/ablation_tau.pdb"
+  "CMakeFiles/ablation_tau.dir/ablation_tau.cpp.o"
+  "CMakeFiles/ablation_tau.dir/ablation_tau.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

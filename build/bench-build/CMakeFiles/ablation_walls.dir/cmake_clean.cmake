@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_walls"
+  "../bench/ablation_walls.pdb"
+  "CMakeFiles/ablation_walls.dir/ablation_walls.cpp.o"
+  "CMakeFiles/ablation_walls.dir/ablation_walls.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_walls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

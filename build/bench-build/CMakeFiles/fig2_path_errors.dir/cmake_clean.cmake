@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_path_errors"
+  "../bench/fig2_path_errors.pdb"
+  "CMakeFiles/fig2_path_errors.dir/fig2_path_errors.cpp.o"
+  "CMakeFiles/fig2_path_errors.dir/fig2_path_errors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_path_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_uniloc_path"
+  "../bench/fig3_uniloc_path.pdb"
+  "CMakeFiles/fig3_uniloc_path.dir/fig3_uniloc_path.cpp.o"
+  "CMakeFiles/fig3_uniloc_path.dir/fig3_uniloc_path.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_uniloc_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

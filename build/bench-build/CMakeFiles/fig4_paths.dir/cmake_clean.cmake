@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_paths"
+  "../bench/fig4_paths.pdb"
+  "CMakeFiles/fig4_paths.dir/fig4_paths.cpp.o"
+  "CMakeFiles/fig4_paths.dir/fig4_paths.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

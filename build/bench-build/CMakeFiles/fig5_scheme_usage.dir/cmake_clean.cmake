@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_scheme_usage"
+  "../bench/fig5_scheme_usage.pdb"
+  "CMakeFiles/fig5_scheme_usage.dir/fig5_scheme_usage.cpp.o"
+  "CMakeFiles/fig5_scheme_usage.dir/fig5_scheme_usage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_scheme_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

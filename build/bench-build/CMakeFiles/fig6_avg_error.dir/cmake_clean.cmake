@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_avg_error"
+  "../bench/fig6_avg_error.pdb"
+  "CMakeFiles/fig6_avg_error.dir/fig6_avg_error.cpp.o"
+  "CMakeFiles/fig6_avg_error.dir/fig6_avg_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_avg_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_cdf_all_paths"
+  "../bench/fig7_cdf_all_paths.pdb"
+  "CMakeFiles/fig7_cdf_all_paths.dir/fig7_cdf_all_paths.cpp.o"
+  "CMakeFiles/fig7_cdf_all_paths.dir/fig7_cdf_all_paths.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cdf_all_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

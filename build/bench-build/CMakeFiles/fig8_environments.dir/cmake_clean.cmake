@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_environments"
+  "../bench/fig8_environments.pdb"
+  "CMakeFiles/fig8_environments.dir/fig8_environments.cpp.o"
+  "CMakeFiles/fig8_environments.dir/fig8_environments.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_environments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

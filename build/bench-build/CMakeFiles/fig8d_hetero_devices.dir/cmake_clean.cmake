@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8d_hetero_devices"
+  "../bench/fig8d_hetero_devices.pdb"
+  "CMakeFiles/fig8d_hetero_devices.dir/fig8d_hetero_devices.cpp.o"
+  "CMakeFiles/fig8d_hetero_devices.dir/fig8d_hetero_devices.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8d_hetero_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_factors"
+  "../bench/table1_factors.pdb"
+  "CMakeFiles/table1_factors.dir/table1_factors.cpp.o"
+  "CMakeFiles/table1_factors.dir/table1_factors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

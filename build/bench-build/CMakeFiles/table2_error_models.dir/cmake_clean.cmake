@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_error_models"
+  "../bench/table2_error_models.pdb"
+  "CMakeFiles/table2_error_models.dir/table2_error_models.cpp.o"
+  "CMakeFiles/table2_error_models.dir/table2_error_models.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_error_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

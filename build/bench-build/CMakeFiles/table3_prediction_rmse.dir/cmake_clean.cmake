@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_prediction_rmse"
+  "../bench/table3_prediction_rmse.pdb"
+  "CMakeFiles/table3_prediction_rmse.dir/table3_prediction_rmse.cpp.o"
+  "CMakeFiles/table3_prediction_rmse.dir/table3_prediction_rmse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_prediction_rmse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

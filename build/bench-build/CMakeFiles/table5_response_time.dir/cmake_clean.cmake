@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_response_time"
+  "../bench/table5_response_time.pdb"
+  "CMakeFiles/table5_response_time.dir/table5_response_time.cpp.o"
+  "CMakeFiles/table5_response_time.dir/table5_response_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_response_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

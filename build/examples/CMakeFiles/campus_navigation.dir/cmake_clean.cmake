@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_navigation.dir/campus_navigation.cpp.o"
+  "CMakeFiles/campus_navigation.dir/campus_navigation.cpp.o.d"
+  "campus_navigation"
+  "campus_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confidence_region.dir/confidence_region.cpp.o"
+  "CMakeFiles/confidence_region.dir/confidence_region.cpp.o.d"
+  "confidence_region"
+  "confidence_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confidence_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

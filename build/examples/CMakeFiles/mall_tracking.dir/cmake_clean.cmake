@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mall_tracking.dir/mall_tracking.cpp.o"
+  "CMakeFiles/mall_tracking.dir/mall_tracking.cpp.o.d"
+  "mall_tracking"
+  "mall_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mall_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

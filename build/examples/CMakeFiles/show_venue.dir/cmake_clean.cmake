@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/show_venue.dir/show_venue.cpp.o"
+  "CMakeFiles/show_venue.dir/show_venue.cpp.o.d"
+  "show_venue"
+  "show_venue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/show_venue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniloc_cli.dir/uniloc_cli.cpp.o"
+  "CMakeFiles/uniloc_cli.dir/uniloc_cli.cpp.o.d"
+  "uniloc_cli"
+  "uniloc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniloc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

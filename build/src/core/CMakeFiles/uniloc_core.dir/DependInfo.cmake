@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aloc_baseline.cc" "src/core/CMakeFiles/uniloc_core.dir/aloc_baseline.cc.o" "gcc" "src/core/CMakeFiles/uniloc_core.dir/aloc_baseline.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/uniloc_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/uniloc_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/cold_start.cc" "src/core/CMakeFiles/uniloc_core.dir/cold_start.cc.o" "gcc" "src/core/CMakeFiles/uniloc_core.dir/cold_start.cc.o.d"
+  "/root/repo/src/core/confidence.cc" "src/core/CMakeFiles/uniloc_core.dir/confidence.cc.o" "gcc" "src/core/CMakeFiles/uniloc_core.dir/confidence.cc.o.d"
+  "/root/repo/src/core/deployment.cc" "src/core/CMakeFiles/uniloc_core.dir/deployment.cc.o" "gcc" "src/core/CMakeFiles/uniloc_core.dir/deployment.cc.o.d"
+  "/root/repo/src/core/error_model.cc" "src/core/CMakeFiles/uniloc_core.dir/error_model.cc.o" "gcc" "src/core/CMakeFiles/uniloc_core.dir/error_model.cc.o.d"
+  "/root/repo/src/core/features.cc" "src/core/CMakeFiles/uniloc_core.dir/features.cc.o" "gcc" "src/core/CMakeFiles/uniloc_core.dir/features.cc.o.d"
+  "/root/repo/src/core/iodetector.cc" "src/core/CMakeFiles/uniloc_core.dir/iodetector.cc.o" "gcc" "src/core/CMakeFiles/uniloc_core.dir/iodetector.cc.o.d"
+  "/root/repo/src/core/map_matching.cc" "src/core/CMakeFiles/uniloc_core.dir/map_matching.cc.o" "gcc" "src/core/CMakeFiles/uniloc_core.dir/map_matching.cc.o.d"
+  "/root/repo/src/core/posterior_fusion.cc" "src/core/CMakeFiles/uniloc_core.dir/posterior_fusion.cc.o" "gcc" "src/core/CMakeFiles/uniloc_core.dir/posterior_fusion.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/core/CMakeFiles/uniloc_core.dir/runner.cc.o" "gcc" "src/core/CMakeFiles/uniloc_core.dir/runner.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/uniloc_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/uniloc_core.dir/trainer.cc.o.d"
+  "/root/repo/src/core/uniloc.cc" "src/core/CMakeFiles/uniloc_core.dir/uniloc.cc.o" "gcc" "src/core/CMakeFiles/uniloc_core.dir/uniloc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/uniloc_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/uniloc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/uniloc_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uniloc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/uniloc_schemes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniloc_core.dir/aloc_baseline.cc.o"
+  "CMakeFiles/uniloc_core.dir/aloc_baseline.cc.o.d"
+  "CMakeFiles/uniloc_core.dir/baselines.cc.o"
+  "CMakeFiles/uniloc_core.dir/baselines.cc.o.d"
+  "CMakeFiles/uniloc_core.dir/cold_start.cc.o"
+  "CMakeFiles/uniloc_core.dir/cold_start.cc.o.d"
+  "CMakeFiles/uniloc_core.dir/confidence.cc.o"
+  "CMakeFiles/uniloc_core.dir/confidence.cc.o.d"
+  "CMakeFiles/uniloc_core.dir/deployment.cc.o"
+  "CMakeFiles/uniloc_core.dir/deployment.cc.o.d"
+  "CMakeFiles/uniloc_core.dir/error_model.cc.o"
+  "CMakeFiles/uniloc_core.dir/error_model.cc.o.d"
+  "CMakeFiles/uniloc_core.dir/features.cc.o"
+  "CMakeFiles/uniloc_core.dir/features.cc.o.d"
+  "CMakeFiles/uniloc_core.dir/iodetector.cc.o"
+  "CMakeFiles/uniloc_core.dir/iodetector.cc.o.d"
+  "CMakeFiles/uniloc_core.dir/map_matching.cc.o"
+  "CMakeFiles/uniloc_core.dir/map_matching.cc.o.d"
+  "CMakeFiles/uniloc_core.dir/posterior_fusion.cc.o"
+  "CMakeFiles/uniloc_core.dir/posterior_fusion.cc.o.d"
+  "CMakeFiles/uniloc_core.dir/runner.cc.o"
+  "CMakeFiles/uniloc_core.dir/runner.cc.o.d"
+  "CMakeFiles/uniloc_core.dir/trainer.cc.o"
+  "CMakeFiles/uniloc_core.dir/trainer.cc.o.d"
+  "CMakeFiles/uniloc_core.dir/uniloc.cc.o"
+  "CMakeFiles/uniloc_core.dir/uniloc.cc.o.d"
+  "libuniloc_core.a"
+  "libuniloc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniloc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

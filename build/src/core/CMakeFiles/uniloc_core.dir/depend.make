@@ -1,0 +1,2 @@
+# Empty dependencies file for uniloc_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniloc_energy.dir/energy_model.cc.o"
+  "CMakeFiles/uniloc_energy.dir/energy_model.cc.o.d"
+  "CMakeFiles/uniloc_energy.dir/latency_model.cc.o"
+  "CMakeFiles/uniloc_energy.dir/latency_model.cc.o.d"
+  "libuniloc_energy.a"
+  "libuniloc_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniloc_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

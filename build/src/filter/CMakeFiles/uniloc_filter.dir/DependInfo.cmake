@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filter/hmm.cc" "src/filter/CMakeFiles/uniloc_filter.dir/hmm.cc.o" "gcc" "src/filter/CMakeFiles/uniloc_filter.dir/hmm.cc.o.d"
+  "/root/repo/src/filter/kalman1d.cc" "src/filter/CMakeFiles/uniloc_filter.dir/kalman1d.cc.o" "gcc" "src/filter/CMakeFiles/uniloc_filter.dir/kalman1d.cc.o.d"
+  "/root/repo/src/filter/location_predictor.cc" "src/filter/CMakeFiles/uniloc_filter.dir/location_predictor.cc.o" "gcc" "src/filter/CMakeFiles/uniloc_filter.dir/location_predictor.cc.o.d"
+  "/root/repo/src/filter/particle_filter.cc" "src/filter/CMakeFiles/uniloc_filter.dir/particle_filter.cc.o" "gcc" "src/filter/CMakeFiles/uniloc_filter.dir/particle_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/uniloc_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/uniloc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

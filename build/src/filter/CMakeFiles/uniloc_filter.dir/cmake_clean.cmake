@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniloc_filter.dir/hmm.cc.o"
+  "CMakeFiles/uniloc_filter.dir/hmm.cc.o.d"
+  "CMakeFiles/uniloc_filter.dir/kalman1d.cc.o"
+  "CMakeFiles/uniloc_filter.dir/kalman1d.cc.o.d"
+  "CMakeFiles/uniloc_filter.dir/location_predictor.cc.o"
+  "CMakeFiles/uniloc_filter.dir/location_predictor.cc.o.d"
+  "CMakeFiles/uniloc_filter.dir/particle_filter.cc.o"
+  "CMakeFiles/uniloc_filter.dir/particle_filter.cc.o.d"
+  "libuniloc_filter.a"
+  "libuniloc_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniloc_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/grid.cc" "src/geo/CMakeFiles/uniloc_geo.dir/grid.cc.o" "gcc" "src/geo/CMakeFiles/uniloc_geo.dir/grid.cc.o.d"
+  "/root/repo/src/geo/latlon.cc" "src/geo/CMakeFiles/uniloc_geo.dir/latlon.cc.o" "gcc" "src/geo/CMakeFiles/uniloc_geo.dir/latlon.cc.o.d"
+  "/root/repo/src/geo/polyline.cc" "src/geo/CMakeFiles/uniloc_geo.dir/polyline.cc.o" "gcc" "src/geo/CMakeFiles/uniloc_geo.dir/polyline.cc.o.d"
+  "/root/repo/src/geo/segment.cc" "src/geo/CMakeFiles/uniloc_geo.dir/segment.cc.o" "gcc" "src/geo/CMakeFiles/uniloc_geo.dir/segment.cc.o.d"
+  "/root/repo/src/geo/spatial_index.cc" "src/geo/CMakeFiles/uniloc_geo.dir/spatial_index.cc.o" "gcc" "src/geo/CMakeFiles/uniloc_geo.dir/spatial_index.cc.o.d"
+  "/root/repo/src/geo/vec2.cc" "src/geo/CMakeFiles/uniloc_geo.dir/vec2.cc.o" "gcc" "src/geo/CMakeFiles/uniloc_geo.dir/vec2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

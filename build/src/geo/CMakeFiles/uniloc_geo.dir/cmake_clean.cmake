@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniloc_geo.dir/grid.cc.o"
+  "CMakeFiles/uniloc_geo.dir/grid.cc.o.d"
+  "CMakeFiles/uniloc_geo.dir/latlon.cc.o"
+  "CMakeFiles/uniloc_geo.dir/latlon.cc.o.d"
+  "CMakeFiles/uniloc_geo.dir/polyline.cc.o"
+  "CMakeFiles/uniloc_geo.dir/polyline.cc.o.d"
+  "CMakeFiles/uniloc_geo.dir/segment.cc.o"
+  "CMakeFiles/uniloc_geo.dir/segment.cc.o.d"
+  "CMakeFiles/uniloc_geo.dir/spatial_index.cc.o"
+  "CMakeFiles/uniloc_geo.dir/spatial_index.cc.o.d"
+  "CMakeFiles/uniloc_geo.dir/vec2.cc.o"
+  "CMakeFiles/uniloc_geo.dir/vec2.cc.o.d"
+  "libuniloc_geo.a"
+  "libuniloc_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniloc_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

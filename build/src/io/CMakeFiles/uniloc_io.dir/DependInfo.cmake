@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/ascii_map.cc" "src/io/CMakeFiles/uniloc_io.dir/ascii_map.cc.o" "gcc" "src/io/CMakeFiles/uniloc_io.dir/ascii_map.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/io/CMakeFiles/uniloc_io.dir/csv.cc.o" "gcc" "src/io/CMakeFiles/uniloc_io.dir/csv.cc.o.d"
+  "/root/repo/src/io/table.cc" "src/io/CMakeFiles/uniloc_io.dir/table.cc.o" "gcc" "src/io/CMakeFiles/uniloc_io.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

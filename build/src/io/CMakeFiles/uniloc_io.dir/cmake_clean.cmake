@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniloc_io.dir/ascii_map.cc.o"
+  "CMakeFiles/uniloc_io.dir/ascii_map.cc.o.d"
+  "CMakeFiles/uniloc_io.dir/csv.cc.o"
+  "CMakeFiles/uniloc_io.dir/csv.cc.o.d"
+  "CMakeFiles/uniloc_io.dir/table.cc.o"
+  "CMakeFiles/uniloc_io.dir/table.cc.o.d"
+  "libuniloc_io.a"
+  "libuniloc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniloc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

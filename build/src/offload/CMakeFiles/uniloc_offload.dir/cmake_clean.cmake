@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniloc_offload.dir/payload.cc.o"
+  "CMakeFiles/uniloc_offload.dir/payload.cc.o.d"
+  "CMakeFiles/uniloc_offload.dir/session.cc.o"
+  "CMakeFiles/uniloc_offload.dir/session.cc.o.d"
+  "libuniloc_offload.a"
+  "libuniloc_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniloc_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

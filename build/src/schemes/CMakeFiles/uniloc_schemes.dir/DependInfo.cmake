@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schemes/crowdsource.cc" "src/schemes/CMakeFiles/uniloc_schemes.dir/crowdsource.cc.o" "gcc" "src/schemes/CMakeFiles/uniloc_schemes.dir/crowdsource.cc.o.d"
+  "/root/repo/src/schemes/fingerprint_db.cc" "src/schemes/CMakeFiles/uniloc_schemes.dir/fingerprint_db.cc.o" "gcc" "src/schemes/CMakeFiles/uniloc_schemes.dir/fingerprint_db.cc.o.d"
+  "/root/repo/src/schemes/fingerprint_scheme.cc" "src/schemes/CMakeFiles/uniloc_schemes.dir/fingerprint_scheme.cc.o" "gcc" "src/schemes/CMakeFiles/uniloc_schemes.dir/fingerprint_scheme.cc.o.d"
+  "/root/repo/src/schemes/fusion_scheme.cc" "src/schemes/CMakeFiles/uniloc_schemes.dir/fusion_scheme.cc.o" "gcc" "src/schemes/CMakeFiles/uniloc_schemes.dir/fusion_scheme.cc.o.d"
+  "/root/repo/src/schemes/gps_scheme.cc" "src/schemes/CMakeFiles/uniloc_schemes.dir/gps_scheme.cc.o" "gcc" "src/schemes/CMakeFiles/uniloc_schemes.dir/gps_scheme.cc.o.d"
+  "/root/repo/src/schemes/horus_scheme.cc" "src/schemes/CMakeFiles/uniloc_schemes.dir/horus_scheme.cc.o" "gcc" "src/schemes/CMakeFiles/uniloc_schemes.dir/horus_scheme.cc.o.d"
+  "/root/repo/src/schemes/offset_calibration.cc" "src/schemes/CMakeFiles/uniloc_schemes.dir/offset_calibration.cc.o" "gcc" "src/schemes/CMakeFiles/uniloc_schemes.dir/offset_calibration.cc.o.d"
+  "/root/repo/src/schemes/pdr_frontend.cc" "src/schemes/CMakeFiles/uniloc_schemes.dir/pdr_frontend.cc.o" "gcc" "src/schemes/CMakeFiles/uniloc_schemes.dir/pdr_frontend.cc.o.d"
+  "/root/repo/src/schemes/pdr_scheme.cc" "src/schemes/CMakeFiles/uniloc_schemes.dir/pdr_scheme.cc.o" "gcc" "src/schemes/CMakeFiles/uniloc_schemes.dir/pdr_scheme.cc.o.d"
+  "/root/repo/src/schemes/scheme.cc" "src/schemes/CMakeFiles/uniloc_schemes.dir/scheme.cc.o" "gcc" "src/schemes/CMakeFiles/uniloc_schemes.dir/scheme.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/uniloc_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/uniloc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/uniloc_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uniloc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniloc_schemes.dir/crowdsource.cc.o"
+  "CMakeFiles/uniloc_schemes.dir/crowdsource.cc.o.d"
+  "CMakeFiles/uniloc_schemes.dir/fingerprint_db.cc.o"
+  "CMakeFiles/uniloc_schemes.dir/fingerprint_db.cc.o.d"
+  "CMakeFiles/uniloc_schemes.dir/fingerprint_scheme.cc.o"
+  "CMakeFiles/uniloc_schemes.dir/fingerprint_scheme.cc.o.d"
+  "CMakeFiles/uniloc_schemes.dir/fusion_scheme.cc.o"
+  "CMakeFiles/uniloc_schemes.dir/fusion_scheme.cc.o.d"
+  "CMakeFiles/uniloc_schemes.dir/gps_scheme.cc.o"
+  "CMakeFiles/uniloc_schemes.dir/gps_scheme.cc.o.d"
+  "CMakeFiles/uniloc_schemes.dir/horus_scheme.cc.o"
+  "CMakeFiles/uniloc_schemes.dir/horus_scheme.cc.o.d"
+  "CMakeFiles/uniloc_schemes.dir/offset_calibration.cc.o"
+  "CMakeFiles/uniloc_schemes.dir/offset_calibration.cc.o.d"
+  "CMakeFiles/uniloc_schemes.dir/pdr_frontend.cc.o"
+  "CMakeFiles/uniloc_schemes.dir/pdr_frontend.cc.o.d"
+  "CMakeFiles/uniloc_schemes.dir/pdr_scheme.cc.o"
+  "CMakeFiles/uniloc_schemes.dir/pdr_scheme.cc.o.d"
+  "CMakeFiles/uniloc_schemes.dir/scheme.cc.o"
+  "CMakeFiles/uniloc_schemes.dir/scheme.cc.o.d"
+  "libuniloc_schemes.a"
+  "libuniloc_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniloc_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

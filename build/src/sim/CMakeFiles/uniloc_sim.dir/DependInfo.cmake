@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ambient_sim.cc" "src/sim/CMakeFiles/uniloc_sim.dir/ambient_sim.cc.o" "gcc" "src/sim/CMakeFiles/uniloc_sim.dir/ambient_sim.cc.o.d"
+  "/root/repo/src/sim/builders.cc" "src/sim/CMakeFiles/uniloc_sim.dir/builders.cc.o" "gcc" "src/sim/CMakeFiles/uniloc_sim.dir/builders.cc.o.d"
+  "/root/repo/src/sim/device.cc" "src/sim/CMakeFiles/uniloc_sim.dir/device.cc.o" "gcc" "src/sim/CMakeFiles/uniloc_sim.dir/device.cc.o.d"
+  "/root/repo/src/sim/floorplan.cc" "src/sim/CMakeFiles/uniloc_sim.dir/floorplan.cc.o" "gcc" "src/sim/CMakeFiles/uniloc_sim.dir/floorplan.cc.o.d"
+  "/root/repo/src/sim/gps_sim.cc" "src/sim/CMakeFiles/uniloc_sim.dir/gps_sim.cc.o" "gcc" "src/sim/CMakeFiles/uniloc_sim.dir/gps_sim.cc.o.d"
+  "/root/repo/src/sim/imu_sim.cc" "src/sim/CMakeFiles/uniloc_sim.dir/imu_sim.cc.o" "gcc" "src/sim/CMakeFiles/uniloc_sim.dir/imu_sim.cc.o.d"
+  "/root/repo/src/sim/place.cc" "src/sim/CMakeFiles/uniloc_sim.dir/place.cc.o" "gcc" "src/sim/CMakeFiles/uniloc_sim.dir/place.cc.o.d"
+  "/root/repo/src/sim/radio.cc" "src/sim/CMakeFiles/uniloc_sim.dir/radio.cc.o" "gcc" "src/sim/CMakeFiles/uniloc_sim.dir/radio.cc.o.d"
+  "/root/repo/src/sim/trace_io.cc" "src/sim/CMakeFiles/uniloc_sim.dir/trace_io.cc.o" "gcc" "src/sim/CMakeFiles/uniloc_sim.dir/trace_io.cc.o.d"
+  "/root/repo/src/sim/types.cc" "src/sim/CMakeFiles/uniloc_sim.dir/types.cc.o" "gcc" "src/sim/CMakeFiles/uniloc_sim.dir/types.cc.o.d"
+  "/root/repo/src/sim/walker.cc" "src/sim/CMakeFiles/uniloc_sim.dir/walker.cc.o" "gcc" "src/sim/CMakeFiles/uniloc_sim.dir/walker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/uniloc_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/uniloc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniloc_sim.dir/ambient_sim.cc.o"
+  "CMakeFiles/uniloc_sim.dir/ambient_sim.cc.o.d"
+  "CMakeFiles/uniloc_sim.dir/builders.cc.o"
+  "CMakeFiles/uniloc_sim.dir/builders.cc.o.d"
+  "CMakeFiles/uniloc_sim.dir/device.cc.o"
+  "CMakeFiles/uniloc_sim.dir/device.cc.o.d"
+  "CMakeFiles/uniloc_sim.dir/floorplan.cc.o"
+  "CMakeFiles/uniloc_sim.dir/floorplan.cc.o.d"
+  "CMakeFiles/uniloc_sim.dir/gps_sim.cc.o"
+  "CMakeFiles/uniloc_sim.dir/gps_sim.cc.o.d"
+  "CMakeFiles/uniloc_sim.dir/imu_sim.cc.o"
+  "CMakeFiles/uniloc_sim.dir/imu_sim.cc.o.d"
+  "CMakeFiles/uniloc_sim.dir/place.cc.o"
+  "CMakeFiles/uniloc_sim.dir/place.cc.o.d"
+  "CMakeFiles/uniloc_sim.dir/radio.cc.o"
+  "CMakeFiles/uniloc_sim.dir/radio.cc.o.d"
+  "CMakeFiles/uniloc_sim.dir/trace_io.cc.o"
+  "CMakeFiles/uniloc_sim.dir/trace_io.cc.o.d"
+  "CMakeFiles/uniloc_sim.dir/types.cc.o"
+  "CMakeFiles/uniloc_sim.dir/types.cc.o.d"
+  "CMakeFiles/uniloc_sim.dir/walker.cc.o"
+  "CMakeFiles/uniloc_sim.dir/walker.cc.o.d"
+  "libuniloc_sim.a"
+  "libuniloc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniloc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

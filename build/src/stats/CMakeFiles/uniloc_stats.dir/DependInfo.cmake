@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/uniloc_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/uniloc_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/ecdf.cc" "src/stats/CMakeFiles/uniloc_stats.dir/ecdf.cc.o" "gcc" "src/stats/CMakeFiles/uniloc_stats.dir/ecdf.cc.o.d"
+  "/root/repo/src/stats/gaussian.cc" "src/stats/CMakeFiles/uniloc_stats.dir/gaussian.cc.o" "gcc" "src/stats/CMakeFiles/uniloc_stats.dir/gaussian.cc.o.d"
+  "/root/repo/src/stats/matrix.cc" "src/stats/CMakeFiles/uniloc_stats.dir/matrix.cc.o" "gcc" "src/stats/CMakeFiles/uniloc_stats.dir/matrix.cc.o.d"
+  "/root/repo/src/stats/noise_field.cc" "src/stats/CMakeFiles/uniloc_stats.dir/noise_field.cc.o" "gcc" "src/stats/CMakeFiles/uniloc_stats.dir/noise_field.cc.o.d"
+  "/root/repo/src/stats/regression.cc" "src/stats/CMakeFiles/uniloc_stats.dir/regression.cc.o" "gcc" "src/stats/CMakeFiles/uniloc_stats.dir/regression.cc.o.d"
+  "/root/repo/src/stats/special.cc" "src/stats/CMakeFiles/uniloc_stats.dir/special.cc.o" "gcc" "src/stats/CMakeFiles/uniloc_stats.dir/special.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/uniloc_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniloc_stats.dir/descriptive.cc.o"
+  "CMakeFiles/uniloc_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/uniloc_stats.dir/ecdf.cc.o"
+  "CMakeFiles/uniloc_stats.dir/ecdf.cc.o.d"
+  "CMakeFiles/uniloc_stats.dir/gaussian.cc.o"
+  "CMakeFiles/uniloc_stats.dir/gaussian.cc.o.d"
+  "CMakeFiles/uniloc_stats.dir/matrix.cc.o"
+  "CMakeFiles/uniloc_stats.dir/matrix.cc.o.d"
+  "CMakeFiles/uniloc_stats.dir/noise_field.cc.o"
+  "CMakeFiles/uniloc_stats.dir/noise_field.cc.o.d"
+  "CMakeFiles/uniloc_stats.dir/regression.cc.o"
+  "CMakeFiles/uniloc_stats.dir/regression.cc.o.d"
+  "CMakeFiles/uniloc_stats.dir/special.cc.o"
+  "CMakeFiles/uniloc_stats.dir/special.cc.o.d"
+  "libuniloc_stats.a"
+  "libuniloc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniloc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

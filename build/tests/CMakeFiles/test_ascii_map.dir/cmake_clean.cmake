@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ascii_map.dir/test_ascii_map.cc.o"
+  "CMakeFiles/test_ascii_map.dir/test_ascii_map.cc.o.d"
+  "test_ascii_map"
+  "test_ascii_map.pdb"
+  "test_ascii_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ascii_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

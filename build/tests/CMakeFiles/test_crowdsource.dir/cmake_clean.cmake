@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crowdsource.dir/test_crowdsource.cc.o"
+  "CMakeFiles/test_crowdsource.dir/test_crowdsource.cc.o.d"
+  "test_crowdsource"
+  "test_crowdsource.pdb"
+  "test_crowdsource[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crowdsource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy_io.dir/test_energy_io.cc.o"
+  "CMakeFiles/test_energy_io.dir/test_energy_io.cc.o.d"
+  "test_energy_io"
+  "test_energy_io.pdb"
+  "test_energy_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

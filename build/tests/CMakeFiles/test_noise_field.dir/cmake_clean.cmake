@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noise_field.dir/test_noise_field.cc.o"
+  "CMakeFiles/test_noise_field.dir/test_noise_field.cc.o.d"
+  "test_noise_field"
+  "test_noise_field.pdb"
+  "test_noise_field[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noise_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdr_frontend.dir/test_pdr_frontend.cc.o"
+  "CMakeFiles/test_pdr_frontend.dir/test_pdr_frontend.cc.o.d"
+  "test_pdr_frontend"
+  "test_pdr_frontend.pdb"
+  "test_pdr_frontend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdr_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polyline.dir/test_polyline.cc.o"
+  "CMakeFiles/test_polyline.dir/test_polyline.cc.o.d"
+  "test_polyline"
+  "test_polyline.pdb"
+  "test_polyline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polyline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

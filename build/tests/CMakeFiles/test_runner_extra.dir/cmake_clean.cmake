@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runner_extra.dir/test_runner_extra.cc.o"
+  "CMakeFiles/test_runner_extra.dir/test_runner_extra.cc.o.d"
+  "test_runner_extra"
+  "test_runner_extra.pdb"
+  "test_runner_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runner_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_schemes.cc" "tests/CMakeFiles/test_schemes.dir/test_schemes.cc.o" "gcc" "tests/CMakeFiles/test_schemes.dir/test_schemes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/uniloc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/uniloc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/uniloc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/offload/CMakeFiles/uniloc_offload.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/uniloc_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/uniloc_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uniloc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/uniloc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/uniloc_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spatial_index.dir/test_spatial_index.cc.o"
+  "CMakeFiles/test_spatial_index.dir/test_spatial_index.cc.o.d"
+  "test_spatial_index"
+  "test_spatial_index.pdb"
+  "test_spatial_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spatial_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

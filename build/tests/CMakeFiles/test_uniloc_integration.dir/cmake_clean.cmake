@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uniloc_integration.dir/test_uniloc_integration.cc.o"
+  "CMakeFiles/test_uniloc_integration.dir/test_uniloc_integration.cc.o.d"
+  "test_uniloc_integration"
+  "test_uniloc_integration.pdb"
+  "test_uniloc_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uniloc_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
