@@ -14,6 +14,7 @@
 using namespace uniloc;
 
 int main() {
+  obs::BenchReport bench_report = bench::make_report("ablation_aloc");
   const core::TrainedModels& models = bench::standard_models();
   core::Deployment campus = core::make_deployment(sim::campus());
 
@@ -23,6 +24,7 @@ int main() {
   for (double req : {5.0, 10.0, 20.0}) {
     const core::ALocSelector aloc(core::standard_scheme_costs(), req);
     core::Uniloc uniloc = core::make_uniloc(campus, models);
+    bench::instrument(uniloc, campus);
 
     sim::WalkConfig wc;
     wc.seed = 2024;
@@ -57,6 +59,7 @@ int main() {
   // UniLoc2 for reference (runs everything; sensors ~104 mW marginal with
   // duty-cycled GPS, see Table IV).
   core::Uniloc uniloc = core::make_uniloc(campus, models);
+  bench::instrument(uniloc, campus);
   core::RunOptions opts;
   opts.walk.seed = 2024;
   const core::RunResult run = core::run_walk(uniloc, campus, 0, opts);
@@ -68,5 +71,7 @@ int main() {
   std::printf("\nA-Loc trades accuracy for energy by selection; UniLoc "
               "spends slightly more power to combine everything and wins "
               "on accuracy (paper Sec. VI).\n");
+
+  bench::report_json(bench_report);
   return 0;
 }

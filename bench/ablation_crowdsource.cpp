@@ -16,6 +16,7 @@
 using namespace uniloc;
 
 int main() {
+  obs::BenchReport bench_report = bench::make_report("ablation_crowdsource");
   core::Deployment office = core::make_deployment(
       sim::office_place(42), core::DeploymentOptions{.seed = 42});
 
@@ -26,6 +27,8 @@ int main() {
   schemes::FingerprintScheme radar_stale(&stale_db, ropts);
   schemes::FingerprintScheme radar_crowd(&crowd_db, ropts);
   schemes::FingerprintCrowdsourcer crowdsourcer(&crowd_db);
+  stale_db.attach_metrics(&obs::default_registry(), "fpdb.stale");
+  crowd_db.attach_metrics(&obs::default_registry(), "fpdb.crowd");
 
   // The environment's cumulative per-AP drift.
   std::map<int, double> drift;
@@ -66,6 +69,16 @@ int main() {
                                            rng.normal(0.0, 1.2)};
       crowdsourcer.contribute(reported, 2.5, f.wifi);
     }
+    bench_report.add_scalar("stale.mean_err.day" +
+                                std::to_string(day + 1),
+                            stats::mean(err_stale));
+    bench_report.add_scalar("crowd.mean_err.day" +
+                                std::to_string(day + 1),
+                            stats::mean(err_crowd));
+    if (day == 7) {
+      bench_report.add_series("stale.final_day", err_stale);
+      bench_report.add_series("crowd.final_day", err_crowd);
+    }
     t.add_row({std::to_string(day + 1),
                io::Table::num(stats::mean(err_stale)),
                io::Table::num(stats::mean(err_crowd)),
@@ -75,5 +88,7 @@ int main() {
   std::printf("\nThe stale database degrades as the radio environment "
               "drifts; the crowdsourced one tracks it -- the maintenance "
               "assumption UniLoc builds on.\n");
+
+  bench::report_json(bench_report);
   return 0;
 }

@@ -11,6 +11,7 @@
 using namespace uniloc;
 
 int main() {
+  obs::BenchReport bench_report = bench::make_report("ablation_fp_density");
   core::Deployment office = core::make_deployment(
       sim::office_place(42), core::DeploymentOptions{.seed = 42});
 
@@ -21,11 +22,14 @@ int main() {
   // Native spacing 3 m; downsample by 1/2/3/5 => ~3/6/9/15 m.
   const std::size_t factors[] = {1, 2, 3, 5};
   for (std::size_t factor : factors) {
-    const schemes::FingerprintDatabase db =
+    schemes::FingerprintDatabase db =
         office.wifi_db->downsampled(factor, 3);
     schemes::FingerprintScheme::Options o;
     o.softmax_scale_db = 3.0;
     schemes::FingerprintScheme radar(&db, o);
+    db.attach_metrics(&obs::default_registry(),
+                      "fpdb.spacing_" +
+                          std::to_string(3 * factor) + "m");
 
     std::vector<double> errs;
     for (std::uint64_t s = 0; s < 3; ++s) {
@@ -41,6 +45,8 @@ int main() {
         }
       }
     }
+    bench_report.add_series(
+        "radar.spacing_" + std::to_string(3 * factor) + "m", errs);
     t.add_row({io::Table::num(3.0 * static_cast<double>(factor), 0),
                std::to_string(db.size()), io::Table::num(stats::mean(errs)),
                io::Table::num(stats::percentile(errs, 50.0)),
@@ -49,5 +55,7 @@ int main() {
   std::printf("%s", t.to_string().c_str());
   std::printf("\nError grows with spacing -- the positive beta1 "
               "coefficient of the WiFi error model (Table II).\n");
+
+  bench::report_json(bench_report);
   return 0;
 }

@@ -12,6 +12,7 @@
 using namespace uniloc;
 
 int main() {
+  obs::BenchReport bench_report = bench::make_report("ablation_local_vs_global");
   const core::TrainedModels& models = bench::standard_models();
   core::Deployment campus = core::make_deployment(sim::campus());
 
@@ -41,6 +42,7 @@ int main() {
   for (std::size_t p = 0; p < campus.place->walkways().size(); ++p) {
     core::Uniloc uniloc = core::make_uniloc(campus, models, {}, false,
                                             300 + 31 * p);
+    bench::instrument(uniloc, campus);
     core::RunOptions opts;
     opts.walk.seed = 500 + p;
     opts.global_bma = &global;
@@ -67,5 +69,7 @@ int main() {
   std::printf("\nUniLoc2 p50 gain over global weighting: %.2fx\n",
               stats::percentile(global_errs, 50.0) /
                   stats::percentile(all.uniloc2_errors(), 50.0));
+
+  bench::report_json(bench_report);
   return 0;
 }

@@ -11,6 +11,7 @@
 using namespace uniloc;
 
 int main() {
+  obs::BenchReport bench_report = bench::make_report("ablation_map_matching");
   const core::TrainedModels& models = bench::standard_models();
   core::Deployment campus = core::make_deployment(sim::campus());
 
@@ -21,6 +22,7 @@ int main() {
   for (std::size_t path : {std::size_t{0}, std::size_t{1}, std::size_t{2}}) {
     core::Uniloc uniloc = core::make_uniloc(campus, models, {}, false,
                                             500 + path);
+    bench::instrument(uniloc, campus);
     core::MapMatcher matcher(campus.place.get());
 
     sim::WalkConfig wc;
@@ -47,5 +49,7 @@ int main() {
   std::printf("\nMap matching is a drop-in post-processor over the fused "
               "stream (%zu HMM states for the whole campus).\n",
               core::MapMatcher(campus.place.get()).num_states());
+
+  bench::report_json(bench_report);
   return 0;
 }

@@ -15,15 +15,18 @@
 using namespace uniloc;
 
 int main() {
+  obs::BenchReport bench_report = bench::make_report("ablation_offload");
   const core::TrainedModels& models = bench::standard_models();
   core::Deployment campus = core::make_deployment(sim::campus());
   core::Uniloc uniloc = core::make_uniloc(campus, models);
+  bench::instrument(uniloc, campus);
 
   sim::WalkConfig wc;
   wc.seed = 2024;
   sim::Walker walker(campus.place.get(), campus.radio.get(), 0, wc);
   const offload::TrafficStats traffic =
-      offload::run_offloaded_walk(uniloc, walker);
+      offload::run_offloaded_walk(uniloc, walker,
+                                  &obs::default_registry());
 
   const double walk_s =
       static_cast<double>(traffic.epochs) * wc.gait.step_period_s;
@@ -65,5 +68,11 @@ int main() {
               raw_imu_bytes /
                   (4.0 * static_cast<double>(traffic.epochs)),
               raw_imu_bytes / static_cast<double>(traffic.epochs));
+
+  bench_report.add_scalar("uplink_bytes_per_epoch",
+                          traffic.uplink_bytes_per_epoch());
+  bench_report.add_scalar("offloaded_tx_j", tx_j);
+  bench_report.add_scalar("local_compute_j", local_j);
+  bench::report_json(bench_report);
   return 0;
 }

@@ -13,6 +13,7 @@
 using namespace uniloc;
 
 int main() {
+  obs::BenchReport bench_report = bench::make_report("ablation_personalization");
   const core::TrainedModels& models = bench::standard_models();
   core::Deployment campus = core::make_deployment(sim::campus());
 
@@ -35,6 +36,7 @@ int main() {
     const Person& p = persons[i];
     core::Uniloc uniloc = core::make_uniloc(campus, models, {}, false,
                                             40 + 3 * i);
+    bench::instrument(uniloc, campus);
     core::RunOptions opts;
     opts.walk.seed = 900 + i;
     opts.walk.gait.step_length_m = p.step_len;
@@ -65,5 +67,7 @@ int main() {
               stats::max_of(motion_means) / stats::min_of(motion_means),
               stats::min_of(u2_means), stats::max_of(u2_means),
               stats::max_of(u2_means) / stats::min_of(u2_means));
+
+  bench::report_json(bench_report);
   return 0;
 }

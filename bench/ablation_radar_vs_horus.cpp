@@ -32,6 +32,7 @@ std::vector<double> run_scheme(schemes::LocalizationScheme& s,
 }  // namespace
 
 int main() {
+  obs::BenchReport bench_report = bench::make_report("ablation_radar_vs_horus");
   core::Deployment office = core::make_deployment(
       sim::office_place(42), core::DeploymentOptions{.seed = 42});
 
@@ -48,6 +49,8 @@ int main() {
     for (double e : run_scheme(radar, office, 0, seed)) radar_errs.push_back(e);
     for (double e : run_scheme(horus, office, 0, seed)) horus_errs.push_back(e);
   }
+  bench_report.add_series("radar.standalone", radar_errs);
+  bench_report.add_series("horus.standalone", horus_errs);
   bench::print_percentiles({{"RADAR (NN matching)", radar_errs},
                             {"Horus (probabilistic)", horus_errs}});
 
@@ -60,6 +63,7 @@ int main() {
     cfg.wifi_db = campus.wifi_db.get();
     cfg.cell_db = campus.cell_db.get();
     core::Uniloc u(cfg);
+    u.attach_metrics(&obs::default_registry());
     std::vector<schemes::SchemePtr> standard =
         core::make_standard_schemes(campus, false, 7);
     for (std::size_t i = 0; i < standard.size(); ++i) {
@@ -83,5 +87,11 @@ int main() {
               "the WiFi slot.\n",
               stats::mean(with_radar.uniloc2_errors()),
               stats::mean(with_horus.uniloc2_errors()));
+
+  bench_report.add_series("uniloc2.with_radar",
+                          with_radar.uniloc2_errors());
+  bench_report.add_series("uniloc2.with_horus",
+                          with_horus.uniloc2_errors());
+  bench::report_json(bench_report);
   return 0;
 }

@@ -8,6 +8,7 @@
 using namespace uniloc;
 
 int main() {
+  obs::BenchReport bench_report = bench::make_report("ablation_scheme_count");
   const core::TrainedModels& models = bench::standard_models();
   core::Deployment campus = core::make_deployment(sim::campus());
 
@@ -22,6 +23,7 @@ int main() {
     cfg.wifi_db = campus.wifi_db.get();
     cfg.cell_db = campus.cell_db.get();
     core::Uniloc uniloc(cfg);
+    uniloc.attach_metrics(&obs::default_registry());
     std::vector<schemes::SchemePtr> all =
         core::make_standard_schemes(campus, false, 900 + count);
     std::string label;
@@ -49,6 +51,11 @@ int main() {
       ++covered;
       errs.push_back(e.uniloc2_err);
     }
+    bench_report.add_series("uniloc2." + label, errs);
+    bench_report.add_scalar(
+        "coverage." + label,
+        static_cast<double>(covered) /
+            static_cast<double>(run.epochs.size()));
     t.add_row({label,
                errs.empty() ? "-" : io::Table::num(stats::mean(errs)),
                errs.empty() ? "-"
@@ -60,5 +67,7 @@ int main() {
   std::printf("\nEach added scheme extends coverage and reduces error -- "
               "the gain comes from diversity, not from any single "
               "algorithm.\n");
+
+  bench::report_json(bench_report);
   return 0;
 }

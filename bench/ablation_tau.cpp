@@ -11,6 +11,7 @@
 using namespace uniloc;
 
 int main() {
+  obs::BenchReport bench_report = bench::make_report("ablation_tau");
   const core::TrainedModels& models = bench::standard_models();
   core::Deployment campus = core::make_deployment(sim::campus());
 
@@ -27,6 +28,7 @@ int main() {
     for (std::size_t p : {std::size_t{0}, std::size_t{2}}) {
       core::Uniloc uniloc = core::make_uniloc(campus, models, cfg, false,
                                               600 + 31 * p);
+      bench::instrument(uniloc, campus);
       core::RunOptions opts;
       opts.walk.seed = 700 + p;
       all.append(core::run_walk(uniloc, campus, p, opts));
@@ -38,5 +40,7 @@ int main() {
                    stats::percentile(all.uniloc2_errors(), 90.0))});
   }
   std::printf("%s", t.to_string().c_str());
+
+  bench::report_json(bench_report);
   return 0;
 }

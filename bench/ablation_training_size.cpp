@@ -10,6 +10,7 @@
 using namespace uniloc;
 
 int main() {
+  obs::BenchReport bench_report = bench::make_report("ablation_training_size");
   core::Deployment campus = core::make_deployment(sim::campus());
 
   std::printf("Ablation -- UniLoc2 on Path 1 vs training-set size\n\n");
@@ -21,6 +22,7 @@ int main() {
     const core::TrainedModels models =
         core::train_standard_models(42, samples);
     core::Uniloc uniloc = core::make_uniloc(campus, models);
+    bench::instrument(uniloc, campus);
     core::RunOptions opts;
     opts.walk.seed = 2024;
     const core::RunResult run = core::run_walk(uniloc, campus, 0, opts);
@@ -32,5 +34,7 @@ int main() {
   std::printf("%s", t.to_string().c_str());
   std::printf("\nAccuracy saturates around 300 samples -- the paper's "
               "one-person-one-day training budget.\n");
+
+  bench::report_json(bench_report);
   return 0;
 }

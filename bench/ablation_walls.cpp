@@ -32,6 +32,7 @@ std::vector<double> run_pdr(const core::Deployment& d,
 }  // namespace
 
 int main() {
+  obs::BenchReport bench_report = bench::make_report("ablation_walls");
   core::Deployment campus = core::make_deployment(sim::campus());
   sim::deploy_walls(*campus.place,
                     sim::hub_aware_wall_options(*campus.place));
@@ -59,6 +60,7 @@ int main() {
     for (std::uint64_t seed : {1u, 2u, 3u}) {
       for (double e : run_pdr(campus, o, seed)) errs.push_back(e);
     }
+    bench_report.add_series(c.name, errs);
     t.add_row({c.name, io::Table::num(stats::mean(errs)),
                io::Table::num(stats::percentile(errs, 50.0)),
                io::Table::num(stats::percentile(errs, 90.0))});
@@ -67,5 +69,7 @@ int main() {
   std::printf("\nEach constraint layer tightens PDR: landmarks bound the "
               "longitudinal drift, the tube/walls bound the lateral "
               "drift.\n");
+
+  bench::report_json(bench_report);
   return 0;
 }

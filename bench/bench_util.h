@@ -1,14 +1,19 @@
 // Shared helpers for the experiment benches: standard training, standard
-// deployments, error aggregation, CDF printing.
+// deployments, error aggregation, CDF printing, and machine-readable
+// BENCH_<name>.json reports (accuracy percentiles + per-stage timing
+// histograms from the process-default metrics registry).
 #pragma once
 
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/runner.h"
 #include "io/table.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 #include "stats/descriptive.h"
 #include "stats/ecdf.h"
 
@@ -26,11 +31,12 @@ struct SegmentErrors {
   std::map<sim::SegmentType, std::vector<double>> by_segment;
 
   void add(sim::SegmentType t, double err) { by_segment[t].push_back(err); }
-  double mean_of(sim::SegmentType t) const {
+
+  /// Empty when the scheme produced no epochs in that segment type.
+  std::optional<double> mean_of(sim::SegmentType t) const {
     const auto it = by_segment.find(t);
-    return it == by_segment.end() || it->second.empty()
-               ? -1.0
-               : stats::mean(it->second);
+    if (it == by_segment.end() || it->second.empty()) return std::nullopt;
+    return stats::mean(it->second);
   }
 };
 
@@ -53,7 +59,53 @@ inline void print_percentiles(
   std::printf("%s", t.to_string().c_str());
 }
 
-/// Run all eight campus paths and concatenate the records.
+/// Attach the process-default registry to a uniloc (and the deployment's
+/// fingerprint databases) so the run feeds the per-stage timing
+/// histograms the BENCH_*.json report exports.
+inline void instrument(core::Uniloc& uniloc, const core::Deployment& d) {
+  uniloc.attach_metrics(&obs::default_registry());
+  if (d.wifi_db) {
+    d.wifi_db->attach_metrics(&obs::default_registry(), "fpdb.wifi");
+  }
+  if (d.cell_db) {
+    d.cell_db->attach_metrics(&obs::default_registry(), "fpdb.cell");
+  }
+}
+
+/// Start a bench report bound to a freshly-zeroed process-default
+/// registry. Call once at the top of main().
+inline obs::BenchReport make_report(std::string name) {
+  obs::default_registry().reset();
+  return obs::BenchReport(std::move(name), &obs::default_registry());
+}
+
+/// Add the standard accuracy series of a run (per-scheme + oracle +
+/// UniLoc1/2) to a report.
+inline void add_run_series(obs::BenchReport& report,
+                           const core::RunResult& run) {
+  for (std::size_t i = 0; i < run.scheme_names.size(); ++i) {
+    report.add_series(run.scheme_names[i], run.scheme_errors(i));
+  }
+  report.add_series("Oracle", run.oracle_errors());
+  report.add_series("UniLoc1", run.uniloc1_errors());
+  report.add_series("UniLoc2", run.uniloc2_errors());
+}
+
+/// Write BENCH_<name>.json next to the binary's working directory --
+/// every bench calls this last; the files are the perf/accuracy
+/// trajectory tooling diffs across commits.
+inline void report_json(const obs::BenchReport& report) {
+  const std::string path = report.write();
+  if (path.empty()) {
+    std::fprintf(stderr, "[obs] failed to write %s\n",
+                 report.default_path().c_str());
+    return;
+  }
+  std::printf("\n[obs] wrote %s\n", path.c_str());
+}
+
+/// Run all eight campus paths and concatenate the records. Each per-path
+/// Uniloc feeds the process-default registry.
 inline core::RunResult run_all_campus_paths(const core::Deployment& campus,
                                             const core::TrainedModels& models,
                                             std::uint64_t seed = 2024) {
@@ -61,6 +113,7 @@ inline core::RunResult run_all_campus_paths(const core::Deployment& campus,
   for (std::size_t p = 0; p < campus.place->walkways().size(); ++p) {
     core::Uniloc uniloc = core::make_uniloc(campus, models, {}, false,
                                             seed + 31 * p);
+    instrument(uniloc, campus);
     core::RunOptions opts;
     opts.walk.seed = seed + p;
     all.append(core::run_walk(uniloc, campus, p, opts));

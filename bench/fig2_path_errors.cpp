@@ -12,9 +12,11 @@
 using namespace uniloc;
 
 int main() {
+  obs::BenchReport report = bench::make_report("fig2_path_errors");
   const core::TrainedModels& models = bench::standard_models();
   core::Deployment campus = core::make_deployment(sim::campus());
   core::Uniloc uniloc = core::make_uniloc(campus, models);
+  bench::instrument(uniloc, campus);
 
   core::RunOptions opts;
   opts.walk.seed = 2024;
@@ -59,8 +61,8 @@ int main() {
   auto row = [&](const std::string& name, const bench::SegmentErrors& se) {
     std::vector<std::string> cells{name};
     for (sim::SegmentType s : segs) {
-      const double m = se.mean_of(s);
-      cells.push_back(m < 0.0 ? "n/a" : io::Table::num(m, 1));
+      const std::optional<double> m = se.mean_of(s);
+      cells.push_back(m.has_value() ? io::Table::num(*m, 1) : "n/a");
     }
     t.add_row(cells);
   };
@@ -78,5 +80,8 @@ int main() {
     std::printf("%s %.1f%%  ", run.scheme_names[i].c_str(), 100.0 * usage[i]);
   }
   std::printf("\n");
+
+  bench::add_run_series(report, run);
+  bench::report_json(report);
   return 0;
 }

@@ -9,9 +9,11 @@
 using namespace uniloc;
 
 int main() {
+  obs::BenchReport report = bench::make_report("fig3_uniloc_path");
   const core::TrainedModels& models = bench::standard_models();
   core::Deployment campus = core::make_deployment(sim::campus());
   core::Uniloc uniloc = core::make_uniloc(campus, models);
+  bench::instrument(uniloc, campus);
 
   core::RunOptions opts;
   opts.walk.seed = 2024;
@@ -44,5 +46,10 @@ int main() {
               "individual errors are large (paper Sec. V-B1).\n",
               u2_beats_oracle, run.epochs.size(), u2_beats_oracle_outdoor,
               outdoor_epochs);
+
+  report.add_series("Oracle", run.oracle_errors());
+  report.add_series("UniLoc1", run.uniloc1_errors());
+  report.add_series("UniLoc2", run.uniloc2_errors());
+  bench::report_json(report);
   return 0;
 }

@@ -4,12 +4,14 @@
 // lengths between 290 m and 415 m, all from a common start.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "io/table.h"
 #include "sim/builders.h"
 
 using namespace uniloc;
 
 int main() {
+  obs::BenchReport report = bench::make_report("fig4_paths");
   const sim::Place campus = sim::campus();
 
   std::printf("Fig. 4 -- the eight daily paths on campus\n\n");
@@ -32,6 +34,10 @@ int main() {
                io::Table::num(outdoor, 0),
                std::to_string(w.turn_landmarks().size()), segs});
   }
+  report.add_scalar("total_m", total);
+  report.add_scalar("indoor_m", total_in);
+  report.add_scalar("outdoor_m", total_out);
+  report.add_scalar("paths", static_cast<double>(campus.walkways().size()));
   t.add_row({"TOTAL", io::Table::num(total, 0), io::Table::num(total_in, 0),
              io::Table::num(total_out, 0), "", ""});
   std::printf("%s", t.to_string().c_str());
@@ -40,5 +46,7 @@ int main() {
               "outdoor.\n",
               campus.access_points().size(), campus.cell_towers().size(),
               campus.landmarks().size());
+
+  bench::report_json(report);
   return 0;
 }

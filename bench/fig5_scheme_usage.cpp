@@ -11,9 +11,11 @@
 using namespace uniloc;
 
 int main() {
+  obs::BenchReport report = bench::make_report("fig5_scheme_usage");
   const core::TrainedModels& models = bench::standard_models();
   core::Deployment campus = core::make_deployment(sim::campus());
   core::Uniloc uniloc = core::make_uniloc(campus, models);
+  bench::instrument(uniloc, campus);
 
   core::RunOptions opts;
   opts.walk.seed = 2024;
@@ -45,5 +47,13 @@ int main() {
                 "misclassified schemes are usually close in accuracy).\n",
                 regret.size(), stats::median(regret));
   }
+
+  for (std::size_t i = 0; i < run.scheme_names.size(); ++i) {
+    report.add_scalar("usage_uniloc1." + run.scheme_names[i], u1[i]);
+    report.add_scalar("usage_oracle." + run.scheme_names[i], oracle[i]);
+  }
+  report.add_series("regret", regret);
+  bench::add_run_series(report, run);
+  bench::report_json(report);
   return 0;
 }

@@ -10,6 +10,7 @@
 using namespace uniloc;
 
 int main() {
+  obs::BenchReport report = bench::make_report("fig6_avg_error");
   const core::TrainedModels& models = bench::standard_models();
   core::Deployment campus = core::make_deployment(sim::campus());
 
@@ -19,6 +20,7 @@ int main() {
   for (std::uint64_t s = 0; s < 3; ++s) {
     core::Uniloc uniloc = core::make_uniloc(campus, models, {}, false,
                                             7 + 13 * s);
+    bench::instrument(uniloc, campus);
     core::RunOptions opts;
     opts.walk.seed = 2024 + s;
     all.append(core::run_walk(uniloc, campus, 0, opts));
@@ -56,5 +58,8 @@ int main() {
               "%.2fx (paper: 1.5x vs fusion).\n",
               best_individual / u2);
   std::printf("UniLoc2 vs UniLoc1: %.2fx.\n", u1 / u2);
+
+  bench::add_run_series(report, all);
+  bench::report_json(report);
   return 0;
 }

@@ -16,6 +16,7 @@
 using namespace uniloc;
 
 int main() {
+  obs::BenchReport report = bench::make_report("fig7_cdf_all_paths");
   const core::TrainedModels& models = bench::standard_models();
   core::Deployment campus = core::make_deployment(sim::campus());
   const core::RunResult all = bench::run_all_campus_paths(campus, models);
@@ -85,5 +86,8 @@ int main() {
                 wifi90, p(all.uniloc2_errors(), 90),
                 wifi90 / p(all.uniloc2_errors(), 90));
   }
+
+  bench::add_run_series(report, all);
+  bench::report_json(report);
   return 0;
 }

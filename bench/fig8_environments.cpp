@@ -17,8 +17,9 @@ using namespace uniloc;
 
 namespace {
 
-void run_venue(const char* title, core::Deployment& d,
-               const core::TrainedModels& models, std::uint64_t seed) {
+void run_venue(const char* title, const char* tag, core::Deployment& d,
+               const core::TrainedModels& models, std::uint64_t seed,
+               obs::BenchReport& report) {
   // Ten ~300 m trajectories (the venue's own walkways plus random ones).
   sim::SegmentType type = d.place->walkways()[0].segments[0].type;
   const std::vector<std::size_t> trajs =
@@ -27,6 +28,7 @@ void run_venue(const char* title, core::Deployment& d,
   core::RunResult all;
   for (std::size_t idx : trajs) {
     core::Uniloc u = core::make_uniloc(d, models, {}, false, seed + idx);
+    bench::instrument(u, d);
     core::RunOptions opts;
     opts.walk.seed = seed + 7 * idx;
     opts.record_every = 4;  // ~every 3 m
@@ -53,11 +55,18 @@ void run_venue(const char* title, core::Deployment& d,
               "p90 (paper: ~1.7x)\n",
               best50 / stats::percentile(all.uniloc2_errors(), 50.0),
               best90 / stats::percentile(all.uniloc2_errors(), 90.0));
+
+  for (std::size_t i = 0; i < all.scheme_names.size(); ++i) {
+    report.add_series(std::string(tag) + "." + all.scheme_names[i],
+                      all.scheme_errors(i));
+  }
+  report.add_series(std::string(tag) + ".UniLoc2", all.uniloc2_errors());
 }
 
 }  // namespace
 
 int main() {
+  obs::BenchReport report = bench::make_report("fig8_environments");
   const core::TrainedModels& models = bench::standard_models();
   std::printf("Fig. 8a-8c -- UniLoc in different environments (error "
               "models trained only in the office + open space)\n");
@@ -68,14 +77,17 @@ int main() {
   mall_opts.seed = 7;
   mall_opts.cell.nonreachable_extra_db = 45.0;
   core::Deployment mall = core::make_deployment(sim::mall_place(7), mall_opts);
-  run_venue("Fig. 8a: shopping mall", mall, models, 81);
+  run_venue("Fig. 8a: shopping mall", "mall", mall, models, 81, report);
 
   core::Deployment open = core::make_deployment(
       sim::open_space_place(99), core::DeploymentOptions{.seed = 99});
-  run_venue("Fig. 8b: urban open space", open, models, 82);
+  run_venue("Fig. 8b: urban open space", "open_space", open, models, 82,
+            report);
 
   core::Deployment office = core::make_deployment(
       sim::office_place(55), core::DeploymentOptions{.seed = 55});
-  run_venue("Fig. 8c: office", office, models, 83);
+  run_venue("Fig. 8c: office", "office", office, models, 83, report);
+
+  bench::report_json(report);
   return 0;
 }

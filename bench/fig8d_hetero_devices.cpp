@@ -19,6 +19,7 @@ core::RunResult run_cfg(core::Deployment& d, const core::TrainedModels& m,
   core::RunResult all;
   for (std::size_t w = 0; w < d.place->walkways().size(); ++w) {
     core::Uniloc u = core::make_uniloc(d, m, {}, calibrate, seed + w);
+    bench::instrument(u, d);
     core::RunOptions opts;
     opts.walk.seed = seed + 50 + w;
     if (lg) opts.walk.device = sim::lg_g3();
@@ -38,6 +39,7 @@ std::size_t wifi_index(const core::RunResult& r) {
 }  // namespace
 
 int main() {
+  obs::BenchReport report = bench::make_report("fig8d_hetero_devices");
   const core::TrainedModels& models = bench::standard_models();
   core::Deployment office = core::make_deployment(
       sim::office_place(42), core::DeploymentOptions{.seed = 42});
@@ -68,5 +70,13 @@ int main() {
               "UniLoc2 %.2fx.\nUniLoc assimilates the heterogeneity "
               "handling of its underlying schemes.\n",
               radar_raw90 / radar_cal90, u2_raw90 / u2_cal90);
+
+  report.add_series("radar_nexus", wifi(nexus));
+  report.add_series("radar_lg_raw", wifi(lg_raw));
+  report.add_series("radar_lg_cal", wifi(lg_cal));
+  report.add_series("uniloc2_nexus", nexus.uniloc2_errors());
+  report.add_series("uniloc2_lg_raw", lg_raw.uniloc2_errors());
+  report.add_series("uniloc2_lg_cal", lg_cal.uniloc2_errors());
+  bench::report_json(report);
   return 0;
 }

@@ -9,8 +9,10 @@
 #include "core/deployment.h"
 #include "core/map_matching.h"
 #include "core/posterior_fusion.h"
+#include "core/runner.h"
 #include "core/trainer.h"
 #include "filter/particle_filter.h"
+#include "obs/metrics.h"
 #include "schemes/fingerprint_db.h"
 #include "schemes/horus_scheme.h"
 #include "sim/floorplan.h"
@@ -163,6 +165,69 @@ void BM_PosteriorGridFusion(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PosteriorGridFusion);
+
+// --- full Uniloc::update() epoch, replaying recorded frames -----------
+//
+// Three variants quantify the telemetry subsystem's overhead contract:
+// never-attached (baseline), attach_metrics(nullptr) (the null-object
+// detach path -- must stay within a couple percent of baseline), and
+// attached to a live registry (clock reads + histogram inserts).
+
+struct ReplayFixture {
+  std::vector<sim::SensorFrame> frames;
+  geo::Vec2 start_pos{};
+  double start_heading{0.0};
+};
+
+const ReplayFixture& replay_frames() {
+  static const ReplayFixture fx = [] {
+    ReplayFixture r;
+    sim::WalkConfig wc;
+    wc.seed = 99;
+    sim::Walker walker(office().place.get(), office().radio.get(), 0, wc);
+    r.start_pos = walker.start_position();
+    r.start_heading = walker.start_heading();
+    while (!walker.done()) r.frames.push_back(walker.step(true));
+    return r;
+  }();
+  return fx;
+}
+
+enum class Instr { kNone, kNullRegistry, kRegistry };
+
+void run_uniloc_update(benchmark::State& state, Instr instr) {
+  const ReplayFixture& fx = replay_frames();
+  core::Uniloc uniloc = core::make_uniloc(office(), models());
+  obs::MetricsRegistry registry;
+  if (instr == Instr::kNullRegistry) uniloc.attach_metrics(nullptr);
+  if (instr == Instr::kRegistry) uniloc.attach_metrics(&registry);
+  uniloc.reset({fx.start_pos, fx.start_heading});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uniloc.update(fx.frames[i]));
+    if (++i == fx.frames.size()) {
+      i = 0;
+      state.PauseTiming();
+      uniloc.reset({fx.start_pos, fx.start_heading});
+      state.ResumeTiming();
+    }
+  }
+}
+
+void BM_UnilocUpdate(benchmark::State& state) {
+  run_uniloc_update(state, Instr::kNone);
+}
+BENCHMARK(BM_UnilocUpdate)->Unit(benchmark::kMicrosecond);
+
+void BM_UnilocUpdateNullRegistry(benchmark::State& state) {
+  run_uniloc_update(state, Instr::kNullRegistry);
+}
+BENCHMARK(BM_UnilocUpdateNullRegistry)->Unit(benchmark::kMicrosecond);
+
+void BM_UnilocUpdateRegistry(benchmark::State& state) {
+  run_uniloc_update(state, Instr::kRegistry);
+}
+BENCHMARK(BM_UnilocUpdateRegistry)->Unit(benchmark::kMicrosecond);
 
 void BM_WallCrossingQuery(benchmark::State& state) {
   static sim::Place campus = [] {

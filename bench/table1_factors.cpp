@@ -5,12 +5,14 @@
 // during error modeling (including the ones regression later rejects).
 #include <cstdio>
 
+#include "bench_util.h"
 #include "core/features.h"
 #include "io/table.h"
 
 using namespace uniloc;
 
 int main() {
+  obs::BenchReport report = bench::make_report("table1_factors");
   std::printf("Table I -- influence factors of typical localization models\n\n");
   io::Table t({"model", "schemes", "influence factors"});
 
@@ -42,11 +44,16 @@ int main() {
       }
     }
     t.add_row({r.model, r.schemes_txt, feats});
+    report.add_scalar(std::string("factors.") + r.model,
+                      static_cast<double>(
+                          core::candidate_feature_names(r.family).size()));
   }
   std::printf("%s", t.to_string().c_str());
   std::printf(
       "\nFeatures per family are fixed; coefficients differ per scheme "
       "(Sec. III-A).\nThe fusion family inherits the factors of all its "
       "data sources.\n");
+
+  bench::report_json(report);
   return 0;
 }

@@ -8,6 +8,7 @@
 // p > 0.05 when added to the regression.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "core/deployment.h"
 #include "core/trainer.h"
 #include "io/table.h"
@@ -43,6 +44,7 @@ stats::LinearModel fit_candidates(const core::FamilyData& fd,
 }  // namespace
 
 int main() {
+  obs::BenchReport report = bench::make_report("table2_error_models");
   // Collect the training data exactly as the deployment procedure does.
   core::Deployment office = core::make_deployment(
       sim::office_place(42), core::DeploymentOptions{.seed = 42});
@@ -69,6 +71,14 @@ int main() {
     const core::ErrorModel& m = models.for_family(fam);
     print_model(name, "indoor", m.indoor_model(), t);
     print_model(name, "outdoor", m.outdoor_model(), t);
+    report.add_scalar(std::string(name) + ".indoor.r2",
+                      m.indoor_model().r_squared);
+    report.add_scalar(std::string(name) + ".indoor.sigma_eps",
+                      m.indoor_model().residual_sd);
+    report.add_scalar(std::string(name) + ".outdoor.r2",
+                      m.outdoor_model().r_squared);
+    report.add_scalar(std::string(name) + ".outdoor.sigma_eps",
+                      m.outdoor_model().residual_sd);
   }
   std::printf("%s", t.to_string().c_str());
 
@@ -101,5 +111,7 @@ int main() {
     }
   }
   std::printf("%s", t2.to_string().c_str());
+
+  bench::report_json(report);
   return 0;
 }

@@ -46,6 +46,7 @@ core::RunResult run_config(const core::Deployment& d,
   core::RunResult all;
   for (std::size_t w = 0; w < d.place->walkways().size() && w < 3; ++w) {
     core::Uniloc u = core::make_uniloc(d, models, {}, false, seed + w);
+    bench::instrument(u, d);
     core::RunOptions opts;
     opts.walk.seed = seed + 100 + w;
     if (lg_device) opts.walk.device = sim::lg_g3();
@@ -58,6 +59,7 @@ core::RunResult run_config(const core::Deployment& d,
 }  // namespace
 
 int main() {
+  obs::BenchReport report = bench::make_report("table3_prediction_rmse");
   const core::TrainedModels& models = bench::standard_models();
 
   // Same places: the training venues.
@@ -109,6 +111,9 @@ int main() {
       for (const core::RunResult& r : configs[c].runs) merged.append(r);
       const std::vector<double> rmse = prediction_rmse(merged);
       if (rmse[i] >= 0.0) {
+        report.add_scalar("nrmse." + names[i] + "." +
+                              std::to_string(c),
+                          rmse[i]);
         cells.push_back(io::Table::num(rmse[i], 2));
         col_sums[static_cast<std::size_t>(c)] += rmse[i];
         col_counts[static_cast<std::size_t>(c)]++;
@@ -129,5 +134,7 @@ int main() {
   std::printf("\nPaper shape: prediction degrades from same-place/same-"
               "device toward new-place/new-device but remains usable for "
               "ranking schemes.\n");
+
+  bench::report_json(report);
   return 0;
 }

@@ -13,9 +13,11 @@
 using namespace uniloc;
 
 int main() {
+  obs::BenchReport report = bench::make_report("table4_energy");
   const core::TrainedModels& models = bench::standard_models();
   core::Deployment campus = core::make_deployment(sim::campus());
   core::Uniloc uniloc = core::make_uniloc(campus, models);
+  bench::instrument(uniloc, campus);
 
   core::RunOptions opts;
   opts.walk.seed = 2024;
@@ -32,6 +34,7 @@ int main() {
   io::Table t({"scheme", "power (mW)", "time (s)", "energy (J)"});
   double motion_j = 0.0, uniloc_j = 0.0;
   for (const energy::EnergyRow& r : rows) {
+    report.add_scalar("energy_j." + r.scheme, r.energy_j);
     t.add_row({r.scheme, io::Table::num(r.power_mw, 1),
                io::Table::num(r.time_s, 1), io::Table::num(r.energy_j, 2)});
     if (r.scheme == "Motion") motion_j = r.energy_j;
@@ -50,5 +53,11 @@ int main() {
               gps.duty_cycled_j, gps.always_on_j, gps.ratio);
   std::printf("GPS enabled on %.1f%% of epochs overall.\n",
               100.0 * run.gps_duty_fraction());
+
+  report.add_scalar("gps.duty_cycled_j", gps.duty_cycled_j);
+  report.add_scalar("gps.always_on_j", gps.always_on_j);
+  report.add_scalar("gps.duty_fraction", run.gps_duty_fraction());
+  bench::add_run_series(report, run);
+  bench::report_json(report);
   return 0;
 }

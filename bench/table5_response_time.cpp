@@ -28,6 +28,7 @@ double ms_since(Clock::time_point t0) {
 }  // namespace
 
 int main() {
+  obs::BenchReport bench_report = bench::make_report("table5_response_time");
   const core::TrainedModels& models = bench::standard_models();
   core::Deployment campus = core::make_deployment(sim::campus());
 
@@ -131,5 +132,19 @@ int main() {
               "prediction + BMA) is %.2f ms (paper: ~6.1 ms).\n",
               100.0 * report.transmission_fraction(),
               pred_total + report.bma_ms);
+
+  bench_report.add_scalar("phone_ms", report.phone_ms);
+  bench_report.add_scalar("uplink_ms", report.uplink_ms);
+  bench_report.add_scalar("downlink_ms", report.downlink_ms);
+  bench_report.add_scalar("server_ms", report.server_ms());
+  bench_report.add_scalar("bma_ms", report.bma_ms);
+  bench_report.add_scalar("error_prediction_ms", pred_total);
+  bench_report.add_scalar("total_ms", report.total_ms());
+  bench_report.add_scalar("transmission_fraction",
+                          report.transmission_fraction());
+  for (const energy::SchemeCompute& s : report.schemes) {
+    bench_report.add_scalar("server_ms." + s.name, s.server_ms);
+  }
+  bench::report_json(bench_report);
   return 0;
 }

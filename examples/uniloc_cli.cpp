@@ -3,18 +3,27 @@
 //   uniloc_cli venues
 //   uniloc_cli record <venue> <walkway-index> <seed> <out.trace>
 //   uniloc_cli replay <venue> <trace-file> [--cold-start]
+//                     [--trace <out.jsonl>] [--metrics]
 //
 // `record` walks a venue and saves the full sensor stream (dataset
 // collection). `replay` runs UniLoc offline over a saved trace and prints
 // accuracy -- identical inputs for every algorithm variant you evaluate.
 // With --cold-start the recorded start position is withheld and UniLoc
 // bootstraps it from the first WiFi scans (Zee-style).
+// With --trace every epoch's full decision (scheme availability,
+// predicted error, confidence, weights, UniLoc1's pick, GPS duty) is
+// streamed as one JSON object per line. With --metrics the per-stage
+// latency histograms are printed when the replay finishes.
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "core/cold_start.h"
 #include "core/runner.h"
+#include "io/table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/trace_io.h"
 #include "stats/descriptive.h"
 
@@ -63,12 +72,69 @@ int cmd_record(const std::string& venue, std::size_t walkway,
   return 0;
 }
 
+struct ReplayOptions {
+  bool cold_start{false};
+  std::string trace_out;  ///< Empty: no JSONL tracing.
+  bool metrics{false};
+};
+
+/// One replay epoch -> trace event (the recorded trace carries truth, so
+/// per-scheme errors and the oracle pick are filled in).
+obs::TraceEvent make_trace_event(const core::Uniloc& uniloc,
+                                 const core::EpochDecision& dec,
+                                 const sim::SensorFrame& frame,
+                                 std::uint64_t epoch, double t,
+                                 bool gps_was_enabled) {
+  obs::TraceEvent ev;
+  ev.epoch = epoch;
+  ev.t = t;
+  ev.indoor = dec.indoor;
+  ev.tau = dec.tau;
+  ev.uniloc1_choice = dec.selected;
+  ev.gps_was_enabled = gps_was_enabled;
+  ev.gps_enable_next = dec.gps_enable_next;
+  ev.uniloc1_x = dec.uniloc1.x;
+  ev.uniloc1_y = dec.uniloc1.y;
+  ev.uniloc2_x = dec.uniloc2.x;
+  ev.uniloc2_y = dec.uniloc2.y;
+  ev.has_truth = true;
+  ev.truth_x = frame.truth_pos.x;
+  ev.truth_y = frame.truth_pos.y;
+  ev.uniloc1_err = geo::distance(dec.uniloc1, frame.truth_pos);
+  ev.uniloc2_err = geo::distance(dec.uniloc2, frame.truth_pos);
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < dec.outputs.size(); ++i) {
+    obs::SchemeTrace st;
+    st.name = uniloc.scheme(i).name();
+    st.available = dec.outputs[i].available;
+    st.confidence = dec.confidence[i];
+    st.weight = dec.weight[i];
+    if (st.available) {
+      st.predicted_mu = dec.predicted_error[i].mean;
+      st.predicted_sigma = dec.predicted_error[i].sd;
+      st.error_m = geo::distance(dec.outputs[i].estimate, frame.truth_pos);
+      if (st.error_m < best) {
+        best = st.error_m;
+        ev.oracle_choice = static_cast<int>(i);
+      }
+    }
+    ev.schemes.push_back(std::move(st));
+  }
+  return ev;
+}
+
 int cmd_replay(const std::string& venue, const std::string& path,
-               bool cold_start) {
+               const ReplayOptions& ropts) {
   const sim::Trace trace = sim::read_trace(path);
   if (trace.venue != venue) {
     std::fprintf(stderr, "warning: trace was recorded in '%s'\n",
                  trace.venue.c_str());
+  }
+  // Open the trace output first so a bad path fails before the slow
+  // model training.
+  std::unique_ptr<obs::JsonlTraceSink> sink;
+  if (!ropts.trace_out.empty()) {
+    sink = std::make_unique<obs::JsonlTraceSink>(ropts.trace_out);
   }
   std::printf("training error models...\n");
   const core::TrainedModels models = core::train_standard_models(42, 300);
@@ -76,8 +142,14 @@ int cmd_replay(const std::string& venue, const std::string& path,
       venue_by_name(venue, 42), core::DeploymentOptions{.seed = 42});
   core::Uniloc uniloc = core::make_uniloc(d, models);
 
+  obs::MetricsRegistry registry;
+  if (ropts.metrics) {
+    uniloc.attach_metrics(&registry);
+    if (d.wifi_db) d.wifi_db->attach_metrics(&registry, "fpdb.wifi");
+    if (d.cell_db) d.cell_db->attach_metrics(&registry, "fpdb.cell");
+  }
   std::size_t first_frame = 0;
-  if (cold_start) {
+  if (ropts.cold_start) {
     core::ColdStartLocator locator(d.wifi_db.get());
     std::optional<schemes::StartCondition> start;
     while (first_frame < trace.frames.size() && !start.has_value()) {
@@ -99,14 +171,29 @@ int cmd_replay(const std::string& venue, const std::string& path,
 
   std::vector<double> u1, u2;
   for (std::size_t i = first_frame; i < trace.frames.size(); ++i) {
+    const bool gps_was_enabled = uniloc.gps_enabled();
     const core::EpochDecision dec = uniloc.update(trace.frames[i]);
     u1.push_back(geo::distance(dec.uniloc1, trace.frames[i].truth_pos));
     u2.push_back(geo::distance(dec.uniloc2, trace.frames[i].truth_pos));
+    if (sink) {
+      sink->on_epoch(make_trace_event(
+          uniloc, dec, trace.frames[i], u1.size() - 1,
+          static_cast<double>(i) * trace.step_period_s, gps_was_enabled));
+    }
   }
   std::printf("replayed %zu frames: UniLoc1 mean %.2f m (p90 %.2f), "
               "UniLoc2 mean %.2f m (p90 %.2f)\n",
               u1.size(), stats::mean(u1), stats::percentile(u1, 90.0),
               stats::mean(u2), stats::percentile(u2, 90.0));
+  if (sink) {
+    sink->flush();
+    std::printf("wrote %zu trace events to %s\n", sink->events_written(),
+                ropts.trace_out.c_str());
+  }
+  if (ropts.metrics) {
+    std::printf("\nper-stage metrics:\n%s",
+                registry.to_table().to_string().c_str());
+  }
   return 0;
 }
 
@@ -115,7 +202,8 @@ int usage() {
                "usage:\n"
                "  uniloc_cli venues\n"
                "  uniloc_cli record <venue> <walkway> <seed> <out.trace>\n"
-               "  uniloc_cli replay <venue> <trace> [--cold-start]\n");
+               "  uniloc_cli replay <venue> <trace> [--cold-start]\n"
+               "                    [--trace <out.jsonl>] [--metrics]\n");
   return 2;
 }
 
@@ -130,10 +218,21 @@ int main(int argc, char** argv) {
       return cmd_record(argv[2], std::stoul(argv[3]), std::stoull(argv[4]),
                         argv[5]);
     }
-    if (cmd == "replay" && (argc == 4 || argc == 5)) {
-      const bool cold =
-          argc == 5 && std::strcmp(argv[4], "--cold-start") == 0;
-      return cmd_replay(argv[2], argv[3], cold);
+    if (cmd == "replay" && argc >= 4) {
+      ReplayOptions ropts;
+      for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--cold-start") {
+          ropts.cold_start = true;
+        } else if (arg == "--trace" && i + 1 < argc) {
+          ropts.trace_out = argv[++i];
+        } else if (arg == "--metrics") {
+          ropts.metrics = true;
+        } else {
+          return usage();
+        }
+      }
+      return cmd_replay(argv[2], argv[3], ropts);
     }
     return usage();
   } catch (const std::exception& e) {

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build everything, run the full test suite.
+#
+#   scripts/check.sh                 # default RelWithDebInfo build/
+#   BUILD_DIR=build-asan CMAKE_ARGS="-DUNILOC_SANITIZE=address" \
+#     scripts/check.sh               # sanitized tree in its own dir
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS:-}
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

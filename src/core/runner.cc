@@ -1,12 +1,67 @@
 #include "core/runner.h"
 
 #include <limits>
+#include <stdexcept>
+
+#include "obs/trace.h"
 
 namespace uniloc::core {
 
 namespace {
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// The per-scheme vectors of an EpochRecord are documented (and consumed
+/// by the trace sink, the usage accessors, and every bench) as
+/// index-aligned with RunResult::scheme_names; catch any drift at the
+/// point of recording rather than as a corrupt table downstream.
+void check_scheme_alignment(const EpochRecord& rec, std::size_t n) {
+  if (rec.scheme_available.size() != n || rec.scheme_err.size() != n ||
+      rec.predicted_mu.size() != n || rec.confidence.size() != n ||
+      rec.weight.size() != n) {
+    throw std::logic_error(
+        "run_walk: EpochRecord scheme vectors are not index-aligned with "
+        "scheme_names");
+  }
 }
+
+obs::TraceEvent make_trace_event(const RunResult& result,
+                                 const EpochRecord& rec,
+                                 const EpochDecision& dec) {
+  obs::TraceEvent ev;
+  ev.epoch = result.epochs.size();
+  ev.t = rec.t;
+  ev.indoor = dec.indoor;
+  ev.tau = dec.tau;
+  ev.uniloc1_choice = rec.uniloc1_choice;
+  ev.oracle_choice = rec.oracle_choice;
+  ev.gps_was_enabled = rec.gps_was_enabled;
+  ev.gps_enable_next = dec.gps_enable_next;
+  ev.uniloc1_x = dec.uniloc1.x;
+  ev.uniloc1_y = dec.uniloc1.y;
+  ev.uniloc2_x = dec.uniloc2.x;
+  ev.uniloc2_y = dec.uniloc2.y;
+  ev.has_truth = true;
+  ev.truth_x = rec.truth.x;
+  ev.truth_y = rec.truth.y;
+  ev.uniloc1_err = rec.uniloc1_err;
+  ev.uniloc2_err = rec.uniloc2_err;
+  ev.schemes.reserve(result.scheme_names.size());
+  for (std::size_t i = 0; i < result.scheme_names.size(); ++i) {
+    obs::SchemeTrace st;
+    st.name = result.scheme_names[i];
+    st.available = rec.scheme_available[i];
+    if (st.available) {
+      st.predicted_mu = dec.predicted_error[i].mean;
+      st.predicted_sigma = dec.predicted_error[i].sd;
+    }
+    st.confidence = rec.confidence[i];
+    st.weight = rec.weight[i];
+    st.error_m = rec.scheme_err[i];
+    ev.schemes.push_back(std::move(st));
+  }
+  return ev;
+}
+}  // namespace
 
 std::vector<double> RunResult::scheme_errors(std::size_t i) const {
   std::vector<double> out;
@@ -144,8 +199,13 @@ RunResult run_walk(Uniloc& uniloc, const Deployment& d,
       rec.global_bma_err =
           geo::distance(opts.global_bma->combine(dec.outputs), frame.truth_pos);
     }
+    check_scheme_alignment(rec, result.scheme_names.size());
+    if (opts.trace != nullptr) {
+      opts.trace->on_epoch(make_trace_event(result, rec, dec));
+    }
     result.epochs.push_back(std::move(rec));
   }
+  if (opts.trace != nullptr) opts.trace->flush();
   return result;
 }
 

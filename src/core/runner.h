@@ -13,6 +13,10 @@
 #include "core/uniloc.h"
 #include "sim/walker.h"
 
+namespace uniloc::obs {
+class TraceSink;
+}  // namespace uniloc::obs
+
 namespace uniloc::core {
 
 struct EpochRecord {
@@ -68,6 +72,8 @@ struct RunOptions {
   /// every 3 m; 1 = every step).
   int record_every = 1;
   const GlobalWeightBma* global_bma = nullptr;
+  /// Receives one structured event per recorded epoch (null: no tracing).
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Build a Uniloc over the deployment with the standard five schemes and

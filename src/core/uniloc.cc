@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "core/confidence.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace uniloc::core {
 
@@ -12,7 +14,31 @@ Uniloc::Uniloc(UnilocConfig cfg) : cfg_(cfg) {}
 
 std::size_t Uniloc::add_scheme(schemes::SchemePtr scheme, ErrorModel model) {
   entries_.push_back({std::move(scheme), std::move(model)});
+  instrument_entry(entries_.back());
   return entries_.size() - 1;
+}
+
+void Uniloc::instrument_entry(Entry& e) {
+  e.localize_us =
+      registry_ != nullptr
+          ? &registry_->histogram("scheme." + e.scheme->name() +
+                                  ".localize_us")
+          : nullptr;
+  e.scheme->attach_metrics(registry_);
+}
+
+void Uniloc::attach_metrics(obs::MetricsRegistry* registry) {
+  registry_ = registry;
+  if (registry == nullptr) {
+    update_us_ = nullptr;
+    fuse_us_ = nullptr;
+    epochs_ = nullptr;
+  } else {
+    update_us_ = &registry->histogram("uniloc.update_us");
+    fuse_us_ = &registry->histogram("uniloc.fuse_us");
+    epochs_ = &registry->counter("uniloc.epochs");
+  }
+  for (Entry& e : entries_) instrument_entry(e);
 }
 
 std::vector<std::string> Uniloc::scheme_names() const {
@@ -41,6 +67,8 @@ FeatureContext Uniloc::make_context(bool indoor) const {
 }
 
 EpochDecision Uniloc::update(const sim::SensorFrame& frame) {
+  obs::ScopedTimer update_timer(update_us_);
+  if (epochs_ != nullptr) epochs_->inc();
   EpochDecision d;
   const std::size_t n = entries_.size();
   d.outputs.resize(n);
@@ -53,7 +81,10 @@ EpochDecision Uniloc::update(const sim::SensorFrame& frame) {
   //    an output containing non-finite values is treated as unavailable
   //    rather than poisoning the ensemble.
   for (std::size_t i = 0; i < n; ++i) {
-    d.outputs[i] = entries_[i].scheme->update(frame);
+    {
+      obs::ScopedTimer localize_timer(entries_[i].localize_us);
+      d.outputs[i] = entries_[i].scheme->update(frame);
+    }
     schemes::SchemeOutput& out = d.outputs[i];
     if (out.available) {
       bool finite = std::isfinite(out.estimate.x) &&
@@ -81,7 +112,12 @@ EpochDecision Uniloc::update(const sim::SensorFrame& frame) {
     available_predictions.push_back(d.predicted_error[i]);
   }
 
-  // 4. Adaptive threshold and confidences (Eq. 2).
+  // 4. Adaptive threshold and confidences (Eq. 2). Steps 4-6 are the
+  //    fusion stage (tau, confidence, selection, BMA mixing) timed into
+  //    uniloc.fuse_us.
+  const auto fuse_start = fuse_us_ != nullptr
+                              ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{};
   d.tau = cfg_.fixed_tau_m > 0.0 ? cfg_.fixed_tau_m
                                  : adaptive_tau(available_predictions);
   for (std::size_t i = 0; i < n; ++i) {
@@ -124,6 +160,11 @@ EpochDecision Uniloc::update(const sim::SensorFrame& frame) {
   d.uniloc1 = d.selected >= 0
                   ? d.outputs[static_cast<std::size_t>(d.selected)].estimate
                   : fallback;
+  if (fuse_us_ != nullptr) {
+    fuse_us_->observe(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - fuse_start)
+                          .count());
+  }
 
   // 7. Advance the location predictor with the fused result.
   predictor_.observe(d.uniloc2);

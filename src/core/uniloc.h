@@ -27,6 +27,12 @@
 #include "filter/location_predictor.h"
 #include "schemes/scheme.h"
 
+namespace uniloc::obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace uniloc::obs
+
 namespace uniloc::core {
 
 struct UnilocConfig {
@@ -90,19 +96,34 @@ class Uniloc {
   /// before the first epoch: the controller cannot rule GPS out yet).
   bool gps_enabled() const { return gps_enable_; }
 
+  /// Attach latency/throughput instrumentation to `registry` (nullptr
+  /// detaches, the default state). Histograms resolved once here, never
+  /// on the hot path: `uniloc.update_us`, `uniloc.fuse_us`, and
+  /// `scheme.<name>.localize_us` per registered scheme; the epoch count
+  /// lands in the `uniloc.epochs` counter. Cascades to the schemes'
+  /// internal stages (particle filters). Schemes added after this call
+  /// are instrumented on registration.
+  void attach_metrics(obs::MetricsRegistry* registry);
+
  private:
   struct Entry {
     schemes::SchemePtr scheme;
     ErrorModel model;
+    obs::Histogram* localize_us{nullptr};
   };
 
   FeatureContext make_context(bool indoor) const;
+  void instrument_entry(Entry& e);
 
   UnilocConfig cfg_;
   std::vector<Entry> entries_;
   IoDetector io_detector_;
   filter::LocationPredictor predictor_;
   bool gps_enable_{true};
+  obs::MetricsRegistry* registry_{nullptr};
+  obs::Histogram* update_us_{nullptr};
+  obs::Histogram* fuse_us_{nullptr};
+  obs::Counter* epochs_{nullptr};
 };
 
 }  // namespace uniloc::core

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
 namespace uniloc::filter {
 
 ParticleFilter::ParticleFilter(std::size_t num_particles, stats::Rng rng)
@@ -20,8 +23,20 @@ void ParticleFilter::init(geo::Vec2 pos, double heading, double pos_sd,
   }
 }
 
+void ParticleFilter::attach_metrics(obs::MetricsRegistry* registry,
+                                    const std::string& prefix) {
+  if (registry == nullptr) {
+    predict_us_ = nullptr;
+    resample_us_ = nullptr;
+    return;
+  }
+  predict_us_ = &registry->histogram(prefix + ".predict_us");
+  resample_us_ = &registry->histogram(prefix + ".resample_us");
+}
+
 void ParticleFilter::predict(double step_len, double dheading,
                              double step_len_sd, double heading_sd) {
+  obs::ScopedTimer timer(predict_us_);
   for (Particle& p : particles_) {
     p.heading = geo::wrap_angle(p.heading + dheading +
                                 rng_.normal(0.0, heading_sd));
@@ -74,6 +89,7 @@ double ParticleFilter::effective_sample_size() const {
 }
 
 void ParticleFilter::resample(double ess_threshold_fraction) {
+  obs::ScopedTimer timer(resample_us_);
   normalize_weights();
   const double n = static_cast<double>(particles_.size());
   if (effective_sample_size() >= ess_threshold_fraction * n) return;

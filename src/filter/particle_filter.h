@@ -8,10 +8,16 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "geo/vec2.h"
 #include "stats/rng.h"
+
+namespace uniloc::obs {
+class Histogram;
+class MetricsRegistry;
+}  // namespace uniloc::obs
 
 namespace uniloc::filter {
 
@@ -68,11 +74,19 @@ class ParticleFilter {
   std::vector<Particle>& mutable_particles() { return particles_; }
   std::size_t size() const { return particles_.size(); }
 
+  /// Route predict()/resample() latencies into `registry` histograms
+  /// `<prefix>.predict_us` / `<prefix>.resample_us`. Null detaches (the
+  /// default): detached filters perform no clock reads.
+  void attach_metrics(obs::MetricsRegistry* registry,
+                      const std::string& prefix);
+
  private:
   void normalize_weights();
 
   std::vector<Particle> particles_;
   stats::Rng rng_;
+  obs::Histogram* predict_us_{nullptr};
+  obs::Histogram* resample_us_{nullptr};
 };
 
 }  // namespace uniloc::filter

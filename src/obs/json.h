@@ -1,0 +1,57 @@
+// Minimal streaming JSON writer for the telemetry exporters.
+//
+// The observability layer emits machine-readable artifacts (JSONL epoch
+// traces, BENCH_*.json reports, registry dumps) without external
+// dependencies; this writer covers exactly the subset those exporters
+// need: objects, arrays, string escaping, and IEEE doubles with
+// non-finite values mapped to null (JSON has no NaN/Inf).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uniloc::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key inside the current object; must be followed by exactly one value
+  /// (or container).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(double v);  ///< NaN / Inf serialize as null.
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& null_value();
+
+  /// Shorthand for key(k) followed by value(v).
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+  /// JSON string-escape `s` (no surrounding quotes).
+  static std::string escape(std::string_view s);
+
+ private:
+  void element_prefix();
+
+  std::string out_;
+  std::vector<bool> first_in_container_;
+  bool after_key_{false};
+};
+
+}  // namespace uniloc::obs

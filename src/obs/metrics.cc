@@ -1,0 +1,170 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "io/table.h"
+#include "obs/json.h"
+
+namespace uniloc::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1, 0) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+std::vector<double> Histogram::default_latency_bounds_us() {
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade <= 1e6; decade *= 10.0) {
+    bounds.push_back(decade);
+    if (decade < 1e6) {
+      bounds.push_back(2.0 * decade);
+      bounds.push_back(5.0 * decade);
+    }
+  }
+  return bounds;
+}
+
+void Histogram::observe(double v) {
+  if (std::isnan(v)) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+double Histogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 100.0);
+  const double rank = q / 100.0 * static_cast<double>(count_);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    const double next = cum + static_cast<double>(buckets_[b]);
+    if (rank <= next) {
+      // Interpolate inside bucket b; the recorded min/max tighten the
+      // first and last populated buckets' edges.
+      double lo = b == 0 ? min_ : bounds_[b - 1];
+      double hi = b < bounds_.size() ? bounds_[b] : max_;
+      lo = std::max(lo, min_);
+      hi = std::min(hi, max_);
+      if (hi <= lo) return lo;
+      const double frac =
+          (rank - cum) / static_cast<double>(buckets_[b]);
+      return lo + frac * (hi - lo);
+    }
+    cum = next;
+  }
+  return max_;
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram{}).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram{std::move(bounds)})
+      .first->second;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.kv(name, c.value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.kv(name, g.value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.kv("count", h.count());
+    w.kv("sum", h.sum());
+    w.kv("mean", h.mean());
+    w.kv("min", h.min());
+    w.kv("max", h.max());
+    w.kv("p50", h.percentile(50.0));
+    w.kv("p90", h.percentile(90.0));
+    w.kv("p99", h.percentile(99.0));
+    // Sparse bucket dump: only populated buckets, Prometheus-style
+    // upper-edge labels ("le"), overflow edge serialized as null (+inf).
+    w.key("buckets").begin_array();
+    const auto& counts = h.bucket_counts();
+    const auto& bounds = h.upper_bounds();
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      if (counts[b] == 0) continue;
+      w.begin_object();
+      w.key("le");
+      if (b < bounds.size()) {
+        w.value(bounds[b]);
+      } else {
+        w.null_value();
+      }
+      w.kv("count", counts[b]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+io::Table MetricsRegistry::to_table() const {
+  io::Table t({"metric", "type", "count", "mean", "p50", "p90", "p99",
+               "max", "value"});
+  for (const auto& [name, c] : counters_) {
+    t.add_row({name, "counter", "", "", "", "", "", "",
+               std::to_string(c.value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    t.add_row({name, "gauge", "", "", "", "", "", "",
+               io::Table::num(g.value())});
+  }
+  for (const auto& [name, h] : histograms_) {
+    t.add_row({name, "histogram", std::to_string(h.count()),
+               io::Table::num(h.mean()), io::Table::num(h.percentile(50.0)),
+               io::Table::num(h.percentile(90.0)),
+               io::Table::num(h.percentile(99.0)), io::Table::num(h.max()),
+               ""});
+  }
+  return t;
+}
+
+MetricsRegistry& default_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace uniloc::obs

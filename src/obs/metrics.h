@@ -1,0 +1,135 @@
+// Metrics registry: counters, gauges, and fixed-bucket histograms.
+//
+// Design rules (the whole pipeline hangs instrumentation off these):
+//   * Plain structs, no locks, no mandatory globals. A registry is an
+//     ordinary value you create, attach to components, and export. A
+//     process-default registry exists purely for convenience
+//     (default_registry()); nothing uses it implicitly.
+//   * Null-object instrumentation: components hold Histogram* / Counter*
+//     pointers that default to nullptr. Detached instrumentation performs
+//     no clock reads and no hash lookups -- a branch on a null pointer is
+//     the entire overhead (verified by bench/micro_ops).
+//   * Instrument references returned by the registry stay valid for the
+//     registry's lifetime (node-based storage), so components resolve
+//     names once at attach time, never on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace uniloc::io {
+class Table;
+}
+
+namespace uniloc::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+/// Last-observed value of some quantity.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_{0.0};
+};
+
+/// Fixed-bucket histogram with exact count/sum/min/max and
+/// bucket-interpolated percentiles. Bucket i counts observations with
+/// upper_bounds[i-1] < v <= upper_bounds[i]; one implicit overflow bucket
+/// catches everything above the last bound.
+class Histogram {
+ public:
+  /// Default bounds suit latencies in microseconds (1 us .. 1 s).
+  Histogram() : Histogram(default_latency_bounds_us()) {}
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  /// Linear interpolation inside the bucket containing the q-th
+  /// percentile rank (q in [0, 100]); exact at the recorded min/max.
+  double percentile(double q) const;
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// bucket_counts().size() == upper_bounds().size() + 1 (overflow last).
+  const std::vector<std::uint64_t>& bucket_counts() const { return buckets_; }
+
+  void reset();
+
+  /// 1-2-5 series from 1 us to 1e6 us.
+  static std::vector<double> default_latency_bounds_us();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_{0};
+  double sum_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Named instrument store. Lookup is by exact name; the first caller of a
+/// name creates the instrument, later callers get the same object.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  /// Creates with explicit bounds; bounds are ignored when `name` exists.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Zero every instrument, keeping registrations (and therefore all
+  /// pointers held by attached components) valid.
+  void reset();
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Machine-readable dump: {"counters":{..},"gauges":{..},
+  /// "histograms":{name:{count,sum,mean,min,max,p50,p90,p99,buckets}}}.
+  std::string to_json() const;
+
+  /// Human-readable dump via io::Table (one row per instrument).
+  io::Table to_table() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Process-default registry for convenience wiring (benches, CLI). Never
+/// consulted implicitly by instrumented components.
+MetricsRegistry& default_registry();
+
+}  // namespace uniloc::obs

@@ -1,0 +1,64 @@
+#include "obs/report.h"
+
+#include <fstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "stats/descriptive.h"
+
+namespace uniloc::obs {
+
+BenchReport::BenchReport(std::string name, const MetricsRegistry* registry)
+    : name_(std::move(name)), registry_(registry) {}
+
+void BenchReport::add_series(const std::string& series,
+                             std::vector<double> samples) {
+  series_.push_back({series, std::move(samples)});
+}
+
+void BenchReport::add_scalar(const std::string& name, double value) {
+  scalars_.emplace_back(name, value);
+}
+
+std::string BenchReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("bench", name_);
+  w.key("series").begin_object();
+  for (const Series& s : series_) {
+    w.key(s.name).begin_object();
+    w.kv("n", static_cast<std::uint64_t>(s.samples.size()));
+    if (!s.samples.empty()) {
+      w.kv("mean", stats::mean(s.samples));
+      w.kv("p50", stats::percentile(s.samples, 50.0));
+      w.kv("p90", stats::percentile(s.samples, 90.0));
+      w.kv("p95", stats::percentile(s.samples, 95.0));
+      w.kv("min", stats::min_of(s.samples));
+      w.kv("max", stats::max_of(s.samples));
+    }
+    w.end_object();
+  }
+  w.end_object();
+  w.key("scalars").begin_object();
+  for (const auto& [name, value] : scalars_) w.kv(name, value);
+  w.end_object();
+  w.end_object();  // root
+  // Registry dump is pre-serialized JSON; splice it in verbatim.
+  std::string out = w.str();
+  out.pop_back();  // reopen the root: drop its trailing '}'
+  out += ",\"metrics\":";
+  out += registry_ != nullptr ? registry_->to_json()
+                              : std::string("{}");
+  out += '}';
+  return out;
+}
+
+std::string BenchReport::write(const std::string& path) const {
+  const std::string target = path.empty() ? default_path() : path;
+  std::ofstream f(target);
+  if (!f.is_open()) return "";
+  f << to_json() << '\n';
+  return f.good() ? target : "";
+}
+
+}  // namespace uniloc::obs

@@ -1,0 +1,52 @@
+// Machine-readable bench reports.
+//
+// Every bench binary prints its human tables as before and additionally
+// writes BENCH_<name>.json: accuracy percentiles for each result series
+// plus the full contents of a metrics registry (the per-stage timing
+// histograms the run accumulated). The files are the repo's perf
+// trajectory -- diffable across commits, greppable by tooling.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace uniloc::obs {
+
+class MetricsRegistry;
+
+class BenchReport {
+ public:
+  /// `registry` (may be null) is snapshotted at to_json()/write() time.
+  explicit BenchReport(std::string name,
+                       const MetricsRegistry* registry = nullptr);
+
+  /// One accuracy series (e.g. per-epoch errors of "UniLoc2"). Stored by
+  /// value; percentiles are computed at serialization time.
+  void add_series(const std::string& series, std::vector<double> samples);
+
+  /// One named scalar result (e.g. a duty-cycle fraction).
+  void add_scalar(const std::string& name, double value);
+
+  const std::string& name() const { return name_; }
+  std::string default_path() const { return "BENCH_" + name_ + ".json"; }
+
+  std::string to_json() const;
+
+  /// Write to `path` (default_path() when empty). Returns the path
+  /// written, or "" on I/O failure.
+  std::string write(const std::string& path = "") const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<double> samples;
+  };
+
+  std::string name_;
+  const MetricsRegistry* registry_;
+  std::vector<Series> series_;
+  std::vector<std::pair<std::string, double>> scalars_;
+};
+
+}  // namespace uniloc::obs

@@ -1,0 +1,41 @@
+// RAII latency timer feeding a metrics histogram.
+//
+// The null-object contract that keeps detached instrumentation free:
+// constructed with a nullptr histogram, the timer performs no clock reads
+// at all -- hot paths can therefore be instrumented unconditionally and
+// pay only an untaken branch until someone attaches a registry.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace uniloc::obs {
+
+class ScopedTimer {
+ public:
+  /// Records elapsed microseconds into `hist` on destruction; no-op when
+  /// `hist` is null.
+  explicit ScopedTimer(Histogram* hist) : hist_(hist) {
+    if (hist_ != nullptr) start_ = Clock::now();
+  }
+
+  ~ScopedTimer() {
+    if (hist_ != nullptr) {
+      hist_->observe(std::chrono::duration<double, std::micro>(
+                         Clock::now() - start_)
+                         .count());
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  Histogram* hist_;
+  Clock::time_point start_{};
+};
+
+}  // namespace uniloc::obs

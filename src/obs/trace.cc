@@ -1,0 +1,63 @@
+#include "obs/trace.h"
+
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace uniloc::obs {
+
+std::string to_json_line(const TraceEvent& ev) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("epoch", ev.epoch);
+  w.kv("t", ev.t);
+  w.kv("indoor", ev.indoor);
+  w.kv("tau", ev.tau);
+  w.kv("uniloc1_choice", ev.uniloc1_choice);
+  w.kv("oracle_choice", ev.oracle_choice);
+  w.kv("gps_was_enabled", ev.gps_was_enabled);
+  w.kv("gps_enable_next", ev.gps_enable_next);
+  w.key("uniloc1").begin_array().value(ev.uniloc1_x).value(ev.uniloc1_y)
+      .end_array();
+  w.key("uniloc2").begin_array().value(ev.uniloc2_x).value(ev.uniloc2_y)
+      .end_array();
+  if (ev.has_truth) {
+    w.key("truth").begin_array().value(ev.truth_x).value(ev.truth_y)
+        .end_array();
+    w.kv("uniloc1_err", ev.uniloc1_err);
+    w.kv("uniloc2_err", ev.uniloc2_err);
+  }
+  w.key("schemes").begin_array();
+  for (const SchemeTrace& s : ev.schemes) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.kv("available", s.available);
+    w.kv("mu", s.predicted_mu);
+    w.kv("sigma", s.predicted_sigma);
+    w.kv("confidence", s.confidence);
+    w.kv("weight", s.weight);
+    w.kv("err", s.error_m);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path)
+    : owned_(path), os_(&owned_) {
+  if (!owned_.is_open()) {
+    throw std::runtime_error("JsonlTraceSink: cannot open " + path);
+  }
+}
+
+JsonlTraceSink::JsonlTraceSink(std::ostream& os) : os_(&os) {}
+
+void JsonlTraceSink::on_epoch(const TraceEvent& ev) {
+  *os_ << to_json_line(ev) << '\n';
+  ++events_;
+}
+
+void JsonlTraceSink::flush() { os_->flush(); }
+
+}  // namespace uniloc::obs

@@ -1,0 +1,85 @@
+// Per-epoch structured tracing.
+//
+// One TraceEvent captures everything UniLoc decided in an epoch -- which
+// schemes ran, their predicted error N(mu, sigma), the confidence each
+// earned against tau, the BMA weights, UniLoc1's pick vs. the oracle's,
+// and the GPS duty decision -- so a whole walk can be replayed, diffed,
+// or post-processed offline. The JSONL sink streams one self-describing
+// JSON object per line; the null sink makes tracing free when unused.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace uniloc::obs {
+
+struct SchemeTrace {
+  std::string name;
+  bool available{false};
+  double predicted_mu{std::numeric_limits<double>::quiet_NaN()};
+  double predicted_sigma{std::numeric_limits<double>::quiet_NaN()};
+  double confidence{0.0};
+  double weight{0.0};
+  /// Ground-truth error in meters; NaN when truth is unknown or the
+  /// scheme was unavailable.
+  double error_m{std::numeric_limits<double>::quiet_NaN()};
+};
+
+struct TraceEvent {
+  std::uint64_t epoch{0};  ///< Index within the walk, 0-based.
+  double t{0.0};           ///< Walk time (s).
+  bool indoor{false};      ///< IODetector's classification.
+  double tau{0.0};         ///< Adaptive confidence threshold (m).
+  int uniloc1_choice{-1};  ///< Scheme index UniLoc1 selected (-1: none).
+  int oracle_choice{-1};   ///< Ground-truth best scheme (-1: unknown).
+  bool gps_was_enabled{true};
+  bool gps_enable_next{true};
+  double uniloc1_x{0.0}, uniloc1_y{0.0};
+  double uniloc2_x{0.0}, uniloc2_y{0.0};
+  bool has_truth{false};
+  double truth_x{0.0}, truth_y{0.0};
+  double uniloc1_err{std::numeric_limits<double>::quiet_NaN()};
+  double uniloc2_err{std::numeric_limits<double>::quiet_NaN()};
+  std::vector<SchemeTrace> schemes;  ///< Index-aligned with the registry.
+};
+
+/// Serialize one event as a single JSON object (no trailing newline).
+std::string to_json_line(const TraceEvent& ev);
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_epoch(const TraceEvent& ev) = 0;
+  virtual void flush() {}
+};
+
+/// Swallows everything; for code paths that want a non-null sink.
+class NullTraceSink final : public TraceSink {
+ public:
+  void on_epoch(const TraceEvent&) override {}
+};
+
+/// Streams events to a file (or caller-owned stream), one JSON object per
+/// line.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  /// Throws std::runtime_error when the file cannot be opened.
+  explicit JsonlTraceSink(const std::string& path);
+  explicit JsonlTraceSink(std::ostream& os);
+
+  void on_epoch(const TraceEvent& ev) override;
+  void flush() override;
+
+  std::size_t events_written() const { return events_; }
+
+ private:
+  std::ofstream owned_;
+  std::ostream* os_;
+  std::size_t events_{0};
+};
+
+}  // namespace uniloc::obs

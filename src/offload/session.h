@@ -14,6 +14,11 @@
 #include "offload/payload.h"
 #include "sim/walker.h"
 
+namespace uniloc::obs {
+class Histogram;
+class MetricsRegistry;
+}  // namespace uniloc::obs
+
 namespace uniloc::offload {
 
 struct TrafficStats {
@@ -39,8 +44,12 @@ class PhoneAgent {
   /// Reduce one sensor frame to its uplink payload.
   UplinkFrame reduce(const sim::SensorFrame& frame);
 
+  /// Time reduce() into `offload.encode_us` (null detaches).
+  void attach_metrics(obs::MetricsRegistry* registry);
+
  private:
   schemes::PdrFrontend frontend_;
+  obs::Histogram* encode_us_{nullptr};
 };
 
 /// Server side: feeds the frame to UniLoc and encodes the reply.
@@ -53,11 +62,19 @@ class ServerAgent {
   DownlinkFrame handle(const sim::SensorFrame& frame,
                        core::EpochDecision* decision_out = nullptr);
 
+  /// Time handle() (UniLoc update + reply encode) into
+  /// `offload.serve_us` (null detaches).
+  void attach_metrics(obs::MetricsRegistry* registry);
+
  private:
   core::Uniloc* uniloc_;
+  obs::Histogram* serve_us_{nullptr};
 };
 
-/// Run a full offloaded walk and account the traffic.
-TrafficStats run_offloaded_walk(core::Uniloc& uniloc, sim::Walker& walker);
+/// Run a full offloaded walk and account the traffic. With a registry,
+/// both agents are instrumented and the wire volume lands in the
+/// `offload.uplink_bytes` / `offload.downlink_bytes` counters.
+TrafficStats run_offloaded_walk(core::Uniloc& uniloc, sim::Walker& walker,
+                                obs::MetricsRegistry* registry = nullptr);
 
 }  // namespace uniloc::offload

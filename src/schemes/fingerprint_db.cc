@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "stats/rng.h"
 
 namespace uniloc::schemes {
@@ -73,8 +75,16 @@ void FingerprintDatabase::rebuild_spatial_index() {
   spatial_ = geo::PointIndex(positions, /*cell_size=*/6.0);
 }
 
+void FingerprintDatabase::attach_metrics(obs::MetricsRegistry* registry,
+                                         const std::string& prefix) {
+  match_us_ =
+      registry != nullptr ? &registry->histogram(prefix + ".match_us")
+                          : nullptr;
+}
+
 std::vector<Match> FingerprintDatabase::k_nearest(
     const std::vector<sim::ApReading>& scan, std::size_t k) const {
+  obs::ScopedTimer timer(match_us_);
   std::vector<Match> matches;
   if (scan.empty() || fps_.empty() || k == 0) return matches;
   matches.reserve(fps_.size());
@@ -93,6 +103,7 @@ std::vector<Match> FingerprintDatabase::k_nearest(
 
 std::vector<double> FingerprintDatabase::all_distances(
     const std::vector<sim::ApReading>& scan) const {
+  obs::ScopedTimer timer(match_us_);
   std::vector<double> out(fps_.size(), std::numeric_limits<double>::max());
   for (std::size_t i = 0; i < fps_.size(); ++i) {
     out[i] = rssi_distance(scan, fps_[i], floor_dbm());

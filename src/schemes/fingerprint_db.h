@@ -19,6 +19,11 @@
 #include "sim/place.h"
 #include "sim/radio.h"
 
+namespace uniloc::obs {
+class Histogram;
+class MetricsRegistry;
+}  // namespace uniloc::obs
+
 namespace uniloc::schemes {
 
 struct Fingerprint {
@@ -95,12 +100,18 @@ class FingerprintDatabase {
   FingerprintDatabase downsampled(std::size_t keep_every,
                                   std::uint64_t seed = 0) const;
 
+  /// Route RSSI-matching latencies (k_nearest / all_distances) into the
+  /// `<prefix>.match_us` histogram of `registry`. Null detaches.
+  void attach_metrics(obs::MetricsRegistry* registry,
+                      const std::string& prefix);
+
  private:
   void rebuild_spatial_index();
 
   std::vector<Fingerprint> fps_;
   Source source_{Source::kWifi};
   geo::PointIndex spatial_;  ///< Bucket index over fingerprint positions.
+  obs::Histogram* match_us_{nullptr};
 };
 
 }  // namespace uniloc::schemes

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "stats/gaussian.h"
+#include "obs/metrics.h"
 
 namespace uniloc::schemes {
 
@@ -16,10 +17,18 @@ PdrScheme::PdrScheme(const sim::Place* place, PdrOptions opts)
 void PdrScheme::reset(const StartCondition& start) {
   frontend_.reset(start.heading);
   pf_ = filter::ParticleFilter(opts_.num_particles, stats::Rng(opts_.seed));
+  // Reassigning the filter dropped its instrument pointers; re-attach.
+  pf_.attach_metrics(registry_, "scheme." + name() + ".pf");
   pf_.init(start.pos, start.heading, /*pos_sd=*/0.8,
            /*heading_sd=*/0.08, /*scale_sd=*/0.07);
   dist_since_landmark_ = 0.0;
   started_ = true;
+}
+
+void PdrScheme::attach_metrics(obs::MetricsRegistry* registry) {
+  registry_ = registry;
+  // name() is virtual, so the fusion subclass lands under its own prefix.
+  pf_.attach_metrics(registry, "scheme." + name() + ".pf");
 }
 
 void PdrScheme::apply_map_constraint() {

@@ -44,6 +44,7 @@ class PdrScheme : public LocalizationScheme {
   SchemeFamily family() const override { return SchemeFamily::kMotionPdr; }
   void reset(const StartCondition& start) override;
   SchemeOutput update(const sim::SensorFrame& frame) override;
+  void attach_metrics(obs::MetricsRegistry* registry) override;
 
   /// Meters walked since the last recognized landmark (beta1 of the
   /// motion error model).
@@ -68,6 +69,7 @@ class PdrScheme : public LocalizationScheme {
   PdrOptions opts_;
   PdrFrontend frontend_;
   filter::ParticleFilter pf_;
+  obs::MetricsRegistry* registry_{nullptr};
   double dist_since_landmark_{0.0};
   bool started_{false};
 };

@@ -17,6 +17,10 @@
 #include "geo/vec2.h"
 #include "sim/sensor_frame.h"
 
+namespace uniloc::obs {
+class MetricsRegistry;
+}  // namespace uniloc::obs
+
 namespace uniloc::schemes {
 
 /// Families group schemes by the sensor data they consume; every family
@@ -94,6 +98,13 @@ class LocalizationScheme {
 
   /// Consume one epoch of sensor data and localize.
   virtual SchemeOutput update(const sim::SensorFrame& frame) = 0;
+
+  /// Attach internal-stage latency instrumentation to `registry`
+  /// (nullptr detaches). Default: the scheme has no internal stages worth
+  /// timing; Uniloc already times the whole update() call per scheme.
+  virtual void attach_metrics(obs::MetricsRegistry* registry) {
+    (void)registry;
+  }
 };
 
 using SchemePtr = std::unique_ptr<LocalizationScheme>;

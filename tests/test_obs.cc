@@ -1,0 +1,337 @@
+// Telemetry subsystem: metrics registry semantics, histogram bucket
+// edges, trace JSONL round-trip, and the null-object detach guarantees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/runner.h"
+#include "core/trainer.h"
+#include "io/table.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
+
+namespace uniloc::obs {
+namespace {
+
+TEST(Counter, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge g;
+  g.set(3.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 5.0});
+  // Bucket i counts bounds[i-1] < v <= bounds[i]; overflow catches > 5.
+  h.observe(1.0);   // bucket 0 (v <= 1)
+  h.observe(0.5);   // bucket 0
+  h.observe(1.001); // bucket 1
+  h.observe(2.0);   // bucket 1 (edge is inclusive)
+  h.observe(5.0);   // bucket 2
+  h.observe(7.0);   // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 2u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 7.0);
+  EXPECT_NEAR(h.sum(), 16.501, 1e-9);
+}
+
+TEST(Histogram, ConstructorSortsBounds) {
+  Histogram h({5.0, 1.0, 2.0});
+  EXPECT_EQ(h.upper_bounds(), (std::vector<double>{1.0, 2.0, 5.0}));
+}
+
+TEST(Histogram, IgnoresNaN) {
+  Histogram h({1.0});
+  h.observe(std::nan(""));
+  EXPECT_EQ(h.count(), 0u);
+  h.observe(0.5);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, EmptyIsZeroed) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+}
+
+TEST(Histogram, PercentilesClampedByExactMinMax) {
+  Histogram h({1.0, 2.0, 5.0, 10.0});
+  for (double v : {1.5, 2.5, 3.0, 4.0, 6.0}) h.observe(v);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 6.0);
+  const double p50 = h.percentile(50.0);
+  EXPECT_GE(p50, 1.5);
+  EXPECT_LE(p50, 6.0);
+  EXPECT_LE(h.percentile(25.0), h.percentile(75.0));
+}
+
+TEST(Histogram, DefaultLatencyBoundsCoverMicrosecondToSecond) {
+  const std::vector<double> b = Histogram::default_latency_bounds_us();
+  ASSERT_FALSE(b.empty());
+  EXPECT_DOUBLE_EQ(b.front(), 1.0);
+  EXPECT_DOUBLE_EQ(b.back(), 1e6);
+  EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameInstrument) {
+  MetricsRegistry r;
+  EXPECT_TRUE(r.empty());
+  Counter& a = r.counter("x");
+  Counter& b = r.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_FALSE(r.empty());
+  // Namespaces are separate: a gauge "x" is a different instrument.
+  r.gauge("x").set(1.0);
+  a.inc();
+  EXPECT_EQ(r.counter("x").value(), 1u);
+  EXPECT_DOUBLE_EQ(r.gauge("x").value(), 1.0);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsPointersValid) {
+  MetricsRegistry r;
+  Counter& c = r.counter("epochs");
+  Histogram& h = r.histogram("lat", {1.0, 10.0});
+  c.inc(5);
+  h.observe(3.0);
+  r.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  // The same objects are still registered and usable.
+  c.inc();
+  EXPECT_EQ(r.counter("epochs").value(), 1u);
+  EXPECT_EQ(&r.histogram("lat"), &h);
+  EXPECT_EQ(h.upper_bounds().size(), 2u);  // bounds survive the reset
+}
+
+TEST(MetricsRegistry, ToJsonIsWellFormedAndComplete) {
+  MetricsRegistry r;
+  r.counter("n").inc(3);
+  r.gauge("temp").set(21.5);
+  r.gauge("bad").set(std::nan(""));
+  r.histogram("lat", {1.0, 2.0}).observe(1.5);
+  const std::string j = r.to_json();
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"n\":3"), std::string::npos);
+  EXPECT_NE(j.find("\"temp\":21.5"), std::string::npos);
+  EXPECT_NE(j.find("\"bad\":null"), std::string::npos);
+  EXPECT_NE(j.find("\"lat\""), std::string::npos);
+  EXPECT_NE(j.find("\"buckets\""), std::string::npos);
+  // Balanced braces/brackets (a cheap structural validity check).
+  int depth = 0;
+  for (char ch : j) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(MetricsRegistry, ToTableListsEveryInstrument) {
+  MetricsRegistry r;
+  r.counter("uniloc.epochs").inc(7);
+  r.histogram("uniloc.update_us").observe(120.0);
+  const std::string table = r.to_table().to_string();
+  EXPECT_NE(table.find("uniloc.epochs"), std::string::npos);
+  EXPECT_NE(table.find("uniloc.update_us"), std::string::npos);
+}
+
+TEST(ScopedTimer, ObservesWhenAttachedOnly) {
+  Histogram h;
+  {
+    ScopedTimer t(&h);
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.max(), 0.0);
+  {
+    ScopedTimer detached(nullptr);  // must be a no-op, not a crash
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Trace, JsonLineEncodesNaNAsNull) {
+  TraceEvent ev;
+  ev.epoch = 3;
+  ev.tau = 5.5;
+  SchemeTrace st;
+  st.name = "WiFi";
+  st.available = false;  // error_m stays NaN
+  ev.schemes.push_back(st);
+  const std::string line = to_json_line(ev);
+  EXPECT_NE(line.find("\"epoch\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"tau\":5.5"), std::string::npos);
+  EXPECT_NE(line.find("\"name\":\"WiFi\""), std::string::npos);
+  EXPECT_NE(line.find("\"err\":null"), std::string::npos);
+  EXPECT_NE(line.find("\"mu\":null"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(Trace, NullSinkSwallowsEverything) {
+  NullTraceSink sink;
+  sink.on_epoch(TraceEvent{});
+  sink.flush();  // nothing to assert beyond "does not crash"
+}
+
+TEST(Trace, JsonlSinkThrowsOnUnwritablePath) {
+  EXPECT_THROW(JsonlTraceSink("/nonexistent-dir/x/y.jsonl"),
+               std::runtime_error);
+}
+
+TEST(BenchReport, WritesSeriesScalarsAndMetrics) {
+  MetricsRegistry r;
+  r.histogram("uniloc.update_us").observe(42.0);
+  BenchReport report("obs_test", &r);
+  report.add_series("errors", {1.0, 2.0, 3.0, 4.0});
+  report.add_series("empty", {});
+  report.add_scalar("answer", 42.0);
+  const std::string path = testing::TempDir() + "BENCH_obs_test.json";
+  ASSERT_EQ(report.write(path), path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string j = ss.str();
+  EXPECT_NE(j.find("\"bench\":\"obs_test\""), std::string::npos);
+  EXPECT_NE(j.find("\"errors\""), std::string::npos);
+  EXPECT_NE(j.find("\"p50\""), std::string::npos);
+  EXPECT_NE(j.find("\"answer\":42"), std::string::npos);
+  EXPECT_NE(j.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(j.find("uniloc.update_us"), std::string::npos);
+  // The registry dump is spliced in as a sibling of "scalars", not nested
+  // inside it, and the whole document balances.
+  EXPECT_NE(j.find("},\"metrics\":{"), std::string::npos);
+  int depth = 0;
+  for (char ch : j) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(BenchReport, EmptySectionsStillBalance) {
+  BenchReport report("bare", nullptr);  // no registry, series, or scalars
+  const std::string j = report.to_json();
+  EXPECT_NE(j.find("\"metrics\":{}"), std::string::npos);
+  int depth = 0;
+  for (char ch : j) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+// --- integration: a real walk through the trace + metrics pipeline ----
+
+const core::TrainedModels& models() {
+  static const core::TrainedModels m = core::train_standard_models(42, 150);
+  return m;
+}
+
+const core::Deployment& office() {
+  static core::Deployment d = core::make_deployment(
+      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+  return d;
+}
+
+TEST(TraceIntegration, JsonlRoundTripMatchesRecordedEpochs) {
+  const std::string path = testing::TempDir() + "walk_trace.jsonl";
+  core::Uniloc u = core::make_uniloc(office(), models());
+  JsonlTraceSink sink(path);
+  core::RunOptions opts;
+  opts.walk.seed = 11;
+  opts.trace = &sink;
+  const core::RunResult run = core::run_walk(u, office(), 0, opts);
+
+  ASSERT_GT(run.epochs.size(), 0u);
+  EXPECT_EQ(sink.events_written(), run.epochs.size());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"epoch\":"), std::string::npos);
+    EXPECT_NE(line.find("\"schemes\":["), std::string::npos);
+    EXPECT_NE(line.find("\"uniloc2_err\":"), std::string::npos);
+    // Every registered scheme appears on every line.
+    for (const std::string& name : run.scheme_names) {
+      EXPECT_NE(line.find("\"name\":\"" + name + "\""), std::string::npos);
+    }
+    ++lines;
+  }
+  EXPECT_EQ(lines, run.epochs.size());
+}
+
+TEST(MetricsIntegration, AttachedRunFillsExpectedHistograms) {
+  MetricsRegistry r;
+  core::Uniloc u = core::make_uniloc(office(), models());
+  u.attach_metrics(&r);
+  office().wifi_db->attach_metrics(&r, "fpdb.wifi");
+  core::RunOptions opts;
+  opts.walk.seed = 12;
+  const core::RunResult run = core::run_walk(u, office(), 0, opts);
+
+  EXPECT_GT(r.counter("uniloc.epochs").value(), 0u);
+  EXPECT_GT(r.histogram("uniloc.update_us").count(), 0u);
+  EXPECT_GT(r.histogram("uniloc.fuse_us").count(), 0u);
+  EXPECT_GT(r.histogram("fpdb.wifi.match_us").count(), 0u);
+  // Every registered scheme got its localize histogram.
+  for (const std::string& name : run.scheme_names) {
+    EXPECT_GT(r.histogram("scheme." + name + ".localize_us").count(), 0u)
+        << name;
+  }
+  // The PDR-family schemes cascade into their particle filters.
+  EXPECT_GT(r.histogram("scheme.Motion.pf.predict_us").count(), 0u);
+
+  // `r` dies with this test but office() is static: detach so the shared
+  // deployment never holds a dangling instrument pointer.
+  office().wifi_db->attach_metrics(nullptr, "fpdb.wifi");
+}
+
+TEST(MetricsIntegration, NullRegistryDetachesCleanly) {
+  MetricsRegistry r;
+  core::Uniloc u = core::make_uniloc(office(), models());
+  u.attach_metrics(&r);
+  u.attach_metrics(nullptr);  // detach again
+  const std::uint64_t before = r.counter("uniloc.epochs").value();
+  core::RunOptions opts;
+  opts.walk.seed = 13;
+  const core::RunResult run = core::run_walk(u, office(), 0, opts);
+  ASSERT_GT(run.epochs.size(), 0u);
+  EXPECT_EQ(r.counter("uniloc.epochs").value(), before);
+  EXPECT_EQ(r.histogram("uniloc.update_us").count(), 0u);
+}
+
+}  // namespace
+}  // namespace uniloc::obs
