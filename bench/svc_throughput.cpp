@@ -1,0 +1,108 @@
+// Bench: multi-session service throughput vs worker-pool size.
+//
+// 32 simulated phones (round-robin over the eight campus paths, distinct
+// walk seeds) speak the svc wire protocol against one LocalizationServer
+// at 1, 2, 4, and 8 workers. Each epoch blocks its worker for the
+// simulated network push (Table V measures 52 + 63 ms of WLAN
+// transmissions per fix; we use a compressed stand-in so the bench runs
+// in seconds) -- so throughput scales with workers until the CPU
+// saturates, exactly like the real synchronous server.
+//
+// Reported per worker count: epochs/s, client-side p50/p95/p99 latency,
+// and backpressure rejections. The scaling headline: epochs/s must rise
+// monotonically from 1 to 4 workers.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "svc/loadgen.h"
+#include "svc/server.h"
+#include "stats/descriptive.h"
+
+using namespace uniloc;
+
+namespace {
+
+constexpr std::size_t kWalkers = 32;
+constexpr std::size_t kEpochsPerWalker = 20;
+constexpr std::chrono::microseconds kSimulatedNetwork{8000};
+
+svc::LoadReport run_config(const core::Deployment& campus, int workers) {
+  svc::ServerConfig cfg;
+  cfg.workers = workers;
+  cfg.simulated_network = kSimulatedNetwork;
+  svc::LocalizationServer server(
+      cfg,
+      [&campus](std::uint64_t sid) {
+        return std::make_unique<core::Uniloc>(core::make_uniloc(
+            campus, bench::standard_models(), {}, false, /*seed=*/7 + sid));
+      },
+      &obs::default_registry());
+
+  svc::LoadGenConfig lg;
+  lg.walkers = kWalkers;
+  lg.max_epochs_per_walker = kEpochsPerWalker;
+  lg.burst = 2;  // two epochs in flight per session: exercises the inbox
+  lg.seed = 2024;
+  svc::LoadReport report =
+      svc::run_load(server, campus, lg, &obs::default_registry());
+  server.shutdown();
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  obs::BenchReport bench_report = bench::make_report("svc_throughput");
+  (void)bench::standard_models();  // train before the clock matters
+  core::Deployment campus = core::make_deployment(sim::campus());
+
+  std::printf(
+      "svc throughput -- %zu walkers x %zu epochs over %zu campus paths, "
+      "%.0f ms simulated network per epoch\n\n",
+      kWalkers, kEpochsPerWalker, campus.place->walkways().size(),
+      static_cast<double>(kSimulatedNetwork.count()) / 1000.0);
+
+  io::Table table({"workers", "epochs", "epochs/s", "p50 (ms)", "p95 (ms)",
+                   "p99 (ms)", "backpressure"});
+  double eps_w1 = 0.0, eps_w4 = 0.0;
+  bool monotonic_1_to_4 = true;
+  double prev_eps = 0.0;
+  for (const int workers : {1, 2, 4, 8}) {
+    const svc::LoadReport r = run_config(campus, workers);
+    const double eps = r.throughput_eps();
+    const double p50 = stats::percentile(r.latencies_us, 50.0) / 1000.0;
+    const double p95 = stats::percentile(r.latencies_us, 95.0) / 1000.0;
+    const double p99 = stats::percentile(r.latencies_us, 99.0) / 1000.0;
+    table.add_row({std::to_string(workers), std::to_string(r.total_epochs),
+                   io::Table::num(eps), io::Table::num(p50),
+                   io::Table::num(p95), io::Table::num(p99),
+                   std::to_string(r.backpressure_total)});
+
+    const std::string prefix = "workers" + std::to_string(workers) + ".";
+    bench_report.add_scalar(prefix + "throughput_eps", eps);
+    bench_report.add_scalar(prefix + "latency_p50_ms", p50);
+    bench_report.add_scalar(prefix + "latency_p95_ms", p95);
+    bench_report.add_scalar(prefix + "latency_p99_ms", p99);
+    bench_report.add_scalar(prefix + "backpressure",
+                            static_cast<double>(r.backpressure_total));
+    bench_report.add_series("latency_us_w" + std::to_string(workers),
+                            r.latencies_us);
+
+    if (workers == 1) eps_w1 = eps;
+    if (workers == 4) eps_w4 = eps;
+    if (workers <= 4 && eps <= prev_eps) monotonic_1_to_4 = false;
+    prev_eps = eps;
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("scaling 1 -> 4 workers: %.2fx, monotonic: %s\n",
+              eps_w1 > 0.0 ? eps_w4 / eps_w1 : 0.0,
+              monotonic_1_to_4 ? "yes" : "NO");
+  bench_report.add_scalar("scaling_1_to_4", eps_w1 > 0.0 ? eps_w4 / eps_w1
+                                                         : 0.0);
+  bench_report.add_scalar("monotonic_1_to_4", monotonic_1_to_4 ? 1.0 : 0.0);
+
+  bench::report_json(bench_report);
+  return monotonic_1_to_4 ? 0 : 1;
+}

@@ -5,9 +5,16 @@
 //   uniloc_cli replay <venue> <trace-file> [--cold-start]
 //                     [--trace <out.jsonl>] [--metrics]
 //
+//   uniloc_cli serve-sim [--venue <name>] [--walkers N] [--workers W]
+//                        [--epochs E] [--seed S] [--metrics]
+//
 // `record` walks a venue and saves the full sensor stream (dataset
 // collection). `replay` runs UniLoc offline over a saved trace and prints
 // accuracy -- identical inputs for every algorithm variant you evaluate.
+// `serve-sim` stands up the src/svc multi-session LocalizationServer
+// in-process and drives it with N simulated phones over the venue's
+// walkways (the svc wire protocol end to end), printing throughput,
+// latency percentiles, per-walker accuracy, and wire traffic.
 // With --cold-start the recorded start position is withheld and UniLoc
 // bootstraps it from the first WiFi scans (Zee-style).
 // With --trace every epoch's full decision (scheme availability,
@@ -26,6 +33,8 @@
 #include "obs/trace.h"
 #include "sim/trace_io.h"
 #include "stats/descriptive.h"
+#include "svc/loadgen.h"
+#include "svc/server.h"
 
 using namespace uniloc;
 
@@ -197,13 +206,77 @@ int cmd_replay(const std::string& venue, const std::string& path,
   return 0;
 }
 
+struct ServeSimOptions {
+  std::string venue{"campus"};
+  std::size_t walkers{8};
+  int workers{2};
+  std::size_t epochs{50};  ///< Per walker; 0 = full paths.
+  std::uint64_t seed{2024};
+  bool metrics{false};
+};
+
+int cmd_serve_sim(const ServeSimOptions& sopts) {
+  std::printf("training error models...\n");
+  const core::TrainedModels models = core::train_standard_models(42, 300);
+  core::Deployment d = core::make_deployment(
+      venue_by_name(sopts.venue, 42), core::DeploymentOptions{.seed = 42});
+
+  obs::MetricsRegistry registry;
+  svc::ServerConfig cfg;
+  cfg.workers = sopts.workers;
+  // A compressed stand-in for the per-fix WLAN transmission time the
+  // paper measures (Table V); workers overlap these waits.
+  cfg.simulated_network = std::chrono::microseconds(5000);
+  svc::LocalizationServer server(
+      cfg,
+      [&](std::uint64_t sid) {
+        return std::make_unique<core::Uniloc>(
+            core::make_uniloc(d, models, {}, false, 7 + sid));
+      },
+      &registry);
+
+  std::printf("serving %zu walkers on '%s' with %d workers...\n",
+              sopts.walkers, sopts.venue.c_str(), sopts.workers);
+  svc::LoadGenConfig lg;
+  lg.walkers = sopts.walkers;
+  lg.max_epochs_per_walker = sopts.epochs;
+  lg.seed = sopts.seed;
+  const svc::LoadReport report = svc::run_load(server, d, lg, &registry);
+  server.shutdown();
+
+  io::Table t({"session", "walkway", "epochs", "mean err (m)", "rejected"});
+  for (const svc::WalkerOutcome& w : report.walkers) {
+    t.add_row({std::to_string(w.session_id), std::to_string(w.walkway),
+               std::to_string(w.epochs_accepted),
+               io::Table::num(w.mean_error_m),
+               std::to_string(w.backpressure + w.errors)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("%zu epochs in %.2f s: %.1f epochs/s, latency p50 %.1f ms "
+              "p95 %.1f ms\n",
+              report.total_epochs, report.wall_s, report.throughput_eps(),
+              stats::percentile(report.latencies_us, 50.0) / 1000.0,
+              stats::percentile(report.latencies_us, 95.0) / 1000.0);
+  std::printf("wire traffic: uplink %.1f B/epoch, downlink %.1f B/epoch\n",
+              report.traffic.uplink_bytes_per_epoch(),
+              report.traffic.downlink_bytes_per_epoch());
+  if (sopts.metrics) {
+    std::printf("\nservice metrics:\n%s",
+                registry.to_table().to_string().c_str());
+  }
+  return report.error_total == 0 ? 0 : 1;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  uniloc_cli venues\n"
                "  uniloc_cli record <venue> <walkway> <seed> <out.trace>\n"
                "  uniloc_cli replay <venue> <trace> [--cold-start]\n"
-               "                    [--trace <out.jsonl>] [--metrics]\n");
+               "                    [--trace <out.jsonl>] [--metrics]\n"
+               "  uniloc_cli serve-sim [--venue <name>] [--walkers N]\n"
+               "                    [--workers W] [--epochs E] [--seed S]\n"
+               "                    [--metrics]\n");
   return 2;
 }
 
@@ -233,6 +306,28 @@ int main(int argc, char** argv) {
         }
       }
       return cmd_replay(argv[2], argv[3], ropts);
+    }
+    if (cmd == "serve-sim") {
+      ServeSimOptions sopts;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--venue" && i + 1 < argc) {
+          sopts.venue = argv[++i];
+        } else if (arg == "--walkers" && i + 1 < argc) {
+          sopts.walkers = std::stoul(argv[++i]);
+        } else if (arg == "--workers" && i + 1 < argc) {
+          sopts.workers = std::stoi(argv[++i]);
+        } else if (arg == "--epochs" && i + 1 < argc) {
+          sopts.epochs = std::stoul(argv[++i]);
+        } else if (arg == "--seed" && i + 1 < argc) {
+          sopts.seed = std::stoull(argv[++i]);
+        } else if (arg == "--metrics") {
+          sopts.metrics = true;
+        } else {
+          return usage();
+        }
+      }
+      return cmd_serve_sim(sopts);
     }
     return usage();
   } catch (const std::exception& e) {

@@ -13,3 +13,14 @@ JOBS="${JOBS:-$(nproc)}"
 cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS:-}
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# Tier-2 gate: the src/svc concurrency suite must be clean under
+# ThreadSanitizer (worker pool, session strands, server instrumentation).
+# Only test_svc is built in the sanitized tree -- the `svc.` ctest prefix
+# selects exactly its tests. Set TSAN=0 to skip (e.g. no libtsan).
+if [[ "${TSAN:-1}" != "0" ]]; then
+  TSAN_DIR="${TSAN_DIR:-build-tsan}"
+  cmake -B "$TSAN_DIR" -S . -DUNILOC_SANITIZE=thread
+  cmake --build "$TSAN_DIR" -j "$JOBS" --target test_svc
+  ctest --test-dir "$TSAN_DIR" -R '^svc\.' --output-on-failure -j "$JOBS"
+fi

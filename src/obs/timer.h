@@ -38,4 +38,27 @@ class ScopedTimer {
   Clock::time_point start_{};
 };
 
+/// Manual start/read timer for spans that cross scopes or threads (e.g. a
+/// request timed from acceptance on the submitting thread to completion
+/// on a worker). Unlike ScopedTimer it is copyable -- the start point is
+/// a value that can travel with the work item -- and it never touches a
+/// histogram itself: the owner reads elapsed_us() and records wherever
+/// (and under whatever lock) it wants.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+  void restart() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  Clock::time_point start_;
+};
+
 }  // namespace uniloc::obs

@@ -1,0 +1,104 @@
+// Bounds-checked little-endian byte cursors.
+//
+// Every wire codec in the tree (offload payload encodings, svc frame
+// protocol) goes through these two cursors. ByteReader never reads past
+// the buffer: every get_* reports failure instead, so a truncated or
+// hostile buffer can only produce a clean parse error, never UB. Checked
+// by the malformed-input tests in tests/test_offload.cc and
+// tests/test_svc.cc.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace uniloc::offload {
+
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u16(std::uint16_t v) { put_le(v); }
+  void put_u32(std::uint32_t v) { put_le(v); }
+  void put_u64(std::uint64_t v) { put_le(v); }
+  void put_i32(std::int32_t v) { put_le(static_cast<std::uint32_t>(v)); }
+  void put_f64(double v) { put_le(std::bit_cast<std::uint64_t>(v)); }
+  void put_bytes(const std::uint8_t* p, std::size_t n) {
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  /// Overwrite `width` bytes at `pos` (little-endian) -- for length
+  /// fields written after the payload they describe.
+  void patch_u32(std::size_t pos, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_[pos + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  bool get_u8(std::uint8_t& v) { return get_le(v); }
+  bool get_u16(std::uint16_t& v) { return get_le(v); }
+  bool get_u32(std::uint32_t& v) { return get_le(v); }
+  bool get_u64(std::uint64_t& v) { return get_le(v); }
+  bool get_i32(std::int32_t& v) {
+    std::uint32_t u;
+    if (!get_le(u)) return false;
+    v = static_cast<std::int32_t>(u);
+    return true;
+  }
+  bool get_f64(double& v) {
+    std::uint64_t u;
+    if (!get_le(u)) return false;
+    v = std::bit_cast<double>(u);
+    return true;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  std::size_t pos() const { return pos_; }
+  bool skip(std::size_t n) {
+    if (remaining() < n) return false;
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  template <typename T>
+  bool get_le(T& v) {
+    if (remaining() < sizeof(T)) return false;
+    T out = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    v = out;
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_{0};
+};
+
+}  // namespace uniloc::offload

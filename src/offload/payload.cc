@@ -70,4 +70,155 @@ DownlinkFrame DownlinkFrame::encode(geo::Vec2 p) {
 
 geo::Vec2 DownlinkFrame::decoded() const { return position; }
 
+// ----------------------------------------------------------------- codecs
+
+namespace {
+
+// Section bitmap of a serialized UplinkFrame.
+constexpr std::uint8_t kHasStep = 1 << 0;
+constexpr std::uint8_t kHasWifi = 1 << 1;
+constexpr std::uint8_t kHasCell = 1 << 2;
+constexpr std::uint8_t kHasGps = 1 << 3;
+constexpr std::uint8_t kKnownSections = kHasStep | kHasWifi | kHasCell |
+                                        kHasGps;
+
+void write_scan(const ScanPayload& scan, ByteWriter& w) {
+  w.put_u16(static_cast<std::uint16_t>(scan.readings.size()));
+  for (const sim::ApReading& r : scan.readings) {
+    w.put_u16(static_cast<std::uint16_t>(r.id));
+    w.put_u8(quantize_rssi(r.rssi_dbm));
+  }
+}
+
+std::optional<ScanPayload> parse_scan(ByteReader& r) {
+  std::uint16_t count;
+  if (!r.get_u16(count)) return std::nullopt;
+  // 3 bytes per reading must still be in the buffer -- reject a count that
+  // promises more than the frame carries before allocating anything.
+  if (r.remaining() < static_cast<std::size_t>(count) * 3) return std::nullopt;
+  ScanPayload scan;
+  scan.readings.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    std::uint16_t id;
+    std::uint8_t q;
+    if (!r.get_u16(id) || !r.get_u8(q)) return std::nullopt;
+    scan.readings.push_back({static_cast<int>(id), dequantize_rssi(q)});
+  }
+  return scan;
+}
+
+}  // namespace
+
+std::uint8_t quantize_rssi(double rssi_dbm) {
+  return static_cast<std::uint8_t>(
+      std::clamp(std::round((rssi_dbm + 127.5) * 2.0), 0.0, 255.0));
+}
+
+double dequantize_rssi(std::uint8_t q) {
+  return static_cast<double>(q) / 2.0 - 127.5;
+}
+
+void write_uplink(const UplinkFrame& frame, ByteWriter& w) {
+  std::uint8_t sections = 0;
+  if (frame.step.has_value()) sections |= kHasStep;
+  if (frame.wifi.has_value()) sections |= kHasWifi;
+  if (frame.cell.has_value()) sections |= kHasCell;
+  if (frame.gps.has_value()) sections |= kHasGps;
+  w.put_u8(sections);
+  if (frame.step.has_value()) {
+    w.put_u16(frame.step->heading_q);
+    w.put_u16(frame.step->distance_q);
+  }
+  if (frame.wifi.has_value()) write_scan(*frame.wifi, w);
+  if (frame.cell.has_value()) write_scan(*frame.cell, w);
+  if (frame.gps.has_value()) {
+    w.put_i32(static_cast<std::int32_t>(
+        std::lround(frame.gps->pos.lat_deg * 1e7)));
+    w.put_i32(static_cast<std::int32_t>(
+        std::lround(frame.gps->pos.lon_deg * 1e7)));
+    w.put_u8(static_cast<std::uint8_t>(
+        std::clamp(std::round(frame.gps->hdop * 10.0), 0.0, 255.0)));
+    w.put_u8(static_cast<std::uint8_t>(
+        std::clamp(frame.gps->num_satellites, 0, 255)));
+  }
+}
+
+std::vector<std::uint8_t> serialize(const UplinkFrame& frame) {
+  ByteWriter w;
+  write_uplink(frame, w);
+  return w.take();
+}
+
+std::optional<UplinkFrame> parse_uplink(ByteReader& r) {
+  std::uint8_t sections;
+  if (!r.get_u8(sections)) return std::nullopt;
+  if ((sections & ~kKnownSections) != 0) return std::nullopt;
+  UplinkFrame frame;
+  if (sections & kHasStep) {
+    StepPayload step;
+    if (!r.get_u16(step.heading_q) || !r.get_u16(step.distance_q)) {
+      return std::nullopt;
+    }
+    frame.step = step;
+  }
+  if (sections & kHasWifi) {
+    frame.wifi = parse_scan(r);
+    if (!frame.wifi.has_value()) return std::nullopt;
+  }
+  if (sections & kHasCell) {
+    frame.cell = parse_scan(r);
+    if (!frame.cell.has_value()) return std::nullopt;
+  }
+  if (sections & kHasGps) {
+    std::int32_t lat, lon;
+    std::uint8_t hdop_q, sats;
+    if (!r.get_i32(lat) || !r.get_i32(lon) || !r.get_u8(hdop_q) ||
+        !r.get_u8(sats)) {
+      return std::nullopt;
+    }
+    GpsPayload gps;
+    gps.pos.lat_deg = static_cast<double>(lat) / 1e7;
+    gps.pos.lon_deg = static_cast<double>(lon) / 1e7;
+    gps.hdop = static_cast<double>(hdop_q) / 10.0;
+    gps.num_satellites = sats;
+    frame.gps = gps;
+  }
+  return frame;
+}
+
+std::optional<UplinkFrame> parse_uplink(const std::vector<std::uint8_t>& buf) {
+  ByteReader r(buf);
+  std::optional<UplinkFrame> frame = parse_uplink(r);
+  if (frame.has_value() && r.remaining() != 0) return std::nullopt;
+  return frame;
+}
+
+void write_downlink(const DownlinkFrame& frame, ByteWriter& w) {
+  w.put_i32(static_cast<std::int32_t>(std::lround(frame.position.x * 100.0)));
+  w.put_i32(static_cast<std::int32_t>(std::lround(frame.position.y * 100.0)));
+}
+
+std::vector<std::uint8_t> serialize(const DownlinkFrame& frame) {
+  ByteWriter w;
+  write_downlink(frame, w);
+  return w.take();
+}
+
+std::optional<DownlinkFrame> parse_downlink(ByteReader& r) {
+  std::int32_t x_cm, y_cm;
+  if (!r.get_i32(x_cm) || !r.get_i32(y_cm)) return std::nullopt;
+  DownlinkFrame frame;
+  frame.position = {static_cast<double>(x_cm) / 100.0,
+                    static_cast<double>(y_cm) / 100.0};
+  return frame;
+}
+
+std::optional<DownlinkFrame> parse_downlink(
+    const std::vector<std::uint8_t>& buf) {
+  ByteReader r(buf);
+  std::optional<DownlinkFrame> frame = parse_downlink(r);
+  if (frame.has_value() && r.remaining() != 0) return std::nullopt;
+  return frame;
+}
+
 }  // namespace uniloc::offload

@@ -19,6 +19,7 @@
 #include <optional>
 #include <vector>
 
+#include "offload/bytes.h"
 #include "schemes/pdr_frontend.h"
 #include "sim/gps_sim.h"
 #include "sim/radio.h"
@@ -81,5 +82,34 @@ struct DownlinkFrame {
   static DownlinkFrame encode(geo::Vec2 p);
   geo::Vec2 decoded() const;
 };
+
+// ----------------------------------------------------------------- codecs
+//
+// Actual byte-level wire encodings of the frames above, used by the svc
+// wire protocol. Every parse_* is hardened: a truncated or corrupt buffer
+// yields std::nullopt (the reader never runs past the end), so the server
+// survives hostile input. serialize(UplinkFrame) emits exactly
+// kUplinkOverheadBytes + UplinkFrame::bytes() bytes (a one-byte section
+// bitmap in front of the documented payload sizes).
+
+/// RSSI quantized to the wire's 0.5 dB steps from -127.5 dBm (one byte).
+std::uint8_t quantize_rssi(double rssi_dbm);
+double dequantize_rssi(std::uint8_t q);
+
+/// Section bitmap prefix of a serialized UplinkFrame.
+inline constexpr std::size_t kUplinkOverheadBytes = 1;
+
+void write_uplink(const UplinkFrame& frame, ByteWriter& w);
+std::vector<std::uint8_t> serialize(const UplinkFrame& frame);
+/// Consumes one uplink record from `r`; nullopt on truncation/corruption
+/// (reader position is then unspecified).
+std::optional<UplinkFrame> parse_uplink(ByteReader& r);
+std::optional<UplinkFrame> parse_uplink(const std::vector<std::uint8_t>& buf);
+
+void write_downlink(const DownlinkFrame& frame, ByteWriter& w);
+std::vector<std::uint8_t> serialize(const DownlinkFrame& frame);
+std::optional<DownlinkFrame> parse_downlink(ByteReader& r);
+std::optional<DownlinkFrame> parse_downlink(
+    const std::vector<std::uint8_t>& buf);
 
 }  // namespace uniloc::offload

@@ -31,6 +31,12 @@ struct TrafficStats {
                             static_cast<double>(epochs)
                       : 0.0;
   }
+
+  double downlink_bytes_per_epoch() const {
+    return epochs > 0 ? static_cast<double>(downlink_bytes) /
+                            static_cast<double>(epochs)
+                      : 0.0;
+  }
 };
 
 /// Phone side: reduces raw frames to wire payloads. Owns the PDR

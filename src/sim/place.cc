@@ -62,11 +62,15 @@ void Place::add_wall(geo::Segment wall) {
 
 bool Place::crosses_wall(geo::Vec2 a, geo::Vec2 b) const {
   if (walls_.empty()) return false;
-  if (wall_index_ == nullptr) {
+  prebuild_wall_index();
+  return wall_index_->crosses(a, b);
+}
+
+void Place::prebuild_wall_index() const {
+  if (wall_index_ == nullptr && !walls_.empty()) {
     wall_index_ =
         std::make_shared<const geo::SegmentIndex>(walls_, /*cell_size=*/8.0);
   }
-  return wall_index_->crosses(a, b);
 }
 
 void Place::add_turn_landmarks(double min_turn_rad) {

@@ -75,6 +75,12 @@ class Place {
   /// True if the straight move a -> b crosses any wall.
   bool crosses_wall(geo::Vec2 a, geo::Vec2 b) const;
 
+  /// Force-build the lazy wall index now. crosses_wall() builds it on
+  /// first query, which is a hidden write behind a const call -- call
+  /// this once before sharing a Place across threads (the svc server
+  /// does) so concurrent const queries are genuinely read-only.
+  void prebuild_wall_index() const;
+
   /// Bounding box of all walkways (inflated a little for grids).
   geo::BBox bounds() const;
 

@@ -1,0 +1,150 @@
+#include "svc/epoch_codec.h"
+
+#include "svc/wire.h"
+
+namespace uniloc::svc {
+
+using offload::ByteReader;
+using offload::ByteWriter;
+
+namespace {
+
+void write_sidecar(const sim::SensorFrame& f, ByteWriter& w) {
+  w.put_f64(f.t);
+  w.put_u8(f.gps_enabled ? 1 : 0);
+  w.put_u16(static_cast<std::uint16_t>(f.imu.size()));
+  for (const sim::ImuSample& s : f.imu) {
+    w.put_f64(s.t);
+    w.put_f64(s.accel_mag);
+    w.put_f64(s.gyro_z);
+    w.put_f64(s.mag_heading);
+  }
+  w.put_f64(f.ambient.light_lux);
+  w.put_f64(f.ambient.mag_field_sd_ut);
+  w.put_u16(static_cast<std::uint16_t>(f.landmarks.size()));
+  for (const sim::LandmarkObservation& lm : f.landmarks) {
+    w.put_f64(lm.map_pos.x);
+    w.put_f64(lm.map_pos.y);
+    w.put_u8(static_cast<std::uint8_t>(lm.env));
+    w.put_u8(static_cast<std::uint8_t>(lm.kind));
+  }
+  w.put_f64(f.truth_pos.x);
+  w.put_f64(f.truth_pos.y);
+  w.put_f64(f.truth_heading);
+  w.put_u8(static_cast<std::uint8_t>(f.truth_env));
+  w.put_f64(f.truth_arclen);
+}
+
+bool read_sidecar(ByteReader& r, sim::SensorFrame& f) {
+  std::uint8_t gps_enabled, truth_env;
+  std::uint16_t imu_count, lm_count;
+  if (!r.get_f64(f.t) || !r.get_u8(gps_enabled) || !r.get_u16(imu_count)) {
+    return false;
+  }
+  f.gps_enabled = gps_enabled != 0;
+  if (r.remaining() < static_cast<std::size_t>(imu_count) * 32) return false;
+  f.imu.resize(imu_count);
+  for (sim::ImuSample& s : f.imu) {
+    if (!r.get_f64(s.t) || !r.get_f64(s.accel_mag) || !r.get_f64(s.gyro_z) ||
+        !r.get_f64(s.mag_heading)) {
+      return false;
+    }
+  }
+  if (!r.get_f64(f.ambient.light_lux) ||
+      !r.get_f64(f.ambient.mag_field_sd_ut) || !r.get_u16(lm_count)) {
+    return false;
+  }
+  if (r.remaining() < static_cast<std::size_t>(lm_count) * 18) return false;
+  f.landmarks.resize(lm_count);
+  for (sim::LandmarkObservation& lm : f.landmarks) {
+    std::uint8_t env, kind;
+    if (!r.get_f64(lm.map_pos.x) || !r.get_f64(lm.map_pos.y) ||
+        !r.get_u8(env) || !r.get_u8(kind)) {
+      return false;
+    }
+    lm.env = static_cast<sim::SegmentType>(env);
+    lm.kind = kind;
+  }
+  if (!r.get_f64(f.truth_pos.x) || !r.get_f64(f.truth_pos.y) ||
+      !r.get_f64(f.truth_heading) || !r.get_u8(truth_env) ||
+      !r.get_f64(f.truth_arclen)) {
+    return false;
+  }
+  f.truth_env = static_cast<sim::SegmentType>(truth_env);
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_epoch(const offload::UplinkFrame& uplink,
+                                       const sim::SensorFrame& frame) {
+  ByteWriter w;
+  const std::vector<std::uint8_t> up = offload::serialize(uplink);
+  w.put_u16(static_cast<std::uint16_t>(up.size()));
+  w.put_bytes(up.data(), up.size());
+  write_sidecar(frame, w);
+  return w.take();
+}
+
+std::optional<EpochRequest> parse_epoch(
+    const std::vector<std::uint8_t>& buf) {
+  ByteReader r(buf);
+  std::uint16_t uplink_len;
+  if (!r.get_u16(uplink_len)) return std::nullopt;
+  if (r.remaining() < uplink_len) return std::nullopt;
+  ByteReader up_reader(buf.data() + r.pos(), uplink_len);
+  std::optional<offload::UplinkFrame> uplink =
+      offload::parse_uplink(up_reader);
+  if (!uplink.has_value() || up_reader.remaining() != 0) return std::nullopt;
+  r.skip(uplink_len);
+
+  EpochRequest req;
+  req.uplink = std::move(*uplink);
+  if (!read_sidecar(r, req.frame) || r.remaining() != 0) return std::nullopt;
+
+  // The server-side view of the scans and the GPS fix is whatever crossed
+  // the wire, quantization included.
+  if (req.uplink.wifi.has_value()) req.frame.wifi = req.uplink.wifi->readings;
+  if (req.uplink.cell.has_value()) req.frame.cell = req.uplink.cell->readings;
+  if (req.uplink.gps.has_value()) {
+    sim::GpsFix fix;
+    fix.pos = req.uplink.gps->pos;
+    fix.hdop = req.uplink.gps->hdop;
+    fix.num_satellites = req.uplink.gps->num_satellites;
+    req.frame.gps = fix;
+  }
+  return req;
+}
+
+std::size_t epoch_wire_bytes(const offload::UplinkFrame& uplink) {
+  return kHeaderBytes + kEpochUplinkPrefixBytes +
+         offload::kUplinkOverheadBytes + uplink.bytes();
+}
+
+std::vector<std::uint8_t> encode_epoch_reply(const EpochReply& reply) {
+  ByteWriter w;
+  offload::write_downlink(reply.downlink, w);
+  w.put_u8(reply.gps_enable_next ? 1 : 0);
+  return w.take();
+}
+
+std::optional<EpochReply> parse_epoch_reply(
+    const std::vector<std::uint8_t>& buf) {
+  ByteReader r(buf);
+  EpochReply reply;
+  std::optional<offload::DownlinkFrame> downlink =
+      offload::parse_downlink(r);
+  std::uint8_t duty;
+  if (!downlink.has_value() || !r.get_u8(duty) || r.remaining() != 0) {
+    return std::nullopt;
+  }
+  reply.downlink = *downlink;
+  reply.gps_enable_next = duty != 0;
+  return reply;
+}
+
+std::size_t reply_wire_bytes() {
+  return kHeaderBytes + EpochReply::kBytes;
+}
+
+}  // namespace uniloc::svc

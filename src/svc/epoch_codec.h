@@ -1,0 +1,68 @@
+// kEpoch payload codec.
+//
+// An epoch request has two sections:
+//
+//   u16  uplink_len
+//   ...  uplink      offload::serialize(UplinkFrame) -- the bytes a real
+//                    phone would transmit (quantized step/scans/GPS)
+//   ...  sidecar     simulation sidecar: raw IMU, ambient, landmarks,
+//                    ground truth, epoch time, GPS duty state
+//
+// The uplink section is the deployment-accurate wire payload and is what
+// the traffic counters charge (plus frame overhead); see wire_bytes().
+// The sidecar exists because the server-side UniLoc core consumes the
+// full SensorFrame (the same accounting-boundary simplification
+// offload::ServerAgent documents) and because the load generator needs
+// ground truth echoed back for error measurement. A real deployment would
+// send only the uplink section. Scans and GPS in the reconstructed frame
+// come from the *uplink* section -- the server localizes from the
+// quantized values that actually crossed the wire, not from the pristine
+// simulator output.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "offload/payload.h"
+#include "sim/sensor_frame.h"
+
+namespace uniloc::svc {
+
+struct EpochRequest {
+  offload::UplinkFrame uplink;
+  sim::SensorFrame frame;  ///< Reconstructed server-side view.
+};
+
+/// Bytes of the uplink length prefix (charged as framing overhead).
+inline constexpr std::size_t kEpochUplinkPrefixBytes = 2;
+
+std::vector<std::uint8_t> encode_epoch(const offload::UplinkFrame& uplink,
+                                       const sim::SensorFrame& frame);
+
+/// nullopt on truncation/corruption of either section.
+std::optional<EpochRequest> parse_epoch(const std::vector<std::uint8_t>& buf);
+
+/// Deployment-real wire bytes of an epoch request carrying `uplink`:
+/// frame header + uplink length prefix + serialized uplink (the sidecar
+/// is harness-only and not charged).
+std::size_t epoch_wire_bytes(const offload::UplinkFrame& uplink);
+
+/// kReply payload to an epoch: the fused coordinate plus the GPS
+/// duty-cycle decision for the phone's next epoch (the controller runs
+/// server-side; the phone must be told whether to power the receiver).
+struct EpochReply {
+  offload::DownlinkFrame downlink;
+  bool gps_enable_next{true};
+
+  static constexpr std::size_t kBytes = offload::DownlinkFrame::kBytes + 1;
+};
+
+std::vector<std::uint8_t> encode_epoch_reply(const EpochReply& reply);
+std::optional<EpochReply> parse_epoch_reply(
+    const std::vector<std::uint8_t>& buf);
+
+/// Deployment-real wire bytes of the server's kReply to an epoch.
+std::size_t reply_wire_bytes();
+
+}  // namespace uniloc::svc

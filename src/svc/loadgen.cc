@@ -1,0 +1,166 @@
+#include "svc/loadgen.h"
+
+#include <algorithm>
+#include <future>
+#include <memory>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "svc/epoch_codec.h"
+
+namespace uniloc::svc {
+
+namespace {
+
+/// One phone-side walker and its protocol state.
+struct Client {
+  std::uint64_t session_id{0};
+  std::size_t walkway{0};
+  std::unique_ptr<sim::Walker> walker;
+  offload::PhoneAgent phone;
+  bool gps_enabled{true};  ///< Last duty decision echoed by the server.
+  bool active{true};
+  std::size_t submitted{0};
+  double error_sum{0.0};
+  WalkerOutcome outcome;
+};
+
+struct Pending {
+  Client* client{nullptr};
+  std::future<std::vector<std::uint8_t>> reply;
+  geo::Vec2 truth;
+  obs::Stopwatch started;
+};
+
+}  // namespace
+
+LoadReport run_load(LocalizationServer& server, const core::Deployment& d,
+                    const LoadGenConfig& cfg,
+                    obs::MetricsRegistry* registry) {
+  // The schemes running on worker threads query the shared Place; build
+  // its lazy wall index now, while we are still single-threaded.
+  d.place->prebuild_wall_index();
+
+  obs::Counter* up_bytes =
+      registry != nullptr ? &registry->counter("offload.uplink_bytes")
+                          : nullptr;
+  obs::Counter* down_bytes =
+      registry != nullptr ? &registry->counter("offload.downlink_bytes")
+                          : nullptr;
+
+  const std::size_t n_paths = d.place->walkways().size();
+  std::vector<Client> clients(cfg.walkers);
+  for (std::size_t i = 0; i < cfg.walkers; ++i) {
+    Client& c = clients[i];
+    c.session_id = cfg.first_session_id + i;
+    c.walkway = i % n_paths;
+    sim::WalkConfig wc;
+    wc.seed = cfg.seed + 17 * i;
+    c.walker = std::make_unique<sim::Walker>(d.place.get(), d.radio.get(),
+                                             c.walkway, wc);
+    c.phone.reset(c.walker->start_heading());
+    c.outcome.session_id = c.session_id;
+    c.outcome.walkway = c.walkway;
+
+    Frame hello;
+    hello.type = FrameType::kHello;
+    hello.session_id = c.session_id;
+    hello.payload = encode_hello(
+        {c.walker->start_position(), c.walker->start_heading()});
+    server.submit(encode_frame(hello)).get();
+  }
+
+  LoadReport report;
+  std::vector<Pending> pending;
+  pending.reserve(cfg.walkers * std::max<std::size_t>(cfg.burst, 1));
+
+  const obs::Stopwatch wall;
+  for (;;) {
+    pending.clear();
+    for (Client& c : clients) {
+      if (!c.active) continue;
+      for (std::size_t b = 0; b < std::max<std::size_t>(cfg.burst, 1); ++b) {
+        const bool capped = cfg.max_epochs_per_walker > 0 &&
+                            c.submitted >= cfg.max_epochs_per_walker;
+        if (c.walker->done() || capped) {
+          c.active = false;
+          break;
+        }
+        const sim::SensorFrame frame = c.walker->step(c.gps_enabled);
+        const offload::UplinkFrame uplink = c.phone.reduce(frame);
+
+        Frame request;
+        request.type = FrameType::kEpoch;
+        request.session_id = c.session_id;
+        request.payload = encode_epoch(uplink, frame);
+        const std::size_t wire_up = epoch_wire_bytes(uplink);
+
+        Pending p;
+        p.client = &c;
+        p.truth = frame.truth_pos;
+        p.reply = server.submit(encode_frame(request));
+        pending.push_back(std::move(p));
+        ++c.submitted;
+        report.traffic.uplink_bytes += wire_up;
+        if (up_bytes != nullptr) up_bytes->inc(wire_up);
+      }
+    }
+    if (pending.empty()) break;  // every walker finished
+
+    for (Pending& p : pending) {
+      const std::vector<std::uint8_t> reply_bytes = p.reply.get();
+      const double latency_us = p.started.elapsed_us();
+      Client& c = *p.client;
+      const DecodeResult decoded = decode_frame(reply_bytes);
+      if (!decoded.frame.has_value()) {
+        ++c.outcome.errors;
+        continue;
+      }
+      const Frame& reply = *decoded.frame;
+      if (reply.type == FrameType::kError) {
+        if (error_code(reply) == ErrorCode::kBackpressure) {
+          ++c.outcome.backpressure;
+        } else {
+          ++c.outcome.errors;
+        }
+        continue;
+      }
+      const std::optional<EpochReply> epoch_reply =
+          parse_epoch_reply(reply.payload);
+      if (!epoch_reply.has_value()) {
+        ++c.outcome.errors;
+        continue;
+      }
+      c.gps_enabled = epoch_reply->gps_enable_next;
+      const geo::Vec2 estimate = epoch_reply->downlink.decoded();
+      c.outcome.final_estimate = estimate;
+      c.error_sum += geo::distance(estimate, p.truth);
+      ++c.outcome.epochs_accepted;
+      report.latencies_us.push_back(latency_us);
+      report.traffic.downlink_bytes += reply_wire_bytes();
+      ++report.traffic.epochs;
+      if (down_bytes != nullptr) down_bytes->inc(reply_wire_bytes());
+    }
+  }
+  report.wall_s = wall.elapsed_us() / 1e6;
+
+  for (Client& c : clients) {
+    Frame bye;
+    bye.type = FrameType::kBye;
+    bye.session_id = c.session_id;
+    server.submit(encode_frame(bye)).get();
+
+    if (c.outcome.epochs_accepted > 0) {
+      c.outcome.mean_error_m =
+          c.error_sum / static_cast<double>(c.outcome.epochs_accepted);
+    }
+    report.total_epochs += c.outcome.epochs_accepted;
+    report.backpressure_total += c.outcome.backpressure;
+    report.error_total += c.outcome.errors;
+    report.walkers.push_back(c.outcome);
+  }
+  return report;
+}
+
+}  // namespace uniloc::svc

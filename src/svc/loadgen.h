@@ -1,0 +1,70 @@
+// Load generator: N simulated walkers against a LocalizationServer.
+//
+// Each walker is a full phone: it walks one of the deployment's paths
+// (round-robin, distinct seeds), runs the offload::PhoneAgent reduction
+// locally, speaks the svc wire protocol (kHello / kEpoch* / kBye), honors
+// the GPS duty-cycle decision the server echoes in every reply, and
+// measures end-to-end request latency client-side. Submission is
+// pipelined in rounds: every active walker submits `burst` epochs, then
+// all replies are collected -- so with W workers up to
+// min(walkers, W) sessions are genuinely in flight at once.
+//
+// Traffic accounting charges only deployment-real bytes (frame headers +
+// offload payload encodings; the simulation sidecar is free) into the
+// returned TrafficStats and, when a registry is supplied, into the
+// standard `offload.{uplink,downlink}_bytes` counters -- svc framing
+// overhead included, as DESIGN.md section 9 specifies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/deployment.h"
+#include "offload/session.h"
+#include "svc/server.h"
+
+namespace uniloc::svc {
+
+struct LoadGenConfig {
+  std::size_t walkers{8};
+  /// 0 = walk every path to its end.
+  std::size_t max_epochs_per_walker{0};
+  /// Epochs each walker submits per round before replies are collected
+  /// (>1 exercises the per-session inbox).
+  std::size_t burst{1};
+  std::uint64_t seed{2024};
+  std::uint64_t first_session_id{1};
+};
+
+struct WalkerOutcome {
+  std::uint64_t session_id{0};
+  std::size_t walkway{0};
+  std::size_t epochs_accepted{0};
+  std::size_t backpressure{0};  ///< kBackpressure rejections observed.
+  std::size_t errors{0};        ///< Any other kError replies.
+  double mean_error_m{0.0};     ///< Fused estimate vs ground truth.
+  geo::Vec2 final_estimate;     ///< Last accepted fused coordinate.
+};
+
+struct LoadReport {
+  std::vector<WalkerOutcome> walkers;
+  offload::TrafficStats traffic;     ///< Wire-real bytes, accepted epochs.
+  std::vector<double> latencies_us;  ///< Client-side, accepted epochs.
+  double wall_s{0.0};                ///< Epoch phase only.
+  std::size_t total_epochs{0};
+  std::size_t backpressure_total{0};
+  std::size_t error_total{0};
+
+  double throughput_eps() const {
+    return wall_s > 0.0 ? static_cast<double>(total_epochs) / wall_s : 0.0;
+  }
+};
+
+/// Drive `server` with cfg.walkers simulated phones over `d`'s walkways.
+/// When `registry` is non-null the wire volume lands in the standard
+/// offload byte counters. Single-threaded on the caller's side.
+LoadReport run_load(LocalizationServer& server, const core::Deployment& d,
+                    const LoadGenConfig& cfg,
+                    obs::MetricsRegistry* registry = nullptr);
+
+}  // namespace uniloc::svc

@@ -1,0 +1,270 @@
+#include "svc/server.h"
+
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "offload/payload.h"
+#include "svc/epoch_codec.h"
+
+namespace uniloc::svc {
+
+LocalizationServer::LocalizationServer(ServerConfig cfg,
+                                       UnilocFactory factory,
+                                       obs::MetricsRegistry* registry)
+    : cfg_(std::move(cfg)),
+      factory_(std::move(factory)),
+      sessions_(cfg_.stripes),
+      pool_(ThreadPool::Config{cfg_.workers, cfg_.pool_queue_capacity}) {
+  if (registry != nullptr) {
+    // Instruments are resolved once here, before any worker can observe;
+    // the registry map itself is never touched from a worker thread.
+    ins_.live_sessions = &registry->gauge("svc.live_sessions");
+    ins_.queue_depth = &registry->gauge("svc.queue_depth");
+    ins_.accepted = &registry->counter("svc.accepted");
+    ins_.rejected = &registry->counter("svc.rejected");
+    ins_.evicted = &registry->counter("svc.evicted");
+    ins_.malformed = &registry->counter("svc.malformed");
+    ins_.request_us = &registry->histogram("svc.request_us");
+    ins_.parse_us = &registry->histogram("svc.parse_us");
+    ins_.locate_us = &registry->histogram("svc.locate_us");
+    ins_.net_us = &registry->histogram("svc.net_us");
+  }
+}
+
+LocalizationServer::~LocalizationServer() { shutdown(); }
+
+std::uint64_t LocalizationServer::now_us() const {
+  if (cfg_.now_us) return cfg_.now_us();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void LocalizationServer::count_malformed() {
+  std::lock_guard<std::mutex> lock(ins_.mu);
+  if (ins_.malformed != nullptr) ins_.malformed->inc();
+}
+
+void LocalizationServer::count_accepted() {
+  std::lock_guard<std::mutex> lock(ins_.mu);
+  if (ins_.accepted != nullptr) ins_.accepted->inc();
+  if (ins_.queue_depth != nullptr) {
+    ins_.queue_depth->set(static_cast<double>(pool_.queue_depth()));
+  }
+}
+
+void LocalizationServer::note_live_sessions() {
+  const double live = static_cast<double>(sessions_.size());
+  std::lock_guard<std::mutex> lock(ins_.mu);
+  if (ins_.live_sessions != nullptr) ins_.live_sessions->set(live);
+}
+
+std::future<std::vector<std::uint8_t>> LocalizationServer::reply_now(
+    const Frame& reply) {
+  std::promise<std::vector<std::uint8_t>> promise;
+  promise.set_value(encode_frame(reply));
+  return promise.get_future();
+}
+
+std::future<std::vector<std::uint8_t>> LocalizationServer::submit(
+    std::vector<std::uint8_t> request) {
+  bool scan_now = false;
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (stopping_) {
+      return reply_now(make_error_frame(0, ErrorCode::kShuttingDown));
+    }
+    if (++accepted_since_scan_ >= cfg_.evict_scan_period) {
+      accepted_since_scan_ = 0;
+      scan_now = true;
+    }
+  }
+  if (scan_now) evict_idle();
+
+  DecodeResult decoded = decode_frame(request);
+  if (!decoded.frame.has_value()) {
+    count_malformed();
+    return reply_now(make_error_frame(0, ErrorCode::kMalformed));
+  }
+
+  Frame frame = std::move(*decoded.frame);
+  const Promise promise =
+      std::make_shared<std::promise<std::vector<std::uint8_t>>>();
+  std::future<std::vector<std::uint8_t>> future = promise->get_future();
+
+  switch (frame.type) {
+    case FrameType::kHello:
+      handle_hello(frame, promise);
+      break;
+    case FrameType::kEpoch:
+      handle_epoch(std::move(frame), promise);
+      break;
+    case FrameType::kBye:
+      handle_bye(frame, promise);
+      break;
+    case FrameType::kReply:
+    case FrameType::kError:
+      // Server-to-client types arriving at the server are client bugs.
+      count_malformed();
+      promise->set_value(
+          encode_frame(make_error_frame(frame.session_id,
+                                        ErrorCode::kMalformed)));
+      break;
+  }
+  return future;
+}
+
+void LocalizationServer::handle_hello(const Frame& frame,
+                                      const Promise& promise) {
+  const std::optional<HelloPayload> hello = parse_hello(frame.payload);
+  if (!hello.has_value()) {
+    count_malformed();
+    promise->set_value(encode_frame(
+        make_error_frame(frame.session_id, ErrorCode::kMalformed)));
+    return;
+  }
+  std::unique_ptr<core::Uniloc> uniloc = factory_(frame.session_id);
+  uniloc->reset({hello->start, hello->heading});
+  const SessionPtr session =
+      sessions_.create(frame.session_id, std::move(uniloc), now_us());
+  if (session == nullptr) {
+    std::lock_guard<std::mutex> lock(ins_.mu);
+    if (ins_.rejected != nullptr) ins_.rejected->inc();
+    promise->set_value(encode_frame(
+        make_error_frame(frame.session_id, ErrorCode::kSessionExists)));
+    return;
+  }
+  count_accepted();
+  note_live_sessions();
+  Frame reply;
+  reply.type = FrameType::kReply;
+  reply.session_id = frame.session_id;
+  promise->set_value(encode_frame(reply));
+}
+
+void LocalizationServer::handle_epoch(Frame frame, const Promise& promise) {
+  const SessionPtr session = sessions_.find(frame.session_id);
+  if (session == nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(ins_.mu);
+      if (ins_.rejected != nullptr) ins_.rejected->inc();
+    }
+    promise->set_value(encode_frame(
+        make_error_frame(frame.session_id, ErrorCode::kUnknownSession)));
+    return;
+  }
+
+  const obs::Stopwatch accepted_at;
+  const std::uint64_t session_id = frame.session_id;
+  auto payload =
+      std::make_shared<std::vector<std::uint8_t>>(std::move(frame.payload));
+  Session* raw = session.get();
+  const Session::Enqueue verdict = session->enqueue(
+      [this, raw, payload, session_id, promise, accepted_at] {
+        run_epoch(*raw, *payload, session_id, promise, accepted_at);
+      },
+      cfg_.inbox_capacity, now_us());
+
+  if (verdict == Session::Enqueue::kBackpressure) {
+    std::lock_guard<std::mutex> lock(ins_.mu);
+    if (ins_.rejected != nullptr) ins_.rejected->inc();
+    promise->set_value(encode_frame(
+        make_error_frame(session_id, ErrorCode::kBackpressure)));
+    return;
+  }
+  count_accepted();
+  if (verdict == Session::Enqueue::kStartDrain) {
+    if (!pool_.post([session] { session->drain(); })) {
+      // Pool is stopping: drain inline so no promise is left dangling.
+      session->drain();
+    }
+  }
+}
+
+void LocalizationServer::handle_bye(const Frame& frame,
+                                    const Promise& promise) {
+  if (!sessions_.erase(frame.session_id)) {
+    std::lock_guard<std::mutex> lock(ins_.mu);
+    if (ins_.rejected != nullptr) ins_.rejected->inc();
+    promise->set_value(encode_frame(
+        make_error_frame(frame.session_id, ErrorCode::kUnknownSession)));
+    return;
+  }
+  count_accepted();
+  note_live_sessions();
+  Frame reply;
+  reply.type = FrameType::kReply;
+  reply.session_id = frame.session_id;
+  promise->set_value(encode_frame(reply));
+}
+
+void LocalizationServer::run_epoch(Session& session,
+                                   const std::vector<std::uint8_t>& payload,
+                                   std::uint64_t session_id,
+                                   const Promise& promise,
+                                   obs::Stopwatch accepted_at) {
+  obs::Stopwatch stage;
+  const std::optional<EpochRequest> req = parse_epoch(payload);
+  const double parse_us = stage.elapsed_us();
+  if (!req.has_value()) {
+    count_malformed();
+    promise->set_value(encode_frame(
+        make_error_frame(session_id, ErrorCode::kMalformed)));
+    return;
+  }
+
+  stage.restart();
+  const core::EpochDecision decision = session.uniloc().update(req->frame);
+  const double locate_us = stage.elapsed_us();
+
+  stage.restart();
+  if (cfg_.simulated_network.count() > 0) {
+    std::this_thread::sleep_for(cfg_.simulated_network);
+  }
+  const double net_us = stage.elapsed_us();
+
+  Frame reply;
+  reply.type = FrameType::kReply;
+  reply.session_id = session_id;
+  EpochReply epoch_reply;
+  epoch_reply.downlink = offload::DownlinkFrame::encode(decision.uniloc2);
+  epoch_reply.gps_enable_next = decision.gps_enable_next;
+  reply.payload = encode_epoch_reply(epoch_reply);
+  promise->set_value(encode_frame(reply));
+
+  std::lock_guard<std::mutex> lock(ins_.mu);
+  if (ins_.parse_us != nullptr) ins_.parse_us->observe(parse_us);
+  if (ins_.locate_us != nullptr) ins_.locate_us->observe(locate_us);
+  if (ins_.net_us != nullptr) ins_.net_us->observe(net_us);
+  if (ins_.request_us != nullptr) {
+    ins_.request_us->observe(accepted_at.elapsed_us());
+  }
+}
+
+std::size_t LocalizationServer::evict_idle() {
+  const std::size_t evicted = sessions_.evict_idle(
+      now_us(),
+      static_cast<std::uint64_t>(cfg_.idle_ttl_s * 1e6));
+  if (evicted > 0) {
+    {
+      std::lock_guard<std::mutex> lock(ins_.mu);
+      if (ins_.evicted != nullptr) ins_.evicted->inc(evicted);
+    }
+    note_live_sessions();
+  }
+  return evicted;
+}
+
+void LocalizationServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  pool_.shutdown();
+}
+
+}  // namespace uniloc::svc

@@ -1,0 +1,146 @@
+// LocalizationServer: the multi-tenant localization service.
+//
+// submit(bytes) -> future<bytes> is the entire surface: one encoded
+// svc::Frame in, one encoded reply frame out. kHello opens a session
+// (the factory builds its core::Uniloc), kEpoch runs one localization
+// epoch on the session's strand, kBye closes it. Malformed input of any
+// kind -- bad magic, wrong version, truncated frame, corrupt payload --
+// produces a kError reply (and a metrics increment), never a crash.
+//
+// Threading model:
+//   * submit() may be called from any one client thread at a time (the
+//     simulated deployments have a single ingress); frame decoding and
+//     session routing happen on that thread, epoch execution happens on
+//     the pool.
+//   * Per-session execution is serialized by the session strand; distinct
+//     sessions run concurrently across workers.
+//   * workers == 0 is the deterministic inline mode: every submit()
+//     completes synchronously on the caller's thread, and a run with a
+//     fixed seed is bit-reproducible (unit tests, replays).
+//
+// Instrumentation (all via src/obs, guarded by one stats mutex so worker
+// threads can record concurrently):
+//   gauges    svc.live_sessions, svc.queue_depth
+//   counters  svc.accepted, svc.rejected, svc.evicted, svc.malformed
+//   histograms svc.request_us (accept -> reply, queue wait included),
+//              svc.parse_us, svc.locate_us, svc.net_us (per stage).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/uniloc.h"
+#include "obs/timer.h"
+#include "svc/session_manager.h"
+#include "svc/thread_pool.h"
+#include "svc/wire.h"
+
+namespace uniloc::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+}  // namespace uniloc::obs
+
+namespace uniloc::svc {
+
+/// Builds the per-session ensemble. Called on the submitting thread when
+/// a kHello arrives; use `session_id` to derive per-session seeds.
+using UnilocFactory =
+    std::function<std::unique_ptr<core::Uniloc>(std::uint64_t session_id)>;
+
+struct ServerConfig {
+  /// 0 = inline deterministic mode (no threads).
+  int workers{0};
+  std::size_t stripes{8};
+  /// Pending epochs per session beyond the running one; the bound that
+  /// turns overload into explicit kBackpressure replies.
+  std::size_t inbox_capacity{8};
+  std::size_t pool_queue_capacity{4096};
+  double idle_ttl_s{300.0};
+  /// Sessions are TTL-scanned every this many accepted frames (plus on
+  /// every explicit evict_idle() call).
+  std::size_t evict_scan_period{256};
+  /// Blocking per-epoch network time simulated on the worker: the
+  /// synchronous reply push of the phone/server split (Table V measures
+  /// 52 + 63 ms of transmissions per fix on campus WLAN). Workers overlap
+  /// these waits across sessions exactly like a real synchronous server;
+  /// 0 (the default) disables the wait for unit tests and replays.
+  std::chrono::microseconds simulated_network{0};
+  /// Injectable clock (microseconds, monotonic) for deterministic TTL
+  /// tests; defaults to steady_clock.
+  std::function<std::uint64_t()> now_us;
+};
+
+class LocalizationServer {
+ public:
+  LocalizationServer(ServerConfig cfg, UnilocFactory factory,
+                     obs::MetricsRegistry* registry = nullptr);
+  ~LocalizationServer();
+
+  LocalizationServer(const LocalizationServer&) = delete;
+  LocalizationServer& operator=(const LocalizationServer&) = delete;
+
+  /// Process one encoded frame. The future always yields an encoded reply
+  /// frame (kReply or kError) -- errors travel in-band, like on a socket.
+  std::future<std::vector<std::uint8_t>> submit(
+      std::vector<std::uint8_t> request);
+
+  /// TTL-scan now. Returns sessions evicted.
+  std::size_t evict_idle();
+
+  /// Stop intake, drain in-flight epochs, join workers. Idempotent.
+  void shutdown();
+
+  std::size_t live_sessions() const { return sessions_.size(); }
+  const ServerConfig& config() const { return cfg_; }
+
+ private:
+  struct Instruments {
+    std::mutex mu;
+    obs::Gauge* live_sessions{nullptr};
+    obs::Gauge* queue_depth{nullptr};
+    obs::Counter* accepted{nullptr};
+    obs::Counter* rejected{nullptr};
+    obs::Counter* evicted{nullptr};
+    obs::Counter* malformed{nullptr};
+    obs::Histogram* request_us{nullptr};
+    obs::Histogram* parse_us{nullptr};
+    obs::Histogram* locate_us{nullptr};
+    obs::Histogram* net_us{nullptr};
+  };
+
+  using Promise = std::shared_ptr<std::promise<std::vector<std::uint8_t>>>;
+
+  std::uint64_t now_us() const;
+  void count_malformed();
+  void count_accepted();
+  void note_live_sessions();
+  std::future<std::vector<std::uint8_t>> reply_now(const Frame& reply);
+
+  void handle_hello(const Frame& frame, const Promise& promise);
+  void handle_epoch(Frame frame, const Promise& promise);
+  void handle_bye(const Frame& frame, const Promise& promise);
+  /// Runs on a worker (or inline): parse payload, run the epoch, reply.
+  /// `accepted_at` was started when submit() accepted the frame, so
+  /// svc.request_us includes the queue wait.
+  void run_epoch(Session& session, const std::vector<std::uint8_t>& payload,
+                 std::uint64_t session_id, const Promise& promise,
+                 obs::Stopwatch accepted_at);
+
+  ServerConfig cfg_;
+  UnilocFactory factory_;
+  SessionManager sessions_;
+  ThreadPool pool_;
+  Instruments ins_;
+  std::mutex lifecycle_mu_;  ///< Guards stopping_ + accepted_count_.
+  bool stopping_{false};
+  std::size_t accepted_since_scan_{0};
+};
+
+}  // namespace uniloc::svc

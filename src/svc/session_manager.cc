@@ -1,0 +1,132 @@
+#include "svc/session_manager.h"
+
+#include <algorithm>
+
+namespace uniloc::svc {
+
+Session::Enqueue Session::enqueue(Task task, std::size_t capacity,
+                                  std::uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inbox_.size() >= capacity) return Enqueue::kBackpressure;
+  inbox_.push_back(std::move(task));
+  last_active_us_ = now_us;
+  if (draining_) return Enqueue::kQueued;
+  draining_ = true;
+  return Enqueue::kStartDrain;
+}
+
+void Session::drain() {
+  for (;;) {
+    Task task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (inbox_.empty()) {
+        draining_ = false;
+        return;
+      }
+      task = std::move(inbox_.front());
+      inbox_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++epochs_served_;
+    }
+  }
+}
+
+bool Session::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inbox_.empty() && !draining_;
+}
+
+void Session::touch(std::uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_active_us_ = now_us;
+}
+
+std::uint64_t Session::last_active_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_active_us_;
+}
+
+std::size_t Session::epochs_served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epochs_served_;
+}
+
+SessionManager::SessionManager(std::size_t stripes) {
+  stripes_.reserve(std::max<std::size_t>(stripes, 1));
+  for (std::size_t i = 0; i < std::max<std::size_t>(stripes, 1); ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+std::size_t SessionManager::stripe_of(std::uint64_t id) const {
+  // Fibonacci hashing spreads sequential ids (the common allocation
+  // pattern) uniformly over stripes.
+  const std::uint64_t h = id * 0x9E3779B97F4A7C15ull;
+  return static_cast<std::size_t>(h >> 32) % stripes_.size();
+}
+
+SessionPtr SessionManager::create(std::uint64_t id,
+                                  std::unique_ptr<core::Uniloc> uniloc,
+                                  std::uint64_t now_us) {
+  Stripe& stripe = *stripes_[stripe_of(id)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  for (const SessionPtr& s : stripe.sessions) {
+    if (s->id() == id) return nullptr;
+  }
+  SessionPtr session = std::make_shared<Session>(id, std::move(uniloc));
+  session->touch(now_us);  // fresh sessions are "active now" for the TTL
+  stripe.sessions.push_back(session);
+  return session;
+}
+
+SessionPtr SessionManager::find(std::uint64_t id) const {
+  const Stripe& stripe = *stripes_[stripe_of(id)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  for (const SessionPtr& s : stripe.sessions) {
+    if (s->id() == id) return s;
+  }
+  return nullptr;
+}
+
+bool SessionManager::erase(std::uint64_t id) {
+  Stripe& stripe = *stripes_[stripe_of(id)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  for (auto it = stripe.sessions.begin(); it != stripe.sessions.end(); ++it) {
+    if ((*it)->id() == id) {
+      stripe.sessions.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t SessionManager::evict_idle(std::uint64_t now_us,
+                                       std::uint64_t idle_ttl_us) {
+  std::size_t evicted = 0;
+  for (std::unique_ptr<Stripe>& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    std::erase_if(stripe->sessions, [&](const SessionPtr& s) {
+      const bool evict = s->idle() &&
+                         now_us >= s->last_active_us() &&
+                         now_us - s->last_active_us() >= idle_ttl_us;
+      if (evict) ++evicted;
+      return evict;
+    });
+  }
+  return evicted;
+}
+
+std::size_t SessionManager::size() const {
+  std::size_t n = 0;
+  for (const std::unique_ptr<Stripe>& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    n += stripe->sessions.size();
+  }
+  return n;
+}
+
+}  // namespace uniloc::svc

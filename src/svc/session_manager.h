@@ -1,0 +1,111 @@
+// Multi-tenant session store: mutex-striped map + per-session strand.
+//
+// Each session owns one core::Uniloc (its trained ensemble, filters, and
+// duty-cycle state) and a bounded inbox of pending epoch tasks. The inbox
+// is a *strand*: a session's tasks run strictly in arrival order and
+// never concurrently with each other, while distinct sessions run in
+// parallel on whatever workers pick up their drains. The enqueue/drain
+// split is deliberately pool-agnostic so tests can drive it by hand:
+//
+//   switch (session->enqueue(task, capacity)) {
+//     case kStartDrain:  pool.post([s]{ s->drain(); });  // first task
+//     case kQueued:      break;          // a drain is already running
+//     case kBackpressure: reject;        // inbox full -- explicit signal
+//   }
+//
+// The SessionManager shards sessions over `stripes` independently-locked
+// maps so create/lookup/evict on different stripes never contend. Idle
+// sessions (no activity for idle_ttl) are evicted by evict_idle(); a
+// session with queued or running work is never evicted.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/uniloc.h"
+
+namespace uniloc::svc {
+
+class Session {
+ public:
+  using Task = std::function<void()>;
+
+  enum class Enqueue : std::uint8_t {
+    kStartDrain,    ///< Accepted; caller must schedule drain().
+    kQueued,        ///< Accepted; an active drain will pick it up.
+    kBackpressure,  ///< Inbox full; task was NOT accepted.
+  };
+
+  Session(std::uint64_t id, std::unique_ptr<core::Uniloc> uniloc)
+      : id_(id), uniloc_(std::move(uniloc)) {}
+
+  std::uint64_t id() const { return id_; }
+  core::Uniloc& uniloc() { return *uniloc_; }
+
+  /// Accept `task` unless `capacity` tasks are already pending.
+  /// Also stamps last-active to `now_us`.
+  Enqueue enqueue(Task task, std::size_t capacity, std::uint64_t now_us);
+
+  /// Run every pending task in order, then go idle. Called by exactly one
+  /// worker at a time (guaranteed by the kStartDrain handshake).
+  void drain();
+
+  /// True when no task is queued or running (eviction safety check).
+  bool idle() const;
+
+  /// Refresh the last-active stamp without enqueuing work.
+  void touch(std::uint64_t now_us);
+
+  std::uint64_t last_active_us() const;
+  std::size_t epochs_served() const;
+
+ private:
+  const std::uint64_t id_;
+  std::unique_ptr<core::Uniloc> uniloc_;
+
+  mutable std::mutex mu_;
+  std::deque<Task> inbox_;
+  bool draining_{false};
+  std::uint64_t last_active_us_{0};
+  std::size_t epochs_served_{0};
+};
+
+using SessionPtr = std::shared_ptr<Session>;
+
+class SessionManager {
+ public:
+  explicit SessionManager(std::size_t stripes = 8);
+
+  /// Insert a fresh session. Returns nullptr when `id` is already live.
+  SessionPtr create(std::uint64_t id, std::unique_ptr<core::Uniloc> uniloc,
+                    std::uint64_t now_us);
+
+  /// nullptr when unknown.
+  SessionPtr find(std::uint64_t id) const;
+
+  bool erase(std::uint64_t id);
+
+  /// Evict every idle session older than `idle_ttl_us`. Returns the
+  /// number evicted. Busy sessions (queued/running work) are skipped.
+  std::size_t evict_idle(std::uint64_t now_us, std::uint64_t idle_ttl_us);
+
+  std::size_t size() const;
+  std::size_t stripes() const { return stripes_.size(); }
+
+  /// Stripe index of a session id (exposed for the distribution test).
+  std::size_t stripe_of(std::uint64_t id) const;
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::vector<SessionPtr> sessions;  ///< Small per-stripe population.
+  };
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+}  // namespace uniloc::svc

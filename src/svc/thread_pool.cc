@@ -1,0 +1,92 @@
+#include "svc/thread_pool.h"
+
+#include <algorithm>
+
+namespace uniloc::svc {
+
+ThreadPool::ThreadPool(Config cfg) : cfg_(cfg) {
+  threads_.reserve(static_cast<std::size_t>(std::max(cfg_.workers, 0)));
+  for (int i = 0; i < cfg_.workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::run_task(const std::function<void()>& task) {
+  try {
+    task();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++tasks_run_;
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++tasks_run_;
+    ++task_exceptions_;
+  }
+}
+
+bool ThreadPool::post(std::function<void()> task) {
+  if (cfg_.workers <= 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return false;
+    }
+    run_task(task);
+    return true;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_space_.wait(lock, [this] {
+      return stopping_ || queue_.size() < cfg_.queue_capacity;
+    });
+    if (stopping_) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_ready_.notify_one();
+  return true;
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_ready_.notify_all();
+  cv_space_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    cv_space_.notify_one();
+    run_task(task);
+  }
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::uint64_t ThreadPool::tasks_run() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_run_;
+}
+
+std::uint64_t ThreadPool::task_exceptions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return task_exceptions_;
+}
+
+}  // namespace uniloc::svc

@@ -1,0 +1,68 @@
+// Fixed worker pool over a bounded MPMC task queue.
+//
+// Semantics chosen for the localization server:
+//   * Bounded queue: post() blocks while the queue is at capacity -- the
+//     pool itself never drops work (rejection with Backpressure is the
+//     per-session inbox's job, one level up).
+//   * Graceful shutdown: shutdown() stops intake, lets the workers drain
+//     every task already queued, then joins. Idempotent; the destructor
+//     calls it.
+//   * Exception safety: a task that throws is contained -- the exception
+//     is swallowed, counted in task_exceptions(), and the worker keeps
+//     serving. A worker thread never dies early.
+//   * workers == 0 is the deterministic inline mode: post() runs the task
+//     synchronously on the caller's thread, no threads are ever spawned,
+//     and execution order is exactly submission order.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace uniloc::svc {
+
+class ThreadPool {
+ public:
+  struct Config {
+    int workers{0};
+    std::size_t queue_capacity{4096};
+  };
+
+  explicit ThreadPool(Config cfg);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue (blocking while full) or, with workers == 0, run inline.
+  /// Returns false (dropping the task) once shutdown has begun.
+  bool post(std::function<void()> task);
+
+  /// Stop intake, drain the queue, join all workers. Idempotent.
+  void shutdown();
+
+  int workers() const { return cfg_.workers; }
+  std::size_t queue_depth() const;
+  std::uint64_t tasks_run() const;
+  std::uint64_t task_exceptions() const;
+
+ private:
+  void worker_loop();
+  void run_task(const std::function<void()>& task);
+
+  Config cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_ready_;  ///< Queue non-empty or stopping.
+  std::condition_variable cv_space_;  ///< Queue below capacity.
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool stopping_{false};
+  std::uint64_t tasks_run_{0};
+  std::uint64_t task_exceptions_{0};
+};
+
+}  // namespace uniloc::svc

@@ -85,6 +85,114 @@ TEST(DownlinkFrame, CentimeterRoundTrip) {
   EXPECT_EQ(DownlinkFrame::kBytes, 8u);
 }
 
+// ------------------------------------------------------------ byte codecs
+
+UplinkFrame full_uplink() {
+  UplinkFrame f;
+  f.step = StepPayload::encode(1.25, 0.8);
+  f.wifi = ScanPayload::encode({{3, -61.2}, {9, -74.9}, {200, -88.0}});
+  f.cell = ScanPayload::encode({{1001, -95.5}});
+  sim::GpsFix fix;
+  fix.pos = {1.3483123, 103.6831123};
+  fix.hdop = 1.2;
+  fix.num_satellites = 9;
+  f.gps = GpsPayload::encode(fix);
+  return f;
+}
+
+TEST(UplinkCodec, SerializedSizeIsOverheadPlusBytes) {
+  const UplinkFrame f = full_uplink();
+  EXPECT_EQ(serialize(f).size(), kUplinkOverheadBytes + f.bytes());
+  EXPECT_EQ(serialize(UplinkFrame{}).size(), kUplinkOverheadBytes);
+}
+
+TEST(UplinkCodec, RoundTripsAllSections) {
+  const UplinkFrame f = full_uplink();
+  const std::optional<UplinkFrame> back = parse_uplink(serialize(f));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back->step.has_value());
+  EXPECT_EQ(back->step->heading_q, f.step->heading_q);
+  EXPECT_EQ(back->step->distance_q, f.step->distance_q);
+  ASSERT_TRUE(back->wifi.has_value());
+  ASSERT_EQ(back->wifi->readings.size(), 3u);
+  EXPECT_EQ(back->wifi->readings[0].id, 3);
+  // ScanPayload::encode already quantized to the half-dB wire grid, so
+  // the byte codec round-trips the values exactly.
+  EXPECT_DOUBLE_EQ(back->wifi->readings[0].rssi_dbm,
+                   f.wifi->readings[0].rssi_dbm);
+  ASSERT_TRUE(back->cell.has_value());
+  EXPECT_EQ(back->cell->readings[0].id, 1001);
+  ASSERT_TRUE(back->gps.has_value());
+  EXPECT_NEAR(back->gps->pos.lat_deg, 1.3483123, 1e-7);
+  EXPECT_NEAR(back->gps->pos.lon_deg, 103.6831123, 1e-7);
+  EXPECT_DOUBLE_EQ(back->gps->hdop, 1.2);
+  EXPECT_EQ(back->gps->num_satellites, 9);
+}
+
+TEST(UplinkCodec, EmptyFrameRoundTrips) {
+  const std::optional<UplinkFrame> back = parse_uplink(serialize(UplinkFrame{}));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_FALSE(back->step.has_value());
+  EXPECT_FALSE(back->wifi.has_value());
+  EXPECT_FALSE(back->cell.has_value());
+  EXPECT_FALSE(back->gps.has_value());
+}
+
+TEST(UplinkCodec, EveryTruncationIsRejected) {
+  const std::vector<std::uint8_t> full = serialize(full_uplink());
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    const std::vector<std::uint8_t> cut(full.begin(),
+                                        full.begin() + static_cast<long>(n));
+    EXPECT_FALSE(parse_uplink(cut).has_value()) << "prefix length " << n;
+  }
+  EXPECT_TRUE(parse_uplink(full).has_value());
+}
+
+TEST(UplinkCodec, RejectsUnknownSectionBits) {
+  std::vector<std::uint8_t> buf = serialize(UplinkFrame{});
+  buf[0] = 0xF0;  // bits the codec does not define
+  EXPECT_FALSE(parse_uplink(buf).has_value());
+}
+
+TEST(UplinkCodec, RejectsScanCountBeyondBuffer) {
+  ByteWriter w;
+  w.put_u8(1 << 1);  // wifi section only
+  w.put_u16(1000);   // promises 3000 bytes of readings...
+  w.put_u16(1);      // ...but carries 3
+  w.put_u8(100);
+  EXPECT_FALSE(parse_uplink(w.take()).has_value());
+}
+
+TEST(UplinkCodec, RejectsTrailingGarbage) {
+  std::vector<std::uint8_t> buf = serialize(full_uplink());
+  buf.push_back(0xAB);
+  EXPECT_FALSE(parse_uplink(buf).has_value());
+}
+
+TEST(DownlinkCodec, RoundTripsAndRejectsTruncation) {
+  const DownlinkFrame f = DownlinkFrame::encode({123.456, -9.87});
+  const std::vector<std::uint8_t> bytes = serialize(f);
+  EXPECT_EQ(bytes.size(), DownlinkFrame::kBytes);
+  const std::optional<DownlinkFrame> back = parse_downlink(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_DOUBLE_EQ(back->position.x, f.position.x);
+  EXPECT_DOUBLE_EQ(back->position.y, f.position.y);
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() + static_cast<long>(n));
+    EXPECT_FALSE(parse_downlink(cut).has_value());
+  }
+}
+
+TEST(RssiQuantization, RoundTripsOnHalfDbGrid) {
+  for (int q = 0; q <= 255; ++q) {
+    EXPECT_EQ(quantize_rssi(dequantize_rssi(static_cast<std::uint8_t>(q))),
+              q);
+  }
+  EXPECT_EQ(quantize_rssi(-300.0), 0);   // clamped, no wraparound
+  EXPECT_EQ(quantize_rssi(50.0), 255);
+}
+
 // ----------------------------------------------------------------- session
 
 TEST(OffloadSession, PhoneReducesFrames) {

@@ -1,0 +1,593 @@
+// Tests for the src/svc service layer: thread pool, session strands,
+// wire framing, and the LocalizationServer end to end.
+//
+// Concurrency tests here are written to be meaningful under TSan (see
+// scripts/check.sh): real worker threads, real contention, assertions on
+// invariants (serialization, counts, no lost tasks) rather than timing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/runner.h"
+#include "core/trainer.h"
+#include "obs/metrics.h"
+#include "svc/epoch_codec.h"
+#include "svc/loadgen.h"
+#include "svc/server.h"
+#include "svc/session_manager.h"
+#include "svc/thread_pool.h"
+#include "svc/wire.h"
+
+namespace uniloc::svc {
+namespace {
+
+// ------------------------------------------------------------- thread pool
+
+TEST(ThreadPool, RunsEveryPostedTask) {
+  ThreadPool pool({.workers = 4, .queue_capacity = 16});
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    ASSERT_TRUE(pool.post([&sum, i] { sum += i; }));
+  }
+  pool.shutdown();
+  EXPECT_EQ(sum.load(), 5050);
+  EXPECT_EQ(pool.tasks_run(), 100u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedWork) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool({.workers = 2, .queue_capacity = 64});
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(pool.post([&ran] { ++ran; }));
+    }
+    // Destructor calls shutdown(): every accepted task must still run.
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, PostAfterShutdownIsRejected) {
+  ThreadPool pool({.workers = 1, .queue_capacity = 4});
+  pool.shutdown();
+  EXPECT_FALSE(pool.post([] {}));
+  pool.shutdown();  // idempotent
+}
+
+TEST(ThreadPool, ThrowingTaskDoesNotKillWorker) {
+  ThreadPool pool({.workers = 1, .queue_capacity = 8});
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.post([] { throw std::runtime_error("boom"); }));
+  ASSERT_TRUE(pool.post([&ran] { ++ran; }));  // same worker must survive
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(pool.task_exceptions(), 1u);
+  EXPECT_EQ(pool.tasks_run(), 2u);
+}
+
+TEST(ThreadPool, InlineModeRunsSynchronously) {
+  ThreadPool pool({.workers = 0, .queue_capacity = 4});
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(pool.post([&order, i] { order.push_back(i); }));
+    // Inline mode: the task already ran, in submission order.
+    ASSERT_EQ(order.size(), static_cast<std::size_t>(i + 1));
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(pool.tasks_run(), 5u);
+}
+
+// ---------------------------------------------------------------- session
+
+TEST(Session, StrandRunsTasksInOrder) {
+  Session s(7, nullptr);
+  std::vector<int> order;
+  EXPECT_EQ(s.enqueue([&order] { order.push_back(0); }, 8, 100),
+            Session::Enqueue::kStartDrain);
+  // Not draining yet; further tasks just queue behind the first.
+  EXPECT_EQ(s.enqueue([&order] { order.push_back(1); }, 8, 101),
+            Session::Enqueue::kQueued);
+  EXPECT_EQ(s.enqueue([&order] { order.push_back(2); }, 8, 102),
+            Session::Enqueue::kQueued);
+  EXPECT_FALSE(s.idle());
+  s.drain();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(s.idle());
+  EXPECT_EQ(s.epochs_served(), 3u);
+  EXPECT_EQ(s.last_active_us(), 102u);
+}
+
+TEST(Session, BackpressureWhenInboxFull) {
+  Session s(7, nullptr);
+  int dropped = 0;
+  EXPECT_EQ(s.enqueue([] {}, 2, 1), Session::Enqueue::kStartDrain);
+  EXPECT_EQ(s.enqueue([] {}, 2, 2), Session::Enqueue::kQueued);
+  EXPECT_EQ(s.enqueue([&dropped] { ++dropped; }, 2, 3),
+            Session::Enqueue::kBackpressure);
+  s.drain();
+  EXPECT_EQ(dropped, 0);  // rejected task must never run
+  EXPECT_EQ(s.epochs_served(), 2u);
+  // After the drain the inbox has space again.
+  EXPECT_EQ(s.enqueue([] {}, 2, 4), Session::Enqueue::kStartDrain);
+  s.drain();
+}
+
+TEST(Session, TaskEnqueuedDuringDrainIsPickedUp) {
+  Session s(1, nullptr);
+  std::vector<int> order;
+  ASSERT_EQ(s.enqueue(
+                [&] {
+                  order.push_back(0);
+                  // Mid-drain enqueue: the running drain must absorb it
+                  // without a second kStartDrain handshake.
+                  EXPECT_EQ(s.enqueue([&] { order.push_back(1); }, 8, 11),
+                            Session::Enqueue::kQueued);
+                },
+                8, 10),
+            Session::Enqueue::kStartDrain);
+  s.drain();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_TRUE(s.idle());
+}
+
+// --------------------------------------------------------- session manager
+
+TEST(SessionManager, CreateFindErase) {
+  SessionManager mgr(4);
+  for (std::uint64_t id = 1; id <= 40; ++id) {
+    ASSERT_NE(mgr.create(id, nullptr, 0), nullptr);
+  }
+  EXPECT_EQ(mgr.size(), 40u);
+  EXPECT_EQ(mgr.create(17, nullptr, 0), nullptr);  // duplicate id
+  EXPECT_EQ(mgr.size(), 40u);
+  ASSERT_NE(mgr.find(17), nullptr);
+  EXPECT_EQ(mgr.find(17)->id(), 17u);
+  EXPECT_EQ(mgr.find(999), nullptr);
+  EXPECT_TRUE(mgr.erase(17));
+  EXPECT_FALSE(mgr.erase(17));
+  EXPECT_EQ(mgr.find(17), nullptr);
+  EXPECT_EQ(mgr.size(), 39u);
+}
+
+TEST(SessionManager, SequentialIdsSpreadAcrossStripes) {
+  SessionManager mgr(8);
+  std::set<std::size_t> used;
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    const std::size_t s = mgr.stripe_of(id);
+    EXPECT_LT(s, mgr.stripes());
+    used.insert(s);
+  }
+  // Fibonacci hashing: 64 sequential ids must touch every one of the 8
+  // stripes (a modulo-only scheme would too, but a shifted or byte-based
+  // one can collapse sequential ids onto one stripe).
+  EXPECT_EQ(used.size(), 8u);
+}
+
+TEST(SessionManager, EvictsOnlyIdleExpiredSessions) {
+  SessionManager mgr(4);
+  mgr.create(1, nullptr, 1000);  // will expire
+  mgr.create(2, nullptr, 5000);  // recent
+  SessionPtr busy = mgr.create(3, nullptr, 1000);
+  ASSERT_NE(busy, nullptr);
+  // Queue work without draining: session 3 is expired but busy.
+  ASSERT_EQ(busy->enqueue([] {}, 8, 1000), Session::Enqueue::kStartDrain);
+
+  EXPECT_EQ(mgr.evict_idle(/*now_us=*/6000, /*idle_ttl_us=*/3000), 1u);
+  EXPECT_EQ(mgr.find(1), nullptr);
+  EXPECT_NE(mgr.find(2), nullptr);
+  EXPECT_NE(mgr.find(3), nullptr);  // busy: spared despite expiry
+
+  busy->drain();
+  // Drain stamps nothing new (enqueue did, at 1000): now evictable.
+  EXPECT_EQ(mgr.evict_idle(6000, 3000), 1u);
+  EXPECT_EQ(mgr.find(3), nullptr);
+  EXPECT_EQ(mgr.size(), 1u);
+}
+
+// ------------------------------------------------------------------- wire
+
+TEST(Wire, FrameRoundTrip) {
+  Frame f;
+  f.type = FrameType::kEpoch;
+  f.session_id = 0xDEADBEEFCAFE1234ull;
+  f.payload = {1, 2, 3, 4, 5};
+  const std::vector<std::uint8_t> bytes = encode_frame(f);
+  EXPECT_EQ(bytes.size(), kHeaderBytes + f.payload.size());
+  const DecodeResult r = decode_frame(bytes);
+  ASSERT_TRUE(r.frame.has_value());
+  EXPECT_EQ(r.error, WireError::kNone);
+  EXPECT_EQ(r.consumed, bytes.size());
+  EXPECT_EQ(r.frame->type, FrameType::kEpoch);
+  EXPECT_EQ(r.frame->session_id, f.session_id);
+  EXPECT_EQ(r.frame->payload, f.payload);
+}
+
+TEST(Wire, RejectsBadMagic) {
+  Frame f;
+  f.type = FrameType::kHello;
+  std::vector<std::uint8_t> bytes = encode_frame(f);
+  bytes[4] ^= 0xFF;  // first magic byte, after the length prefix
+  const DecodeResult r = decode_frame(bytes);
+  EXPECT_FALSE(r.frame.has_value());
+  EXPECT_EQ(r.error, WireError::kBadMagic);
+}
+
+TEST(Wire, RejectsBadVersion) {
+  Frame f;
+  f.type = FrameType::kHello;
+  std::vector<std::uint8_t> bytes = encode_frame(f);
+  bytes[8] = kVersion + 1;
+  const DecodeResult r = decode_frame(bytes);
+  EXPECT_FALSE(r.frame.has_value());
+  EXPECT_EQ(r.error, WireError::kBadVersion);
+}
+
+TEST(Wire, RejectsUnknownType) {
+  Frame f;
+  f.type = FrameType::kHello;
+  std::vector<std::uint8_t> bytes = encode_frame(f);
+  bytes[9] = 0x42;  // not a FrameType
+  const DecodeResult r = decode_frame(bytes);
+  EXPECT_FALSE(r.frame.has_value());
+  EXPECT_EQ(r.error, WireError::kBadType);
+}
+
+TEST(Wire, RejectsEveryTruncation) {
+  Frame f;
+  f.type = FrameType::kEpoch;
+  f.session_id = 9;
+  f.payload = {10, 20, 30};
+  const std::vector<std::uint8_t> bytes = encode_frame(f);
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    const DecodeResult r = decode_frame(bytes.data(), n);
+    EXPECT_FALSE(r.frame.has_value()) << "prefix length " << n;
+    EXPECT_EQ(r.error, WireError::kTruncated) << "prefix length " << n;
+  }
+}
+
+TEST(Wire, RejectsOversizedLength) {
+  Frame f;
+  f.type = FrameType::kHello;
+  std::vector<std::uint8_t> bytes = encode_frame(f);
+  bytes[0] = 0xFF;  // length low byte
+  bytes[1] = 0xFF;
+  bytes[2] = 0xFF;
+  bytes[3] = 0x7F;  // far beyond kMaxPayloadBytes
+  const DecodeResult r = decode_frame(bytes);
+  EXPECT_FALSE(r.frame.has_value());
+  EXPECT_EQ(r.error, WireError::kBadLength);
+}
+
+TEST(Wire, RejectsLengthBelowHeaderMinimum) {
+  Frame f;
+  f.type = FrameType::kHello;
+  std::vector<std::uint8_t> bytes = encode_frame(f);
+  bytes[0] = 3;  // fewer bytes than magic+version+type+session alone
+  bytes[1] = bytes[2] = bytes[3] = 0;
+  const DecodeResult r = decode_frame(bytes);
+  EXPECT_FALSE(r.frame.has_value());
+  EXPECT_EQ(r.error, WireError::kBadLength);
+}
+
+TEST(Wire, HelloPayloadRoundTrip) {
+  const HelloPayload h{{12.345, -6.789}, 1.25};
+  const std::vector<std::uint8_t> bytes = encode_hello(h);
+  EXPECT_EQ(bytes.size(), HelloPayload::kBytes);
+  const std::optional<HelloPayload> back = parse_hello(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_NEAR(back->start.x, h.start.x, 0.01);   // cm quantization
+  EXPECT_NEAR(back->start.y, h.start.y, 0.01);
+  EXPECT_NEAR(back->heading, h.heading, 1e-5);   // urad quantization
+  EXPECT_FALSE(parse_hello({1, 2, 3}).has_value());
+}
+
+TEST(Wire, ErrorFrameCarriesCode) {
+  const Frame e = make_error_frame(42, ErrorCode::kBackpressure);
+  EXPECT_EQ(e.type, FrameType::kError);
+  EXPECT_EQ(e.session_id, 42u);
+  ASSERT_TRUE(error_code(e).has_value());
+  EXPECT_EQ(*error_code(e), ErrorCode::kBackpressure);
+  Frame not_error;
+  not_error.type = FrameType::kReply;
+  EXPECT_FALSE(error_code(not_error).has_value());
+}
+
+TEST(EpochCodec, ReplyRoundTrip) {
+  EpochReply reply;
+  reply.downlink = offload::DownlinkFrame::encode({3.25, -8.5});
+  reply.gps_enable_next = false;
+  const std::vector<std::uint8_t> bytes = encode_epoch_reply(reply);
+  EXPECT_EQ(bytes.size(), EpochReply::kBytes);
+  const std::optional<EpochReply> back = parse_epoch_reply(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_DOUBLE_EQ(back->downlink.decoded().x, 3.25);
+  EXPECT_DOUBLE_EQ(back->downlink.decoded().y, -8.5);
+  EXPECT_FALSE(back->gps_enable_next);
+  EXPECT_FALSE(parse_epoch_reply({1, 2}).has_value());
+}
+
+// ----------------------------------------------------------------- server
+
+// One trained model set for every server test (training is the slow part).
+const core::TrainedModels& test_models() {
+  static const core::TrainedModels models =
+      core::train_standard_models(42, 100);
+  return models;
+}
+
+struct ServerFixture {
+  core::Deployment office = core::make_deployment(
+      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+
+  UnilocFactory factory() {
+    return [this](std::uint64_t sid) {
+      return std::make_unique<core::Uniloc>(core::make_uniloc(
+          office, test_models(), {}, false, /*seed=*/7 + sid));
+    };
+  }
+};
+
+std::vector<std::uint8_t> hello_frame(std::uint64_t sid, geo::Vec2 start,
+                                      double heading) {
+  Frame f;
+  f.type = FrameType::kHello;
+  f.session_id = sid;
+  f.payload = encode_hello({start, heading});
+  return encode_frame(f);
+}
+
+Frame get_reply(LocalizationServer& server, std::vector<std::uint8_t> req) {
+  const DecodeResult r = decode_frame(server.submit(std::move(req)).get());
+  EXPECT_EQ(r.error, WireError::kNone);
+  return r.frame.value();
+}
+
+TEST(Server, HelloEpochByeFlow) {
+  ServerFixture fx;
+  obs::MetricsRegistry reg;
+  LocalizationServer server({}, fx.factory(), &reg);
+
+  sim::WalkConfig wc;
+  wc.seed = 11;
+  sim::Walker walker(fx.office.place.get(), fx.office.radio.get(), 0, wc);
+  offload::PhoneAgent phone;
+  phone.reset(walker.start_heading());
+
+  const Frame ack = get_reply(
+      server,
+      hello_frame(1, walker.start_position(), walker.start_heading()));
+  EXPECT_EQ(ack.type, FrameType::kReply);
+  EXPECT_EQ(server.live_sessions(), 1u);
+
+  bool gps = true;
+  std::size_t epochs = 0;
+  for (; !walker.done() && epochs < 40; ++epochs) {
+    const sim::SensorFrame f = walker.step(gps);
+    Frame req;
+    req.type = FrameType::kEpoch;
+    req.session_id = 1;
+    req.payload = encode_epoch(phone.reduce(f), f);
+    const Frame reply = get_reply(server, encode_frame(req));
+    ASSERT_EQ(reply.type, FrameType::kReply);
+    const std::optional<EpochReply> er = parse_epoch_reply(reply.payload);
+    ASSERT_TRUE(er.has_value());
+    gps = er->gps_enable_next;
+    // Office walk: the fused estimate stays on the premises.
+    EXPECT_LT(geo::distance(er->downlink.decoded(), f.truth_pos), 50.0);
+  }
+
+  Frame bye;
+  bye.type = FrameType::kBye;
+  bye.session_id = 1;
+  EXPECT_EQ(get_reply(server, encode_frame(bye)).type, FrameType::kReply);
+  EXPECT_EQ(server.live_sessions(), 0u);
+
+  EXPECT_EQ(reg.counter("svc.accepted").value(), 2u + epochs);
+  EXPECT_EQ(reg.counter("svc.malformed").value(), 0u);
+  EXPECT_EQ(reg.histogram("svc.request_us").count(), epochs);
+  EXPECT_EQ(reg.histogram("svc.locate_us").count(), epochs);
+}
+
+TEST(Server, RejectsMalformedInput) {
+  ServerFixture fx;
+  obs::MetricsRegistry reg;
+  LocalizationServer server({}, fx.factory(), &reg);
+
+  // Garbage bytes, a truncated frame, and a valid frame with a corrupt
+  // epoch payload must all answer kError kMalformed.
+  std::vector<std::vector<std::uint8_t>> bad;
+  bad.push_back({0xDE, 0xAD, 0xBE, 0xEF});
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.session_id = 5;
+  hello.payload = encode_hello({{0, 0}, 0});
+  std::vector<std::uint8_t> truncated = encode_frame(hello);
+  truncated.resize(truncated.size() - 3);
+  bad.push_back(truncated);
+  Frame short_hello;
+  short_hello.type = FrameType::kHello;
+  short_hello.session_id = 6;
+  short_hello.payload = {1, 2};  // not a HelloPayload
+  bad.push_back(encode_frame(short_hello));
+
+  for (std::vector<std::uint8_t>& req : bad) {
+    const DecodeResult r = decode_frame(server.submit(std::move(req)).get());
+    ASSERT_TRUE(r.frame.has_value());
+    EXPECT_EQ(r.frame->type, FrameType::kError);
+    EXPECT_EQ(error_code(*r.frame), ErrorCode::kMalformed);
+  }
+  EXPECT_EQ(reg.counter("svc.malformed").value(), 3u);
+  EXPECT_EQ(server.live_sessions(), 0u);
+
+  // Valid session, corrupt epoch payload.
+  get_reply(server, hello_frame(7, {1.0, 1.0}, 0.0));
+  Frame bad_epoch;
+  bad_epoch.type = FrameType::kEpoch;
+  bad_epoch.session_id = 7;
+  bad_epoch.payload = {9, 9, 9};
+  const Frame reply = get_reply(server, encode_frame(bad_epoch));
+  EXPECT_EQ(reply.type, FrameType::kError);
+  EXPECT_EQ(error_code(reply), ErrorCode::kMalformed);
+  EXPECT_EQ(reg.counter("svc.malformed").value(), 4u);
+  EXPECT_EQ(server.live_sessions(), 1u);  // session survives bad input
+}
+
+TEST(Server, SessionLifecycleErrors) {
+  ServerFixture fx;
+  LocalizationServer server({}, fx.factory(), nullptr);
+
+  Frame epoch;
+  epoch.type = FrameType::kEpoch;
+  epoch.session_id = 3;
+  epoch.payload = encode_epoch({}, sim::SensorFrame{});
+  EXPECT_EQ(error_code(get_reply(server, encode_frame(epoch))),
+            ErrorCode::kUnknownSession);
+
+  get_reply(server, hello_frame(3, {0, 0}, 0.0));
+  EXPECT_EQ(error_code(get_reply(server, hello_frame(3, {0, 0}, 0.0))),
+            ErrorCode::kSessionExists);
+
+  Frame bye;
+  bye.type = FrameType::kBye;
+  bye.session_id = 99;
+  EXPECT_EQ(error_code(get_reply(server, encode_frame(bye))),
+            ErrorCode::kUnknownSession);
+
+  server.shutdown();
+  EXPECT_EQ(error_code(get_reply(server, hello_frame(8, {0, 0}, 0.0))),
+            ErrorCode::kShuttingDown);
+}
+
+TEST(Server, InboxFullAnswersBackpressure) {
+  ServerFixture fx;
+  obs::MetricsRegistry reg;
+  ServerConfig cfg;
+  cfg.inbox_capacity = 0;  // inline mode + zero inbox: reject every epoch
+  LocalizationServer server(cfg, fx.factory(), &reg);
+  get_reply(server, hello_frame(1, {0, 0}, 0.0));
+  Frame epoch;
+  epoch.type = FrameType::kEpoch;
+  epoch.session_id = 1;
+  epoch.payload = encode_epoch({}, sim::SensorFrame{});
+  EXPECT_EQ(error_code(get_reply(server, encode_frame(epoch))),
+            ErrorCode::kBackpressure);
+  EXPECT_EQ(reg.counter("svc.rejected").value(), 1u);
+}
+
+TEST(Server, IdleSessionsAreEvicted) {
+  ServerFixture fx;
+  obs::MetricsRegistry reg;
+  std::uint64_t fake_now = 0;
+  ServerConfig cfg;
+  cfg.idle_ttl_s = 1.0;
+  cfg.now_us = [&fake_now] { return fake_now; };
+  LocalizationServer server(cfg, fx.factory(), &reg);
+
+  get_reply(server, hello_frame(1, {0, 0}, 0.0));
+  fake_now = 500'000;
+  get_reply(server, hello_frame(2, {0, 0}, 0.0));
+  EXPECT_EQ(server.live_sessions(), 2u);
+
+  fake_now = 1'200'000;  // session 1 idle 1.2 s, session 2 idle 0.7 s
+  EXPECT_EQ(server.evict_idle(), 1u);
+  EXPECT_EQ(server.live_sessions(), 1u);
+  EXPECT_EQ(reg.counter("svc.evicted").value(), 1u);
+  // Session 2 still serves epochs after the sweep.
+  Frame epoch;
+  epoch.type = FrameType::kEpoch;
+  epoch.session_id = 2;
+  epoch.payload = encode_epoch({}, sim::SensorFrame{});
+  EXPECT_EQ(get_reply(server, encode_frame(epoch)).type, FrameType::kReply);
+}
+
+// ----------------------------------------------------- loadgen + determinism
+
+LoadReport run_fleet(ServerFixture& fx, int workers, std::size_t walkers,
+                     obs::MetricsRegistry* reg = nullptr) {
+  ServerConfig cfg;
+  cfg.workers = workers;
+  LocalizationServer server(cfg, fx.factory(), reg);
+  LoadGenConfig lg;
+  lg.walkers = walkers;
+  lg.max_epochs_per_walker = 30;
+  lg.burst = 1;  // lockstep rounds: no backpressure, identical inputs
+  LoadReport report = run_load(server, fx.office, lg, reg);
+  server.shutdown();
+  return report;
+}
+
+TEST(Server, InlineModeIsDeterministic) {
+  ServerFixture fx;
+  const LoadReport a = run_fleet(fx, /*workers=*/0, /*walkers=*/4);
+  const LoadReport b = run_fleet(fx, /*workers=*/0, /*walkers=*/4);
+  ASSERT_EQ(a.walkers.size(), b.walkers.size());
+  EXPECT_GT(a.total_epochs, 0u);
+  for (std::size_t i = 0; i < a.walkers.size(); ++i) {
+    EXPECT_EQ(a.walkers[i].epochs_accepted, b.walkers[i].epochs_accepted);
+    // Bit-reproducible: same seeds, same inline execution order.
+    EXPECT_DOUBLE_EQ(a.walkers[i].mean_error_m, b.walkers[i].mean_error_m);
+    EXPECT_DOUBLE_EQ(a.walkers[i].final_estimate.x,
+                     b.walkers[i].final_estimate.x);
+    EXPECT_DOUBLE_EQ(a.walkers[i].final_estimate.y,
+                     b.walkers[i].final_estimate.y);
+  }
+}
+
+TEST(Server, ThreadedResultsMatchInlineRun) {
+  // The stress test of the strand design: with 4 workers racing over 6
+  // sessions, every per-session outcome must be exactly the workers=0
+  // result -- concurrency may reorder sessions, never corrupt one.
+  ServerFixture fx;
+  obs::MetricsRegistry reg;  // exercised concurrently under TSan
+  const LoadReport inline_run = run_fleet(fx, /*workers=*/0, /*walkers=*/6);
+  const LoadReport threaded = run_fleet(fx, /*workers=*/4, /*walkers=*/6, &reg);
+
+  ASSERT_EQ(threaded.walkers.size(), inline_run.walkers.size());
+  EXPECT_EQ(threaded.total_epochs, inline_run.total_epochs);
+  EXPECT_EQ(threaded.backpressure_total, 0u);
+  EXPECT_EQ(threaded.error_total, 0u);
+  for (std::size_t i = 0; i < threaded.walkers.size(); ++i) {
+    const WalkerOutcome& t = threaded.walkers[i];
+    const WalkerOutcome& s = inline_run.walkers[i];
+    EXPECT_EQ(t.session_id, s.session_id);
+    EXPECT_EQ(t.epochs_accepted, s.epochs_accepted);
+    EXPECT_DOUBLE_EQ(t.mean_error_m, s.mean_error_m) << "session " << i;
+    EXPECT_DOUBLE_EQ(t.final_estimate.x, s.final_estimate.x);
+    EXPECT_DOUBLE_EQ(t.final_estimate.y, s.final_estimate.y);
+  }
+  EXPECT_EQ(reg.counter("svc.rejected").value(), 0u);
+  EXPECT_EQ(reg.histogram("svc.request_us").count(),
+            threaded.total_epochs);
+}
+
+TEST(LoadGen, ChargesWireBytesIntoOffloadCounters) {
+  ServerFixture fx;
+  obs::MetricsRegistry reg;
+  LocalizationServer server({}, fx.factory(), &reg);
+  LoadGenConfig lg;
+  lg.walkers = 2;
+  lg.max_epochs_per_walker = 10;
+  const LoadReport report = run_load(server, fx.office, lg, &reg);
+
+  EXPECT_EQ(report.total_epochs, 20u);
+  EXPECT_EQ(report.traffic.epochs, 20u);
+  EXPECT_EQ(reg.counter("offload.uplink_bytes").value(),
+            report.traffic.uplink_bytes);
+  EXPECT_EQ(reg.counter("offload.downlink_bytes").value(),
+            report.traffic.downlink_bytes);
+  // Every reply is a fixed-size frame; uplink must include svc framing
+  // (header + prefix) on top of the offload payload.
+  EXPECT_EQ(report.traffic.downlink_bytes, 20u * reply_wire_bytes());
+  EXPECT_DOUBLE_EQ(report.traffic.downlink_bytes_per_epoch(),
+                   static_cast<double>(reply_wire_bytes()));
+  EXPECT_GT(report.traffic.uplink_bytes_per_epoch(),
+            static_cast<double>(kHeaderBytes + kEpochUplinkPrefixBytes));
+}
+
+}  // namespace
+}  // namespace uniloc::svc
