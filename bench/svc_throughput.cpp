@@ -8,13 +8,20 @@
 // in seconds) -- so throughput scales with workers until the CPU
 // saturates, exactly like the real synchronous server.
 //
-// Reported per worker count: epochs/s, client-side p50/p95/p99 latency,
-// and backpressure rejections. The scaling headline: epochs/s must rise
-// monotonically from 1 to 4 workers.
+// Two scenarios:
+//   clean  the perfect wire, as before. Headline: epochs/s must rise
+//          monotonically from 1 to 4 workers.
+//   chaos  every phone behind a fault::FaultyLink with 1% request drops
+//          and a 50 ms simulated link delay. Headlines: no deadlock and
+//          no session loss at any worker count, goodput degrades
+//          gracefully (retransmits burn capacity, sessions all finish),
+//          and a same-seed rerun is byte-identical per session.
 #include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
+#include "fault/link.h"
+#include "fault/plan.h"
 #include "svc/loadgen.h"
 #include "svc/server.h"
 #include "stats/descriptive.h"
@@ -27,7 +34,8 @@ constexpr std::size_t kWalkers = 32;
 constexpr std::size_t kEpochsPerWalker = 20;
 constexpr std::chrono::microseconds kSimulatedNetwork{8000};
 
-svc::LoadReport run_config(const core::Deployment& campus, int workers) {
+svc::LoadReport run_config(const core::Deployment& campus, int workers,
+                           const fault::FaultPlan* plan) {
   svc::ServerConfig cfg;
   cfg.workers = workers;
   cfg.simulated_network = kSimulatedNetwork;
@@ -44,10 +52,38 @@ svc::LoadReport run_config(const core::Deployment& campus, int workers) {
   lg.max_epochs_per_walker = kEpochsPerWalker;
   lg.burst = 2;  // two epochs in flight per session: exercises the inbox
   lg.seed = 2024;
+  if (plan != nullptr) {
+    lg.make_link = [plan](svc::LocalizationServer& s, std::uint64_t sid) {
+      return std::make_unique<fault::FaultyLink>(
+          std::make_unique<svc::DirectLink>(&s), plan, sid);
+    };
+  }
   svc::LoadReport report =
       svc::run_load(server, campus, lg, &obs::default_registry());
   server.shutdown();
   return report;
+}
+
+/// Per-session byte-identity of two same-seed runs (wall-clock latencies
+/// are the only fields allowed to differ).
+bool outcomes_identical(const svc::LoadReport& a, const svc::LoadReport& b) {
+  if (a.walkers.size() != b.walkers.size()) return false;
+  if (a.traffic.uplink_bytes != b.traffic.uplink_bytes) return false;
+  if (a.traffic.retransmitted_bytes != b.traffic.retransmitted_bytes) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.walkers.size(); ++i) {
+    const svc::WalkerOutcome& x = a.walkers[i];
+    const svc::WalkerOutcome& y = b.walkers[i];
+    if (x.epochs_accepted != y.epochs_accepted || x.retries != y.retries ||
+        x.timeouts != y.timeouts || x.local_epochs != y.local_epochs ||
+        x.mean_error_m != y.mean_error_m ||
+        x.final_estimate.x != y.final_estimate.x ||
+        x.final_estimate.y != y.final_estimate.y) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -68,9 +104,11 @@ int main() {
   double eps_w1 = 0.0, eps_w4 = 0.0;
   bool monotonic_1_to_4 = true;
   double prev_eps = 0.0;
+  double clean_eps[9] = {0.0};
   for (const int workers : {1, 2, 4, 8}) {
-    const svc::LoadReport r = run_config(campus, workers);
+    const svc::LoadReport r = run_config(campus, workers, nullptr);
     const double eps = r.throughput_eps();
+    clean_eps[workers] = eps;
     const double p50 = stats::percentile(r.latencies_us, 50.0) / 1000.0;
     const double p95 = stats::percentile(r.latencies_us, 95.0) / 1000.0;
     const double p99 = stats::percentile(r.latencies_us, 99.0) / 1000.0;
@@ -103,6 +141,67 @@ int main() {
                                                          : 0.0);
   bench_report.add_scalar("monotonic_1_to_4", monotonic_1_to_4 ? 1.0 : 0.0);
 
+  // ------------------------------------------------------ chaos scenario
+  fault::FaultRates rates;
+  rates.drop = 0.01;
+  rates.base_delay_us = 50'000;  // under the 200 ms timeout: pure latency
+  const fault::FaultPlan plan(2024, rates);
+
+  std::printf("\nchaos scenario -- 1%% request drops, 50 ms link delay\n\n");
+  io::Table chaos_table({"workers", "goodput/s", "vs clean", "retransmits",
+                         "timeouts", "sessions ok"});
+  bool no_session_loss = true;
+  bool graceful = true;
+  for (const int workers : {1, 2, 4, 8}) {
+    const svc::LoadReport r = run_config(campus, workers, &plan);
+    const double eps = r.goodput_eps();
+    // A session is lost if it stopped getting fixes: every phone must
+    // finish its walk with every epoch answered by the server or, at
+    // worst, by its local fallback.
+    std::size_t ok = 0;
+    for (const svc::WalkerOutcome& w : r.walkers) {
+      if (w.epochs_accepted + w.local_epochs + w.backpressure ==
+          kEpochsPerWalker) {
+        ++ok;
+      }
+    }
+    if (ok != r.walkers.size()) no_session_loss = false;
+    // Graceful degradation: ~1% retransmits must not collapse throughput.
+    const double ratio =
+        clean_eps[workers] > 0.0 ? eps / clean_eps[workers] : 0.0;
+    if (ratio < 0.3) graceful = false;
+    chaos_table.add_row(
+        {std::to_string(workers), io::Table::num(eps),
+         io::Table::num(ratio), std::to_string(r.traffic.retransmits),
+         std::to_string(r.timeouts_total),
+         std::to_string(ok) + "/" + std::to_string(r.walkers.size())});
+
+    const std::string prefix = "chaos.workers" + std::to_string(workers) + ".";
+    bench_report.add_scalar(prefix + "goodput_eps", eps);
+    bench_report.add_scalar(prefix + "vs_clean", ratio);
+    bench_report.add_scalar(prefix + "retransmits",
+                            static_cast<double>(r.traffic.retransmits));
+    bench_report.add_scalar(prefix + "sessions_ok",
+                            static_cast<double>(ok));
+  }
+  std::printf("%s\n", chaos_table.to_string().c_str());
+
+  // Same seed, same plan -> per-session outcomes must match bit for bit
+  // (run at 8 workers: determinism must survive maximal interleaving).
+  const svc::LoadReport d1 = run_config(campus, 8, &plan);
+  const svc::LoadReport d2 = run_config(campus, 8, &plan);
+  const bool deterministic = outcomes_identical(d1, d2);
+  std::printf("same-seed chaos reruns byte-identical per session: %s\n",
+              deterministic ? "yes" : "NO");
+  std::printf("no session loss: %s, graceful degradation: %s\n",
+              no_session_loss ? "yes" : "NO", graceful ? "yes" : "NO");
+  bench_report.add_scalar("chaos.deterministic", deterministic ? 1.0 : 0.0);
+  bench_report.add_scalar("chaos.no_session_loss",
+                          no_session_loss ? 1.0 : 0.0);
+  bench_report.add_scalar("chaos.graceful", graceful ? 1.0 : 0.0);
+
   bench::report_json(bench_report);
-  return monotonic_1_to_4 ? 0 : 1;
+  const bool pass =
+      monotonic_1_to_4 && deterministic && no_session_loss && graceful;
+  return pass ? 0 : 1;
 }

@@ -6,7 +6,8 @@
 //                     [--trace <out.jsonl>] [--metrics]
 //
 //   uniloc_cli serve-sim [--venue <name>] [--walkers N] [--workers W]
-//                        [--epochs E] [--seed S] [--metrics]
+//                        [--epochs E] [--seed S] [--faults <plan>]
+//                        [--metrics]
 //
 // `record` walks a venue and saves the full sensor stream (dataset
 // collection). `replay` runs UniLoc offline over a saved trace and prints
@@ -15,6 +16,13 @@
 // in-process and drives it with N simulated phones over the venue's
 // walkways (the svc wire protocol end to end), printing throughput,
 // latency percentiles, per-walker accuracy, and wire traffic.
+// With --faults every phone's link goes through a fault::FaultyLink; the
+// plan is comma-separated key=value pairs, e.g.
+//   --faults drop=0.02,corrupt=0.01,dup=0.01,delay_ms=50,blackout=10:20
+// (rates are per-request probabilities; `blackout=a:b` takes the link
+// down for send indices [a, b) and may repeat; `seed` defaults to the
+// load seed). Phones retry with backoff and fall back to local PDR
+// dead-reckoning during outages -- same machinery as tests/test_fault.cc.
 // With --cold-start the recorded start position is withheld and UniLoc
 // bootstraps it from the first WiFi scans (Zee-style).
 // With --trace every epoch's full decision (scheme availability,
@@ -24,10 +32,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "core/cold_start.h"
 #include "core/runner.h"
+#include "fault/link.h"
+#include "fault/plan.h"
 #include "io/table.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -212,8 +223,61 @@ struct ServeSimOptions {
   int workers{2};
   std::size_t epochs{50};  ///< Per walker; 0 = full paths.
   std::uint64_t seed{2024};
+  std::string faults;  ///< Empty: perfect wire.
   bool metrics{false};
 };
+
+/// Parse a `--faults` spec ("drop=0.02,delay_ms=50,blackout=10:20,...")
+/// into a FaultPlan. Throws std::runtime_error on unknown keys.
+fault::FaultPlan parse_fault_plan(const std::string& spec,
+                                  std::uint64_t default_seed) {
+  fault::FaultRates rates;
+  std::uint64_t seed = default_seed;
+  std::vector<std::pair<std::size_t, std::size_t>> blackouts;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("--faults item needs key=value: " + item);
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    if (key == "drop") {
+      rates.drop = std::stod(val);
+    } else if (key == "dup" || key == "duplicate") {
+      rates.duplicate = std::stod(val);
+    } else if (key == "reorder") {
+      rates.reorder = std::stod(val);
+    } else if (key == "corrupt") {
+      rates.corrupt = std::stod(val);
+    } else if (key == "delay_ms") {
+      rates.base_delay_us =
+          static_cast<std::uint64_t>(std::stod(val) * 1000.0);
+    } else if (key == "jitter_ms") {
+      rates.jitter_delay_us =
+          static_cast<std::uint64_t>(std::stod(val) * 1000.0);
+    } else if (key == "seed") {
+      seed = std::stoull(val);
+    } else if (key == "blackout") {
+      const std::size_t colon = val.find(':');
+      if (colon == std::string::npos) {
+        throw std::runtime_error("blackout needs from:to, got " + val);
+      }
+      blackouts.emplace_back(std::stoul(val.substr(0, colon)),
+                             std::stoul(val.substr(colon + 1)));
+    } else {
+      throw std::runtime_error("unknown --faults key: " + key);
+    }
+  }
+  fault::FaultPlan plan(seed, rates);
+  for (const auto& [from, to] : blackouts) plan.add_blackout(from, to);
+  return plan;
+}
 
 int cmd_serve_sim(const ServeSimOptions& sopts) {
   std::printf("training error models...\n");
@@ -235,21 +299,44 @@ int cmd_serve_sim(const ServeSimOptions& sopts) {
       },
       &registry);
 
-  std::printf("serving %zu walkers on '%s' with %d workers...\n",
-              sopts.walkers, sopts.venue.c_str(), sopts.workers);
+  std::printf("serving %zu walkers on '%s' with %d workers%s...\n",
+              sopts.walkers, sopts.venue.c_str(), sopts.workers,
+              sopts.faults.empty() ? "" : " (faulty wire)");
   svc::LoadGenConfig lg;
   lg.walkers = sopts.walkers;
   lg.max_epochs_per_walker = sopts.epochs;
   lg.seed = sopts.seed;
+  std::optional<fault::FaultPlan> plan;
+  if (!sopts.faults.empty()) {
+    plan = parse_fault_plan(sopts.faults, sopts.seed);
+    lg.make_link = [&plan, &registry](svc::LocalizationServer& s,
+                                      std::uint64_t sid) {
+      return std::make_unique<fault::FaultyLink>(
+          std::make_unique<svc::DirectLink>(&s), &*plan, sid, &registry);
+    };
+  }
   const svc::LoadReport report = svc::run_load(server, d, lg, &registry);
   server.shutdown();
 
-  io::Table t({"session", "walkway", "epochs", "mean err (m)", "rejected"});
+  const bool chaos = plan.has_value();
+  io::Table t = chaos
+                    ? io::Table({"session", "walkway", "epochs", "local",
+                                 "retries", "mean err (m)", "rejected"})
+                    : io::Table({"session", "walkway", "epochs",
+                                 "mean err (m)", "rejected"});
   for (const svc::WalkerOutcome& w : report.walkers) {
-    t.add_row({std::to_string(w.session_id), std::to_string(w.walkway),
-               std::to_string(w.epochs_accepted),
-               io::Table::num(w.mean_error_m),
-               std::to_string(w.backpressure + w.errors)});
+    if (chaos) {
+      t.add_row({std::to_string(w.session_id), std::to_string(w.walkway),
+                 std::to_string(w.epochs_accepted),
+                 std::to_string(w.local_epochs), std::to_string(w.retries),
+                 io::Table::num(w.mean_error_m),
+                 std::to_string(w.backpressure + w.errors)});
+    } else {
+      t.add_row({std::to_string(w.session_id), std::to_string(w.walkway),
+                 std::to_string(w.epochs_accepted),
+                 io::Table::num(w.mean_error_m),
+                 std::to_string(w.backpressure + w.errors)});
+    }
   }
   std::printf("%s\n", t.to_string().c_str());
   std::printf("%zu epochs in %.2f s: %.1f epochs/s, latency p50 %.1f ms "
@@ -260,11 +347,20 @@ int cmd_serve_sim(const ServeSimOptions& sopts) {
   std::printf("wire traffic: uplink %.1f B/epoch, downlink %.1f B/epoch\n",
               report.traffic.uplink_bytes_per_epoch(),
               report.traffic.downlink_bytes_per_epoch());
+  if (chaos) {
+    std::printf("degradation: %zu retries, %zu timeouts, %zu local epochs, "
+                "%zu B retransmitted\n",
+                report.retries_total, report.timeouts_total,
+                report.local_epochs_total,
+                report.traffic.retransmitted_bytes);
+  }
   if (sopts.metrics) {
     std::printf("\nservice metrics:\n%s",
                 registry.to_table().to_string().c_str());
   }
-  return report.error_total == 0 ? 0 : 1;
+  // With faults on, recovered errors (e.g. corrupted frames the server
+  // rejected and the phone retransmitted) are the expected outcome.
+  return (chaos || report.error_total == 0) ? 0 : 1;
 }
 
 int usage() {
@@ -276,7 +372,9 @@ int usage() {
                "                    [--trace <out.jsonl>] [--metrics]\n"
                "  uniloc_cli serve-sim [--venue <name>] [--walkers N]\n"
                "                    [--workers W] [--epochs E] [--seed S]\n"
-               "                    [--metrics]\n");
+               "                    [--faults <plan>] [--metrics]\n"
+               "      <plan>: drop=P,dup=P,reorder=P,corrupt=P,delay_ms=D,\n"
+               "              jitter_ms=J,seed=S,blackout=a:b[,...]\n");
   return 2;
 }
 
@@ -321,6 +419,8 @@ int main(int argc, char** argv) {
           sopts.epochs = std::stoul(argv[++i]);
         } else if (arg == "--seed" && i + 1 < argc) {
           sopts.seed = std::stoull(argv[++i]);
+        } else if (arg == "--faults" && i + 1 < argc) {
+          sopts.faults = argv[++i];
         } else if (arg == "--metrics") {
           sopts.metrics = true;
         } else {

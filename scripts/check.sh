@@ -14,13 +14,27 @@ cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS:-}
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-# Tier-2 gate: the src/svc concurrency suite must be clean under
+# Tier-2 gate A: the src/svc concurrency suite must be clean under
 # ThreadSanitizer (worker pool, session strands, server instrumentation).
-# Only test_svc is built in the sanitized tree -- the `svc.` ctest prefix
+# Only test_svc is built in the sanitized tree -- the `svc` ctest label
 # selects exactly its tests. Set TSAN=0 to skip (e.g. no libtsan).
 if [[ "${TSAN:-1}" != "0" ]]; then
   TSAN_DIR="${TSAN_DIR:-build-tsan}"
   cmake -B "$TSAN_DIR" -S . -DUNILOC_SANITIZE=thread
   cmake --build "$TSAN_DIR" -j "$JOBS" --target test_svc
-  ctest --test-dir "$TSAN_DIR" -R '^svc\.' --output-on-failure -j "$JOBS"
+  ctest --test-dir "$TSAN_DIR" -L '^svc$' --output-on-failure -j "$JOBS"
+fi
+
+# Tier-2 gate B: the fault-injection path (svc + chaos labels: the
+# concurrency suite, the chaos suite, and the golden-trace replays) must
+# be clean under AddressSanitizer + UndefinedBehaviorSanitizer -- the
+# FaultyLink juggles promise/future lifetimes and cached reply buffers
+# across retries, exactly where ASan finds use-after-move/free bugs.
+# Set ASAN=0 to skip (e.g. no libasan).
+if [[ "${ASAN:-1}" != "0" ]]; then
+  ASAN_DIR="${ASAN_DIR:-build-asan}"
+  cmake -B "$ASAN_DIR" -S . "-DUNILOC_SANITIZE=address;undefined"
+  cmake --build "$ASAN_DIR" -j "$JOBS" \
+    --target test_svc test_fault test_golden
+  ctest --test-dir "$ASAN_DIR" -L 'svc|chaos' --output-on-failure -j "$JOBS"
 fi

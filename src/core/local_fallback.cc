@@ -1,0 +1,23 @@
+#include "core/local_fallback.h"
+
+#include <cmath>
+
+namespace uniloc::core {
+
+void LocalFallback::seed(geo::Vec2 fix, double heading) {
+  pos_ = fix;
+  heading_ = heading;
+  walked_m_ = 0.0;
+  seeded_ = true;
+}
+
+geo::Vec2 LocalFallback::advance(double heading_rad, double distance_m) {
+  // Same displacement convention as the particle filters' predict step.
+  pos_ += geo::Vec2{std::cos(heading_rad), std::sin(heading_rad)} *
+          distance_m;
+  heading_ = heading_rad;
+  walked_m_ += distance_m;
+  return pos_;
+}
+
+}  // namespace uniloc::core

@@ -1,0 +1,43 @@
+// LocalFallback: phone-side dead-reckoning when the server is gone.
+//
+// The offload split (Sec. IV-C) keeps the PDR front-end on the phone --
+// the heading filter and step detector already run locally, and their
+// quantized StepPayload (heading + displacement) is exactly what the
+// uplink carries. So when the link is declared down, the phone does not
+// go blind: it seeds this dead-reckoner from the last server fix and
+// integrates the same quantized step stream it would have uploaded,
+// producing a position estimate with no server round-trip. The estimate
+// drifts like any inertial track (a few percent of distance walked),
+// which is what bounds the error during a blackout; on reconnect the
+// server fix takes over again (and, if the session was evicted, the
+// re-hello is seeded from this estimate, reconciling both sides).
+#pragma once
+
+#include "geo/vec2.h"
+
+namespace uniloc::core {
+
+class LocalFallback {
+ public:
+  /// Start dead-reckoning at `fix` (normally the last server estimate).
+  void seed(geo::Vec2 fix, double heading);
+
+  /// Integrate one epoch's quantized walking-model update -- the same
+  /// heading/distance the uplink StepPayload carries. Returns the new
+  /// estimate.
+  geo::Vec2 advance(double heading_rad, double distance_m);
+
+  geo::Vec2 estimate() const { return pos_; }
+  double heading() const { return heading_; }
+  bool seeded() const { return seeded_; }
+  /// Distance integrated since seed() -- the drift budget.
+  double distance_walked() const { return walked_m_; }
+
+ private:
+  geo::Vec2 pos_;
+  double heading_{0.0};
+  double walked_m_{0.0};
+  bool seeded_{false};
+};
+
+}  // namespace uniloc::core

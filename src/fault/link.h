@@ -1,0 +1,88 @@
+// FaultyLink: a svc::Link that injects a FaultPlan into the wire.
+//
+// Wraps any inner Link (normally a DirectLink over the server) and, for
+// every send, consults plan->decide(stream, send_index):
+//
+//   kDrop       the frame never reaches the server; kDropped comes back
+//               and the client pays its full timeout.
+//   kDown       fail-fast kDown (blackout / connection refused).
+//   kCorrupt    one magic byte is flipped before delivery, so the server
+//               answers kMalformed -- corruption is *detected*, like a
+//               checksum failure, and the client retransmits.
+//   kDuplicate  the frame is delivered twice back to back; the session
+//               strand processes both (the filter double-updates), the
+//               client sees the first reply.
+//   kReorder    delivery slips one slot: the client receives the cached
+//               reply of its previous exchange and this exchange's reply
+//               is cached for the next (stale-fix delivery under
+//               stop-and-wait).
+//   delay_us    added to the reply's simulated latency; a delay above the
+//               client's timeout turns a healthy reply into a loss.
+//
+// send_index increments on every send() -- retries included -- so the
+// fault sequence is a pure function of (plan, stream) regardless of
+// worker count or sibling sessions. Injections are counted into
+// FaultCounters and, with a registry, `fault.injected.*` counters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/plan.h"
+#include "svc/link.h"
+
+namespace uniloc::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace uniloc::obs
+
+namespace uniloc::fault {
+
+struct FaultCounters {
+  std::size_t sends{0};
+  std::size_t drops{0};
+  std::size_t duplicates{0};
+  std::size_t reorders{0};
+  std::size_t corruptions{0};
+  std::size_t downs{0};
+  std::uint64_t delay_us_total{0};
+
+  std::size_t injected() const {
+    return drops + duplicates + reorders + corruptions + downs;
+  }
+};
+
+class FaultyLink : public svc::Link {
+ public:
+  /// `stream` keys the plan (svc uses the session id). The plan must
+  /// outlive the link.
+  FaultyLink(std::unique_ptr<svc::Link> inner, const FaultPlan* plan,
+             std::uint64_t stream, obs::MetricsRegistry* registry = nullptr);
+
+  std::future<svc::LinkReply> send(
+      std::vector<std::uint8_t> request) override;
+
+  const FaultCounters& counters() const { return counters_; }
+  std::size_t send_index() const { return send_index_; }
+
+ private:
+  std::unique_ptr<svc::Link> inner_;
+  const FaultPlan* plan_;
+  std::uint64_t stream_;
+  std::size_t send_index_{0};
+  /// Reply bytes of the last completed exchange (reorder's stale slot).
+  std::vector<std::uint8_t> prev_reply_;
+  bool have_prev_{false};
+  FaultCounters counters_;
+
+  obs::Counter* m_drop_{nullptr};
+  obs::Counter* m_duplicate_{nullptr};
+  obs::Counter* m_reorder_{nullptr};
+  obs::Counter* m_corrupt_{nullptr};
+  obs::Counter* m_down_{nullptr};
+  obs::Counter* m_delay_us_{nullptr};
+};
+
+}  // namespace uniloc::fault

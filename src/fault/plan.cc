@@ -1,0 +1,93 @@
+#include "fault/plan.h"
+
+#include "stats/rng.h"
+
+namespace uniloc::fault {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kReorder:
+      return "reorder";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kDown:
+      return "down";
+  }
+  return "?";
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed, FaultRates rates)
+    : seed_(seed), rates_(rates) {}
+
+void FaultPlan::script(std::uint64_t stream, std::size_t send_index,
+                       FaultDecision decision) {
+  scripted_[{stream, send_index}] = decision;
+}
+
+void FaultPlan::script_all_streams(std::size_t send_index,
+                                   FaultDecision decision) {
+  scripted_all_[send_index] = decision;
+}
+
+void FaultPlan::add_blackout(std::size_t from_send_index,
+                             std::size_t to_send_index) {
+  blackouts_.emplace_back(from_send_index, to_send_index);
+}
+
+FaultDecision FaultPlan::decide(std::uint64_t stream,
+                                std::size_t send_index) const {
+  const auto per_stream = scripted_.find({stream, send_index});
+  if (per_stream != scripted_.end()) return per_stream->second;
+  const auto all = scripted_all_.find(send_index);
+  if (all != scripted_all_.end()) return all->second;
+  for (const auto& [from, to] : blackouts_) {
+    if (send_index >= from && send_index < to) {
+      return {FaultKind::kDown, 0};
+    }
+  }
+  return random_decision(stream, send_index);
+}
+
+FaultDecision FaultPlan::random_decision(std::uint64_t stream,
+                                         std::size_t send_index) const {
+  // One throwaway RNG per (stream, send) pair: the decision for any send
+  // never depends on how many draws other sends consumed.
+  stats::Rng rng(stats::hash_combine(stats::hash_combine(seed_, stream),
+                                     static_cast<std::uint64_t>(send_index)));
+  FaultDecision d;
+  d.delay_us = rates_.base_delay_us;
+  if (rates_.jitter_delay_us > 0) {
+    d.delay_us += static_cast<std::uint64_t>(
+        rng.uniform(0.0, static_cast<double>(rates_.jitter_delay_us)));
+  }
+  const double u = rng.uniform();
+  double acc = rates_.drop;
+  if (u < acc) {
+    d.kind = FaultKind::kDrop;
+    return d;
+  }
+  acc += rates_.duplicate;
+  if (u < acc) {
+    d.kind = FaultKind::kDuplicate;
+    return d;
+  }
+  acc += rates_.reorder;
+  if (u < acc) {
+    d.kind = FaultKind::kReorder;
+    return d;
+  }
+  acc += rates_.corrupt;
+  if (u < acc) {
+    d.kind = FaultKind::kCorrupt;
+    return d;
+  }
+  return d;
+}
+
+}  // namespace uniloc::fault

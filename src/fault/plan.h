@@ -1,0 +1,94 @@
+// FaultPlan: a deterministic schedule of wire faults.
+//
+// Chaos testing is only useful when a failure reproduces: a fault plan is
+// therefore a *pure function* decide(stream, send_index) -> FaultDecision.
+// Nothing is drawn from a shared generator -- every decision hashes
+// (seed, stream, send_index) into its own RNG -- so the schedule a phone
+// experiences does not depend on how many other phones exist, how the
+// server's worker threads interleave, or how many times decide() is
+// called. Same (seed, schedule) in, same fault sequence out, bit for bit.
+//
+// Three layers, first match wins:
+//   1. scripted per-stream faults   (exact tests: "drop sends 5..7")
+//   2. scripted all-stream faults + blackout windows (outage drills)
+//   3. random faults from FaultRates (background chaos for benches)
+//
+// `stream` is the fault-isolation key -- svc uses the session id -- and
+// `send_index` counts that stream's link transmissions from 0 (retries
+// consume indices too, which is what lets a retry succeed where the
+// original send was dropped).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace uniloc::fault {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kDrop,       ///< Request lost before the server; the client times out.
+  kDuplicate,  ///< Server receives (and processes) the frame twice.
+  kReorder,    ///< Delivery slips one slot: the previous exchange's reply
+               ///< arrives instead of this one's (stop-and-wait reorder).
+  kCorrupt,    ///< A wire byte is flipped; the server rejects the frame.
+  kDown,       ///< Server unreachable (blackout); fails fast.
+};
+
+const char* fault_kind_name(FaultKind k);
+
+struct FaultDecision {
+  FaultKind kind{FaultKind::kNone};
+  /// Simulated link latency added to the reply (metadata, never slept).
+  std::uint64_t delay_us{0};
+};
+
+/// Background fault probabilities for the random layer. Probabilities are
+/// per send and mutually exclusive (evaluated in the field order below).
+struct FaultRates {
+  double drop{0.0};
+  double duplicate{0.0};
+  double reorder{0.0};
+  double corrupt{0.0};
+  std::uint64_t base_delay_us{0};
+  /// Uniform extra latency in [0, jitter_delay_us) on top of the base.
+  std::uint64_t jitter_delay_us{0};
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed, FaultRates rates = {});
+
+  /// Script an exact fault for one stream's n-th send. Overrides
+  /// everything else.
+  void script(std::uint64_t stream, std::size_t send_index,
+              FaultDecision decision);
+
+  /// Script a fault for every stream's n-th send.
+  void script_all_streams(std::size_t send_index, FaultDecision decision);
+
+  /// Server blackout over send indices [from, to) of every stream: each
+  /// send in the window fails fast with kDown.
+  void add_blackout(std::size_t from_send_index, std::size_t to_send_index);
+
+  /// The fault (if any) injected into `stream`'s `send_index`-th link
+  /// transmission. Pure: depends only on (seed, schedule, arguments).
+  FaultDecision decide(std::uint64_t stream, std::size_t send_index) const;
+
+  const FaultRates& rates() const { return rates_; }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  FaultDecision random_decision(std::uint64_t stream,
+                                std::size_t send_index) const;
+
+  std::uint64_t seed_;
+  FaultRates rates_;
+  std::map<std::pair<std::uint64_t, std::size_t>, FaultDecision> scripted_;
+  std::map<std::size_t, FaultDecision> scripted_all_;
+  std::vector<std::pair<std::size_t, std::size_t>> blackouts_;
+};
+
+}  // namespace uniloc::fault

@@ -22,9 +22,15 @@ class MetricsRegistry;
 namespace uniloc::offload {
 
 struct TrafficStats {
+  /// Every byte that crossed the uplink, retransmissions included --
+  /// this is what the radio (and the energy model) pays for.
   std::size_t uplink_bytes{0};
   std::size_t downlink_bytes{0};
   std::size_t epochs{0};
+  /// Subset of uplink_bytes that was a resend of an already-transmitted
+  /// frame (client retries after a timeout or a rejected request).
+  std::size_t retransmitted_bytes{0};
+  std::size_t retransmits{0};  ///< Resent frames.
 
   double uplink_bytes_per_epoch() const {
     return epochs > 0 ? static_cast<double>(uplink_bytes) /

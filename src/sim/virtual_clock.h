@@ -1,0 +1,39 @@
+// VirtualClock: deterministic simulated time.
+//
+// Fault schedules, client timeouts, and server TTLs are all expressed in
+// microseconds, but none of them may ever *sleep*: a chaos run must be a
+// pure function of (seed, schedule), identical on a loaded CI box and a
+// laptop. Components therefore read time through an injected
+// now_us() and the harness advances this counter explicitly -- a 30 s
+// server blackout costs zero wall time. Plugs straight into
+// svc::ServerConfig::now_us via now_fn().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace uniloc::sim {
+
+class VirtualClock {
+ public:
+  explicit VirtualClock(std::uint64_t start_us = 0) : now_us_(start_us) {}
+
+  std::uint64_t now_us() const { return now_us_; }
+  double now_s() const { return static_cast<double>(now_us_) / 1e6; }
+
+  void advance_us(std::uint64_t us) { now_us_ += us; }
+  void advance_s(double s) {
+    if (s > 0.0) now_us_ += static_cast<std::uint64_t>(s * 1e6);
+  }
+
+  /// Adapter for injectable-clock hooks (e.g. svc::ServerConfig::now_us).
+  /// The returned callable references this clock; keep the clock alive.
+  std::function<std::uint64_t()> now_fn() {
+    return [this] { return now_us_; };
+  }
+
+ private:
+  std::uint64_t now_us_;
+};
+
+}  // namespace uniloc::sim

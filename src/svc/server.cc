@@ -235,6 +235,8 @@ void LocalizationServer::run_epoch(Session& session,
   reply.payload = encode_epoch_reply(epoch_reply);
   promise->set_value(encode_frame(reply));
 
+  if (cfg_.on_epoch) cfg_.on_epoch(session_id, decision);
+
   std::lock_guard<std::mutex> lock(ins_.mu);
   if (ins_.parse_us != nullptr) ins_.parse_us->observe(parse_us);
   if (ins_.locate_us != nullptr) ins_.locate_us->observe(locate_us);

@@ -73,8 +73,16 @@ struct ServerConfig {
   /// 0 (the default) disables the wait for unit tests and replays.
   std::chrono::microseconds simulated_network{0};
   /// Injectable clock (microseconds, monotonic) for deterministic TTL
-  /// tests; defaults to steady_clock.
+  /// tests; defaults to steady_clock. sim::VirtualClock::now_fn() plugs
+  /// in here.
   std::function<std::uint64_t()> now_us;
+  /// Observation hook: called with every successfully served epoch's full
+  /// decision, after the reply is sent. With workers > 0 it runs on the
+  /// worker threads and must be thread-safe; intended for invariant
+  /// checks and tracing in the deterministic workers == 0 mode.
+  std::function<void(std::uint64_t session_id,
+                     const core::EpochDecision& decision)>
+      on_epoch;
 };
 
 class LocalizationServer {

@@ -16,6 +16,7 @@
 #include "core/runner.h"
 #include "core/trainer.h"
 #include "obs/metrics.h"
+#include "sim/virtual_clock.h"
 #include "svc/epoch_codec.h"
 #include "svc/loadgen.h"
 #include "svc/server.h"
@@ -482,18 +483,18 @@ TEST(Server, InboxFullAnswersBackpressure) {
 TEST(Server, IdleSessionsAreEvicted) {
   ServerFixture fx;
   obs::MetricsRegistry reg;
-  std::uint64_t fake_now = 0;
+  sim::VirtualClock clock;  // TTLs advance explicitly, never by wall time
   ServerConfig cfg;
   cfg.idle_ttl_s = 1.0;
-  cfg.now_us = [&fake_now] { return fake_now; };
+  cfg.now_us = clock.now_fn();
   LocalizationServer server(cfg, fx.factory(), &reg);
 
   get_reply(server, hello_frame(1, {0, 0}, 0.0));
-  fake_now = 500'000;
+  clock.advance_us(500'000);
   get_reply(server, hello_frame(2, {0, 0}, 0.0));
   EXPECT_EQ(server.live_sessions(), 2u);
 
-  fake_now = 1'200'000;  // session 1 idle 1.2 s, session 2 idle 0.7 s
+  clock.advance_us(700'000);  // session 1 idle 1.2 s, session 2 idle 0.7 s
   EXPECT_EQ(server.evict_idle(), 1u);
   EXPECT_EQ(server.live_sessions(), 1u);
   EXPECT_EQ(reg.counter("svc.evicted").value(), 1u);
