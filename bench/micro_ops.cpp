@@ -7,6 +7,7 @@
 
 #include "core/confidence.h"
 #include "core/deployment.h"
+#include "core/epoch_scratch.h"
 #include "core/map_matching.h"
 #include "core/posterior_fusion.h"
 #include "core/runner.h"
@@ -75,6 +76,23 @@ void BM_FingerprintMatch(benchmark::State& state) {
                           static_cast<std::int64_t>(db.size()));
 }
 BENCHMARK(BM_FingerprintMatch);
+
+void BM_FingerprintMatchCached(benchmark::State& state) {
+  // Same query through the precomputed likelihood cache + reused scratch
+  // (the fast path's matcher). Bit-identical to BM_FingerprintMatch's
+  // results; the delta is the caching.
+  const auto scan = sample_scan();
+  const schemes::FingerprintDatabase& db = *office().wifi_db;
+  schemes::ScanScratch scratch;
+  std::vector<schemes::Match> out;
+  for (auto _ : state) {
+    db.k_nearest_into(scan, 3, scratch, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(db.size()));
+}
+BENCHMARK(BM_FingerprintMatchCached);
 
 void BM_ParticleFilterStep(benchmark::State& state) {
   filter::ParticleFilter pf(300, stats::Rng(3));
@@ -228,6 +246,77 @@ void BM_UnilocUpdateRegistry(benchmark::State& state) {
   run_uniloc_update(state, Instr::kRegistry);
 }
 BENCHMARK(BM_UnilocUpdateRegistry)->Unit(benchmark::kMicrosecond);
+
+void run_uniloc_replay(benchmark::State& state, const core::Deployment& d,
+                       const ReplayFixture& fx, bool fast) {
+  core::Uniloc uniloc = core::make_uniloc(d, models());
+  core::EpochScratch scratch;
+  uniloc.reset({fx.start_pos, fx.start_heading});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (fast) {
+      benchmark::DoNotOptimize(&uniloc.update_fast(fx.frames[i], scratch));
+    } else {
+      benchmark::DoNotOptimize(uniloc.update(fx.frames[i]));
+    }
+    if (++i == fx.frames.size()) {
+      i = 0;
+      state.PauseTiming();
+      uniloc.reset({fx.start_pos, fx.start_heading});
+      state.ResumeTiming();
+    }
+  }
+}
+
+void BM_UnilocUpdateFast(benchmark::State& state) {
+  // The zero-allocation pipeline on the same recorded frames as
+  // BM_UnilocUpdate. The office epoch is dominated by the two particle
+  // filters, which both pipelines share, so the gap is modest here; the
+  // campus pair below is the headline fast-vs-reference comparison
+  // (bench/epoch_pipeline.cpp has the full report).
+  run_uniloc_replay(state, office(), replay_frames(), /*fast=*/true);
+}
+BENCHMARK(BM_UnilocUpdateFast)->Unit(benchmark::kMicrosecond);
+
+// --- the campus: the paper's primary venue and the fast path's regime ---
+//
+// Hundreds of fingerprints and eight long walkways make RSSI matching and
+// the per-particle environment lookups the dominant epoch costs -- exactly
+// what the likelihood cache, the shared epoch memo and the walkway-
+// candidate index remove.
+
+const core::Deployment& campus_deployment() {
+  static core::Deployment d = core::make_deployment(
+      sim::campus(42), core::DeploymentOptions{.seed = 42});
+  return d;
+}
+
+const ReplayFixture& campus_frames() {
+  static const ReplayFixture fx = [] {
+    ReplayFixture r;
+    sim::WalkConfig wc;
+    wc.seed = 99;
+    sim::Walker walker(campus_deployment().place.get(),
+                       campus_deployment().radio.get(), 0, wc);
+    r.start_pos = walker.start_position();
+    r.start_heading = walker.start_heading();
+    while (!walker.done()) r.frames.push_back(walker.step(true));
+    return r;
+  }();
+  return fx;
+}
+
+void BM_UnilocUpdateCampus(benchmark::State& state) {
+  run_uniloc_replay(state, campus_deployment(), campus_frames(),
+                    /*fast=*/false);
+}
+BENCHMARK(BM_UnilocUpdateCampus)->Unit(benchmark::kMicrosecond);
+
+void BM_UnilocUpdateFastCampus(benchmark::State& state) {
+  run_uniloc_replay(state, campus_deployment(), campus_frames(),
+                    /*fast=*/true);
+}
+BENCHMARK(BM_UnilocUpdateFastCampus)->Unit(benchmark::kMicrosecond);
 
 void BM_WallCrossingQuery(benchmark::State& state) {
   static sim::Place campus = [] {

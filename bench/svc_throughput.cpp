@@ -18,6 +18,7 @@
 //          and a same-seed rerun is byte-identical per session.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.h"
 #include "fault/link.h"
@@ -39,6 +40,13 @@ svc::LoadReport run_config(const core::Deployment& campus, int workers,
   svc::ServerConfig cfg;
   cfg.workers = workers;
   cfg.simulated_network = kSimulatedNetwork;
+  // UNILOC_SVC_REFERENCE=1 serves every epoch through the reference
+  // Uniloc::update() instead of the zero-allocation fast path -- the A/B
+  // behind the fast pipeline's goodput claim (EXPERIMENTS.md). Traces are
+  // bit-identical either way (tests/test_differential.cc).
+  if (std::getenv("UNILOC_SVC_REFERENCE") != nullptr) {
+    cfg.use_fast_path = false;
+  }
   svc::LocalizationServer server(
       cfg,
       [&campus](std::uint64_t sid) {

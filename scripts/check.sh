@@ -21,8 +21,12 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 if [[ "${TSAN:-1}" != "0" ]]; then
   TSAN_DIR="${TSAN_DIR:-build-tsan}"
   cmake -B "$TSAN_DIR" -S . -DUNILOC_SANITIZE=thread
-  cmake --build "$TSAN_DIR" -j "$JOBS" --target test_svc
+  cmake --build "$TSAN_DIR" -j "$JOBS" --target test_svc test_differential
   ctest --test-dir "$TSAN_DIR" -L '^svc$' --output-on-failure -j "$JOBS"
+  # Fast-path gate: the differential seed sweeps drive the service at
+  # workers=4, so TSan checks that per-session epoch scratch (including
+  # the shared scan memos) really is confined to its session strand.
+  ctest --test-dir "$TSAN_DIR" -R '^diff\.' --output-on-failure -j "$JOBS"
 fi
 
 # Tier-2 gate B: the fault-injection path (svc + chaos labels: the
@@ -35,6 +39,10 @@ if [[ "${ASAN:-1}" != "0" ]]; then
   ASAN_DIR="${ASAN_DIR:-build-asan}"
   cmake -B "$ASAN_DIR" -S . "-DUNILOC_SANITIZE=address;undefined"
   cmake --build "$ASAN_DIR" -j "$JOBS" \
-    --target test_svc test_fault test_golden
+    --target test_svc test_fault test_golden test_differential
   ctest --test-dir "$ASAN_DIR" -L 'svc|chaos' --output-on-failure -j "$JOBS"
+  # Fast-path gate: the reference-vs-fast differential must stay clean
+  # under ASan/UBSan -- the zero-allocation arena reuses buffers across
+  # epochs and sessions, exactly where stale-pointer bugs would hide.
+  ctest --test-dir "$ASAN_DIR" -R '^diff\.' --output-on-failure -j "$JOBS"
 fi

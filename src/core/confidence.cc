@@ -14,14 +14,20 @@ double adaptive_tau(const std::vector<stats::Gaussian>& predictions) {
 }
 
 std::vector<double> bma_weights(const std::vector<double>& confidences) {
-  std::vector<double> w(confidences.size(), 0.0);
+  std::vector<double> w;
+  bma_weights_into(confidences, w);
+  return w;
+}
+
+void bma_weights_into(const std::vector<double>& confidences,
+                      std::vector<double>& w) {
+  w.assign(confidences.size(), 0.0);
   double total = 0.0;
   for (double c : confidences) total += c;
-  if (total <= 0.0) return w;
+  if (total <= 0.0) return;
   for (std::size_t i = 0; i < confidences.size(); ++i) {
     w[i] = confidences[i] / total;
   }
-  return w;
 }
 
 }  // namespace uniloc::core

@@ -21,4 +21,8 @@ double adaptive_tau(const std::vector<stats::Gaussian>& predictions);
 /// result is all-zero.
 std::vector<double> bma_weights(const std::vector<double>& confidences);
 
+/// bma_weights into a caller-owned vector (capacity reuse; same values).
+void bma_weights_into(const std::vector<double>& confidences,
+                      std::vector<double>& w);
+
 }  // namespace uniloc::core

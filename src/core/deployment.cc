@@ -22,6 +22,14 @@ Deployment make_deployment(sim::Place place, DeploymentOptions opts) {
           *d.place, *d.radio, schemes::FingerprintDatabase::Source::kCellular,
           opts.cell_indoor_fp_spacing_m, opts.cell_outdoor_fp_spacing_m,
           opts.seed + 1));
+  // Deployment-time warmup (like Place::prebuild_wall_index): the cached
+  // matching fast path is table lookups from the first epoch on, and the
+  // shared databases stay read-only once sessions start querying them.
+  // Same story for the walkway-candidate index behind the fast pipeline's
+  // per-particle environment lookups: built here, immutable afterwards.
+  d.wifi_db->prebuild_likelihood_cache();
+  d.cell_db->prebuild_likelihood_cache();
+  d.place->prebuild_env_index();
   return d;
 }
 

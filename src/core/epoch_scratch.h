@@ -1,0 +1,88 @@
+// Per-session scratch arena for the zero-allocation epoch fast path.
+//
+// Uniloc::update_fast threads one EpochScratch through every stage of the
+// epoch pipeline (scheme outputs, error-model features, BMA weights) so
+// that, after a warmup epoch has grown every buffer to its steady
+// capacity, an epoch performs no heap allocation at all
+// (tests/test_perf_contracts.cc). Lifetime rules are documented in
+// DESIGN.md section 11; the short version:
+//
+//   * One EpochScratch per session / walk. It must outlive every
+//     EpochDecision reference returned by update_fast (the decision is
+//     stored inside the scratch and overwritten by the next epoch).
+//   * Never share one scratch between concurrently-updating Uniloc
+//     instances: the ScanScratch members inside feature_scratch carry
+//     mutable per-query state (and the cache hit/miss counters are plain
+//     integers, not atomics). In src/svc each Session owns its scratch
+//     and the session strand serializes access.
+//   * Reuse across walks is fine (and is what the service does); reset()
+//     is not required -- every field is (re)written each epoch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/features.h"
+#include "core/uniloc.h"
+#include "schemes/epoch_context.h"
+
+namespace uniloc::core {
+
+struct EpochScratch {
+  /// The decision under construction; update_fast returns a reference to
+  /// this field. Valid until the next update_fast call on this scratch.
+  EpochDecision decision;
+
+  // Stage buffers (capacities persist across epochs).
+  std::vector<stats::Gaussian> available_predictions;
+  std::vector<double> sharpened;
+  std::vector<double> features;
+  FeatureScratch feature_scratch;
+
+  /// Shared per-epoch state: one candidate evaluation per (epoch,
+  /// database), served to every scheme and feature that queries the same
+  /// scan (schemes/epoch_context.h). update_fast installs it into the
+  /// schemes each epoch, so the same no-sharing rule as the rest of the
+  /// scratch applies.
+  schemes::EpochContext scheme_ctx;
+
+  /// Likelihood-cache outcomes of the queries this scratch carried: the
+  /// feature stage's private scratches plus the shared epoch memos (the
+  /// schemes' unmemoized queries are counted in the schemes; see
+  /// LocalizationScheme::cache_hits).
+  std::uint64_t cache_hits() const {
+    return feature_scratch.wifi.cache_hits + feature_scratch.cell.cache_hits +
+           scheme_ctx.cache_hits();
+  }
+  std::uint64_t cache_misses() const {
+    return feature_scratch.wifi.cache_misses +
+           feature_scratch.cell.cache_misses + scheme_ctx.cache_misses();
+  }
+
+  /// Approximate bytes of heap capacity held (and therefore reused) by
+  /// the arena -- exported as the perf.scratch_bytes gauge.
+  std::size_t bytes() const {
+    std::size_t b = 0;
+    b += decision.outputs.capacity() * sizeof(schemes::SchemeOutput);
+    for (const schemes::SchemeOutput& o : decision.outputs) {
+      b += o.posterior.support.capacity() * sizeof(schemes::WeightedPoint);
+    }
+    b += decision.predicted_error.capacity() * sizeof(stats::Gaussian);
+    b += decision.confidence.capacity() * sizeof(double);
+    b += decision.weight.capacity() * sizeof(double);
+    b += available_predictions.capacity() * sizeof(stats::Gaussian);
+    b += sharpened.capacity() * sizeof(double);
+    b += features.capacity() * sizeof(double);
+    b += feature_scratch.matches.capacity() * sizeof(schemes::Match);
+    b += feature_scratch.top3.capacity() * sizeof(double);
+    b += feature_scratch.knn.capacity() * sizeof(std::size_t);
+    b += feature_scratch.wifi.col.capacity() * sizeof(int);
+    b += feature_scratch.wifi.stamp.capacity() * sizeof(std::uint32_t);
+    b += feature_scratch.cell.col.capacity() * sizeof(int);
+    b += feature_scratch.cell.stamp.capacity() * sizeof(std::uint32_t);
+    b += scheme_ctx.bytes();
+    return b;
+  }
+};
+
+}  // namespace uniloc::core

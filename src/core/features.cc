@@ -37,6 +37,36 @@ double density_or_large(const schemes::FingerprintDatabase* db,
   return std::min(50.0, db->local_density(pos));
 }
 
+// Buffer-reusing twins of the two allocating helpers above; same values.
+double top3_distance_sd_into(const schemes::FingerprintDatabase* db,
+                             const std::vector<sim::ApReading>& scan,
+                             schemes::ScanScratch& scan_scratch,
+                             FeatureScratch& scratch) {
+  if (db == nullptr || db->empty() || scan.empty()) return 0.0;
+  // The schemes already evaluated this scan against this database earlier
+  // in the epoch; serve the top 3 from the shared memo when one is around.
+  schemes::ScanMemo* memo =
+      scratch.epoch_ctx != nullptr ? scratch.epoch_ctx->memo_for(db) : nullptr;
+  if (memo != nullptr) {
+    db->k_nearest_memo(scan, 3, scratch.epoch_ctx->tag, *memo,
+                       scratch.matches);
+  } else {
+    db->k_nearest_into(scan, 3, scan_scratch, scratch.matches);
+  }
+  if (scratch.matches.size() < 2) return 0.0;
+  scratch.top3.clear();
+  for (const schemes::Match& m : scratch.matches) {
+    scratch.top3.push_back(m.distance);
+  }
+  return stats::stddev(scratch.top3);
+}
+
+double density_or_large_into(const schemes::FingerprintDatabase* db,
+                             geo::Vec2 pos, FeatureScratch& scratch) {
+  if (db == nullptr || db->empty()) return 50.0;
+  return std::min(50.0, db->local_density(pos, 4, scratch.knn));
+}
+
 double corridor_width(const FeatureContext& ctx) {
   if (ctx.place == nullptr) return 10.0;
   return ctx.place->environment_at(ctx.predicted_location).corridor_width_m;
@@ -88,6 +118,44 @@ std::vector<double> extract_features(SchemeFamily family,
       return {output.posterior.spread()};
   }
   return {};
+}
+
+void extract_features_into(SchemeFamily family, const sim::SensorFrame& frame,
+                           const schemes::SchemeOutput& output,
+                           const FeatureContext& ctx, FeatureScratch& scratch,
+                           std::vector<double>& x) {
+  // 19 chars > libstdc++ SSO; avoid a per-epoch heap temporary.
+  static const std::string kDistSinceLandmark = "dist_since_landmark";
+  x.clear();
+  switch (family) {
+    case SchemeFamily::kWifiFingerprint:
+      x.push_back(density_or_large_into(ctx.wifi_db, ctx.predicted_location,
+                                        scratch));
+      x.push_back(top3_distance_sd_into(ctx.wifi_db, frame.wifi, scratch.wifi,
+                                        scratch));
+      return;
+    case SchemeFamily::kCellFingerprint:
+      x.push_back(density_or_large_into(ctx.cell_db, ctx.predicted_location,
+                                        scratch));
+      x.push_back(top3_distance_sd_into(ctx.cell_db, frame.cell, scratch.cell,
+                                        scratch));
+      return;
+    case SchemeFamily::kMotionPdr:
+      x.push_back(observable_or(output, kDistSinceLandmark, 0.0));
+      x.push_back(corridor_width(ctx));
+      return;
+    case SchemeFamily::kFusion:
+      x.push_back(observable_or(output, kDistSinceLandmark, 0.0));
+      x.push_back(corridor_width(ctx));
+      x.push_back(density_or_large_into(ctx.wifi_db, ctx.predicted_location,
+                                        scratch));
+      return;
+    case SchemeFamily::kGps:
+      return;
+    case SchemeFamily::kOther:
+      x.push_back(output.posterior.spread());
+      return;
+  }
 }
 
 std::vector<std::string> candidate_feature_names(SchemeFamily family) {

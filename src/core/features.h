@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "geo/vec2.h"
+#include "schemes/epoch_context.h"
 #include "schemes/fingerprint_db.h"
 #include "schemes/scheme.h"
 #include "sim/place.h"
@@ -52,6 +53,29 @@ std::vector<double> extract_features(schemes::SchemeFamily family,
                                      const sim::SensorFrame& frame,
                                      const schemes::SchemeOutput& output,
                                      const FeatureContext& ctx);
+
+/// Reusable buffers for extract_features_into. One per session: the
+/// ScanScratch members hold the likelihood-cache working state for the
+/// WiFi and cellular databases respectively (DESIGN.md section 11).
+struct FeatureScratch {
+  schemes::ScanScratch wifi;
+  schemes::ScanScratch cell;
+  std::vector<schemes::Match> matches;
+  std::vector<double> top3;
+  std::vector<std::size_t> knn;
+  /// Fast-path shared epoch state (schemes/epoch_context.h), set by
+  /// Uniloc::update_fast each epoch; null (the default, and always null
+  /// during offline training) recomputes every RSSI match from scratch.
+  schemes::EpochContext* epoch_ctx{nullptr};
+};
+
+/// extract_features into a caller-owned vector: bit-identical values,
+/// allocation-free once `scratch`/`x` reach steady capacity.
+void extract_features_into(schemes::SchemeFamily family,
+                           const sim::SensorFrame& frame,
+                           const schemes::SchemeOutput& output,
+                           const FeatureContext& ctx, FeatureScratch& scratch,
+                           std::vector<double>& x);
 
 /// Candidate features the paper examined but found insignificant
 /// (Sec. III-B): used by the Table II appropriateness analysis.

@@ -41,28 +41,35 @@ FusedPosterior fuse_posteriors(
     const std::vector<schemes::SchemeOutput>& outputs,
     const std::vector<double>& weights) {
   FusedPosterior fused;
-  fused.grid = grid;
-  fused.mass.assign(grid.num_cells(), 0.0);
+  fuse_posteriors_into(grid, outputs, weights, fused);
+  return fused;
+}
+
+void fuse_posteriors_into(const geo::Grid& grid,
+                          const std::vector<schemes::SchemeOutput>& outputs,
+                          const std::vector<double>& weights,
+                          FusedPosterior& out) {
+  out.grid = grid;
+  out.mass.assign(grid.num_cells(), 0.0);
   double total = 0.0;
   for (std::size_t n = 0; n < outputs.size() && n < weights.size(); ++n) {
     if (weights[n] <= 0.0 || !outputs[n].available) continue;
     if (outputs[n].posterior.empty()) {
-      fused.mass[grid.flat_of(outputs[n].estimate)] += weights[n];
+      out.mass[grid.flat_of(outputs[n].estimate)] += weights[n];
       total += weights[n];
       continue;
     }
     for (const schemes::WeightedPoint& wp : outputs[n].posterior.support) {
-      fused.mass[grid.flat_of(wp.pos)] += weights[n] * wp.weight;
+      out.mass[grid.flat_of(wp.pos)] += weights[n] * wp.weight;
     }
     total += weights[n];
   }
   if (total <= 0.0) {
-    const double u = 1.0 / static_cast<double>(fused.mass.size());
-    std::fill(fused.mass.begin(), fused.mass.end(), u);
-    return fused;
+    const double u = 1.0 / static_cast<double>(out.mass.size());
+    std::fill(out.mass.begin(), out.mass.end(), u);
+    return;
   }
-  for (double& m : fused.mass) m /= total;
-  return fused;
+  for (double& m : out.mass) m /= total;
 }
 
 }  // namespace uniloc::core

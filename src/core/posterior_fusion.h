@@ -40,4 +40,12 @@ FusedPosterior fuse_posteriors(
     const std::vector<schemes::SchemeOutput>& outputs,
     const std::vector<double>& weights);
 
+/// fuse_posteriors into a caller-owned result: identical mass vector, but
+/// `out.mass` keeps its capacity across epochs (the grid is fixed per
+/// place, so after the first call this never allocates).
+void fuse_posteriors_into(const geo::Grid& grid,
+                          const std::vector<schemes::SchemeOutput>& outputs,
+                          const std::vector<double>& weights,
+                          FusedPosterior& out);
+
 }  // namespace uniloc::core

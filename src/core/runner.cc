@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/epoch_scratch.h"
 #include "obs/trace.h"
 
 namespace uniloc::core {
@@ -153,11 +154,20 @@ RunResult run_walk(Uniloc& uniloc, const Deployment& d,
   sim::Walker walker(d.place.get(), d.radio.get(), walkway_index, opts.walk);
   uniloc.reset({walker.start_position(), walker.start_heading()});
 
+  EpochScratch scratch;
+  EpochDecision ref_dec;
   int step_idx = 0;
   while (!walker.done()) {
     const bool gps_on = opts.use_gps_duty_cycle ? uniloc.gps_enabled() : true;
     const sim::SensorFrame frame = walker.step(gps_on);
-    const EpochDecision dec = uniloc.update(frame);
+    const EpochDecision* dec_ptr;
+    if (opts.use_fast_path) {
+      dec_ptr = &uniloc.update_fast(frame, scratch);
+    } else {
+      ref_dec = uniloc.update(frame);
+      dec_ptr = &ref_dec;
+    }
+    const EpochDecision& dec = *dec_ptr;
     ++step_idx;
     if (step_idx % opts.record_every != 0) continue;
 

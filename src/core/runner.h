@@ -74,6 +74,11 @@ struct RunOptions {
   const GlobalWeightBma* global_bma = nullptr;
   /// Receives one structured event per recorded epoch (null: no tracing).
   obs::TraceSink* trace = nullptr;
+  /// Drive epochs through Uniloc::update_fast with a per-walk scratch
+  /// arena instead of the allocating reference update(). Same-seed traces
+  /// are bit-identical either way (tests/test_differential.cc); false is
+  /// the reference pipeline kept for differential testing and debugging.
+  bool use_fast_path = true;
 };
 
 /// Build a Uniloc over the deployment with the standard five schemes and

@@ -17,6 +17,7 @@
 // power at all.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,6 +35,8 @@ class MetricsRegistry;
 }  // namespace uniloc::obs
 
 namespace uniloc::core {
+
+struct EpochScratch;  // core/epoch_scratch.h
 
 struct UnilocConfig {
   /// 0 => adaptive tau (paper default); otherwise a fixed threshold in
@@ -91,6 +94,23 @@ class Uniloc {
 
   /// Run one epoch: localize with every scheme, predict errors, combine.
   EpochDecision update(const sim::SensorFrame& frame);
+
+  /// Fast-path epoch: same eight pipeline stages as update(), but every
+  /// intermediate lives in `scratch` and schemes localize through
+  /// update_into, so a steady-state epoch performs zero heap allocations
+  /// (tests/test_perf_contracts.cc). Every consumer-visible field of the
+  /// returned decision is bit-identical to update()'s on the same frame
+  /// sequence (tests/test_differential.cc); unavailable scheme outputs may
+  /// carry stale posterior/observable payloads, which consumers never read
+  /// (they gate on `available`; DESIGN.md section 11). The reference is
+  /// valid until the next update_fast call on the same scratch.
+  const EpochDecision& update_fast(const sim::SensorFrame& frame,
+                                   EpochScratch& scratch);
+
+  /// Sum of the registered schemes' likelihood-cache counters (the
+  /// feature-stage counters live in EpochScratch).
+  std::uint64_t scheme_cache_hits() const;
+  std::uint64_t scheme_cache_misses() const;
 
   /// The duty-cycling decision computed by the previous update() (true
   /// before the first epoch: the controller cannot rule GPS out yet).

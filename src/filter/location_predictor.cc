@@ -26,8 +26,13 @@ void LocationPredictor::observe(geo::Vec2 estimate) {
     center = state_.cur;
   }
 
+  // The window is rebuilt directly in the member buffers: observe() only
+  // reads state_ (never the previous window), so writing in place is
+  // numerically identical to rebuilding from scratch -- and after the
+  // first observation the fixed-size window never reallocates.
   const int h = cfg_.half_extent_cells;
-  std::vector<geo::Vec2> cells;
+  std::vector<geo::Vec2>& cells = cells_;
+  cells.clear();
   cells.reserve(static_cast<std::size_t>(2 * h + 1) *
                 static_cast<std::size_t>(2 * h + 1));
   for (int iy = -h; iy <= h; ++iy) {
@@ -37,7 +42,8 @@ void LocationPredictor::observe(geo::Vec2 estimate) {
     }
   }
 
-  std::vector<double> belief(cells.size(), 0.0);
+  std::vector<double>& belief = belief_;
+  belief.assign(cells.size(), 0.0);
   double total = 0.0;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     // Motion prior: a cell is likely if it continues the (prev -> cur)
@@ -59,8 +65,6 @@ void LocationPredictor::observe(geo::Vec2 estimate) {
     const double u = 1.0 / static_cast<double>(belief.size());
     for (double& b : belief) b = u;
   }
-  cells_ = std::move(cells);
-  belief_ = std::move(belief);
 
   // Advance the second-order state with the belief mean.
   geo::Vec2 mean{};

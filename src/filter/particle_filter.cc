@@ -8,18 +8,36 @@
 
 namespace uniloc::filter {
 
+ParticleFilter::ParticleFilter(std::size_t num_particles, std::uint64_t seed)
+    : ParticleFilter(num_particles, stats::Rng(seed)) {}
+
 ParticleFilter::ParticleFilter(std::size_t num_particles, stats::Rng rng)
-    : particles_(num_particles), rng_(rng) {
+    : px_(num_particles),
+      py_(num_particles),
+      heading_(num_particles),
+      scale_(num_particles, 1.0),
+      weight_(num_particles, 1.0),
+      rng_(rng) {
   assert(num_particles > 0);
+  pick_.reserve(num_particles);
+  gather_.reserve(num_particles);
 }
+
+void ParticleFilter::reseed(std::uint64_t seed) { rng_ = stats::Rng(seed); }
 
 void ParticleFilter::init(geo::Vec2 pos, double heading, double pos_sd,
                           double heading_sd, double scale_sd) {
-  for (Particle& p : particles_) {
-    p.pos = {pos.x + rng_.normal(0.0, pos_sd), pos.y + rng_.normal(0.0, pos_sd)};
-    p.heading = geo::wrap_angle(heading + rng_.normal(0.0, heading_sd));
-    p.step_scale = std::max(0.5, 1.0 + rng_.normal(0.0, scale_sd));
-    p.weight = 1.0 / static_cast<double>(particles_.size());
+  // One loop with interleaved draws: the (x, y, heading, scale) order per
+  // particle is the pinned RNG contract -- field-major loops would consume
+  // the stream in a different order and change every downstream trace.
+  const std::size_t n = px_.size();
+  const double w = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    px_[i] = pos.x + rng_.normal(0.0, pos_sd);
+    py_[i] = pos.y + rng_.normal(0.0, pos_sd);
+    heading_[i] = geo::wrap_angle(heading + rng_.normal(0.0, heading_sd));
+    scale_[i] = std::max(0.5, 1.0 + rng_.normal(0.0, scale_sd));
+    weight_[i] = w;
   }
 }
 
@@ -37,97 +55,92 @@ void ParticleFilter::attach_metrics(obs::MetricsRegistry* registry,
 void ParticleFilter::predict(double step_len, double dheading,
                              double step_len_sd, double heading_sd) {
   obs::ScopedTimer timer(predict_us_);
-  for (Particle& p : particles_) {
-    p.heading = geo::wrap_angle(p.heading + dheading +
-                                rng_.normal(0.0, heading_sd));
+  const std::size_t n = px_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    heading_[i] = geo::wrap_angle(heading_[i] + dheading +
+                                  rng_.normal(0.0, heading_sd));
     const double len =
-        std::max(0.0, step_len * p.step_scale + rng_.normal(0.0, step_len_sd));
-    p.pos += geo::Vec2{std::cos(p.heading), std::sin(p.heading)} * len;
+        std::max(0.0, step_len * scale_[i] + rng_.normal(0.0, step_len_sd));
+    px_[i] += std::cos(heading_[i]) * len;
+    py_[i] += std::sin(heading_[i]) * len;
   }
-}
-
-void ParticleFilter::reweight(
-    const std::function<double(const Particle&)>& likelihood) {
-  reweight_indexed(
-      [&likelihood](std::size_t, const Particle& p) { return likelihood(p); });
-}
-
-void ParticleFilter::reweight_indexed(
-    const std::function<double(std::size_t, const Particle&)>& likelihood) {
-  double total = 0.0;
-  for (std::size_t i = 0; i < particles_.size(); ++i) {
-    Particle& p = particles_[i];
-    p.weight *= likelihood(i, p);
-    total += p.weight;
-  }
-  if (total <= 0.0) {
-    // Every particle was killed (e.g. all crossed a wall): reset to uniform
-    // rather than dividing by zero; the caller's map constraints will
-    // re-shape the cloud on subsequent updates.
-    const double w = 1.0 / static_cast<double>(particles_.size());
-    for (Particle& p : particles_) p.weight = w;
-    return;
-  }
-  for (Particle& p : particles_) p.weight /= total;
 }
 
 void ParticleFilter::normalize_weights() {
   double total = 0.0;
-  for (const Particle& p : particles_) total += p.weight;
+  for (const double w : weight_) total += w;
   if (total <= 0.0) {
-    const double w = 1.0 / static_cast<double>(particles_.size());
-    for (Particle& p : particles_) p.weight = w;
+    reset_uniform_weights();
     return;
   }
-  for (Particle& p : particles_) p.weight /= total;
+  for (double& w : weight_) w /= total;
+}
+
+void ParticleFilter::reset_uniform_weights() {
+  const double w = 1.0 / static_cast<double>(px_.size());
+  for (double& x : weight_) x = w;
 }
 
 double ParticleFilter::effective_sample_size() const {
   double sum2 = 0.0;
-  for (const Particle& p : particles_) sum2 += p.weight * p.weight;
+  for (const double w : weight_) sum2 += w * w;
   return sum2 > 0.0 ? 1.0 / sum2 : 0.0;
 }
 
 void ParticleFilter::resample(double ess_threshold_fraction) {
   obs::ScopedTimer timer(resample_us_);
   normalize_weights();
-  const double n = static_cast<double>(particles_.size());
+  const std::size_t count = px_.size();
+  const double n = static_cast<double>(count);
   if (effective_sample_size() >= ess_threshold_fraction * n) return;
 
-  std::vector<Particle> next;
-  next.reserve(particles_.size());
+  // Systematic resampling: one uniform draw, then N evenly spaced probes
+  // through the cumulative weights. Selection indices are computed first
+  // (pick_), then each SoA array is gathered through one reusable scratch
+  // buffer -- no per-resample vector<Particle> churn.
+  pick_.resize(count);
   const double step = 1.0 / n;
   double u = rng_.uniform(0.0, step);
-  double cum = particles_[0].weight;
+  double cum = weight_[0];
   std::size_t i = 0;
-  for (std::size_t k = 0; k < particles_.size(); ++k) {
-    while (u > cum && i + 1 < particles_.size()) {
+  for (std::size_t k = 0; k < count; ++k) {
+    while (u > cum && i + 1 < count) {
       ++i;
-      cum += particles_[i].weight;
+      cum += weight_[i];
     }
-    Particle p = particles_[i];
-    p.weight = step;
-    next.push_back(p);
+    pick_[k] = static_cast<std::uint32_t>(i);
     u += step;
   }
-  particles_ = std::move(next);
+
+  gather_.resize(count);
+  const auto gather = [this, count](std::vector<double>& arr) {
+    for (std::size_t k = 0; k < count; ++k) gather_[k] = arr[pick_[k]];
+    arr.swap(gather_);
+  };
+  gather(px_);
+  gather(py_);
+  gather(heading_);
+  gather(scale_);
+  for (double& w : weight_) w = step;
 }
 
 geo::Vec2 ParticleFilter::mean() const {
   geo::Vec2 m;
   double total = 0.0;
-  for (const Particle& p : particles_) {
-    m += p.pos * p.weight;
-    total += p.weight;
+  const std::size_t n = px_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    m += geo::Vec2{px_[i], py_[i]} * weight_[i];
+    total += weight_[i];
   }
   return total > 0.0 ? m / total : geo::Vec2{};
 }
 
 double ParticleFilter::mean_heading() const {
   double sx = 0.0, sy = 0.0;
-  for (const Particle& p : particles_) {
-    sx += std::cos(p.heading) * p.weight;
-    sy += std::sin(p.heading) * p.weight;
+  const std::size_t n = px_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += std::cos(heading_[i]) * weight_[i];
+    sy += std::sin(heading_[i]) * weight_[i];
   }
   return std::atan2(sy, sx);
 }
@@ -135,11 +148,19 @@ double ParticleFilter::mean_heading() const {
 double ParticleFilter::spread() const {
   const geo::Vec2 m = mean();
   double s = 0.0, total = 0.0;
-  for (const Particle& p : particles_) {
-    s += geo::distance2(p.pos, m) * p.weight;
-    total += p.weight;
+  const std::size_t n = px_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    s += geo::distance2(geo::Vec2{px_[i], py_[i]}, m) * weight_[i];
+    total += weight_[i];
   }
   return total > 0.0 ? std::sqrt(s / total) : 0.0;
+}
+
+std::size_t ParticleFilter::storage_bytes() const {
+  return (px_.capacity() + py_.capacity() + heading_.capacity() +
+          scale_.capacity() + weight_.capacity() + gather_.capacity()) *
+             sizeof(double) +
+         pick_.capacity() * sizeof(std::uint32_t);
 }
 
 }  // namespace uniloc::filter

@@ -1,12 +1,30 @@
-// Generic 2-D particle filter.
+// Generic 2-D particle filter, structure-of-arrays fast path.
 //
 // Both the motion-based PDR scheme [7] and the Travi-Navi-style fusion
 // scheme [11] maintain ~300 particles that are propagated by the step
 // model, weighted (by map constraints and/or RSSI likelihood) and
 // systematically resampled. The filter is generic over the motion and
 // weighting callbacks so the two schemes share one implementation.
+//
+// Storage is structure-of-arrays: positions, headings, step scales and
+// weights live in five contiguous double arrays, so the per-epoch sweeps
+// (predict, reweight, moments, resample) stream through cache lines
+// instead of striding over 40-byte Particle structs. Systematic
+// resampling is O(N) and gathers through a single reusable scratch
+// buffer -- the filter performs no steady-state allocations after
+// construction.
+//
+// The RNG engine is owned by the filter (seeded at construction or via
+// reseed()); call sites never construct their own engines, so the random
+// stream is a pure function of (seed, call sequence) and storage-layout
+// refactors cannot silently change it. The draw order is part of the
+// filter's contract: init() draws (x, y, heading, scale) per particle,
+// predict() draws (heading, step) per particle, resample() draws one
+// uniform -- in particle-index order. tests/test_differential.cc pins
+// this stream bit-for-bit.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -21,6 +39,8 @@ class MetricsRegistry;
 
 namespace uniloc::filter {
 
+/// Value view of one particle (assembled from the SoA arrays on access;
+/// the weighting callbacks receive it by reference to a stack temporary).
 struct Particle {
   geo::Vec2 pos;
   double heading{0.0};      ///< Per-particle heading (rad, CCW from +x).
@@ -31,7 +51,16 @@ struct Particle {
 
 class ParticleFilter {
  public:
+  /// Preferred: the filter owns its engine, seeded here.
+  ParticleFilter(std::size_t num_particles, std::uint64_t seed);
+  /// Transitional: adopt a caller-built engine (same stream as seeding
+  /// the filter with whatever seeded `rng`).
   ParticleFilter(std::size_t num_particles, stats::Rng rng);
+
+  /// Restart the random stream as if freshly constructed with `seed`.
+  /// Resetting a scheme reseeds instead of rebuilding the filter, so
+  /// scratch capacity and attached instruments survive the reset.
+  void reseed(std::uint64_t seed);
 
   /// Initialize all particles at `pos` with heading jitter `heading_sd`,
   /// position jitter `pos_sd` and step-scale jitter `scale_sd`.
@@ -46,13 +75,36 @@ class ParticleFilter {
   /// Multiply each particle's weight by `likelihood(particle)`.
   /// Weights are renormalized; if all likelihoods are zero the particle
   /// cloud is left unweighted (uniform) to avoid collapse.
-  void reweight(const std::function<double(const Particle&)>& likelihood);
+  /// Templated so call-site lambdas are inlined -- no std::function
+  /// wrapper, no heap capture on the hot path.
+  template <typename F>
+  void reweight(F&& likelihood) {
+    reweight_indexed([&likelihood](std::size_t, const Particle& p) {
+      return likelihood(p);
+    });
+  }
 
   /// Like reweight, but the callback also receives the particle's index
   /// (used to correlate with externally-kept per-particle state such as
   /// pre-step positions for wall-crossing tests).
-  void reweight_indexed(
-      const std::function<double(std::size_t, const Particle&)>& likelihood);
+  template <typename F>
+  void reweight_indexed(F&& likelihood) {
+    double total = 0.0;
+    const std::size_t n = px_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Particle p{{px_[i], py_[i]}, heading_[i], scale_[i], weight_[i]};
+      weight_[i] *= likelihood(i, p);
+      total += weight_[i];
+    }
+    if (total <= 0.0) {
+      // Every particle was killed (e.g. all crossed a wall): reset to
+      // uniform rather than dividing by zero; the caller's map
+      // constraints will re-shape the cloud on subsequent updates.
+      reset_uniform_weights();
+      return;
+    }
+    for (double& w : weight_) w /= total;
+  }
 
   /// Systematic resampling. Runs only when the effective sample size
   /// drops below `ess_threshold_fraction * N` (pass 1.0 to always resample).
@@ -70,9 +122,22 @@ class ParticleFilter {
   /// Effective sample size 1 / sum(w^2) for normalized weights.
   double effective_sample_size() const;
 
-  const std::vector<Particle>& particles() const { return particles_; }
-  std::vector<Particle>& mutable_particles() { return particles_; }
-  std::size_t size() const { return particles_.size(); }
+  std::size_t size() const { return px_.size(); }
+
+  // SoA accessors (hot path: no Particle assembly, no copies).
+  geo::Vec2 pos(std::size_t i) const { return {px_[i], py_[i]}; }
+  double heading(std::size_t i) const { return heading_[i]; }
+  double step_scale(std::size_t i) const { return scale_[i]; }
+  double weight(std::size_t i) const { return weight_[i]; }
+  void set_weight(std::size_t i, double w) { weight_[i] = w; }
+
+  /// Assembled value view of particle `i` (tests, diagnostics).
+  Particle particle(std::size_t i) const {
+    return {{px_[i], py_[i]}, heading_[i], scale_[i], weight_[i]};
+  }
+
+  /// Bytes of reusable SoA + scratch storage (perf.scratch accounting).
+  std::size_t storage_bytes() const;
 
   /// Route predict()/resample() latencies into `registry` histograms
   /// `<prefix>.predict_us` / `<prefix>.resample_us`. Null detaches (the
@@ -82,8 +147,12 @@ class ParticleFilter {
 
  private:
   void normalize_weights();
+  void reset_uniform_weights();
 
-  std::vector<Particle> particles_;
+  // Structure-of-arrays particle storage, index-aligned.
+  std::vector<double> px_, py_, heading_, scale_, weight_;
+  std::vector<std::uint32_t> pick_;    ///< Resampling ancestor indices.
+  std::vector<double> gather_;         ///< Resampling gather scratch.
   stats::Rng rng_;
   obs::Histogram* predict_us_{nullptr};
   obs::Histogram* resample_us_{nullptr};

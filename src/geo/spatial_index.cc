@@ -63,7 +63,18 @@ std::size_t PointIndex::nearest(Vec2 q) const {
 
 std::vector<std::size_t> PointIndex::within(Vec2 q, double radius) const {
   std::vector<std::size_t> out;
-  if (points_.empty()) return out;
+  within_into(q, radius, out);
+  return out;
+}
+
+void PointIndex::within_into(Vec2 q, double radius,
+                             std::vector<std::size_t>& out) const {
+  out.clear();
+  if (points_.empty()) return;
+  // A radius query can match every indexed point; reserving that bound
+  // once keeps callers that reuse `out` as scratch allocation-free in
+  // steady state (tests/test_perf_contracts.cc).
+  if (out.capacity() < points_.size()) out.reserve(points_.size());
   const CellIndex lo = grid_.cell_of({q.x - radius, q.y - radius});
   const CellIndex hi = grid_.cell_of({q.x + radius, q.y + radius});
   const double r2 = radius * radius;
@@ -74,33 +85,37 @@ std::vector<std::size_t> PointIndex::within(Vec2 q, double radius) const {
       }
     }
   }
-  return out;
 }
 
 std::vector<std::size_t> PointIndex::k_nearest(Vec2 q, std::size_t k) const {
-  if (points_.empty() || k == 0) return {};
+  std::vector<std::size_t> out;
+  k_nearest_into(q, k, out);
+  return out;
+}
+
+void PointIndex::k_nearest_into(Vec2 q, std::size_t k,
+                                std::vector<std::size_t>& out) const {
+  out.clear();
+  if (points_.empty() || k == 0) return;
   // Grow the search radius until at least k candidates are inside, then
   // sort by distance.
   double radius = grid_.cell_size();
-  std::vector<std::size_t> candidates;
   // A radius that provably covers every indexed point, even when the
   // query lies outside the grid bounds.
   const double cover = std::hypot(grid_.bounds().width(),
                                   grid_.bounds().height()) +
                        distance(q, grid_.bounds().center());
-  while (candidates.size() < std::min(k, points_.size()) && radius < cover) {
-    candidates = within(q, radius);
+  while (out.size() < std::min(k, points_.size()) && radius < cover) {
+    within_into(q, radius, out);
     radius *= 2.0;
   }
-  if (candidates.size() < std::min(k, points_.size())) {
-    candidates = within(q, cover);
+  if (out.size() < std::min(k, points_.size())) {
+    within_into(q, cover, out);
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [&](std::size_t a, std::size_t b) {
-              return distance2(points_[a], q) < distance2(points_[b], q);
-            });
-  if (candidates.size() > k) candidates.resize(k);
-  return candidates;
+  std::sort(out.begin(), out.end(), [&](std::size_t a, std::size_t b) {
+    return distance2(points_[a], q) < distance2(points_[b], q);
+  });
+  if (out.size() > k) out.resize(k);
 }
 
 SegmentIndex::SegmentIndex(std::vector<Segment> segments, double cell_size)

@@ -35,6 +35,15 @@ class PointIndex {
   /// Indices of the k nearest points, ascending by distance.
   std::vector<std::size_t> k_nearest(Vec2 q, std::size_t k) const;
 
+  /// within() into a caller-owned buffer (cleared first); identical
+  /// candidate order, no per-query allocation once `out` has capacity.
+  void within_into(Vec2 q, double radius, std::vector<std::size_t>& out) const;
+
+  /// k_nearest() into a caller-owned buffer: the same radius-doubling
+  /// search and sort, so the result sequence is identical to k_nearest().
+  void k_nearest_into(Vec2 q, std::size_t k,
+                      std::vector<std::size_t>& out) const;
+
  private:
   std::vector<Vec2> points_;
   Grid grid_;

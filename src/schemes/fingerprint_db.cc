@@ -77,9 +77,15 @@ void FingerprintDatabase::rebuild_spatial_index() {
 
 void FingerprintDatabase::attach_metrics(obs::MetricsRegistry* registry,
                                          const std::string& prefix) {
-  match_us_ =
-      registry != nullptr ? &registry->histogram(prefix + ".match_us")
-                          : nullptr;
+  if (registry == nullptr) {
+    match_us_ = nullptr;
+    cache_hits_ = nullptr;
+    cache_misses_ = nullptr;
+    return;
+  }
+  match_us_ = &registry->histogram(prefix + ".match_us");
+  cache_hits_ = &registry->counter(prefix + ".cache_hits");
+  cache_misses_ = &registry->counter(prefix + ".cache_misses");
 }
 
 std::vector<Match> FingerprintDatabase::k_nearest(
@@ -111,18 +117,236 @@ std::vector<double> FingerprintDatabase::all_distances(
   return out;
 }
 
+// --------------------------------------------------------------- fast path
+
+void FingerprintDatabase::prebuild_likelihood_cache() {
+  col_ids_.clear();
+  slice_begin_.clear();
+  entry_col_.clear();
+  entry_d2floor_.clear();
+  cell_value_.clear();
+  cell_present_.clear();
+
+  // Columns: the distinct transmitter ids across the venue, ascending.
+  for (const Fingerprint& fp : fps_) {
+    for (const auto& [id, rss] : fp.rssi) col_ids_.push_back(id);
+  }
+  std::sort(col_ids_.begin(), col_ids_.end());
+  col_ids_.erase(std::unique(col_ids_.begin(), col_ids_.end()),
+                 col_ids_.end());
+  const std::size_t cols = col_ids_.size();
+
+  const double floor = floor_dbm();
+  slice_begin_.reserve(fps_.size() + 1);
+  cell_value_.resize(fps_.size() * cols, 0.0);
+  cell_present_.assign(fps_.size() * cols, 0);
+  for (std::size_t i = 0; i < fps_.size(); ++i) {
+    slice_begin_.push_back(static_cast<std::uint32_t>(entry_col_.size()));
+    for (const auto& [id, offline] : fps_[i].rssi) {
+      const auto it =
+          std::lower_bound(col_ids_.begin(), col_ids_.end(), id);
+      const int col = static_cast<int>(it - col_ids_.begin());
+      entry_col_.push_back(col);
+      const double d = offline - floor;
+      entry_d2floor_.push_back(d * d);
+      cell_value_[i * cols + static_cast<std::size_t>(col)] = offline;
+      cell_present_[i * cols + static_cast<std::size_t>(col)] = 1;
+    }
+  }
+  slice_begin_.push_back(static_cast<std::uint32_t>(entry_col_.size()));
+  cache_ready_ = true;
+}
+
+std::size_t FingerprintDatabase::likelihood_cache_bytes() const {
+  return col_ids_.capacity() * sizeof(int) +
+         slice_begin_.capacity() * sizeof(std::uint32_t) +
+         entry_col_.capacity() * sizeof(int) +
+         entry_d2floor_.capacity() * sizeof(double) +
+         cell_value_.capacity() * sizeof(double) +
+         cell_present_.capacity() * sizeof(std::uint8_t);
+}
+
+void FingerprintDatabase::prepare_scan(
+    const std::vector<sim::ApReading>& scan, ScanScratch& scratch) const {
+  const std::size_t cols = col_ids_.size();
+  if (scratch.stamp.size() != cols) {
+    scratch.stamp.assign(cols, 0);
+    scratch.epoch = 0;
+  }
+  if (++scratch.epoch == 0) {
+    // Epoch counter wrapped: clear the stamps and restart at 1 so stale
+    // entries cannot collide with the new epoch.
+    std::fill(scratch.stamp.begin(), scratch.stamp.end(), 0u);
+    scratch.epoch = 1;
+  }
+  // Scan sizes vary epoch to epoch; reserve a generous bound on first use
+  // so a later, larger-than-any-before scan cannot break the steady-state
+  // zero-allocation contract (tests/test_perf_contracts.cc).
+  if (scratch.col.capacity() < scan.size()) {
+    scratch.col.reserve(std::max<std::size_t>(scan.size() * 2, 256));
+  }
+  scratch.col.resize(scan.size());
+  for (std::size_t j = 0; j < scan.size(); ++j) {
+    const auto it =
+        std::lower_bound(col_ids_.begin(), col_ids_.end(), scan[j].id);
+    if (it != col_ids_.end() && *it == scan[j].id) {
+      const int col = static_cast<int>(it - col_ids_.begin());
+      scratch.col[j] = col;
+      scratch.stamp[static_cast<std::size_t>(col)] = scratch.epoch;
+    } else {
+      scratch.col[j] = -1;  // Transmitter unknown to the database.
+    }
+  }
+}
+
+double FingerprintDatabase::cached_distance(
+    std::size_t fp_index, const std::vector<sim::ApReading>& scan,
+    const ScanScratch& scratch) const {
+  // Replays rssi_distance term by term: the scan loop in scan order, then
+  // the fingerprint-only loop in ascending-id order (the flattened slice
+  // preserves std::map iteration order). No addition is reordered, so the
+  // result is bit-identical to the reference (tests/test_differential.cc).
+  if (scan.empty() && fps_[fp_index].rssi.empty()) {
+    return std::numeric_limits<double>::max();
+  }
+  const std::size_t cols = col_ids_.size();
+  const double* values = cell_value_.data() + fp_index * cols;
+  const std::uint8_t* present = cell_present_.data() + fp_index * cols;
+  const double floor = floor_dbm();
+  double sum2 = 0.0;
+  std::size_t shared = 0;
+  for (std::size_t j = 0; j < scan.size(); ++j) {
+    const int col = scratch.col[j];
+    double offline = floor;
+    if (col >= 0 && present[col] != 0) {
+      offline = values[col];
+      ++shared;
+    }
+    const double d = scan[j].rssi_dbm - offline;
+    sum2 += d * d;
+  }
+  for (std::uint32_t e = slice_begin_[fp_index];
+       e < slice_begin_[fp_index + 1]; ++e) {
+    if (scratch.stamp[static_cast<std::size_t>(entry_col_[e])] !=
+        scratch.epoch) {
+      sum2 += entry_d2floor_[e];
+    }
+  }
+  if (shared == 0) return std::numeric_limits<double>::max();
+  return std::sqrt(sum2);
+}
+
+void FingerprintDatabase::build_candidates(
+    const std::vector<sim::ApReading>& scan, ScanScratch& scratch,
+    std::vector<Match>& out) const {
+  out.reserve(fps_.size());
+  if (cache_ready_) {
+    ++scratch.cache_hits;
+    if (cache_hits_ != nullptr) cache_hits_->inc();
+    prepare_scan(scan, scratch);
+    for (std::size_t i = 0; i < fps_.size(); ++i) {
+      const double d = cached_distance(i, scan, scratch);
+      if (d < std::numeric_limits<double>::max()) out.push_back({i, d});
+    }
+  } else {
+    ++scratch.cache_misses;
+    if (cache_misses_ != nullptr) cache_misses_->inc();
+    for (std::size_t i = 0; i < fps_.size(); ++i) {
+      const double d = rssi_distance(scan, fps_[i], floor_dbm());
+      if (d < std::numeric_limits<double>::max()) out.push_back({i, d});
+    }
+  }
+}
+
+namespace {
+
+/// The selection step shared by every k-nearest entry point. partial_sort
+/// is deterministic for a fixed input sequence / comparator / bound, which
+/// is what lets k_nearest_memo serve any k from one candidate array.
+void keep_k_nearest(std::vector<Match>& out, std::size_t k) {
+  const std::size_t kk = std::min(k, out.size());
+  std::partial_sort(out.begin(), out.begin() + kk, out.end(),
+                    [](const Match& a, const Match& b) {
+                      return a.distance < b.distance;
+                    });
+  out.resize(kk);
+}
+
+}  // namespace
+
+void FingerprintDatabase::k_nearest_into(
+    const std::vector<sim::ApReading>& scan, std::size_t k,
+    ScanScratch& scratch, std::vector<Match>& out) const {
+  obs::ScopedTimer timer(match_us_);
+  out.clear();
+  if (scan.empty() || fps_.empty() || k == 0) return;
+  build_candidates(scan, scratch, out);
+  keep_k_nearest(out, k);
+}
+
+void FingerprintDatabase::k_nearest_memo(
+    const std::vector<sim::ApReading>& scan, std::size_t k,
+    std::uint64_t epoch_tag, ScanMemo& memo, std::vector<Match>& out) const {
+  obs::ScopedTimer timer(match_us_);
+  out.clear();
+  if (scan.empty() || fps_.empty() || k == 0) return;
+  // The scan identity check (data pointer + size) guards call sites that
+  // pass a different scan within one epoch -- e.g. a device-calibrated
+  // copy -- from being served someone else's distances.
+  if (memo.db != this || memo.tag != epoch_tag ||
+      memo.scan_data != static_cast<const void*>(scan.data()) ||
+      memo.scan_size != scan.size()) {
+    memo.db = this;
+    memo.tag = epoch_tag;
+    memo.scan_data = scan.data();
+    memo.scan_size = scan.size();
+    memo.all.clear();
+    build_candidates(scan, memo.scratch, memo.all);
+  }
+  if (out.capacity() < fps_.size()) out.reserve(fps_.size());
+  out.assign(memo.all.begin(), memo.all.end());
+  keep_k_nearest(out, k);
+}
+
+void FingerprintDatabase::all_distances_into(
+    const std::vector<sim::ApReading>& scan, ScanScratch& scratch,
+    std::vector<double>& out) const {
+  obs::ScopedTimer timer(match_us_);
+  out.assign(fps_.size(), std::numeric_limits<double>::max());
+  if (cache_ready_) {
+    ++scratch.cache_hits;
+    if (cache_hits_ != nullptr) cache_hits_->inc();
+    prepare_scan(scan, scratch);
+    for (std::size_t i = 0; i < fps_.size(); ++i) {
+      out[i] = cached_distance(i, scan, scratch);
+    }
+  } else {
+    ++scratch.cache_misses;
+    if (cache_misses_ != nullptr) cache_misses_->inc();
+    for (std::size_t i = 0; i < fps_.size(); ++i) {
+      out[i] = rssi_distance(scan, fps_[i], floor_dbm());
+    }
+  }
+}
+
 double FingerprintDatabase::local_density(geo::Vec2 pos, std::size_t k) const {
+  std::vector<std::size_t> nn;
+  return local_density(pos, k, nn);
+}
+
+double FingerprintDatabase::local_density(
+    geo::Vec2 pos, std::size_t k, std::vector<std::size_t>& knn_buf) const {
   if (fps_.empty()) return std::numeric_limits<double>::max();
-  const std::vector<std::size_t> nn = spatial_.k_nearest(pos, k + 1);
+  spatial_.k_nearest_into(pos, k + 1, knn_buf);
   // Skip the closest (it may be the query location itself); average the
   // next k inter-fingerprint gaps.
   double sum = 0.0;
   std::size_t count = 0;
-  for (std::size_t i = 1; i < nn.size(); ++i) {
-    sum += geo::distance(fps_[nn[i]].pos, pos);
+  for (std::size_t i = 1; i < knn_buf.size(); ++i) {
+    sum += geo::distance(fps_[knn_buf[i]].pos, pos);
     ++count;
   }
-  if (count == 0) return geo::distance(fps_[nn[0]].pos, pos);
+  if (count == 0) return geo::distance(fps_[knn_buf[0]].pos, pos);
   return sum / static_cast<double>(count);
 }
 
@@ -133,6 +357,9 @@ void FingerprintDatabase::blend_reading(std::size_t index, int transmitter_id,
   if (!inserted) {
     it->second = alpha * rssi_dbm + (1.0 - alpha) * it->second;
   }
+  // The precomputed tables no longer match the fingerprints; cached
+  // queries fall back to the exact path until the next prebuild.
+  invalidate_likelihood_cache();
 }
 
 FingerprintDatabase FingerprintDatabase::downsampled(std::size_t keep_every,

@@ -20,6 +20,7 @@
 #include "sim/radio.h"
 
 namespace uniloc::obs {
+class Counter;
 class Histogram;
 class MetricsRegistry;
 }  // namespace uniloc::obs
@@ -41,6 +42,37 @@ double rssi_distance(const std::vector<sim::ApReading>& scan,
 struct Match {
   std::size_t index{0};   ///< Fingerprint index.
   double distance{0.0};   ///< RSSI distance.
+};
+
+/// Caller-owned working state for the cached matching fast path
+/// (k_nearest_into / all_distances_into). One per session/thread: the
+/// database itself stays read-only during queries, so concurrent sessions
+/// share one immutable cache and keep their mutable state here. All
+/// buffers reach steady capacity after the first query against a given
+/// database (zero allocations thereafter).
+struct ScanScratch {
+  std::vector<int> col;             ///< Per scan reading: AP column or -1.
+  std::vector<std::uint32_t> stamp; ///< Per column: epoch of last sighting.
+  std::uint32_t epoch{0};           ///< Current scan epoch for `stamp`.
+  std::uint64_t cache_hits{0};      ///< Queries answered from the cache.
+  std::uint64_t cache_misses{0};    ///< Queries that fell back to exact.
+};
+
+class FingerprintDatabase;
+
+/// One epoch's memoized candidate evaluation against one database
+/// (k_nearest_memo). Several pipeline stages query the same database with
+/// the same scan and differ only in k; the memo holds the full unsorted
+/// candidate array so the evaluation runs once per (epoch, database) and
+/// every k is served from it. Owned by the caller like ScanScratch: one
+/// per session, never shared across threads.
+struct ScanMemo {
+  const FingerprintDatabase* db{nullptr};  ///< Database `all` was built on.
+  std::uint64_t tag{0};                    ///< Epoch tag `all` is valid for.
+  const void* scan_data{nullptr};          ///< Identity of the memoized scan.
+  std::size_t scan_size{0};
+  std::vector<Match> all;                  ///< Candidates in fp-index order.
+  ScanScratch scratch;                     ///< Workspace for the rebuild.
 };
 
 class FingerprintDatabase {
@@ -80,9 +112,58 @@ class FingerprintDatabase {
   std::vector<double> all_distances(
       const std::vector<sim::ApReading>& scan) const;
 
+  // ------------------------------------------------------------ fast path
+  //
+  // The cached variants answer the same queries as k_nearest /
+  // all_distances bit-for-bit (tests/test_differential.cc): the per-scan
+  // and per-fingerprint summation orders of rssi_distance are replicated
+  // exactly over precomputed tables, so no floating-point addition is
+  // reordered. When the cache is stale (never built, or invalidated by
+  // blend_reading) they fall back to the exact reference computation and
+  // count a cache miss.
+
+  /// Precompute the flattened likelihood tables: per-fingerprint sorted
+  /// (AP, RSS) slices, the AP-id -> column map, the dense per-cell
+  /// expected-RSS table and the (offline - floor)^2 terms. Call once at
+  /// deployment warmup (alongside Place::prebuild_wall_index); NOT
+  /// thread-safe against concurrent queries.
+  void prebuild_likelihood_cache();
+
+  /// True when cached queries are served from the tables.
+  bool likelihood_cache_ready() const { return cache_ready_; }
+
+  /// Bytes held by the precomputed likelihood tables.
+  std::size_t likelihood_cache_bytes() const;
+
+  /// k_nearest into a caller-owned result buffer (cleared first); uses
+  /// the likelihood cache when ready.
+  void k_nearest_into(const std::vector<sim::ApReading>& scan, std::size_t k,
+                      ScanScratch& scratch, std::vector<Match>& out) const;
+
+  /// k_nearest_into, memoized per epoch: when `memo` already holds this
+  /// epoch's candidate evaluation for this (database, scan), no RSSI
+  /// distance is recomputed -- the query copies the memo and runs the
+  /// same partial sort the unmemoized path runs. Bit-identical to
+  /// k_nearest_into because std::partial_sort is deterministic for a
+  /// given input sequence, comparator and bound, and the memoized input
+  /// sequence is exactly the one k_nearest_into would have built.
+  void k_nearest_memo(const std::vector<sim::ApReading>& scan, std::size_t k,
+                      std::uint64_t epoch_tag, ScanMemo& memo,
+                      std::vector<Match>& out) const;
+
+  /// all_distances into a caller-owned buffer (resized to size()).
+  void all_distances_into(const std::vector<sim::ApReading>& scan,
+                          ScanScratch& scratch,
+                          std::vector<double>& out) const;
+
   /// beta1 feature: mean distance to the `k` spatially nearest
   /// fingerprints around `pos` -- large when coverage is sparse.
   double local_density(geo::Vec2 pos, std::size_t k = 4) const;
+
+  /// local_density with a caller-owned k-nearest buffer (fast path; same
+  /// value, no per-query allocation once `knn_buf` has capacity).
+  double local_density(geo::Vec2 pos, std::size_t k,
+                       std::vector<std::size_t>& knn_buf) const;
 
   /// Index of the fingerprint spatially closest to `pos`.
   std::size_t nearest_spatial(geo::Vec2 pos) const;
@@ -101,17 +182,48 @@ class FingerprintDatabase {
                                   std::uint64_t seed = 0) const;
 
   /// Route RSSI-matching latencies (k_nearest / all_distances) into the
-  /// `<prefix>.match_us` histogram of `registry`. Null detaches.
+  /// `<prefix>.match_us` histogram of `registry`, and cached-query
+  /// outcomes into `<prefix>.cache_hits` / `<prefix>.cache_misses`.
+  /// Null detaches. Single-threaded use only (bench/CLI); concurrent
+  /// sessions count hits in their own ScanScratch instead.
   void attach_metrics(obs::MetricsRegistry* registry,
                       const std::string& prefix);
 
  private:
   void rebuild_spatial_index();
+  void invalidate_likelihood_cache() { cache_ready_ = false; }
+  /// Resolve scan AP ids to columns and stamp column membership for this
+  /// scan epoch (O(1) membership tests in the per-fingerprint loop).
+  void prepare_scan(const std::vector<sim::ApReading>& scan,
+                    ScanScratch& scratch) const;
+  double cached_distance(std::size_t fp_index,
+                         const std::vector<sim::ApReading>& scan,
+                         const ScanScratch& scratch) const;
+  /// The shared candidate loop of k_nearest_into / k_nearest_memo: every
+  /// fingerprint's distance to `scan` (cache or exact), appended to `out`
+  /// in fingerprint-index order, unsorted.
+  void build_candidates(const std::vector<sim::ApReading>& scan,
+                        ScanScratch& scratch, std::vector<Match>& out) const;
 
   std::vector<Fingerprint> fps_;
   Source source_{Source::kWifi};
   geo::PointIndex spatial_;  ///< Bucket index over fingerprint positions.
+
+  // Likelihood cache (prebuild_likelihood_cache). Columns are distinct AP
+  // ids in ascending order; per-fingerprint entries are flattened slices
+  // in ascending-id order (== std::map iteration order, so the fp-only
+  // summation of rssi_distance replays identically).
+  bool cache_ready_{false};
+  std::vector<int> col_ids_;               ///< Column -> AP id (sorted).
+  std::vector<std::uint32_t> slice_begin_; ///< Fp -> first entry (size()+1).
+  std::vector<int> entry_col_;             ///< Entry -> column.
+  std::vector<double> entry_d2floor_;      ///< Entry -> (rss - floor)^2.
+  std::vector<double> cell_value_;         ///< Dense fp x column RSS table.
+  std::vector<std::uint8_t> cell_present_; ///< Dense fp x column presence.
+
   obs::Histogram* match_us_{nullptr};
+  obs::Counter* cache_hits_{nullptr};
+  obs::Counter* cache_misses_{nullptr};
 };
 
 }  // namespace uniloc::schemes

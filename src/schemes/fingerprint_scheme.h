@@ -32,13 +32,27 @@ class FingerprintScheme final : public LocalizationScheme {
   SchemeFamily family() const override;
   void reset(const StartCondition& start) override;
   SchemeOutput update(const sim::SensorFrame& frame) override;
+  void update_into(const sim::SensorFrame& frame, SchemeOutput& out) override;
+  void set_epoch_context(EpochContext* ctx) override { epoch_ctx_ = ctx; }
 
   const FingerprintDatabase& database() const { return *db_; }
+
+  std::uint64_t cache_hits() const override { return scan_scratch_.cache_hits; }
+  std::uint64_t cache_misses() const override {
+    return scan_scratch_.cache_misses;
+  }
 
  private:
   const FingerprintDatabase* db_;
   Options opts_;
   OffsetCalibrator calibrator_;
+  EpochContext* epoch_ctx_{nullptr};
+
+  // Fast-path scratch: reused across epochs by update_into.
+  ScanScratch scan_scratch_;
+  std::vector<Match> matches_;
+  std::vector<sim::ApReading> scan_buf_;
+  std::vector<double> top3_;
 };
 
 }  // namespace uniloc::schemes

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "schemes/epoch_context.h"
 #include "stats/gaussian.h"
 
 namespace uniloc::schemes {
@@ -25,6 +26,43 @@ void FusionScheme::extra_reweight(const sim::SensorFrame& frame) {
         std::exp(-(candidates[i].distance - best) / opts_.rssi_scale_db);
   }
 
+  pf().reweight([&](const filter::Particle& p) {
+    double like = opts_.floor_likelihood;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const geo::Vec2 fp_pos = db_->fingerprints()[candidates[i].index].pos;
+      const double d = geo::distance(p.pos, fp_pos);
+      like += rssi_w[i] * stats::normal_pdf(d / opts_.spatial_sd_m);
+    }
+    return like;
+  });
+}
+
+void FusionScheme::extra_reweight_fast(const sim::SensorFrame& frame) {
+  if (frame.wifi.empty() || db_->empty()) return;
+
+  // The WiFi scheme has typically evaluated this scan against the same
+  // database already this epoch; the shared memo turns our query into a
+  // copy + partial sort.
+  ScanMemo* memo =
+      epoch_ctx_ != nullptr ? epoch_ctx_->memo_for(db_) : nullptr;
+  if (memo != nullptr) {
+    db_->k_nearest_memo(frame.wifi, opts_.rssi_top_k, epoch_ctx_->tag, *memo,
+                        candidates_);
+  } else {
+    db_->k_nearest_into(frame.wifi, opts_.rssi_top_k, scan_scratch_,
+                        candidates_);
+  }
+  if (candidates_.empty()) return;
+
+  const double best = candidates_[0].distance;
+  rssi_w_.resize(candidates_.size());
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    rssi_w_[i] =
+        std::exp(-(candidates_[i].distance - best) / opts_.rssi_scale_db);
+  }
+
+  const std::vector<Match>& candidates = candidates_;
+  const std::vector<double>& rssi_w = rssi_w_;
   pf().reweight([&](const filter::Particle& p) {
     double like = opts_.floor_likelihood;
     for (std::size_t i = 0; i < candidates.size(); ++i) {

@@ -24,4 +24,20 @@ SchemeOutput GpsScheme::update(const sim::SensorFrame& frame) {
   return out;
 }
 
+void GpsScheme::update_into(const sim::SensorFrame& frame, SchemeOutput& out) {
+  out.available = false;
+  if (!frame.gps.has_value()) return;  // stale payload; gated by available
+
+  static const std::string kHdop = "hdop";
+  static const std::string kNumSatellites = "num_satellites";
+  const geo::Vec2 local = frame_.to_local(frame.gps->pos);
+  out.available = true;
+  out.estimate = local;
+  const double sigma = std::max(3.0, 5.0 * frame.gps->hdop + 8.0);
+  Posterior::gaussian_into(local, sigma, 3, out.posterior);
+  out.observables[kHdop] = frame.gps->hdop;
+  out.observables[kNumSatellites] =
+      static_cast<double>(frame.gps->num_satellites);
+}
+
 }  // namespace uniloc::schemes

@@ -19,6 +19,7 @@ class GpsScheme final : public LocalizationScheme {
   SchemeFamily family() const override { return SchemeFamily::kGps; }
   void reset(const StartCondition& start) override;
   SchemeOutput update(const sim::SensorFrame& frame) override;
+  void update_into(const sim::SensorFrame& frame, SchemeOutput& out) override;
 
  private:
   geo::LocalFrame frame_;

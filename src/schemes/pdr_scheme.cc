@@ -10,15 +10,14 @@
 namespace uniloc::schemes {
 
 PdrScheme::PdrScheme(const sim::Place* place, PdrOptions opts)
-    : place_(place),
-      opts_(opts),
-      pf_(opts.num_particles, stats::Rng(opts.seed)) {}
+    : place_(place), opts_(opts), pf_(opts.num_particles, opts.seed) {}
 
 void PdrScheme::reset(const StartCondition& start) {
   frontend_.reset(start.heading);
-  pf_ = filter::ParticleFilter(opts_.num_particles, stats::Rng(opts_.seed));
-  // Reassigning the filter dropped its instrument pointers; re-attach.
-  pf_.attach_metrics(registry_, "scheme." + name() + ".pf");
+  // Reseed in place: the filter's SoA arrays, scratch buffers and attached
+  // instruments all survive the reset (the old filter-reassignment hack
+  // dropped them and had to re-attach).
+  pf_.reseed(opts_.seed);
   pf_.init(start.pos, start.heading, /*pos_sd=*/0.8,
            /*heading_sd=*/0.08, /*scale_sd=*/0.07);
   dist_since_landmark_ = 0.0;
@@ -31,10 +30,12 @@ void PdrScheme::attach_metrics(obs::MetricsRegistry* registry) {
   pf_.attach_metrics(registry, "scheme." + name() + ".pf");
 }
 
-void PdrScheme::apply_map_constraint() {
+void PdrScheme::apply_map_constraint(bool fast) {
   if (!opts_.use_map || place_ == nullptr) return;
-  pf_.reweight([this](const filter::Particle& p) {
-    const sim::LocalEnvironment env = place_->environment_at(p.pos);
+  pf_.reweight([this, fast](const filter::Particle& p) {
+    const sim::LocalEnvironment env = fast
+                                          ? place_->environment_at_fast(p.pos)
+                                          : place_->environment_at(p.pos);
     const double beyond =
         std::max(0.0, env.distance_to_walkway - env.corridor_width_m / 2.0);
     if (beyond <= 0.0) return 1.0;
@@ -51,8 +52,8 @@ void PdrScheme::apply_landmarks(const sim::SensorFrame& frame) {
     // re-anchor the filter at the landmark instead -- the UnLoc-style
     // hard calibration.
     double closest = std::numeric_limits<double>::infinity();
-    for (const filter::Particle& p : pf_.particles()) {
-      closest = std::min(closest, geo::distance(p.pos, lm.map_pos));
+    for (std::size_t i = 0; i < pf_.size(); ++i) {
+      closest = std::min(closest, geo::distance(pf_.pos(i), lm.map_pos));
     }
     if (closest > 3.0 * opts_.landmark_sd_m) {
       const double heading = pf_.mean_heading();
@@ -79,13 +80,17 @@ void PdrScheme::apply_wall_constraint(const std::vector<geo::Vec2>& before) {
 
 void PdrScheme::extra_reweight(const sim::SensorFrame&) {}
 
+void PdrScheme::extra_reweight_fast(const sim::SensorFrame& frame) {
+  extra_reweight(frame);
+}
+
 SchemeOutput PdrScheme::make_output() const {
   SchemeOutput out;
   out.available = started_;
   if (!started_) return out;
   out.estimate = pf_.mean();
-  for (const filter::Particle& p : pf_.particles()) {
-    out.posterior.support.push_back({p.pos, p.weight});
+  for (std::size_t i = 0; i < pf_.size(); ++i) {
+    out.posterior.support.push_back({pf_.pos(i), pf_.weight(i)});
   }
   out.posterior.normalize();
   out.observables["dist_since_landmark"] = dist_since_landmark_;
@@ -93,14 +98,30 @@ SchemeOutput PdrScheme::make_output() const {
   return out;
 }
 
-SchemeOutput PdrScheme::update(const sim::SensorFrame& frame) {
-  if (!started_) return {};
+void PdrScheme::make_output_into(SchemeOutput& out) const {
+  // "dist_since_landmark" is 19 chars -- past libstdc++'s SSO buffer --
+  // so keep one static key instead of a per-epoch heap temporary.
+  static const std::string kDistSinceLandmark = "dist_since_landmark";
+  static const std::string kParticleSpread = "particle_spread";
+  out.available = started_;
+  if (!started_) return;
+  out.estimate = pf_.mean();
+  out.posterior.support.clear();
+  for (std::size_t i = 0; i < pf_.size(); ++i) {
+    out.posterior.support.push_back({pf_.pos(i), pf_.weight(i)});
+  }
+  out.posterior.normalize();
+  out.observables[kDistSinceLandmark] = dist_since_landmark_;
+  out.observables[kParticleSpread] = pf_.spread();
+}
 
+void PdrScheme::step_epoch(const sim::SensorFrame& frame, bool fast) {
   const StepInference inf = frontend_.process(frame.imu);
-  std::vector<geo::Vec2> before;
+  std::vector<geo::Vec2>& before = before_;
+  before.clear();
   if (opts_.use_walls && inf.steps > 0) {
     before.reserve(pf_.size());
-    for (const filter::Particle& p : pf_.particles()) before.push_back(p.pos);
+    for (std::size_t i = 0; i < pf_.size(); ++i) before.push_back(pf_.pos(i));
   }
   for (int s = 0; s < inf.steps; ++s) {
     pf_.predict(inf.step_length_m,
@@ -109,11 +130,29 @@ SchemeOutput PdrScheme::update(const sim::SensorFrame& frame) {
     dist_since_landmark_ += inf.step_length_m;
   }
   if (!before.empty()) apply_wall_constraint(before);
-  apply_map_constraint();
-  extra_reweight(frame);
+  apply_map_constraint(fast);
+  if (fast) {
+    extra_reweight_fast(frame);
+  } else {
+    extra_reweight(frame);
+  }
   apply_landmarks(frame);
   pf_.resample();
+}
+
+SchemeOutput PdrScheme::update(const sim::SensorFrame& frame) {
+  if (!started_) return {};
+  step_epoch(frame, /*fast=*/false);
   return make_output();
+}
+
+void PdrScheme::update_into(const sim::SensorFrame& frame, SchemeOutput& out) {
+  if (!started_) {
+    out.available = false;
+    return;
+  }
+  step_epoch(frame, /*fast=*/true);
+  make_output_into(out);
 }
 
 }  // namespace uniloc::schemes

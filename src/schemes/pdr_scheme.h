@@ -44,6 +44,7 @@ class PdrScheme : public LocalizationScheme {
   SchemeFamily family() const override { return SchemeFamily::kMotionPdr; }
   void reset(const StartCondition& start) override;
   SchemeOutput update(const sim::SensorFrame& frame) override;
+  void update_into(const sim::SensorFrame& frame, SchemeOutput& out) override;
   void attach_metrics(obs::MetricsRegistry* registry) override;
 
   /// Meters walked since the last recognized landmark (beta1 of the
@@ -55,21 +56,36 @@ class PdrScheme : public LocalizationScheme {
   /// constraint but before resampling.
   virtual void extra_reweight(const sim::SensorFrame& frame);
 
+  /// Fast-path twin of extra_reweight: must compute bit-identical weights
+  /// but may reuse subclass-owned scratch. Defaults to extra_reweight.
+  virtual void extra_reweight_fast(const sim::SensorFrame& frame);
+
   filter::ParticleFilter& pf() { return pf_; }
   const sim::Place* place() const { return place_; }
   const PdrOptions& options() const { return opts_; }
 
  private:
-  void apply_map_constraint();
+  /// One epoch of filtering (predict, constraints, reweight, resample),
+  /// shared verbatim by update() and update_into() so both consume the
+  /// same RNG stream. `fast` only selects which extra_reweight twin runs.
+  void step_epoch(const sim::SensorFrame& frame, bool fast);
+  /// `fast` routes the per-particle environment lookup through the
+  /// Place's precomputed candidate index (bit-identical; see
+  /// Place::environment_at_fast). The reference path keeps the full scan.
+  void apply_map_constraint(bool fast);
   void apply_wall_constraint(const std::vector<geo::Vec2>& before);
   void apply_landmarks(const sim::SensorFrame& frame);
   SchemeOutput make_output() const;
+  void make_output_into(SchemeOutput& out) const;
 
   const sim::Place* place_;
   PdrOptions opts_;
   PdrFrontend frontend_;
   filter::ParticleFilter pf_;
   obs::MetricsRegistry* registry_{nullptr};
+  /// Pre-step particle positions for the wall-crossing test; member scratch
+  /// so steady-state updates reuse its capacity instead of reallocating.
+  std::vector<geo::Vec2> before_;
   double dist_since_landmark_{0.0};
   bool started_{false};
 };

@@ -67,16 +67,22 @@ Posterior Posterior::point(geo::Vec2 p) {
 
 Posterior Posterior::gaussian(geo::Vec2 center, double sigma, int r) {
   Posterior post;
+  gaussian_into(center, sigma, r, post);
+  return post;
+}
+
+void Posterior::gaussian_into(geo::Vec2 center, double sigma, int r,
+                              Posterior& out) {
+  out.support.clear();
   const double spacing = sigma / 2.0;
   for (int iy = -r; iy <= r; ++iy) {
     for (int ix = -r; ix <= r; ++ix) {
       const geo::Vec2 p{center.x + ix * spacing, center.y + iy * spacing};
       const double d = geo::distance(p, center);
-      post.support.push_back({p, stats::normal_pdf(d / sigma)});
+      out.support.push_back({p, stats::normal_pdf(d / sigma)});
     }
   }
-  post.normalize();
-  return post;
+  out.normalize();
 }
 
 }  // namespace uniloc::schemes

@@ -8,6 +8,7 @@
 // treated as zero, paper Sec. IV-A).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -22,6 +23,8 @@ class MetricsRegistry;
 }  // namespace uniloc::obs
 
 namespace uniloc::schemes {
+
+struct EpochContext;  // schemes/epoch_context.h
 
 /// Families group schemes by the sensor data they consume; every family
 /// shares one error-model feature set (paper Table I).
@@ -66,6 +69,12 @@ struct Posterior {
   /// Gaussian-kernel posterior around `center` with scale `sigma`,
   /// sampled on a (2r+1)^2 stencil with spacing sigma/2.
   static Posterior gaussian(geo::Vec2 center, double sigma, int r = 3);
+
+  /// gaussian() into a caller-owned posterior: identical support sequence
+  /// and weights, but the support buffer's capacity is reused (the fast
+  /// epoch path rebuilds the GPS posterior every epoch).
+  static void gaussian_into(geo::Vec2 center, double sigma, int r,
+                            Posterior& out);
 };
 
 struct SchemeOutput {
@@ -99,12 +108,41 @@ class LocalizationScheme {
   /// Consume one epoch of sensor data and localize.
   virtual SchemeOutput update(const sim::SensorFrame& frame) = 0;
 
+  /// Fast-path variant: localize into a reused output object. The
+  /// contract (tests/test_differential.cc) is that every field a consumer
+  /// may read is bit-identical to update()'s result; consumers gate on
+  /// `out.available`, so implementations may leave stale estimate /
+  /// posterior / observables behind when the scheme is unavailable
+  /// (DESIGN.md section 11). The default delegates to update() --
+  /// correct for any scheme, zero-allocation only where overridden.
+  virtual void update_into(const sim::SensorFrame& frame, SchemeOutput& out) {
+    out = update(frame);
+  }
+
+  /// Install the shared fast-path epoch state (nullptr detaches). The
+  /// fast pipeline calls this before each epoch's update_into round so
+  /// schemes querying the same sensor scan can share one candidate
+  /// evaluation (schemes/epoch_context.h). The context must outlive the
+  /// scheme's use of it -- it lives in the session's EpochScratch, whose
+  /// lifetime rules (DESIGN.md section 11) already require exactly that.
+  /// Default: the scheme keeps no shared state. Only update_into may read
+  /// the context; update() must stay context-free (it is the reference
+  /// the differential suite compares against).
+  virtual void set_epoch_context(EpochContext* ctx) { (void)ctx; }
+
   /// Attach internal-stage latency instrumentation to `registry`
   /// (nullptr detaches). Default: the scheme has no internal stages worth
   /// timing; Uniloc already times the whole update() call per scheme.
   virtual void attach_metrics(obs::MetricsRegistry* registry) {
     (void)registry;
   }
+
+  /// Likelihood-cache query outcomes accumulated by this scheme's fast
+  /// path (update_into). Zero for schemes that do no RSSI matching. The
+  /// counters live in per-scheme scratch, so concurrent sessions (which
+  /// own disjoint scheme instances) never contend.
+  virtual std::uint64_t cache_hits() const { return 0; }
+  virtual std::uint64_t cache_misses() const { return 0; }
 };
 
 using SchemePtr = std::unique_ptr<LocalizationScheme>;

@@ -1,5 +1,6 @@
 #include "sim/place.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -49,6 +50,7 @@ std::size_t Place::add_walkway(Walkway w) {
                           default_corridor_width(SegmentType::kCorridor)});
   }
   walkways_.push_back(std::move(w));
+  env_index_.reset();  // candidate lists are stale; rebuild on demand
   return walkways_.size() - 1;
 }
 
@@ -117,6 +119,92 @@ LocalEnvironment Place::environment_at(geo::Vec2 p) const {
     env.sky_visibility = 1.0;
   }
   return env;
+}
+
+LocalEnvironment Place::environment_over(geo::Vec2 p,
+                                         const std::uint32_t* cand,
+                                         std::size_t count) const {
+  // Mirrors environment_at exactly -- same strict `<` winner update in
+  // ascending walkway order, same open-space fallback -- over a candidate
+  // subset that provably contains the winner.
+  LocalEnvironment env;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::size_t i = cand[c];
+    const geo::Projection proj = walkways_[i].line.project(p);
+    if (proj.distance < best) {
+      best = proj.distance;
+      const PathSegment& seg = walkways_[i].segment_at(proj.arclen);
+      env.type = seg.type;
+      env.corridor_width_m = seg.corridor_width_m;
+      env.indoor = is_indoor(seg.type);
+      env.sky_visibility = sim::sky_visibility(seg.type);
+      env.walkway = i;
+      env.arclen = proj.arclen;
+      env.distance_to_walkway = proj.distance;
+    }
+  }
+  if (best > 25.0) {
+    env.type = SegmentType::kOpenSpace;
+    env.corridor_width_m = default_corridor_width(SegmentType::kOpenSpace);
+    env.indoor = false;
+    env.sky_visibility = 1.0;
+  }
+  return env;
+}
+
+LocalEnvironment Place::environment_at_fast(geo::Vec2 p) const {
+  const std::shared_ptr<const EnvIndex> idx = env_index_;
+  if (idx == nullptr || !idx->box.contains(p)) return environment_at(p);
+  const std::size_t cx = std::min(
+      idx->nx - 1, static_cast<std::size_t>((p.x - idx->box.min.x) / idx->cell));
+  const std::size_t cy = std::min(
+      idx->ny - 1, static_cast<std::size_t>((p.y - idx->box.min.y) / idx->cell));
+  const std::size_t c = cy * idx->nx + cx;
+  return environment_over(p, idx->candidates.data() + idx->begin[c],
+                          idx->begin[c + 1] - idx->begin[c]);
+}
+
+void Place::prebuild_env_index() const {
+  if (env_index_ != nullptr || walkways_.empty()) return;
+  auto idx = std::make_shared<EnvIndex>();
+  idx->box = bounds();
+  idx->cell = 4.0;
+  idx->nx = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(idx->box.width() / idx->cell)));
+  idx->ny = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(idx->box.height() / idx->cell)));
+  // For any point p of a cell, |p - center| <= r (the half-diagonal), so
+  // d_i(p) >= d_i(center) - r and d_min(p) <= d_min(center) + r. A
+  // walkway with d_i(center) > d_min(center) + 2r is therefore strictly
+  // farther than the closest one at EVERY p in the cell -- it can never
+  // be environment_at's `<` winner and never changes the minimum, so
+  // dropping it is exact. The epsilon only widens the keep set (always
+  // safe) to absorb rounding in the center distances themselves.
+  const double r = 0.5 * idx->cell * std::sqrt(2.0);
+  std::vector<double> dist(walkways_.size());
+  idx->begin.reserve(idx->nx * idx->ny + 1);
+  for (std::size_t cy = 0; cy < idx->ny; ++cy) {
+    for (std::size_t cx = 0; cx < idx->nx; ++cx) {
+      const geo::Vec2 center{
+          idx->box.min.x + (static_cast<double>(cx) + 0.5) * idx->cell,
+          idx->box.min.y + (static_cast<double>(cy) + 0.5) * idx->cell};
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < walkways_.size(); ++i) {
+        dist[i] = walkways_[i].line.project(center).distance;
+        best = std::min(best, dist[i]);
+      }
+      const double keep = best + 2.0 * r + 1e-9;
+      idx->begin.push_back(static_cast<std::uint32_t>(idx->candidates.size()));
+      for (std::size_t i = 0; i < walkways_.size(); ++i) {
+        if (dist[i] <= keep) {
+          idx->candidates.push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+    }
+  }
+  idx->begin.push_back(static_cast<std::uint32_t>(idx->candidates.size()));
+  env_index_ = std::move(idx);
 }
 
 std::vector<const Landmark*> Place::landmarks_near(geo::Vec2 p,

@@ -2,6 +2,7 @@
 // landmarks -- the world every experiment runs in.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -87,6 +88,21 @@ class Place {
   /// Environment attributes at a point.
   LocalEnvironment environment_at(geo::Vec2 p) const;
 
+  /// environment_at through a precomputed per-cell candidate index: only
+  /// the walkways that can possibly be nearest to some point of the
+  /// query's grid cell are projected. Bit-identical to environment_at --
+  /// the pruning is a strict triangle-inequality bound, so every pruned
+  /// walkway is strictly farther than the winner at every point of the
+  /// cell (never the `<` winner, and the global minimum distance is
+  /// unchanged, so the open-space fallback fires identically). Falls back
+  /// to the full scan off-grid or while the index is not built.
+  LocalEnvironment environment_at_fast(geo::Vec2 p) const;
+
+  /// Force-build the candidate index behind environment_at_fast() now;
+  /// invalidated by add_walkway. Like prebuild_wall_index, call once at
+  /// deployment warmup before sharing the Place across threads.
+  void prebuild_env_index() const;
+
   /// Landmarks within `radius` of a point.
   std::vector<const Landmark*> landmarks_near(geo::Vec2 p,
                                               double radius) const;
@@ -105,6 +121,23 @@ class Place {
   /// Lazily (re)built bucket index over walls_; invalidated by add_wall.
   /// shared_ptr keeps Place copyable (copies share the immutable index).
   mutable std::shared_ptr<const geo::SegmentIndex> wall_index_;
+
+  /// Per-cell candidate walkways for environment_at_fast: a walkway is a
+  /// candidate of a cell iff its distance to the cell center is within
+  /// twice the cell half-diagonal of the closest walkway's (triangle
+  /// inequality: anything farther can never win anywhere in the cell).
+  /// Candidates are stored in ascending walkway order so the first-
+  /// strictly-smaller tie-break of environment_at is preserved.
+  struct EnvIndex {
+    geo::BBox box;
+    double cell{0.0};
+    std::size_t nx{0}, ny{0};
+    std::vector<std::uint32_t> begin;       ///< Cell -> span into candidates.
+    std::vector<std::uint32_t> candidates;  ///< Walkway indices per cell.
+  };
+  LocalEnvironment environment_over(geo::Vec2 p, const std::uint32_t* cand,
+                                    std::size_t count) const;
+  mutable std::shared_ptr<const EnvIndex> env_index_;
 };
 
 }  // namespace uniloc::sim

@@ -30,6 +30,9 @@ LocalizationServer::LocalizationServer(ServerConfig cfg,
     ins_.parse_us = &registry->histogram("svc.parse_us");
     ins_.locate_us = &registry->histogram("svc.locate_us");
     ins_.net_us = &registry->histogram("svc.net_us");
+    ins_.perf_cache_hits = &registry->counter("perf.cache_hits");
+    ins_.perf_cache_misses = &registry->counter("perf.cache_misses");
+    ins_.perf_scratch_bytes = &registry->gauge("perf.scratch_bytes");
   }
 }
 
@@ -217,8 +220,33 @@ void LocalizationServer::run_epoch(Session& session,
   }
 
   stage.restart();
-  const core::EpochDecision decision = session.uniloc().update(req->frame);
+  // We are on the session strand here, so the scratch arena and the perf
+  // cursor are single-writer even with workers > 0.
+  core::EpochDecision ref_decision;
+  const core::EpochDecision* decision_ptr;
+  if (cfg_.use_fast_path) {
+    decision_ptr = &session.uniloc().update_fast(req->frame,
+                                                 session.scratch());
+  } else {
+    ref_decision = session.uniloc().update(req->frame);
+    decision_ptr = &ref_decision;
+  }
+  const core::EpochDecision& decision = *decision_ptr;
   const double locate_us = stage.elapsed_us();
+
+  std::uint64_t hits_delta = 0, misses_delta = 0, scratch_bytes = 0;
+  if (cfg_.use_fast_path) {
+    const std::uint64_t hits =
+        session.uniloc().scheme_cache_hits() + session.scratch().cache_hits();
+    const std::uint64_t misses = session.uniloc().scheme_cache_misses() +
+                                 session.scratch().cache_misses();
+    Session::PerfCursor& cursor = session.perf_cursor();
+    hits_delta = hits - cursor.cache_hits;
+    misses_delta = misses - cursor.cache_misses;
+    cursor.cache_hits = hits;
+    cursor.cache_misses = misses;
+    scratch_bytes = session.scratch().bytes();
+  }
 
   stage.restart();
   if (cfg_.simulated_network.count() > 0) {
@@ -243,6 +271,17 @@ void LocalizationServer::run_epoch(Session& session,
   if (ins_.net_us != nullptr) ins_.net_us->observe(net_us);
   if (ins_.request_us != nullptr) {
     ins_.request_us->observe(accepted_at.elapsed_us());
+  }
+  if (cfg_.use_fast_path) {
+    if (ins_.perf_cache_hits != nullptr && hits_delta > 0) {
+      ins_.perf_cache_hits->inc(hits_delta);
+    }
+    if (ins_.perf_cache_misses != nullptr && misses_delta > 0) {
+      ins_.perf_cache_misses->inc(misses_delta);
+    }
+    if (ins_.perf_scratch_bytes != nullptr) {
+      ins_.perf_scratch_bytes->set(static_cast<double>(scratch_bytes));
+    }
   }
 }
 

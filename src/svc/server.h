@@ -72,6 +72,11 @@ struct ServerConfig {
   /// these waits across sessions exactly like a real synchronous server;
   /// 0 (the default) disables the wait for unit tests and replays.
   std::chrono::microseconds simulated_network{0};
+  /// Run epochs through core::Uniloc::update_fast against the session's
+  /// scratch arena (zero steady-state allocations per epoch; decisions
+  /// bit-identical to the reference update()). false keeps the reference
+  /// pipeline -- the differential chaos tests drive both.
+  bool use_fast_path{true};
   /// Injectable clock (microseconds, monotonic) for deterministic TTL
   /// tests; defaults to steady_clock. sim::VirtualClock::now_fn() plugs
   /// in here.
@@ -121,6 +126,12 @@ class LocalizationServer {
     obs::Histogram* parse_us{nullptr};
     obs::Histogram* locate_us{nullptr};
     obs::Histogram* net_us{nullptr};
+    // Fast-path pipeline health (populated only when use_fast_path):
+    // likelihood-cache outcomes aggregated across sessions, and the
+    // arena footprint of the most recently served session.
+    obs::Counter* perf_cache_hits{nullptr};
+    obs::Counter* perf_cache_misses{nullptr};
+    obs::Gauge* perf_scratch_bytes{nullptr};
   };
 
   using Promise = std::shared_ptr<std::promise<std::vector<std::uint8_t>>>;

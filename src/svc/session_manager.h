@@ -26,6 +26,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/epoch_scratch.h"
 #include "core/uniloc.h"
 
 namespace uniloc::svc {
@@ -45,6 +46,19 @@ class Session {
 
   std::uint64_t id() const { return id_; }
   core::Uniloc& uniloc() { return *uniloc_; }
+
+  /// The session's epoch scratch arena. Only ever touched from the
+  /// session strand (drain() runs on one worker at a time), which is the
+  /// single-writer guarantee the arena needs (DESIGN.md section 11).
+  core::EpochScratch& scratch() { return scratch_; }
+
+  /// Last cache-counter totals already reported to the server's perf
+  /// counters; strand-only, like the scratch arena.
+  struct PerfCursor {
+    std::uint64_t cache_hits{0};
+    std::uint64_t cache_misses{0};
+  };
+  PerfCursor& perf_cursor() { return perf_cursor_; }
 
   /// Accept `task` unless `capacity` tasks are already pending.
   /// Also stamps last-active to `now_us`.
@@ -66,6 +80,8 @@ class Session {
  private:
   const std::uint64_t id_;
   std::unique_ptr<core::Uniloc> uniloc_;
+  core::EpochScratch scratch_;
+  PerfCursor perf_cursor_;
 
   mutable std::mutex mu_;
   std::deque<Task> inbox_;

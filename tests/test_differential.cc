@@ -1,0 +1,236 @@
+// Differential harness: fast path vs reference pipeline, bit-for-bit.
+//
+// The fast epoch pipeline (Uniloc::update_fast + scheme update_into + the
+// fingerprint likelihood cache + the SoA particle filter) claims to be a
+// pure optimization: same RNG stream, same floating-point summation
+// orders, same decisions. These tests hold it to that claim with
+// tolerance-free comparisons -- EXPECT_EQ on doubles, never EXPECT_NEAR:
+//
+//   * every one of the eight campus paths, fault-free, core runner level;
+//   * a 32-seed sweep on the office venue;
+//   * service level under seeded chaos (drops, corruption, a blackout),
+//     at workers 0 and 4, on the campus deployment covering all paths.
+//
+// If an optimization ever reorders an FP sum or consumes one extra RNG
+// draw, the first diverging epoch is reported here, not as a mysterious
+// accuracy regression three benches later.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/runner.h"
+#include "core/trainer.h"
+#include "fault/link.h"
+#include "fault/plan.h"
+#include "sim/builders.h"
+#include "svc/loadgen.h"
+#include "svc/server.h"
+
+namespace uniloc {
+namespace {
+
+const core::TrainedModels& test_models() {
+  static const core::TrainedModels models =
+      core::train_standard_models(42, 100);
+  return models;
+}
+
+const core::Deployment& campus_deployment() {
+  static const core::Deployment d = core::make_deployment(
+      sim::campus(42), core::DeploymentOptions{.seed = 42});
+  return d;
+}
+
+const core::Deployment& office_deployment() {
+  static const core::Deployment d = core::make_deployment(
+      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+  return d;
+}
+
+/// Bitwise double equality, treating NaN == NaN (scheme_err is NaN where
+/// a scheme was unavailable).
+void expect_same(double a, double b, const std::string& what) {
+  if (std::isnan(a) && std::isnan(b)) return;
+  EXPECT_EQ(a, b) << what;
+}
+
+void expect_identical_runs(const core::RunResult& ref,
+                           const core::RunResult& fast,
+                           const std::string& label) {
+  ASSERT_EQ(ref.epochs.size(), fast.epochs.size()) << label;
+  ASSERT_EQ(ref.scheme_names, fast.scheme_names) << label;
+  for (std::size_t e = 0; e < ref.epochs.size(); ++e) {
+    const core::EpochRecord& r = ref.epochs[e];
+    const core::EpochRecord& f = fast.epochs[e];
+    const std::string at = label + " epoch " + std::to_string(e);
+    EXPECT_EQ(r.indoor_detected, f.indoor_detected) << at;
+    EXPECT_EQ(r.gps_was_enabled, f.gps_was_enabled) << at;
+    EXPECT_EQ(r.uniloc1_choice, f.uniloc1_choice) << at;
+    EXPECT_EQ(r.oracle_choice, f.oracle_choice) << at;
+    expect_same(r.uniloc1_err, f.uniloc1_err, at + " uniloc1_err");
+    expect_same(r.uniloc2_err, f.uniloc2_err, at + " uniloc2_err");
+    expect_same(r.oracle_err, f.oracle_err, at + " oracle_err");
+    ASSERT_EQ(r.scheme_available.size(), f.scheme_available.size()) << at;
+    for (std::size_t i = 0; i < r.scheme_available.size(); ++i) {
+      const std::string si = at + " scheme " + ref.scheme_names[i];
+      EXPECT_EQ(r.scheme_available[i], f.scheme_available[i]) << si;
+      expect_same(r.scheme_err[i], f.scheme_err[i], si + " err");
+      expect_same(r.predicted_mu[i], f.predicted_mu[i], si + " mu");
+      expect_same(r.confidence[i], f.confidence[i], si + " confidence");
+      expect_same(r.weight[i], f.weight[i], si + " weight");
+    }
+  }
+}
+
+/// One walk, reference vs fast, on freshly built (identically seeded)
+/// ensembles.
+void run_differential_walk(const core::Deployment& d, std::size_t walkway,
+                           std::uint64_t walk_seed,
+                           const std::string& label) {
+  core::RunOptions opts;
+  opts.walk.seed = walk_seed;
+
+  core::Uniloc ref_uniloc = core::make_uniloc(d, test_models());
+  opts.use_fast_path = false;
+  const core::RunResult ref = core::run_walk(ref_uniloc, d, walkway, opts);
+
+  core::Uniloc fast_uniloc = core::make_uniloc(d, test_models());
+  opts.use_fast_path = true;
+  const core::RunResult fast = core::run_walk(fast_uniloc, d, walkway, opts);
+
+  ASSERT_FALSE(ref.epochs.empty()) << label;
+  expect_identical_runs(ref, fast, label);
+}
+
+TEST(DifferentialCore, AllEightCampusPathsBitIdentical) {
+  const core::Deployment& d = campus_deployment();
+  ASSERT_EQ(d.place->walkways().size(), 8u)
+      << "campus venue is expected to carry the paper's eight daily paths";
+  for (std::size_t w = 0; w < d.place->walkways().size(); ++w) {
+    run_differential_walk(d, w, /*walk_seed=*/1000 + w,
+                          "campus path " + std::to_string(w));
+  }
+}
+
+TEST(DifferentialCore, SeedSweepBitIdentical) {
+  const core::Deployment& d = office_deployment();
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    run_differential_walk(d, seed % d.place->walkways().size(), 7'000 + seed,
+                          "office seed " + std::to_string(seed));
+  }
+}
+
+// ---------------------------------------------------------------- service
+
+svc::UnilocFactory factory_for(const core::Deployment& d) {
+  return [&d](std::uint64_t sid) {
+    return std::make_unique<core::Uniloc>(core::make_uniloc(
+        d, test_models(), {}, false, /*seed=*/7 + sid));
+  };
+}
+
+svc::LoadReport run_load_scenario(const core::Deployment& d,
+                                  const fault::FaultPlan* plan,
+                                  bool use_fast_path, int workers,
+                                  std::uint64_t seed) {
+  svc::ServerConfig cfg;
+  cfg.workers = workers;
+  cfg.use_fast_path = use_fast_path;
+  svc::LocalizationServer server(cfg, factory_for(d), nullptr);
+  svc::LoadGenConfig lg;
+  lg.walkers = 8;  // round-robin: one per campus path
+  lg.max_epochs_per_walker = 24;
+  lg.seed = seed;
+  lg.resilience.retry.max_retries = 1;
+  lg.resilience.probe_period = 2;
+  lg.resilience.record_timeline = true;
+  if (plan != nullptr) {
+    lg.make_link = [plan](svc::LocalizationServer& s, std::uint64_t sid) {
+      return std::make_unique<fault::FaultyLink>(
+          std::make_unique<svc::DirectLink>(&s), plan, sid);
+    };
+  }
+  return run_load(server, d, lg, nullptr);
+}
+
+void expect_identical_reports(const svc::LoadReport& ref,
+                              const svc::LoadReport& fast,
+                              const std::string& label) {
+  ASSERT_EQ(ref.walkers.size(), fast.walkers.size()) << label;
+  EXPECT_EQ(ref.total_epochs, fast.total_epochs) << label;
+  for (std::size_t w = 0; w < ref.walkers.size(); ++w) {
+    const svc::WalkerOutcome& r = ref.walkers[w];
+    const svc::WalkerOutcome& f = fast.walkers[w];
+    const std::string at = label + " walker " + std::to_string(w);
+    EXPECT_EQ(r.session_id, f.session_id) << at;
+    EXPECT_EQ(r.walkway, f.walkway) << at;
+    EXPECT_EQ(r.epochs_accepted, f.epochs_accepted) << at;
+    EXPECT_EQ(r.local_epochs, f.local_epochs) << at;
+    EXPECT_EQ(r.rehellos, f.rehellos) << at;
+    ASSERT_EQ(r.timeline.size(), f.timeline.size()) << at;
+    for (std::size_t e = 0; e < r.timeline.size(); ++e) {
+      const svc::EpochEvent& re = r.timeline[e];
+      const svc::EpochEvent& fe = f.timeline[e];
+      const std::string ep = at + " epoch " + std::to_string(e);
+      EXPECT_EQ(re.epoch, fe.epoch) << ep;
+      EXPECT_EQ(re.source, fe.source) << ep;
+      EXPECT_EQ(re.attempts, fe.attempts) << ep;
+      EXPECT_EQ(re.degraded_after, fe.degraded_after) << ep;
+      EXPECT_EQ(re.rehello, fe.rehello) << ep;
+      expect_same(re.estimate.x, fe.estimate.x, ep + " x");
+      expect_same(re.estimate.y, fe.estimate.y, ep + " y");
+      expect_same(re.error_m, fe.error_m, ep + " err");
+    }
+  }
+}
+
+TEST(DifferentialSvc, FaultFreeCampusServiceBitIdentical) {
+  const core::Deployment& d = campus_deployment();
+  const svc::LoadReport ref =
+      run_load_scenario(d, nullptr, /*fast=*/false, /*workers=*/0, 2024);
+  const svc::LoadReport fast =
+      run_load_scenario(d, nullptr, /*fast=*/true, /*workers=*/0, 2024);
+  expect_identical_reports(ref, fast, "clean");
+}
+
+TEST(DifferentialSvc, ChaosCampusServiceBitIdenticalAtWorkers0And4) {
+  const core::Deployment& d = campus_deployment();
+  fault::FaultRates rates;
+  rates.drop = 0.10;
+  rates.corrupt = 0.05;
+  rates.base_delay_us = 20'000;
+  fault::FaultPlan plan(5, rates);
+  plan.add_blackout(6, 9);
+
+  const svc::LoadReport ref =
+      run_load_scenario(d, &plan, /*fast=*/false, /*workers=*/0, 2024);
+  const svc::LoadReport fast0 =
+      run_load_scenario(d, &plan, /*fast=*/true, /*workers=*/0, 2024);
+  const svc::LoadReport fast4 =
+      run_load_scenario(d, &plan, /*fast=*/true, /*workers=*/4, 2024);
+  expect_identical_reports(ref, fast0, "chaos workers=0");
+  expect_identical_reports(ref, fast4, "chaos workers=4");
+}
+
+TEST(DifferentialSvc, ChaosSeedSweepBitIdentical) {
+  // Smaller venue, more seeds: the fault schedule, retry timing, and
+  // fallback transitions all re-randomize per seed.
+  const core::Deployment& d = office_deployment();
+  fault::FaultRates rates;
+  rates.drop = 0.15;
+  rates.corrupt = 0.05;
+  fault::FaultPlan plan(11, rates);
+  for (std::uint64_t seed = 100; seed < 132; ++seed) {
+    const svc::LoadReport ref =
+        run_load_scenario(d, &plan, /*fast=*/false, /*workers=*/0, seed);
+    const svc::LoadReport fast =
+        run_load_scenario(d, &plan, /*fast=*/true, /*workers=*/4, seed);
+    expect_identical_reports(ref, fast, "seed " + std::to_string(seed));
+  }
+}
+
+}  // namespace
+}  // namespace uniloc

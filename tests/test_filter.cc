@@ -57,8 +57,8 @@ TEST(ParticleFilter, ZeroLikelihoodEverywhereResetsUniform) {
   pf.init({0.0, 0.0}, 0.0, 1.0, 0.1, 0.0);
   pf.reweight([](const Particle&) { return 0.0; });
   // Weights reset to uniform rather than NaN.
-  for (const Particle& p : pf.particles()) {
-    EXPECT_NEAR(p.weight, 1.0 / 100.0, 1e-12);
+  for (std::size_t i = 0; i < pf.size(); ++i) {
+    EXPECT_NEAR(pf.weight(i), 1.0 / 100.0, 1e-12);
   }
 }
 
@@ -90,9 +90,9 @@ TEST(ParticleFilter, ResampleRestoresEss) {
 TEST(ParticleFilter, ResampleSkipsWhenEssHigh) {
   ParticleFilter pf(100, stats::Rng(8));
   pf.init({0.0, 0.0}, 0.0, 1.0, 0.1, 0.0);
-  const geo::Vec2 before = pf.particles()[0].pos;
+  const geo::Vec2 before = pf.pos(0);
   pf.resample(0.5);  // uniform weights: ESS = N, no resample
-  EXPECT_EQ(pf.particles()[0].pos, before);
+  EXPECT_EQ(pf.pos(0), before);
 }
 
 TEST(ParticleFilter, ResamplePreservesMean) {
@@ -117,7 +117,7 @@ TEST(ParticleFilter, StepScalePersonalization) {
   pf.reweight([](const Particle& p) { return p.pos.x > 22.0 ? 1.0 : 1e-9; });
   pf.resample(1.0);
   double mean_scale = 0.0;
-  for (const Particle& p : pf.particles()) mean_scale += p.step_scale;
+  for (std::size_t i = 0; i < pf.size(); ++i) mean_scale += pf.step_scale(i);
   mean_scale /= static_cast<double>(pf.size());
   EXPECT_GT(mean_scale, 1.05);
 }

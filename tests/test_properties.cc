@@ -132,7 +132,7 @@ TEST_P(PfConvergence, WeightsAlwaysNormalizable) {
     });
     pf.resample();
     double sum = 0.0;
-    for (const filter::Particle& p : pf.particles()) sum += p.weight;
+    for (std::size_t k = 0; k < pf.size(); ++k) sum += pf.weight(k);
     EXPECT_NEAR(sum, 1.0, 1e-6);
     EXPECT_TRUE(std::isfinite(pf.mean().x));
   }
