@@ -1,0 +1,120 @@
+// Bench: checkpoint cost -- snapshot latency and bytes per session.
+//
+// A LocalizationServer carrying N warm sessions (N in {1, 8, 32, 128},
+// round-robin over the eight campus paths, a few epochs of traffic each
+// so particle clouds and calibrators hold real state) is snapshotted
+// repeatedly. Reported per N:
+//
+//   snapshot_p50/p99_us   full-population snapshot latency (quiesce is
+//                         free here: workers == 0, every session idle)
+//   bytes_per_session     snapshot size divided by N (the per-phone
+//                         checkpoint footprint; dominated by the two
+//                         particle filters at ~600 doubles each)
+//   restore_us            one cold restore of the final snapshot
+//
+// Headline: bytes/session is flat in N (the format has no cross-session
+// state) and snapshot latency is linear in N.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "svc/epoch_codec.h"
+#include "svc/loadgen.h"
+#include "svc/server.h"
+#include "svc/wire.h"
+
+using namespace uniloc;
+
+namespace {
+
+constexpr std::size_t kWarmEpochs = 6;
+constexpr std::size_t kSnapshotReps = 50;
+
+std::vector<std::uint8_t> hello_frame(std::uint64_t sid, geo::Vec2 start,
+                                      double heading) {
+  svc::Frame f;
+  f.type = svc::FrameType::kHello;
+  f.session_id = sid;
+  f.payload = svc::encode_hello({start, heading});
+  return svc::encode_frame(f);
+}
+
+std::vector<std::uint8_t> epoch_frame(std::uint64_t sid) {
+  svc::Frame f;
+  f.type = svc::FrameType::kEpoch;
+  f.session_id = sid;
+  f.payload = svc::encode_epoch({}, sim::SensorFrame{});
+  return svc::encode_frame(f);
+}
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  obs::BenchReport report = bench::make_report("checkpoint");
+  const core::Deployment campus = core::make_deployment(
+      sim::campus(42), core::DeploymentOptions{.seed = 42});
+  const auto factory = [&campus](std::uint64_t sid) {
+    return std::make_unique<core::Uniloc>(core::make_uniloc(
+        campus, bench::standard_models(), {}, false, /*seed=*/7 + sid));
+  };
+
+  io::Table table({"sessions", "bytes/session", "snap p50 (us)",
+                   "snap p99 (us)", "restore (us)"});
+  for (const std::size_t n : {1u, 8u, 32u, 128u}) {
+    svc::LocalizationServer server(svc::ServerConfig{}, factory, nullptr);
+    const auto& ways = campus.place->walkways();
+    for (std::uint64_t sid = 1; sid <= n; ++sid) {
+      const sim::Walkway& way = ways[(sid - 1) % ways.size()];
+      server.submit(hello_frame(sid, way.line.points().front(), 0.0)).get();
+      for (std::size_t e = 0; e < kWarmEpochs; ++e) {
+        server.submit(epoch_frame(sid)).get();
+      }
+    }
+
+    std::vector<double> latencies;
+    std::vector<std::uint8_t> snap;
+    for (std::size_t rep = 0; rep < kSnapshotReps; ++rep) {
+      const double t0 = now_us();
+      snap = server.snapshot();
+      latencies.push_back(now_us() - t0);
+    }
+    const double p50 = stats::percentile(latencies, 50.0);
+    const double p99 = stats::percentile(latencies, 99.0);
+    const double per_session =
+        static_cast<double>(snap.size()) / static_cast<double>(n);
+
+    svc::LocalizationServer cold(svc::ServerConfig{}, factory, nullptr);
+    const double r0 = now_us();
+    const bool ok = cold.restore(snap);
+    const double restore_us = now_us() - r0;
+    if (!ok || cold.live_sessions() != n) {
+      std::fprintf(stderr, "restore failed at n=%zu\n", n);
+      return 1;
+    }
+
+    table.add_row({std::to_string(n), io::Table::num(per_session, 0),
+                   io::Table::num(p50, 1), io::Table::num(p99, 1),
+                   io::Table::num(restore_us, 1)});
+    const std::string prefix = "n" + std::to_string(n) + "_";
+    report.add_scalar(prefix + "snapshot_bytes",
+                      static_cast<double>(snap.size()));
+    report.add_scalar(prefix + "bytes_per_session", per_session);
+    report.add_scalar(prefix + "snapshot_p50_us", p50);
+    report.add_scalar(prefix + "snapshot_p99_us", p99);
+    report.add_scalar(prefix + "restore_us", restore_us);
+    report.add_series(prefix + "snapshot_us", latencies);
+  }
+
+  std::printf("Checkpoint cost (campus deployment, %zu warm epochs/session)\n",
+              kWarmEpochs);
+  std::printf("%s", table.to_string().c_str());
+  bench::report_json(report);
+  return 0;
+}

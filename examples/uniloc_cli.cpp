@@ -44,6 +44,7 @@
 #include "obs/trace.h"
 #include "sim/trace_io.h"
 #include "stats/descriptive.h"
+#include "svc/checkpoint.h"
 #include "svc/loadgen.h"
 #include "svc/server.h"
 
@@ -224,6 +225,10 @@ struct ServeSimOptions {
   std::size_t epochs{50};  ///< Per walker; 0 = full paths.
   std::uint64_t seed{2024};
   std::string faults;  ///< Empty: perfect wire.
+  /// Empty: no checkpointing. Otherwise the server snapshots itself
+  /// every second into <dir>/checkpoint.bin (atomic replace, fsync'd);
+  /// a final snapshot is written when the run drains.
+  std::string checkpoint_dir;
   bool metrics{false};
 };
 
@@ -291,6 +296,19 @@ int cmd_serve_sim(const ServeSimOptions& sopts) {
   // A compressed stand-in for the per-fix WLAN transmission time the
   // paper measures (Table V); workers overlap these waits.
   cfg.simulated_network = std::chrono::microseconds(5000);
+  std::size_t checkpoints_written = 0;
+  if (!sopts.checkpoint_dir.empty()) {
+    cfg.checkpoint_period_us = 1'000'000;  // wall-clock second
+    cfg.on_checkpoint = [&sopts, &checkpoints_written](
+                            const std::vector<std::uint8_t>& snap) {
+      if (svc::write_checkpoint_file(sopts.checkpoint_dir, snap)) {
+        ++checkpoints_written;
+      } else {
+        std::fprintf(stderr, "warning: checkpoint write to %s failed\n",
+                     sopts.checkpoint_dir.c_str());
+      }
+    };
+  }
   svc::LocalizationServer server(
       cfg,
       [&](std::uint64_t sid) {
@@ -316,6 +334,14 @@ int cmd_serve_sim(const ServeSimOptions& sopts) {
     };
   }
   const svc::LoadReport report = svc::run_load(server, d, lg, &registry);
+  if (!sopts.checkpoint_dir.empty()) {
+    // One final snapshot so the file reflects the drained end state.
+    if (svc::write_checkpoint_file(sopts.checkpoint_dir, server.snapshot())) {
+      ++checkpoints_written;
+    }
+    std::printf("wrote %zu checkpoints to %s\n", checkpoints_written,
+                svc::checkpoint_path(sopts.checkpoint_dir).c_str());
+  }
   server.shutdown();
 
   const bool chaos = plan.has_value();
@@ -372,9 +398,13 @@ int usage() {
                "                    [--trace <out.jsonl>] [--metrics]\n"
                "  uniloc_cli serve-sim [--venue <name>] [--walkers N]\n"
                "                    [--workers W] [--epochs E] [--seed S]\n"
-               "                    [--faults <plan>] [--metrics]\n"
+               "                    [--faults <plan>] [--checkpoint-dir <dir>]\n"
+               "                    [--metrics]\n"
                "      <plan>: drop=P,dup=P,reorder=P,corrupt=P,delay_ms=D,\n"
-               "              jitter_ms=J,seed=S,blackout=a:b[,...]\n");
+               "              jitter_ms=J,seed=S,blackout=a:b[,...]\n"
+               "      --checkpoint-dir: snapshot all sessions into\n"
+               "              <dir>/checkpoint.bin every second (atomic,\n"
+               "              fsync'd) plus once at the end of the run\n");
   return 2;
 }
 
@@ -421,6 +451,8 @@ int main(int argc, char** argv) {
           sopts.seed = std::stoull(argv[++i]);
         } else if (arg == "--faults" && i + 1 < argc) {
           sopts.faults = argv[++i];
+        } else if (arg == "--checkpoint-dir" && i + 1 < argc) {
+          sopts.checkpoint_dir = argv[++i];
         } else if (arg == "--metrics") {
           sopts.metrics = true;
         } else {

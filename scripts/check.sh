@@ -45,4 +45,10 @@ if [[ "${ASAN:-1}" != "0" ]]; then
   # under ASan/UBSan -- the zero-allocation arena reuses buffers across
   # epochs and sessions, exactly where stale-pointer bugs would hide.
   ctest --test-dir "$ASAN_DIR" -R '^diff\.' --output-on-failure -j "$JOBS"
+  # Crash-recovery gate: the checkpoint suite (snapshot codec round
+  # trips, kProcessCrash chaos, truncated/bit-flipped snapshot fuzz)
+  # must be clean under ASan+UBSan -- restore() is the server's hostile
+  # deserialization boundary, exactly where OOB reads would hide.
+  cmake --build "$ASAN_DIR" -j "$JOBS" --target test_checkpoint
+  ctest --test-dir "$ASAN_DIR" -L '^checkpoint$' --output-on-failure -j "$JOBS"
 fi

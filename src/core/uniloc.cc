@@ -8,6 +8,7 @@
 #include "core/epoch_scratch.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "offload/bytes.h"
 
 namespace uniloc::core {
 
@@ -346,6 +347,41 @@ std::uint64_t Uniloc::scheme_cache_misses() const {
   std::uint64_t total = 0;
   for (const Entry& e : entries_) total += e.scheme->cache_misses();
   return total;
+}
+
+void Uniloc::snapshot_into(offload::ByteWriter& w) const {
+  w.put_bool(gps_enable_);
+  predictor_.snapshot_into(w);
+  w.put_u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const Entry& e : entries_) {
+    w.put_string(e.scheme->name());
+    // Length-prefix each scheme payload so a restorer can verify the
+    // scheme consumed exactly what it wrote.
+    const std::size_t len_pos = w.size();
+    w.put_u32(0);
+    const std::size_t start = w.size();
+    e.scheme->snapshot_into(w);
+    w.patch_u32(len_pos, static_cast<std::uint32_t>(w.size() - start));
+  }
+}
+
+bool Uniloc::restore_from(offload::ByteReader& r) {
+  bool gps_enable;
+  if (!r.get_bool(gps_enable)) return false;
+  if (!predictor_.restore_from(r)) return false;
+  std::uint32_t count;
+  if (!r.get_u32(count) || count != entries_.size()) return false;
+  for (Entry& e : entries_) {
+    std::string name;
+    if (!r.get_string(name, 64) || name != e.scheme->name()) return false;
+    std::uint32_t len;
+    if (!r.get_u32(len) || len > r.remaining()) return false;
+    const std::size_t before = r.pos();
+    if (!e.scheme->restore_from(r)) return false;
+    if (r.pos() - before != len) return false;
+  }
+  gps_enable_ = gps_enable;
+  return true;
 }
 
 }  // namespace uniloc::core

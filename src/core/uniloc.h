@@ -116,6 +116,17 @@ class Uniloc {
   /// before the first epoch: the controller cannot rule GPS out yet).
   bool gps_enabled() const { return gps_enable_; }
 
+  /// Serialize all persistent mutable state -- the duty-cycle flag, the
+  /// location predictor, and every scheme's state (name-tagged and
+  /// length-prefixed) -- for a session checkpoint (svc/checkpoint.h).
+  void snapshot_into(offload::ByteWriter& w) const;
+  /// Restore into a framework built with the same configuration, scheme
+  /// list and seeds as the snapshotted one (the service rebuilds it via
+  /// the session factory first). Validates the scheme names and payload
+  /// framing; returns false (state unspecified but safe) on mismatch or
+  /// malformed input.
+  bool restore_from(offload::ByteReader& r);
+
   /// Attach latency/throughput instrumentation to `registry` (nullptr
   /// detaches, the default state). Histograms resolved once here, never
   /// on the hot path: `uniloc.update_us`, `uniloc.fuse_us`, and

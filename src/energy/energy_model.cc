@@ -57,7 +57,7 @@ std::vector<EnergyRow> account_energy(const core::RunResult& run,
   const double wifi_upload_j =
       n * s.mean_wifi_count * p.per_ap_payload_b * tx_j;
   const double cell_upload_j =
-      n * s.mean_cell_count * p.per_ap_payload_b * tx_j;
+      n * s.mean_cell_count * p.per_cell_payload_b * tx_j;
   const double motion_upload_j = n * p.motion_payload_b * tx_j;
   const double downlink_j = n * p.downlink_payload_b * tx_j;
 

@@ -26,10 +26,17 @@ struct EnergyParams {
   double cpu_preprocess_mw = 22.0;  ///< Step-model inference on the phone.
   double display_upload_mw = 14.0;  ///< Radio TX of intermediate results.
 
-  // Offloading payload sizes (bytes per epoch).
+  // Offloading payload sizes (bytes per epoch), reconciled with the wire
+  // encodings in offload/payload.h that serialize_uplink actually emits
+  // (tests/test_energy_io.cc pins the agreement):
+  //   motion  = StepPayload::kBytes (4)
+  //   per AP / per cell tower = 3 (2-byte id + 1-byte RSSI, ScanPayload)
+  //   gps     = GpsPayload::kBytes (10)
+  //   downlink= DownlinkFrame::kBytes (8)
   double motion_payload_b = 4.0;    ///< Paper: four bytes per 0.5 s.
-  double per_ap_payload_b = 6.0;
-  double gps_payload_b = 16.0;
+  double per_ap_payload_b = 3.0;    ///< Per audible WiFi AP reading.
+  double per_cell_payload_b = 3.0;  ///< Per audible cell tower reading.
+  double gps_payload_b = 10.0;
   double downlink_payload_b = 8.0;
   double tx_uj_per_byte = 4.0;      ///< Radio energy per transmitted byte.
 };

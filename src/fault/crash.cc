@@ -1,0 +1,16 @@
+#include "fault/crash.h"
+
+#include <utility>
+
+namespace uniloc::fault {
+
+void CrashInjector::on_round(std::size_t round) {
+  last_checkpoint_ = server_->snapshot();
+  ++checkpoints_;
+  if (!plan_->crash_at(round)) return;
+  ++crashes_;
+  server_->crash();
+  if (!server_->restore(last_checkpoint_)) ++restore_failures_;
+}
+
+}  // namespace uniloc::fault

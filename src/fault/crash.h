@@ -1,0 +1,52 @@
+// Process-crash injection for the localization service.
+//
+// The injector models a server that checkpoints after every round of
+// traffic and, at rounds scripted via FaultPlan::script_crash, dies and
+// restarts from its latest checkpoint: all in-RAM session state is lost
+// (LocalizationServer::crash) and rebuilt from the snapshot
+// (LocalizationServer::restore). Because a snapshot captures the complete
+// per-session state -- particle clouds, RNG engines, calibrators, the
+// duty-cycle flag and the session bookkeeping -- a crashed-and-restored
+// run must serve the exact epoch stream of an uninterrupted one
+// (tests/test_checkpoint.cc pins this bit for bit).
+//
+// Wire into the load generator:
+//
+//   fault::CrashInjector injector(&server, &plan);
+//   load_cfg.on_round = [&](std::size_t round) { injector.on_round(round); };
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/plan.h"
+#include "svc/server.h"
+
+namespace uniloc::fault {
+
+class CrashInjector {
+ public:
+  /// Both pointers must outlive the injector.
+  CrashInjector(svc::LocalizationServer* server, const FaultPlan* plan)
+      : server_(server), plan_(plan) {}
+
+  /// Checkpoint the server; then, if `round` is scripted to crash, kill
+  /// and restore it. Call from LoadGenConfig::on_round (all sessions are
+  /// idle there, so the snapshot is a clean between-rounds cut).
+  void on_round(std::size_t round);
+
+  std::size_t checkpoints() const { return checkpoints_; }
+  std::size_t crashes() const { return crashes_; }
+  /// Restores that failed (should stay 0: our own snapshots are valid).
+  std::size_t restore_failures() const { return restore_failures_; }
+
+ private:
+  svc::LocalizationServer* server_;
+  const FaultPlan* plan_;
+  std::vector<std::uint8_t> last_checkpoint_;
+  std::size_t checkpoints_{0};
+  std::size_t crashes_{0};
+  std::size_t restore_failures_{0};
+};
+
+}  // namespace uniloc::fault

@@ -18,6 +18,8 @@ const char* fault_kind_name(FaultKind k) {
       return "corrupt";
     case FaultKind::kDown:
       return "down";
+    case FaultKind::kProcessCrash:
+      return "process-crash";
   }
   return "?";
 }
@@ -38,6 +40,17 @@ void FaultPlan::script_all_streams(std::size_t send_index,
 void FaultPlan::add_blackout(std::size_t from_send_index,
                              std::size_t to_send_index) {
   blackouts_.emplace_back(from_send_index, to_send_index);
+}
+
+void FaultPlan::script_crash(std::size_t round) {
+  crash_rounds_.push_back(round);
+}
+
+bool FaultPlan::crash_at(std::size_t round) const {
+  for (const std::size_t r : crash_rounds_) {
+    if (r == round) return true;
+  }
+  return false;
 }
 
 FaultDecision FaultPlan::decide(std::uint64_t stream,

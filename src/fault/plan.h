@@ -35,6 +35,9 @@ enum class FaultKind : std::uint8_t {
                ///< arrives instead of this one's (stop-and-wait reorder).
   kCorrupt,    ///< A wire byte is flipped; the server rejects the frame.
   kDown,       ///< Server unreachable (blackout); fails fast.
+  kProcessCrash,  ///< Server process dies between rounds and restarts from
+                  ///< its last checkpoint (scripted via script_crash; never
+                  ///< emitted by decide()'s per-send layers).
 };
 
 const char* fault_kind_name(FaultKind k);
@@ -73,6 +76,14 @@ class FaultPlan {
   /// send in the window fails fast with kDown.
   void add_blackout(std::size_t from_send_index, std::size_t to_send_index);
 
+  /// Script a kProcessCrash after load-generation round `round` (0-based).
+  /// Crashes live outside decide()'s per-send layers: they are consumed
+  /// by a fault::CrashInjector wired into LoadGenConfig::on_round.
+  void script_crash(std::size_t round);
+
+  /// True when a crash is scripted for `round`.
+  bool crash_at(std::size_t round) const;
+
   /// The fault (if any) injected into `stream`'s `send_index`-th link
   /// transmission. Pure: depends only on (seed, schedule, arguments).
   FaultDecision decide(std::uint64_t stream, std::size_t send_index) const;
@@ -89,6 +100,7 @@ class FaultPlan {
   std::map<std::pair<std::uint64_t, std::size_t>, FaultDecision> scripted_;
   std::map<std::size_t, FaultDecision> scripted_all_;
   std::vector<std::pair<std::size_t, std::size_t>> blackouts_;
+  std::vector<std::size_t> crash_rounds_;
 };
 
 }  // namespace uniloc::fault

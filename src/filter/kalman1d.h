@@ -19,6 +19,15 @@ class Kalman1d {
 
   double estimate() const { return x_; }
   double sd() const;
+  double variance() const { return p_; }
+
+  /// Overwrite the mutable state (estimate + variance) -- snapshot
+  /// restore. The process/measurement noise parameters are configuration
+  /// and stay as constructed.
+  void set_state(double estimate, double variance) {
+    x_ = estimate;
+    p_ = variance;
+  }
 
  private:
   double x_;

@@ -80,6 +80,29 @@ std::optional<geo::Vec2> LocationPredictor::predict() const {
   return state_.cur;
 }
 
+void LocationPredictor::snapshot_into(offload::ByteWriter& w) const {
+  w.put_f64(state_.prev.x);
+  w.put_f64(state_.prev.y);
+  w.put_f64(state_.cur.x);
+  w.put_f64(state_.cur.y);
+  w.put_bool(state_.has_prev);
+  w.put_bool(state_.has_cur);
+}
+
+bool LocationPredictor::restore_from(offload::ByteReader& r) {
+  State s;
+  if (!r.get_f64(s.prev.x) || !r.get_f64(s.prev.y) || !r.get_f64(s.cur.x) ||
+      !r.get_f64(s.cur.y) || !r.get_bool(s.has_prev) ||
+      !r.get_bool(s.has_cur)) {
+    return false;
+  }
+  state_ = s;
+  // The window is derived state; the next observe() rebuilds it.
+  cells_.clear();
+  belief_.clear();
+  return true;
+}
+
 double LocationPredictor::uncertainty() const {
   if (belief_.empty()) return 0.0;
   geo::Vec2 mean{};

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "geo/vec2.h"
+#include "offload/bytes.h"
 
 namespace uniloc::filter {
 
@@ -38,6 +39,13 @@ class LocationPredictor {
   double uncertainty() const;
 
   void reset();
+
+  /// Snapshot codec. Only the second-order state is serialized: the cell
+  /// window and belief are rebuilt from scratch by every observe(), so
+  /// restoring the state alone reproduces observe()/predict() bit for
+  /// bit.
+  void snapshot_into(offload::ByteWriter& w) const;
+  bool restore_from(offload::ByteReader& r);
 
  private:
   struct State {

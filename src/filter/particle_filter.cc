@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "stats/rng_codec.h"
 
 namespace uniloc::filter {
 
@@ -154,6 +155,43 @@ double ParticleFilter::spread() const {
     total += weight_[i];
   }
   return total > 0.0 ? std::sqrt(s / total) : 0.0;
+}
+
+void ParticleFilter::snapshot_into(offload::ByteWriter& w) const {
+  const std::size_t n = px_.size();
+  w.put_u32(static_cast<std::uint32_t>(n));
+  const auto put_array = [&w, n](const std::vector<double>& arr) {
+    for (std::size_t i = 0; i < n; ++i) w.put_f64(arr[i]);
+  };
+  put_array(px_);
+  put_array(py_);
+  put_array(heading_);
+  put_array(scale_);
+  put_array(weight_);
+  stats::snapshot_engine(rng_.engine(), w);
+}
+
+bool ParticleFilter::restore_from(offload::ByteReader& r) {
+  const std::size_t n = px_.size();
+  std::uint32_t count;
+  if (!r.get_u32(count) || count != n) return false;
+  // Decode into scratch first: a truncated buffer must not leave the
+  // filter half-overwritten.
+  std::vector<std::vector<double>> arrays(5, std::vector<double>(n));
+  for (std::vector<double>& arr : arrays) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!r.get_f64(arr[i])) return false;
+    }
+  }
+  std::mt19937_64 engine;
+  if (!stats::restore_engine(engine, r)) return false;
+  px_ = std::move(arrays[0]);
+  py_ = std::move(arrays[1]);
+  heading_ = std::move(arrays[2]);
+  scale_ = std::move(arrays[3]);
+  weight_ = std::move(arrays[4]);
+  rng_.engine() = engine;
+  return true;
 }
 
 std::size_t ParticleFilter::storage_bytes() const {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "geo/vec2.h"
+#include "offload/bytes.h"
 #include "stats/rng.h"
 
 namespace uniloc::obs {
@@ -138,6 +139,15 @@ class ParticleFilter {
 
   /// Bytes of reusable SoA + scratch storage (perf.scratch accounting).
   std::size_t storage_bytes() const;
+
+  /// Snapshot codec: particle count, the five SoA arrays, and the RNG
+  /// engine state. Because every draw order is pinned (see the contract
+  /// above) and the engine is the filter's only hidden state, a restored
+  /// filter continues the random stream bit for bit.
+  void snapshot_into(offload::ByteWriter& w) const;
+  /// Rejects (returns false, filter unchanged) on truncation, a particle
+  /// count that does not match this filter's, or a corrupt engine state.
+  bool restore_from(offload::ByteReader& r);
 
   /// Route predict()/resample() latencies into `registry` histograms
   /// `<prefix>.predict_us` / `<prefix>.resample_us`. Null detaches (the

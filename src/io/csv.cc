@@ -7,9 +7,9 @@ namespace uniloc::io {
 
 namespace {
 std::string quote_if_needed(const std::string& s) {
-  if (s.find(',') == std::string::npos && s.find('"') == std::string::npos) {
-    return s;
-  }
+  // RFC 4180: a field containing a separator, a quote, or a line break
+  // (embedded newlines are legal inside quoted fields) must be quoted.
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
   std::string q = "\"";
   for (char ch : s) {
     if (ch == '"') q += '"';
@@ -49,6 +49,66 @@ void CsvWriter::write_row(const std::vector<std::string>& values) {
     out_ << quote_if_needed(values[i]);
   }
   out_ << '\n';
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool quoted = false;
+  bool field_started = false;  // distinguishes "" (one empty row) from ""
+
+  const auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  const auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+    field_started = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';  // doubled quote: literal "
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += ch;  // separators and line breaks are literal here
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        quoted = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        field_started = true;  // a separator implies a following field
+        break;
+      case '\r':
+        if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
+        end_row();
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        field += ch;
+        field_started = true;
+        break;
+    }
+  }
+  // Final row without a trailing terminator.
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
 }
 
 }  // namespace uniloc::io

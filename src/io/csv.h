@@ -24,4 +24,10 @@ class CsvWriter {
   std::size_t columns_;
 };
 
+/// Parse RFC 4180 CSV text into rows of unescaped fields. Quoted fields
+/// may contain separators, doubled quotes ("" unescapes to ") and line
+/// breaks; both \n and \r\n row terminators are accepted. The round-trip
+/// partner of CsvWriter (tests pin writer -> parser identity).
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
 }  // namespace uniloc::io

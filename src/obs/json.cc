@@ -1,5 +1,6 @@
 #include "obs/json.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -56,9 +57,12 @@ JsonWriter& JsonWriter::key(std::string_view k) {
 JsonWriter& JsonWriter::value(double v) {
   if (!std::isfinite(v)) return null_value();
   element_prefix();
+  // Shortest representation that parses back to exactly `v` -- the old
+  // "%.9g" silently dropped up to 8 bits of mantissa, so values did not
+  // survive a write/read round trip.
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
-  out_ += buf;
+  const std::to_chars_result res = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, res.ptr);
   return *this;
 }
 

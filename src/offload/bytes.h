@@ -11,6 +11,8 @@
 #include <bit>
 #include <cstdint>
 #include <cstring>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace uniloc::offload {
@@ -23,6 +25,12 @@ class ByteWriter {
   void put_u64(std::uint64_t v) { put_le(v); }
   void put_i32(std::int32_t v) { put_le(static_cast<std::uint32_t>(v)); }
   void put_f64(double v) { put_le(std::bit_cast<std::uint64_t>(v)); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  /// u32 length prefix + raw bytes (snapshot codec name tags).
+  void put_string(std::string_view s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    put_bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
   void put_bytes(const std::uint8_t* p, std::size_t n) {
     buf_.insert(buf_.end(), p, p + n);
   }
@@ -72,6 +80,23 @@ class ByteReader {
     std::uint64_t u;
     if (!get_le(u)) return false;
     v = std::bit_cast<double>(u);
+    return true;
+  }
+  /// Rejects any encoding other than 0/1 -- a corrupt flag byte must be a
+  /// parse error, not a silently-true bool.
+  bool get_bool(bool& v) {
+    std::uint8_t u;
+    if (!get_u8(u) || u > 1) return false;
+    v = u != 0;
+    return true;
+  }
+  /// Counterpart of put_string. `max_len` caps the declared length so a
+  /// hostile prefix cannot force a giant allocation.
+  bool get_string(std::string& v, std::size_t max_len) {
+    std::uint32_t len;
+    if (!get_u32(len) || len > max_len || len > remaining()) return false;
+    v.assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
     return true;
   }
 

@@ -34,6 +34,12 @@ class FingerprintScheme final : public LocalizationScheme {
   SchemeOutput update(const sim::SensorFrame& frame) override;
   void update_into(const sim::SensorFrame& frame, SchemeOutput& out) override;
   void set_epoch_context(EpochContext* ctx) override { epoch_ctx_ = ctx; }
+  void snapshot_into(offload::ByteWriter& w) const override {
+    calibrator_.snapshot_into(w);
+  }
+  bool restore_from(offload::ByteReader& r) override {
+    return calibrator_.restore_from(r);
+  }
 
   const FingerprintDatabase& database() const { return *db_; }
 

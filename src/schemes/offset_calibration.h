@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "filter/kalman1d.h"
+#include "offload/bytes.h"
 #include "schemes/fingerprint_db.h"
 
 namespace uniloc::schemes {
@@ -28,6 +29,19 @@ class OffsetCalibrator {
 
   /// Current offset estimate (dB added to incoming readings).
   double offset_db() const { return kalman_.estimate(); }
+
+  /// Snapshot codec: the Kalman estimate + variance are the calibrator's
+  /// entire mutable state.
+  void snapshot_into(offload::ByteWriter& w) const {
+    w.put_f64(kalman_.estimate());
+    w.put_f64(kalman_.variance());
+  }
+  bool restore_from(offload::ByteReader& r) {
+    double estimate, variance;
+    if (!r.get_f64(estimate) || !r.get_f64(variance)) return false;
+    kalman_.set_state(estimate, variance);
+    return true;
+  }
 
  private:
   filter::Kalman1d kalman_;

@@ -81,4 +81,28 @@ StepInference PdrFrontend::process(const std::vector<sim::ImuSample>& imu) {
   return out;
 }
 
+void PdrFrontend::snapshot_into(offload::ByteWriter& w) const {
+  w.put_f64(heading_);
+  w.put_bool(heading_init_);
+  w.put_f64(prev_epoch_heading_);
+  w.put_f64(last_peak_t_);
+  w.put_bool(above_);
+}
+
+bool PdrFrontend::restore_from(offload::ByteReader& r) {
+  double heading, prev_epoch_heading, last_peak_t;
+  bool heading_init, above;
+  if (!r.get_f64(heading) || !r.get_bool(heading_init) ||
+      !r.get_f64(prev_epoch_heading) || !r.get_f64(last_peak_t) ||
+      !r.get_bool(above)) {
+    return false;
+  }
+  heading_ = heading;
+  heading_init_ = heading_init;
+  prev_epoch_heading_ = prev_epoch_heading;
+  last_peak_t_ = last_peak_t;
+  above_ = above;
+  return true;
+}
+
 }  // namespace uniloc::schemes

@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "offload/bytes.h"
 #include "sim/imu_sim.h"
 
 namespace uniloc::schemes {
@@ -50,6 +51,11 @@ class PdrFrontend {
   StepInference process(const std::vector<sim::ImuSample>& imu);
 
   double heading() const { return heading_; }
+
+  /// Snapshot codec: the heading filter and step-detector state (the
+  /// options are configuration and stay as constructed).
+  void snapshot_into(offload::ByteWriter& w) const;
+  bool restore_from(offload::ByteReader& r);
 
  private:
   PdrFrontendOptions opts_;

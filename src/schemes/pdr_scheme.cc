@@ -155,4 +155,21 @@ void PdrScheme::update_into(const sim::SensorFrame& frame, SchemeOutput& out) {
   make_output_into(out);
 }
 
+void PdrScheme::snapshot_into(offload::ByteWriter& w) const {
+  frontend_.snapshot_into(w);
+  pf_.snapshot_into(w);
+  w.put_f64(dist_since_landmark_);
+  w.put_bool(started_);
+}
+
+bool PdrScheme::restore_from(offload::ByteReader& r) {
+  if (!frontend_.restore_from(r) || !pf_.restore_from(r)) return false;
+  double dist;
+  bool started;
+  if (!r.get_f64(dist) || !r.get_bool(started)) return false;
+  dist_since_landmark_ = dist;
+  started_ = started;
+  return true;
+}
+
 }  // namespace uniloc::schemes

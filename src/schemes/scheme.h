@@ -22,6 +22,11 @@ namespace uniloc::obs {
 class MetricsRegistry;
 }  // namespace uniloc::obs
 
+namespace uniloc::offload {
+class ByteWriter;
+class ByteReader;
+}  // namespace uniloc::offload
+
 namespace uniloc::schemes {
 
 struct EpochContext;  // schemes/epoch_context.h
@@ -135,6 +140,19 @@ class LocalizationScheme {
   /// timing; Uniloc already times the whole update() call per scheme.
   virtual void attach_metrics(obs::MetricsRegistry* registry) {
     (void)registry;
+  }
+
+  /// Serialize the scheme's persistent mutable state (everything reset()
+  /// initializes and update() evolves) for a session checkpoint. The
+  /// default covers stateless schemes: nothing written, restore succeeds.
+  /// Stateful schemes override both; restore_from must consume exactly
+  /// the bytes snapshot_into wrote (the caller length-prefixes each
+  /// scheme payload and verifies the framing), reject malformed input by
+  /// returning false, and leave the scheme usable either way.
+  virtual void snapshot_into(offload::ByteWriter& w) const { (void)w; }
+  virtual bool restore_from(offload::ByteReader& r) {
+    (void)r;
+    return true;
   }
 
   /// Likelihood-cache query outcomes accumulated by this scheme's fast

@@ -35,6 +35,7 @@ class Rng {
   explicit Rng(std::uint64_t seed) : engine_(seed) {}
 
   std::mt19937_64& engine() { return engine_; }
+  const std::mt19937_64& engine() const { return engine_; }
 
   /// Uniform double in [lo, hi).
   double uniform(double lo = 0.0, double hi = 1.0) {

@@ -1,0 +1,58 @@
+// Binary snapshot codec for the mt19937_64 engines hoisted into the
+// filters.
+//
+// The standard guarantees an engine round-trips through its textual
+// stream representation (a whitespace-separated list of decimal words:
+// the 312 state words followed by the read position). We re-encode those
+// tokens as fixed-width little-endian u64s -- ~2.5 KB per engine instead
+// of ~7 KB of ASCII -- and validate on restore: the token count must be
+// exactly state_size + 1 and the position token must not index past the
+// state array, so a bit-flipped snapshot is rejected instead of leaving
+// the engine reading out of bounds.
+#pragma once
+
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "offload/bytes.h"
+
+namespace uniloc::stats {
+
+inline void snapshot_engine(const std::mt19937_64& engine,
+                            offload::ByteWriter& w) {
+  std::ostringstream os;
+  os << engine;
+  std::istringstream is(os.str());
+  std::vector<std::uint64_t> tokens;
+  std::uint64_t t;
+  while (is >> t) tokens.push_back(t);
+  w.put_u32(static_cast<std::uint32_t>(tokens.size()));
+  for (const std::uint64_t token : tokens) w.put_u64(token);
+}
+
+inline bool restore_engine(std::mt19937_64& engine, offload::ByteReader& r) {
+  constexpr std::size_t kTokens = std::mt19937_64::state_size + 1;
+  std::uint32_t count;
+  if (!r.get_u32(count) || count != kTokens) return false;
+  std::ostringstream os;
+  std::uint64_t last = 0;
+  for (std::size_t i = 0; i < kTokens; ++i) {
+    std::uint64_t token;
+    if (!r.get_u64(token)) return false;
+    if (i > 0) os << ' ';
+    os << token;
+    last = token;
+  }
+  // The final token is the read position; past-the-end would make the
+  // next draw index out of bounds inside the engine.
+  if (last > std::mt19937_64::state_size) return false;
+  std::istringstream is(os.str());
+  std::mt19937_64 restored;
+  is >> restored;
+  if (is.fail()) return false;
+  engine = restored;
+  return true;
+}
+
+}  // namespace uniloc::stats

@@ -1,0 +1,73 @@
+#include "svc/checkpoint.h"
+
+#include <cstdio>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace uniloc::svc {
+
+void write_snapshot_header(offload::ByteWriter& w) {
+  w.put_u32(kSnapshotMagic);
+  w.put_u8(kSnapshotVersion);
+}
+
+bool check_snapshot_header(offload::ByteReader& r) {
+  std::uint32_t magic;
+  std::uint8_t version;
+  if (!r.get_u32(magic) || magic != kSnapshotMagic) return false;
+  if (!r.get_u8(version) || version != kSnapshotVersion) return false;
+  return true;
+}
+
+std::string checkpoint_path(const std::string& dir) {
+  return dir + "/checkpoint.bin";
+}
+
+bool write_checkpoint_file(const std::string& dir,
+                           const std::vector<std::uint8_t>& bytes) {
+  // Temp file in the same directory so the rename is atomic (same fs).
+  const std::string tmp = dir + "/checkpoint.bin.tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = bytes.empty() ||
+            std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ok = std::fflush(f) == 0 && ok;
+#ifndef _WIN32
+  // Durability: the data must hit disk before the rename publishes it,
+  // otherwise a crash could leave a renamed-but-empty checkpoint.
+  ok = ::fsync(::fileno(f)) == 0 && ok;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  const std::string target = checkpoint_path(dir);
+  if (std::rename(tmp.c_str(), target.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> read_checkpoint_file(
+    const std::string& dir) {
+  std::FILE* f = std::fopen(checkpoint_path(dir).c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) return std::nullopt;
+  return bytes;
+}
+
+}  // namespace uniloc::svc

@@ -1,0 +1,62 @@
+// Versioned session-snapshot format and atomic checkpoint files.
+//
+// A snapshot is the full serialized state of a LocalizationServer's
+// session population, framed so that a restorer can validate it before
+// touching any session state (DESIGN.md section 12):
+//
+//   u32  magic   'UCKP'
+//   u8   version (currently 1; other versions are rejected)
+//   u64  accepted_since_scan   (eviction-scan cadence counter)
+//   u32  session count
+//   per session, in ascending id order:
+//     u64  session id
+//     u64  last_active_us
+//     u64  epochs_served
+//     u32  payload length
+//     ...  core::Uniloc payload (core/uniloc.cc), exactly `length` bytes
+//
+// The codec is deliberately hostile-input safe: every length is checked
+// against the remaining buffer, scheme payloads are name-tagged and
+// framing-verified, and the mt19937 read position is range-checked before
+// it ever indexes the engine (stats/rng_codec.h). A corrupted or
+// truncated snapshot yields `false` from restore, never UB.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "offload/bytes.h"
+
+namespace uniloc::svc {
+
+/// 'UCKP' little-endian ("Uniloc ChecKPoint").
+inline constexpr std::uint32_t kSnapshotMagic = 0x504B4355u;
+inline constexpr std::uint8_t kSnapshotVersion = 1;
+
+/// Hard cap on the decoded session count: a 4-byte count field must not
+/// let a hostile snapshot drive a multi-gigabyte allocation loop.
+inline constexpr std::uint32_t kMaxSnapshotSessions = 1u << 20;
+
+/// Write the snapshot header (magic + version).
+void write_snapshot_header(offload::ByteWriter& w);
+
+/// Consume and validate the header; false on bad magic or version.
+bool check_snapshot_header(offload::ByteReader& r);
+
+/// Atomically replace `dir`/checkpoint.bin with `bytes`: written to a
+/// temp file in the same directory, fsync'd, then renamed over the
+/// target, so a crash mid-write leaves the previous checkpoint intact.
+/// Returns false on any I/O failure.
+bool write_checkpoint_file(const std::string& dir,
+                           const std::vector<std::uint8_t>& bytes);
+
+/// Read back `dir`/checkpoint.bin; nullopt when absent or unreadable.
+std::optional<std::vector<std::uint8_t>> read_checkpoint_file(
+    const std::string& dir);
+
+/// The checkpoint file path used by the helpers above.
+std::string checkpoint_path(const std::string& dir);
+
+}  // namespace uniloc::svc

@@ -406,6 +406,7 @@ LoadReport run_load(LocalizationServer& server, const core::Deployment& d,
   pending.reserve(cfg.walkers * std::max<std::size_t>(cfg.burst, 1));
 
   const obs::Stopwatch wall;
+  std::size_t round_index = 0;
   for (;;) {
     pending.clear();
     if (cfg.clock != nullptr) cfg.clock->advance_s(cfg.epoch_period_s);
@@ -472,6 +473,8 @@ LoadReport run_load(LocalizationServer& server, const core::Deployment& d,
       }
     }
     for (Pending& p : pending) collect(ctx, p);
+    if (cfg.on_round) cfg.on_round(round_index);
+    ++round_index;
     if (all_done && pending.empty()) break;  // every walker finished
   }
   report.wall_s = wall.elapsed_us() / 1e6;

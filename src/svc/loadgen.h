@@ -103,6 +103,11 @@ struct LoadGenConfig {
   /// TTL eviction during a blackout is deterministic. Null = no clock.
   sim::VirtualClock* clock{nullptr};
   double epoch_period_s{0.5};
+  /// Called after each round's replies have been collected (every session
+  /// is idle at that point), with the 0-based round index. The hook for
+  /// crash/checkpoint orchestration (fault/crash.h): the server may be
+  /// snapshotted, crashed and restored here between rounds.
+  std::function<void(std::size_t round)> on_round;
 };
 
 struct WalkerOutcome {

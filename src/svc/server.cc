@@ -5,7 +5,9 @@
 
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "offload/bytes.h"
 #include "offload/payload.h"
+#include "svc/checkpoint.h"
 #include "svc/epoch_codec.h"
 
 namespace uniloc::svc {
@@ -86,6 +88,7 @@ std::future<std::vector<std::uint8_t>> LocalizationServer::submit(
     }
   }
   if (scan_now) evict_idle();
+  if (cfg_.checkpoint_period_us > 0) maybe_checkpoint();
 
   DecodeResult decoded = decode_frame(request);
   if (!decoded.frame.has_value()) {
@@ -283,6 +286,108 @@ void LocalizationServer::run_epoch(Session& session,
       ins_.perf_scratch_bytes->set(static_cast<double>(scratch_bytes));
     }
   }
+}
+
+void LocalizationServer::maybe_checkpoint() {
+  const std::uint64_t now = now_us();
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (now < last_checkpoint_us_ + cfg_.checkpoint_period_us) return;
+    last_checkpoint_us_ = now;
+  }
+  const std::vector<std::uint8_t> bytes = snapshot();
+  if (cfg_.on_checkpoint) cfg_.on_checkpoint(bytes);
+}
+
+std::vector<std::uint8_t> LocalizationServer::snapshot() {
+  offload::ByteWriter w;
+  write_snapshot_header(w);
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    w.put_u64(static_cast<std::uint64_t>(accepted_since_scan_));
+  }
+  const std::vector<SessionPtr> sessions = sessions_.all();
+  w.put_u32(static_cast<std::uint32_t>(sessions.size()));
+  for (const SessionPtr& s : sessions) {
+    // Quiesce: wait until the session's strand has drained. idle() takes
+    // the session mutex, which also makes the worker's writes to the
+    // Uniloc state visible to this thread.
+    while (!s->idle()) std::this_thread::yield();
+    w.put_u64(s->id());
+    w.put_u64(s->last_active_us());
+    w.put_u64(static_cast<std::uint64_t>(s->epochs_served()));
+    const std::size_t len_pos = w.size();
+    w.put_u32(0);
+    const std::size_t start = w.size();
+    s->uniloc().snapshot_into(w);
+    w.patch_u32(len_pos, static_cast<std::uint32_t>(w.size() - start));
+  }
+  return w.take();
+}
+
+bool LocalizationServer::restore(const std::vector<std::uint8_t>& snapshot) {
+  offload::ByteReader r(snapshot.data(), snapshot.size());
+  if (!check_snapshot_header(r)) return false;
+  std::uint64_t accepted_since_scan;
+  std::uint32_t count;
+  if (!r.get_u64(accepted_since_scan) || !r.get_u32(count) ||
+      count > kMaxSnapshotSessions) {
+    return false;
+  }
+
+  // The restore replaces the whole population; a failure partway leaves
+  // an empty server (the caller's recovery story is "retry or re-hello"),
+  // never a half-restored mix of old and new sessions.
+  sessions_.clear();
+  bool ok = true;
+  for (std::uint32_t i = 0; i < count && ok; ++i) {
+    std::uint64_t id, last_active_us, epochs_served;
+    std::uint32_t len;
+    if (!r.get_u64(id) || !r.get_u64(last_active_us) ||
+        !r.get_u64(epochs_served) || !r.get_u32(len) || len > r.remaining()) {
+      ok = false;
+      break;
+    }
+    // Rebuild through the factory (same per-session seeds as the hello
+    // path); restore_from then overwrites every field reset() would have
+    // initialized, so no reset() call is needed -- or wanted, since it
+    // would consume RNG draws the original session never made.
+    std::unique_ptr<core::Uniloc> uniloc = factory_(id);
+    const std::size_t before = r.pos();
+    if (!uniloc->restore_from(r) || r.pos() - before != len) {
+      ok = false;
+      break;
+    }
+    const SessionPtr session = sessions_.create(id, std::move(uniloc), 0);
+    if (session == nullptr) {  // duplicate id in a corrupt snapshot
+      ok = false;
+      break;
+    }
+    session->restore_bookkeeping(last_active_us,
+                                 static_cast<std::size_t>(epochs_served));
+  }
+  if (ok && r.remaining() != 0) ok = false;
+  if (!ok) {
+    sessions_.clear();
+    note_live_sessions();
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    accepted_since_scan_ = static_cast<std::size_t>(accepted_since_scan);
+  }
+  note_live_sessions();
+  return true;
+}
+
+void LocalizationServer::crash() {
+  sessions_.clear();
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    accepted_since_scan_ = 0;
+    last_checkpoint_us_ = 0;
+  }
+  note_live_sessions();
 }
 
 std::size_t LocalizationServer::evict_idle() {

@@ -88,6 +88,14 @@ struct ServerConfig {
   std::function<void(std::uint64_t session_id,
                      const core::EpochDecision& decision)>
       on_epoch;
+  /// Periodic checkpointing: when > 0, submit() takes a snapshot whenever
+  /// at least this many microseconds (by `now_us`) have passed since the
+  /// last one and hands it to `on_checkpoint`. Snapshots quiesce each
+  /// session before serializing it and mutate nothing, so enabling
+  /// checkpoints leaves the served epoch stream bit-identical.
+  std::uint64_t checkpoint_period_us{0};
+  std::function<void(const std::vector<std::uint8_t>& snapshot)>
+      on_checkpoint;
 };
 
 class LocalizationServer {
@@ -106,6 +114,26 @@ class LocalizationServer {
 
   /// TTL-scan now. Returns sessions evicted.
   std::size_t evict_idle();
+
+  /// Serialize every live session into a versioned snapshot
+  /// (svc/checkpoint.h). Each session is quiesced (waited idle) before it
+  /// is serialized, so its payload is a consistent post-epoch state; no
+  /// session state is mutated, so a run with snapshots interleaved is
+  /// bit-identical to one without.
+  std::vector<std::uint8_t> snapshot();
+
+  /// Replace the entire session population with the snapshot's. Sessions
+  /// are rebuilt through the factory (same per-session seeds as the hello
+  /// path) and their serialized state restored on top. Returns false --
+  /// with ALL sessions dropped -- on a malformed, truncated, corrupted or
+  /// version-mismatched snapshot; never crashes on hostile input.
+  bool restore(const std::vector<std::uint8_t>& snapshot);
+
+  /// Simulate a process crash: all in-RAM session state is lost (the
+  /// object survives so callers holding references keep working, as a
+  /// restarted process would reuse the same address). Pair with
+  /// restore() to model crash recovery from the last checkpoint.
+  void crash();
 
   /// Stop intake, drain in-flight epochs, join workers. Idempotent.
   void shutdown();
@@ -151,6 +179,8 @@ class LocalizationServer {
   void run_epoch(Session& session, const std::vector<std::uint8_t>& payload,
                  std::uint64_t session_id, const Promise& promise,
                  obs::Stopwatch accepted_at);
+  /// Take a periodic snapshot when the checkpoint period elapsed.
+  void maybe_checkpoint();
 
   ServerConfig cfg_;
   UnilocFactory factory_;
@@ -160,6 +190,7 @@ class LocalizationServer {
   std::mutex lifecycle_mu_;  ///< Guards stopping_ + accepted_count_.
   bool stopping_{false};
   std::size_t accepted_since_scan_{0};
+  std::uint64_t last_checkpoint_us_{0};
 };
 
 }  // namespace uniloc::svc

@@ -45,6 +45,13 @@ void Session::touch(std::uint64_t now_us) {
   last_active_us_ = now_us;
 }
 
+void Session::restore_bookkeeping(std::uint64_t last_active_us,
+                                  std::size_t epochs_served) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_active_us_ = last_active_us;
+  epochs_served_ = epochs_served;
+}
+
 std::uint64_t Session::last_active_us() const {
   std::lock_guard<std::mutex> lock(mu_);
   return last_active_us_;
@@ -127,6 +134,25 @@ std::size_t SessionManager::size() const {
     n += stripe->sessions.size();
   }
   return n;
+}
+
+std::vector<SessionPtr> SessionManager::all() const {
+  std::vector<SessionPtr> out;
+  for (const std::unique_ptr<Stripe>& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    out.insert(out.end(), stripe->sessions.begin(), stripe->sessions.end());
+  }
+  std::sort(out.begin(), out.end(), [](const SessionPtr& a, const SessionPtr& b) {
+    return a->id() < b->id();
+  });
+  return out;
+}
+
+void SessionManager::clear() {
+  for (std::unique_ptr<Stripe>& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stripe->sessions.clear();
+  }
 }
 
 }  // namespace uniloc::svc

@@ -74,6 +74,12 @@ class Session {
   /// Refresh the last-active stamp without enqueuing work.
   void touch(std::uint64_t now_us);
 
+  /// Reinstate checkpointed bookkeeping after a restore; the normal paths
+  /// (enqueue stamps last-active, drain counts epochs) must not run for
+  /// snapshot traffic or the restored run would diverge from the original.
+  void restore_bookkeeping(std::uint64_t last_active_us,
+                           std::size_t epochs_served);
+
   std::uint64_t last_active_us() const;
   std::size_t epochs_served() const;
 
@@ -111,6 +117,12 @@ class SessionManager {
 
   std::size_t size() const;
   std::size_t stripes() const { return stripes_.size(); }
+
+  /// All live sessions, sorted by id (deterministic checkpoint order).
+  std::vector<SessionPtr> all() const;
+
+  /// Drop every session (crash simulation / failed-restore cleanup).
+  void clear();
 
   /// Stripe index of a session id (exposed for the distribution test).
   std::size_t stripe_of(std::uint64_t id) const;

@@ -2,11 +2,13 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "energy/energy_model.h"
 #include "energy/latency_model.h"
 #include "io/csv.h"
 #include "io/table.h"
+#include "offload/payload.h"
 
 namespace uniloc {
 namespace {
@@ -67,6 +69,52 @@ TEST(EnergyModel, GpsCountsOnlyOutdoorTime) {
   const auto all_indoor = energy::account_energy(fake_run(400, 400, true), 0.5);
   EXPECT_DOUBLE_EQ(all_indoor[0].time_s, 0.0);
   EXPECT_DOUBLE_EQ(all_indoor[0].energy_j, 0.0);
+}
+
+TEST(EnergyModel, PayloadParamsMatchWireEncodings) {
+  // The energy model charges the byte counts serialize_uplink actually
+  // puts on the wire (offload/payload.h), not hand-maintained copies.
+  const energy::EnergyParams p;
+  EXPECT_DOUBLE_EQ(p.motion_payload_b,
+                   static_cast<double>(offload::StepPayload::kBytes));
+  EXPECT_DOUBLE_EQ(p.gps_payload_b,
+                   static_cast<double>(offload::GpsPayload::kBytes));
+  EXPECT_DOUBLE_EQ(p.downlink_payload_b,
+                   static_cast<double>(offload::DownlinkFrame::kBytes));
+  // Marginal per-reading wire cost, derived from two real encodings so a
+  // ScanPayload layout change breaks this test rather than the model.
+  const offload::ScanPayload five =
+      offload::ScanPayload::encode(std::vector<sim::ApReading>(5));
+  const offload::ScanPayload four =
+      offload::ScanPayload::encode(std::vector<sim::ApReading>(4));
+  const double per_reading = static_cast<double>(five.bytes() - four.bytes());
+  EXPECT_DOUBLE_EQ(p.per_ap_payload_b, per_reading);
+  EXPECT_DOUBLE_EQ(p.per_cell_payload_b, per_reading);
+}
+
+TEST(EnergyModel, CellularUploadChargedAtCellPayload) {
+  core::RunResult run = fake_run(100, 100, false);
+  for (core::EpochRecord& e : run.epochs) e.cell_count = 4;
+  energy::EnergyParams base;
+  energy::EnergyParams inflated_ap = base;
+  inflated_ap.per_ap_payload_b = 1000.0;  // no WiFi audible: must not matter
+  energy::EnergyParams inflated_cell = base;
+  inflated_cell.per_cell_payload_b = 1000.0;
+
+  const auto cell_row = [](const std::vector<energy::EnergyRow>& rows) {
+    for (const energy::EnergyRow& r : rows) {
+      if (r.scheme == "Cellular") return r.energy_j;
+    }
+    return -1.0;
+  };
+  const double with_base = cell_row(energy::account_energy(run, 0.5, base));
+  const double with_ap =
+      cell_row(energy::account_energy(run, 0.5, inflated_ap));
+  const double with_cell =
+      cell_row(energy::account_energy(run, 0.5, inflated_cell));
+  // The regression this pins: cell uploads used to be priced per AP.
+  EXPECT_DOUBLE_EQ(with_ap, with_base);
+  EXPECT_GT(with_cell, with_base);
 }
 
 TEST(EnergyModel, GpsSavingsRatio) {
@@ -154,6 +202,69 @@ TEST(Csv, RejectsColumnMismatch) {
 TEST(Csv, ThrowsOnUnwritablePath) {
   EXPECT_THROW(io::CsvWriter("/nonexistent_dir_xyz/file.csv", {"a"}),
                std::runtime_error);
+}
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Writer -> parser identity for one row of fields.
+void expect_round_trip(const std::vector<std::string>& fields) {
+  const std::string path = "/tmp/uniloc_test_rt.csv";
+  std::vector<std::string> header(fields.size());
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    header[i] = "c" + std::to_string(i);
+  }
+  {
+    io::CsvWriter w(path, header);
+    w.write_row(fields);
+  }
+  const auto rows = io::parse_csv(slurp(path));
+  std::remove(path.c_str());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], header);
+  EXPECT_EQ(rows[1], fields);
+}
+
+}  // namespace
+
+TEST(Csv, QuotesAndRoundTripsEmbeddedNewlines) {
+  // The regression this pins: fields with \n or \r were written bare, so
+  // a parser saw extra rows.
+  expect_round_trip({"line1\nline2", "plain"});
+  expect_round_trip({"cr\rhere", "x"});
+  expect_round_trip({"crlf\r\nboth", "y"});
+}
+
+TEST(Csv, RoundTripsQuotesAndCommas) {
+  expect_round_trip({"say \"hi\"", "a,b", "\"", ""});
+  expect_round_trip({"mix,\"of\nall\r\nthree\"", "tail"});
+}
+
+TEST(Csv, ParsesCrlfRowTerminators) {
+  const auto rows = io::parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(Csv, ParsesQuotedFieldWithLineBreakAcrossRows) {
+  const auto rows = io::parse_csv("\"a\nb\",c\nd,e\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a\nb", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"d", "e"}));
+}
+
+TEST(Csv, ParsesFinalRowWithoutTerminatorAndEmptyFields) {
+  const auto rows = io::parse_csv("a,,c\n,\"\"");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"", ""}));
 }
 
 }  // namespace

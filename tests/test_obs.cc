@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -10,6 +11,7 @@
 #include "core/runner.h"
 #include "core/trainer.h"
 #include "io/table.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/timer.h"
@@ -172,6 +174,34 @@ TEST(ScopedTimer, ObservesWhenAttachedOnly) {
     ScopedTimer detached(nullptr);  // must be a no-op, not a crash
   }
   EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Json, DoublesSurviveWriteReadRoundTrip) {
+  // The regression this pins: value(double) used "%.9g", which truncates
+  // the mantissa -- strtod(write(v)) != v for most doubles.
+  const double cases[] = {0.1,
+                          1.0 / 3.0,
+                          1.2345678901234567,
+                          -2.5e-10,
+                          1e-300,
+                          1e+100,
+                          5e-324,  // smallest denormal
+                          1.7976931348623157e+308,
+                          -0.0,
+                          123456789.123456789};
+  for (const double v : cases) {
+    JsonWriter w;
+    w.value(v);
+    const double back = std::strtod(w.str().c_str(), nullptr);
+    EXPECT_EQ(std::signbit(back), std::signbit(v)) << w.str();
+    EXPECT_EQ(back, v) << w.str();
+  }
+}
+
+TEST(Json, IntegralDoublesStayCompact) {
+  JsonWriter w;
+  w.begin_array().value(2.0).value(0.5).end_array();
+  EXPECT_EQ(w.str(), "[2,0.5]");
 }
 
 TEST(Trace, JsonLineEncodesNaNAsNull) {

@@ -190,6 +190,44 @@ TEST(SessionManager, EvictsOnlyIdleExpiredSessions) {
   EXPECT_EQ(mgr.size(), 1u);
 }
 
+TEST(SessionManager, EvictsExactlyAtTtlBoundary) {
+  SessionManager mgr(4);
+  mgr.create(1, nullptr, 1000);
+  // One tick short of the TTL: spared.
+  EXPECT_EQ(mgr.evict_idle(/*now_us=*/3999, /*idle_ttl_us=*/3000), 0u);
+  ASSERT_NE(mgr.find(1), nullptr);
+  // now == last_activity + idle_ttl: the TTL has fully elapsed -- evict.
+  EXPECT_EQ(mgr.evict_idle(/*now_us=*/4000, /*idle_ttl_us=*/3000), 1u);
+  EXPECT_EQ(mgr.find(1), nullptr);
+}
+
+TEST(SessionManager, ClockBehindLastActivityNeverEvicts) {
+  // A session touched "in the future" (clock skew between submit and
+  // scan) must not be evicted by the u64 subtraction wrapping around.
+  SessionManager mgr(4);
+  mgr.create(1, nullptr, 10'000);
+  EXPECT_EQ(mgr.evict_idle(/*now_us=*/5000, /*idle_ttl_us=*/1), 0u);
+  EXPECT_NE(mgr.find(1), nullptr);
+}
+
+TEST(SessionManager, SessionBecomingBusyBetweenScansIsSpared) {
+  SessionManager mgr(4);
+  SessionPtr s = mgr.create(1, nullptr, 1000);
+  ASSERT_NE(s, nullptr);
+  // First scan: not yet expired.
+  EXPECT_EQ(mgr.evict_idle(2000, 3000), 0u);
+  // The session turns busy before the next scan; even though its
+  // last-active stamp (4000) plus TTL has elapsed by scan time, a
+  // pending task must always spare it.
+  ASSERT_EQ(s->enqueue([] {}, 8, 4000), Session::Enqueue::kStartDrain);
+  EXPECT_EQ(mgr.evict_idle(8000, 3000), 0u);
+  ASSERT_NE(mgr.find(1), nullptr);
+  // Once drained (stamp still 4000), the same scan time evicts.
+  s->drain();
+  EXPECT_EQ(mgr.evict_idle(8000, 3000), 1u);
+  EXPECT_EQ(mgr.find(1), nullptr);
+}
+
 // ------------------------------------------------------------------- wire
 
 TEST(Wire, FrameRoundTrip) {
@@ -504,6 +542,29 @@ TEST(Server, IdleSessionsAreEvicted) {
   epoch.session_id = 2;
   epoch.payload = encode_epoch({}, sim::SensorFrame{});
   EXPECT_EQ(get_reply(server, encode_frame(epoch)).type, FrameType::kReply);
+}
+
+TEST(Server, TtlSurvivesVirtualClockJumps) {
+  // A VirtualClock can jump by arbitrary amounts between scans (blackout
+  // drills advance it hours at a time); the TTL math must hold at the
+  // exact boundary and across a jump far past it.
+  ServerFixture fx;
+  sim::VirtualClock clock;
+  ServerConfig cfg;
+  cfg.idle_ttl_s = 1.0;
+  cfg.now_us = clock.now_fn();
+  LocalizationServer server(cfg, fx.factory());
+
+  get_reply(server, hello_frame(1, {0, 0}, 0.0));
+  clock.advance_us(999'999);  // one tick short of the 1 s TTL
+  EXPECT_EQ(server.evict_idle(), 0u);
+  clock.advance_us(1);  // exactly at the boundary
+  EXPECT_EQ(server.evict_idle(), 1u);
+
+  get_reply(server, hello_frame(2, {0, 0}, 0.0));
+  clock.advance_us(3'600'000'000ull);  // hour-long jump: still exactly one
+  EXPECT_EQ(server.evict_idle(), 1u);
+  EXPECT_EQ(server.live_sessions(), 0u);
 }
 
 // ----------------------------------------------------- loadgen + determinism
