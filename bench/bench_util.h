@@ -1,10 +1,13 @@
 // Shared helpers for the experiment benches: standard training, standard
 // deployments, error aggregation, CDF printing, and machine-readable
 // BENCH_<name>.json reports (accuracy percentiles + per-stage timing
-// histograms from the process-default metrics registry).
+// histograms from the process-default metrics registry). Every report
+// also appends one compact line to the cumulative BENCH_history.jsonl,
+// so regressions show up as a greppable time series across runs.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <optional>
 #include <string>
@@ -93,7 +96,11 @@ inline void add_run_series(obs::BenchReport& report,
 
 /// Write BENCH_<name>.json next to the binary's working directory --
 /// every bench calls this last; the files are the perf/accuracy
-/// trajectory tooling diffs across commits.
+/// trajectory tooling diffs across commits. Each call also appends one
+/// summary line to the cumulative history file (UNILOC_BENCH_HISTORY,
+/// default BENCH_history.jsonl). The timestamp comes from the
+/// UNILOC_BENCH_TS environment variable -- the bench layer never reads a
+/// clock itself, so untimestamped runs stay byte-deterministic.
 inline void report_json(const obs::BenchReport& report) {
   const std::string path = report.write();
   if (path.empty()) {
@@ -102,6 +109,18 @@ inline void report_json(const obs::BenchReport& report) {
     return;
   }
   std::printf("\n[obs] wrote %s\n", path.c_str());
+
+  const char* hist_env = std::getenv("UNILOC_BENCH_HISTORY");
+  const std::string hist_path =
+      (hist_env != nullptr && hist_env[0] != '\0') ? hist_env
+                                                   : "BENCH_history.jsonl";
+  const char* ts_env = std::getenv("UNILOC_BENCH_TS");
+  const std::string timestamp = ts_env != nullptr ? ts_env : "";
+  if (report.append_history(hist_path, timestamp)) {
+    std::printf("[obs] appended %s\n", hist_path.c_str());
+  } else {
+    std::fprintf(stderr, "[obs] failed to append %s\n", hist_path.c_str());
+  }
 }
 
 /// Run all eight campus paths and concatenate the records. Each per-path

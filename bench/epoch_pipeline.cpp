@@ -6,13 +6,16 @@
 // the before/after evidence behind the fast path's throughput claim.
 // The differential suite (tests/test_differential.cc) proves the two
 // pipelines are bit-identical; this bench quantifies what the identity
-// buys.
+// buys. A third pass runs the fast path with live span tracing attached
+// and reports tracing_overhead_pct (contract: < 5% of epoch throughput).
 #include <cstdio>
+#include <sstream>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/epoch_scratch.h"
 #include "core/uniloc.h"
+#include "obs/span.h"
 #include "obs/timer.h"
 #include "sim/walker.h"
 
@@ -46,12 +49,15 @@ struct PipelineStats {
 };
 
 /// Replay `fx` through one pipeline `passes` times (resetting between
-/// passes), timing every epoch individually.
+/// passes), timing every epoch individually. With a tracer, every epoch
+/// runs under an attached SpanTracer (one scheme span per registered
+/// scheme plus the fuse span, serialized to the tracer's sink).
 PipelineStats run_pipeline(const core::Deployment& d,
-                           const ReplayFixture& fx, bool fast,
-                           int passes) {
+                           const ReplayFixture& fx, bool fast, int passes,
+                           obs::SpanTracer* tracer = nullptr) {
   core::Uniloc uniloc = core::make_uniloc(d, bench::standard_models());
   core::EpochScratch scratch;
+  uniloc.attach_tracer(tracer);
 
   // One untimed pass grows every scratch buffer to steady capacity, so
   // the timed passes measure the regime the service actually runs in.
@@ -114,7 +120,21 @@ int main() {
   const PipelineStats ref = run_pipeline(d, fx, /*fast=*/false, kPasses);
   const PipelineStats fast = run_pipeline(d, fx, /*fast=*/true, kPasses);
 
+  // The fast path again, with live span tracing serializing every
+  // scheme/fuse span as JSONL into a memory buffer -- the worst-case
+  // enabled-tracing tax the service can pay per epoch. The acceptance
+  // contract bounds it below 5% of epoch throughput.
+  std::ostringstream span_buf;
+  obs::JsonlSpanSink span_sink(span_buf);
+  obs::SpanTracer tracer(&span_sink);
+  const PipelineStats traced =
+      run_pipeline(d, fx, /*fast=*/true, kPasses, &tracer);
+
   const double speedup = fast.epochs_per_sec / ref.epochs_per_sec;
+  const double tracing_overhead_pct =
+      fast.epochs_per_sec > 0.0
+          ? 100.0 * (1.0 - traced.epochs_per_sec / fast.epochs_per_sec)
+          : 0.0;
 
   io::Table t({"pipeline", "epochs/s", "p50 (us)", "p99 (us)",
                "cache hit", "scratch (KiB)"});
@@ -127,11 +147,15 @@ int main() {
   };
   row("reference update()", ref);
   row("fast update_fast()", fast);
+  row("fast + span tracing", traced);
   std::printf("%s", t.to_string().c_str());
   std::printf("speedup: %.2fx\n", speedup);
+  std::printf("tracing overhead: %.2f%% (%zu spans emitted)\n",
+              tracing_overhead_pct, span_sink.spans_written());
 
   report.add_series("reference_epoch_us", ref.epoch_us);
   report.add_series("fast_epoch_us", fast.epoch_us);
+  report.add_series("traced_epoch_us", traced.epoch_us);
   report.add_scalar("reference_epochs_per_sec", ref.epochs_per_sec);
   report.add_scalar("fast_epochs_per_sec", fast.epochs_per_sec);
   report.add_scalar("speedup", speedup);
@@ -142,6 +166,10 @@ int main() {
   report.add_scalar("fast_cache_hit_rate", fast.cache_hit_rate);
   report.add_scalar("fast_scratch_bytes",
                     static_cast<double>(fast.scratch_bytes));
+  report.add_scalar("traced_epochs_per_sec", traced.epochs_per_sec);
+  report.add_scalar("tracing_overhead_pct", tracing_overhead_pct);
+  report.add_scalar("traced_spans",
+                    static_cast<double>(span_sink.spans_written()));
   bench::report_json(report);
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "core/trainer.h"
 #include "filter/particle_filter.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "schemes/fingerprint_db.h"
 #include "schemes/horus_scheme.h"
 #include "sim/floorplan.h"
@@ -246,6 +247,54 @@ void BM_UnilocUpdateRegistry(benchmark::State& state) {
   run_uniloc_update(state, Instr::kRegistry);
 }
 BENCHMARK(BM_UnilocUpdateRegistry)->Unit(benchmark::kMicrosecond);
+
+// --- span tracing overhead --------------------------------------------
+//
+// The tracing contract mirrors the metrics one: a detached tracer
+// (attach_tracer(nullptr)) must cost exactly one untaken branch per
+// instrumentation point -- BM_UnilocUpdateDetachedTracer must be
+// indistinguishable from BM_UnilocUpdate -- and an attached tracer pays
+// clock reads + id allocation + sink emission, bounded below 5% of the
+// epoch (the NullSpanSink isolates tracer cost from I/O).
+
+void BM_SpanBeginEnd(benchmark::State& state) {
+  obs::NullSpanSink sink;
+  obs::SpanTracer tracer(&sink);
+  for (auto _ : state) {
+    const obs::SpanHandle h = tracer.begin("bench.span", "core");
+    tracer.end(h);
+  }
+}
+BENCHMARK(BM_SpanBeginEnd);
+
+void run_uniloc_update_traced(benchmark::State& state, bool attached) {
+  const ReplayFixture& fx = replay_frames();
+  core::Uniloc uniloc = core::make_uniloc(office(), models());
+  obs::NullSpanSink sink;
+  obs::SpanTracer tracer(&sink);
+  uniloc.attach_tracer(attached ? &tracer : nullptr);
+  uniloc.reset({fx.start_pos, fx.start_heading});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uniloc.update(fx.frames[i]));
+    if (++i == fx.frames.size()) {
+      i = 0;
+      state.PauseTiming();
+      uniloc.reset({fx.start_pos, fx.start_heading});
+      state.ResumeTiming();
+    }
+  }
+}
+
+void BM_UnilocUpdateDetachedTracer(benchmark::State& state) {
+  run_uniloc_update_traced(state, /*attached=*/false);
+}
+BENCHMARK(BM_UnilocUpdateDetachedTracer)->Unit(benchmark::kMicrosecond);
+
+void BM_UnilocUpdateTracer(benchmark::State& state) {
+  run_uniloc_update_traced(state, /*attached=*/true);
+}
+BENCHMARK(BM_UnilocUpdateTracer)->Unit(benchmark::kMicrosecond);
 
 void run_uniloc_replay(benchmark::State& state, const core::Deployment& d,
                        const ReplayFixture& fx, bool fast) {

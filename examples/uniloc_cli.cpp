@@ -7,7 +7,8 @@
 //
 //   uniloc_cli serve-sim [--venue <name>] [--walkers N] [--workers W]
 //                        [--epochs E] [--seed S] [--faults <plan>]
-//                        [--metrics]
+//                        [--metrics] [--statusz] [--trace-spans <file>]
+//                        [--flight <file>]
 //
 // `record` walks a venue and saves the full sensor stream (dataset
 // collection). `replay` runs UniLoc offline over a saved trace and prints
@@ -40,7 +41,10 @@
 #include "fault/link.h"
 #include "fault/plan.h"
 #include "io/table.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "sim/trace_io.h"
 #include "stats/descriptive.h"
@@ -230,6 +234,11 @@ struct ServeSimOptions {
   /// a final snapshot is written when the run drains.
   std::string checkpoint_dir;
   bool metrics{false};
+  /// Query the server's kStatus admin frame when the run drains and
+  /// print both the JSON and the Prometheus renderings.
+  bool statusz{false};
+  std::string trace_spans;  ///< Empty: no span tracing. Else JSONL path.
+  std::string flight_out;   ///< Empty: no flight recorder. Else JSONL path.
 };
 
 /// Parse a `--faults` spec ("drop=0.02,delay_ms=50,blackout=10:20,...")
@@ -296,6 +305,24 @@ int cmd_serve_sim(const ServeSimOptions& sopts) {
   // A compressed stand-in for the per-fix WLAN transmission time the
   // paper measures (Table V); workers overlap these waits.
   cfg.simulated_network = std::chrono::microseconds(5000);
+
+  // Observability sidecars: span tracing to JSONL (feed the file to
+  // scripts/trace2chrome.py), a per-session flight recorder dumped when
+  // the run drains, and an SLO monitor rendered by the status dumps.
+  std::unique_ptr<obs::JsonlSpanSink> span_sink;
+  std::unique_ptr<obs::SpanTracer> tracer;
+  if (!sopts.trace_spans.empty()) {
+    span_sink = std::make_unique<obs::JsonlSpanSink>(sopts.trace_spans);
+    tracer = std::make_unique<obs::SpanTracer>(span_sink.get());
+    cfg.tracer = tracer.get();
+  }
+  std::unique_ptr<obs::FlightRecorder> flight;
+  if (!sopts.flight_out.empty()) {
+    flight = std::make_unique<obs::FlightRecorder>();
+    cfg.flight = flight.get();
+  }
+  obs::SloMonitor slo({}, &registry);
+  cfg.slo = &slo;
   std::size_t checkpoints_written = 0;
   if (!sopts.checkpoint_dir.empty()) {
     cfg.checkpoint_period_us = 1'000'000;  // wall-clock second
@@ -324,13 +351,16 @@ int cmd_serve_sim(const ServeSimOptions& sopts) {
   lg.walkers = sopts.walkers;
   lg.max_epochs_per_walker = sopts.epochs;
   lg.seed = sopts.seed;
+  lg.tracer = tracer.get();
+  lg.flight = flight.get();
   std::optional<fault::FaultPlan> plan;
   if (!sopts.faults.empty()) {
     plan = parse_fault_plan(sopts.faults, sopts.seed);
-    lg.make_link = [&plan, &registry](svc::LocalizationServer& s,
-                                      std::uint64_t sid) {
+    lg.make_link = [&plan, &registry, &tracer](svc::LocalizationServer& s,
+                                               std::uint64_t sid) {
       return std::make_unique<fault::FaultyLink>(
-          std::make_unique<svc::DirectLink>(&s), &*plan, sid, &registry);
+          std::make_unique<svc::DirectLink>(&s), &*plan, sid, &registry,
+          tracer.get());
     };
   }
   const svc::LoadReport report = svc::run_load(server, d, lg, &registry);
@@ -342,7 +372,48 @@ int cmd_serve_sim(const ServeSimOptions& sopts) {
     std::printf("wrote %zu checkpoints to %s\n", checkpoints_written,
                 svc::checkpoint_path(sopts.checkpoint_dir).c_str());
   }
+  if (sopts.statusz) {
+    // Live introspection through the wire protocol itself: the same
+    // kStatus frame an operator's admin socket would submit.
+    for (const svc::StatusFormat fmt :
+         {svc::StatusFormat::kJson, svc::StatusFormat::kPrometheus}) {
+      svc::Frame req;
+      req.type = svc::FrameType::kStatus;
+      req.payload = svc::encode_status_request(fmt);
+      const std::vector<std::uint8_t> bytes =
+          server.submit(svc::encode_frame(req)).get();
+      const svc::DecodeResult decoded = svc::decode_frame(bytes);
+      if (decoded.frame.has_value() &&
+          decoded.frame->type == svc::FrameType::kReply) {
+        std::printf(
+            "\n--- statusz (%s) ---\n%.*s\n",
+            fmt == svc::StatusFormat::kJson ? "json" : "prometheus",
+            static_cast<int>(decoded.frame->payload.size()),
+            reinterpret_cast<const char*>(decoded.frame->payload.data()));
+      } else {
+        std::fprintf(stderr, "statusz query failed\n");
+      }
+    }
+  }
   server.shutdown();
+  if (flight != nullptr) {
+    if (flight->dump_to_file(sopts.flight_out)) {
+      std::printf("wrote flight recorder (%llu events, %zu sessions) to "
+                  "%s\n",
+                  static_cast<unsigned long long>(flight->total_recorded()),
+                  flight->session_ids().size(), sopts.flight_out.c_str());
+    } else {
+      std::fprintf(stderr, "warning: flight dump to %s failed\n",
+                   sopts.flight_out.c_str());
+    }
+  }
+  if (tracer != nullptr) {
+    tracer->flush();
+    std::printf("wrote %zu spans to %s (opened %llu, closed %llu)\n",
+                span_sink->spans_written(), sopts.trace_spans.c_str(),
+                static_cast<unsigned long long>(tracer->spans_opened()),
+                static_cast<unsigned long long>(tracer->spans_closed()));
+  }
 
   const bool chaos = plan.has_value();
   io::Table t = chaos
@@ -399,12 +470,20 @@ int usage() {
                "  uniloc_cli serve-sim [--venue <name>] [--walkers N]\n"
                "                    [--workers W] [--epochs E] [--seed S]\n"
                "                    [--faults <plan>] [--checkpoint-dir <dir>]\n"
-               "                    [--metrics]\n"
+               "                    [--metrics] [--statusz]\n"
+               "                    [--trace-spans <out.jsonl>]\n"
+               "                    [--flight <out.jsonl>]\n"
                "      <plan>: drop=P,dup=P,reorder=P,corrupt=P,delay_ms=D,\n"
                "              jitter_ms=J,seed=S,blackout=a:b[,...]\n"
                "      --checkpoint-dir: snapshot all sessions into\n"
                "              <dir>/checkpoint.bin every second (atomic,\n"
-               "              fsync'd) plus once at the end of the run\n");
+               "              fsync'd) plus once at the end of the run\n"
+               "      --statusz: print the server's kStatus dump (JSON and\n"
+               "              Prometheus text) when the run drains\n"
+               "      --trace-spans: stream causal spans as JSONL (convert\n"
+               "              with scripts/trace2chrome.py)\n"
+               "      --flight: dump the per-session flight recorder as\n"
+               "              JSONL when the run drains\n");
   return 2;
 }
 
@@ -455,6 +534,12 @@ int main(int argc, char** argv) {
           sopts.checkpoint_dir = argv[++i];
         } else if (arg == "--metrics") {
           sopts.metrics = true;
+        } else if (arg == "--statusz") {
+          sopts.statusz = true;
+        } else if (arg == "--trace-spans" && i + 1 < argc) {
+          sopts.trace_spans = argv[++i];
+        } else if (arg == "--flight" && i + 1 < argc) {
+          sopts.flight_out = argv[++i];
         } else {
           return usage();
         }

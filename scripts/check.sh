@@ -21,8 +21,14 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 if [[ "${TSAN:-1}" != "0" ]]; then
   TSAN_DIR="${TSAN_DIR:-build-tsan}"
   cmake -B "$TSAN_DIR" -S . -DUNILOC_SANITIZE=thread
-  cmake --build "$TSAN_DIR" -j "$JOBS" --target test_svc test_differential
+  cmake --build "$TSAN_DIR" -j "$JOBS" \
+    --target test_svc test_differential test_obs
   ctest --test-dir "$TSAN_DIR" -L '^svc$' --output-on-failure -j "$JOBS"
+  # Observability gate: the lock-free metrics (atomic counters/gauges),
+  # the span tracer, and the flight recorder are all recorded from worker
+  # threads concurrently -- the `obs` label's concurrency tests must be
+  # clean under TSan too.
+  ctest --test-dir "$TSAN_DIR" -L '^obs$' --output-on-failure -j "$JOBS"
   # Fast-path gate: the differential seed sweeps drive the service at
   # workers=4, so TSan checks that per-session epoch scratch (including
   # the shared scan memos) really is confined to its session strand.
@@ -51,4 +57,11 @@ if [[ "${ASAN:-1}" != "0" ]]; then
   # deserialization boundary, exactly where OOB reads would hide.
   cmake --build "$ASAN_DIR" -j "$JOBS" --target test_checkpoint
   ctest --test-dir "$ASAN_DIR" -L '^checkpoint$' --output-on-failure -j "$JOBS"
+  # Chaos-with-tracing gate: the chaos suite includes fault.trace_*
+  # tests that run scripted disasters with the span tracer attached and
+  # assert zero span leaks (spans opened == spans closed) -- every epoch
+  # abandoned to a drop, blackout, crash or backpressure must still
+  # close its span tree. They ran under ASan in the `chaos` label above;
+  # rerun them by name so a leak fails loudly and greppably here.
+  ctest --test-dir "$ASAN_DIR" -R '\.trace_' --output-on-failure -j "$JOBS"
 fi

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Convert uniloc span JSONL to Chrome trace_event JSON.
+
+Input: one obs::SpanEvent JSON object per line, as written by
+obs::JsonlSpanSink (keys: trace, span, parent, session, name, cat, note,
+start_us, dur_us). Output: a Chrome/Perfetto-loadable trace (open
+chrome://tracing or https://ui.perfetto.dev and load the file).
+
+Mapping: each span becomes one complete ("ph":"X") event; process id =
+session id (0 = unsessioned spans), thread id = trace id -- so every
+epoch's span tree renders on its own row, nested by start/duration.
+
+Usage:
+    scripts/trace2chrome.py spans.jsonl -o trace.json
+    cat spans.jsonl | scripts/trace2chrome.py > trace.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def convert_line(line):
+    """One JSONL span -> one trace_event dict (None for blank lines)."""
+    line = line.strip()
+    if not line:
+        return None
+    span = json.loads(line)
+    event = {
+        "ph": "X",
+        "name": span.get("name", "?"),
+        "cat": span.get("cat", ""),
+        "ts": span.get("start_us", 0),
+        "dur": span.get("dur_us", 0),
+        "pid": span.get("session", 0),
+        "tid": span.get("trace", 0),
+        "args": {
+            "span": span.get("span", 0),
+            "parent": span.get("parent", 0),
+        },
+    }
+    note = span.get("note")
+    if note:
+        event["args"]["note"] = note
+    return event
+
+
+def convert(lines):
+    events = []
+    bad = 0
+    for i, line in enumerate(lines, 1):
+        try:
+            event = convert_line(line)
+        except (json.JSONDecodeError, AttributeError):
+            bad += 1
+            print(f"trace2chrome: skipping malformed line {i}",
+                  file=sys.stderr)
+            continue
+        if event is not None:
+            events.append(event)
+    return events, bad
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Convert uniloc span JSONL to Chrome trace_event JSON")
+    parser.add_argument("input", nargs="?", default="-",
+                        help="span JSONL file (default: stdin)")
+    parser.add_argument("-o", "--output", default="-",
+                        help="output trace file (default: stdout)")
+    args = parser.parse_args()
+
+    if args.input == "-":
+        events, _ = convert(sys.stdin)
+    else:
+        with open(args.input, encoding="utf-8") as fh:
+            events, _ = convert(fh)
+
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if args.output == "-":
+        json.dump(doc, sys.stdout, indent=1)
+        sys.stdout.write("\n")
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
+        print(f"trace2chrome: wrote {len(events)} events to {args.output}",
+              file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

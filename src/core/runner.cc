@@ -1,9 +1,11 @@
 #include "core/runner.h"
 
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "core/epoch_scratch.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace uniloc::core {
@@ -153,6 +155,7 @@ RunResult run_walk(Uniloc& uniloc, const Deployment& d,
 
   sim::Walker walker(d.place.get(), d.radio.get(), walkway_index, opts.walk);
   uniloc.reset({walker.start_position(), walker.start_heading()});
+  uniloc.attach_tracer(opts.tracer);
 
   EpochScratch scratch;
   EpochDecision ref_dec;
@@ -160,6 +163,12 @@ RunResult run_walk(Uniloc& uniloc, const Deployment& d,
   while (!walker.done()) {
     const bool gps_on = opts.use_gps_duty_cycle ? uniloc.gps_enabled() : true;
     const sim::SensorFrame frame = walker.step(gps_on);
+    obs::ScopedSpan epoch_span(opts.tracer, "core.epoch", "core");
+    std::optional<obs::TraceScope> epoch_scope;
+    if (opts.tracer != nullptr) {
+      epoch_scope.emplace(
+          obs::TraceContext{epoch_span.trace(), epoch_span.id(), 0});
+    }
     const EpochDecision* dec_ptr;
     if (opts.use_fast_path) {
       dec_ptr = &uniloc.update_fast(frame, scratch);
@@ -167,6 +176,8 @@ RunResult run_walk(Uniloc& uniloc, const Deployment& d,
       ref_dec = uniloc.update(frame);
       dec_ptr = &ref_dec;
     }
+    epoch_scope.reset();
+    epoch_span.finish();
     const EpochDecision& dec = *dec_ptr;
     ++step_idx;
     if (step_idx % opts.record_every != 0) continue;
@@ -216,6 +227,7 @@ RunResult run_walk(Uniloc& uniloc, const Deployment& d,
     result.epochs.push_back(std::move(rec));
   }
   if (opts.trace != nullptr) opts.trace->flush();
+  uniloc.attach_tracer(nullptr);  // the tracer only outlives the walk
   return result;
 }
 

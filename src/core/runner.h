@@ -14,6 +14,7 @@
 #include "sim/walker.h"
 
 namespace uniloc::obs {
+class SpanTracer;
 class TraceSink;
 }  // namespace uniloc::obs
 
@@ -74,6 +75,10 @@ struct RunOptions {
   const GlobalWeightBma* global_bma = nullptr;
   /// Receives one structured event per recorded epoch (null: no tracing).
   obs::TraceSink* trace = nullptr;
+  /// Causal span tracing (obs/span.h; null = off). Attached to the
+  /// Uniloc for the duration of the walk: each epoch gets a `core.epoch`
+  /// root span with the framework's scheme/fuse spans as children.
+  obs::SpanTracer* tracer = nullptr;
   /// Drive epochs through Uniloc::update_fast with a per-walk scratch
   /// arena instead of the allocating reference update(). Same-seed traces
   /// are bit-identical either way (tests/test_differential.cc); false is

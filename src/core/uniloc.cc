@@ -7,6 +7,7 @@
 #include "core/confidence.h"
 #include "core/epoch_scratch.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/timer.h"
 #include "offload/bytes.h"
 
@@ -16,6 +17,7 @@ Uniloc::Uniloc(UnilocConfig cfg) : cfg_(cfg) {}
 
 std::size_t Uniloc::add_scheme(schemes::SchemePtr scheme, ErrorModel model) {
   entries_.push_back({std::move(scheme), std::move(model)});
+  entries_.back().span_name = "scheme." + entries_.back().scheme->name();
   instrument_entry(entries_.back());
   return entries_.size() - 1;
 }
@@ -85,6 +87,8 @@ EpochDecision Uniloc::update(const sim::SensorFrame& frame) {
   for (std::size_t i = 0; i < n; ++i) {
     {
       obs::ScopedTimer localize_timer(entries_[i].localize_us);
+      obs::ScopedSpan localize_span(tracer_, entries_[i].span_name.c_str(),
+                                    "core");
       d.outputs[i] = entries_[i].scheme->update(frame);
     }
     schemes::SchemeOutput& out = d.outputs[i];
@@ -120,6 +124,7 @@ EpochDecision Uniloc::update(const sim::SensorFrame& frame) {
   const auto fuse_start = fuse_us_ != nullptr
                               ? std::chrono::steady_clock::now()
                               : std::chrono::steady_clock::time_point{};
+  obs::ScopedSpan fuse_span(tracer_, "core.fuse", "core");
   d.tau = cfg_.fixed_tau_m > 0.0 ? cfg_.fixed_tau_m
                                  : adaptive_tau(available_predictions);
   for (std::size_t i = 0; i < n; ++i) {
@@ -167,6 +172,7 @@ EpochDecision Uniloc::update(const sim::SensorFrame& frame) {
                           std::chrono::steady_clock::now() - fuse_start)
                           .count());
   }
+  fuse_span.finish();
 
   // 7. Advance the location predictor with the fused result.
   predictor_.observe(d.uniloc2);
@@ -224,6 +230,8 @@ const EpochDecision& Uniloc::update_fast(const sim::SensorFrame& frame,
   for (std::size_t i = 0; i < n; ++i) {
     {
       obs::ScopedTimer localize_timer(entries_[i].localize_us);
+      obs::ScopedSpan localize_span(tracer_, entries_[i].span_name.c_str(),
+                                    "core");
       entries_[i].scheme->update_into(frame, d.outputs[i]);
     }
     schemes::SchemeOutput& out = d.outputs[i];
@@ -265,6 +273,7 @@ const EpochDecision& Uniloc::update_fast(const sim::SensorFrame& frame,
   const auto fuse_start = fuse_us_ != nullptr
                               ? std::chrono::steady_clock::now()
                               : std::chrono::steady_clock::time_point{};
+  obs::ScopedSpan fuse_span(tracer_, "core.fuse", "core");
   d.tau = cfg_.fixed_tau_m > 0.0 ? cfg_.fixed_tau_m
                                  : adaptive_tau(scratch.available_predictions);
   for (std::size_t i = 0; i < n; ++i) {
@@ -311,6 +320,7 @@ const EpochDecision& Uniloc::update_fast(const sim::SensorFrame& frame,
                           std::chrono::steady_clock::now() - fuse_start)
                           .count());
   }
+  fuse_span.finish();
 
   // 7. Advance the location predictor with the fused result.
   predictor_.observe(d.uniloc2);

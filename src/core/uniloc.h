@@ -32,6 +32,7 @@ namespace uniloc::obs {
 class Counter;
 class Histogram;
 class MetricsRegistry;
+class SpanTracer;
 }  // namespace uniloc::obs
 
 namespace uniloc::core {
@@ -136,11 +137,20 @@ class Uniloc {
   /// are instrumented on registration.
   void attach_metrics(obs::MetricsRegistry* registry);
 
+  /// Attach causal span tracing (obs/span.h; nullptr detaches, the
+  /// default state). Each epoch emits one `scheme.<name>` span per
+  /// registered scheme around its localize and one `core.fuse` span
+  /// around the fusion stage, parented to the caller's ambient
+  /// TraceContext (the server's svc.locate span, or the runner's epoch
+  /// root). Detached cost is a branch per instrumentation point.
+  void attach_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Entry {
     schemes::SchemePtr scheme;
     ErrorModel model;
     obs::Histogram* localize_us{nullptr};
+    std::string span_name;  ///< "scheme.<name>", cached for span begin().
   };
 
   FeatureContext make_context(bool indoor) const;
@@ -152,6 +162,7 @@ class Uniloc {
   filter::LocationPredictor predictor_;
   bool gps_enable_{true};
   obs::MetricsRegistry* registry_{nullptr};
+  obs::SpanTracer* tracer_{nullptr};
   obs::Histogram* update_us_{nullptr};
   obs::Histogram* fuse_us_{nullptr};
   obs::Counter* epochs_{nullptr};

@@ -1,6 +1,9 @@
 #include "fault/crash.h"
 
+#include <string>
 #include <utility>
+
+#include "obs/flight_recorder.h"
 
 namespace uniloc::fault {
 
@@ -9,8 +12,29 @@ void CrashInjector::on_round(std::size_t round) {
   ++checkpoints_;
   if (!plan_->crash_at(round)) return;
   ++crashes_;
+  if (flight_ != nullptr) {
+    obs::FlightEvent ev;
+    ev.session_id = 0;  // the server itself, not any one session
+    ev.epoch = round;
+    ev.kind = obs::FlightKind::kCrash;
+    ev.a = static_cast<std::int64_t>(crashes_);
+    flight_->record(ev);
+    if (!dump_dir_.empty()) {
+      // Dump before crash(): the black box must survive the wreck.
+      const std::string path = dump_dir_ + "/flight_crash_round" +
+                               std::to_string(round) + ".jsonl";
+      if (flight_->dump_to_file(path)) dumps_.push_back(path);
+    }
+  }
   server_->crash();
-  if (!server_->restore(last_checkpoint_)) ++restore_failures_;
+  if (!server_->restore(last_checkpoint_)) {
+    ++restore_failures_;
+    if (flight_ != nullptr && !dump_dir_.empty()) {
+      const std::string path = dump_dir_ + "/flight_restore_mismatch_round" +
+                               std::to_string(round) + ".jsonl";
+      if (flight_->dump_to_file(path)) dumps_.push_back(path);
+    }
+  }
 }
 
 }  // namespace uniloc::fault

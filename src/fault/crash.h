@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "fault/plan.h"
@@ -30,6 +31,19 @@ class CrashInjector {
   CrashInjector(svc::LocalizationServer* server, const FaultPlan* plan)
       : server_(server), plan_(plan) {}
 
+  /// Attach a flight recorder (obs/flight_recorder.h) for post-mortems:
+  /// every scripted crash records a kCrash event (session 0 = the server
+  /// itself, epoch = round) and, when `dump_dir` is non-empty, dumps the
+  /// recorder to `<dump_dir>/flight_crash_round<R>.jsonl` BEFORE the
+  /// in-RAM state dies -- the black box survives the airplane. A failed
+  /// restore additionally dumps flight_restore_mismatch_round<R>.jsonl.
+  /// The dump is deterministic (no wall-clock fields), so same-seed
+  /// reruns produce byte-identical files.
+  void attach_flight(obs::FlightRecorder* flight, std::string dump_dir = "") {
+    flight_ = flight;
+    dump_dir_ = std::move(dump_dir);
+  }
+
   /// Checkpoint the server; then, if `round` is scripted to crash, kill
   /// and restore it. Call from LoadGenConfig::on_round (all sessions are
   /// idle there, so the snapshot is a clean between-rounds cut).
@@ -39,10 +53,15 @@ class CrashInjector {
   std::size_t crashes() const { return crashes_; }
   /// Restores that failed (should stay 0: our own snapshots are valid).
   std::size_t restore_failures() const { return restore_failures_; }
+  /// Flight-dump files written so far, in write order.
+  const std::vector<std::string>& flight_dumps() const { return dumps_; }
 
  private:
   svc::LocalizationServer* server_;
   const FaultPlan* plan_;
+  obs::FlightRecorder* flight_{nullptr};
+  std::string dump_dir_;
+  std::vector<std::string> dumps_;
   std::vector<std::uint8_t> last_checkpoint_;
   std::size_t checkpoints_{0};
   std::size_t crashes_{0};

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace uniloc::fault {
 
@@ -19,8 +20,12 @@ std::future<svc::LinkReply> ready(svc::LinkReply reply) {
 
 FaultyLink::FaultyLink(std::unique_ptr<svc::Link> inner,
                        const FaultPlan* plan, std::uint64_t stream,
-                       obs::MetricsRegistry* registry)
-    : inner_(std::move(inner)), plan_(plan), stream_(stream) {
+                       obs::MetricsRegistry* registry,
+                       obs::SpanTracer* tracer)
+    : inner_(std::move(inner)),
+      plan_(plan),
+      stream_(stream),
+      tracer_(tracer) {
   if (registry != nullptr) {
     m_drop_ = &registry->counter("fault.injected.drop");
     m_duplicate_ = &registry->counter("fault.injected.duplicate");
@@ -39,6 +44,12 @@ std::future<svc::LinkReply> FaultyLink::send(
   counters_.delay_us_total += d.delay_us;
   if (m_delay_us_ != nullptr && d.delay_us > 0) m_delay_us_->inc(d.delay_us);
 
+  // One span per wire transmission, noted with the injected fault. The
+  // inner send runs on this thread (only the reply wait is deferred), so
+  // the server's spans chain under the caller's ambient context.
+  obs::ScopedSpan span(tracer_, "link.send", "link", 0, 0, stream_);
+  const char* note = "ok";
+
   switch (d.kind) {
     case FaultKind::kDown: {
       ++counters_.downs;
@@ -46,6 +57,7 @@ std::future<svc::LinkReply> FaultyLink::send(
       svc::LinkReply reply;
       reply.status = svc::LinkReply::Status::kDown;
       reply.delay_us = d.delay_us;
+      span.finish("down");
       return ready(std::move(reply));
     }
     case FaultKind::kDrop: {
@@ -55,6 +67,7 @@ std::future<svc::LinkReply> FaultyLink::send(
       svc::LinkReply reply;
       reply.status = svc::LinkReply::Status::kDropped;
       reply.delay_us = d.delay_us;
+      span.finish("drop");
       return ready(std::move(reply));
     }
     case FaultKind::kCorrupt:
@@ -63,12 +76,14 @@ std::future<svc::LinkReply> FaultyLink::send(
       // Flip a magic byte: the frame still travels, but the server's
       // hostile-input boundary rejects it (detected corruption).
       if (request.size() > 4) request[4] ^= 0xFF;
+      note = "corrupt";
       break;
     case FaultKind::kDuplicate: {
       ++counters_.duplicates;
       if (m_duplicate_ != nullptr) m_duplicate_->inc();
       auto first = inner_->send(request);  // copy: original delivery
       auto second = inner_->send(std::move(request));
+      span.finish("duplicate");
       return std::async(
           std::launch::deferred,
           [this, d, f1 = std::move(first),
@@ -83,12 +98,13 @@ std::future<svc::LinkReply> FaultyLink::send(
             return reply;
           });
     }
-    case FaultKind::kReorder:
+    case FaultKind::kReorder: {
       ++counters_.reorders;
       if (m_reorder_ != nullptr) m_reorder_->inc();
+      auto f = inner_->send(std::move(request));
+      span.finish("reorder");
       return std::async(
-          std::launch::deferred,
-          [this, d, f = inner_->send(std::move(request))]() mutable {
+          std::launch::deferred, [this, d, f = std::move(f)]() mutable {
             svc::LinkReply reply = f.get();
             reply.delay_us += d.delay_us;
             if (reply.status == svc::LinkReply::Status::kOk && have_prev_) {
@@ -100,20 +116,22 @@ std::future<svc::LinkReply> FaultyLink::send(
             }
             return reply;
           });
+    }
     case FaultKind::kNone:
       break;
   }
 
-  return std::async(std::launch::deferred,
-                    [this, d, f = inner_->send(std::move(request))]() mutable {
-                      svc::LinkReply reply = f.get();
-                      reply.delay_us += d.delay_us;
-                      if (reply.status == svc::LinkReply::Status::kOk) {
-                        prev_reply_ = reply.bytes;
-                        have_prev_ = true;
-                      }
-                      return reply;
-                    });
+  auto f = inner_->send(std::move(request));
+  span.finish(note);
+  return std::async(std::launch::deferred, [this, d, f = std::move(f)]() mutable {
+    svc::LinkReply reply = f.get();
+    reply.delay_us += d.delay_us;
+    if (reply.status == svc::LinkReply::Status::kOk) {
+      prev_reply_ = reply.bytes;
+      have_prev_ = true;
+    }
+    return reply;
+  });
 }
 
 }  // namespace uniloc::fault

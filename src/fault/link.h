@@ -36,6 +36,7 @@
 namespace uniloc::obs {
 class Counter;
 class MetricsRegistry;
+class SpanTracer;
 }  // namespace uniloc::obs
 
 namespace uniloc::fault {
@@ -57,9 +58,13 @@ struct FaultCounters {
 class FaultyLink : public svc::Link {
  public:
   /// `stream` keys the plan (svc uses the session id). The plan must
-  /// outlive the link.
+  /// outlive the link. With a tracer, every send emits a `link.send`
+  /// span (category "link", adopting the caller's ambient TraceContext)
+  /// noted with the injected fault kind -- so a trace shows exactly
+  /// where the wire ate, bent, or delayed each frame.
   FaultyLink(std::unique_ptr<svc::Link> inner, const FaultPlan* plan,
-             std::uint64_t stream, obs::MetricsRegistry* registry = nullptr);
+             std::uint64_t stream, obs::MetricsRegistry* registry = nullptr,
+             obs::SpanTracer* tracer = nullptr);
 
   std::future<svc::LinkReply> send(
       std::vector<std::uint8_t> request) override;
@@ -71,6 +76,7 @@ class FaultyLink : public svc::Link {
   std::unique_ptr<svc::Link> inner_;
   const FaultPlan* plan_;
   std::uint64_t stream_;
+  obs::SpanTracer* tracer_{nullptr};
   std::size_t send_index_{0};
   /// Reply bytes of the last completed exchange (reorder's stale slot).
   std::vector<std::uint8_t> prev_reply_;

@@ -1,15 +1,19 @@
-// Minimal streaming JSON writer for the telemetry exporters.
+// Minimal streaming JSON writer + reader for the telemetry exporters.
 //
 // The observability layer emits machine-readable artifacts (JSONL epoch
 // traces, BENCH_*.json reports, registry dumps) without external
 // dependencies; this writer covers exactly the subset those exporters
 // need: objects, arrays, string escaping, and IEEE doubles with
-// non-finite values mapped to null (JSON has no NaN/Inf).
+// non-finite values mapped to null (JSON has no NaN/Inf). The reader is
+// the writer's inverse -- it parses everything JsonWriter can emit, so
+// tests and tooling can round-trip artifacts without external parsers.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace uniloc::obs {
@@ -53,5 +57,38 @@ class JsonWriter {
   std::vector<bool> first_in_container_;
   bool after_key_{false};
 };
+
+/// Parsed JSON document node. Object members keep insertion order (the
+/// writer emits deterministically ordered output; the reader preserves
+/// it so byte-level and structural comparisons agree).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind{Kind::kNull};
+  bool boolean{false};
+  double number{0.0};
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject
+  std::vector<JsonValue> items;                            ///< kArray
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Member lookup on objects; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// number rounded to uint64 (0 when not a number or negative).
+  std::uint64_t as_u64() const;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Returns nullopt on any syntax error. Handles the
+/// full escape set JsonWriter::escape emits, including \uXXXX.
+std::optional<JsonValue> parse_json(std::string_view text);
 
 }  // namespace uniloc::obs

@@ -39,17 +39,34 @@ double Histogram::percentile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 100.0);
   const double rank = q / 100.0 * static_cast<double>(count_);
+  // The largest value a percentile may report: the recorded max when it
+  // is finite, otherwise the last finite bound. This keeps the overflow
+  // bucket (and explicit +inf observations) from leaking +inf into
+  // reports.
+  double cap = max_;
+  if (!std::isfinite(cap)) {
+    cap = 0.0;
+    for (auto it = bounds_.rbegin(); it != bounds_.rend(); ++it) {
+      if (std::isfinite(*it)) {
+        cap = *it;
+        break;
+      }
+    }
+  }
   double cum = 0.0;
   for (std::size_t b = 0; b < buckets_.size(); ++b) {
     if (buckets_[b] == 0) continue;
     const double next = cum + static_cast<double>(buckets_[b]);
     if (rank <= next) {
       // Interpolate inside bucket b; the recorded min/max tighten the
-      // first and last populated buckets' edges.
+      // first and last populated buckets' edges, and `cap` replaces any
+      // non-finite edge (overflow bucket, +inf bound, +inf min/max).
       double lo = b == 0 ? min_ : bounds_[b - 1];
       double hi = b < bounds_.size() ? bounds_[b] : max_;
-      lo = std::max(lo, min_);
-      hi = std::min(hi, max_);
+      if (!std::isfinite(lo)) lo = cap;
+      if (!std::isfinite(hi)) hi = cap;
+      if (std::isfinite(min_)) lo = std::max(lo, min_);
+      hi = std::min(hi, cap);
       if (hi <= lo) return lo;
       const double frac =
           (rank - cum) / static_cast<double>(buckets_[b]);
@@ -57,7 +74,7 @@ double Histogram::percentile(double q) const {
     }
     cum = next;
   }
-  return max_;
+  return cap;
 }
 
 void Histogram::reset() {

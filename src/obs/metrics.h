@@ -14,6 +14,7 @@
 //     names once at attach time, never on the hot path.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -26,27 +27,40 @@ class Table;
 
 namespace uniloc::obs {
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count. inc() is lock-free and safe to
+/// call from any number of worker threads concurrently (relaxed atomics:
+/// counts are exact, cross-counter ordering is not promised).
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_{0};
+  std::atomic<std::uint64_t> value_{0};
 };
 
-/// Last-observed value of some quantity.
+/// Last-observed value of some quantity. set()/add() are thread-safe;
+/// add() uses a CAS loop so concurrent deltas never lose updates.
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  void add(double delta) { value_ += delta; }
-  double value() const { return value_; }
-  void reset() { value_ = 0.0; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_{0.0};
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed-bucket histogram with exact count/sum/min/max and
@@ -71,6 +85,10 @@ class Histogram {
 
   /// Linear interpolation inside the bucket containing the q-th
   /// percentile rank (q in [0, 100]); exact at the recorded min/max.
+  /// Never reports a non-finite value: observations landing in the
+  /// overflow bucket (or explicit +inf observations) are clamped to the
+  /// last finite upper bound, so downstream JSON/Prometheus exports stay
+  /// numeric.
   double percentile(double q) const;
 
   const std::vector<double>& upper_bounds() const { return bounds_; }

@@ -1,0 +1,69 @@
+#include "obs/prometheus.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace uniloc::obs {
+
+namespace {
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[32];
+  const std::to_chars_result res =
+      std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string prometheus_text(const MetricsRegistry& registry,
+                            const std::string& prefix) {
+  std::string out;
+  for (const auto& [name, c] : registry.counters()) {
+    const std::string pname = prefix + prometheus_name(name);
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + " " + std::to_string(c.value()) + "\n";
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    const std::string pname = prefix + prometheus_name(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " " + format_double(g.value()) + "\n";
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    const std::string pname = prefix + prometheus_name(name);
+    out += "# TYPE " + pname + " histogram\n";
+    const auto& bounds = h.upper_bounds();
+    const auto& counts = h.bucket_counts();
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < bounds.size(); ++b) {
+      cum += counts[b];
+      out += pname + "_bucket{le=\"" + format_double(bounds[b]) + "\"} " +
+             std::to_string(cum) + "\n";
+    }
+    out += pname + "_bucket{le=\"+Inf\"} " + std::to_string(h.count()) +
+           "\n";
+    out += pname + "_sum " + format_double(h.sum()) + "\n";
+    out += pname + "_count " + std::to_string(h.count()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace uniloc::obs

@@ -1,0 +1,24 @@
+// Prometheus text exposition (format 0.0.4) for a MetricsRegistry.
+//
+// Counters and gauges render as single samples; histograms render as
+// cumulative `_bucket{le="..."}` series ending in le="+Inf", plus `_sum`
+// and `_count`. Metric names are sanitized for Prometheus (every
+// character outside [a-zA-Z0-9_:] becomes '_') and prefixed, so
+// "svc.request_us" exports as "uniloc_svc_request_us".
+#pragma once
+
+#include <string>
+
+namespace uniloc::obs {
+
+class MetricsRegistry;
+
+/// Sanitize one metric name (no prefix applied).
+std::string prometheus_name(const std::string& name);
+
+/// Render the whole registry. Deterministic: registries are ordered
+/// maps, so identical contents produce identical text.
+std::string prometheus_text(const MetricsRegistry& registry,
+                            const std::string& prefix = "uniloc_");
+
+}  // namespace uniloc::obs

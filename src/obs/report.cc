@@ -61,4 +61,36 @@ std::string BenchReport::write(const std::string& path) const {
   return f.good() ? target : "";
 }
 
+std::string BenchReport::history_line(const std::string& timestamp) const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("bench", name_);
+  w.kv("ts", timestamp);
+  w.key("scalars").begin_object();
+  for (const auto& [name, value] : scalars_) w.kv(name, value);
+  w.end_object();
+  w.key("series").begin_object();
+  for (const Series& s : series_) {
+    w.key(s.name).begin_object();
+    w.kv("n", static_cast<std::uint64_t>(s.samples.size()));
+    if (!s.samples.empty()) {
+      w.kv("mean", stats::mean(s.samples));
+      w.kv("p50", stats::percentile(s.samples, 50.0));
+      w.kv("p90", stats::percentile(s.samples, 90.0));
+    }
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+bool BenchReport::append_history(const std::string& path,
+                                 const std::string& timestamp) const {
+  std::ofstream f(path, std::ios::app);
+  if (!f.is_open()) return false;
+  f << history_line(timestamp) << '\n';
+  return f.good();
+}
+
 }  // namespace uniloc::obs

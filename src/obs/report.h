@@ -37,6 +37,17 @@ class BenchReport {
   /// written, or "" on I/O failure.
   std::string write(const std::string& path = "") const;
 
+  /// One compact history record: bench name, caller-supplied timestamp
+  /// (this layer never reads a clock -- pass one in via env/arg),
+  /// scalars, and per-series summary percentiles. No raw samples, no
+  /// registry dump; a line is meant to be grepped across months of runs.
+  std::string history_line(const std::string& timestamp) const;
+
+  /// Append history_line() + '\n' to `path` (creating it when absent).
+  /// Returns false on I/O failure.
+  bool append_history(const std::string& path,
+                      const std::string& timestamp) const;
+
  private:
   struct Series {
     std::string name;

@@ -1,0 +1,126 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace uniloc::obs {
+
+SloMonitor::SloMonitor(SloConfig cfg, MetricsRegistry* registry)
+    : cfg_(cfg) {
+  cfg_.window = std::max<std::size_t>(cfg_.window, 1);
+  cfg_.min_samples = std::max<std::size_t>(cfg_.min_samples, 1);
+  ring_.resize(cfg_.window);
+  if (registry != nullptr) {
+    g_latency_burn_ = &registry->gauge("slo.latency_burn_rate");
+    g_error_burn_ = &registry->gauge("slo.error_burn_rate");
+    g_breached_ = &registry->gauge("slo.breached");
+    g_p99_ = &registry->gauge("slo.p99_latency_us");
+    c_breaches_ = &registry->counter("slo.breaches");
+  }
+}
+
+double SloMonitor::latency_burn_locked() const {
+  if (filled_ == 0 || cfg_.latency_budget <= 0.0) return 0.0;
+  const double frac =
+      static_cast<double>(slow_in_window_) / static_cast<double>(filled_);
+  return frac / cfg_.latency_budget;
+}
+
+double SloMonitor::error_burn_locked() const {
+  if (filled_ == 0 || cfg_.error_budget <= 0.0) return 0.0;
+  const double frac =
+      static_cast<double>(errors_in_window_) / static_cast<double>(filled_);
+  return frac / cfg_.error_budget;
+}
+
+bool SloMonitor::breached_locked() const {
+  if (filled_ < cfg_.min_samples) return false;
+  return latency_burn_locked() > 1.0 || error_burn_locked() > 1.0;
+}
+
+void SloMonitor::observe(double latency_us, bool error) {
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (filled_ == cfg_.window) {
+      const Sample& old = ring_[next_];
+      if (old.slow) --slow_in_window_;
+      if (old.error) --errors_in_window_;
+    } else {
+      ++filled_;
+    }
+    Sample s;
+    s.latency_us = latency_us;
+    s.slow = latency_us > cfg_.latency_slo_us;
+    s.error = error;
+    ring_[next_] = s;
+    next_ = (next_ + 1) % cfg_.window;
+    if (s.slow) ++slow_in_window_;
+    if (s.error) ++errors_in_window_;
+    ++total_;
+
+    const bool now_breached = breached_locked();
+    if (now_breached && !was_breached_) {
+      ++breach_edges_;
+      fire = true;
+      if (c_breaches_ != nullptr) c_breaches_->inc();
+    }
+    was_breached_ = now_breached;
+
+    if (g_latency_burn_ != nullptr) {
+      g_latency_burn_->set(latency_burn_locked());
+      g_error_burn_->set(error_burn_locked());
+      g_breached_->set(now_breached ? 1.0 : 0.0);
+    }
+  }
+  // p99 gauge + breach callback run outside mu_: p99 re-locks, and the
+  // callback typically dumps a flight recorder (its own lock).
+  if (g_p99_ != nullptr) g_p99_->set(p99_latency_us());
+  if (fire && on_breach) on_breach();
+}
+
+double SloMonitor::latency_burn_rate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latency_burn_locked();
+}
+
+double SloMonitor::error_burn_rate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_burn_locked();
+}
+
+double SloMonitor::p99_latency_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (filled_ == 0) return 0.0;
+  std::vector<double> lat;
+  lat.reserve(filled_);
+  for (std::size_t i = 0; i < filled_; ++i) {
+    lat.push_back(ring_[i].latency_us);
+  }
+  const std::size_t idx =
+      std::min(lat.size() - 1,
+               static_cast<std::size_t>(0.99 * static_cast<double>(
+                                                   lat.size())));
+  std::nth_element(lat.begin(),
+                   lat.begin() + static_cast<std::ptrdiff_t>(idx),
+                   lat.end());
+  return lat[idx];
+}
+
+bool SloMonitor::breached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breached_locked();
+}
+
+std::uint64_t SloMonitor::breaches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breach_edges_;
+}
+
+std::uint64_t SloMonitor::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace uniloc::obs

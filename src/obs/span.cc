@@ -1,0 +1,148 @@
+#include "obs/span.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace uniloc::obs {
+
+namespace {
+
+thread_local TraceContext g_trace_context;
+
+std::uint64_t steady_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string to_json_line(const SpanEvent& ev) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("trace", ev.trace_id);
+  w.kv("span", ev.span_id);
+  w.kv("parent", ev.parent_id);
+  w.kv("session", ev.session_id);
+  w.kv("name", ev.name);
+  w.kv("cat", ev.category);
+  if (!ev.note.empty()) w.kv("note", ev.note);
+  w.kv("start_us", ev.start_us);
+  w.kv("dur_us", ev.dur_us);
+  w.end_object();
+  return w.str();
+}
+
+void VectorSpanSink::on_span(const SpanEvent& ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(ev);
+}
+
+std::vector<SpanEvent> VectorSpanSink::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t VectorSpanSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void VectorSpanSink::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+JsonlSpanSink::JsonlSpanSink(const std::string& path)
+    : owned_(path), os_(&owned_) {
+  if (!owned_.is_open()) {
+    throw std::runtime_error("JsonlSpanSink: cannot open " + path);
+  }
+}
+
+JsonlSpanSink::JsonlSpanSink(std::ostream& os) : os_(&os) {}
+
+void JsonlSpanSink::on_span(const SpanEvent& ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *os_ << to_json_line(ev) << '\n';
+  ++spans_;
+}
+
+void JsonlSpanSink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  os_->flush();
+}
+
+std::size_t JsonlSpanSink::spans_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+TraceContext current_trace() { return g_trace_context; }
+
+TraceScope::TraceScope(TraceContext ctx) : prev_(g_trace_context) {
+  g_trace_context = ctx;
+}
+
+TraceScope::~TraceScope() { g_trace_context = prev_; }
+
+SpanTracer::SpanTracer(SpanSink* sink, std::function<std::uint64_t()> now_us)
+    : sink_(sink), now_us_(std::move(now_us)) {}
+
+std::uint64_t SpanTracer::now() const {
+  return now_us_ ? now_us_() : steady_now_us();
+}
+
+SpanHandle SpanTracer::begin(const char* name, const char* category,
+                             std::uint64_t trace_id, std::uint64_t parent_id,
+                             std::uint64_t session_id) {
+  SpanHandle h;
+  if (trace_id == 0) {
+    const TraceContext ctx = g_trace_context;
+    if (ctx.trace_id != 0) {
+      trace_id = ctx.trace_id;
+      if (parent_id == 0) parent_id = ctx.parent_span;
+      if (session_id == 0) session_id = ctx.session_id;
+    } else {
+      trace_id = next_trace_id();
+    }
+  }
+  h.trace_id = trace_id;
+  h.span_id = next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  h.parent_id = parent_id;
+  h.session_id = session_id;
+  h.start_us = now();
+  h.name = name;
+  h.category = category;
+  opened_.fetch_add(1, std::memory_order_relaxed);
+  return h;
+}
+
+void SpanTracer::end(const SpanHandle& h, const char* note) {
+  const std::uint64_t end_us = now();
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  if (sink_ == nullptr) return;
+  SpanEvent ev;
+  ev.trace_id = h.trace_id;
+  ev.span_id = h.span_id;
+  ev.parent_id = h.parent_id;
+  ev.session_id = h.session_id;
+  ev.name = h.name;
+  ev.category = h.category;
+  ev.note = note;
+  ev.start_us = h.start_us;
+  ev.dur_us = end_us >= h.start_us ? end_us - h.start_us : 0;
+  std::lock_guard<std::mutex> lock(emit_mu_);
+  sink_->on_span(ev);
+}
+
+void SpanTracer::flush() {
+  if (sink_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(emit_mu_);
+  sink_->flush();
+}
+
+}  // namespace uniloc::obs

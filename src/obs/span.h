@@ -1,0 +1,224 @@
+// Causal span tracing across the request path.
+//
+// A span is one timed step of one epoch's journey -- client send, link
+// fault decision, server queue wait, strand wait, decode, a scheme's
+// localize, fusion, encode, downlink -- stitched into a tree by
+// (trace_id, span_id, parent_id). Design rules mirror the metrics layer:
+//
+//   * Null-object contract: every instrumented component holds a
+//     SpanTracer* defaulting to nullptr. Detached tracing performs no
+//     clock reads and no allocation -- a branch on a null pointer is the
+//     entire overhead (verified by bench/micro_ops).
+//   * begin() is allocation-free (the handle stores literal name
+//     pointers); serialization happens only at end(), under a short
+//     mutex around the sink.
+//   * Ambient context: code that cannot thread trace ids through its
+//     signatures (Link::send, server submit) adopts the calling thread's
+//     TraceScope, so causality survives API boundaries untouched.
+//
+// Spans serialize as JSONL -- one self-describing object per line, same
+// convention as obs::TraceSink epoch traces -- and convert to Chrome
+// trace_event format via scripts/trace2chrome.py.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace uniloc::obs {
+
+/// One completed span. String fields are copied from the handle's
+/// literal pointers at end() time.
+struct SpanEvent {
+  std::uint64_t trace_id{0};
+  std::uint64_t span_id{0};
+  std::uint64_t parent_id{0};  ///< 0 = root of its trace.
+  std::uint64_t session_id{0};
+  std::string name;      ///< e.g. "svc.epoch", "scheme.WiFi".
+  std::string category;  ///< "client" | "link" | "svc" | "core".
+  std::string note;      ///< Optional annotation ("retry", "drop", ...).
+  std::uint64_t start_us{0};
+  std::uint64_t dur_us{0};
+};
+
+/// Serialize one span as a single JSON object (no trailing newline).
+std::string to_json_line(const SpanEvent& ev);
+
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+  virtual void on_span(const SpanEvent& ev) = 0;
+  virtual void flush() {}
+};
+
+/// Swallows everything; for overhead measurement and detached-but-live
+/// tracers.
+class NullSpanSink final : public SpanSink {
+ public:
+  void on_span(const SpanEvent&) override {}
+};
+
+/// Buffers spans in memory; tests inspect the tree directly.
+class VectorSpanSink final : public SpanSink {
+ public:
+  void on_span(const SpanEvent& ev) override;
+
+  std::vector<SpanEvent> events() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> events_;
+};
+
+/// Streams spans to a file (or caller-owned stream), one JSON object per
+/// line.
+class JsonlSpanSink final : public SpanSink {
+ public:
+  /// Throws std::runtime_error when the file cannot be opened.
+  explicit JsonlSpanSink(const std::string& path);
+  explicit JsonlSpanSink(std::ostream& os);
+
+  void on_span(const SpanEvent& ev) override;
+  void flush() override;
+
+  std::size_t spans_written() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::ofstream owned_;
+  std::ostream* os_;
+  std::size_t spans_{0};
+};
+
+/// In-flight span. Copyable value so spans can cross threads (begun on
+/// the submit thread, ended on a worker) without shared state. Name and
+/// category must point at storage outliving the span (string literals,
+/// or per-component cached names).
+struct SpanHandle {
+  std::uint64_t trace_id{0};
+  std::uint64_t span_id{0};
+  std::uint64_t parent_id{0};
+  std::uint64_t session_id{0};
+  std::uint64_t start_us{0};
+  const char* name{""};
+  const char* category{""};
+};
+
+/// Thread-local trace context, for plumbing causality through APIs whose
+/// signatures cannot carry ids (Link::send, server submit).
+struct TraceContext {
+  std::uint64_t trace_id{0};
+  std::uint64_t parent_span{0};
+  std::uint64_t session_id{0};
+};
+
+/// The calling thread's ambient context ({0,0,0} when none is set).
+TraceContext current_trace();
+
+/// RAII set/restore of the ambient context.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceContext ctx);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+/// Span factory + emitter. begin()/end() are safe from any thread: ids
+/// come from relaxed atomics, emission serializes on a mutex around the
+/// sink. The opened/closed counters make span leaks (a begin with no
+/// matching end) mechanically checkable -- the chaos gate asserts they
+/// are equal after every scripted disaster.
+class SpanTracer {
+ public:
+  /// `sink` must outlive the tracer. `now_us` defaults to a steady
+  /// monotonic clock; inject a sim::VirtualClock reader for
+  /// deterministic timestamps.
+  explicit SpanTracer(SpanSink* sink,
+                      std::function<std::uint64_t()> now_us = {});
+
+  /// Fresh trace id for a new epoch's span tree.
+  std::uint64_t next_trace_id() {
+    return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Open a span. trace_id == 0 adopts the ambient TraceContext when one
+  /// is set (parent defaults to the ambient parent span), otherwise a
+  /// fresh trace id is allocated (self-rooted span).
+  SpanHandle begin(const char* name, const char* category,
+                   std::uint64_t trace_id = 0, std::uint64_t parent_id = 0,
+                   std::uint64_t session_id = 0);
+
+  /// Close and emit. Safe to call exactly once per handle.
+  void end(const SpanHandle& h, const char* note = "");
+
+  void flush();
+
+  std::uint64_t spans_opened() const {
+    return opened_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t spans_closed() const {
+    return closed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t now() const;
+
+  SpanSink* sink_;
+  std::function<std::uint64_t()> now_us_;
+  std::atomic<std::uint64_t> next_span_id_{1};
+  std::atomic<std::uint64_t> next_trace_id_{1};
+  std::atomic<std::uint64_t> opened_{0};
+  std::atomic<std::uint64_t> closed_{0};
+  std::mutex emit_mu_;
+};
+
+/// RAII span: begins on construction when `tracer` is non-null, ends on
+/// destruction (or an explicit finish() with a note). Detached (null
+/// tracer) cost is one branch.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(SpanTracer* tracer, const char* name, const char* category,
+             std::uint64_t trace_id = 0, std::uint64_t parent_id = 0,
+             std::uint64_t session_id = 0)
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) {
+      handle_ = tracer_->begin(name, category, trace_id, parent_id,
+                               session_id);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() { finish(); }
+
+  void finish(const char* note = "") {
+    if (tracer_ != nullptr) {
+      tracer_->end(handle_, note);
+      tracer_ = nullptr;
+    }
+  }
+
+  /// The open span's id (0 when detached) -- parent for child spans.
+  std::uint64_t id() const { return handle_.span_id; }
+  std::uint64_t trace() const { return handle_.trace_id; }
+
+ private:
+  SpanTracer* tracer_{nullptr};
+  SpanHandle handle_;
+};
+
+}  // namespace uniloc::obs

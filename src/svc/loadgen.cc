@@ -7,7 +7,9 @@
 #include <utility>
 
 #include "core/local_fallback.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/timer.h"
 #include "stats/rng.h"
 #include "svc/epoch_codec.h"
@@ -57,6 +59,9 @@ struct Pending {
   bool is_probe{false};  ///< Degraded-mode probe: single attempt, no retry.
   obs::Stopwatch started;
   EpochEvent ev;
+  /// Open client.epoch span (zero handle when tracing is detached);
+  /// every attempt span hangs off it, and collect() closes it.
+  obs::SpanHandle root;
 };
 
 struct Instruments {
@@ -89,6 +94,20 @@ void record_event(Ctx& ctx, Client& c, const EpochEvent& ev) {
   if (ctx.cfg.resilience.record_timeline) c.outcome.timeline.push_back(ev);
 }
 
+void flight_note(Ctx& ctx, std::uint64_t session_id, std::uint64_t epoch,
+                 obs::FlightKind kind, std::int64_t a = 0,
+                 std::int64_t b = 0, double x = 0.0) {
+  if (ctx.cfg.flight == nullptr) return;
+  obs::FlightEvent ev;
+  ev.session_id = session_id;
+  ev.epoch = epoch;
+  ev.kind = kind;
+  ev.a = a;
+  ev.b = b;
+  ev.x = x;
+  ctx.cfg.flight->record(ev);
+}
+
 void count_timeout(Ctx& ctx, Client& c) {
   ++c.outcome.timeouts;
   if (ctx.ins.timeouts != nullptr) ctx.ins.timeouts->inc();
@@ -100,6 +119,7 @@ void enter_degraded(Ctx& ctx, Client& c, EpochEvent& ev) {
   ++c.outcome.fallback_entries;
   ev.entered_fallback = true;
   if (ctx.ins.degraded_enter != nullptr) ctx.ins.degraded_enter->inc();
+  flight_note(ctx, c.session_id, ev.epoch, obs::FlightKind::kFallbackEnter);
   if (ctx.cfg.resilience.local_fallback) {
     // Dead-reckon from the best position knowledge the phone has: the
     // last server fix, or the walk's start if none ever arrived.
@@ -117,6 +137,7 @@ void exit_degraded(Ctx& ctx, Client& c, EpochEvent& ev) {
   ++c.outcome.fallback_exits;
   ev.exited_fallback = true;
   if (ctx.ins.degraded_exit != nullptr) ctx.ins.degraded_exit->inc();
+  flight_note(ctx, c.session_id, ev.epoch, obs::FlightKind::kFallbackExit);
 }
 
 /// Serve one epoch without the server: PDR dead-reckoning when the
@@ -132,6 +153,8 @@ void serve_local(Ctx& ctx, Client& c, geo::Vec2 truth, double heading,
     ev.source = EpochEvent::Source::kLocal;
     ev.estimate = estimate;
     ev.error_m = geo::distance(estimate, truth);
+    flight_note(ctx, c.session_id, ev.epoch, obs::FlightKind::kLocalEpoch,
+                0, 0, ev.error_m);
   } else {
     ++c.outcome.errors;
     ev.source = EpochEvent::Source::kSkipped;
@@ -227,17 +250,32 @@ void accept_reply(Ctx& ctx, Client& c, Pending& p, const EpochReply& reply,
   p.ev.attempts = attempts;
   p.ev.estimate = estimate;
   p.ev.error_m = geo::distance(estimate, p.truth);
+  flight_note(ctx, c.session_id, p.ev.epoch,
+              obs::FlightKind::kEpochAccepted,
+              static_cast<std::int64_t>(attempts), 0, p.ev.error_m);
   if (c.degraded) exit_degraded(ctx, c, p.ev);
   p.ev.degraded_after = c.degraded;
   record_event(ctx, c, p.ev);
 }
 
 /// Resend the pending epoch frame (a retransmission: the radio pays
-/// again, and the retry counters advance).
-LinkReply resend(Ctx& ctx, Client& c, Pending& p) {
+/// again, and the retry counters advance). `attempt` is the 1-based
+/// attempt number this send represents.
+LinkReply resend(Ctx& ctx, Client& c, Pending& p, std::size_t attempt) {
   ++c.outcome.retries;
   if (ctx.ins.retries != nullptr) ctx.ins.retries->inc();
+  flight_note(ctx, c.session_id, p.ev.epoch, obs::FlightKind::kRetry,
+              static_cast<std::int64_t>(attempt));
   charge_uplink(ctx, p.wire_up, /*retransmit=*/true);
+  if (ctx.cfg.tracer != nullptr) {
+    const obs::SpanHandle span =
+        ctx.cfg.tracer->begin("client.attempt", "client", p.root.trace_id,
+                              p.root.span_id, c.session_id);
+    obs::TraceScope scope({p.root.trace_id, span.span_id, c.session_id});
+    LinkReply r = c.link->send(p.request).get();
+    ctx.cfg.tracer->end(span, "retry");
+    return r;
+  }
   return c.link->send(p.request).get();
 }
 
@@ -262,7 +300,13 @@ bool try_rehello(Ctx& ctx, Client& c, Pending& p) {
   frame.payload = encode_hello(hello);
   charge_uplink(ctx, kHeaderBytes + HelloPayload::kBytes,
                 /*retransmit=*/false);
-  const LinkReply r = c.link->send(encode_frame(frame)).get();
+  LinkReply r;
+  {
+    obs::ScopedSpan span(ctx.cfg.tracer, "client.rehello", "client",
+                         p.root.trace_id, p.root.span_id, c.session_id);
+    obs::TraceScope scope({p.root.trace_id, span.id(), c.session_id});
+    r = c.link->send(encode_frame(frame)).get();
+  }
   if (r.status != LinkReply::Status::kOk ||
       r.delay_us > ctx.cfg.resilience.retry.timeout_us) {
     count_timeout(ctx, c);
@@ -284,14 +328,16 @@ bool try_rehello(Ctx& ctx, Client& c, Pending& p) {
   }
   ++c.outcome.rehellos;
   if (ctx.ins.rehello != nullptr) ctx.ins.rehello->inc();
+  flight_note(ctx, c.session_id, p.ev.epoch, obs::FlightKind::kRehello);
   p.ev.rehello = true;
   return true;
 }
 
 /// Drive one pending epoch to completion: classify the reply, retry with
 /// backoff within budget, re-hello on session loss, and fall back to the
-/// local dead-reckoner when the budget is exhausted.
-void collect(Ctx& ctx, Pending& p) {
+/// local dead-reckoner when the budget is exhausted. Returns the note
+/// for the epoch's root span.
+const char* collect_reply(Ctx& ctx, Pending& p) {
   Client& c = *p.client;
   const RetryPolicy& policy = ctx.cfg.resilience.retry;
   const std::size_t budget = p.is_probe ? 1 : 1 + policy.max_retries;
@@ -304,20 +350,20 @@ void collect(Ctx& ctx, Pending& p) {
     switch (cls.verdict) {
       case Verdict::kAccepted:
         accept_reply(ctx, c, p, *cls.epoch_reply, attempts);
-        return;
+        return "accepted";
       case Verdict::kBackpressure:
       case Verdict::kFatal:
         p.ev.source = EpochEvent::Source::kSkipped;
         p.ev.attempts = attempts;
         p.ev.degraded_after = c.degraded;
         record_event(ctx, c, p.ev);
-        return;
+        return "shed";
       case Verdict::kSessionLost:
         if (!rehello_burned) {
           rehello_burned = true;
           if (try_rehello(ctx, c, p)) {
             ++attempts;
-            r = resend(ctx, c, p);
+            r = resend(ctx, c, p, attempts);
             continue;
           }
         }
@@ -332,6 +378,8 @@ void collect(Ctx& ctx, Pending& p) {
     if (attempts >= budget) {
       // Budget exhausted: the link is declared down for this phone.
       p.ev.attempts = attempts;
+      flight_note(ctx, c.session_id, p.ev.epoch, obs::FlightKind::kTimeout,
+                  static_cast<std::int64_t>(attempts));
       if (!c.degraded) {
         enter_degraded(ctx, c, p.ev);
       } else {
@@ -340,14 +388,19 @@ void collect(Ctx& ctx, Pending& p) {
             std::max<std::size_t>(ctx.cfg.resilience.probe_period, 1);
       }
       serve_local(ctx, c, p.truth, p.step_heading, p.step_distance, p.ev);
-      return;
+      return "degraded";
     }
     const std::uint64_t backoff =
         policy.backoff_us(attempts - 1, c.jitter.uniform());
     if (ctx.cfg.clock != nullptr) ctx.cfg.clock->advance_us(backoff);
     ++attempts;
-    r = resend(ctx, c, p);
+    r = resend(ctx, c, p, attempts);
   }
+}
+
+void collect(Ctx& ctx, Pending& p) {
+  const char* note = collect_reply(ctx, p);
+  if (ctx.cfg.tracer != nullptr) ctx.cfg.tracer->end(p.root, note);
 }
 
 }  // namespace
@@ -458,7 +511,22 @@ LoadReport run_load(LocalizationServer& server, const core::Deployment& d,
         p.is_probe = probe;
         p.ev = ev;
         charge_uplink(ctx, p.wire_up, /*retransmit=*/false);
-        p.reply = c.link->send(p.request);
+        flight_note(ctx, c.session_id, ev.epoch,
+                    obs::FlightKind::kEpochSubmit, 0, probe ? 1 : 0);
+        if (cfg.tracer != nullptr) {
+          p.root = cfg.tracer->begin("client.epoch", "client",
+                                     cfg.tracer->next_trace_id(), 0,
+                                     c.session_id);
+          const obs::SpanHandle attempt =
+              cfg.tracer->begin("client.attempt", "client", p.root.trace_id,
+                                p.root.span_id, c.session_id);
+          obs::TraceScope scope(
+              {p.root.trace_id, attempt.span_id, c.session_id});
+          p.reply = c.link->send(p.request);
+          cfg.tracer->end(attempt);
+        } else {
+          p.reply = c.link->send(p.request);
+        }
         pending.push_back(std::move(p));
         // Degraded sessions are strictly stop-and-wait: nothing is
         // pipelined behind an outstanding probe.

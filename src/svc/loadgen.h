@@ -108,6 +108,17 @@ struct LoadGenConfig {
   /// crash/checkpoint orchestration (fault/crash.h): the server may be
   /// snapshotted, crashed and restored here between rounds.
   std::function<void(std::size_t round)> on_round;
+  /// Client-side span tracing (obs/span.h). Null = off (a branch per
+  /// instrumentation point). Each server-bound epoch opens a
+  /// `client.epoch` root span plus one `client.attempt` span per link
+  /// send; the ambient TraceContext is set around every send so the
+  /// link's and server's spans chain under the attempt.
+  obs::SpanTracer* tracer{nullptr};
+  /// Client-side flight events (obs/flight_recorder.h): submits,
+  /// accepts, retries, timeouts, fallback transitions, re-hellos. Share
+  /// the recorder with ServerConfig::flight to interleave both sides of
+  /// each session's story. Null = off.
+  obs::FlightRecorder* flight{nullptr};
 };
 
 struct WalkerOutcome {

@@ -1,9 +1,12 @@
 #include "svc/server.h"
 
+#include <optional>
 #include <thread>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/timer.h"
 #include "offload/bytes.h"
 #include "offload/payload.h"
@@ -17,6 +20,7 @@ LocalizationServer::LocalizationServer(ServerConfig cfg,
                                        obs::MetricsRegistry* registry)
     : cfg_(std::move(cfg)),
       factory_(std::move(factory)),
+      registry_(registry),
       sessions_(cfg_.stripes),
       pool_(ThreadPool::Config{cfg_.workers, cfg_.pool_queue_capacity}) {
   if (registry != nullptr) {
@@ -28,6 +32,7 @@ LocalizationServer::LocalizationServer(ServerConfig cfg,
     ins_.rejected = &registry->counter("svc.rejected");
     ins_.evicted = &registry->counter("svc.evicted");
     ins_.malformed = &registry->counter("svc.malformed");
+    ins_.status_requests = &registry->counter("svc.status_requests");
     ins_.request_us = &registry->histogram("svc.request_us");
     ins_.parse_us = &registry->histogram("svc.parse_us");
     ins_.locate_us = &registry->histogram("svc.locate_us");
@@ -48,13 +53,13 @@ std::uint64_t LocalizationServer::now_us() const {
           .count());
 }
 
+// Counters and gauges are internally atomic (obs/metrics.h), so the
+// count_* paths are lock-free; ins_.mu protects only the histograms.
 void LocalizationServer::count_malformed() {
-  std::lock_guard<std::mutex> lock(ins_.mu);
   if (ins_.malformed != nullptr) ins_.malformed->inc();
 }
 
 void LocalizationServer::count_accepted() {
-  std::lock_guard<std::mutex> lock(ins_.mu);
   if (ins_.accepted != nullptr) ins_.accepted->inc();
   if (ins_.queue_depth != nullptr) {
     ins_.queue_depth->set(static_cast<double>(pool_.queue_depth()));
@@ -62,9 +67,9 @@ void LocalizationServer::count_accepted() {
 }
 
 void LocalizationServer::note_live_sessions() {
-  const double live = static_cast<double>(sessions_.size());
-  std::lock_guard<std::mutex> lock(ins_.mu);
-  if (ins_.live_sessions != nullptr) ins_.live_sessions->set(live);
+  if (ins_.live_sessions != nullptr) {
+    ins_.live_sessions->set(static_cast<double>(sessions_.size()));
+  }
 }
 
 std::future<std::vector<std::uint8_t>> LocalizationServer::reply_now(
@@ -111,6 +116,9 @@ std::future<std::vector<std::uint8_t>> LocalizationServer::submit(
     case FrameType::kBye:
       handle_bye(frame, promise);
       break;
+    case FrameType::kStatus:
+      handle_status(frame, promise);
+      break;
     case FrameType::kReply:
     case FrameType::kError:
       // Server-to-client types arriving at the server are client bugs.
@@ -137,11 +145,19 @@ void LocalizationServer::handle_hello(const Frame& frame,
   const SessionPtr session =
       sessions_.create(frame.session_id, std::move(uniloc), now_us());
   if (session == nullptr) {
-    std::lock_guard<std::mutex> lock(ins_.mu);
     if (ins_.rejected != nullptr) ins_.rejected->inc();
     promise->set_value(encode_frame(
         make_error_frame(frame.session_id, ErrorCode::kSessionExists)));
     return;
+  }
+  // Session-held ensembles emit core-layer spans (per-scheme localize,
+  // fusion) into the server's tracer.
+  session->uniloc().attach_tracer(cfg_.tracer);
+  if (cfg_.flight != nullptr) {
+    obs::FlightEvent ev;
+    ev.session_id = frame.session_id;
+    ev.kind = obs::FlightKind::kHello;
+    cfg_.flight->record(ev);
   }
   count_accepted();
   note_live_sessions();
@@ -154,10 +170,7 @@ void LocalizationServer::handle_hello(const Frame& frame,
 void LocalizationServer::handle_epoch(Frame frame, const Promise& promise) {
   const SessionPtr session = sessions_.find(frame.session_id);
   if (session == nullptr) {
-    {
-      std::lock_guard<std::mutex> lock(ins_.mu);
-      if (ins_.rejected != nullptr) ins_.rejected->inc();
-    }
+    if (ins_.rejected != nullptr) ins_.rejected->inc();
     promise->set_value(encode_frame(
         make_error_frame(frame.session_id, ErrorCode::kUnknownSession)));
     return;
@@ -165,18 +178,43 @@ void LocalizationServer::handle_epoch(Frame frame, const Promise& promise) {
 
   const obs::Stopwatch accepted_at;
   const std::uint64_t session_id = frame.session_id;
+
+  // Open the epoch's span tree on the submitting thread: the root
+  // adopts the caller's ambient context (the client/link span when one
+  // is set), the queue-wait child runs until the strand picks the task
+  // up in run_epoch. Handles are values, so they cross to the worker
+  // inside the lambda.
+  obs::SpanHandle root, queue_wait;
+  if (cfg_.tracer != nullptr) {
+    root = cfg_.tracer->begin("svc.epoch", "svc", 0, 0, session_id);
+    queue_wait = cfg_.tracer->begin("svc.queue_wait", "svc", root.trace_id,
+                                    root.span_id, session_id);
+  }
+
   auto payload =
       std::make_shared<std::vector<std::uint8_t>>(std::move(frame.payload));
   Session* raw = session.get();
   const Session::Enqueue verdict = session->enqueue(
-      [this, raw, payload, session_id, promise, accepted_at] {
-        run_epoch(*raw, *payload, session_id, promise, accepted_at);
+      [this, raw, payload, session_id, promise, accepted_at, root,
+       queue_wait] {
+        run_epoch(*raw, *payload, session_id, promise, accepted_at, root,
+                  queue_wait);
       },
       cfg_.inbox_capacity, now_us());
 
   if (verdict == Session::Enqueue::kBackpressure) {
-    std::lock_guard<std::mutex> lock(ins_.mu);
+    if (cfg_.tracer != nullptr) {
+      cfg_.tracer->end(queue_wait, "backpressure");
+      cfg_.tracer->end(root, "backpressure");
+    }
     if (ins_.rejected != nullptr) ins_.rejected->inc();
+    if (cfg_.flight != nullptr) {
+      obs::FlightEvent ev;
+      ev.session_id = session_id;
+      ev.epoch = raw->epochs_served();
+      ev.kind = obs::FlightKind::kBackpressure;
+      cfg_.flight->record(ev);
+    }
     promise->set_value(encode_frame(
         make_error_frame(session_id, ErrorCode::kBackpressure)));
     return;
@@ -193,7 +231,6 @@ void LocalizationServer::handle_epoch(Frame frame, const Promise& promise) {
 void LocalizationServer::handle_bye(const Frame& frame,
                                     const Promise& promise) {
   if (!sessions_.erase(frame.session_id)) {
-    std::lock_guard<std::mutex> lock(ins_.mu);
     if (ins_.rejected != nullptr) ins_.rejected->inc();
     promise->set_value(encode_frame(
         make_error_frame(frame.session_id, ErrorCode::kUnknownSession)));
@@ -211,28 +248,66 @@ void LocalizationServer::run_epoch(Session& session,
                                    const std::vector<std::uint8_t>& payload,
                                    std::uint64_t session_id,
                                    const Promise& promise,
-                                   obs::Stopwatch accepted_at) {
+                                   obs::Stopwatch accepted_at,
+                                   obs::SpanHandle root,
+                                   obs::SpanHandle queue_wait) {
+  obs::SpanTracer* tracer = cfg_.tracer;
+  if (tracer != nullptr) tracer->end(queue_wait);
+
   obs::Stopwatch stage;
+  obs::SpanHandle decode_span;
+  if (tracer != nullptr) {
+    decode_span = tracer->begin("svc.decode", "svc", root.trace_id,
+                                root.span_id, session_id);
+  }
   const std::optional<EpochRequest> req = parse_epoch(payload);
   const double parse_us = stage.elapsed_us();
   if (!req.has_value()) {
+    if (tracer != nullptr) {
+      tracer->end(decode_span, "malformed");
+      tracer->end(root, "malformed");
+    }
     count_malformed();
+    if (cfg_.slo != nullptr) {
+      cfg_.slo->observe(accepted_at.elapsed_us(), true);
+    }
+    if (cfg_.flight != nullptr) {
+      obs::FlightEvent ev;
+      ev.session_id = session_id;
+      ev.epoch = session.epochs_served();
+      ev.kind = obs::FlightKind::kError;
+      cfg_.flight->record(ev);
+    }
     promise->set_value(encode_frame(
         make_error_frame(session_id, ErrorCode::kMalformed)));
     return;
   }
+  if (tracer != nullptr) tracer->end(decode_span);
 
   stage.restart();
   // We are on the session strand here, so the scratch arena and the perf
   // cursor are single-writer even with workers > 0.
   core::EpochDecision ref_decision;
   const core::EpochDecision* decision_ptr;
-  if (cfg_.use_fast_path) {
-    decision_ptr = &session.uniloc().update_fast(req->frame,
-                                                 session.scratch());
-  } else {
-    ref_decision = session.uniloc().update(req->frame);
-    decision_ptr = &ref_decision;
+  {
+    obs::SpanHandle locate_span;
+    std::optional<obs::TraceScope> scope;
+    if (tracer != nullptr) {
+      locate_span = tracer->begin("svc.locate", "svc", root.trace_id,
+                                  root.span_id, session_id);
+      // Core-layer spans (per-scheme localize, fusion) adopt this
+      // ambient context inside update()/update_fast().
+      scope.emplace(obs::TraceContext{root.trace_id, locate_span.span_id,
+                                      session_id});
+    }
+    if (cfg_.use_fast_path) {
+      decision_ptr = &session.uniloc().update_fast(req->frame,
+                                                   session.scratch());
+    } else {
+      ref_decision = session.uniloc().update(req->frame);
+      decision_ptr = &ref_decision;
+    }
+    if (tracer != nullptr) tracer->end(locate_span);
   }
   const core::EpochDecision& decision = *decision_ptr;
   const double locate_us = stage.elapsed_us();
@@ -252,11 +327,24 @@ void LocalizationServer::run_epoch(Session& session,
   }
 
   stage.restart();
-  if (cfg_.simulated_network.count() > 0) {
-    std::this_thread::sleep_for(cfg_.simulated_network);
+  {
+    obs::SpanHandle net_span;
+    if (tracer != nullptr) {
+      net_span = tracer->begin("svc.net", "svc", root.trace_id,
+                               root.span_id, session_id);
+    }
+    if (cfg_.simulated_network.count() > 0) {
+      std::this_thread::sleep_for(cfg_.simulated_network);
+    }
+    if (tracer != nullptr) tracer->end(net_span);
   }
   const double net_us = stage.elapsed_us();
 
+  obs::SpanHandle encode_span;
+  if (tracer != nullptr) {
+    encode_span = tracer->begin("svc.encode", "svc", root.trace_id,
+                                root.span_id, session_id);
+  }
   Frame reply;
   reply.type = FrameType::kReply;
   reply.session_id = session_id;
@@ -265,16 +353,26 @@ void LocalizationServer::run_epoch(Session& session,
   epoch_reply.gps_enable_next = decision.gps_enable_next;
   reply.payload = encode_epoch_reply(epoch_reply);
   promise->set_value(encode_frame(reply));
+  if (tracer != nullptr) {
+    tracer->end(encode_span);
+    tracer->end(root);
+  }
+
+  const double request_us = accepted_at.elapsed_us();
+  if (cfg_.slo != nullptr) cfg_.slo->observe(request_us, false);
+  if (cfg_.flight != nullptr) {
+    obs::FlightEvent ev;
+    ev.session_id = session_id;
+    ev.epoch = session.epochs_served();
+    ev.kind = obs::FlightKind::kServerEpoch;
+    ev.a = decision.selected;
+    ev.b = decision.indoor ? 1 : 0;
+    ev.x = decision.tau;
+    cfg_.flight->record(ev);
+  }
 
   if (cfg_.on_epoch) cfg_.on_epoch(session_id, decision);
 
-  std::lock_guard<std::mutex> lock(ins_.mu);
-  if (ins_.parse_us != nullptr) ins_.parse_us->observe(parse_us);
-  if (ins_.locate_us != nullptr) ins_.locate_us->observe(locate_us);
-  if (ins_.net_us != nullptr) ins_.net_us->observe(net_us);
-  if (ins_.request_us != nullptr) {
-    ins_.request_us->observe(accepted_at.elapsed_us());
-  }
   if (cfg_.use_fast_path) {
     if (ins_.perf_cache_hits != nullptr && hits_delta > 0) {
       ins_.perf_cache_hits->inc(hits_delta);
@@ -286,6 +384,59 @@ void LocalizationServer::run_epoch(Session& session,
       ins_.perf_scratch_bytes->set(static_cast<double>(scratch_bytes));
     }
   }
+
+  std::lock_guard<std::mutex> lock(ins_.mu);
+  if (ins_.parse_us != nullptr) ins_.parse_us->observe(parse_us);
+  if (ins_.locate_us != nullptr) ins_.locate_us->observe(locate_us);
+  if (ins_.net_us != nullptr) ins_.net_us->observe(net_us);
+  if (ins_.request_us != nullptr) ins_.request_us->observe(request_us);
+}
+
+void LocalizationServer::handle_status(const Frame& frame,
+                                       const Promise& promise) {
+  const std::optional<StatusFormat> format =
+      parse_status_request(frame.payload);
+  if (!format.has_value()) {
+    count_malformed();
+    promise->set_value(encode_frame(
+        make_error_frame(frame.session_id, ErrorCode::kMalformed)));
+    return;
+  }
+  if (ins_.status_requests != nullptr) ins_.status_requests->inc();
+  const ServerStatus st = status();
+  const std::string text = *format == StatusFormat::kJson
+                               ? status_json(st, registry_, cfg_.slo)
+                               : status_prometheus(st, registry_, cfg_.slo);
+  Frame reply;
+  reply.type = FrameType::kReply;
+  reply.session_id = frame.session_id;
+  reply.payload.assign(text.begin(), text.end());
+  promise->set_value(encode_frame(reply));
+}
+
+ServerStatus LocalizationServer::status() {
+  ServerStatus st;
+  st.now_us = now_us();
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    st.stopping = stopping_;
+  }
+  st.workers = pool_.workers();
+  st.pool_queue_depth = pool_.queue_depth();
+  st.pool_active_workers = pool_.active_workers();
+  st.pool_tasks_run = pool_.tasks_run();
+  st.pool_task_exceptions = pool_.task_exceptions();
+  for (const SessionPtr& s : sessions_.all()) {
+    SessionStatus ss;
+    ss.id = s->id();
+    const std::uint64_t last = s->last_active_us();
+    ss.age_us = st.now_us > last ? st.now_us - last : 0;
+    ss.epochs_served = s->epochs_served();
+    ss.queue_depth = s->queue_depth();
+    st.sessions.push_back(ss);
+  }
+  st.live_sessions = st.sessions.size();
+  return st;
 }
 
 void LocalizationServer::maybe_checkpoint() {
@@ -353,6 +504,7 @@ bool LocalizationServer::restore(const std::vector<std::uint8_t>& snapshot) {
     // initialized, so no reset() call is needed -- or wanted, since it
     // would consume RNG draws the original session never made.
     std::unique_ptr<core::Uniloc> uniloc = factory_(id);
+    uniloc->attach_tracer(cfg_.tracer);
     const std::size_t before = r.pos();
     if (!uniloc->restore_from(r) || r.pos() - before != len) {
       ok = false;
@@ -375,6 +527,15 @@ bool LocalizationServer::restore(const std::vector<std::uint8_t>& snapshot) {
   {
     std::lock_guard<std::mutex> lock(lifecycle_mu_);
     accepted_since_scan_ = static_cast<std::size_t>(accepted_since_scan);
+  }
+  if (cfg_.flight != nullptr) {
+    for (const SessionPtr& s : sessions_.all()) {
+      obs::FlightEvent ev;
+      ev.session_id = s->id();
+      ev.epoch = s->epochs_served();
+      ev.kind = obs::FlightKind::kRestore;
+      cfg_.flight->record(ev);
+    }
   }
   note_live_sessions();
   return true;

@@ -35,16 +35,20 @@
 #include <vector>
 
 #include "core/uniloc.h"
+#include "obs/span.h"
 #include "obs/timer.h"
 #include "svc/session_manager.h"
+#include "svc/statusz.h"
 #include "svc/thread_pool.h"
 #include "svc/wire.h"
 
 namespace uniloc::obs {
 class Counter;
+class FlightRecorder;
 class Gauge;
 class Histogram;
 class MetricsRegistry;
+class SloMonitor;
 }  // namespace uniloc::obs
 
 namespace uniloc::svc {
@@ -96,6 +100,17 @@ struct ServerConfig {
   std::uint64_t checkpoint_period_us{0};
   std::function<void(const std::vector<std::uint8_t>& snapshot)>
       on_checkpoint;
+  /// Causal span tracing (obs/span.h). Null = disabled; the detached
+  /// cost on the epoch path is a branch per instrumentation point. One
+  /// span tree per served epoch: svc.epoch > {svc.queue_wait,
+  /// svc.decode, svc.locate > core spans, svc.net, svc.encode}.
+  obs::SpanTracer* tracer{nullptr};
+  /// Per-session flight recorder; every served epoch records its scheme
+  /// decision, every malformed epoch an error event. Null = off.
+  obs::FlightRecorder* flight{nullptr};
+  /// SLO monitor observing every epoch outcome (request latency, error
+  /// flag). Null = off. Also rendered by kStatus / statusz dumps.
+  obs::SloMonitor* slo{nullptr};
 };
 
 class LocalizationServer {
@@ -141,7 +156,13 @@ class LocalizationServer {
   std::size_t live_sessions() const { return sessions_.size(); }
   const ServerConfig& config() const { return cfg_; }
 
+  /// Point-in-time health snapshot (sessions sorted by id). The same
+  /// data the kStatus frame serves; exposed for the CLI's --statusz.
+  ServerStatus status();
+
  private:
+  /// mu guards only the histograms (multi-field observe is not atomic);
+  /// counters and gauges are internally atomic and recorded lock-free.
   struct Instruments {
     std::mutex mu;
     obs::Gauge* live_sessions{nullptr};
@@ -150,6 +171,7 @@ class LocalizationServer {
     obs::Counter* rejected{nullptr};
     obs::Counter* evicted{nullptr};
     obs::Counter* malformed{nullptr};
+    obs::Counter* status_requests{nullptr};
     obs::Histogram* request_us{nullptr};
     obs::Histogram* parse_us{nullptr};
     obs::Histogram* locate_us{nullptr};
@@ -173,17 +195,22 @@ class LocalizationServer {
   void handle_hello(const Frame& frame, const Promise& promise);
   void handle_epoch(Frame frame, const Promise& promise);
   void handle_bye(const Frame& frame, const Promise& promise);
+  void handle_status(const Frame& frame, const Promise& promise);
   /// Runs on a worker (or inline): parse payload, run the epoch, reply.
   /// `accepted_at` was started when submit() accepted the frame, so
-  /// svc.request_us includes the queue wait.
+  /// svc.request_us includes the queue wait. `root`/`queue_wait` are the
+  /// epoch's open spans (zero handles when tracing is detached): the
+  /// queue-wait span closes on entry, children hang off `root`.
   void run_epoch(Session& session, const std::vector<std::uint8_t>& payload,
                  std::uint64_t session_id, const Promise& promise,
-                 obs::Stopwatch accepted_at);
+                 obs::Stopwatch accepted_at, obs::SpanHandle root,
+                 obs::SpanHandle queue_wait);
   /// Take a periodic snapshot when the checkpoint period elapsed.
   void maybe_checkpoint();
 
   ServerConfig cfg_;
   UnilocFactory factory_;
+  obs::MetricsRegistry* registry_{nullptr};  ///< For statusz dumps.
   SessionManager sessions_;
   ThreadPool pool_;
   Instruments ins_;

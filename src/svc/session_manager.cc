@@ -62,6 +62,11 @@ std::size_t Session::epochs_served() const {
   return epochs_served_;
 }
 
+std::size_t Session::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inbox_.size() + (draining_ ? 1 : 0);
+}
+
 SessionManager::SessionManager(std::size_t stripes) {
   stripes_.reserve(std::max<std::size_t>(stripes, 1));
   for (std::size_t i = 0; i < std::max<std::size_t>(stripes, 1); ++i) {

@@ -82,6 +82,8 @@ class Session {
 
   std::uint64_t last_active_us() const;
   std::size_t epochs_served() const;
+  /// Pending strand work: queued tasks plus the running one, if any.
+  std::size_t queue_depth() const;
 
  private:
   const std::uint64_t id_;

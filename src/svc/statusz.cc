@@ -1,0 +1,126 @@
+#include "svc/statusz.h"
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/slo.h"
+
+namespace uniloc::svc {
+
+namespace {
+
+void write_server_object(obs::JsonWriter& w, const ServerStatus& st) {
+  w.key("server").begin_object();
+  w.kv("now_us", st.now_us);
+  w.kv("stopping", st.stopping);
+  w.kv("live_sessions", st.live_sessions);
+  w.key("pool").begin_object();
+  w.kv("workers", st.workers);
+  w.kv("queue_depth", st.pool_queue_depth);
+  w.kv("active_workers", st.pool_active_workers);
+  w.kv("tasks_run", st.pool_tasks_run);
+  w.kv("task_exceptions", st.pool_task_exceptions);
+  w.end_object();
+  w.end_object();
+}
+
+void write_sessions_array(obs::JsonWriter& w, const ServerStatus& st) {
+  w.key("sessions").begin_array();
+  for (const SessionStatus& s : st.sessions) {
+    w.begin_object();
+    w.kv("id", s.id);
+    w.kv("age_us", s.age_us);
+    w.kv("epochs_served", s.epochs_served);
+    w.kv("queue_depth", s.queue_depth);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void write_slo_object(obs::JsonWriter& w, const obs::SloMonitor* slo) {
+  w.key("slo");
+  if (slo == nullptr) {
+    w.null_value();
+    return;
+  }
+  w.begin_object();
+  w.kv("latency_burn_rate", slo->latency_burn_rate());
+  w.kv("error_burn_rate", slo->error_burn_rate());
+  w.kv("p99_latency_us", slo->p99_latency_us());
+  w.kv("breached", slo->breached());
+  w.kv("breaches", slo->breaches());
+  w.kv("samples", slo->samples());
+  w.end_object();
+}
+
+}  // namespace
+
+std::string status_json(const ServerStatus& st,
+                        const obs::MetricsRegistry* registry,
+                        const obs::SloMonitor* slo) {
+  obs::JsonWriter w;
+  w.begin_object();
+  write_server_object(w, st);
+  write_sessions_array(w, st);
+  write_slo_object(w, slo);
+  w.end_object();
+  // Registry dump is pre-serialized JSON; splice it in verbatim (same
+  // pattern as BenchReport::to_json).
+  std::string out = w.str();
+  out.pop_back();
+  out += ",\"metrics\":";
+  out += registry != nullptr ? registry->to_json() : std::string("{}");
+  out += '}';
+  return out;
+}
+
+std::string status_prometheus(const ServerStatus& st,
+                              const obs::MetricsRegistry* registry,
+                              const obs::SloMonitor* slo) {
+  std::string out;
+  if (registry != nullptr) out += obs::prometheus_text(*registry);
+
+  const auto gauge = [&out](const std::string& name, std::uint64_t v) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(v) + "\n";
+  };
+  gauge("uniloc_server_live_sessions", st.live_sessions);
+  gauge("uniloc_server_stopping", st.stopping ? 1 : 0);
+  gauge("uniloc_server_pool_workers",
+        static_cast<std::uint64_t>(st.workers < 0 ? 0 : st.workers));
+  gauge("uniloc_server_pool_queue_depth", st.pool_queue_depth);
+  gauge("uniloc_server_pool_active_workers", st.pool_active_workers);
+  gauge("uniloc_server_pool_tasks_run", st.pool_tasks_run);
+  gauge("uniloc_server_pool_task_exceptions", st.pool_task_exceptions);
+
+  // One labeled series per session; emit each TYPE header once.
+  if (!st.sessions.empty()) {
+    out += "# TYPE uniloc_session_age_us gauge\n";
+    out += "# TYPE uniloc_session_epochs_served gauge\n";
+    out += "# TYPE uniloc_session_queue_depth gauge\n";
+    for (const SessionStatus& s : st.sessions) {
+      const std::string label =
+          "{session=\"" + std::to_string(s.id) + "\"} ";
+      out += "uniloc_session_age_us" + label + std::to_string(s.age_us) +
+             "\n";
+      out += "uniloc_session_epochs_served" + label +
+             std::to_string(s.epochs_served) + "\n";
+      out += "uniloc_session_queue_depth" + label +
+             std::to_string(s.queue_depth) + "\n";
+    }
+  }
+
+  if (slo != nullptr && registry == nullptr) {
+    // Without a registry the slo.* gauges were never exported; surface
+    // the monitor directly so the dump is self-contained either way.
+    out += "# TYPE uniloc_slo_latency_burn_rate gauge\n";
+    out += "uniloc_slo_latency_burn_rate " +
+           std::to_string(slo->latency_burn_rate()) + "\n";
+    out += "# TYPE uniloc_slo_error_burn_rate gauge\n";
+    out += "uniloc_slo_error_burn_rate " +
+           std::to_string(slo->error_burn_rate()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace uniloc::svc

@@ -14,15 +14,20 @@ ThreadPool::ThreadPool(Config cfg) : cfg_(cfg) {
 ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::run_task(const std::function<void()>& task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++active_;
+  }
+  bool threw = false;
   try {
     task();
-    std::lock_guard<std::mutex> lock(mu_);
-    ++tasks_run_;
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++tasks_run_;
-    ++task_exceptions_;
+    threw = true;
   }
+  std::lock_guard<std::mutex> lock(mu_);
+  --active_;
+  ++tasks_run_;
+  if (threw) ++task_exceptions_;
 }
 
 bool ThreadPool::post(std::function<void()> task) {
@@ -77,6 +82,11 @@ void ThreadPool::worker_loop() {
 std::size_t ThreadPool::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+std::size_t ThreadPool::active_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
 }
 
 std::uint64_t ThreadPool::tasks_run() const {

@@ -47,6 +47,9 @@ class ThreadPool {
 
   int workers() const { return cfg_.workers; }
   std::size_t queue_depth() const;
+  /// Workers currently inside a task (occupancy; 0..workers, or 0/1 in
+  /// inline mode while the caller runs a task).
+  std::size_t active_workers() const;
   std::uint64_t tasks_run() const;
   std::uint64_t task_exceptions() const;
 
@@ -61,6 +64,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> threads_;
   bool stopping_{false};
+  std::size_t active_{0};
   std::uint64_t tasks_run_{0};
   std::uint64_t task_exceptions_{0};
 };

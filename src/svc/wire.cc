@@ -26,6 +26,7 @@ bool known_type(std::uint8_t t) {
     case FrameType::kHello:
     case FrameType::kEpoch:
     case FrameType::kBye:
+    case FrameType::kStatus:
     case FrameType::kReply:
     case FrameType::kError:
       return true;
@@ -119,6 +120,21 @@ std::optional<HelloPayload> parse_hello(
                  static_cast<double>(y_cm) / 100.0};
   hello.heading = static_cast<double>(heading_urad) / 1e6;
   return hello;
+}
+
+std::vector<std::uint8_t> encode_status_request(StatusFormat format) {
+  return {static_cast<std::uint8_t>(format)};
+}
+
+std::optional<StatusFormat> parse_status_request(
+    const std::vector<std::uint8_t>& buf) {
+  if (buf.size() != 1) return std::nullopt;
+  switch (static_cast<StatusFormat>(buf[0])) {
+    case StatusFormat::kJson:
+    case StatusFormat::kPrometheus:
+      return static_cast<StatusFormat>(buf[0]);
+  }
+  return std::nullopt;
 }
 
 Frame make_error_frame(std::uint64_t session_id, ErrorCode code) {

@@ -35,9 +35,17 @@ enum class FrameType : std::uint8_t {
   kHello = 1,  ///< Open a session; payload = HelloPayload.
   kEpoch = 2,  ///< One localization epoch; payload = epoch request.
   kBye = 3,    ///< Close a session; empty payload.
+  kStatus = 4,  ///< Admin: dump server health; payload = one
+                ///< StatusFormat byte. Reply payload = UTF-8 text.
   kReply = 0x81,  ///< Server reply; payload = DownlinkFrame bytes (kEpoch)
                   ///< or empty (kHello / kBye acks).
   kError = 0xFF,  ///< Server rejection; payload = one ErrorCode byte.
+};
+
+/// Requested encoding of a kStatus dump.
+enum class StatusFormat : std::uint8_t {
+  kJson = 0,        ///< One JSON document (statusz schema, DESIGN.md §13).
+  kPrometheus = 1,  ///< Prometheus text exposition format 0.0.4.
 };
 
 enum class WireError : std::uint8_t {
@@ -90,6 +98,11 @@ struct HelloPayload {
 
 std::vector<std::uint8_t> encode_hello(const HelloPayload& hello);
 std::optional<HelloPayload> parse_hello(const std::vector<std::uint8_t>& buf);
+
+/// kStatus payload codecs (session_id is ignored on status frames).
+std::vector<std::uint8_t> encode_status_request(StatusFormat format);
+std::optional<StatusFormat> parse_status_request(
+    const std::vector<std::uint8_t>& buf);
 
 /// Convenience builders for server replies.
 Frame make_error_frame(std::uint64_t session_id, ErrorCode code);

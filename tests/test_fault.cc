@@ -10,14 +10,21 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/runner.h"
 #include "core/trainer.h"
+#include "fault/crash.h"
 #include "fault/link.h"
 #include "fault/plan.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/virtual_clock.h"
 #include "svc/epoch_codec.h"
 #include "svc/loadgen.h"
@@ -535,6 +542,185 @@ TEST(Chaos, DuplicateAndReorderKeepTheSessionAlive) {
     EXPECT_EQ(static_cast<int>(ev.source),
               static_cast<int>(EpochEvent::Source::kServer));
   }
+}
+
+// -------------------------------------------------- chaos with tracing
+//
+// The trace_* tests are the tier-2 chaos-with-tracing gate
+// (scripts/check.sh reruns them by name under ASan): scripted disasters
+// with the span tracer attached must close every span they open.
+
+/// Link factory that wires the tracer into every FaultyLink, so link.send
+/// spans nest under the client's ambient attempt span.
+svc::LinkFactory traced_faulty_links(const FaultPlan* plan,
+                                     obs::SpanTracer* tracer) {
+  return [plan, tracer](LocalizationServer& server, std::uint64_t sid) {
+    return std::make_unique<FaultyLink>(
+        std::make_unique<svc::DirectLink>(&server), plan, sid, nullptr,
+        tracer);
+  };
+}
+
+TEST(Chaos, trace_zero_span_leak_under_seeded_chaos) {
+  // Background fault soup plus a blackout window: every epoch abandoned
+  // to a drop, timeout, fallback entry, or backpressure must still end
+  // its client.epoch root and every child span. The counters make a
+  // leak mechanical to detect, at workers 0 and 4 alike.
+  ChaosFixture fx;
+  FaultRates rates;
+  rates.drop = 0.08;
+  rates.duplicate = 0.04;
+  rates.reorder = 0.04;
+  rates.corrupt = 0.04;
+  FaultPlan plan(77, rates);
+  plan.add_blackout(40, 52);
+
+  for (const int workers : {0, 4}) {
+    obs::NullSpanSink sink;
+    obs::SpanTracer tracer(&sink);
+    svc::ServerConfig cfg;
+    cfg.workers = workers;
+    cfg.tracer = &tracer;
+    LocalizationServer server(cfg, fx.factory(), nullptr);
+
+    LoadGenConfig lg;
+    lg.walkers = 3;
+    lg.max_epochs_per_walker = 25;
+    lg.tracer = &tracer;
+    lg.make_link = traced_faulty_links(&plan, &tracer);
+    const LoadReport report = run_load(server, fx.office, lg, nullptr);
+    // A walker that timed out can leave its server epoch still in
+    // flight when run_load returns; the graceful shutdown drains
+    // exactly those tasks, closing their spans, before we count.
+    server.shutdown();
+
+    EXPECT_GT(report.total_epochs, 0u) << "workers=" << workers;
+    EXPECT_GT(tracer.spans_opened(), 0u) << "workers=" << workers;
+    EXPECT_EQ(tracer.spans_opened(), tracer.spans_closed())
+        << "workers=" << workers;
+  }
+}
+
+TEST(Chaos, trace_spans_annotate_fault_outcomes) {
+  // A scripted drop shows up as causal annotations: the injected
+  // link.send span carries note "drop", the retry rides a second
+  // client.attempt under the same epoch root, and every epoch root still
+  // closes as "accepted".
+  ChaosFixture fx;
+  obs::VectorSpanSink sink;
+  obs::SpanTracer tracer(&sink);
+  svc::ServerConfig cfg;
+  cfg.tracer = &tracer;
+  LocalizationServer server(cfg, fx.factory(), nullptr);
+
+  FaultPlan plan(0);
+  plan.script(1, 5, {FaultKind::kDrop, 0});
+
+  LoadGenConfig lg;
+  lg.walkers = 1;
+  lg.max_epochs_per_walker = 12;
+  lg.tracer = &tracer;
+  lg.make_link = traced_faulty_links(&plan, &tracer);
+  const LoadReport report = run_load(server, fx.office, lg, nullptr);
+  EXPECT_EQ(report.walkers[0].epochs_accepted, 12u);
+  EXPECT_EQ(tracer.spans_opened(), tracer.spans_closed());
+
+  std::size_t dropped_sends = 0, ok_sends = 0, roots = 0, attempts = 0;
+  std::uint64_t drop_trace = 0;
+  for (const obs::SpanEvent& ev : sink.events()) {
+    if (ev.name == "link.send" && ev.note == "drop") {
+      ++dropped_sends;
+      drop_trace = ev.trace_id;
+    }
+    if (ev.name == "link.send" && ev.note == "ok") ++ok_sends;
+    if (ev.name == "client.epoch") {
+      ++roots;
+      EXPECT_EQ(ev.parent_id, 0u);
+      EXPECT_EQ(ev.note, "accepted");
+    }
+    if (ev.name == "client.attempt") ++attempts;
+  }
+  EXPECT_EQ(dropped_sends, 1u);
+  EXPECT_EQ(roots, 12u);
+  // Epoch 5 burned one extra attempt on the dropped send.
+  EXPECT_EQ(attempts, 13u);
+  // The drop and its retry share one trace: two attempts under the
+  // dropped epoch's root.
+  std::size_t attempts_in_drop_trace = 0;
+  for (const obs::SpanEvent& ev : sink.events()) {
+    if (ev.trace_id == drop_trace && ev.name == "client.attempt") {
+      ++attempts_in_drop_trace;
+    }
+  }
+  EXPECT_EQ(attempts_in_drop_trace, 2u);
+  EXPECT_GT(ok_sends, 0u);
+}
+
+TEST(Chaos, trace_crash_flight_dump_is_deterministic) {
+  // A scripted mid-run crash dumps the flight recorder before the in-RAM
+  // state dies. The dump reconstructs every session's recent epochs and,
+  // because flight events carry no wall-clock fields, a same-seed rerun
+  // produces byte-identical files.
+  ChaosFixture fx;
+  const std::string base = testing::TempDir() + "flight_crash_test/";
+  std::filesystem::remove_all(base);
+
+  const auto run_once = [&fx](const std::string& dir) {
+    std::filesystem::create_directories(dir);
+    obs::FlightRecorder flight(32);
+    svc::ServerConfig cfg;
+    cfg.flight = &flight;
+    LocalizationServer server(cfg, fx.factory(), nullptr);
+
+    FaultPlan plan(2024);
+    plan.script_crash(5);
+    plan.script_crash(9);
+    fault::CrashInjector injector(&server, &plan);
+    injector.attach_flight(&flight, dir);
+
+    LoadGenConfig lg;
+    lg.walkers = 2;
+    lg.max_epochs_per_walker = 12;
+    lg.seed = 2024;
+    lg.flight = &flight;  // client + server share the black box
+    lg.on_round = [&injector](std::size_t round) {
+      injector.on_round(round);
+    };
+    const LoadReport report = run_load(server, fx.office, lg, nullptr);
+    EXPECT_EQ(report.total_epochs, 24u);
+    EXPECT_EQ(injector.crashes(), 2u);
+    EXPECT_EQ(injector.restore_failures(), 0u);
+    return injector.flight_dumps();
+  };
+
+  const std::vector<std::string> first = run_once(base + "run1/");
+  const std::vector<std::string> second = run_once(base + "run2/");
+  ASSERT_EQ(first.size(), 2u);
+  ASSERT_EQ(second.size(), 2u);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_NE(first[i], second[i]);  // distinct files...
+    const std::string a = slurp(first[i]);
+    const std::string b = slurp(second[i]);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << first[i];  // ...identical bytes
+    // The black box holds the crash marker and both walker sessions'
+    // recent epochs (client submit/accept + the server's decisions).
+    EXPECT_NE(a.find("\"kind\":\"crash\""), std::string::npos);
+    EXPECT_NE(a.find("\"kind\":\"epoch_submit\""), std::string::npos);
+    EXPECT_NE(a.find("\"kind\":\"server_epoch\""), std::string::npos);
+    EXPECT_NE(a.find("\"events_seen\""), std::string::npos);
+  }
+  // The second crash happened later, so its dump holds more history.
+  EXPECT_NE(slurp(first[0]), slurp(first[1]));
+  std::filesystem::remove_all(base);
 }
 
 }  // namespace

@@ -3,17 +3,25 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
+#include <map>
+#include <set>
 #include <sstream>
 #include <thread>
 
 #include "core/runner.h"
 #include "core/trainer.h"
 #include "io/table.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/report.h"
+#include "obs/slo.h"
+#include "obs/span.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
 
@@ -90,6 +98,92 @@ TEST(Histogram, PercentilesClampedByExactMinMax) {
   EXPECT_GE(p50, 1.5);
   EXPECT_LE(p50, 6.0);
   EXPECT_LE(h.percentile(25.0), h.percentile(75.0));
+}
+
+TEST(Histogram, OverflowOnlyPercentilesStayFinite) {
+  // Every observation lands in the implicit overflow bucket; percentiles
+  // must interpolate between the recorded min and max, never report +inf.
+  Histogram h({1.0, 2.0, 5.0});
+  for (double v : {10.0, 20.0, 30.0}) h.observe(v);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 30.0);
+  for (double q : {25.0, 50.0, 75.0, 99.0}) {
+    const double p = h.percentile(q);
+    EXPECT_TRUE(std::isfinite(p)) << q;
+    EXPECT_GE(p, 10.0) << q;
+    EXPECT_LE(p, 30.0) << q;
+  }
+}
+
+TEST(Histogram, ExplicitInfinityClampsToLastFiniteBound) {
+  Histogram h({1.0, 2.0});
+  h.observe(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 1u);
+  for (double q : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(q), 2.0) << q;
+  }
+}
+
+TEST(Histogram, SingleObservationIsEveryPercentile) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.observe(3.0);
+  for (double q : {0.0, 25.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(q), 3.0) << q;
+  }
+}
+
+TEST(Histogram, MixedOverflowPercentileNeverExceedsMax) {
+  Histogram h({1.0, 2.0, 5.0});
+  for (double v : {0.5, 1.5, 3.0, 50.0, 80.0}) h.observe(v);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 80.0);
+  const double p99 = h.percentile(99.0);
+  EXPECT_TRUE(std::isfinite(p99));
+  EXPECT_LE(p99, 80.0);
+  EXPECT_LE(h.percentile(50.0), p99);
+}
+
+TEST(Counter, ConcurrentIncrementsAreExact) {
+  // The svc.* instruments are written from pool workers concurrently.
+  // Exactness, not just absence of crashes: a torn read-modify-write or
+  // a lost CAS update would drop counts under this contention. Runs
+  // under TSan via the `obs` label in scripts/check.sh.
+  Counter c;
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c, &g] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        g.add(1.0);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, ConcurrentAddAndSubCancelExactly) {
+  // Occupancy-style gauge: every worker adds +1 on entry, -1 on exit.
+  Gauge inflight;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&inflight] {
+      for (int i = 0; i < kPerThread; ++i) {
+        inflight.add(1.0);
+        inflight.add(-1.0);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_DOUBLE_EQ(inflight.value(), 0.0);
 }
 
 TEST(Histogram, DefaultLatencyBoundsCoverMicrosecondToSecond) {
@@ -202,6 +296,48 @@ TEST(Json, IntegralDoublesStayCompact) {
   JsonWriter w;
   w.begin_array().value(2.0).value(0.5).end_array();
   EXPECT_EQ(w.str(), "[2,0.5]");
+}
+
+TEST(Json, ParserRoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", "span \"x\"\n\t\x01");  // escapes incl. a control char
+  w.kv("count", std::uint64_t{42});
+  w.kv("neg", std::int64_t{-7});
+  w.kv("pi", 3.25);
+  w.kv("bad", std::nan(""));  // serializes as null
+  w.kv("ok", true);
+  w.key("items").begin_array().value(1).value(2).end_array();
+  w.end_object();
+
+  const std::optional<JsonValue> doc = parse_json(w.str());
+  ASSERT_TRUE(doc.has_value()) << w.str();
+  ASSERT_TRUE(doc->is_object());
+  ASSERT_NE(doc->find("name"), nullptr);
+  EXPECT_EQ(doc->find("name")->string, "span \"x\"\n\t\x01");
+  EXPECT_EQ(doc->find("count")->as_u64(), 42u);
+  EXPECT_DOUBLE_EQ(doc->find("neg")->number, -7.0);
+  EXPECT_DOUBLE_EQ(doc->find("pi")->number, 3.25);
+  EXPECT_TRUE(doc->find("bad")->is_null());
+  EXPECT_TRUE(doc->find("ok")->boolean);
+  ASSERT_NE(doc->find("items"), nullptr);
+  ASSERT_EQ(doc->find("items")->items.size(), 2u);
+  EXPECT_DOUBLE_EQ(doc->find("items")->items[1].number, 2.0);
+  EXPECT_EQ(doc->find("missing"), nullptr);
+  // Member order is preserved, so structural equality implies byte
+  // equality for writer-emitted documents.
+  EXPECT_EQ(doc->members.front().first, "name");
+}
+
+TEST(Json, ParserRejectsMalformedDocuments) {
+  EXPECT_FALSE(parse_json("").has_value());
+  EXPECT_FALSE(parse_json("{").has_value());
+  EXPECT_FALSE(parse_json("{}trailing").has_value());
+  EXPECT_FALSE(parse_json("{\"a\":}").has_value());
+  EXPECT_FALSE(parse_json("[1,]").has_value());
+  EXPECT_FALSE(parse_json("\"unterminated").has_value());
+  EXPECT_FALSE(parse_json("nul").has_value());
+  EXPECT_TRUE(parse_json(" {\"a\": [1, 2e3, -0.5]} ").has_value());
 }
 
 TEST(Trace, JsonLineEncodesNaNAsNull) {
@@ -361,6 +497,389 @@ TEST(MetricsIntegration, NullRegistryDetachesCleanly) {
   ASSERT_GT(run.epochs.size(), 0u);
   EXPECT_EQ(r.counter("uniloc.epochs").value(), before);
   EXPECT_EQ(r.histogram("uniloc.update_us").count(), 0u);
+}
+
+// --- span tracer ------------------------------------------------------
+
+TEST(Span, AdoptsAmbientTraceContext) {
+  VectorSpanSink sink;
+  SpanTracer tracer(&sink);
+  const SpanHandle root = tracer.begin("client.epoch", "client",
+                                       tracer.next_trace_id(), 0, 7);
+  {
+    TraceScope scope({root.trace_id, root.span_id, 7});
+    const SpanHandle child = tracer.begin("link.send", "link");
+    EXPECT_EQ(child.trace_id, root.trace_id);
+    EXPECT_EQ(child.parent_id, root.span_id);
+    EXPECT_EQ(child.session_id, 7u);
+    tracer.end(child, "ok");
+  }
+  // Outside the scope a defaulted begin() self-roots in a fresh trace.
+  const SpanHandle stray = tracer.begin("svc.epoch", "svc");
+  EXPECT_NE(stray.trace_id, root.trace_id);
+  EXPECT_EQ(stray.parent_id, 0u);
+  tracer.end(stray);
+  tracer.end(root);
+  EXPECT_EQ(tracer.spans_opened(), 3u);
+  EXPECT_EQ(tracer.spans_closed(), 3u);
+  EXPECT_EQ(sink.size(), 3u);
+}
+
+TEST(Span, NestedScopesRestoreOnExit) {
+  EXPECT_EQ(current_trace().trace_id, 0u);
+  {
+    TraceScope outer({1, 10, 5});
+    {
+      TraceScope inner({2, 20, 6});
+      EXPECT_EQ(current_trace().trace_id, 2u);
+      EXPECT_EQ(current_trace().parent_span, 20u);
+    }
+    EXPECT_EQ(current_trace().trace_id, 1u);
+    EXPECT_EQ(current_trace().parent_span, 10u);
+    EXPECT_EQ(current_trace().session_id, 5u);
+  }
+  EXPECT_EQ(current_trace().trace_id, 0u);
+}
+
+TEST(Span, DetachedScopedSpanIsANoOp) {
+  ScopedSpan detached(nullptr, "x", "y");
+  EXPECT_EQ(detached.id(), 0u);
+  EXPECT_EQ(detached.trace(), 0u);
+  detached.finish("ignored");  // double finish on a null tracer: no-op
+}
+
+TEST(Span, ConcurrentBeginEndBalances) {
+  // Runs under TSan via the `obs` label: ids from relaxed atomics,
+  // emission serialized on the sink mutex.
+  VectorSpanSink sink;
+  SpanTracer tracer(&sink);
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 500;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tracer] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan root(&tracer, "svc.epoch", "svc",
+                        tracer.next_trace_id());
+        TraceScope scope({root.trace(), root.id(), 0});
+        ScopedSpan child(&tracer, "svc.decode", "svc");
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kThreads) * kSpansPerThread * 2;
+  EXPECT_EQ(tracer.spans_opened(), total);
+  EXPECT_EQ(tracer.spans_closed(), total);
+  ASSERT_EQ(sink.size(), total);
+  // Span ids are process-unique across threads.
+  std::set<std::uint64_t> ids;
+  for (const SpanEvent& ev : sink.events()) ids.insert(ev.span_id);
+  EXPECT_EQ(ids.size(), total);
+}
+
+TEST(SpanIntegration, WalkEmitsOneRootedTreePerEpoch) {
+  // The satellite contract: serialize spans as JSONL through a real core
+  // run, read them back with the in-repo JSON reader, and require every
+  // epoch's spans to form exactly one rooted tree.
+  std::ostringstream buf;
+  JsonlSpanSink sink(buf);
+  SpanTracer tracer(&sink);
+  core::Uniloc u = core::make_uniloc(office(), models());
+  core::RunOptions opts;
+  opts.walk.seed = 14;
+  opts.tracer = &tracer;
+  const core::RunResult run = core::run_walk(u, office(), 0, opts);
+  ASSERT_GT(run.epochs.size(), 0u);
+  EXPECT_EQ(tracer.spans_opened(), tracer.spans_closed());
+
+  struct Parsed {
+    std::uint64_t span{0};
+    std::uint64_t parent{0};
+    std::string name;
+  };
+  std::map<std::uint64_t, std::vector<Parsed>> traces;
+  std::istringstream in(buf.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::optional<JsonValue> doc = parse_json(line);
+    ASSERT_TRUE(doc.has_value() && doc->is_object()) << line;
+    for (const char* key : {"trace", "span", "parent", "name", "cat",
+                            "start_us", "dur_us"}) {
+      ASSERT_NE(doc->find(key), nullptr) << key << " missing: " << line;
+    }
+    traces[doc->find("trace")->as_u64()].push_back(
+        {doc->find("span")->as_u64(), doc->find("parent")->as_u64(),
+         doc->find("name")->string});
+  }
+  EXPECT_EQ(traces.size(), run.epochs.size());
+
+  for (const auto& [trace_id, spans] : traces) {
+    // One core.epoch root; every other span's parent is in the same
+    // trace (single rooted tree, no orphans, no cross-trace edges).
+    std::set<std::uint64_t> ids;
+    for (const Parsed& s : spans) ids.insert(s.span);
+    std::size_t roots = 0;
+    std::set<std::string> names;
+    for (const Parsed& s : spans) {
+      names.insert(s.name);
+      if (s.parent == 0) {
+        ++roots;
+        EXPECT_EQ(s.name, "core.epoch");
+      } else {
+        EXPECT_EQ(ids.count(s.parent), 1u)
+            << s.name << " orphaned in trace " << trace_id;
+      }
+    }
+    EXPECT_EQ(roots, 1u) << "trace " << trace_id;
+    // Every registered scheme span plus the fusion span, every epoch.
+    EXPECT_EQ(names.count("core.fuse"), 1u);
+    for (const std::string& scheme : run.scheme_names) {
+      EXPECT_EQ(names.count("scheme." + scheme), 1u) << scheme;
+    }
+    EXPECT_EQ(spans.size(), 2u + run.scheme_names.size());
+  }
+}
+
+// --- flight recorder --------------------------------------------------
+
+TEST(FlightRecorder, RingKeepsLastNPerSession) {
+  FlightRecorder fr(4);
+  for (std::uint64_t e = 0; e < 10; ++e) {
+    fr.record({7, e, FlightKind::kEpochSubmit, 0, 0, 0.0});
+  }
+  fr.record({9, 0, FlightKind::kHello, 0, 0, 0.0});
+  EXPECT_EQ(fr.total_recorded(), 11u);
+  EXPECT_EQ(fr.session_ids(), (std::vector<std::uint64_t>{7, 9}));
+
+  const std::vector<FlightEvent> kept = fr.session_events(7);
+  ASSERT_EQ(kept.size(), 4u);  // the ring holds only the last 4
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].epoch, 6u + i);  // oldest first
+  }
+  const std::string dump = fr.dump_jsonl();
+  EXPECT_NE(dump.find("\"events_seen\":10"), std::string::npos);
+  EXPECT_NE(dump.find("\"events_kept\":4"), std::string::npos);
+
+  fr.clear();
+  EXPECT_EQ(fr.total_recorded(), 0u);
+  EXPECT_TRUE(fr.session_ids().empty());
+}
+
+TEST(FlightRecorder, DumpIsDeterministicAndParseable) {
+  const auto fill = [](FlightRecorder& fr) {
+    fr.record({2, 5, FlightKind::kServerEpoch, 1, 1, 4.5});
+    fr.record({1, 0, FlightKind::kRetry, 2, 0, 0.0});
+    fr.record({1, 1, FlightKind::kEpochAccepted, 3, 0, 1.25});
+  };
+  FlightRecorder a(8);
+  FlightRecorder b(8);
+  fill(a);
+  fill(b);
+  // Identical recording sequences produce identical bytes -- the
+  // property that makes same-seed crash dumps diffable.
+  EXPECT_EQ(a.dump_jsonl(), b.dump_jsonl());
+
+  // Sessions ascending, every line parses through the in-repo reader.
+  std::istringstream in(a.dump_jsonl());
+  std::string line;
+  std::vector<std::uint64_t> header_sessions;
+  while (std::getline(in, line)) {
+    const std::optional<JsonValue> doc = parse_json(line);
+    ASSERT_TRUE(doc.has_value() && doc->is_object()) << line;
+    if (doc->find("events_seen") != nullptr) {
+      header_sessions.push_back(doc->find("session")->as_u64());
+    } else {
+      ASSERT_NE(doc->find("kind"), nullptr) << line;
+    }
+  }
+  EXPECT_EQ(header_sessions, (std::vector<std::uint64_t>{1, 2}));
+
+  const std::string path = testing::TempDir() + "flight_dump.jsonl";
+  ASSERT_TRUE(a.dump_to_file(path));
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), a.dump_jsonl());
+}
+
+TEST(FlightRecorder, ConcurrentRecordingCountsEverything) {
+  // Runs under TSan via the `obs` label: many sessions record at once.
+  FlightRecorder fr(16);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&fr, t] {
+      for (std::uint64_t e = 0; e < kPerThread; ++e) {
+        fr.record({static_cast<std::uint64_t>(t + 1), e,
+                   FlightKind::kEpochSubmit, 0, 0, 0.0});
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(fr.total_recorded(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  ASSERT_EQ(fr.session_ids().size(), static_cast<std::size_t>(kThreads));
+  for (const std::uint64_t sid : fr.session_ids()) {
+    const std::vector<FlightEvent> kept = fr.session_events(sid);
+    ASSERT_EQ(kept.size(), 16u);  // capacity-bounded
+    EXPECT_EQ(kept.back().epoch, static_cast<std::uint64_t>(kPerThread - 1));
+  }
+}
+
+// --- SLO monitor ------------------------------------------------------
+
+TEST(Slo, SilentBeforeMinSamples) {
+  SloConfig cfg;
+  cfg.latency_slo_us = 100.0;
+  cfg.latency_budget = 0.1;
+  cfg.error_budget = 0.1;
+  cfg.window = 64;
+  cfg.min_samples = 8;
+  SloMonitor slo(cfg);
+  for (int i = 0; i < 7; ++i) slo.observe(1000.0, true);  // all bad
+  EXPECT_FALSE(slo.breached());  // no verdicts before min_samples
+  EXPECT_EQ(slo.breaches(), 0u);
+  slo.observe(1000.0, true);  // 8th sample: verdicts switch on
+  EXPECT_TRUE(slo.breached());
+  EXPECT_EQ(slo.breaches(), 1u);
+  EXPECT_EQ(slo.samples(), 8u);
+}
+
+TEST(Slo, BurnRatesBreachEdgeAndGauges) {
+  MetricsRegistry r;
+  SloConfig cfg;
+  cfg.latency_slo_us = 100.0;
+  cfg.latency_budget = 0.25;
+  cfg.error_budget = 0.25;
+  cfg.window = 16;
+  cfg.min_samples = 4;
+  SloMonitor slo(cfg, &r);
+  int fired = 0;
+  slo.on_breach = [&fired] { ++fired; };
+
+  for (int i = 0; i < 16; ++i) slo.observe(10.0, false);
+  EXPECT_FALSE(slo.breached());
+  EXPECT_DOUBLE_EQ(slo.latency_burn_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(slo.error_burn_rate(), 0.0);
+
+  // 8 of the 16-wide window slow AND failing: 0.5 observed over a 0.25
+  // budget = burn rate 2 on both axes.
+  for (int i = 0; i < 8; ++i) slo.observe(500.0, true);
+  EXPECT_TRUE(slo.breached());
+  EXPECT_EQ(fired, 1);  // edge-triggered, not level-triggered
+  EXPECT_DOUBLE_EQ(slo.latency_burn_rate(), 2.0);
+  EXPECT_DOUBLE_EQ(slo.error_burn_rate(), 2.0);
+  EXPECT_GE(slo.p99_latency_us(), 100.0);
+  EXPECT_DOUBLE_EQ(r.gauge("slo.breached").value(), 1.0);
+  EXPECT_DOUBLE_EQ(r.gauge("slo.latency_burn_rate").value(), 2.0);
+  EXPECT_DOUBLE_EQ(r.gauge("slo.error_burn_rate").value(), 2.0);
+  EXPECT_EQ(r.counter("slo.breaches").value(), 1u);
+
+  // Recovery slides the bad samples out; the next breach re-fires.
+  for (int i = 0; i < 16; ++i) slo.observe(10.0, false);
+  EXPECT_FALSE(slo.breached());
+  EXPECT_DOUBLE_EQ(r.gauge("slo.breached").value(), 0.0);
+  for (int i = 0; i < 8; ++i) slo.observe(500.0, true);
+  EXPECT_EQ(slo.breaches(), 2u);
+  EXPECT_EQ(fired, 2);
+}
+
+// --- Prometheus text exposition ---------------------------------------
+
+TEST(Prometheus, SanitizesMetricNames) {
+  EXPECT_EQ(prometheus_name("svc.request_us"), "svc_request_us");
+  EXPECT_EQ(prometheus_name("a-b c:d"), "a_b_c:d");
+  EXPECT_EQ(prometheus_name("9lives"), "_9lives");
+}
+
+TEST(Prometheus, RendersAllInstrumentKinds) {
+  MetricsRegistry r;
+  r.counter("svc.accepted").inc(3);
+  r.gauge("pool.active").set(2.5);
+  Histogram& h = r.histogram("svc.request_us", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(100.0);
+
+  const std::string text = prometheus_text(r);
+  EXPECT_NE(text.find("# TYPE uniloc_svc_accepted counter\n"
+                      "uniloc_svc_accepted 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE uniloc_pool_active gauge\n"
+                      "uniloc_pool_active 2.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE uniloc_svc_request_us histogram"),
+            std::string::npos);
+  // Buckets are cumulative and end at le="+Inf" == _count.
+  EXPECT_NE(text.find("uniloc_svc_request_us_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("uniloc_svc_request_us_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("uniloc_svc_request_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("uniloc_svc_request_us_sum 105.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("uniloc_svc_request_us_count 3"),
+            std::string::npos);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+
+  // Deterministic: same registry contents, same bytes.
+  EXPECT_EQ(text, prometheus_text(r));
+  // And the prefix is caller-controlled.
+  EXPECT_NE(prometheus_text(r, "x_").find("x_svc_accepted 3"),
+            std::string::npos);
+}
+
+// --- bench history ----------------------------------------------------
+
+TEST(BenchReport, HistoryLineIsCompactAndTimestamped) {
+  BenchReport report("pipeline", nullptr);
+  report.add_scalar("speedup", 2.5);
+  report.add_series("epoch_us", {1.0, 2.0, 3.0, 4.0});
+
+  const std::string line = report.history_line("2026-08-08T00:00:00Z");
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const std::optional<JsonValue> doc = parse_json(line);
+  ASSERT_TRUE(doc.has_value() && doc->is_object()) << line;
+  EXPECT_EQ(doc->find("bench")->string, "pipeline");
+  EXPECT_EQ(doc->find("ts")->string, "2026-08-08T00:00:00Z");
+  ASSERT_NE(doc->find("scalars"), nullptr);
+  EXPECT_DOUBLE_EQ(doc->find("scalars")->find("speedup")->number, 2.5);
+  const JsonValue* series = doc->find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_NE(series->find("epoch_us"), nullptr);
+  EXPECT_EQ(series->find("epoch_us")->find("n")->as_u64(), 4u);
+  EXPECT_NE(series->find("epoch_us")->find("p50"), nullptr);
+  // Compact: no raw samples, no registry dump in a history record.
+  EXPECT_EQ(line.find("metrics"), std::string::npos);
+
+  // The timestamp is caller-supplied -- this layer never reads a clock,
+  // so identical inputs produce identical lines.
+  EXPECT_EQ(line, report.history_line("2026-08-08T00:00:00Z"));
+
+  const std::string path = testing::TempDir() + "bench_history.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(report.append_history(path, "t1"));
+  ASSERT_TRUE(report.append_history(path, "t2"));
+  std::ifstream in(path);
+  std::string l;
+  std::vector<std::string> stamps;
+  while (std::getline(in, l)) {
+    const std::optional<JsonValue> d = parse_json(l);
+    ASSERT_TRUE(d.has_value()) << l;
+    stamps.push_back(d->find("ts")->string);
+  }
+  EXPECT_EQ(stamps, (std::vector<std::string>{"t1", "t2"}));
+}
+
+TEST(BenchReport, AppendHistoryFailsOnUnwritablePath) {
+  BenchReport report("x", nullptr);
+  EXPECT_FALSE(report.append_history("/nonexistent-dir/x/h.jsonl", "t"));
 }
 
 }  // namespace

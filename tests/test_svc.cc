@@ -8,14 +8,20 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/runner.h"
 #include "core/trainer.h"
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/span.h"
 #include "sim/virtual_clock.h"
 #include "svc/epoch_codec.h"
 #include "svc/loadgen.h"
@@ -649,6 +655,243 @@ TEST(LoadGen, ChargesWireBytesIntoOffloadCounters) {
                    static_cast<double>(reply_wire_bytes()));
   EXPECT_GT(report.traffic.uplink_bytes_per_epoch(),
             static_cast<double>(kHeaderBytes + kEpochUplinkPrefixBytes));
+}
+
+// ---------------------------------------------------- live introspection
+
+Frame status_request(StatusFormat format) {
+  Frame f;
+  f.type = FrameType::kStatus;
+  f.payload = encode_status_request(format);
+  return f;
+}
+
+/// Serve `epochs` frames on session 1 (and open an idle session 2).
+void serve_some_epochs(LocalizationServer& server, ServerFixture& fx,
+                       std::size_t epochs) {
+  sim::WalkConfig wc;
+  wc.seed = 21;
+  sim::Walker walker(fx.office.place.get(), fx.office.radio.get(), 0, wc);
+  offload::PhoneAgent phone;
+  phone.reset(walker.start_heading());
+  get_reply(server, hello_frame(1, walker.start_position(),
+                                walker.start_heading()));
+  get_reply(server, hello_frame(2, walker.start_position(),
+                                walker.start_heading()));
+  for (std::size_t i = 0; i < epochs && !walker.done(); ++i) {
+    const sim::SensorFrame f = walker.step(true);
+    Frame req;
+    req.type = FrameType::kEpoch;
+    req.session_id = 1;
+    req.payload = encode_epoch(phone.reduce(f), f);
+    ASSERT_EQ(get_reply(server, encode_frame(req)).type, FrameType::kReply);
+  }
+}
+
+TEST(Server, StatusFrameServesJsonSnapshot) {
+  ServerFixture fx;
+  obs::MetricsRegistry reg;
+  obs::SloMonitor slo({}, &reg);
+  ServerConfig cfg;
+  cfg.slo = &slo;
+  LocalizationServer server(cfg, fx.factory(), &reg);
+  serve_some_epochs(server, fx, 5);
+
+  const Frame reply =
+      get_reply(server, encode_frame(status_request(StatusFormat::kJson)));
+  ASSERT_EQ(reply.type, FrameType::kReply);
+  const std::string text(reply.payload.begin(), reply.payload.end());
+  const std::optional<obs::JsonValue> doc = obs::parse_json(text);
+  ASSERT_TRUE(doc.has_value() && doc->is_object()) << text;
+
+  // The statusz schema (DESIGN.md section 13): server, sessions, slo,
+  // metrics -- all present and structurally sound.
+  const obs::JsonValue* srv = doc->find("server");
+  ASSERT_NE(srv, nullptr);
+  EXPECT_EQ(srv->find("live_sessions")->as_u64(), 2u);
+  EXPECT_FALSE(srv->find("stopping")->boolean);
+  const obs::JsonValue* pool = srv->find("pool");
+  ASSERT_NE(pool, nullptr);
+  EXPECT_NE(pool->find("workers"), nullptr);
+  EXPECT_NE(pool->find("active_workers"), nullptr);
+  EXPECT_NE(pool->find("queue_depth"), nullptr);
+
+  const obs::JsonValue* sessions = doc->find("sessions");
+  ASSERT_NE(sessions, nullptr);
+  ASSERT_EQ(sessions->items.size(), 2u);  // ascending id
+  EXPECT_EQ(sessions->items[0].find("id")->as_u64(), 1u);
+  EXPECT_EQ(sessions->items[0].find("epochs_served")->as_u64(), 5u);
+  EXPECT_EQ(sessions->items[1].find("id")->as_u64(), 2u);
+  EXPECT_EQ(sessions->items[1].find("epochs_served")->as_u64(), 0u);
+  EXPECT_NE(sessions->items[0].find("queue_depth"), nullptr);
+  EXPECT_NE(sessions->items[0].find("age_us"), nullptr);
+
+  const obs::JsonValue* slo_obj = doc->find("slo");
+  ASSERT_NE(slo_obj, nullptr);
+  ASSERT_TRUE(slo_obj->is_object());  // attached -> object, not null
+  EXPECT_EQ(slo_obj->find("samples")->as_u64(), 5u);
+  EXPECT_FALSE(slo_obj->find("breached")->boolean);
+
+  const obs::JsonValue* metrics = doc->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_NE(metrics->find("counters"), nullptr);
+  EXPECT_NE(metrics->find("counters")->find("svc.accepted"), nullptr);
+  EXPECT_EQ(reg.counter("svc.status_requests").value(), 1u);
+}
+
+TEST(Server, StatusFrameServesPrometheusText) {
+  ServerFixture fx;
+  obs::MetricsRegistry reg;
+  obs::SloMonitor slo({}, &reg);
+  ServerConfig cfg;
+  cfg.slo = &slo;
+  LocalizationServer server(cfg, fx.factory(), &reg);
+  serve_some_epochs(server, fx, 3);
+
+  const Frame reply = get_reply(
+      server, encode_frame(status_request(StatusFormat::kPrometheus)));
+  ASSERT_EQ(reply.type, FrameType::kReply);
+  const std::string text(reply.payload.begin(), reply.payload.end());
+
+  // Registry instruments render through obs::prometheus_text...
+  EXPECT_NE(text.find("# TYPE uniloc_svc_accepted counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE uniloc_svc_request_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("uniloc_svc_request_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  // ...followed by server + per-session gauges.
+  EXPECT_NE(text.find("uniloc_server_live_sessions 2"), std::string::npos);
+  EXPECT_NE(text.find("uniloc_server_stopping 0"), std::string::npos);
+  EXPECT_NE(text.find("uniloc_session_epochs_served{session=\"1\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("uniloc_session_epochs_served{session=\"2\"} 0"),
+            std::string::npos);
+  // The SLO gauges arrive via the registry (slo.* instruments).
+  EXPECT_NE(text.find("uniloc_slo_latency_burn_rate"), std::string::npos);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Server, MalformedStatusRequestIsRejected) {
+  ServerFixture fx;
+  obs::MetricsRegistry reg;
+  LocalizationServer server({}, fx.factory(), &reg);
+
+  const std::vector<std::vector<std::uint8_t>> bad = {
+      {},      // empty payload
+      {9},     // unknown format byte
+      {0, 0},  // over-long payload
+  };
+  for (const std::vector<std::uint8_t>& payload : bad) {
+    Frame req;
+    req.type = FrameType::kStatus;
+    req.payload = payload;
+    const Frame reply = get_reply(server, encode_frame(req));
+    EXPECT_EQ(reply.type, FrameType::kError);
+    EXPECT_EQ(error_code(reply), ErrorCode::kMalformed);
+  }
+  EXPECT_EQ(reg.counter("svc.malformed").value(), 3u);
+  EXPECT_EQ(reg.counter("svc.status_requests").value(), 0u);
+}
+
+// ------------------------------------------------------- span tracing
+
+TEST(Server, EpochSpanTreeIsRootedAndComplete) {
+  // Deterministic inline mode: every served epoch must emit exactly one
+  // rooted span tree -- svc.epoch over {queue_wait, decode, locate, net,
+  // encode}, with the core-layer scheme/fusion spans parented under
+  // svc.locate via the ambient TraceContext.
+  ServerFixture fx;
+  obs::VectorSpanSink sink;
+  obs::SpanTracer tracer(&sink);
+  ServerConfig cfg;
+  cfg.tracer = &tracer;
+  LocalizationServer server(cfg, fx.factory(), nullptr);
+  constexpr std::size_t kEpochs = 4;
+  serve_some_epochs(server, fx, kEpochs);
+
+  EXPECT_EQ(tracer.spans_opened(), tracer.spans_closed());
+
+  std::map<std::uint64_t, std::vector<obs::SpanEvent>> traces;
+  for (const obs::SpanEvent& ev : sink.events()) {
+    traces[ev.trace_id].push_back(ev);
+  }
+  ASSERT_EQ(traces.size(), kEpochs);  // hello/bye emit no spans
+
+  for (const auto& [trace_id, spans] : traces) {
+    std::set<std::uint64_t> ids;
+    for (const obs::SpanEvent& ev : spans) ids.insert(ev.span_id);
+
+    std::uint64_t root_id = 0, locate_id = 0;
+    std::size_t roots = 0;
+    for (const obs::SpanEvent& ev : spans) {
+      if (ev.parent_id == 0) {
+        ++roots;
+        root_id = ev.span_id;
+        EXPECT_EQ(ev.name, "svc.epoch");
+      } else {
+        EXPECT_EQ(ids.count(ev.parent_id), 1u)
+            << ev.name << " orphaned in trace " << trace_id;
+      }
+      if (ev.name == "svc.locate") locate_id = ev.span_id;
+      EXPECT_EQ(ev.session_id, 1u);
+    }
+    ASSERT_EQ(roots, 1u);
+    ASSERT_NE(locate_id, 0u);
+
+    // The fixed svc stages all hang off the root.
+    std::set<std::string> svc_children;
+    std::set<std::string> core_names;
+    for (const obs::SpanEvent& ev : spans) {
+      if (ev.category == "svc" && ev.parent_id == root_id) {
+        svc_children.insert(ev.name);
+      }
+      if (ev.category == "core") {
+        EXPECT_EQ(ev.parent_id, locate_id) << ev.name;
+        core_names.insert(ev.name);
+      }
+    }
+    EXPECT_EQ(svc_children,
+              (std::set<std::string>{"svc.queue_wait", "svc.decode",
+                                     "svc.locate", "svc.net",
+                                     "svc.encode"}));
+    // One span per registered scheme plus the fusion span.
+    EXPECT_EQ(core_names.count("core.fuse"), 1u);
+    EXPECT_GE(core_names.size(), 2u);
+  }
+}
+
+TEST(Server, FlightRecorderCapturesServedEpochs) {
+  ServerFixture fx;
+  obs::FlightRecorder flight(16);
+  ServerConfig cfg;
+  cfg.flight = &flight;
+  LocalizationServer server(cfg, fx.factory(), nullptr);
+  constexpr std::size_t kEpochs = 5;
+  serve_some_epochs(server, fx, kEpochs);
+
+  // Session 1's ring opens with the hello, then one kServerEpoch
+  // decision per served epoch with the scheme choice and tau snapshot.
+  const std::vector<obs::FlightEvent> events = flight.session_events(1);
+  ASSERT_EQ(events.size(), kEpochs + 1);
+  EXPECT_EQ(events.front().kind, obs::FlightKind::kHello);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].kind, obs::FlightKind::kServerEpoch);
+    EXPECT_EQ(events[i].epoch, i - 1);
+    EXPECT_GE(events[i].a, -1);  // scheme index (-1 = none selected)
+    EXPECT_GE(events[i].x, 0.0);  // tau
+  }
+  // A malformed epoch lands as kError in the same session's ring.
+  Frame bad_epoch;
+  bad_epoch.type = FrameType::kEpoch;
+  bad_epoch.session_id = 1;
+  bad_epoch.payload = {9, 9, 9};
+  const Frame reply = get_reply(server, encode_frame(bad_epoch));
+  EXPECT_EQ(reply.type, FrameType::kError);
+  const std::vector<obs::FlightEvent> after = flight.session_events(1);
+  ASSERT_EQ(after.size(), kEpochs + 2);
+  EXPECT_EQ(after.back().kind, obs::FlightKind::kError);
 }
 
 }  // namespace
