@@ -23,6 +23,7 @@
 #include "bench_util.h"
 #include "fault/link.h"
 #include "fault/plan.h"
+#include "shard/router.h"
 #include "svc/loadgen.h"
 #include "svc/server.h"
 #include "stats/descriptive.h"
@@ -61,7 +62,7 @@ svc::LoadReport run_config(const core::Deployment& campus, int workers,
   lg.burst = 2;  // two epochs in flight per session: exercises the inbox
   lg.seed = 2024;
   if (plan != nullptr) {
-    lg.make_link = [plan](svc::LocalizationServer& s, std::uint64_t sid) {
+    lg.make_link = [plan](svc::Endpoint& s, std::uint64_t sid) {
       return std::make_unique<fault::FaultyLink>(
           std::make_unique<svc::DirectLink>(&s), plan, sid);
     };
@@ -69,6 +70,37 @@ svc::LoadReport run_config(const core::Deployment& campus, int workers,
   svc::LoadReport report =
       svc::run_load(server, campus, lg, &obs::default_registry());
   server.shutdown();
+  return report;
+}
+
+/// One run against a ShardRouter over `shards` servers, each with its own
+/// `workers`-thread pool (the fleet scaling axis: more shards = more
+/// concurrent simulated-network pushes in flight).
+svc::LoadReport run_fleet(const core::Deployment& campus, std::size_t shards,
+                          int workers) {
+  shard::RouterConfig cfg;
+  cfg.shards = shards;
+  cfg.server.workers = workers;
+  cfg.server.simulated_network = kSimulatedNetwork;
+  if (std::getenv("UNILOC_SVC_REFERENCE") != nullptr) {
+    cfg.server.use_fast_path = false;
+  }
+  shard::ShardRouter router(
+      cfg,
+      [&campus](std::uint64_t sid) {
+        return std::make_unique<core::Uniloc>(core::make_uniloc(
+            campus, bench::standard_models(), {}, false, /*seed=*/7 + sid));
+      },
+      &obs::default_registry());
+
+  svc::LoadGenConfig lg;
+  lg.walkers = kWalkers;
+  lg.max_epochs_per_walker = kEpochsPerWalker;
+  lg.burst = 2;
+  lg.seed = 2024;
+  svc::LoadReport report =
+      svc::run_load(router, campus, lg, &obs::default_registry());
+  router.shutdown();
   return report;
 }
 
@@ -209,7 +241,58 @@ int main() {
   bench_report.add_scalar("chaos.graceful", graceful ? 1.0 : 0.0);
 
   bench::report_json(bench_report);
-  const bool pass =
-      monotonic_1_to_4 && deterministic && no_session_loss && graceful;
+
+  // --------------------------------------------------- fleet scaling
+  // Same 32 phones, but the endpoint is a ShardRouter over {1, 2, 4}
+  // shards with 2 workers each. Each shard owns its pool, so the fleet's
+  // concurrent network pushes -- the bottleneck above -- scale with the
+  // shard count. Headlines: epochs/s rises monotonically with shards and
+  // the single-shard fleet pays no measurable routing tax. Written as its
+  // own BENCH_shard_scaling.json (plus a BENCH_history.jsonl line).
+  obs::BenchReport shard_report = bench::make_report("shard_scaling");
+  std::printf("\nfleet scaling -- %zu walkers, 2 workers per shard\n\n",
+              kWalkers);
+  io::Table fleet_table(
+      {"shards", "epochs", "epochs/s", "vs 1 shard", "p95 (ms)"});
+  double fleet_eps1 = 0.0, fleet_eps4 = 0.0;
+  bool fleet_monotonic = true;
+  double fleet_prev = 0.0;
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    const svc::LoadReport r = run_fleet(campus, shards, /*workers=*/2);
+    const double eps = r.throughput_eps();
+    const double p95 = stats::percentile(r.latencies_us, 95.0) / 1000.0;
+    if (shards == 1) fleet_eps1 = eps;
+    if (shards == 4) fleet_eps4 = eps;
+    if (eps <= fleet_prev) fleet_monotonic = false;
+    fleet_prev = eps;
+    fleet_table.add_row(
+        {std::to_string(shards), std::to_string(r.total_epochs),
+         io::Table::num(eps),
+         io::Table::num(fleet_eps1 > 0.0 ? eps / fleet_eps1 : 0.0),
+         io::Table::num(p95)});
+    const std::string prefix = "shards" + std::to_string(shards) + ".";
+    shard_report.add_scalar(prefix + "throughput_eps", eps);
+    shard_report.add_scalar(prefix + "latency_p95_ms", p95);
+    shard_report.add_series("latency_us_s" + std::to_string(shards),
+                            r.latencies_us);
+  }
+  std::printf("%s\n", fleet_table.to_string().c_str());
+  const double fleet_scaling =
+      fleet_eps1 > 0.0 ? fleet_eps4 / fleet_eps1 : 0.0;
+  // The routing tax: one shard behind the router vs the bare server at
+  // the same 2-worker pool (from the clean table above).
+  const double router_tax =
+      fleet_eps1 > 0.0 ? clean_eps[2] / fleet_eps1 : 0.0;
+  std::printf("fleet scaling 1 -> 4 shards: %.2fx, monotonic: %s, "
+              "router tax vs bare server: %.2fx\n",
+              fleet_scaling, fleet_monotonic ? "yes" : "NO", router_tax);
+  shard_report.add_scalar("scaling_1_to_4", fleet_scaling);
+  shard_report.add_scalar("monotonic_1_to_4", fleet_monotonic ? 1.0 : 0.0);
+  shard_report.add_scalar("router_tax_vs_bare", router_tax);
+  bench::report_json(shard_report);
+  const bool fleet_pass = fleet_monotonic && fleet_scaling > 1.5;
+
+  const bool pass = monotonic_1_to_4 && deterministic && no_session_loss &&
+                    graceful && fleet_pass;
   return pass ? 0 : 1;
 }

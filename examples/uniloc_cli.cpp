@@ -6,9 +6,9 @@
 //                     [--trace <out.jsonl>] [--metrics]
 //
 //   uniloc_cli serve-sim [--venue <name>] [--walkers N] [--workers W]
-//                        [--epochs E] [--seed S] [--faults <plan>]
-//                        [--metrics] [--statusz] [--trace-spans <file>]
-//                        [--flight <file>]
+//                        [--shards K] [--epochs E] [--seed S]
+//                        [--faults <plan>] [--metrics] [--statusz]
+//                        [--trace-spans <file>] [--flight <file>]
 //
 // `record` walks a venue and saves the full sensor stream (dataset
 // collection). `replay` runs UniLoc offline over a saved trace and prints
@@ -16,7 +16,12 @@
 // `serve-sim` stands up the src/svc multi-session LocalizationServer
 // in-process and drives it with N simulated phones over the venue's
 // walkways (the svc wire protocol end to end), printing throughput,
-// latency percentiles, per-walker accuracy, and wire traffic.
+// latency percentiles, per-walker accuracy, and wire traffic. With
+// --shards K (K > 1) the endpoint is instead a shard::ShardRouter over K
+// in-process shards: consistent-hash session placement, per-round fleet
+// checkpoints, and live rebalancing (DESIGN.md section 14); --statusz
+// then dumps every shard via the kStatus admin frame (session id =
+// shard index).
 // With --faults every phone's link goes through a fault::FaultyLink; the
 // plan is comma-separated key=value pairs, e.g.
 //   --faults drop=0.02,corrupt=0.01,dup=0.01,delay_ms=50,blackout=10:20
@@ -46,6 +51,7 @@
 #include "obs/slo.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "shard/router.h"
 #include "sim/trace_io.h"
 #include "stats/descriptive.h"
 #include "svc/checkpoint.h"
@@ -226,6 +232,10 @@ struct ServeSimOptions {
   std::string venue{"campus"};
   std::size_t walkers{8};
   int workers{2};
+  /// 1 = one LocalizationServer (the classic path). >1 = a ShardRouter
+  /// over this many in-process shards, each with its own `workers`-thread
+  /// pool, rebalanced once per round.
+  std::size_t shards{1};
   std::size_t epochs{50};  ///< Per walker; 0 = full paths.
   std::uint64_t seed{2024};
   std::string faults;  ///< Empty: perfect wire.
@@ -323,8 +333,9 @@ int cmd_serve_sim(const ServeSimOptions& sopts) {
   }
   obs::SloMonitor slo({}, &registry);
   cfg.slo = &slo;
+  const bool sharded = sopts.shards > 1;
   std::size_t checkpoints_written = 0;
-  if (!sopts.checkpoint_dir.empty()) {
+  if (!sopts.checkpoint_dir.empty() && !sharded) {
     cfg.checkpoint_period_us = 1'000'000;  // wall-clock second
     cfg.on_checkpoint = [&sopts, &checkpoints_written](
                             const std::vector<std::uint8_t>& snap) {
@@ -336,17 +347,40 @@ int cmd_serve_sim(const ServeSimOptions& sopts) {
       }
     };
   }
-  svc::LocalizationServer server(
-      cfg,
-      [&](std::uint64_t sid) {
-        return std::make_unique<core::Uniloc>(
-            core::make_uniloc(d, models, {}, false, 7 + sid));
-      },
-      &registry);
+  svc::UnilocFactory factory = [&](std::uint64_t sid) {
+    return std::make_unique<core::Uniloc>(
+        core::make_uniloc(d, models, {}, false, 7 + sid));
+  };
+  std::unique_ptr<svc::LocalizationServer> server;
+  std::unique_ptr<shard::ShardRouter> router;
+  svc::Endpoint* endpoint = nullptr;
+  if (sharded) {
+    if (!sopts.checkpoint_dir.empty()) {
+      std::printf("note: --checkpoint-dir is per-server; the fleet keeps "
+                  "in-RAM shard checkpoints (checkpoint_all) instead\n");
+    }
+    shard::RouterConfig rc;
+    rc.shards = sopts.shards;
+    rc.server = cfg;
+    router = std::make_unique<shard::ShardRouter>(std::move(rc), factory,
+                                                  &registry);
+    endpoint = router.get();
+  } else {
+    server = std::make_unique<svc::LocalizationServer>(cfg, factory,
+                                                       &registry);
+    endpoint = server.get();
+  }
 
-  std::printf("serving %zu walkers on '%s' with %d workers%s...\n",
-              sopts.walkers, sopts.venue.c_str(), sopts.workers,
-              sopts.faults.empty() ? "" : " (faulty wire)");
+  if (sharded) {
+    std::printf("serving %zu walkers on '%s' across %zu shards x %d "
+                "workers%s...\n",
+                sopts.walkers, sopts.venue.c_str(), sopts.shards,
+                sopts.workers, sopts.faults.empty() ? "" : " (faulty wire)");
+  } else {
+    std::printf("serving %zu walkers on '%s' with %d workers%s...\n",
+                sopts.walkers, sopts.venue.c_str(), sopts.workers,
+                sopts.faults.empty() ? "" : " (faulty wire)");
+  }
   svc::LoadGenConfig lg;
   lg.walkers = sopts.walkers;
   lg.max_epochs_per_walker = sopts.epochs;
@@ -356,17 +390,26 @@ int cmd_serve_sim(const ServeSimOptions& sopts) {
   std::optional<fault::FaultPlan> plan;
   if (!sopts.faults.empty()) {
     plan = parse_fault_plan(sopts.faults, sopts.seed);
-    lg.make_link = [&plan, &registry, &tracer](svc::LocalizationServer& s,
+    lg.make_link = [&plan, &registry, &tracer](svc::Endpoint& s,
                                                std::uint64_t sid) {
       return std::make_unique<fault::FaultyLink>(
           std::make_unique<svc::DirectLink>(&s), &*plan, sid, &registry,
           tracer.get());
     };
   }
-  const svc::LoadReport report = svc::run_load(server, d, lg, &registry);
-  if (!sopts.checkpoint_dir.empty()) {
+  if (sharded) {
+    // Fleet housekeeping between rounds: keep every shard's recovery
+    // checkpoint fresh and let the rebalancer chase hot shards.
+    lg.on_round = [&router](std::size_t) {
+      router->checkpoint_all();
+      router->rebalance();
+    };
+  }
+  const svc::LoadReport report = svc::run_load(*endpoint, d, lg, &registry);
+  if (!sopts.checkpoint_dir.empty() && !sharded) {
     // One final snapshot so the file reflects the drained end state.
-    if (svc::write_checkpoint_file(sopts.checkpoint_dir, server.snapshot())) {
+    if (svc::write_checkpoint_file(sopts.checkpoint_dir,
+                                   server->snapshot())) {
       ++checkpoints_written;
     }
     std::printf("wrote %zu checkpoints to %s\n", checkpoints_written,
@@ -374,28 +417,44 @@ int cmd_serve_sim(const ServeSimOptions& sopts) {
   }
   if (sopts.statusz) {
     // Live introspection through the wire protocol itself: the same
-    // kStatus frame an operator's admin socket would submit.
-    for (const svc::StatusFormat fmt :
-         {svc::StatusFormat::kJson, svc::StatusFormat::kPrometheus}) {
-      svc::Frame req;
-      req.type = svc::FrameType::kStatus;
-      req.payload = svc::encode_status_request(fmt);
-      const std::vector<std::uint8_t> bytes =
-          server.submit(svc::encode_frame(req)).get();
-      const svc::DecodeResult decoded = svc::decode_frame(bytes);
-      if (decoded.frame.has_value() &&
-          decoded.frame->type == svc::FrameType::kReply) {
-        std::printf(
-            "\n--- statusz (%s) ---\n%.*s\n",
-            fmt == svc::StatusFormat::kJson ? "json" : "prometheus",
-            static_cast<int>(decoded.frame->payload.size()),
-            reinterpret_cast<const char*>(decoded.frame->payload.data()));
-      } else {
-        std::fprintf(stderr, "statusz query failed\n");
+    // kStatus frame an operator's admin socket would submit. On a fleet
+    // the frame's session id names the shard, so each shard dumps its
+    // own health.
+    const std::size_t targets = sharded ? sopts.shards : 1;
+    for (std::size_t k = 0; k < targets; ++k) {
+      for (const svc::StatusFormat fmt :
+           {svc::StatusFormat::kJson, svc::StatusFormat::kPrometheus}) {
+        svc::Frame req;
+        req.type = svc::FrameType::kStatus;
+        req.session_id = k;
+        req.payload = svc::encode_status_request(fmt);
+        const std::vector<std::uint8_t> bytes =
+            endpoint->submit(svc::encode_frame(req)).get();
+        const svc::DecodeResult decoded = svc::decode_frame(bytes);
+        if (decoded.frame.has_value() &&
+            decoded.frame->type == svc::FrameType::kReply) {
+          if (sharded) {
+            std::printf("\n--- statusz shard %zu (%s) ---\n%.*s\n", k,
+                        fmt == svc::StatusFormat::kJson ? "json"
+                                                        : "prometheus",
+                        static_cast<int>(decoded.frame->payload.size()),
+                        reinterpret_cast<const char*>(
+                            decoded.frame->payload.data()));
+          } else {
+            std::printf(
+                "\n--- statusz (%s) ---\n%.*s\n",
+                fmt == svc::StatusFormat::kJson ? "json" : "prometheus",
+                static_cast<int>(decoded.frame->payload.size()),
+                reinterpret_cast<const char*>(decoded.frame->payload.data()));
+          }
+        } else {
+          std::fprintf(stderr, "statusz query failed\n");
+        }
       }
     }
   }
-  server.shutdown();
+  if (server != nullptr) server->shutdown();
+  if (router != nullptr) router->shutdown();
   if (flight != nullptr) {
     if (flight->dump_to_file(sopts.flight_out)) {
       std::printf("wrote flight recorder (%llu events, %zu sessions) to "
@@ -444,6 +503,18 @@ int cmd_serve_sim(const ServeSimOptions& sopts) {
   std::printf("wire traffic: uplink %.1f B/epoch, downlink %.1f B/epoch\n",
               report.traffic.uplink_bytes_per_epoch(),
               report.traffic.downlink_bytes_per_epoch());
+  if (sharded) {
+    std::printf("fleet: %llu migrations (%llu failed), %llu rebalance "
+                "passes, %llu frames buffered mid-migration\n",
+                static_cast<unsigned long long>(
+                    registry.counter("shard.migrations").value()),
+                static_cast<unsigned long long>(
+                    registry.counter("shard.migration_failures").value()),
+                static_cast<unsigned long long>(
+                    registry.counter("shard.rebalances").value()),
+                static_cast<unsigned long long>(
+                    registry.counter("shard.buffered_frames").value()));
+  }
   if (chaos) {
     std::printf("degradation: %zu retries, %zu timeouts, %zu local epochs, "
                 "%zu B retransmitted\n",
@@ -468,13 +539,19 @@ int usage() {
                "  uniloc_cli replay <venue> <trace> [--cold-start]\n"
                "                    [--trace <out.jsonl>] [--metrics]\n"
                "  uniloc_cli serve-sim [--venue <name>] [--walkers N]\n"
-               "                    [--workers W] [--epochs E] [--seed S]\n"
-               "                    [--faults <plan>] [--checkpoint-dir <dir>]\n"
+               "                    [--workers W] [--shards K] [--epochs E]\n"
+               "                    [--seed S] [--faults <plan>]\n"
+               "                    [--checkpoint-dir <dir>]\n"
                "                    [--metrics] [--statusz]\n"
                "                    [--trace-spans <out.jsonl>]\n"
                "                    [--flight <out.jsonl>]\n"
                "      <plan>: drop=P,dup=P,reorder=P,corrupt=P,delay_ms=D,\n"
                "              jitter_ms=J,seed=S,blackout=a:b[,...]\n"
+               "      --shards: K > 1 serves the fleet path -- a\n"
+               "              ShardRouter over K in-process shards\n"
+               "              (consistent-hash placement, per-round\n"
+               "              checkpoints + rebalancing); statusz then\n"
+               "              dumps every shard\n"
                "      --checkpoint-dir: snapshot all sessions into\n"
                "              <dir>/checkpoint.bin every second (atomic,\n"
                "              fsync'd) plus once at the end of the run\n"
@@ -524,6 +601,9 @@ int main(int argc, char** argv) {
           sopts.walkers = std::stoul(argv[++i]);
         } else if (arg == "--workers" && i + 1 < argc) {
           sopts.workers = std::stoi(argv[++i]);
+        } else if (arg == "--shards" && i + 1 < argc) {
+          sopts.shards = std::stoul(argv[++i]);
+          if (sopts.shards == 0) sopts.shards = 1;
         } else if (arg == "--epochs" && i + 1 < argc) {
           sopts.epochs = std::stoul(argv[++i]);
         } else if (arg == "--seed" && i + 1 < argc) {

@@ -22,8 +22,13 @@ if [[ "${TSAN:-1}" != "0" ]]; then
   TSAN_DIR="${TSAN_DIR:-build-tsan}"
   cmake -B "$TSAN_DIR" -S . -DUNILOC_SANITIZE=thread
   cmake --build "$TSAN_DIR" -j "$JOBS" \
-    --target test_svc test_differential test_obs
+    --target test_svc test_shard test_differential test_obs
   ctest --test-dir "$TSAN_DIR" -L '^svc$' --output-on-failure -j "$JOBS"
+  # Fleet gate: the shard suite routes, migrates and rebalances across
+  # per-shard worker pools while a control thread checkpoints the fleet
+  # -- the router's route table and buffers are exactly where TSan finds
+  # lost-frame races.
+  ctest --test-dir "$TSAN_DIR" -L '^shard$' --output-on-failure -j "$JOBS"
   # Observability gate: the lock-free metrics (atomic counters/gauges),
   # the span tracer, and the flight recorder are all recorded from worker
   # threads concurrently -- the `obs` label's concurrency tests must be
@@ -57,6 +62,14 @@ if [[ "${ASAN:-1}" != "0" ]]; then
   # deserialization boundary, exactly where OOB reads would hide.
   cmake --build "$ASAN_DIR" -j "$JOBS" --target test_checkpoint
   ctest --test-dir "$ASAN_DIR" -L '^checkpoint$' --output-on-failure -j "$JOBS"
+  # Fleet gates: the whole shard suite under ASan (kMigrate adoption and
+  # checkpoint splitting are hostile-input boundaries), then the
+  # shard-crash chaos tests rerun by name -- the zero-session-loss claim
+  # (kill 1 of N shards, every session resurrects from its checkpoint,
+  # bit-identical) must fail loudly and greppably here.
+  cmake --build "$ASAN_DIR" -j "$JOBS" --target test_shard
+  ctest --test-dir "$ASAN_DIR" -L '^shard$' --output-on-failure -j "$JOBS"
+  ctest --test-dir "$ASAN_DIR" -R 'shard\..*Crash' --output-on-failure -j "$JOBS"
   # Chaos-with-tracing gate: the chaos suite includes fault.trace_*
   # tests that run scripted disasters with the span tracer attached and
   # assert zero span leaks (spans opened == spans closed) -- every epoch

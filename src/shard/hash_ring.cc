@@ -1,0 +1,71 @@
+#include "shard/hash_ring.h"
+
+#include <algorithm>
+
+#include "stats/rng.h"
+
+namespace uniloc::shard {
+
+namespace {
+
+std::uint64_t vnode_point(std::uint64_t seed, std::size_t shard,
+                          std::size_t replica) {
+  // Chain the avalanche mixer so (shard, replica) pairs land independently
+  // even for the small sequential values the fleet actually uses.
+  return stats::hash_combine(
+      stats::hash_combine(seed, 0x5348'4152'4421ull + shard),
+      0x564E'4F44'45ull + replica);
+}
+
+std::uint64_t key_point(std::uint64_t seed, std::uint64_t key) {
+  return stats::hash_combine(seed ^ 0x4B45'59ull, key);
+}
+
+}  // namespace
+
+HashRing::HashRing(std::uint64_t seed, std::size_t vnodes_per_shard)
+    : seed_(seed),
+      vnodes_per_shard_(std::max<std::size_t>(vnodes_per_shard, 1)) {}
+
+bool HashRing::contains(std::size_t shard) const {
+  return std::binary_search(shards_.begin(), shards_.end(), shard);
+}
+
+void HashRing::add_shard(std::size_t shard) {
+  if (contains(shard)) return;
+  shards_.insert(std::upper_bound(shards_.begin(), shards_.end(), shard),
+                 shard);
+  rebuild();
+}
+
+void HashRing::remove_shard(std::size_t shard) {
+  const auto it = std::lower_bound(shards_.begin(), shards_.end(), shard);
+  if (it == shards_.end() || *it != shard) return;
+  shards_.erase(it);
+  rebuild();
+}
+
+void HashRing::rebuild() {
+  ring_.clear();
+  ring_.reserve(shards_.size() * vnodes_per_shard_);
+  for (const std::size_t shard : shards_) {
+    for (std::size_t r = 0; r < vnodes_per_shard_; ++r) {
+      ring_.push_back({vnode_point(seed_, shard, r), shard});
+    }
+  }
+  // Tie-break equal points by shard id so the layout is a total order:
+  // membership changes can never flip the winner of a point collision.
+  std::sort(ring_.begin(), ring_.end(), [](const Vnode& a, const Vnode& b) {
+    return a.point != b.point ? a.point < b.point : a.shard < b.shard;
+  });
+}
+
+std::size_t HashRing::owner_of(std::uint64_t key) const {
+  const std::uint64_t p = key_point(seed_, key);
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), p,
+      [](const Vnode& v, std::uint64_t point) { return v.point < point; });
+  return it != ring_.end() ? it->shard : ring_.front().shard;
+}
+
+}  // namespace uniloc::shard

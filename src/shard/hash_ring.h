@@ -1,0 +1,61 @@
+// Consistent-hash ring with virtual nodes.
+//
+// The router's placement function: each shard owns `vnodes_per_shard`
+// points on a 64-bit ring, a session id hashes to a point, and the
+// session belongs to the shard owning the first vnode at or after that
+// point (wrapping). The properties the shard tests pin:
+//
+//   * Deterministic: placement is a pure function of (seed, shard set,
+//     vnodes_per_shard) -- two routers built with the same seed agree on
+//     every assignment, which is what makes sharded runs replayable.
+//   * Minimal disruption: removing a shard re-homes only the keys that
+//     shard owned (its vnodes disappear; every other arc is untouched),
+//     and adding a shard steals only the arcs its new vnodes split --
+//     ~K/N of the keys, not a global reshuffle.
+//
+// The ring is a sorted vector rebuilt on membership change; lookups are
+// a binary search. Membership changes are rare (crash/recovery, scale
+// events) and the fleet is in-process, so simplicity wins over an
+// incremental structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace uniloc::shard {
+
+class HashRing {
+ public:
+  /// `seed` perturbs every vnode point and key hash, so distinct fleets
+  /// (or property-test repetitions) see independent layouts.
+  explicit HashRing(std::uint64_t seed = 0,
+                    std::size_t vnodes_per_shard = 64);
+
+  /// Idempotent; a shard's vnode points depend only on (seed, shard).
+  void add_shard(std::size_t shard);
+  void remove_shard(std::size_t shard);
+  bool contains(std::size_t shard) const;
+
+  /// The owning shard of `key`. Must not be called on an empty ring.
+  std::size_t owner_of(std::uint64_t key) const;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t vnodes_per_shard() const { return vnodes_per_shard_; }
+  /// Current membership, ascending.
+  std::vector<std::size_t> shards() const { return shards_; }
+
+ private:
+  struct Vnode {
+    std::uint64_t point;
+    std::size_t shard;
+  };
+
+  void rebuild();
+
+  std::uint64_t seed_;
+  std::size_t vnodes_per_shard_;
+  std::vector<std::size_t> shards_;  ///< Sorted membership.
+  std::vector<Vnode> ring_;          ///< Sorted by (point, shard).
+};
+
+}  // namespace uniloc::shard

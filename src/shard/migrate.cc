@@ -1,0 +1,38 @@
+#include "shard/migrate.h"
+
+#include "offload/bytes.h"
+#include "svc/checkpoint.h"
+
+namespace uniloc::shard {
+
+std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>
+split_snapshot_sessions(const std::vector<std::uint8_t>& snapshot) {
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> out;
+  offload::ByteReader r(snapshot.data(), snapshot.size());
+  if (!svc::check_snapshot_header(r)) return out;
+  std::uint64_t accepted_since_scan;
+  std::uint32_t count;
+  if (!r.get_u64(accepted_since_scan) || !r.get_u32(count) ||
+      count > svc::kMaxSnapshotSessions) {
+    return out;
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t record_start = r.pos();
+    svc::SessionRecordHeader rec;
+    if (!svc::read_session_record_header(r, rec) ||
+        !r.skip(rec.payload_len)) {
+      out.clear();  // a torn tail must not ship half a population
+      return out;
+    }
+    // Re-frame the record verbatim: header + the snapshot's own bytes,
+    // so adoption restores exactly what the dead shard checkpointed.
+    offload::ByteWriter w;
+    svc::write_snapshot_header(w);
+    w.put_bytes(snapshot.data() + record_start, r.pos() - record_start);
+    out.emplace_back(rec.id, w.take());
+  }
+  if (r.remaining() != 0) out.clear();
+  return out;
+}
+
+}  // namespace uniloc::shard

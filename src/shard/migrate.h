@@ -1,0 +1,26 @@
+// Checkpoint splitting for shard recovery.
+//
+// A dead shard leaves behind one full-server snapshot (svc/checkpoint.h)
+// taken at its last checkpoint. Recovery re-homes that population onto
+// the survivors session by session, and each survivor's adoption path is
+// the same kMigrate codec live migration uses -- so the splitter's job
+// is to cut the N-session snapshot into N standalone single-session
+// payloads (snapshot header + one record each).
+//
+// Like every snapshot consumer this is a hostile-input boundary: a
+// truncated or corrupted checkpoint yields an empty result, never UB.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace uniloc::shard {
+
+/// (session id, standalone kMigrate payload) per session, in the
+/// snapshot's (ascending-id) order. Empty when `snapshot` is malformed,
+/// truncated, or holds no sessions.
+std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>
+split_snapshot_sessions(const std::vector<std::uint8_t>& snapshot);
+
+}  // namespace uniloc::shard

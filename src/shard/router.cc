@@ -1,0 +1,331 @@
+#include "shard/router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "shard/migrate.h"
+
+namespace uniloc::shard {
+
+ShardRouter::ShardRouter(RouterConfig cfg, svc::UnilocFactory factory,
+                         obs::MetricsRegistry* registry)
+    : cfg_(std::move(cfg)),
+      ring_(cfg_.seed, cfg_.vnodes_per_shard) {
+  const std::size_t n = std::max<std::size_t>(cfg_.shards, 1);
+  registries_.reserve(n);
+  servers_.reserve(n);
+  checkpoints_.resize(n);
+  alive_.assign(n, true);
+  for (std::size_t k = 0; k < n; ++k) {
+    registries_.push_back(std::make_unique<obs::MetricsRegistry>());
+    svc::ServerConfig sc = cfg_.server;
+    if (cfg_.tune) cfg_.tune(k, sc);
+    servers_.push_back(std::make_unique<svc::LocalizationServer>(
+        std::move(sc), factory, registries_.back().get()));
+    ring_.add_shard(k);
+  }
+  if (registry != nullptr) {
+    migrations_ = &registry->counter("shard.migrations");
+    migration_failures_ = &registry->counter("shard.migration_failures");
+    rebalances_ = &registry->counter("shard.rebalances");
+    crashes_ = &registry->counter("shard.crashes");
+    recovered_sessions_ = &registry->counter("shard.recovered_sessions");
+    buffered_frames_ = &registry->counter("shard.buffered_frames");
+  }
+}
+
+ShardRouter::~ShardRouter() { shutdown(); }
+
+void ShardRouter::shutdown() {
+  for (const std::unique_ptr<svc::LocalizationServer>& s : servers_) {
+    s->shutdown();
+  }
+}
+
+bool ShardRouter::alive(std::size_t k) const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return k < alive_.size() && alive_[k];
+}
+
+std::size_t ShardRouter::home_of_locked(std::uint64_t session_id) const {
+  const auto it = overrides_.find(session_id);
+  if (it != overrides_.end()) return it->second;
+  return ring_.owner_of(session_id);
+}
+
+std::size_t ShardRouter::shard_of(std::uint64_t session_id) const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return home_of_locked(session_id);
+}
+
+std::size_t ShardRouter::live_sessions() const {
+  std::size_t n = 0;
+  for (const std::unique_ptr<svc::LocalizationServer>& s : servers_) {
+    n += s->live_sessions();
+  }
+  return n;
+}
+
+std::future<std::vector<std::uint8_t>> ShardRouter::reply_error(
+    std::uint64_t sid, svc::ErrorCode code) {
+  std::promise<std::vector<std::uint8_t>> promise;
+  promise.set_value(svc::encode_frame(svc::make_error_frame(sid, code)));
+  return promise.get_future();
+}
+
+std::future<std::vector<std::uint8_t>> ShardRouter::submit(
+    std::vector<std::uint8_t> request) {
+  // The router validates framing before routing: a frame it cannot
+  // attribute to a session must not consume any shard's cycles.
+  const svc::DecodeResult decoded = svc::decode_frame(request);
+  if (!decoded.frame.has_value()) {
+    return reply_error(0, svc::ErrorCode::kMalformed);
+  }
+  const svc::Frame& frame = *decoded.frame;
+  const std::uint64_t sid = frame.session_id;
+
+  // kStatus is admin, not session traffic: session_id names the shard.
+  if (frame.type == svc::FrameType::kStatus) {
+    if (sid >= servers_.size()) {
+      return reply_error(sid, svc::ErrorCode::kUnknownSession);
+    }
+    {
+      std::lock_guard<std::mutex> lock(route_mu_);
+      if (!alive_[sid]) {
+        return reply_error(sid, svc::ErrorCode::kShuttingDown);
+      }
+    }
+    return servers_[sid]->submit(std::move(request));
+  }
+
+  std::size_t home;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    if (migrating_.count(sid) != 0) {
+      // The session is in flight between shards: park the frame; the
+      // migration's replay phase delivers it (in arrival order) to the
+      // final home and fulfills this promise.
+      auto promise =
+          std::make_shared<std::promise<std::vector<std::uint8_t>>>();
+      std::future<std::vector<std::uint8_t>> future = promise->get_future();
+      buffers_[sid].push_back({std::move(request), promise});
+      if (buffered_frames_ != nullptr) buffered_frames_->inc();
+      return future;
+    }
+    home = home_of_locked(sid);
+    if (!alive_[home]) {
+      // Dead shard: the client's re-hello will route through the ring,
+      // which no longer contains the dead shard, onto a survivor.
+      return reply_error(sid, svc::ErrorCode::kUnknownSession);
+    }
+    if (frame.type == svc::FrameType::kHello) {
+      // Pin the session to its creation shard. The ring is only the
+      // *initial* placement: once live, a session's home survives any
+      // later membership change (a revived shard must not steal routing
+      // for a session resurrected elsewhere).
+      overrides_[sid] = home;
+    } else if (frame.type == svc::FrameType::kBye) {
+      overrides_.erase(sid);
+    }
+  }
+  return servers_[home]->submit(std::move(request));
+}
+
+std::optional<svc::ErrorCode> ShardRouter::adopt_on(
+    std::size_t k, std::uint64_t session_id,
+    const std::vector<std::uint8_t>& payload) {
+  svc::Frame frame;
+  frame.type = svc::FrameType::kMigrate;
+  frame.session_id = session_id;
+  frame.payload = payload;
+  const std::vector<std::uint8_t> reply_bytes =
+      servers_[k]->submit(svc::encode_frame(frame)).get();
+  const svc::DecodeResult reply = svc::decode_frame(reply_bytes);
+  if (!reply.frame.has_value()) return svc::ErrorCode::kMalformed;
+  if (reply.frame->type == svc::FrameType::kReply) return std::nullopt;
+  const std::optional<svc::ErrorCode> code = svc::error_code(*reply.frame);
+  return code.has_value() ? *code : svc::ErrorCode::kMalformed;
+}
+
+void ShardRouter::drain_buffer(std::uint64_t session_id, std::size_t home) {
+  for (;;) {
+    std::vector<BufferedFrame> batch;
+    {
+      std::lock_guard<std::mutex> lock(route_mu_);
+      const auto it = buffers_.find(session_id);
+      if (it == buffers_.end() || it->second.empty()) {
+        buffers_.erase(session_id);
+        migrating_.erase(session_id);
+        return;
+      }
+      batch.swap(it->second);
+    }
+    for (BufferedFrame& bf : batch) {
+      bf.promise->set_value(
+          servers_[home]->submit(std::move(bf.request)).get());
+    }
+  }
+}
+
+bool ShardRouter::migrate(std::uint64_t session_id, std::size_t to) {
+  if (to >= servers_.size()) return false;
+  std::size_t from;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    if (!alive_[to]) return false;
+    if (migrating_.count(session_id) != 0) return false;
+    from = home_of_locked(session_id);
+    if (!alive_[from]) return false;
+    if (from == to) return true;
+    migrating_.insert(session_id);
+  }
+
+  // No router lock is held through extract/transfer/adopt: the strand
+  // drain inside extract_session can wait on worker threads, and other
+  // sessions must keep routing meanwhile.
+  const std::optional<std::vector<std::uint8_t>> payload =
+      servers_[from]->extract_session(session_id);
+  if (!payload.has_value()) {
+    drain_buffer(session_id, from);
+    return false;
+  }
+  if (cfg_.on_migration_extracted) {
+    cfg_.on_migration_extracted(session_id, from, to);
+  }
+
+  std::size_t final_home = from;
+  if (!adopt_on(to, session_id, *payload).has_value()) {
+    final_home = to;
+    std::lock_guard<std::mutex> lock(route_mu_);
+    overrides_[session_id] = to;
+  } else {
+    // Rollback: the target refused (hostile payload can't happen here,
+    // but kSessionExists can); re-adopt on the source so the session is
+    // never lost. The source just extracted it, so this cannot refuse.
+    adopt_on(from, session_id, *payload);
+    if (migration_failures_ != nullptr) migration_failures_->inc();
+  }
+  if (final_home == to && migrations_ != nullptr) migrations_->inc();
+  drain_buffer(session_id, final_home);
+  return final_home == to;
+}
+
+std::size_t ShardRouter::rebalance() {
+  // Hot/cold detection reads the per-shard svc.* gauges (what a remote
+  // control plane would scrape), not private server state.
+  std::vector<std::size_t> candidates;
+  double total = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    for (std::size_t k = 0; k < servers_.size(); ++k) {
+      if (alive_[k]) candidates.push_back(k);
+    }
+  }
+  if (candidates.size() < 2) return 0;
+
+  std::size_t hot = candidates.front(), cold = candidates.front();
+  double hot_n = -1.0, hot_q = -1.0, cold_n = -1.0;
+  for (const std::size_t k : candidates) {
+    const double n = registries_[k]->gauge("svc.live_sessions").value();
+    const double q = registries_[k]->gauge("svc.queue_depth").value();
+    total += n;
+    if (n > hot_n || (n == hot_n && q > hot_q)) {
+      hot = k;
+      hot_n = n;
+      hot_q = q;
+    }
+    if (cold_n < 0.0 || n < cold_n) {
+      cold = k;
+      cold_n = n;
+    }
+  }
+  const double mean = total / static_cast<double>(candidates.size());
+  const double gap = hot_n - cold_n;
+  const bool slo_breached =
+      cfg_.server.slo != nullptr && cfg_.server.slo->breached();
+  const bool hot_by_count = hot_n > cfg_.rebalance.hot_factor * mean &&
+                            gap >= static_cast<double>(cfg_.rebalance.min_gap);
+  // An SLO breach escalates: act on any imbalance at all, the fleet is
+  // already burning error budget.
+  if (!hot_by_count && !(slo_breached && gap >= 1.0)) return 0;
+
+  std::size_t moves = static_cast<std::size_t>(gap / 2.0);
+  moves = std::clamp<std::size_t>(moves, 1, cfg_.rebalance.max_moves);
+  // Deterministic victim choice: the hot shard's lowest session ids.
+  const svc::ServerStatus st = servers_[hot]->status();
+  std::size_t moved = 0;
+  for (const svc::SessionStatus& ss : st.sessions) {
+    if (moved >= moves) break;
+    if (migrate(ss.id, cold)) ++moved;
+  }
+  if (moved > 0 && rebalances_ != nullptr) rebalances_->inc();
+  return moved;
+}
+
+void ShardRouter::checkpoint_all() {
+  for (std::size_t k = 0; k < servers_.size(); ++k) {
+    bool take;
+    {
+      std::lock_guard<std::mutex> lock(route_mu_);
+      take = alive_[k];
+    }
+    if (take) checkpoints_[k] = servers_[k]->snapshot();
+  }
+}
+
+void ShardRouter::crash_shard(std::size_t k) {
+  if (k >= servers_.size()) return;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    if (!alive_[k]) return;
+    if (ring_.shard_count() <= 1) return;  // last shard standing stays up
+    alive_[k] = false;
+    ring_.remove_shard(k);
+    // Sessions homed on k now route through the (k-less) ring: their
+    // next frame gets kUnknownSession and the client re-hellos onto a
+    // survivor -- unless recover_shard() resurrects them first.
+    for (auto it = overrides_.begin(); it != overrides_.end();) {
+      it = it->second == k ? overrides_.erase(it) : std::next(it);
+    }
+  }
+  servers_[k]->crash();
+  if (crashes_ != nullptr) crashes_->inc();
+}
+
+std::size_t ShardRouter::recover_shard(std::size_t k) {
+  if (k >= servers_.size()) return 0;
+  const auto records = split_snapshot_sessions(checkpoints_[k]);
+  std::size_t recovered = 0;
+  for (const auto& [sid, payload] : records) {
+    std::size_t target;
+    {
+      std::lock_guard<std::mutex> lock(route_mu_);
+      if (ring_.shard_count() == 0) break;
+      target = home_of_locked(sid);
+      if (!alive_[target]) continue;
+    }
+    // kSessionExists means the client already re-helloed onto the target
+    // (its live state is newer than the checkpoint): keep the live one.
+    if (!adopt_on(target, sid, payload).has_value()) {
+      std::lock_guard<std::mutex> lock(route_mu_);
+      overrides_[sid] = target;
+      ++recovered;
+    }
+  }
+  if (recovered_sessions_ != nullptr && recovered > 0) {
+    recovered_sessions_->inc(recovered);
+  }
+  return recovered;
+}
+
+void ShardRouter::revive_shard(std::size_t k) {
+  if (k >= servers_.size()) return;
+  std::lock_guard<std::mutex> lock(route_mu_);
+  if (alive_[k]) return;
+  alive_[k] = true;
+  ring_.add_shard(k);
+}
+
+}  // namespace uniloc::shard

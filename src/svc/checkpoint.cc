@@ -23,6 +23,15 @@ bool check_snapshot_header(offload::ByteReader& r) {
   return true;
 }
 
+bool read_session_record_header(offload::ByteReader& r,
+                                SessionRecordHeader& out) {
+  if (!r.get_u64(out.id) || !r.get_u64(out.last_active_us) ||
+      !r.get_u64(out.epochs_served) || !r.get_u32(out.payload_len)) {
+    return false;
+  }
+  return out.payload_len <= r.remaining();
+}
+
 std::string checkpoint_path(const std::string& dir) {
   return dir + "/checkpoint.bin";
 }

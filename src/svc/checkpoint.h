@@ -45,6 +45,24 @@ void write_snapshot_header(offload::ByteWriter& w);
 /// Consume and validate the header; false on bad magic or version.
 bool check_snapshot_header(offload::ByteReader& r);
 
+/// The fixed-size prefix of one per-session record. Shared by the full
+/// server snapshot, the kMigrate wire payload (exactly one record after
+/// the snapshot header), and the shard-recovery splitter that re-homes a
+/// dead shard's checkpoint session by session.
+struct SessionRecordHeader {
+  std::uint64_t id{0};
+  std::uint64_t last_active_us{0};
+  std::uint64_t epochs_served{0};
+  std::uint32_t payload_len{0};
+};
+
+/// Consume one record header and validate `payload_len` against the
+/// remaining buffer; on success the reader is positioned at the first
+/// byte of the core::Uniloc payload. False on truncation or an
+/// impossible length -- the reader position is then unspecified.
+bool read_session_record_header(offload::ByteReader& r,
+                                SessionRecordHeader& out);
+
 /// Atomically replace `dir`/checkpoint.bin with `bytes`: written to a
 /// temp file in the same directory, fsync'd, then renamed over the
 /// target, so a crash mid-write leaves the previous checkpoint intact.

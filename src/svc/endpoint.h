@@ -1,0 +1,29 @@
+// Endpoint: anything that accepts one encoded ULOC frame and promises one
+// encoded reply frame.
+//
+// LocalizationServer has always had this shape (submit(bytes) ->
+// future<bytes>); the shard layer introduces a second implementation,
+// ShardRouter, which fans the same byte-level contract out across N
+// servers. Everything client-side -- DirectLink, run_load, the CLI, the
+// benches -- talks to an Endpoint, so a fleet is a drop-in replacement
+// for a single server and the differential harness can compare the two
+// bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <vector>
+
+namespace uniloc::svc {
+
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// Accept one encoded request frame; the future resolves to exactly one
+  /// encoded reply frame (kReply or kError -- never nothing).
+  virtual std::future<std::vector<std::uint8_t>> submit(
+      std::vector<std::uint8_t> request) = 0;
+};
+
+}  // namespace uniloc::svc

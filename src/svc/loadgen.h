@@ -50,9 +50,10 @@ namespace uniloc::svc {
 
 /// Builds the transport for one phone. Default: perfect DirectLink.
 /// Chaos runs return a fault::FaultyLink here (typically wrapping a
-/// DirectLink built over `server`).
+/// DirectLink built over `server` -- a single LocalizationServer or a
+/// shard::ShardRouter, both svc::Endpoint).
 using LinkFactory = std::function<std::unique_ptr<Link>(
-    LocalizationServer& server, std::uint64_t session_id)>;
+    Endpoint& server, std::uint64_t session_id)>;
 
 /// Client-side degradation policy knobs (see the state machine above).
 struct ResilienceConfig {
@@ -165,7 +166,7 @@ struct LoadReport {
 /// offload byte counters and the degradation transitions in the
 /// `fault.{retries,timeouts}` / `svc.degraded.*` instruments.
 /// Single-threaded on the caller's side.
-LoadReport run_load(LocalizationServer& server, const core::Deployment& d,
+LoadReport run_load(Endpoint& server, const core::Deployment& d,
                     const LoadGenConfig& cfg,
                     obs::MetricsRegistry* registry = nullptr);
 

@@ -119,6 +119,9 @@ std::future<std::vector<std::uint8_t>> LocalizationServer::submit(
     case FrameType::kStatus:
       handle_status(frame, promise);
       break;
+    case FrameType::kMigrate:
+      handle_migrate(frame, promise);
+      break;
     case FrameType::kReply:
     case FrameType::kError:
       // Server-to-client types arriving at the server are client bugs.
@@ -460,18 +463,21 @@ std::vector<std::uint8_t> LocalizationServer::snapshot() {
   const std::vector<SessionPtr> sessions = sessions_.all();
   w.put_u32(static_cast<std::uint32_t>(sessions.size()));
   for (const SessionPtr& s : sessions) {
-    // Quiesce: wait until the session's strand has drained. idle() takes
-    // the session mutex, which also makes the worker's writes to the
-    // Uniloc state visible to this thread.
-    while (!s->idle()) std::this_thread::yield();
-    w.put_u64(s->id());
-    w.put_u64(s->last_active_us());
-    w.put_u64(static_cast<std::uint64_t>(s->epochs_served()));
-    const std::size_t len_pos = w.size();
-    w.put_u32(0);
-    const std::size_t start = w.size();
-    s->uniloc().snapshot_into(w);
-    w.patch_u32(len_pos, static_cast<std::uint32_t>(w.size() - start));
+    // Serialize while *holding* the strand, not after a transient idle()
+    // check: with live traffic a worker could start the next epoch
+    // between the check and the read. run_exclusive claims the strand
+    // like a drain would, so the session's state is frozen at an epoch
+    // boundary for exactly the duration of its record.
+    s->run_exclusive([&] {
+      w.put_u64(s->id());
+      w.put_u64(s->last_active_us());
+      w.put_u64(static_cast<std::uint64_t>(s->epochs_served()));
+      const std::size_t len_pos = w.size();
+      w.put_u32(0);
+      const std::size_t start = w.size();
+      s->uniloc().snapshot_into(w);
+      w.patch_u32(len_pos, static_cast<std::uint32_t>(w.size() - start));
+    });
   }
   return w.take();
 }
@@ -492,10 +498,8 @@ bool LocalizationServer::restore(const std::vector<std::uint8_t>& snapshot) {
   sessions_.clear();
   bool ok = true;
   for (std::uint32_t i = 0; i < count && ok; ++i) {
-    std::uint64_t id, last_active_us, epochs_served;
-    std::uint32_t len;
-    if (!r.get_u64(id) || !r.get_u64(last_active_us) ||
-        !r.get_u64(epochs_served) || !r.get_u32(len) || len > r.remaining()) {
+    SessionRecordHeader rec;
+    if (!read_session_record_header(r, rec)) {
       ok = false;
       break;
     }
@@ -503,20 +507,20 @@ bool LocalizationServer::restore(const std::vector<std::uint8_t>& snapshot) {
     // path); restore_from then overwrites every field reset() would have
     // initialized, so no reset() call is needed -- or wanted, since it
     // would consume RNG draws the original session never made.
-    std::unique_ptr<core::Uniloc> uniloc = factory_(id);
+    std::unique_ptr<core::Uniloc> uniloc = factory_(rec.id);
     uniloc->attach_tracer(cfg_.tracer);
     const std::size_t before = r.pos();
-    if (!uniloc->restore_from(r) || r.pos() - before != len) {
+    if (!uniloc->restore_from(r) || r.pos() - before != rec.payload_len) {
       ok = false;
       break;
     }
-    const SessionPtr session = sessions_.create(id, std::move(uniloc), 0);
+    const SessionPtr session = sessions_.create(rec.id, std::move(uniloc), 0);
     if (session == nullptr) {  // duplicate id in a corrupt snapshot
       ok = false;
       break;
     }
-    session->restore_bookkeeping(last_active_us,
-                                 static_cast<std::size_t>(epochs_served));
+    session->restore_bookkeeping(
+        rec.last_active_us, static_cast<std::size_t>(rec.epochs_served));
   }
   if (ok && r.remaining() != 0) ok = false;
   if (!ok) {
@@ -539,6 +543,97 @@ bool LocalizationServer::restore(const std::vector<std::uint8_t>& snapshot) {
   }
   note_live_sessions();
   return true;
+}
+
+std::optional<std::vector<std::uint8_t>> LocalizationServer::extract_session(
+    std::uint64_t id) {
+  const SessionPtr session = sessions_.find(id);
+  if (session == nullptr) return std::nullopt;
+  // Pin first, then quiesce: between the drain finishing and the erase
+  // below, a TTL scan must not evict the session out from under the
+  // serialization (the eviction-vs-migration race the shard tests pin).
+  session->set_pinned(true);
+  while (!session->idle()) std::this_thread::yield();
+
+  offload::ByteWriter w;
+  write_snapshot_header(w);
+  w.put_u64(session->id());
+  w.put_u64(session->last_active_us());
+  w.put_u64(static_cast<std::uint64_t>(session->epochs_served()));
+  const std::size_t len_pos = w.size();
+  w.put_u32(0);
+  const std::size_t start = w.size();
+  session->uniloc().snapshot_into(w);
+  w.patch_u32(len_pos, static_cast<std::uint32_t>(w.size() - start));
+
+  sessions_.erase(id);
+  note_live_sessions();
+  std::vector<std::uint8_t> payload = w.take();
+  if (cfg_.flight != nullptr) {
+    obs::FlightEvent ev;
+    ev.session_id = id;
+    ev.epoch = session->epochs_served();
+    ev.kind = obs::FlightKind::kMigrateOut;
+    ev.a = static_cast<std::int64_t>(payload.size());
+    cfg_.flight->record(ev);
+  }
+  return payload;
+}
+
+std::optional<ErrorCode> LocalizationServer::adopt_session(
+    const std::vector<std::uint8_t>& payload, std::uint64_t expected_id) {
+  offload::ByteReader r(payload.data(), payload.size());
+  if (!check_snapshot_header(r)) return ErrorCode::kMalformed;
+  SessionRecordHeader rec;
+  if (!read_session_record_header(r, rec)) return ErrorCode::kMalformed;
+  // The record's embedded id must match the frame's routing id: a payload
+  // smuggling a different session under a routed id is hostile input.
+  if (rec.id != expected_id) return ErrorCode::kMalformed;
+
+  // Same rebuild discipline as restore(): factory + restore_from, no
+  // reset() (it would consume RNG draws the original session never made).
+  std::unique_ptr<core::Uniloc> uniloc = factory_(rec.id);
+  uniloc->attach_tracer(cfg_.tracer);
+  const std::size_t before = r.pos();
+  if (!uniloc->restore_from(r) || r.pos() - before != rec.payload_len ||
+      r.remaining() != 0) {
+    return ErrorCode::kMalformed;
+  }
+  const SessionPtr session = sessions_.create(rec.id, std::move(uniloc), 0);
+  if (session == nullptr) return ErrorCode::kSessionExists;
+  session->restore_bookkeeping(rec.last_active_us,
+                               static_cast<std::size_t>(rec.epochs_served));
+  note_live_sessions();
+  if (cfg_.flight != nullptr) {
+    obs::FlightEvent ev;
+    ev.session_id = rec.id;
+    ev.epoch = rec.epochs_served;
+    ev.kind = obs::FlightKind::kMigrateIn;
+    ev.a = static_cast<std::int64_t>(payload.size());
+    cfg_.flight->record(ev);
+  }
+  return std::nullopt;
+}
+
+void LocalizationServer::handle_migrate(const Frame& frame,
+                                        const Promise& promise) {
+  const std::optional<ErrorCode> err =
+      adopt_session(frame.payload, frame.session_id);
+  if (err.has_value()) {
+    if (*err == ErrorCode::kMalformed) {
+      count_malformed();
+    } else if (ins_.rejected != nullptr) {
+      ins_.rejected->inc();
+    }
+    promise->set_value(
+        encode_frame(make_error_frame(frame.session_id, *err)));
+    return;
+  }
+  count_accepted();
+  Frame reply;
+  reply.type = FrameType::kReply;
+  reply.session_id = frame.session_id;
+  promise->set_value(encode_frame(reply));
 }
 
 void LocalizationServer::crash() {

@@ -32,11 +32,13 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "core/uniloc.h"
 #include "obs/span.h"
 #include "obs/timer.h"
+#include "svc/endpoint.h"
 #include "svc/session_manager.h"
 #include "svc/statusz.h"
 #include "svc/thread_pool.h"
@@ -113,11 +115,11 @@ struct ServerConfig {
   obs::SloMonitor* slo{nullptr};
 };
 
-class LocalizationServer {
+class LocalizationServer : public Endpoint {
  public:
   LocalizationServer(ServerConfig cfg, UnilocFactory factory,
                      obs::MetricsRegistry* registry = nullptr);
-  ~LocalizationServer();
+  ~LocalizationServer() override;
 
   LocalizationServer(const LocalizationServer&) = delete;
   LocalizationServer& operator=(const LocalizationServer&) = delete;
@@ -125,7 +127,7 @@ class LocalizationServer {
   /// Process one encoded frame. The future always yields an encoded reply
   /// frame (kReply or kError) -- errors travel in-band, like on a socket.
   std::future<std::vector<std::uint8_t>> submit(
-      std::vector<std::uint8_t> request);
+      std::vector<std::uint8_t> request) override;
 
   /// TTL-scan now. Returns sessions evicted.
   std::size_t evict_idle();
@@ -143,6 +145,22 @@ class LocalizationServer {
   /// with ALL sessions dropped -- on a malformed, truncated, corrupted or
   /// version-mismatched snapshot; never crashes on hostile input.
   bool restore(const std::vector<std::uint8_t>& snapshot);
+
+  /// Remove one session for migration: pin it against TTL eviction, wait
+  /// for its strand to drain (quiesce), serialize it as a standalone
+  /// kMigrate payload (snapshot header + one session record), then erase
+  /// it from this server. Subsequent frames for the id get
+  /// kUnknownSession. nullopt when the id is not live here.
+  std::optional<std::vector<std::uint8_t>> extract_session(std::uint64_t id);
+
+  /// Install a session from a kMigrate payload produced by
+  /// extract_session (or by the shard-recovery checkpoint splitter). The
+  /// record's session id must equal `expected_id` (the frame's routing
+  /// id). Returns nullopt on success, else the error to reply with:
+  /// kMalformed for any framing/codec violation, kSessionExists when the
+  /// id is already live here. On failure no session state changes.
+  std::optional<ErrorCode> adopt_session(
+      const std::vector<std::uint8_t>& payload, std::uint64_t expected_id);
 
   /// Simulate a process crash: all in-RAM session state is lost (the
   /// object survives so callers holding references keep working, as a
@@ -196,6 +214,7 @@ class LocalizationServer {
   void handle_epoch(Frame frame, const Promise& promise);
   void handle_bye(const Frame& frame, const Promise& promise);
   void handle_status(const Frame& frame, const Promise& promise);
+  void handle_migrate(const Frame& frame, const Promise& promise);
   /// Runs on a worker (or inline): parse payload, run the epoch, reply.
   /// `accepted_at` was started when submit() accepted the frame, so
   /// svc.request_us includes the queue wait. `root`/`queue_wait` are the

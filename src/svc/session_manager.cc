@@ -1,6 +1,7 @@
 #include "svc/session_manager.h"
 
 #include <algorithm>
+#include <thread>
 
 namespace uniloc::svc {
 
@@ -35,9 +36,40 @@ void Session::drain() {
   }
 }
 
+void Session::run_exclusive(const Task& fn) {
+  // Claim the strand exactly as the kStartDrain handshake would: once
+  // draining_ flips to true here, enqueue() returns kQueued and no
+  // worker schedules a drain until we hand the strand back below.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!draining_) {
+        draining_ = true;
+        break;
+      }
+    }
+    std::this_thread::yield();
+  }
+  fn();
+  // Hand the strand back through the normal drain loop: tasks that
+  // queued behind the critical section run now, in arrival order, as if
+  // a worker had picked up the drain.
+  drain();
+}
+
 bool Session::idle() const {
   std::lock_guard<std::mutex> lock(mu_);
   return inbox_.empty() && !draining_;
+}
+
+void Session::set_pinned(bool pinned) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pinned_ = pinned;
+}
+
+bool Session::pinned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pinned_;
 }
 
 void Session::touch(std::uint64_t now_us) {
@@ -122,7 +154,7 @@ std::size_t SessionManager::evict_idle(std::uint64_t now_us,
   for (std::unique_ptr<Stripe>& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe->mu);
     std::erase_if(stripe->sessions, [&](const SessionPtr& s) {
-      const bool evict = s->idle() &&
+      const bool evict = s->idle() && !s->pinned() &&
                          now_us >= s->last_active_us() &&
                          now_us - s->last_active_us() >= idle_ttl_us;
       if (evict) ++evicted;

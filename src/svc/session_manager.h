@@ -68,8 +68,25 @@ class Session {
   /// worker at a time (guaranteed by the kStartDrain handshake).
   void drain();
 
+  /// Claim the strand for a non-task critical section (the checkpoint
+  /// serializer). Blocks until the running drain (if any) goes idle, then
+  /// holds the strand so no worker can start another one: `fn` gets the
+  /// same single-writer view of the Uniloc state an epoch task has, even
+  /// with live traffic on other threads. Frames that arrive meanwhile
+  /// queue behind the critical section and are drained -- in arrival
+  /// order, on this thread -- before run_exclusive returns.
+  void run_exclusive(const Task& fn);
+
   /// True when no task is queued or running (eviction safety check).
   bool idle() const;
+
+  /// Pin the session against TTL eviction. Set while a migration drains
+  /// the strand and serializes the state: the session must not vanish
+  /// between "chosen to move" and "erased from the source shard", even
+  /// if a TTL scan fires in that window. Cleared implicitly when the
+  /// migration erases the session (pin state travels with the object).
+  void set_pinned(bool pinned);
+  bool pinned() const;
 
   /// Refresh the last-active stamp without enqueuing work.
   void touch(std::uint64_t now_us);
@@ -94,6 +111,7 @@ class Session {
   mutable std::mutex mu_;
   std::deque<Task> inbox_;
   bool draining_{false};
+  bool pinned_{false};
   std::uint64_t last_active_us_{0};
   std::size_t epochs_served_{0};
 };

@@ -27,6 +27,7 @@ bool known_type(std::uint8_t t) {
     case FrameType::kEpoch:
     case FrameType::kBye:
     case FrameType::kStatus:
+    case FrameType::kMigrate:
     case FrameType::kReply:
     case FrameType::kError:
       return true;

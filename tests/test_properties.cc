@@ -14,6 +14,7 @@
 #include "filter/particle_filter.h"
 #include "obs/metrics.h"
 #include "schemes/fingerprint_db.h"
+#include "shard/hash_ring.h"
 #include "stats/descriptive.h"
 #include "stats/gaussian.h"
 #include "svc/loadgen.h"
@@ -362,7 +363,7 @@ TEST_P(ChaosProperty, InvariantsHoldUnderAnyFaultSeed) {
   svc::LoadGenConfig lg;
   lg.walkers = 2;
   lg.max_epochs_per_walker = 15;
-  lg.make_link = [&](svc::LocalizationServer& s, std::uint64_t sid) {
+  lg.make_link = [&](svc::Endpoint& s, std::uint64_t sid) {
     return std::make_unique<MonotonicUplinkLink>(
         std::make_unique<fault::FaultyLink>(
             std::make_unique<svc::DirectLink>(&s), &plan, sid, &reg),
@@ -392,6 +393,115 @@ TEST_P(ChaosProperty, InvariantsHoldUnderAnyFaultSeed) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosProperty,
                          ::testing::Values(11, 22, 33, 44, 55));
+
+// --------------------------------------------- consistent-hashing ring
+
+class RingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RingProperty, SameSeedSameAssignment) {
+  // Placement must be a pure function of (seed, membership): two rings
+  // built independently agree on every key -- the property that lets a
+  // restarted router route a fleet's existing sessions correctly.
+  const std::uint64_t seed = GetParam();
+  shard::HashRing a(seed, 64), b(seed, 64);
+  for (std::size_t k = 0; k < 4; ++k) {
+    a.add_shard(k);
+    b.add_shard(k);
+  }
+  for (std::uint64_t key = 1; key <= 2000; ++key) {
+    ASSERT_EQ(a.owner_of(key), b.owner_of(key)) << "key " << key;
+  }
+  // And a different seed gives a genuinely different layout.
+  shard::HashRing c(seed + 1, 64);
+  for (std::size_t k = 0; k < 4; ++k) c.add_shard(k);
+  std::size_t differs = 0;
+  for (std::uint64_t key = 1; key <= 2000; ++key) {
+    differs += a.owner_of(key) != c.owner_of(key);
+  }
+  EXPECT_GT(differs, 0u);
+}
+
+TEST_P(RingProperty, RemovingAShardOnlyRemapsItsOwnKeys) {
+  // The consistent-hashing contract: keys on surviving shards must not
+  // move when a shard dies -- only the dead shard's ~K/N keys re-home.
+  const std::uint64_t seed = GetParam();
+  const std::size_t kShards = 4;
+  const std::uint64_t kKeys = 4000;
+  shard::HashRing ring(seed, 64);
+  for (std::size_t k = 0; k < kShards; ++k) ring.add_shard(k);
+
+  std::vector<std::size_t> before(kKeys);
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    before[key] = ring.owner_of(key + 1);
+  }
+  const std::size_t removed = 2;
+  ring.remove_shard(removed);
+  std::size_t moved = 0;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const std::size_t now = ring.owner_of(key + 1);
+    if (before[key] != removed) {
+      ASSERT_EQ(now, before[key]) << "survivor key " << key + 1 << " moved";
+    } else {
+      ASSERT_NE(now, removed);
+      ++moved;
+    }
+  }
+  // ~K/N of the keys belonged to the removed shard; with 64 vnodes the
+  // share is within a loose 2x band of ideal, never a global reshuffle.
+  EXPECT_GT(moved, kKeys / (kShards * 2));
+  EXPECT_LT(moved, kKeys / 2);
+}
+
+TEST_P(RingProperty, AddingAShardStealsOnlyForItself) {
+  const std::uint64_t seed = GetParam();
+  const std::uint64_t kKeys = 4000;
+  shard::HashRing ring(seed, 64);
+  for (std::size_t k = 0; k < 4; ++k) ring.add_shard(k);
+
+  std::vector<std::size_t> before(kKeys);
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    before[key] = ring.owner_of(key + 1);
+  }
+  ring.add_shard(4);
+  std::size_t moved = 0;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const std::size_t now = ring.owner_of(key + 1);
+    if (now != before[key]) {
+      // Every move lands on the newcomer; no shuffling among incumbents.
+      ASSERT_EQ(now, 4u) << "key " << key + 1 << " moved between incumbents";
+      ++moved;
+    }
+  }
+  // The newcomer takes ~1/5 of the keys, within a loose band.
+  EXPECT_GT(moved, kKeys / 10);
+  EXPECT_LT(moved, kKeys / 2);
+  // Remove it again: exactly the stolen keys return to their old homes.
+  ring.remove_shard(4);
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    ASSERT_EQ(ring.owner_of(key + 1), before[key]);
+  }
+}
+
+TEST_P(RingProperty, VnodesKeepLoadRoughlyBalanced) {
+  const std::uint64_t seed = GetParam();
+  const std::size_t kShards = 4;
+  const std::uint64_t kKeys = 8000;
+  shard::HashRing ring(seed, 64);
+  for (std::size_t k = 0; k < kShards; ++k) ring.add_shard(k);
+  std::vector<std::size_t> counts(kShards, 0);
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    ++counts[ring.owner_of(key + 1)];
+  }
+  const double mean = static_cast<double>(kKeys) / kShards;
+  for (std::size_t k = 0; k < kShards; ++k) {
+    EXPECT_GT(counts[k], mean * 0.5) << "shard " << k << " starved";
+    EXPECT_LT(counts[k], mean * 1.7) << "shard " << k << " overloaded";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808));
 
 // ------------------------------------------------------------- quantiles
 
