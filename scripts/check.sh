@@ -14,6 +14,14 @@ cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS:-}
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+# Property-test quick gate: rerun the generative chaos sweeps at a fixed
+# 64 cases per engine so the gate's depth does not silently drift with
+# the in-tree defaults. Replays tests/corpus/reproducers.jsonl first; on
+# a violation the engine prints a greppable `UNILOC_REPRO seed=...` line
+# and the shrunk minimal spec.
+UNILOC_PROPTEST_CASES=64 \
+  ctest --test-dir "$BUILD_DIR" -L '^proptest$' --output-on-failure -j "$JOBS"
+
 # Tier-2 gate A: the src/svc concurrency suite must be clean under
 # ThreadSanitizer (worker pool, session strands, server instrumentation).
 # Only test_svc is built in the sanitized tree -- the `svc` ctest label
@@ -38,6 +46,13 @@ if [[ "${TSAN:-1}" != "0" ]]; then
   # workers=4, so TSan checks that per-session epoch scratch (including
   # the shared scan memos) really is confined to its session strand.
   ctest --test-dir "$TSAN_DIR" -R '^diff\.' --output-on-failure -j "$JOBS"
+  # Property-test concurrency gate: the generated-world sweep spawns
+  # workers>0 and fleet passes for a quarter of its cases -- TSan watches
+  # the same pools/strands the svc gate covers, but under generated fault
+  # schedules and membership churn instead of hand-picked ones.
+  cmake --build "$TSAN_DIR" -j "$JOBS" --target test_proptest
+  UNILOC_PROPTEST_CASES=32 ctest --test-dir "$TSAN_DIR" \
+    -R '^proptest\.ChaosSweep' --output-on-failure -j "$JOBS"
 fi
 
 # Tier-2 gate B: the fault-injection path (svc + chaos labels: the
@@ -77,4 +92,14 @@ if [[ "${ASAN:-1}" != "0" ]]; then
   # close its span tree. They ran under ASan in the `chaos` label above;
   # rerun them by name so a leak fails loudly and greppably here.
   ctest --test-dir "$ASAN_DIR" -R '\.trace_' --output-on-failure -j "$JOBS"
+  # Property-test deep gate: 512 generated cases per engine under
+  # ASan+UBSan. The generator reaches configurations no hand-written
+  # suite pins (burst arrival x blackout x crash/restore x churn), and
+  # the oracle's differential passes replay every frame through the
+  # FaultyLink retry path -- the densest traffic the codec and reply
+  # buffers ever see. A failure shrinks, prints UNILOC_REPRO, and
+  # appends the minimal spec to tests/corpus/reproducers.jsonl.
+  cmake --build "$ASAN_DIR" -j "$JOBS" --target test_proptest
+  UNILOC_PROPTEST_CASES=512 ctest --test-dir "$ASAN_DIR" \
+    -L '^proptest$' --output-on-failure -j "$JOBS"
 fi

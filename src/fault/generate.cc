@@ -1,0 +1,64 @@
+#include "fault/generate.h"
+
+#include <algorithm>
+
+#include "stats/rng.h"
+
+namespace uniloc::fault {
+
+PlanSpec generate_plan_spec(std::uint64_t seed, const PlanLimits& limits) {
+  stats::Rng rng(stats::hash_combine(seed, 0xFA17'F417ULL));
+  PlanSpec spec;
+  spec.seed = stats::hash_combine(seed, 1);
+
+  // Background chaos intensities. Roughly half the runs get a quiet wire
+  // for one fault class so the clean paths stay covered too.
+  spec.rates.drop = rng.chance(0.8) ? rng.uniform(0.0, limits.max_drop) : 0.0;
+  spec.rates.duplicate =
+      rng.chance(0.5) ? rng.uniform(0.0, limits.max_duplicate) : 0.0;
+  spec.rates.reorder =
+      rng.chance(0.5) ? rng.uniform(0.0, limits.max_reorder) : 0.0;
+  spec.rates.corrupt =
+      rng.chance(0.5) ? rng.uniform(0.0, limits.max_corrupt) : 0.0;
+  if (rng.chance(0.6)) {
+    spec.rates.base_delay_us = static_cast<std::uint64_t>(
+        rng.uniform(0.0, static_cast<double>(limits.max_base_delay_us)));
+    spec.rates.jitter_delay_us = static_cast<std::uint64_t>(
+        rng.uniform(0.0, static_cast<double>(limits.max_jitter_delay_us)));
+  }
+
+  // A blackout window somewhere inside the run. Send indices run ahead
+  // of rounds (retries consume them), so anchoring the window on the
+  // round count keeps it inside the interesting part of the run.
+  if (limits.rounds > 2 && rng.chance(limits.p_blackout)) {
+    const std::size_t from = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<int>(limits.rounds - 2)));
+    const std::size_t len = static_cast<std::size_t>(rng.uniform_int(
+        1, static_cast<int>(std::max<std::size_t>(1, limits.max_blackout_len))));
+    spec.blackouts.emplace_back(from, from + len);
+  }
+
+  // Crash/restore points between rounds, strictly increasing.
+  if (limits.rounds > 2 && limits.max_crashes > 0 &&
+      rng.chance(limits.p_crash)) {
+    const int n = rng.uniform_int(1, static_cast<int>(limits.max_crashes));
+    for (int i = 0; i < n; ++i) {
+      spec.crash_rounds.push_back(static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<int>(limits.rounds - 2))));
+    }
+    std::sort(spec.crash_rounds.begin(), spec.crash_rounds.end());
+    spec.crash_rounds.erase(
+        std::unique(spec.crash_rounds.begin(), spec.crash_rounds.end()),
+        spec.crash_rounds.end());
+  }
+  return spec;
+}
+
+FaultPlan build_plan(const PlanSpec& spec) {
+  FaultPlan plan(spec.seed, spec.rates);
+  for (const auto& [from, to] : spec.blackouts) plan.add_blackout(from, to);
+  for (const std::size_t round : spec.crash_rounds) plan.script_crash(round);
+  return plan;
+}
+
+}  // namespace uniloc::fault

@@ -1,0 +1,61 @@
+// Seeded fault-schedule generation: the property-test engine's seam into
+// src/fault.
+//
+// A FaultPlan is deliberately opaque once built (decisions are hashed
+// per send), so the generator works on an explicit PlanSpec first: the
+// spec is what a reproducer serializes, what a shrinker minimizes field
+// by field, and what build_plan() turns back into a live plan. The
+// split keeps the contract of plan.h intact -- a generated plan is
+// still a pure function of its spec, bit for bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "fault/plan.h"
+
+namespace uniloc::fault {
+
+/// Everything a generated schedule may contain. One line of JSON in a
+/// reproducer; every field independently shrinkable.
+struct PlanSpec {
+  /// Seed of the plan's random per-send layer (FaultPlan's own seed).
+  std::uint64_t seed{0};
+  FaultRates rates;
+  /// Blackout windows over send indices [from, to).
+  std::vector<std::pair<std::size_t, std::size_t>> blackouts;
+  /// Rounds after which the server process dies and restores from its
+  /// latest checkpoint (consumed by fault::CrashInjector).
+  std::vector<std::size_t> crash_rounds;
+
+  bool operator==(const PlanSpec&) const = default;
+};
+
+/// Bounds for generate_plan_spec. Probabilities are per feature, rates
+/// are upper bounds for the uniform draws.
+struct PlanLimits {
+  double max_drop{0.20};
+  double max_duplicate{0.06};
+  double max_reorder{0.06};
+  double max_corrupt{0.08};
+  std::uint64_t max_base_delay_us{30'000};
+  std::uint64_t max_jitter_delay_us{20'000};
+  /// Length of the run in load-generator rounds; blackouts and crash
+  /// rounds are placed inside it.
+  std::size_t rounds{16};
+  double p_blackout{0.35};
+  std::size_t max_blackout_len{5};
+  double p_crash{0.35};
+  std::size_t max_crashes{2};
+};
+
+/// Expand `seed` into a schedule spec within `limits`. Pure: the same
+/// (seed, limits) yield the same spec, independent of call order.
+PlanSpec generate_plan_spec(std::uint64_t seed, const PlanLimits& limits);
+
+/// Materialize a spec into a runnable plan.
+FaultPlan build_plan(const PlanSpec& spec);
+
+}  // namespace uniloc::fault

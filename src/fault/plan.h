@@ -58,6 +58,8 @@ struct FaultRates {
   std::uint64_t base_delay_us{0};
   /// Uniform extra latency in [0, jitter_delay_us) on top of the base.
   std::uint64_t jitter_delay_us{0};
+
+  bool operator==(const FaultRates&) const = default;
 };
 
 class FaultPlan {

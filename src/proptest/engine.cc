@@ -1,0 +1,120 @@
+#include "proptest/engine.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <utility>
+
+#include "proptest/gen.h"
+#include "proptest/shrink.h"
+
+namespace uniloc::proptest {
+
+Engine::Engine(EngineConfig cfg, OracleFn oracle)
+    : cfg_(std::move(cfg)), oracle_(std::move(oracle)) {}
+
+CaseSpec Engine::case_at(std::size_t index) const {
+  CaseSpec spec = generate_case(cfg_.seed, index);
+  if (cfg_.mutate) cfg_.mutate(spec, index);
+  return spec;
+}
+
+std::size_t Engine::planned_cases() const {
+  if (cfg_.use_env) {
+    if (const char* env = std::getenv("UNILOC_PROPTEST_CASES")) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0') return static_cast<std::size_t>(n);
+    }
+  }
+  return cfg_.cases;
+}
+
+std::vector<CaseSpec> Engine::load_corpus() const {
+  std::vector<CaseSpec> corpus;
+  if (cfg_.corpus_path.empty()) return corpus;
+  std::ifstream in(cfg_.corpus_path);
+  if (!in) return corpus;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (std::optional<CaseSpec> spec = from_json(line)) {
+      corpus.push_back(*std::move(spec));
+    } else {
+      std::fprintf(stderr, "proptest: skipping malformed corpus line: %s\n",
+                   line.c_str());
+    }
+  }
+  return corpus;
+}
+
+void Engine::record_failure(const CaseSpec& spec, Verdict verdict,
+                            bool from_corpus, std::size_t planned,
+                            EngineReport* report) {
+  // Satellite contract: every violation prints a greppable line with the
+  // FULL generator parameters before any shrinking touches them.
+  std::fprintf(stderr, "%s\n", repro_line(spec, planned).c_str());
+  for (const std::string& v : verdict.violations) {
+    std::fprintf(stderr, "proptest:   %s\n", v.c_str());
+  }
+
+  CaseFailure f;
+  f.spec = spec;
+  f.shrunk = spec;
+  f.verdict = std::move(verdict);
+  f.from_corpus = from_corpus;
+
+  if (cfg_.shrink) {
+    ShrinkStats stats;
+    f.shrunk = shrink_case(
+        spec, [this](const CaseSpec& c) { return !oracle_(c).ok(); },
+        cfg_.shrink_budget, &stats);
+    if (!(f.shrunk == spec)) {
+      std::fprintf(stderr,
+                   "proptest: shrunk in %zu attempts (%zu accepted):\n",
+                   stats.attempts, stats.accepted);
+      std::fprintf(stderr, "%s\n", repro_line(f.shrunk, planned).c_str());
+    }
+  }
+  f.repro = repro_line(f.shrunk, planned);
+
+  // A reproducer loaded FROM the corpus is already persisted; appending
+  // it again would grow the file on every failing run.
+  if (cfg_.persist_failures && !cfg_.corpus_path.empty() && !from_corpus) {
+    std::ofstream out(cfg_.corpus_path, std::ios::app);
+    if (out) out << to_json(f.shrunk) << "\n";
+  }
+  report->failures.push_back(std::move(f));
+}
+
+EngineReport Engine::run() {
+  EngineReport report;
+  const std::size_t planned = planned_cases();
+
+  // Yesterday's minimal failures first: a regression on a known
+  // reproducer is the cheapest, most readable signal the engine emits.
+  for (const CaseSpec& spec : load_corpus()) {
+    ++report.corpus_replayed;
+    Verdict v = oracle_(spec);
+    if (!v.ok()) {
+      record_failure(spec, std::move(v), /*from_corpus=*/true, planned,
+                     &report);
+      if (report.failures.size() >= cfg_.max_failures) return report;
+    }
+  }
+
+  for (std::size_t i = 0; i < planned; ++i) {
+    const CaseSpec spec = case_at(i);
+    ++report.cases_run;
+    Verdict v = oracle_(spec);
+    if (!v.ok()) {
+      record_failure(spec, std::move(v), /*from_corpus=*/false, planned,
+                     &report);
+      if (report.failures.size() >= cfg_.max_failures) return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace uniloc::proptest

@@ -1,0 +1,66 @@
+#include "proptest/gen.h"
+
+#include "stats/rng.h"
+
+namespace uniloc::proptest {
+
+CaseSpec generate_case(std::uint64_t engine_seed, std::size_t index) {
+  const std::uint64_t case_seed = stats::hash_combine(engine_seed, index);
+  stats::Rng rng(case_seed);
+
+  CaseSpec s;
+  s.case_seed = case_seed;
+
+  // World: a small venue (1-3 routes, 2-6 legs) so a deployment builds
+  // in milliseconds and a shrunk case is already near-minimal.
+  s.place.seed = stats::hash_combine(case_seed, 1);
+  s.place.walkways = rng.uniform_int(1, 3);
+  s.place.legs_per_walkway = rng.uniform_int(2, 6);
+  s.place.leg_length_m = rng.uniform(10.0, 28.0);
+  s.place.venue_mix = rng.uniform_int(0, 3);
+  s.place.cell_towers = rng.uniform_int(0, 4);
+  s.deploy_seed = stats::hash_combine(case_seed, 2);
+
+  // Walkers: tiny fleets, short walks.
+  s.walkers = static_cast<std::uint32_t>(rng.uniform_int(1, 4));
+  s.epochs = static_cast<std::uint32_t>(rng.uniform_int(4, 16));
+  s.burst = rng.chance(0.25) ? 2 : 1;
+  s.load_seed = stats::hash_combine(case_seed, 3);
+  s.gait.step_length_m = rng.uniform(0.5, 0.9);
+  s.gait.step_period_s = rng.uniform(0.4, 0.8);
+  s.gait.trembling = rng.uniform(0.0, 0.8);
+
+  // Wire: rounds ~= epochs / burst (what the blackout/crash windows key
+  // on); the +2 covers the hello and bye rounds.
+  fault::PlanLimits limits;
+  limits.rounds = s.epochs / s.burst + 2;
+  s.faults = fault::generate_plan_spec(stats::hash_combine(case_seed, 4),
+                                       limits);
+  s.crash_restore = !s.faults.crash_rounds.empty();
+
+  // Service shape: a quarter of the cases run a workers-N differential
+  // pass, two-fifths a fleet pass, and fleet cases mix in migration
+  // rotation and membership churn.
+  s.workers = rng.chance(0.25)
+                  ? static_cast<std::uint32_t>(rng.uniform_int(1, 4))
+                  : 0;
+  s.shards = rng.chance(0.4)
+                 ? static_cast<std::uint32_t>(rng.uniform_int(2, 4))
+                 : 1;
+  if (s.shards > 1) {
+    s.migration_churn = rng.chance(0.5);
+    if (rng.chance(0.5) && s.epochs >= 4) {
+      const int events = rng.uniform_int(1, 2);
+      std::uint32_t round = 0;
+      for (int e = 0; e < events; ++e) {
+        round += static_cast<std::uint32_t>(
+            rng.uniform_int(1, static_cast<int>(s.epochs / 2)));
+        // Alternate remove/add so every revive has something to revive.
+        s.churn.push_back({round, e % 2 == 1});
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace uniloc::proptest

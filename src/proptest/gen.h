@@ -1,0 +1,20 @@
+// The case generator: expands (engine_seed, index) into a CaseSpec.
+//
+// Generation is a pure function -- no global state, no call-order
+// dependence -- so an engine seeded identically produces a byte-identical
+// case sequence on every run (the determinism contract test_proptest
+// pins). Case sizes are deliberately small: the point of hundreds of
+// cases is breadth across worlds and schedules, not depth per case; the
+// shrinker relies on the same smallness to converge fast.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "proptest/case.h"
+
+namespace uniloc::proptest {
+
+CaseSpec generate_case(std::uint64_t engine_seed, std::size_t index);
+
+}  // namespace uniloc::proptest

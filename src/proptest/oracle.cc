@@ -1,0 +1,436 @@
+#include "proptest/oracle.h"
+
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/deployment.h"
+#include "core/runner.h"
+#include "core/uniloc.h"
+#include "fault/crash.h"
+#include "fault/link.h"
+#include "geo/bbox.h"
+#include "obs/metrics.h"
+#include "shard/router.h"
+#include "sim/builders.h"
+#include "svc/loadgen.h"
+#include "svc/server.h"
+
+namespace uniloc::proptest {
+
+namespace {
+
+/// Fixed slack over the venue bbox for server-side fixes: GPS errors of
+/// tens of meters are in-model (open-sky mean ~13.5 m, far worse under a
+/// degraded sky), so "on the premises" means the bbox plus the error the
+/// worst admissible scheme can contribute -- NOT a tight fence. What this
+/// invariant actually hunts is divergence: NaN/Inf fixes and posteriors
+/// that walked off the map.
+constexpr double kServerMarginM = 75.0;
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+bool same(double a, double b) {
+  if (std::isnan(a) && std::isnan(b)) return true;
+  return a == b;
+}
+
+/// Link decorator pinning I3's odometer half: the uplink byte counter
+/// observed at send time never decreases.
+class OdometerLink : public svc::Link {
+ public:
+  OdometerLink(std::unique_ptr<svc::Link> inner, const obs::Counter* up,
+               std::vector<std::string>* violations, std::mutex* mu)
+      : inner_(std::move(inner)), up_(up), violations_(violations), mu_(mu) {}
+
+  std::future<svc::LinkReply> send(std::vector<std::uint8_t> request) override {
+    const std::uint64_t now = up_->value();
+    if (now < last_seen_) {
+      const std::lock_guard<std::mutex> lock(*mu_);
+      violations_->push_back("I3: uplink byte counter went backwards (" +
+                             std::to_string(last_seen_) + " -> " +
+                             std::to_string(now) + ")");
+    }
+    last_seen_ = now;
+    return inner_->send(std::move(request));
+  }
+
+ private:
+  std::unique_ptr<svc::Link> inner_;
+  const obs::Counter* up_;
+  std::uint64_t last_seen_{0};
+  std::vector<std::string>* violations_;
+  std::mutex* mu_;
+};
+
+/// Everything one pass over the load generator produces.
+struct PassResult {
+  svc::LoadReport report;
+  std::uint64_t uplink_counter{0};
+};
+
+class CaseRunner {
+ public:
+  CaseRunner(const CaseSpec& spec, const core::TrainedModels& models)
+      : spec_(spec),
+        models_(models),
+        deployment_(core::make_deployment(
+            sim::random_place(spec.place),
+            core::DeploymentOptions{.seed = spec.deploy_seed})),
+        venue_(deployment_.place->bounds()),
+        plan_(fault::build_plan(spec.faults)) {}
+
+  Verdict run(const OracleOptions& opts);
+
+ private:
+  svc::UnilocFactory factory() {
+    return [this](std::uint64_t sid) {
+      return std::make_unique<core::Uniloc>(core::make_uniloc(
+          deployment_, models_, {}, false, /*seed=*/7 + sid));
+    };
+  }
+
+  /// on_epoch hook shared by every pass: I1 + I2 on the served decision.
+  /// Thread-safe (workers > 0 call it from the pool).
+  void check_decision(const core::EpochDecision& d, const std::string& label);
+
+  /// Shared LoadGenConfig: same walkers / epochs / gait / faulty link in
+  /// every pass, so the differential passes compare apples to apples.
+  svc::LoadGenConfig load_config(const obs::Counter* up);
+
+  PassResult run_single(int workers, bool with_crash_injector,
+                        const std::string& label);
+  PassResult run_fleet();
+
+  void check_report(const PassResult& pass);
+  void compare_passes(const PassResult& ref, const PassResult& other,
+                      const std::string& label);
+
+  void violation(const std::string& what) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    violations_.push_back(what);
+  }
+
+  const CaseSpec& spec_;
+  const core::TrainedModels& models_;
+  core::Deployment deployment_;
+  geo::BBox venue_;
+  fault::FaultPlan plan_;
+  std::mutex mu_;
+  std::vector<std::string> violations_;
+};
+
+void CaseRunner::check_decision(const core::EpochDecision& d,
+                                const std::string& label) {
+  // I1: a proper BMA distribution over the available schemes.
+  if (d.weight.size() != d.outputs.size()) {
+    violation("I1: " + label + " weight/output size mismatch (" +
+              std::to_string(d.weight.size()) + " vs " +
+              std::to_string(d.outputs.size()) + ")");
+    return;
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < d.weight.size(); ++i) {
+    const double w = d.weight[i];
+    if (!(w >= 0.0 && w <= 1.0 + 1e-9)) {
+      violation("I1: " + label + " weight[" + std::to_string(i) + "] = " +
+                fmt(w) + " outside [0,1]");
+      return;
+    }
+    if (!d.outputs[i].available && w != 0.0) {
+      violation("I1: " + label + " unavailable scheme " + std::to_string(i) +
+                " carries weight " + fmt(w));
+      return;
+    }
+    sum += w;
+  }
+  if (sum != 0.0 && std::abs(sum - 1.0) > 1e-9) {
+    violation("I1: " + label + " weights sum to " + fmt(sum));
+  }
+  // I2: the fused fix is finite and on the premises.
+  if (!std::isfinite(d.uniloc2.x) || !std::isfinite(d.uniloc2.y)) {
+    violation("I2: " + label + " non-finite fix (" + fmt(d.uniloc2.x) + ", " +
+              fmt(d.uniloc2.y) + ")");
+  } else if (!venue_.inflated(kServerMarginM).contains(d.uniloc2)) {
+    violation("I2: " + label + " fix (" + fmt(d.uniloc2.x) + ", " +
+              fmt(d.uniloc2.y) + ") left the venue");
+  }
+}
+
+svc::LoadGenConfig CaseRunner::load_config(const obs::Counter* up) {
+  svc::LoadGenConfig lg;
+  lg.walkers = spec_.walkers;
+  lg.max_epochs_per_walker = spec_.epochs;
+  lg.burst = spec_.burst;
+  lg.seed = spec_.load_seed;
+  lg.walk.gait = spec_.gait;
+  lg.resilience.retry.max_retries = 1;
+  lg.resilience.probe_period = 2;
+  lg.resilience.record_timeline = true;
+  lg.make_link = [this, up](svc::Endpoint& s, std::uint64_t sid) {
+    std::unique_ptr<svc::Link> link = std::make_unique<svc::DirectLink>(&s);
+    link = std::make_unique<fault::FaultyLink>(std::move(link), &plan_, sid);
+    return std::make_unique<OdometerLink>(std::move(link), up, &violations_,
+                                          &mu_);
+  };
+  return lg;
+}
+
+PassResult CaseRunner::run_single(int workers, bool with_crash_injector,
+                                  const std::string& label) {
+  obs::MetricsRegistry reg;
+  svc::ServerConfig scfg;
+  scfg.workers = workers;
+  scfg.on_epoch = [this, label](std::uint64_t,
+                                const core::EpochDecision& d) {
+    check_decision(d, label);
+  };
+  svc::LocalizationServer server(scfg, factory(), &reg);
+
+  const obs::Counter* up = &reg.counter("offload.uplink_bytes");
+  svc::LoadGenConfig lg = load_config(up);
+
+  fault::CrashInjector injector(&server, &plan_);
+  if (with_crash_injector) {
+    lg.on_round = [&injector](std::size_t round) { injector.on_round(round); };
+  }
+
+  PassResult pass;
+  pass.report = run_load(server, deployment_, lg, &reg);
+  pass.uplink_counter = up->value();
+  if (with_crash_injector && injector.restore_failures() > 0) {
+    violation("I5: " + std::to_string(injector.restore_failures()) +
+              " restore(s) of our own snapshot failed");
+  }
+  return pass;
+}
+
+PassResult CaseRunner::run_fleet() {
+  obs::MetricsRegistry reg;
+  shard::RouterConfig rcfg;
+  rcfg.shards = spec_.shards;
+  rcfg.server.workers = 0;
+  const std::string label = "fleet";
+  rcfg.server.on_epoch = [this, label](std::uint64_t,
+                                       const core::EpochDecision& d) {
+    check_decision(d, label);
+  };
+  shard::ShardRouter router(rcfg, factory(), &reg);
+
+  const obs::Counter* up = &reg.counter("offload.uplink_bytes");
+  svc::LoadGenConfig lg = load_config(up);
+
+  std::set<std::size_t> dead;
+  std::size_t next_victim = 0;
+  lg.on_round = [&, this](std::size_t round) {
+    // Checkpoint every round so a membership removal always has a fresh
+    // snapshot to resurrect from (same cadence as ShardCrashInjector).
+    if (!spec_.churn.empty()) router.checkpoint_all();
+    for (const ChurnEvent& e : spec_.churn) {
+      if (e.round != round) continue;
+      if (e.add) {
+        if (!dead.empty()) {
+          const std::size_t k = *dead.begin();
+          router.revive_shard(k);
+          dead.erase(k);
+        }
+      } else if (dead.size() + 1 < router.shard_count()) {
+        // Remove a live shard, rotating the victim; its whole session
+        // population must resurrect on the survivors.
+        std::size_t k = next_victim % router.shard_count();
+        while (dead.count(k) != 0) k = (k + 1) % router.shard_count();
+        next_victim = k + 1;
+        router.crash_shard(k);
+        router.recover_shard(k);
+        dead.insert(k);
+      }
+    }
+    if (spec_.migration_churn) {
+      // Rotate every live session one shard over, skipping the dead.
+      for (std::uint64_t sid = 1; sid <= spec_.walkers; ++sid) {
+        std::size_t to = (router.shard_of(sid) + 1) % router.shard_count();
+        while (dead.count(to) != 0) to = (to + 1) % router.shard_count();
+        router.migrate(sid, to);
+      }
+    }
+  };
+
+  PassResult pass;
+  pass.report = run_load(router, deployment_, lg, &reg);
+  pass.uplink_counter = up->value();
+  // I7's zero-session-loss half: every walker said bye and no recovered
+  // ghost lingers anywhere in the fleet.
+  if (router.live_sessions() != 0) {
+    violation("I7: fleet still holds " +
+              std::to_string(router.live_sessions()) +
+              " session(s) after all walkers left");
+  }
+  return pass;
+}
+
+void CaseRunner::check_report(const PassResult& pass) {
+  const svc::LoadReport& r = pass.report;
+  // I3: retransmissions ride on top of first attempts, and the registry
+  // odometer agrees with the report.
+  if (r.traffic.uplink_bytes < r.traffic.retransmitted_bytes) {
+    violation("I3: retransmitted bytes (" +
+              std::to_string(r.traffic.retransmitted_bytes) +
+              ") exceed total uplink (" +
+              std::to_string(r.traffic.uplink_bytes) + ")");
+  }
+  if (r.retries_total > 0 && r.traffic.retransmitted_bytes == 0) {
+    violation("I3: " + std::to_string(r.retries_total) +
+              " retries but zero retransmitted bytes");
+  }
+  if (pass.uplink_counter != r.traffic.uplink_bytes) {
+    violation("I3: registry uplink counter (" +
+              std::to_string(pass.uplink_counter) +
+              ") disagrees with the report (" +
+              std::to_string(r.traffic.uplink_bytes) + ")");
+  }
+  // "Every epoch is answered" at run granularity: a run where NOTHING
+  // happened -- no server accept, no local fallback, no explicit error /
+  // backpressure, not even a timeout -- silently lost its traffic.
+  // (total_epochs alone is zero legitimately: a blackout covering the
+  // whole run pushes every epoch onto the local fallback.)
+  if (r.total_epochs == 0 && r.local_epochs_total == 0 &&
+      r.error_total == 0 && r.backpressure_total == 0 &&
+      r.timeouts_total == 0 && spec_.epochs > 0 && spec_.walkers > 0) {
+    violation("I4: the run served zero epochs and reported no failures");
+  }
+  // I4: every epoch a walker submitted is accounted for, and the
+  // per-walker tallies agree with the timeline they summarize.
+  //
+  // Client-side fixes include local PDR dead-reckoning during outages,
+  // which drifts from the last fix -- grant the walk's worth of slack on
+  // top of the server margin.
+  const double margin =
+      kServerMarginM + spec_.epochs * std::max(0.1, spec_.gait.step_length_m);
+  for (const svc::WalkerOutcome& w : r.walkers) {
+    const std::string at = "walker " + std::to_string(w.session_id);
+    if (w.timeline.size() > spec_.epochs) {
+      violation("I4: " + at + " ran " + std::to_string(w.timeline.size()) +
+                " epochs, cap was " + std::to_string(spec_.epochs));
+    }
+    std::size_t server_epochs = 0;
+    std::size_t local_epochs = 0;
+    for (const svc::EpochEvent& e : w.timeline) {
+      if (e.source == svc::EpochEvent::Source::kServer) ++server_epochs;
+      if (e.source == svc::EpochEvent::Source::kLocal) ++local_epochs;
+      if (e.source != svc::EpochEvent::Source::kSkipped) {
+        // I2, client side: local-fallback estimates stay near the venue.
+        if (!std::isfinite(e.estimate.x) || !std::isfinite(e.estimate.y)) {
+          violation("I2: " + at + " epoch " + std::to_string(e.epoch) +
+                    " non-finite client estimate");
+        } else if (!venue_.inflated(margin).contains(e.estimate)) {
+          violation("I2: " + at + " epoch " + std::to_string(e.epoch) +
+                    " client estimate (" + fmt(e.estimate.x) + ", " +
+                    fmt(e.estimate.y) + ") left the venue");
+        }
+      }
+    }
+    if (server_epochs != w.epochs_accepted || local_epochs != w.local_epochs) {
+      violation("I4: " + at + " tallies disagree with its timeline (" +
+                std::to_string(server_epochs) + "/" +
+                std::to_string(w.epochs_accepted) + " server, " +
+                std::to_string(local_epochs) + "/" +
+                std::to_string(w.local_epochs) + " local)");
+    }
+  }
+}
+
+void CaseRunner::compare_passes(const PassResult& ref, const PassResult& other,
+                                const std::string& label) {
+  const svc::LoadReport& a = ref.report;
+  const svc::LoadReport& b = other.report;
+  if (a.walkers.size() != b.walkers.size() ||
+      a.total_epochs != b.total_epochs) {
+    violation(label + ": report shape diverged (" +
+              std::to_string(a.total_epochs) + " vs " +
+              std::to_string(b.total_epochs) + " epochs)");
+    return;
+  }
+  for (std::size_t w = 0; w < a.walkers.size(); ++w) {
+    const svc::WalkerOutcome& x = a.walkers[w];
+    const svc::WalkerOutcome& y = b.walkers[w];
+    const std::string at = label + ": walker " + std::to_string(x.session_id);
+    if (x.session_id != y.session_id || x.walkway != y.walkway ||
+        x.epochs_accepted != y.epochs_accepted ||
+        x.local_epochs != y.local_epochs || x.errors != y.errors ||
+        x.backpressure != y.backpressure || x.rehellos != y.rehellos ||
+        x.retries != y.retries || x.timeouts != y.timeouts ||
+        !same(x.mean_error_m, y.mean_error_m) ||
+        !same(x.final_estimate.x, y.final_estimate.x) ||
+        !same(x.final_estimate.y, y.final_estimate.y)) {
+      violation(at + " outcome diverged");
+      return;
+    }
+    if (x.timeline.size() != y.timeline.size()) {
+      violation(at + " timeline length diverged (" +
+                std::to_string(x.timeline.size()) + " vs " +
+                std::to_string(y.timeline.size()) + ")");
+      return;
+    }
+    for (std::size_t e = 0; e < x.timeline.size(); ++e) {
+      const svc::EpochEvent& p = x.timeline[e];
+      const svc::EpochEvent& q = y.timeline[e];
+      if (p.epoch != q.epoch || p.source != q.source ||
+          p.attempts != q.attempts || p.degraded_after != q.degraded_after ||
+          p.rehello != q.rehello || !same(p.estimate.x, q.estimate.x) ||
+          !same(p.estimate.y, q.estimate.y) || !same(p.error_m, q.error_m)) {
+        violation(at + " diverged at epoch " + std::to_string(e));
+        return;
+      }
+    }
+  }
+}
+
+Verdict CaseRunner::run(const OracleOptions& opts) {
+  // Base pass: one server, deterministic inline mode, no crashes. Every
+  // differential pass below must reproduce its stream bit for bit.
+  const PassResult ref =
+      run_single(/*workers=*/0, /*with_crash_injector=*/false, "base");
+  check_report(ref);
+
+  if (opts.check_crash_restore && spec_.crash_restore &&
+      !spec_.faults.crash_rounds.empty()) {
+    compare_passes(ref,
+                   run_single(/*workers=*/0, /*with_crash_injector=*/true,
+                              "crash"),
+                   "I5 (crash/restore)");
+  }
+
+  if (opts.check_workers && spec_.workers > 0) {
+    compare_passes(ref,
+                   run_single(static_cast<int>(spec_.workers),
+                              /*with_crash_injector=*/false, "workers"),
+                   "I6 (workers)");
+  }
+
+  if (opts.check_fleet && spec_.shards > 1) {
+    compare_passes(ref, run_fleet(), "I7 (fleet)");
+  }
+
+  Verdict v;
+  v.violations = std::move(violations_);
+  return v;
+}
+
+}  // namespace
+
+Verdict run_case(const CaseSpec& spec, const core::TrainedModels& models,
+                 const OracleOptions& opts) {
+  CaseRunner runner(spec, models);
+  return runner.run(opts);
+}
+
+}  // namespace uniloc::proptest

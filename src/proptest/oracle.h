@@ -1,0 +1,59 @@
+// The oracle: runs one CaseSpec end to end and checks the global
+// invariants the paper's correctness story rests on. Whatever the
+// generated world, gait, fault schedule, crash points or fleet churn do:
+//
+//   I1  BMA weights are a proper distribution over the AVAILABLE schemes
+//       (each in [0,1], zero where unavailable, summing to 1 whenever
+//       anything ran) -- the posterior stays a distribution.
+//   I2  Every fix is finite and on the premises (venue bbox + margin),
+//       server fixes and local-fallback fixes alike.
+//   I3  Traffic accounting is an odometer: the uplink byte counter never
+//       decreases, retransmitted bytes ride on top of first attempts,
+//       and the registry agrees with the report.
+//   I4  Every submitted epoch is answered: accepted, served locally, or
+//       explicitly errored/backpressured -- never silently lost.
+//   I5  checkpoint/restore is invisible: a run crashed and restored at
+//       the scheduled rounds is bit-identical to the undisturbed run.
+//   I6  Worker count is invisible: workers-N == workers-0, bit for bit.
+//   I7  The fleet is invisible: a ShardRouter over N shards -- through
+//       migration rotation and membership churn -- serves the exact
+//       stream of a single server, and no session is ever lost.
+//
+// Violations come back as strings (the engine is gtest-free); each
+// carries enough context to read the failure without rerunning it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "proptest/case.h"
+
+namespace uniloc::proptest {
+
+struct Verdict {
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  /// First violation (the shrinker's label), or "" when ok.
+  std::string summary() const {
+    return violations.empty() ? std::string() : violations.front();
+  }
+};
+
+/// Which differential passes run_case executes on top of the base run.
+/// Tests force shapes (e.g. the TSan workers pass) through these and
+/// through EngineConfig::mutate.
+struct OracleOptions {
+  bool check_crash_restore{true};
+  bool check_workers{true};
+  bool check_fleet{true};
+};
+
+/// Run `spec` and return every invariant violation found. `models` is
+/// the shared trained-model set (training is the expensive part; the
+/// caller trains once per process).
+Verdict run_case(const CaseSpec& spec, const core::TrainedModels& models,
+                 const OracleOptions& opts = {});
+
+}  // namespace uniloc::proptest

@@ -1,5 +1,6 @@
 #include "sim/builders.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -361,6 +362,71 @@ Place campus_b(std::uint64_t seed) {
                     radii[i];
     t.tx_power_dbm += (i - 2) * 2.5;
     t.basement_reachable = (i == 1 || i == 4);
+    place.add_cell_tower(t);
+  }
+  return place;
+}
+
+Place random_place(const RandomPlaceSpec& spec) {
+  const int walkways = std::max(1, spec.walkways);
+  const int legs = std::max(1, spec.legs_per_walkway);
+  const double leg_len = std::clamp(spec.leg_length_m, 4.0, 60.0);
+  const int towers = std::clamp(spec.cell_towers, 0, 8);
+
+  stats::Rng rng(stats::hash_combine(spec.seed, 0x9E0'71ACEULL));
+  Place place("random", campus_anchor());
+
+  // Segment-type palette per venue mix; drawn per leg with a bias toward
+  // keeping the previous leg's type so venues grow coherent zones
+  // instead of per-leg confetti.
+  const std::vector<SegmentType> palettes[] = {
+      {SegmentType::kOffice, SegmentType::kCorridor},
+      {SegmentType::kMallAisle, SegmentType::kCorridor},
+      {SegmentType::kOpenSpace, SegmentType::kCarPark},
+      {SegmentType::kOffice, SegmentType::kCorridor, SegmentType::kBasement,
+       SegmentType::kCarPark, SegmentType::kOpenSpace,
+       SegmentType::kMallAisle},
+  };
+  const std::vector<SegmentType>& palette =
+      palettes[std::clamp(spec.venue_mix, 0, 3)];
+
+  for (int k = 0; k < walkways; ++k) {
+    // Stagger starts on a loose grid so routes overlap without stacking.
+    const geo::Vec2 start{10.0 + 35.0 * (k % 3) + rng.uniform(-5.0, 5.0),
+                          10.0 + 30.0 * (k / 3) + rng.uniform(-5.0, 5.0)};
+    double heading = 90.0 * rng.uniform_int(0, 3);
+    SegmentType type = palette[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(palette.size()) - 1))];
+    std::vector<Leg> route;
+    for (int l = 0; l < legs; ++l) {
+      if (!rng.chance(0.6)) {
+        type = palette[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(palette.size()) - 1))];
+      }
+      Leg leg;
+      leg.type = type;
+      leg.length_m = leg_len * rng.uniform(0.6, 1.4);
+      leg.turn_after_deg =
+          rng.chance(0.6) ? (rng.chance(0.5) ? 90.0 : -90.0) : 0.0;
+      route.push_back(leg);
+    }
+    place.add_walkway(make_walkway("rand-" + std::to_string(k), start,
+                                   heading, route));
+  }
+
+  deploy_access_points(place, spec.seed);
+  deploy_landmarks(place, spec.seed);
+
+  const geo::Vec2 center{place.bounds().min.x / 2 + place.bounds().max.x / 2,
+                         place.bounds().min.y / 2 + place.bounds().max.y / 2};
+  for (int i = 0; i < towers; ++i) {
+    CellTower t;
+    t.id = 900 + i;
+    const double bearing = deg2rad(rng.uniform(0.0, 360.0));
+    t.pos = center + geo::Vec2{std::cos(bearing), std::sin(bearing)} *
+                         rng.uniform(280.0, 700.0);
+    t.tx_power_dbm += rng.uniform(-3.0, 3.0);
+    t.basement_reachable = rng.chance(0.5);
     place.add_cell_tower(t);
   }
   return place;

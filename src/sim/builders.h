@@ -57,6 +57,27 @@ Place mall_place(std::uint64_t seed = 42);
 /// place" used in the Table III transfer validation.
 Place campus_b(std::uint64_t seed = 1234);
 
+/// Everything sim needs to conjure a venue from a seed: the property-test
+/// engine's generator seam. One reproducer line captures a whole world.
+struct RandomPlaceSpec {
+  std::uint64_t seed{1};
+  int walkways{2};            ///< Walkable routes (clamped to >= 1).
+  int legs_per_walkway{4};    ///< Straight stretches per route (>= 1).
+  double leg_length_m{18.0};  ///< Mean leg length (clamped to [4, 60]).
+  /// Segment-type palette: 0 office floor, 1 mall floor, 2 outdoor
+  /// (open space + car park), 3 everything including basements.
+  int venue_mix{0};
+  int cell_towers{2};  ///< Clamped to [0, 8].
+
+  bool operator==(const RandomPlaceSpec&) const = default;
+};
+
+/// Build a venue from a spec: rectilinear walkways with random typed
+/// legs, the standard AP/landmark deployment, and randomly-sited cell
+/// towers. Pure function of the spec -- identical specs yield identical
+/// places, which is what makes a proptest reproducer replayable.
+Place random_place(const RandomPlaceSpec& spec);
+
 /// Add `count` random rectilinear walkways of ~`length_m` of type `type`
 /// inside the place's current bounds (the "10 different 300-m
 /// trajectories" of the Fig. 8 venues). Returns indices of new walkways.

@@ -46,6 +46,8 @@ struct GaitProfile {
   double step_length_m{0.70};
   double step_period_s{0.55};
   double trembling{0.2};  ///< 0 = steady hand; ~1 = heavy trembling.
+
+  bool operator==(const GaitProfile&) const = default;
 };
 
 class ImuSimulator {

@@ -431,7 +431,7 @@ LoadReport run_load(Endpoint& server, const core::Deployment& d,
     Client& c = clients[i];
     c.session_id = cfg.first_session_id + i;
     c.walkway = i % n_paths;
-    sim::WalkConfig wc;
+    sim::WalkConfig wc = cfg.walk;
     wc.seed = cfg.seed + 17 * i;
     c.walker = std::make_unique<sim::Walker>(d.place.get(), d.radio.get(),
                                              c.walkway, wc);

@@ -43,6 +43,7 @@
 #include "core/deployment.h"
 #include "offload/session.h"
 #include "sim/virtual_clock.h"
+#include "sim/walker.h"
 #include "svc/link.h"
 #include "svc/server.h"
 
@@ -96,6 +97,10 @@ struct LoadGenConfig {
   std::size_t burst{1};
   std::uint64_t seed{2024};
   std::uint64_t first_session_id{1};
+  /// Template for every walker's WalkConfig (gait, device, sensor
+  /// noise); each walker's seed is still derived from `seed`. The
+  /// property-test generator's seam into the simulated fleet.
+  sim::WalkConfig walk{};
   /// Transport per phone; null = DirectLink (perfect wire).
   LinkFactory make_link;
   ResilienceConfig resilience{};

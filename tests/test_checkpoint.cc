@@ -39,14 +39,13 @@
 #include "svc/loadgen.h"
 #include "svc/server.h"
 #include "svc/wire.h"
+#include "testing_util.h"
 
 namespace uniloc {
 namespace {
 
 const core::TrainedModels& test_models() {
-  static const core::TrainedModels models =
-      core::train_standard_models(42, 100);
-  return models;
+  return testing_util::standard_models(100);
 }
 
 const core::Deployment& campus_deployment() {

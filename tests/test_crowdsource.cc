@@ -6,18 +6,16 @@
 #include "schemes/fingerprint_scheme.h"
 #include "sim/walker.h"
 #include "stats/rng.h"
+#include "testing_util.h"
 
 namespace uniloc::schemes {
 namespace {
 
 class CrowdsourceTest : public ::testing::Test {
  protected:
-  CrowdsourceTest()
-      : deployment_(core::make_deployment(
-            sim::office_place(42), core::DeploymentOptions{.seed = 42})),
-        db_(*deployment_.wifi_db) {}
+  CrowdsourceTest() : db_(*deployment_.wifi_db) {}
 
-  core::Deployment deployment_;
+  const core::Deployment& deployment_ = testing_util::office_deployment();
   FingerprintDatabase db_;  // private working copy
 };
 

@@ -30,15 +30,12 @@
 #include "sim/builders.h"
 #include "svc/loadgen.h"
 #include "svc/server.h"
+#include "testing_util.h"
 
 namespace uniloc {
 namespace {
 
-const core::TrainedModels& test_models() {
-  static const core::TrainedModels models =
-      core::train_standard_models(42, 100);
-  return models;
-}
+const core::TrainedModels& test_models() { return testing_util::standard_models(100); }
 
 const core::Deployment& campus_deployment() {
   static const core::Deployment d = core::make_deployment(
@@ -47,9 +44,7 @@ const core::Deployment& campus_deployment() {
 }
 
 const core::Deployment& office_deployment() {
-  static const core::Deployment d = core::make_deployment(
-      sim::office_place(42), core::DeploymentOptions{.seed = 42});
-  return d;
+  return testing_util::office_deployment();
 }
 
 /// Bitwise double equality, treating NaN == NaN (scheme_err is NaN where

@@ -12,6 +12,7 @@
 #include "schemes/horus_scheme.h"
 #include "sim/walker.h"
 #include "stats/descriptive.h"
+#include "testing_util.h"
 
 namespace uniloc {
 namespace {
@@ -20,11 +21,7 @@ namespace {
 
 class HorusTest : public ::testing::Test {
  protected:
-  HorusTest()
-      : deployment_(core::make_deployment(
-            sim::office_place(42), core::DeploymentOptions{.seed = 42})) {}
-
-  core::Deployment deployment_;
+  const core::Deployment& deployment_ = testing_util::office_deployment();
 };
 
 TEST_F(HorusTest, LikelihoodHighestForMatchingFingerprint) {
@@ -220,9 +217,8 @@ class NanScheme final : public schemes::LocalizationScheme {
 };
 
 TEST(Hardening, NanSchemeIsQuarantined) {
-  const core::TrainedModels models = core::train_standard_models(42, 100);
-  core::Deployment office = core::make_deployment(
-      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+  const core::TrainedModels& models = testing_util::standard_models(100);
+  const core::Deployment& office = testing_util::office_deployment();
   core::Uniloc uniloc = core::make_uniloc(office, models);
   uniloc.add_scheme(std::make_unique<NanScheme>(),
                     core::ErrorModel::constant(1.0, 1.0));

@@ -29,6 +29,7 @@
 #include "svc/epoch_codec.h"
 #include "svc/loadgen.h"
 #include "svc/server.h"
+#include "testing_util.h"
 
 namespace uniloc {
 namespace {
@@ -146,14 +147,11 @@ TEST(FaultPlan, KindNamesAreStable) {
 // ------------------------------------------------------------ chaos fixture
 
 const core::TrainedModels& test_models() {
-  static const core::TrainedModels models =
-      core::train_standard_models(42, 100);
-  return models;
+  return testing_util::standard_models(100);
 }
 
 struct ChaosFixture {
-  core::Deployment office = core::make_deployment(
-      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+  const core::Deployment& office = testing_util::office_deployment();
 
   svc::UnilocFactory factory() {
     return [this](std::uint64_t sid) {

@@ -28,6 +28,7 @@
 #include "fault/plan.h"
 #include "svc/loadgen.h"
 #include "svc/server.h"
+#include "testing_util.h"
 
 #ifndef UNILOC_GOLDEN_DIR
 #define UNILOC_GOLDEN_DIR "tests/golden"
@@ -37,14 +38,11 @@ namespace uniloc {
 namespace {
 
 const core::TrainedModels& test_models() {
-  static const core::TrainedModels models =
-      core::train_standard_models(42, 100);
-  return models;
+  return testing_util::standard_models(100);
 }
 
 struct GoldenFixture {
-  core::Deployment office = core::make_deployment(
-      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+  const core::Deployment& office = testing_util::office_deployment();
 
   svc::UnilocFactory factory() {
     return [this](std::uint64_t sid) {

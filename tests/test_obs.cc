@@ -24,6 +24,7 @@
 #include "obs/span.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
+#include "testing_util.h"
 
 namespace uniloc::obs {
 namespace {
@@ -417,15 +418,10 @@ TEST(BenchReport, EmptySectionsStillBalance) {
 // --- integration: a real walk through the trace + metrics pipeline ----
 
 const core::TrainedModels& models() {
-  static const core::TrainedModels m = core::train_standard_models(42, 150);
-  return m;
+  return testing_util::standard_models(150);
 }
 
-const core::Deployment& office() {
-  static core::Deployment d = core::make_deployment(
-      sim::office_place(42), core::DeploymentOptions{.seed = 42});
-  return d;
-}
+const core::Deployment& office() { return testing_util::office_deployment(); }
 
 TEST(TraceIntegration, JsonlRoundTripMatchesRecordedEpochs) {
   const std::string path = testing::TempDir() + "walk_trace.jsonl";

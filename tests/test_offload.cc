@@ -6,6 +6,7 @@
 #include "core/runner.h"
 #include "core/trainer.h"
 #include "offload/session.h"
+#include "testing_util.h"
 
 namespace uniloc::offload {
 namespace {
@@ -196,8 +197,7 @@ TEST(RssiQuantization, RoundTripsOnHalfDbGrid) {
 // ----------------------------------------------------------------- session
 
 TEST(OffloadSession, PhoneReducesFrames) {
-  core::Deployment office = core::make_deployment(
-      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+  const core::Deployment& office = testing_util::office_deployment();
   sim::WalkConfig wc;
   wc.seed = 5;
   sim::Walker walker(office.place.get(), office.radio.get(), 0, wc);
@@ -222,9 +222,8 @@ TEST(OffloadSession, PhoneReducesFrames) {
 }
 
 TEST(OffloadSession, EndToEndTrafficIsSmall) {
-  const core::TrainedModels models = core::train_standard_models(42, 100);
-  core::Deployment office = core::make_deployment(
-      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+  const core::TrainedModels& models = testing_util::standard_models(100);
+  const core::Deployment& office = testing_util::office_deployment();
   core::Uniloc uniloc = core::make_uniloc(office, models);
   sim::WalkConfig wc;
   wc.seed = 6;
@@ -240,9 +239,8 @@ TEST(OffloadSession, EndToEndTrafficIsSmall) {
 }
 
 TEST(OffloadSession, ServerReturnsFusedCoordinate) {
-  const core::TrainedModels models = core::train_standard_models(42, 100);
-  core::Deployment office = core::make_deployment(
-      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+  const core::TrainedModels& models = testing_util::standard_models(100);
+  const core::Deployment& office = testing_util::office_deployment();
   core::Uniloc uniloc = core::make_uniloc(office, models);
   sim::WalkConfig wc;
   wc.seed = 7;

@@ -33,6 +33,7 @@
 #include "schemes/fingerprint_db.h"
 #include "sim/builders.h"
 #include "sim/walker.h"
+#include "testing_util.h"
 
 #if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
 #define UNILOC_ALLOC_COUNTING 0
@@ -117,9 +118,7 @@ std::uint64_t end_counting() {
 #endif
 
 const core::TrainedModels& test_models() {
-  static const core::TrainedModels models =
-      core::train_standard_models(42, 100);
-  return models;
+  return testing_util::standard_models(100);
 }
 
 #if UNILOC_ALLOC_COUNTING

@@ -5,20 +5,14 @@
 #include "core/trainer.h"
 #include "schemes/horus_scheme.h"
 #include "stats/descriptive.h"
+#include "testing_util.h"
 
 namespace uniloc::core {
 namespace {
 
-const TrainedModels& models() {
-  static const TrainedModels m = train_standard_models(42, 150);
-  return m;
-}
+const TrainedModels& models() { return testing_util::standard_models(150); }
 
-const Deployment& office() {
-  static Deployment d = make_deployment(sim::office_place(42),
-                                        DeploymentOptions{.seed = 42});
-  return d;
-}
+const Deployment& office() { return testing_util::office_deployment(); }
 
 TEST(RunnerExtra, DutyCycleDisabledKeepsGpsOn) {
   Uniloc u = make_uniloc(office(), models());

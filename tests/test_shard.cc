@@ -37,20 +37,18 @@
 #include "svc/loadgen.h"
 #include "svc/server.h"
 #include "svc/wire.h"
+#include "testing_util.h"
 
 namespace uniloc {
 namespace {
 
 // One trained model set for every fleet test (training is the slow part).
 const core::TrainedModels& test_models() {
-  static const core::TrainedModels models =
-      core::train_standard_models(42, 100);
-  return models;
+  return testing_util::standard_models(100);
 }
 
 struct FleetFixture {
-  core::Deployment office = core::make_deployment(
-      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+  const core::Deployment& office = testing_util::office_deployment();
 
   // Same seeding discipline as the server tests: a session rebuilt by any
   // shard's factory is identical to the one the original shard built.

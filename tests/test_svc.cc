@@ -31,6 +31,7 @@
 #include "svc/session_manager.h"
 #include "svc/thread_pool.h"
 #include "svc/wire.h"
+#include "testing_util.h"
 
 namespace uniloc::svc {
 namespace {
@@ -362,14 +363,11 @@ TEST(EpochCodec, ReplyRoundTrip) {
 
 // One trained model set for every server test (training is the slow part).
 const core::TrainedModels& test_models() {
-  static const core::TrainedModels models =
-      core::train_standard_models(42, 100);
-  return models;
+  return testing_util::standard_models(100);
 }
 
 struct ServerFixture {
-  core::Deployment office = core::make_deployment(
-      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+  const core::Deployment& office = testing_util::office_deployment();
 
   UnilocFactory factory() {
     return [this](std::uint64_t sid) {

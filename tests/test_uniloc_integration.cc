@@ -9,15 +9,13 @@
 #include "core/runner.h"
 #include "core/trainer.h"
 #include "stats/descriptive.h"
+#include "testing_util.h"
 
 namespace uniloc::core {
 namespace {
 
 /// Train once for the whole test binary (takes ~0.3 s).
-const TrainedModels& models() {
-  static const TrainedModels m = train_standard_models(42, 300);
-  return m;
-}
+const TrainedModels& models() { return testing_util::standard_models(300); }
 
 const Deployment& campus() {
   static Deployment d = make_deployment(sim::campus());

@@ -1,0 +1,42 @@
+// Shared test fixtures: the expensive static worlds every suite used to
+// rebuild privately.
+//
+// Training the standard models walks two deployments end to end and fits
+// Table II -- it dominates suite startup, and half a dozen suites each
+// trained their own copy (some twice). These helpers build each fixture
+// once per process and hand out const references; gtest runs tests
+// sequentially, so the function-local statics need no locking.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+
+#include "core/deployment.h"
+#include "core/trainer.h"
+#include "sim/builders.h"
+
+namespace uniloc::testing_util {
+
+/// The standard five-scheme model set (train_standard_models(42, n)),
+/// trained once per process per sample count.
+inline const core::TrainedModels& standard_models(std::size_t samples = 100) {
+  static std::map<std::size_t, core::TrainedModels> cache;
+  auto it = cache.find(samples);
+  if (it == cache.end()) {
+    it = cache.emplace(samples, core::train_standard_models(42, samples))
+             .first;
+  }
+  return it->second;
+}
+
+/// The canonical office world of the service suites: office_place(42)
+/// deployed with seed 42, fingerprint databases included. Read-only --
+/// tests that mutate their deployment must build their own.
+inline const core::Deployment& office_deployment() {
+  static const core::Deployment d = core::make_deployment(
+      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+  return d;
+}
+
+}  // namespace uniloc::testing_util
