@@ -22,6 +22,25 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 UNILOC_PROPTEST_CASES=64 \
   ctest --test-dir "$BUILD_DIR" -L '^proptest$' --output-on-failure -j "$JOBS"
 
+# SIMD differential gate: the vectorization-aware kernel tier (det_exp /
+# det_log / det_sincos accuracy, vector kernel == scalar oracle at every
+# lane-tail size, denormal and +-inf inputs, the 10k-particle systematic
+# resampling distribution check) reruns explicitly so a vectorization
+# regression fails greppably, not buried in the full-suite run above.
+ctest --test-dir "$BUILD_DIR" -L '^simd$' --output-on-failure -j "$JOBS"
+
+# Scalar-fallback gate: the whole suite again in a -DUNILOC_NO_SIMD=ON
+# tree (vector kernels compiled out, no -fopenmp-simd). Golden traces and
+# differential expectations are shared with the native build, so this
+# gate proves the scalar and vectorized pipelines are bit-identical, not
+# merely both self-consistent. Set NOSIMD=0 to skip.
+if [[ "${NOSIMD:-1}" != "0" ]]; then
+  NOSIMD_DIR="${NOSIMD_DIR:-build-nosimd}"
+  cmake -B "$NOSIMD_DIR" -S . -DUNILOC_NO_SIMD=ON
+  cmake --build "$NOSIMD_DIR" -j "$JOBS"
+  ctest --test-dir "$NOSIMD_DIR" --output-on-failure -j "$JOBS"
+fi
+
 # Tier-2 gate A: the src/svc concurrency suite must be clean under
 # ThreadSanitizer (worker pool, session strands, server instrumentation).
 # Only test_svc is built in the sanitized tree -- the `svc` ctest label
@@ -53,6 +72,14 @@ if [[ "${TSAN:-1}" != "0" ]]; then
   cmake --build "$TSAN_DIR" -j "$JOBS" --target test_proptest
   UNILOC_PROPTEST_CASES=32 ctest --test-dir "$TSAN_DIR" \
     -R '^proptest\.ChaosSweep' --output-on-failure -j "$JOBS"
+  # Batched-path gate: the EpochBatcher hands assembled cross-session
+  # batches to whichever worker drains the FIFO, so batch assembly,
+  # runner retirement and the per-session ordering guarantee all run
+  # under TSan here (the allocation-counting hook is compiled out under
+  # sanitizers; the ordering/semantic assertions still run).
+  cmake --build "$TSAN_DIR" -j "$JOBS" --target test_perf_contracts
+  ctest --test-dir "$TSAN_DIR" -R '^perf\..*Batch' --output-on-failure \
+    -j "$JOBS"
 fi
 
 # Tier-2 gate B: the fault-injection path (svc + chaos labels: the
@@ -102,4 +129,11 @@ if [[ "${ASAN:-1}" != "0" ]]; then
   cmake --build "$ASAN_DIR" -j "$JOBS" --target test_proptest
   UNILOC_PROPTEST_CASES=512 ctest --test-dir "$ASAN_DIR" \
     -L '^proptest$' --output-on-failure -j "$JOBS"
+  # SIMD-kernel gate: the vector kernels read SoA arrays through raw
+  # pointers with hand-managed lane tails -- exactly where an
+  # off-by-one past the last lane would hide. The kernel tier reruns
+  # under ASan+UBSan (which also checks the bit_cast exponent tricks in
+  # stats/vecmath.h for UB).
+  cmake --build "$ASAN_DIR" -j "$JOBS" --target test_simd_kernels
+  ctest --test-dir "$ASAN_DIR" -L '^simd$' --output-on-failure -j "$JOBS"
 fi

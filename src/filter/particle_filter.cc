@@ -6,6 +6,8 @@
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "stats/rng_codec.h"
+#include "stats/simd.h"
+#include "stats/vecmath.h"
 
 namespace uniloc::filter {
 
@@ -57,14 +59,96 @@ void ParticleFilter::predict(double step_len, double dheading,
                              double step_len_sd, double heading_sd) {
   obs::ScopedTimer timer(predict_us_);
   const std::size_t n = px_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    heading_[i] = geo::wrap_angle(heading_[i] + dheading +
-                                  rng_.normal(0.0, heading_sd));
-    const double len =
-        std::max(0.0, step_len * scale_[i] + rng_.normal(0.0, step_len_sd));
-    px_[i] += std::cos(heading_[i]) * len;
-    py_[i] += std::sin(heading_[i]) * len;
+#if !defined(UNILOC_NO_SIMD)
+  if (stats::simd_enabled()) {
+    // Stage two raw engine words per particle (serial: the engine stream
+    // order is the pinned RNG contract), then synthesize both noise draws
+    // with the deterministic Box-Muller transform in one vector pass.
+    // std::normal_distribution is useless here twice over: a fresh
+    // distribution per draw runs the polar rejection loop from scratch
+    // (~2 engine words + log + sqrt per draw, the dominant predict cost),
+    // and its algorithm is implementation-defined, so the stream would
+    // not reproduce across standard libraries. det_normal_pair is a pure
+    // elementwise function of the staged words -- the scalar fallback
+    // below computes the identical expressions in the identical order.
+    noise_h_.resize(n);
+    noise_s_.resize(n);
+    trig_sin_.resize(n);
+    trig_cos_.resize(n);
+    raw_a_.resize(n);
+    raw_b_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      raw_a_[i] = rng_.engine()();
+      raw_b_[i] = rng_.engine()();
+    }
+    {
+      const std::uint64_t* ra = raw_a_.data();
+      const std::uint64_t* rb = raw_b_.data();
+      double* nh = noise_h_.data();
+      double* ns = noise_s_.data();
+      UNILOC_PRAGMA_SIMD
+      for (std::size_t i = 0; i < n; ++i) {
+        double z0, z1;
+        stats::det_normal_pair(ra[i], rb[i], z0, z1);
+        nh[i] = heading_sd * z0;
+        ns[i] = step_len_sd * z1;
+      }
+    }
+    // wrap_angle is fmod-based (branchy); keep it scalar.
+    for (std::size_t i = 0; i < n; ++i) {
+      heading_[i] = geo::wrap_angle(heading_[i] + dheading + noise_h_[i]);
+    }
+    double* h = heading_.data();
+    double* ts = trig_sin_.data();
+    double* tc = trig_cos_.data();
+    UNILOC_PRAGMA_SIMD
+    for (std::size_t i = 0; i < n; ++i) {
+      stats::det_sincos(h[i], ts[i], tc[i]);
+    }
+    double* x = px_.data();
+    double* y = py_.data();
+    const double* sc = scale_.data();
+    const double* ns = noise_s_.data();
+    UNILOC_PRAGMA_SIMD
+    for (std::size_t i = 0; i < n; ++i) {
+      const double len = std::max(0.0, step_len * sc[i] + ns[i]);
+      x[i] += tc[i] * len;
+      y[i] += ts[i] * len;
+    }
+    return;
   }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    // Same two engine words and the same det_normal_pair expressions as
+    // the staged vector path above -- the one scalar/vector contract the
+    // differential tier pins down to the bit.
+    const std::uint64_t a = rng_.engine()();
+    const std::uint64_t b = rng_.engine()();
+    double z0, z1;
+    stats::det_normal_pair(a, b, z0, z1);
+    heading_[i] =
+        geo::wrap_angle(heading_[i] + dheading + heading_sd * z0);
+    const double len =
+        std::max(0.0, step_len * scale_[i] + step_len_sd * z1);
+    double s, c;
+    stats::det_sincos(heading_[i], s, c);
+    px_[i] += c * len;
+    py_[i] += s * len;
+  }
+}
+
+void ParticleFilter::reweight_array(const double* likelihood) {
+  double total = 0.0;
+  const std::size_t n = px_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    weight_[i] *= likelihood[i];
+    total += weight_[i];
+  }
+  if (total <= 0.0) {
+    reset_uniform_weights();
+    return;
+  }
+  for (double& w : weight_) w /= total;
 }
 
 void ParticleFilter::normalize_weights() {
@@ -196,8 +280,11 @@ bool ParticleFilter::restore_from(offload::ByteReader& r) {
 
 std::size_t ParticleFilter::storage_bytes() const {
   return (px_.capacity() + py_.capacity() + heading_.capacity() +
-          scale_.capacity() + weight_.capacity() + gather_.capacity()) *
+          scale_.capacity() + weight_.capacity() + gather_.capacity() +
+          noise_h_.capacity() + noise_s_.capacity() + trig_sin_.capacity() +
+          trig_cos_.capacity()) *
              sizeof(double) +
+         (raw_a_.capacity() + raw_b_.capacity()) * sizeof(std::uint64_t) +
          pick_.capacity() * sizeof(std::uint32_t);
 }
 

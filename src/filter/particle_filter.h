@@ -107,6 +107,13 @@ class ParticleFilter {
     for (double& w : weight_) w /= total;
   }
 
+  /// Multiply each particle's weight by `likelihood[i]` for a caller-filled
+  /// array of size() entries. This is the commit step of the SIMD reweight
+  /// kernels: a vector loop fills one lane per particle, then the weights
+  /// are updated here in exactly the accumulation order of
+  /// reweight_indexed, so the two entry points are bit-identical.
+  void reweight_array(const double* likelihood);
+
   /// Systematic resampling. Runs only when the effective sample size
   /// drops below `ess_threshold_fraction * N` (pass 1.0 to always resample).
   void resample(double ess_threshold_fraction = 0.5);
@@ -126,6 +133,10 @@ class ParticleFilter {
   std::size_t size() const { return px_.size(); }
 
   // SoA accessors (hot path: no Particle assembly, no copies).
+  // The raw-array views feed the lane-per-particle SIMD kernels in the
+  // schemes (read-only; writes go through reweight_array / set_weight).
+  const double* pos_xs() const { return px_.data(); }
+  const double* pos_ys() const { return py_.data(); }
   geo::Vec2 pos(std::size_t i) const { return {px_[i], py_[i]}; }
   double heading(std::size_t i) const { return heading_[i]; }
   double step_scale(std::size_t i) const { return scale_[i]; }
@@ -163,6 +174,12 @@ class ParticleFilter {
   std::vector<double> px_, py_, heading_, scale_, weight_;
   std::vector<std::uint32_t> pick_;    ///< Resampling ancestor indices.
   std::vector<double> gather_;         ///< Resampling gather scratch.
+  // predict() SIMD staging: noise draws are pulled out of the loop (same
+  // engine order) so the trig + position update vectorizes.
+  std::vector<double> noise_h_, noise_s_, trig_sin_, trig_cos_;
+  /// Raw engine words staged by predict()'s vector path; the Box-Muller
+  /// transform consumes them elementwise (stats::det_normal_pair).
+  std::vector<std::uint64_t> raw_a_, raw_b_;
   stats::Rng rng_;
   obs::Histogram* predict_us_{nullptr};
   obs::Histogram* resample_us_{nullptr};

@@ -44,6 +44,10 @@ CaseSpec generate_case(std::uint64_t engine_seed, std::size_t index) {
   s.workers = rng.chance(0.25)
                   ? static_cast<std::uint32_t>(rng.uniform_int(1, 4))
                   : 0;
+  // A quarter of the cases run the I8 batched+scalar differential pass.
+  s.batch = rng.chance(0.25)
+                ? static_cast<std::uint32_t>(rng.uniform_int(2, 6))
+                : 0;
   s.shards = rng.chance(0.4)
                  ? static_cast<std::uint32_t>(rng.uniform_int(2, 4))
                  : 1;

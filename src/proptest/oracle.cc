@@ -18,6 +18,7 @@
 #include "obs/metrics.h"
 #include "shard/router.h"
 #include "sim/builders.h"
+#include "stats/simd.h"
 #include "svc/loadgen.h"
 #include "svc/server.h"
 
@@ -108,7 +109,8 @@ class CaseRunner {
   svc::LoadGenConfig load_config(const obs::Counter* up);
 
   PassResult run_single(int workers, bool with_crash_injector,
-                        const std::string& label);
+                        const std::string& label,
+                        std::size_t epoch_batch = 1);
   PassResult run_fleet();
 
   void check_report(const PassResult& pass);
@@ -186,10 +188,12 @@ svc::LoadGenConfig CaseRunner::load_config(const obs::Counter* up) {
 }
 
 PassResult CaseRunner::run_single(int workers, bool with_crash_injector,
-                                  const std::string& label) {
+                                  const std::string& label,
+                                  std::size_t epoch_batch) {
   obs::MetricsRegistry reg;
   svc::ServerConfig scfg;
   scfg.workers = workers;
+  scfg.epoch_batch = epoch_batch;
   scfg.on_epoch = [this, label](std::uint64_t,
                                 const core::EpochDecision& d) {
     check_decision(d, label);
@@ -418,6 +422,19 @@ Verdict CaseRunner::run(const OracleOptions& opts) {
 
   if (opts.check_fleet && spec_.shards > 1) {
     compare_passes(ref, run_fleet(), "I7 (fleet)");
+  }
+
+  if (opts.check_batch && spec_.batch > 1) {
+    // I8, both halves in one comparison: route the stream through the
+    // EpochBatcher (workers=0 drains batches inline, so the pass stays
+    // deterministic) AND force the scalar kernels. The base pass above
+    // ran unbatched with SIMD on -- equality pins batched == unbatched
+    // and scalar == vector at once.
+    const stats::ScopedSimd scalar_only(false);
+    compare_passes(ref,
+                   run_single(/*workers=*/0, /*with_crash_injector=*/false,
+                              "batch", /*epoch_batch=*/spec_.batch),
+                   "I8 (batch+scalar)");
   }
 
   Verdict v;

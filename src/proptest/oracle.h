@@ -18,6 +18,12 @@
 //   I7  The fleet is invisible: a ShardRouter over N shards -- through
 //       migration rotation and membership churn -- serves the exact
 //       stream of a single server, and no session is ever lost.
+//   I8  Vectorization and batching are invisible: a pass through the
+//       cross-session EpochBatcher (epoch_batch = spec.batch) with the
+//       SIMD kernels forced OFF (stats::ScopedSimd) reproduces the base
+//       pass -- which runs unbatched with the kernels ON -- bit for bit.
+//       One comparison pins both equalities: batched == unbatched and
+//       scalar == vector, NaN-aware like every pass comparison.
 //
 // Violations come back as strings (the engine is gtest-free); each
 // carries enough context to read the failure without rerunning it.
@@ -48,6 +54,7 @@ struct OracleOptions {
   bool check_crash_restore{true};
   bool check_workers{true};
   bool check_fleet{true};
+  bool check_batch{true};
 };
 
 /// Run `spec` and return every invariant violation found. `models` is

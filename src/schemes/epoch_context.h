@@ -64,6 +64,9 @@ struct EpochContext {
       b += m.all.capacity() * sizeof(Match);
       b += m.scratch.col.capacity() * sizeof(int);
       b += m.scratch.stamp.capacity() * sizeof(std::uint32_t);
+      b += (m.scratch.lane_sum2.capacity() + m.scratch.lane_shared.capacity() +
+            m.scratch.col_skip.capacity()) *
+           sizeof(double);
     }
     return b;
   }

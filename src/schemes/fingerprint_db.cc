@@ -8,6 +8,8 @@
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "stats/rng.h"
+#include "stats/simd.h"
+#include "stats/vecmath.h"
 
 namespace uniloc::schemes {
 
@@ -140,9 +142,19 @@ void FingerprintDatabase::prebuild_likelihood_cache() {
   slice_begin_.reserve(fps_.size() + 1);
   cell_value_.resize(fps_.size() * cols, 0.0);
   cell_present_.assign(fps_.size() * cols, 0);
+  // Column-major mirrors for the SIMD batch scorer. Pre-substituting the
+  // floor for absent cells folds cached_distance's presence branch into
+  // plain loads. The masked fp-only pass of score_batch multiplies
+  // entry_d2floor_ by a 0.0/1.0 mask, which is only bit-identical to the
+  // reference's branchy skip when the terms are finite -- offline RSS
+  // levels always are (asserted here; blend_reading invalidates the cache
+  // before any non-finite value could enter it).
+  colmajor_value_.assign(cols * fps_.size(), floor);
+  colmajor_present_.assign(cols * fps_.size(), 0.0);
   for (std::size_t i = 0; i < fps_.size(); ++i) {
     slice_begin_.push_back(static_cast<std::uint32_t>(entry_col_.size()));
     for (const auto& [id, offline] : fps_[i].rssi) {
+      assert(std::isfinite(offline));
       const auto it =
           std::lower_bound(col_ids_.begin(), col_ids_.end(), id);
       const int col = static_cast<int>(it - col_ids_.begin());
@@ -151,6 +163,9 @@ void FingerprintDatabase::prebuild_likelihood_cache() {
       entry_d2floor_.push_back(d * d);
       cell_value_[i * cols + static_cast<std::size_t>(col)] = offline;
       cell_present_[i * cols + static_cast<std::size_t>(col)] = 1;
+      colmajor_value_[static_cast<std::size_t>(col) * fps_.size() + i] =
+          offline;
+      colmajor_present_[static_cast<std::size_t>(col) * fps_.size() + i] = 1.0;
     }
   }
   slice_begin_.push_back(static_cast<std::uint32_t>(entry_col_.size()));
@@ -163,7 +178,9 @@ std::size_t FingerprintDatabase::likelihood_cache_bytes() const {
          entry_col_.capacity() * sizeof(int) +
          entry_d2floor_.capacity() * sizeof(double) +
          cell_value_.capacity() * sizeof(double) +
-         cell_present_.capacity() * sizeof(std::uint8_t);
+         cell_present_.capacity() * sizeof(std::uint8_t) +
+         (colmajor_value_.capacity() + colmajor_present_.capacity()) *
+             sizeof(double);
 }
 
 void FingerprintDatabase::prepare_scan(
@@ -236,6 +253,77 @@ double FingerprintDatabase::cached_distance(
   return std::sqrt(sum2);
 }
 
+void FingerprintDatabase::score_batch(
+    const std::vector<sim::ApReading>& scan, ScanScratch& scratch) const {
+  // One SIMD lane per fingerprint, accumulating that fingerprint's terms
+  // in exactly the order cached_distance sums them:
+  //   * scan loop, scan order: the j-outer / fingerprint-inner nesting
+  //     keeps lane i's additions in scan order; a reading unknown to the
+  //     database contributes the same (r - floor)^2 to every lane.
+  //   * fp-only loop, slice order: scan-covered entries are skipped by
+  //     multiplying with a 0.0/1.0 column mask. 1.0*d2 is exact, and
+  //     adding 0.0*d2 == +0.0 is the identity because the running sum is
+  //     a sum of squares (never -0.0) -- so the masked adds reproduce the
+  //     branchy reference bit for bit (d2 finite; see prebuild).
+  // The final lane value is the finished distance: sqrt(sum2), or max()
+  // when no transmitter is shared (the reference's sentinel).
+  const std::size_t n = fps_.size();
+  const std::size_t cols = col_ids_.size();
+  if (scratch.lane_sum2.size() != n) {
+    scratch.lane_sum2.resize(n);
+    scratch.lane_shared.resize(n);
+  }
+  if (scratch.col_skip.size() != cols) scratch.col_skip.resize(cols);
+  double* sum2 = scratch.lane_sum2.data();
+  double* shared = scratch.lane_shared.data();
+  UNILOC_PRAGMA_SIMD
+  for (std::size_t i = 0; i < n; ++i) {
+    sum2[i] = 0.0;
+    shared[i] = 0.0;
+  }
+  const double floor = floor_dbm();
+  for (std::size_t j = 0; j < scan.size(); ++j) {
+    const int col = scratch.col[j];
+    const double r = scan[j].rssi_dbm;
+    if (col < 0) {
+      const double d = r - floor;
+      const double dd = d * d;
+      UNILOC_PRAGMA_SIMD
+      for (std::size_t i = 0; i < n; ++i) sum2[i] += dd;
+    } else {
+      const double* value =
+          colmajor_value_.data() + static_cast<std::size_t>(col) * n;
+      const double* present =
+          colmajor_present_.data() + static_cast<std::size_t>(col) * n;
+      UNILOC_PRAGMA_SIMD
+      for (std::size_t i = 0; i < n; ++i) {
+        const double d = r - value[i];
+        sum2[i] += d * d;
+        shared[i] += present[i];
+      }
+    }
+  }
+  double* skip = scratch.col_skip.data();
+  for (std::size_t c = 0; c < cols; ++c) {
+    skip[c] = scratch.stamp[c] != scratch.epoch ? 1.0 : 0.0;
+  }
+  const std::uint32_t* sb = slice_begin_.data();
+  const int* ecol = entry_col_.data();
+  const double* ed2 = entry_d2floor_.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = sum2[i];
+    for (std::uint32_t e = sb[i]; e < sb[i + 1]; ++e) {
+      s += skip[static_cast<std::size_t>(ecol[e])] * ed2[e];
+    }
+    sum2[i] = s;
+  }
+  UNILOC_PRAGMA_SIMD
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = std::sqrt(sum2[i]);
+    sum2[i] = shared[i] > 0.0 ? d : std::numeric_limits<double>::max();
+  }
+}
+
 void FingerprintDatabase::build_candidates(
     const std::vector<sim::ApReading>& scan, ScanScratch& scratch,
     std::vector<Match>& out) const {
@@ -244,6 +332,18 @@ void FingerprintDatabase::build_candidates(
     ++scratch.cache_hits;
     if (cache_hits_ != nullptr) cache_hits_->inc();
     prepare_scan(scan, scratch);
+#if !defined(UNILOC_NO_SIMD)
+    if (stats::simd_enabled()) {
+      score_batch(scan, scratch);
+      const double* dist = scratch.lane_sum2.data();
+      for (std::size_t i = 0; i < fps_.size(); ++i) {
+        if (dist[i] < std::numeric_limits<double>::max()) {
+          out.push_back({i, dist[i]});
+        }
+      }
+      return;
+    }
+#endif
     for (std::size_t i = 0; i < fps_.size(); ++i) {
       const double d = cached_distance(i, scan, scratch);
       if (d < std::numeric_limits<double>::max()) out.push_back({i, d});
@@ -317,6 +417,14 @@ void FingerprintDatabase::all_distances_into(
     ++scratch.cache_hits;
     if (cache_hits_ != nullptr) cache_hits_->inc();
     prepare_scan(scan, scratch);
+#if !defined(UNILOC_NO_SIMD)
+    if (stats::simd_enabled()) {
+      score_batch(scan, scratch);
+      std::copy(scratch.lane_sum2.begin(), scratch.lane_sum2.end(),
+                out.begin());
+      return;
+    }
+#endif
     for (std::size_t i = 0; i < fps_.size(); ++i) {
       out[i] = cached_distance(i, scan, scratch);
     }

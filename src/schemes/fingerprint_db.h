@@ -56,6 +56,12 @@ struct ScanScratch {
   std::uint32_t epoch{0};           ///< Current scan epoch for `stamp`.
   std::uint64_t cache_hits{0};      ///< Queries answered from the cache.
   std::uint64_t cache_misses{0};    ///< Queries that fell back to exact.
+  // SIMD batch-scoring lanes (score_batch): per-fingerprint running sum /
+  // shared count, and the per-column skip mask (1.0 when the column is NOT
+  // in the current scan). Sized on first cached query, reused thereafter.
+  std::vector<double> lane_sum2;
+  std::vector<double> lane_shared;
+  std::vector<double> col_skip;
 };
 
 class FingerprintDatabase;
@@ -199,6 +205,13 @@ class FingerprintDatabase {
   double cached_distance(std::size_t fp_index,
                          const std::vector<sim::ApReading>& scan,
                          const ScanScratch& scratch) const;
+  /// Vector variant of the cached query: scores every fingerprint at once,
+  /// one SIMD lane per fingerprint, leaving the final distances in
+  /// scratch.lane_sum2. Bit-identical to looping cached_distance (see the
+  /// implementation notes); requires prepare_scan to have run for this
+  /// scan and the cache to be ready.
+  void score_batch(const std::vector<sim::ApReading>& scan,
+                   ScanScratch& scratch) const;
   /// The shared candidate loop of k_nearest_into / k_nearest_memo: every
   /// fingerprint's distance to `scan` (cache or exact), appended to `out`
   /// in fingerprint-index order, unsorted.
@@ -220,6 +233,12 @@ class FingerprintDatabase {
   std::vector<double> entry_d2floor_;      ///< Entry -> (rss - floor)^2.
   std::vector<double> cell_value_;         ///< Dense fp x column RSS table.
   std::vector<std::uint8_t> cell_present_; ///< Dense fp x column presence.
+  // Column-major mirrors for score_batch: per (column, fingerprint) the
+  // effective offline level (fingerprint RSS, or the floor when absent --
+  // the branch of cached_distance pre-substituted) and the presence flag
+  // as a 0.0/1.0 double so the shared count accumulates in vector lanes.
+  std::vector<double> colmajor_value_;
+  std::vector<double> colmajor_present_;
 
   obs::Histogram* match_us_{nullptr};
   obs::Counter* cache_hits_{nullptr};

@@ -4,6 +4,8 @@
 
 #include "schemes/epoch_context.h"
 #include "stats/gaussian.h"
+#include "stats/simd.h"
+#include "stats/vecmath.h"
 
 namespace uniloc::schemes {
 
@@ -19,19 +21,28 @@ void FusionScheme::extra_reweight(const sim::SensorFrame& frame) {
   if (candidates.empty()) return;
 
   // RSSI likelihood of each candidate, relative to the best match.
+  // det_exp, not std::exp: the fast path evaluates the same weights and
+  // the two pipelines must agree bit for bit.
   const double best = candidates[0].distance;
   std::vector<double> rssi_w(candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     rssi_w[i] =
-        std::exp(-(candidates[i].distance - best) / opts_.rssi_scale_db);
+        stats::det_exp(-(candidates[i].distance - best) / opts_.rssi_scale_db);
   }
 
+  // Squared-distance form: (dx^2 + dy^2) * inv_sd2 feeds normal_pdf_sq
+  // directly, skipping the per-lane sqrt and division. Every fusion
+  // reweight path (this reference, the SIMD kernel, its scalar
+  // fallback) evaluates this exact expression so they stay
+  // bit-identical to each other.
+  const double inv_sd2 = 1.0 / (opts_.spatial_sd_m * opts_.spatial_sd_m);
   pf().reweight([&](const filter::Particle& p) {
     double like = opts_.floor_likelihood;
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       const geo::Vec2 fp_pos = db_->fingerprints()[candidates[i].index].pos;
-      const double d = geo::distance(p.pos, fp_pos);
-      like += rssi_w[i] * stats::normal_pdf(d / opts_.spatial_sd_m);
+      const double dx = p.pos.x - fp_pos.x;
+      const double dy = p.pos.y - fp_pos.y;
+      like += rssi_w[i] * stats::normal_pdf_sq((dx * dx + dy * dy) * inv_sd2);
     }
     return like;
   });
@@ -57,18 +68,54 @@ void FusionScheme::extra_reweight_fast(const sim::SensorFrame& frame) {
   const double best = candidates_[0].distance;
   rssi_w_.resize(candidates_.size());
   for (std::size_t i = 0; i < candidates_.size(); ++i) {
-    rssi_w_[i] =
-        std::exp(-(candidates_[i].distance - best) / opts_.rssi_scale_db);
+    rssi_w_[i] = stats::det_exp(-(candidates_[i].distance - best) /
+                                opts_.rssi_scale_db);
   }
 
+#if !defined(UNILOC_NO_SIMD)
+  if (stats::simd_enabled()) {
+    // Lane-per-particle kernel: candidate-outer / particle-inner keeps
+    // each particle's accumulation in candidate order -- the exact
+    // per-particle operation sequence of the scalar lambda below, so the
+    // committed weights are bit-identical (normal_pdf_sq is
+    // det_exp-based and inline in both paths).
+    filter::ParticleFilter& f = pf();
+    const std::size_t n = f.size();
+    like_.resize(n);
+    double* like = like_.data();
+    const double floor_like = opts_.floor_likelihood;
+    UNILOC_PRAGMA_SIMD
+    for (std::size_t p = 0; p < n; ++p) like[p] = floor_like;
+    const double* xs = f.pos_xs();
+    const double* ys = f.pos_ys();
+    const double inv_sd2 =
+        1.0 / (opts_.spatial_sd_m * opts_.spatial_sd_m);
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+      const geo::Vec2 fp_pos = db_->fingerprints()[candidates_[i].index].pos;
+      const double fx = fp_pos.x;
+      const double fy = fp_pos.y;
+      const double w = rssi_w_[i];
+      UNILOC_PRAGMA_SIMD
+      for (std::size_t p = 0; p < n; ++p) {
+        const double dx = xs[p] - fx;
+        const double dy = ys[p] - fy;
+        like[p] += w * stats::normal_pdf_sq((dx * dx + dy * dy) * inv_sd2);
+      }
+    }
+    f.reweight_array(like);
+    return;
+  }
+#endif
   const std::vector<Match>& candidates = candidates_;
   const std::vector<double>& rssi_w = rssi_w_;
+  const double inv_sd2 = 1.0 / (opts_.spatial_sd_m * opts_.spatial_sd_m);
   pf().reweight([&](const filter::Particle& p) {
     double like = opts_.floor_likelihood;
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       const geo::Vec2 fp_pos = db_->fingerprints()[candidates[i].index].pos;
-      const double d = geo::distance(p.pos, fp_pos);
-      like += rssi_w[i] * stats::normal_pdf(d / opts_.spatial_sd_m);
+      const double dx = p.pos.x - fp_pos.x;
+      const double dy = p.pos.y - fp_pos.y;
+      like += rssi_w[i] * stats::normal_pdf_sq((dx * dx + dy * dy) * inv_sd2);
     }
     return like;
   });

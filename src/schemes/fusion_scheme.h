@@ -49,11 +49,13 @@ class FusionScheme final : public PdrScheme {
   FusionOptions opts_;
   EpochContext* epoch_ctx_{nullptr};
 
-  // Fast-path scratch: candidate matches, their RSSI weights, and the
-  // likelihood-cache workspace, reused across epochs.
+  // Fast-path scratch: candidate matches, their RSSI weights, the
+  // likelihood-cache workspace, and the per-particle likelihood lanes of
+  // the SIMD reweight kernel, reused across epochs.
   ScanScratch scan_scratch_;
   std::vector<Match> candidates_;
   std::vector<double> rssi_w_;
+  std::vector<double> like_;
 };
 
 }  // namespace uniloc::schemes

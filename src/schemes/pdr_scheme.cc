@@ -5,7 +5,9 @@
 #include <limits>
 
 #include "stats/gaussian.h"
+#include "stats/vecmath.h"
 #include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace uniloc::schemes {
 
@@ -28,19 +30,42 @@ void PdrScheme::attach_metrics(obs::MetricsRegistry* registry) {
   registry_ = registry;
   // name() is virtual, so the fusion subclass lands under its own prefix.
   pf_.attach_metrics(registry, "scheme." + name() + ".pf");
+  if (registry == nullptr) {
+    map_us_ = nullptr;
+    extra_us_ = nullptr;
+    output_us_ = nullptr;
+    return;
+  }
+  const std::string prefix = "scheme." + name() + ".stage.";
+  map_us_ = &registry->histogram(prefix + "map_us");
+  extra_us_ = &registry->histogram(prefix + "extra_us");
+  output_us_ = &registry->histogram(prefix + "output_us");
 }
 
 void PdrScheme::apply_map_constraint(bool fast) {
   if (!opts_.use_map || place_ == nullptr) return;
-  pf_.reweight([this, fast](const filter::Particle& p) {
+  // Pin the env index once for the whole pass -- per-particle
+  // corridor_safe_fast/environment_at_fast calls each pay an atomic
+  // shared_ptr copy, and this lambda runs ~300x2 times per epoch.
+  const sim::Place::EnvView env_view = place_->env_view();
+  pf_.reweight([this, fast, &env_view](const filter::Particle& p) {
+    // Corridor-safe cells: the full environment computation below is
+    // guaranteed to land in the `beyond <= 0` branch and return exactly
+    // 1.0 (see Place::corridor_safe_fast), so the fast path skips the
+    // walkway projections -- the dominant cost of this constraint --
+    // without changing any weight.
+    if (fast && env_view.corridor_safe(p.pos)) return 1.0;
     const sim::LocalEnvironment env = fast
-                                          ? place_->environment_at_fast(p.pos)
+                                          ? env_view.environment(p.pos)
                                           : place_->environment_at(p.pos);
     const double beyond =
         std::max(0.0, env.distance_to_walkway - env.corridor_width_m / 2.0);
     if (beyond <= 0.0) return 1.0;
     const double z = beyond / opts_.map_slack_m;
-    return std::exp(-0.5 * z * z);
+    // det_exp keeps the whole particle-weight pipeline off libm, so the
+    // traces reproduce bit for bit on any IEEE-754 platform, not just
+    // against this machine's libm (DESIGN.md section 16).
+    return stats::det_exp(-0.5 * z * z);
   });
 }
 
@@ -99,6 +124,7 @@ SchemeOutput PdrScheme::make_output() const {
 }
 
 void PdrScheme::make_output_into(SchemeOutput& out) const {
+  obs::ScopedTimer timer(output_us_);
   // "dist_since_landmark" is 19 chars -- past libstdc++'s SSO buffer --
   // so keep one static key instead of a per-epoch heap temporary.
   static const std::string kDistSinceLandmark = "dist_since_landmark";
@@ -130,11 +156,17 @@ void PdrScheme::step_epoch(const sim::SensorFrame& frame, bool fast) {
     dist_since_landmark_ += inf.step_length_m;
   }
   if (!before.empty()) apply_wall_constraint(before);
-  apply_map_constraint(fast);
-  if (fast) {
-    extra_reweight_fast(frame);
-  } else {
-    extra_reweight(frame);
+  {
+    obs::ScopedTimer t(map_us_);
+    apply_map_constraint(fast);
+  }
+  {
+    obs::ScopedTimer t(extra_us_);
+    if (fast) {
+      extra_reweight_fast(frame);
+    } else {
+      extra_reweight(frame);
+    }
   }
   apply_landmarks(frame);
   pf_.resample();

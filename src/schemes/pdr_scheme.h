@@ -85,6 +85,11 @@ class PdrScheme : public LocalizationScheme {
   PdrFrontend frontend_;
   filter::ParticleFilter pf_;
   obs::MetricsRegistry* registry_{nullptr};
+  /// Per-stage epoch latency (scheme.<name>.stage.*); null when detached,
+  /// so the hot path pays only untaken branches (obs/timer.h contract).
+  obs::Histogram* map_us_{nullptr};
+  obs::Histogram* extra_us_{nullptr};
+  obs::Histogram* output_us_{nullptr};
   /// Pre-step particle positions for the wall-crossing test; member scratch
   /// so steady-state updates reuse its capacity instead of reallocating.
   std::vector<geo::Vec2> before_;

@@ -153,16 +153,82 @@ LocalEnvironment Place::environment_over(geo::Vec2 p,
   return env;
 }
 
+LocalEnvironment Place::environment_over_edges(geo::Vec2 p,
+                                               const std::uint32_t* cand,
+                                               std::size_t count) const {
+  // Mirrors environment_over -- itself a mirror of environment_at --
+  // over a per-cell EDGE subset. Edges arrive ascending by (walkway,
+  // edge), so the two-level scan below replays Polyline::project's
+  // strict-< first-wins tie-break inside each walkway and then
+  // environment_at's strict-< first-wins tie-break across walkways.
+  // Pruned edges are strictly farther than the winner everywhere in the
+  // cell (see EnvIndex::ecand), so every comparison that decides the
+  // result sees identical operands and the output is bit-identical.
+  LocalEnvironment env;
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t c = 0;
+  while (c < count) {
+    const std::size_t i = cand[c] >> 16;
+    const Walkway& way = walkways_[i];
+    const std::vector<geo::Vec2>& pts = way.line.points();
+    double wbest = std::numeric_limits<double>::infinity();
+    double warc = 0.0;
+    for (; c < count && (cand[c] >> 16) == i; ++c) {
+      const std::size_t e = cand[c] & 0xFFFF;
+      // Exactly Polyline::project's per-edge computation.
+      const geo::Vec2 a = pts[e], b = pts[e + 1];
+      const geo::Vec2 ab = b - a;
+      const double len2 = ab.norm2();
+      const double t =
+          len2 > 0.0 ? std::clamp((p - a).dot(ab) / len2, 0.0, 1.0) : 0.0;
+      const geo::Vec2 q = geo::lerp(a, b, t);
+      const double d = geo::distance(p, q);
+      if (d < wbest) {
+        wbest = d;
+        warc = way.line.arclen_of_vertex(e) + t * std::sqrt(len2);
+      }
+    }
+    if (wbest < best) {
+      best = wbest;
+      const PathSegment& seg = way.segment_at(warc);
+      env.type = seg.type;
+      env.corridor_width_m = seg.corridor_width_m;
+      env.indoor = is_indoor(seg.type);
+      env.sky_visibility = sim::sky_visibility(seg.type);
+      env.walkway = i;
+      env.arclen = warc;
+      env.distance_to_walkway = wbest;
+    }
+  }
+  if (best > 25.0) {
+    env.type = SegmentType::kOpenSpace;
+    env.corridor_width_m = default_corridor_width(SegmentType::kOpenSpace);
+    env.indoor = false;
+    env.sky_visibility = 1.0;
+  }
+  return env;
+}
+
 LocalEnvironment Place::environment_at_fast(geo::Vec2 p) const {
-  const std::shared_ptr<const EnvIndex> idx = env_index_;
-  if (idx == nullptr || !idx->box.contains(p)) return environment_at(p);
+  return env_view().environment(p);
+}
+
+LocalEnvironment Place::EnvView::environment(geo::Vec2 p) const {
+  const EnvIndex* idx = idx_.get();
+  if (idx == nullptr || !idx->box.contains(p)) {
+    return place_->environment_at(p);
+  }
   const std::size_t cx = std::min(
       idx->nx - 1, static_cast<std::size_t>((p.x - idx->box.min.x) / idx->cell));
   const std::size_t cy = std::min(
       idx->ny - 1, static_cast<std::size_t>((p.y - idx->box.min.y) / idx->cell));
   const std::size_t c = cy * idx->nx + cx;
-  return environment_over(p, idx->candidates.data() + idx->begin[c],
-                          idx->begin[c + 1] - idx->begin[c]);
+  if (!idx->ebegin.empty()) {
+    return place_->environment_over_edges(p, idx->ecand.data() + idx->ebegin[c],
+                                          idx->ebegin[c + 1] - idx->ebegin[c]);
+  }
+  return place_->environment_over(p, idx->candidates.data() + idx->begin[c],
+                                  idx->begin[c + 1] - idx->begin[c]);
 }
 
 void Place::prebuild_env_index() const {
@@ -182,8 +248,45 @@ void Place::prebuild_env_index() const {
   // dropping it is exact. The epsilon only widens the keep set (always
   // safe) to absorb rounding in the center distances themselves.
   const double r = 0.5 * idx->cell * std::sqrt(2.0);
+  // Per walkway: the narrowest corridor width over its segments. The
+  // safe-cell test below must hold no matter which segment the nearest
+  // projection lands on, so it uses this lower bound.
+  std::vector<double> min_width(walkways_.size(), 0.0);
+  for (std::size_t i = 0; i < walkways_.size(); ++i) {
+    double mw = std::numeric_limits<double>::infinity();
+    for (const PathSegment& s : walkways_[i].segments) {
+      mw = std::min(mw, s.corridor_width_m);
+    }
+    min_width[i] = walkways_[i].segments.empty() ? 0.0 : mw;
+  }
+  // dist[] doubles as per-cell walkway distances in the coarse pass and
+  // per-candidate distances in the refinement pass below; both uses are
+  // complete within one cell iteration.
   std::vector<double> dist(walkways_.size());
   idx->begin.reserve(idx->nx * idx->ny + 1);
+  // Edge-level candidates need every walkway to have a genuine edge list
+  // and the (walkway, edge) pair to fit the 16+16-bit packing; degenerate
+  // or oversized worlds keep ebegin empty and query the walkway lists.
+  bool edges_ok = walkways_.size() < 0xFFFF;
+  for (const Walkway& w : walkways_) {
+    if (w.line.size() < 2 || w.line.size() - 1 > 0xFFFF) edges_ok = false;
+  }
+  if (edges_ok) idx->ebegin.reserve(idx->nx * idx->ny + 1);
+  // The fine safe sub-grid divides each coarse cell into kRefine^2 exact
+  // sub-cells (same origin, so any point of a fine cell lies inside the
+  // coarse cell that owns it -- the candidate-set containment argument
+  // below needs that). 0.5 m fine cells give a 0.354 m half-diagonal:
+  // small enough that points within ~1.4 m of a 3.5 m corridor's
+  // centerline certify as safe, where the 2.83 m coarse half-diagonal
+  // certifies nothing.
+  constexpr std::size_t kRefine = 8;
+  idx->fine_cell = idx->cell / static_cast<double>(kRefine);
+  idx->fnx = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(idx->box.width() / idx->fine_cell)));
+  idx->fny = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(idx->box.height() / idx->fine_cell)));
+  idx->fine_safe.assign(idx->fnx * idx->fny, 0);
+  const double rf = 0.5 * idx->fine_cell * std::sqrt(2.0);
   for (std::size_t cy = 0; cy < idx->ny; ++cy) {
     for (std::size_t cx = 0; cx < idx->nx; ++cx) {
       const geo::Vec2 center{
@@ -196,15 +299,113 @@ void Place::prebuild_env_index() const {
       }
       const double keep = best + 2.0 * r + 1e-9;
       idx->begin.push_back(static_cast<std::uint32_t>(idx->candidates.size()));
+      const std::size_t cand_begin = idx->candidates.size();
+      double max_half = 0.0;
       for (std::size_t i = 0; i < walkways_.size(); ++i) {
         if (dist[i] <= keep) {
           idx->candidates.push_back(static_cast<std::uint32_t>(i));
+          max_half = std::max(max_half, 0.5 * min_width[i]);
+        }
+      }
+
+      // Edge-level candidates under the same bound: any edge that is the
+      // nearest edge (or an exact tie) at some p of the cell has center
+      // distance at most d_e(p) + r = d_min(p) + r <= best + 2r, so
+      // every edge kept here provably contains all possible winners and
+      // ties -- environment_over_edges is then bit-identical to the full
+      // projection. Walkways whose own minimum already exceeds the bound
+      // are skipped without touching their edges.
+      if (edges_ok) {
+        idx->ebegin.push_back(static_cast<std::uint32_t>(idx->ecand.size()));
+        for (std::size_t i = 0; i < walkways_.size(); ++i) {
+          if (dist[i] > keep) continue;
+          const std::vector<geo::Vec2>& pts = walkways_[i].line.points();
+          for (std::size_t e = 0; e + 1 < pts.size(); ++e) {
+            const geo::Vec2 a = pts[e], b = pts[e + 1];
+            const geo::Vec2 ab = b - a;
+            const double len2 = ab.norm2();
+            const double t =
+                len2 > 0.0
+                    ? std::clamp((center - a).dot(ab) / len2, 0.0, 1.0)
+                    : 0.0;
+            const double de = geo::distance(center, geo::lerp(a, b, t));
+            if (de <= keep) {
+              idx->ecand.push_back(
+                  static_cast<std::uint32_t>((i << 16) | e));
+            }
+          }
+        }
+      }
+
+      // Refine only the corridor band: a fine cell here can be safe only
+      // if its winner's distance (>= best - r at any point of the coarse
+      // cell) plus the fine half-diagonal fits inside some candidate's
+      // half-width. Cells that fail this necessary condition keep
+      // fine_safe == 0 without projecting anything.
+      if (best - r + rf > max_half + 1e-9) continue;
+      const std::size_t cand_count = idx->candidates.size() - cand_begin;
+      const std::uint32_t* cand = idx->candidates.data() + cand_begin;
+      const std::size_t fx_end = std::min(idx->fnx, (cx + 1) * kRefine);
+      const std::size_t fy_end = std::min(idx->fny, (cy + 1) * kRefine);
+      for (std::size_t fy = cy * kRefine; fy < fy_end; ++fy) {
+        for (std::size_t fx = cx * kRefine; fx < fx_end; ++fx) {
+          const geo::Vec2 fc{
+              idx->box.min.x +
+                  (static_cast<double>(fx) + 0.5) * idx->fine_cell,
+              idx->box.min.y +
+                  (static_cast<double>(fy) + 0.5) * idx->fine_cell};
+          // The winner at any p of this fine cell is a coarse candidate
+          // (fine cell set-contained in the coarse cell) whose center
+          // distance is within 2*rf of the fine best -- the same
+          // triangle-inequality proof as above at the finer radius.
+          double best_f = std::numeric_limits<double>::infinity();
+          for (std::size_t c2 = 0; c2 < cand_count; ++c2) {
+            dist[c2] = walkways_[cand[c2]].line.project(fc).distance;
+            best_f = std::min(best_f, dist[c2]);
+          }
+          // corridor_safe_fast: whichever of those candidates wins at p,
+          // its distance is at most dist + rf and the corridor width at
+          // its projection at least its min_width. If every near
+          // candidate satisfies dist + rf <= min_width / 2 (margin for
+          // projection rounding), then beyond = max(0, d - width/2) is
+          // exactly 0 and the corridor likelihood exactly 1.0 at every p
+          // of the fine cell. The 25 m bound keeps the open-space
+          // fallback (best > 25) from firing.
+          const double keep_f = best_f + 2.0 * rf + 1e-9;
+          bool fsafe = true;
+          for (std::size_t c2 = 0; c2 < cand_count; ++c2) {
+            if (dist[c2] > keep_f) continue;
+            const double reach = dist[c2] + rf + 1e-9;
+            if (reach > 0.5 * min_width[cand[c2]] || reach > 25.0) {
+              fsafe = false;
+            }
+          }
+          if (fsafe) idx->fine_safe[fy * idx->fnx + fx] = 1;
         }
       }
     }
   }
   idx->begin.push_back(static_cast<std::uint32_t>(idx->candidates.size()));
+  if (edges_ok) {
+    idx->ebegin.push_back(static_cast<std::uint32_t>(idx->ecand.size()));
+  }
   env_index_ = std::move(idx);
+}
+
+bool Place::corridor_safe_fast(geo::Vec2 p) const {
+  return env_view().corridor_safe(p);
+}
+
+bool Place::EnvView::corridor_safe(geo::Vec2 p) const {
+  const EnvIndex* idx = idx_.get();
+  if (idx == nullptr || !idx->box.contains(p)) return false;
+  const std::size_t fx = std::min(
+      idx->fnx - 1,
+      static_cast<std::size_t>((p.x - idx->box.min.x) / idx->fine_cell));
+  const std::size_t fy = std::min(
+      idx->fny - 1,
+      static_cast<std::size_t>((p.y - idx->box.min.y) / idx->fine_cell));
+  return idx->fine_safe[fy * idx->fnx + fx] != 0;
 }
 
 std::vector<const Landmark*> Place::landmarks_near(geo::Vec2 p,

@@ -49,8 +49,38 @@ struct LocalEnvironment {
 };
 
 class Place {
+ private:
+  struct EnvIndex;  // Defined below; named early for EnvView.
+
  public:
   Place(std::string name, geo::LatLon anchor);
+
+  /// Borrowed view over the environment index: pins the index once (a
+  /// single shared_ptr copy) so per-particle hot loops can query
+  /// corridor safety and the environment without paying an atomic
+  /// refcount round-trip on every call -- at ~1200 queries per epoch
+  /// those two lock-prefixed ops per query were a measurable slice of
+  /// the map constraint. Results are bit-identical to
+  /// corridor_safe_fast / environment_at_fast; acquire one view per
+  /// reweight pass, not per query.
+  class EnvView {
+   public:
+    /// Same contract as Place::corridor_safe_fast.
+    bool corridor_safe(geo::Vec2 p) const;
+    /// Same contract as Place::environment_at_fast.
+    LocalEnvironment environment(geo::Vec2 p) const;
+
+   private:
+    friend class Place;
+    EnvView(const Place* place, std::shared_ptr<const EnvIndex> idx)
+        : place_(place), idx_(std::move(idx)) {}
+    const Place* place_;
+    std::shared_ptr<const EnvIndex> idx_;
+  };
+
+  /// Pin the current env index (see EnvView). Safe to call before
+  /// prebuild_env_index(); queries then fall back like the _fast calls.
+  EnvView env_view() const { return EnvView(this, env_index_); }
 
   const std::string& name() const { return name_; }
   const geo::LocalFrame& frame() const { return frame_; }
@@ -103,6 +133,17 @@ class Place {
   /// deployment warmup before sharing the Place across threads.
   void prebuild_env_index() const;
 
+  /// True when every point of p's env-index grid cell is provably inside
+  /// its nearest walkway's corridor (distance to the walkway at most half
+  /// the walkway's minimum corridor width, with conservative margins for
+  /// the cell diagonal and rounding). Where this holds, the map
+  /// constraint's corridor likelihood is exactly 1.0 -- the SIMD fast
+  /// path uses it to skip the walkway projection entirely without
+  /// changing a single particle weight. Returns false off-grid, on unsafe
+  /// cells, or while the index is not built (callers then take the full
+  /// environment path).
+  bool corridor_safe_fast(geo::Vec2 p) const;
+
   /// Landmarks within `radius` of a point.
   std::vector<const Landmark*> landmarks_near(geo::Vec2 p,
                                               double radius) const;
@@ -134,9 +175,33 @@ class Place {
     std::size_t nx{0}, ny{0};
     std::vector<std::uint32_t> begin;       ///< Cell -> span into candidates.
     std::vector<std::uint32_t> candidates;  ///< Walkway indices per cell.
+    /// Fine-grained corridor-safe bitmap. Coarse (4 m) cells never
+    /// certify safety in realistic venues -- their half-diagonal (2.8 m)
+    /// alone exceeds the 1.75-2.25 m corridor half-widths -- so safety is
+    /// tested on a sub-grid whose half-diagonal (0.35 m at 0.5 m cells)
+    /// leaves room for the bound to hold. Only coarse cells where safety
+    /// is possible at all are refined; everything else stays 0 without a
+    /// single projection.
+    double fine_cell{0.0};
+    std::size_t fnx{0}, fny{0};
+    std::vector<std::uint8_t> fine_safe;
+    /// Edge-level candidate lists, packed (walkway << 16) | edge and
+    /// stored ascending. The same triangle-inequality proof applies per
+    /// edge: an edge whose center distance exceeds the cell minimum by
+    /// more than the cell diagonal can never be the nearest edge (nor an
+    /// exact tie) anywhere in the cell, so querying only the kept edges
+    /// reproduces the full projection bit for bit while skipping most of
+    /// each candidate walkway's vertices. Left empty (query falls back
+    /// to walkway-level candidates) when any walkway is degenerate
+    /// (< 2 points) or indices would overflow the 16-bit packing.
+    std::vector<std::uint32_t> ebegin;  ///< Cell -> span into ecand.
+    std::vector<std::uint32_t> ecand;   ///< Packed (walkway, edge) per cell.
   };
   LocalEnvironment environment_over(geo::Vec2 p, const std::uint32_t* cand,
                                     std::size_t count) const;
+  LocalEnvironment environment_over_edges(geo::Vec2 p,
+                                          const std::uint32_t* cand,
+                                          std::size_t count) const;
   mutable std::shared_ptr<const EnvIndex> env_index_;
 };
 

@@ -6,16 +6,6 @@
 
 namespace uniloc::stats {
 
-double normal_pdf(double x) {
-  constexpr double inv_sqrt_2pi = 0.3989422804014327;
-  return inv_sqrt_2pi * std::exp(-0.5 * x * x);
-}
-
-double normal_pdf(double x, double mean, double sd) {
-  assert(sd > 0.0);
-  return normal_pdf((x - mean) / sd) / sd;
-}
-
 double normal_cdf(double x) {
   return 0.5 * std::erfc(-x / std::numbers::sqrt2);
 }

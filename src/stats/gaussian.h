@@ -5,13 +5,37 @@
 // c_t = P(Y_t <= tau) (paper Eq. 2) via the Gaussian CDF.
 #pragma once
 
+#include <cassert>
+
+#include "stats/vecmath.h"
+
 namespace uniloc::stats {
 
-/// Standard normal probability density.
-double normal_pdf(double x);
+/// Standard normal probability density. Inline and built on det_exp so
+/// the scalar reference pipeline, the SIMD kernels and the UNILOC_NO_SIMD
+/// fallback build all evaluate the identical operation sequence
+/// (DESIGN.md section 16).
+inline double normal_pdf(double x) {
+  constexpr double inv_sqrt_2pi = 0.3989422804014327;
+  return inv_sqrt_2pi * det_exp(-0.5 * x * x);
+}
+
+/// Density of the standard normal at sqrt(x2), taking the SQUARED
+/// argument. Hot kernels that compute a Euclidean distance only to feed
+/// it here (the fusion candidate reweight) pass (dx*dx + dy*dy) / sd^2
+/// directly and skip both the sqrt and its re-squaring -- one vsqrtpd
+/// and one vdivpd per lane, the two divider-port ops the rest of the
+/// kernel has to wait on.
+inline double normal_pdf_sq(double x2) {
+  constexpr double inv_sqrt_2pi = 0.3989422804014327;
+  return inv_sqrt_2pi * det_exp(-0.5 * x2);
+}
 
 /// Probability density of N(mean, sd) at x.
-double normal_pdf(double x, double mean, double sd);
+inline double normal_pdf(double x, double mean, double sd) {
+  assert(sd > 0.0);
+  return normal_pdf((x - mean) / sd) / sd;
+}
 
 /// Standard normal cumulative distribution function.
 double normal_cdf(double x);

@@ -1,0 +1,40 @@
+#include "stats/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace uniloc::stats {
+
+namespace {
+
+bool initial_mode() {
+#ifdef UNILOC_NO_SIMD
+  return false;
+#else
+  const char* env = std::getenv("UNILOC_NO_SIMD");
+  if (env != nullptr && std::strcmp(env, "0") != 0 && env[0] != '\0') {
+    return false;
+  }
+  return true;
+#endif
+}
+
+std::atomic<bool>& mode() {
+  static std::atomic<bool> enabled{initial_mode()};
+  return enabled;
+}
+
+}  // namespace
+
+bool simd_enabled() { return mode().load(std::memory_order_relaxed); }
+
+void set_simd_enabled(bool enabled) {
+#ifdef UNILOC_NO_SIMD
+  (void)enabled;
+#else
+  mode().store(enabled, std::memory_order_relaxed);
+#endif
+}
+
+}  // namespace uniloc::stats

@@ -1,0 +1,56 @@
+// Runtime control for the vectorized kernels.
+//
+// The SIMD kernels (fingerprint batch scoring, particle predict/reweight,
+// the fusion RSSI-spatial kernel) are written so that their results are
+// BIT-IDENTICAL to the scalar reference paths: every lane owns one
+// item (fingerprint / particle) and accumulates its terms in exactly the
+// scalar order, using only IEEE-exact operations (+, -, *, /, sqrt,
+// blends) plus the deterministic polynomial transcendentals in
+// stats/vecmath.h that scalar and vector code share. Vectorization here
+// never reorders a floating-point reduction (DESIGN.md section 16).
+//
+// Because the two paths agree bit for bit, the mode switch below is a
+// pure performance knob -- and that equality is exactly what the
+// vectorization-aware differential tier pins:
+//
+//   * compile time: building with -DUNILOC_NO_SIMD=ON defines the
+//     UNILOC_NO_SIMD macro and compiles the vector kernels out entirely
+//     (the scalar-fallback build of scripts/check.sh);
+//   * process start: the UNILOC_NO_SIMD=1 environment variable starts the
+//     process in scalar mode;
+//   * tests: ScopedSimd flips the mode within a scope so one process can
+//     run the same workload both ways and compare bitwise
+//     (tests/test_simd_kernels.cc, proptest invariant I8).
+//
+// The mode is a process-wide atomic read at kernel entry. It is NOT meant
+// to be toggled while worker threads are mid-epoch (tests toggle it
+// between runs); reading it concurrently is safe.
+#pragma once
+
+namespace uniloc::stats {
+
+/// True when the vectorized kernels should run. Always false in
+/// UNILOC_NO_SIMD builds; otherwise defaults to true unless the
+/// UNILOC_NO_SIMD=1 environment variable was set at process start.
+bool simd_enabled();
+
+/// Override the mode (no-op in UNILOC_NO_SIMD builds, which have no
+/// vector kernels to enable). Prefer ScopedSimd in tests.
+void set_simd_enabled(bool enabled);
+
+/// RAII mode flip for differential tests: run a workload scalar, restore,
+/// run it vectorized, compare bitwise.
+class ScopedSimd {
+ public:
+  explicit ScopedSimd(bool enabled) : prev_(simd_enabled()) {
+    set_simd_enabled(enabled);
+  }
+  ~ScopedSimd() { set_simd_enabled(prev_); }
+  ScopedSimd(const ScopedSimd&) = delete;
+  ScopedSimd& operator=(const ScopedSimd&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace uniloc::stats

@@ -1,0 +1,69 @@
+#include "svc/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace uniloc::svc {
+
+EpochBatcher::EpochBatcher(ThreadPool& pool, std::size_t max_batch,
+                           std::size_t max_runners)
+    : pool_(pool),
+      max_batch_(max_batch),
+      max_runners_(std::max<std::size_t>(1, max_runners)) {}
+
+void EpochBatcher::submit(SessionPtr session) {
+  bool spawn = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fifo_.push_back(std::move(session));
+    if (runners_ < max_runners_) {
+      ++runners_;
+      spawn = true;
+    }
+  }
+  if (spawn) {
+    // Inline mode (or a stopping pool) runs the batch loop synchronously
+    // right here -- same code path, deterministic order.
+    if (!pool_.post([this] { run_batches(); })) run_batches();
+  }
+}
+
+std::size_t EpochBatcher::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return fifo_.size() - head_;
+}
+
+void EpochBatcher::run_batches() {
+  for (;;) {
+    std::size_t drained = 0;
+    for (;;) {
+      SessionPtr session;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (head_ == fifo_.size()) {
+          // Compact (keeps capacity: no steady-state allocation) and
+          // retire. The emptiness check and the runner decrement happen
+          // under one lock hold, so a concurrent submit either saw our
+          // slot still occupied (and its session is in the FIFO we just
+          // observed) or spawns a fresh runner for itself.
+          fifo_.clear();
+          head_ = 0;
+          --runners_;
+          return;
+        }
+        if (max_batch_ > 0 && drained >= max_batch_) break;
+        session = std::move(fifo_[head_]);
+        ++head_;
+      }
+      session->drain();
+      ++drained;
+    }
+    // Batch quota spent with work left: yield the worker so other pool
+    // tasks interleave, keeping our runner slot (it transfers to the
+    // reposted task). A stopping pool refuses the task; loop around with
+    // a fresh quota so every accepted epoch still runs.
+    if (pool_.post([this] { run_batches(); })) return;
+  }
+}
+
+}  // namespace uniloc::svc

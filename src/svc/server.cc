@@ -1,5 +1,6 @@
 #include "svc/server.h"
 
+#include <algorithm>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -22,7 +23,9 @@ LocalizationServer::LocalizationServer(ServerConfig cfg,
       factory_(std::move(factory)),
       registry_(registry),
       sessions_(cfg_.stripes),
-      pool_(ThreadPool::Config{cfg_.workers, cfg_.pool_queue_capacity}) {
+      pool_(ThreadPool::Config{cfg_.workers, cfg_.pool_queue_capacity}),
+      batcher_(pool_, cfg_.epoch_batch,
+               static_cast<std::size_t>(std::max(1, cfg_.workers))) {
   if (registry != nullptr) {
     // Instruments are resolved once here, before any worker can observe;
     // the registry map itself is never touched from a worker thread.
@@ -224,7 +227,11 @@ void LocalizationServer::handle_epoch(Frame frame, const Promise& promise) {
   }
   count_accepted();
   if (verdict == Session::Enqueue::kStartDrain) {
-    if (!pool_.post([session] { session->drain(); })) {
+    if (cfg_.epoch_batch > 1) {
+      // Batched dispatch: coalesce this wakeup with other drainable
+      // sessions so one runner task serves the burst (svc/batcher.h).
+      batcher_.submit(session);
+    } else if (!pool_.post([session] { session->drain(); })) {
       // Pool is stopping: drain inline so no promise is left dangling.
       session->drain();
     }

@@ -38,6 +38,7 @@
 #include "core/uniloc.h"
 #include "obs/span.h"
 #include "obs/timer.h"
+#include "svc/batcher.h"
 #include "svc/endpoint.h"
 #include "svc/session_manager.h"
 #include "svc/statusz.h"
@@ -68,6 +69,12 @@ struct ServerConfig {
   /// turns overload into explicit kBackpressure replies.
   std::size_t inbox_capacity{8};
   std::size_t pool_queue_capacity{4096};
+  /// Cross-session epoch batching (svc/batcher.h): sessions that become
+  /// drainable are coalesced into runner tasks that drain up to this many
+  /// back to back, instead of one pool post per session. <= 1 keeps the
+  /// classic one-post-per-session dispatch. Works in every mode; with
+  /// workers == 0 the batch path runs inline and stays deterministic.
+  std::size_t epoch_batch{1};
   double idle_ttl_s{300.0};
   /// Sessions are TTL-scanned every this many accepted frames (plus on
   /// every explicit evict_idle() call).
@@ -232,6 +239,7 @@ class LocalizationServer : public Endpoint {
   obs::MetricsRegistry* registry_{nullptr};  ///< For statusz dumps.
   SessionManager sessions_;
   ThreadPool pool_;
+  EpochBatcher batcher_;
   Instruments ins_;
   std::mutex lifecycle_mu_;  ///< Guards stopping_ + accepted_count_.
   bool stopping_{false};

@@ -8,8 +8,22 @@ namespace uniloc::svc {
 Session::Enqueue Session::enqueue(Task task, std::size_t capacity,
                                   std::uint64_t now_us) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (inbox_.size() >= capacity) return Enqueue::kBackpressure;
-  inbox_.push_back(std::move(task));
+  if (inbox_count_ >= capacity) return Enqueue::kBackpressure;
+  if (inbox_count_ == inbox_.size()) {
+    // Ring full: rotate the live span to the front of a larger vector.
+    // Amortized -- the ring never shrinks, so a warmed-up session stops
+    // allocating entirely.
+    std::vector<Task> grown;
+    grown.reserve(std::max<std::size_t>(8, inbox_.size() * 2));
+    for (std::size_t i = 0; i < inbox_count_; ++i) {
+      grown.push_back(std::move(inbox_[(inbox_head_ + i) % inbox_.size()]));
+    }
+    grown.resize(grown.capacity());
+    inbox_ = std::move(grown);
+    inbox_head_ = 0;
+  }
+  inbox_[(inbox_head_ + inbox_count_) % inbox_.size()] = std::move(task);
+  ++inbox_count_;
   last_active_us_ = now_us;
   if (draining_) return Enqueue::kQueued;
   draining_ = true;
@@ -21,12 +35,13 @@ void Session::drain() {
     Task task;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (inbox_.empty()) {
+      if (inbox_count_ == 0) {
         draining_ = false;
         return;
       }
-      task = std::move(inbox_.front());
-      inbox_.pop_front();
+      task = std::move(inbox_[inbox_head_]);
+      inbox_head_ = (inbox_head_ + 1) % inbox_.size();
+      --inbox_count_;
     }
     task();
     {
@@ -59,7 +74,7 @@ void Session::run_exclusive(const Task& fn) {
 
 bool Session::idle() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return inbox_.empty() && !draining_;
+  return inbox_count_ == 0 && !draining_;
 }
 
 void Session::set_pinned(bool pinned) {
@@ -96,7 +111,7 @@ std::size_t Session::epochs_served() const {
 
 std::size_t Session::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return inbox_.size() + (draining_ ? 1 : 0);
+  return inbox_count_ + (draining_ ? 1 : 0);
 }
 
 SessionManager::SessionManager(std::size_t stripes) {

@@ -20,7 +20,7 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -109,7 +109,15 @@ class Session {
   PerfCursor perf_cursor_;
 
   mutable std::mutex mu_;
-  std::deque<Task> inbox_;
+  /// Pending-task ring: index math over a never-shrinking vector rather
+  /// than std::deque, whose block cursor allocates a fresh node every
+  /// ~16 tasks even in steady push/pop cycles. The batched drain path's
+  /// contract is zero steady-state allocations
+  /// (tests/test_perf_contracts.cc), so the ring grows geometrically on
+  /// demand and then recycles its slots forever.
+  std::vector<Task> inbox_;
+  std::size_t inbox_head_{0};
+  std::size_t inbox_count_{0};
   bool draining_{false};
   bool pinned_{false};
   std::uint64_t last_active_us_{0};

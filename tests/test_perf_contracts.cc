@@ -23,7 +23,9 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <new>
+#include <thread>
 #include <vector>
 
 #include "core/epoch_scratch.h"
@@ -33,6 +35,10 @@
 #include "schemes/fingerprint_db.h"
 #include "sim/builders.h"
 #include "sim/walker.h"
+#include "stats/simd.h"
+#include "svc/batcher.h"
+#include "svc/session_manager.h"
+#include "svc/thread_pool.h"
 #include "testing_util.h"
 
 #if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
@@ -288,6 +294,46 @@ TEST(PerfContracts, BlendReadingInvalidatesTheCache) {
   }
 }
 
+TEST(PerfContracts, BlendReadingInvalidatesTheSharedBatchTables) {
+  // The SIMD batch-scoring path reads the column-major mirrors that
+  // prebuild_likelihood_cache derives from the fingerprints. A deployment
+  // mutation (crowdsourced blend) must invalidate them along with the
+  // row-major tables: the next vector query falls back to the exact
+  // reference path and never serves a stale column.
+  core::Deployment d = core::make_deployment(
+      sim::office_place(42), core::DeploymentOptions{.seed = 42});
+  schemes::FingerprintDatabase& db = *d.wifi_db;
+  ASSERT_TRUE(db.likelihood_cache_ready());
+
+  const stats::ScopedSimd on(true);
+  const std::vector<sim::ApReading> scan = scan_from_fingerprint(db, 2);
+  schemes::ScanScratch scratch;
+  std::vector<double> got;
+  db.all_distances_into(scan, scratch, got);
+  EXPECT_EQ(scratch.cache_hits, 1u);
+
+  const int some_id = db.fingerprints()[2].rssi.begin()->first;
+  db.blend_reading(2, some_id, -35.0, 0.5);
+  ASSERT_FALSE(db.likelihood_cache_ready());
+
+  db.all_distances_into(scan, scratch, got);
+  EXPECT_EQ(scratch.cache_misses, 1u);
+  const std::vector<double> ref = db.all_distances(scan);
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i], got[i]) << "fingerprint " << i;
+  }
+
+  // A rebuilt cache serves the blended values from the vector path.
+  db.prebuild_likelihood_cache();
+  db.all_distances_into(scan, scratch, got);
+  EXPECT_EQ(scratch.cache_hits, 2u);
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i], got[i]) << "fingerprint " << i;
+  }
+}
+
 TEST(PerfContracts, AllDistancesIntoMatchesReference) {
   core::Deployment d = core::make_deployment(
       sim::office_place(42), core::DeploymentOptions{.seed = 42});
@@ -301,6 +347,171 @@ TEST(PerfContracts, AllDistancesIntoMatchesReference) {
   ASSERT_EQ(ref.size(), got.size());
   for (std::size_t i = 0; i < ref.size(); ++i) {
     EXPECT_EQ(ref[i], got[i]) << "fingerprint " << i;
+  }
+}
+
+// ------------------------------------------------- epoch batching
+
+// Sessions for driving the EpochBatcher in isolation: the Uniloc is never
+// touched (tasks are plain closures), so a null ensemble is fine.
+svc::SessionPtr bare_session(std::uint64_t id) {
+  return std::make_shared<svc::Session>(id, nullptr);
+}
+
+#if UNILOC_ALLOC_COUNTING
+
+TEST(PerfContracts, EpochBatcherSteadyStateIsAllocationFree) {
+  // After one warmup burst has grown the FIFO to capacity, handing a
+  // burst of drainable sessions to the batcher must not allocate: the
+  // head-indexed vector is compacted in place and sessions travel by
+  // shared_ptr. (The tasks themselves run too -- inline pool -- so the
+  // count covers the whole batched drain path.)
+  svc::ThreadPool pool({.workers = 0, .queue_capacity = 64});
+  svc::EpochBatcher batcher(pool, /*max_batch=*/4, /*max_runners=*/1);
+  std::vector<svc::SessionPtr> sessions;
+  for (std::uint64_t id = 1; id <= 8; ++id) {
+    sessions.push_back(bare_session(id));
+  }
+  std::uint64_t ran = 0;
+  const auto one_burst = [&] {
+    for (const svc::SessionPtr& s : sessions) {
+      // Pointer-capture lambda: fits std::function's small-buffer slot.
+      if (s->enqueue([&ran] { ++ran; }, /*capacity=*/8, /*now_us=*/0) ==
+          svc::Session::Enqueue::kStartDrain) {
+        batcher.submit(s);
+      }
+    }
+  };
+  for (int warmup = 0; warmup < 3; ++warmup) one_burst();
+  const std::uint64_t before = ran;
+
+  begin_counting();
+  for (int i = 0; i < 20; ++i) one_burst();
+  const std::uint64_t allocs = end_counting();
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(ran, before + 20u * sessions.size());
+  EXPECT_EQ(batcher.pending(), 0u);
+}
+
+#endif  // UNILOC_ALLOC_COUNTING
+
+TEST(PerfContracts, BatchAssemblyNeverReordersEpochsWithinASession) {
+  // Concurrent runners (workers=2, max_batch=4) drain interleaved bursts
+  // from several sessions; every session must observe its own epochs in
+  // exact submission order -- the strand + kStartDrain handshake, not
+  // timing, is what guarantees it.
+  constexpr std::size_t kSessions = 3;
+  constexpr int kEpochs = 200;
+  svc::ThreadPool pool({.workers = 2, .queue_capacity = 1024});
+  svc::EpochBatcher batcher(pool, /*max_batch=*/4, /*max_runners=*/2);
+  std::vector<svc::SessionPtr> sessions;
+  std::vector<std::vector<int>> seen(kSessions);
+  for (std::uint64_t id = 0; id < kSessions; ++id) {
+    sessions.push_back(bare_session(id + 1));
+    seen[id].reserve(kEpochs);
+  }
+  for (int e = 0; e < kEpochs; ++e) {
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      // The strand serializes a session's tasks, so its `seen` vector is
+      // only ever appended from one worker at a time.
+      std::vector<int>* log = &seen[s];
+      for (;;) {
+        const svc::Session::Enqueue rc = sessions[s]->enqueue(
+            [log, e] { log->push_back(e); }, /*capacity=*/8, /*now_us=*/0);
+        if (rc == svc::Session::Enqueue::kStartDrain) batcher.submit(sessions[s]);
+        if (rc != svc::Session::Enqueue::kBackpressure) break;
+        // Inbox full: wait for the runners to catch up, then retry so
+        // every epoch is delivered (the ordering check needs all 200).
+        std::this_thread::yield();
+      }
+    }
+  }
+  pool.shutdown();
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    ASSERT_EQ(seen[s].size(), static_cast<std::size_t>(kEpochs))
+        << "session " << s;
+    for (int e = 0; e < kEpochs; ++e) {
+      ASSERT_EQ(seen[s][e], e) << "session " << s << " position " << e;
+    }
+  }
+}
+
+// ------------------------------------- cross-session isolation audit
+
+TEST(PerfContracts, InterleavedSessionsMatchSoloRunsBitwise) {
+  // Cross-session leakage regression: sessions share a deployment's
+  // read-only tables (likelihood cache + column-major SIMD mirrors, env
+  // index, walkway graph) while all mutable matching state (ScanScratch,
+  // ScanMemo, EpochContext) lives in the per-session scratch arena.
+  // Interleaving two sessions epoch by epoch must therefore reproduce
+  // each session's solo stream bit for bit -- if any shared table were
+  // secretly mutable per query (or a memo keyed only on a reusable heap
+  // address could cross sessions), this comparison would diverge.
+  // Campus: the two walkers need distinct walkways (0 and 1) so their
+  // streams genuinely differ.
+  core::Deployment d = core::make_deployment(
+      sim::campus(42), core::DeploymentOptions{.seed = 42});
+
+  struct Lane {
+    sim::Walker walker;
+    core::Uniloc uniloc;
+    core::EpochScratch scratch;
+    bool gps{true};
+    std::vector<geo::Vec2> fixes;
+  };
+  const auto make_lane = [&](int walker_id, std::uint64_t seed) {
+    // Direct aggregate-init on the heap: Lane's members need not be
+    // movable (guaranteed elision into the members).
+    return std::unique_ptr<Lane>(
+        new Lane{sim::Walker(d.place.get(), d.radio.get(), walker_id,
+                             sim::WalkConfig{}),
+                 core::make_uniloc(d, test_models(), {}, false, seed),
+                 core::EpochScratch{}});
+  };
+  const auto step = [](Lane& lane) {
+    if (lane.walker.done()) return false;
+    const sim::SensorFrame f = lane.walker.step(lane.gps);
+    const core::EpochDecision dec = lane.uniloc.update_fast(f, lane.scratch);
+    lane.gps = lane.uniloc.gps_enabled();
+    lane.fixes.push_back(dec.uniloc2);
+    return true;
+  };
+
+  // Solo passes.
+  auto solo_a = make_lane(0, 7);
+  auto solo_b = make_lane(1, 8);
+  solo_a->uniloc.reset(
+      {solo_a->walker.start_position(), solo_a->walker.start_heading()});
+  solo_b->uniloc.reset(
+      {solo_b->walker.start_position(), solo_b->walker.start_heading()});
+  while (step(*solo_a)) {
+  }
+  while (step(*solo_b)) {
+  }
+
+  // Interleaved pass: A, B, A, B, ... against the same live deployment.
+  auto il_a = make_lane(0, 7);
+  auto il_b = make_lane(1, 8);
+  il_a->uniloc.reset(
+      {il_a->walker.start_position(), il_a->walker.start_heading()});
+  il_b->uniloc.reset(
+      {il_b->walker.start_position(), il_b->walker.start_heading()});
+  bool more = true;
+  while (more) {
+    more = false;
+    more |= step(*il_a);
+    more |= step(*il_b);
+  }
+
+  ASSERT_EQ(il_a->fixes.size(), solo_a->fixes.size());
+  ASSERT_EQ(il_b->fixes.size(), solo_b->fixes.size());
+  for (std::size_t e = 0; e < solo_a->fixes.size(); ++e) {
+    EXPECT_EQ(il_a->fixes[e].x, solo_a->fixes[e].x) << "A epoch " << e;
+    EXPECT_EQ(il_a->fixes[e].y, solo_a->fixes[e].y) << "A epoch " << e;
+  }
+  for (std::size_t e = 0; e < solo_b->fixes.size(); ++e) {
+    EXPECT_EQ(il_b->fixes[e].x, solo_b->fixes[e].x) << "B epoch " << e;
+    EXPECT_EQ(il_b->fixes[e].y, solo_b->fixes[e].y) << "B epoch " << e;
   }
 }
 

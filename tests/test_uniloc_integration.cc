@@ -144,20 +144,29 @@ TEST(UnilocIntegration, UnavailableSchemesGetZeroWeight) {
 }
 
 TEST(UnilocIntegration, BeatsWorstAndTracksBestScheme) {
-  Uniloc u = make_uniloc(campus(), models());
-  RunOptions opts;
-  opts.walk.seed = 102;
-  const RunResult run = run_walk(u, campus(), 0, opts);
-  double best = 1e18, worst = -1.0;
-  for (std::size_t i = 0; i < run.scheme_names.size(); ++i) {
-    const auto errs = run.scheme_errors(i);
-    if (errs.size() < run.epochs.size() / 2) continue;
-    best = std::min(best, stats::mean(errs));
-    worst = std::max(worst, stats::mean(errs));
+  // Averaged over three walk seeds: a single seed's noise draw swings
+  // the per-scheme means by tens of percent, so a one-seed bound
+  // re-trips every time the (deliberately versioned, DESIGN.md section
+  // 16) noise stream changes even though the aggregate claim holds.
+  double u2_sum = 0.0, best_sum = 0.0, worst_sum = 0.0;
+  for (const std::uint64_t seed : {102u, 202u, 302u}) {
+    Uniloc u = make_uniloc(campus(), models());
+    RunOptions opts;
+    opts.walk.seed = seed;
+    const RunResult run = run_walk(u, campus(), 0, opts);
+    double best = 1e18, worst = -1.0;
+    for (std::size_t i = 0; i < run.scheme_names.size(); ++i) {
+      const auto errs = run.scheme_errors(i);
+      if (errs.size() < run.epochs.size() / 2) continue;
+      best = std::min(best, stats::mean(errs));
+      worst = std::max(worst, stats::mean(errs));
+    }
+    u2_sum += stats::mean(run.uniloc2_errors());
+    best_sum += best;
+    worst_sum += worst;
   }
-  const double u2 = stats::mean(run.uniloc2_errors());
-  EXPECT_LT(u2, worst);
-  EXPECT_LT(u2, best * 1.6);  // at worst modestly above the best scheme
+  EXPECT_LT(u2_sum, worst_sum);
+  EXPECT_LT(u2_sum, best_sum * 1.6);  // at worst modestly above the best
 }
 
 TEST(UnilocIntegration, OracleLowerBoundsSelection) {
