@@ -14,11 +14,20 @@
 //
 // Headline: bytes/session is flat in N (the format has no cross-session
 // state) and snapshot latency is linear in N.
+//
+// Delta section (ISSUE 10): the same warm population checkpointed
+// through the wave chain -- full lossless keyframes vs quantized delta
+// waves where only the sessions that advanced since the previous wave
+// carry a record. Reported: bytes/session for each mode and the
+// reduction factor (acceptance floor: >= 4x), plus a collapse_chain
+// restore of the measured chain to prove the cheap waves are the real
+// durable artifact and not a trimmed imitation.
 #include <chrono>
 #include <cstdio>
 #include <memory>
 
 #include "bench_util.h"
+#include "svc/delta.h"
 #include "svc/epoch_codec.h"
 #include "svc/loadgen.h"
 #include "svc/server.h"
@@ -115,6 +124,102 @@ int main() {
   std::printf("Checkpoint cost (campus deployment, %zu warm epochs/session)\n",
               kWarmEpochs);
   std::printf("%s", table.to_string().c_str());
+
+  // ---- delta section: wave chain vs full keyframes -------------------
+  // Steady state at n=128: every round a rotating 1/4 of the population
+  // advances by one epoch, then one delta wave is cut. The keyframe
+  // baseline is the v1 (lossless f64) keyframe wave over the same
+  // population; the delta figure is the quantized (v2) delta wave that
+  // carries only the dirty quarter.
+  {
+    constexpr std::size_t kDeltaSessions = 128;
+    constexpr std::size_t kActivePerRound = kDeltaSessions / 4;
+    constexpr std::size_t kDeltaRounds = 16;
+
+    svc::ServerConfig qcfg;
+    qcfg.snapshot_quantize = true;
+    svc::LocalizationServer server(qcfg, factory, nullptr);
+    const auto& ways = campus.place->walkways();
+    for (std::uint64_t sid = 1; sid <= kDeltaSessions; ++sid) {
+      const sim::Walkway& way = ways[(sid - 1) % ways.size()];
+      server.submit(hello_frame(sid, way.line.points().front(), 0.0)).get();
+      for (std::size_t e = 0; e < kWarmEpochs; ++e) {
+        server.submit(epoch_frame(sid)).get();
+      }
+    }
+
+    // Lossless keyframe baseline over the identical state (same seeds).
+    svc::LocalizationServer lossless(svc::ServerConfig{}, factory, nullptr);
+    for (std::uint64_t sid = 1; sid <= kDeltaSessions; ++sid) {
+      const sim::Walkway& way = ways[(sid - 1) % ways.size()];
+      lossless.submit(hello_frame(sid, way.line.points().front(), 0.0))
+          .get();
+      for (std::size_t e = 0; e < kWarmEpochs; ++e) {
+        lossless.submit(epoch_frame(sid)).get();
+      }
+    }
+    const double keyframe_per_session =
+        static_cast<double>(lossless.snapshot_wave(true).size()) /
+        static_cast<double>(kDeltaSessions);
+
+    std::vector<std::vector<std::uint8_t>> chain;
+    chain.push_back(server.snapshot_wave(true));  // quantized anchor
+    const double quant_keyframe_per_session =
+        static_cast<double>(chain.back().size()) /
+        static_cast<double>(kDeltaSessions);
+
+    std::vector<double> wave_us;
+    std::uint64_t delta_bytes = 0;
+    for (std::size_t round = 0; round < kDeltaRounds; ++round) {
+      for (std::size_t i = 0; i < kActivePerRound; ++i) {
+        const std::uint64_t sid =
+            1 + (round * kActivePerRound + i) % kDeltaSessions;
+        server.submit(epoch_frame(sid)).get();
+      }
+      const double t0 = now_us();
+      chain.push_back(server.snapshot_wave(false));
+      wave_us.push_back(now_us() - t0);
+      delta_bytes += chain.back().size();
+    }
+    const double delta_per_session =
+        static_cast<double>(delta_bytes) /
+        static_cast<double>(kDeltaRounds * kDeltaSessions);
+    const double reduction = keyframe_per_session / delta_per_session;
+
+    // The cheap waves must still be the durable artifact: collapse the
+    // measured chain and restore a cold server from it.
+    const svc::ChainCollapse collapsed = svc::collapse_chain(chain);
+    svc::LocalizationServer cold(qcfg, factory, nullptr);
+    if (!collapsed.ok || collapsed.waves_rejected != 0 ||
+        !cold.restore(collapsed.snapshot) ||
+        cold.live_sessions() != kDeltaSessions) {
+      std::fprintf(stderr, "delta chain restore failed\n");
+      return 1;
+    }
+
+    io::Table dt({"mode", "bytes/session"});
+    dt.add_row({"keyframe (v1 f64)", io::Table::num(keyframe_per_session, 0)});
+    dt.add_row({"keyframe (v2 quant)",
+                io::Table::num(quant_keyframe_per_session, 0)});
+    dt.add_row({"delta (v2, 1/4 dirty)",
+                io::Table::num(delta_per_session, 0)});
+    std::printf(
+        "\nDelta chain (n=%zu, %zu rounds, %zu active/round, keyframe "
+        "baseline)\n%sreduction vs full keyframes: %.1fx (floor 4.0x)\n",
+        kDeltaSessions, kDeltaRounds, kActivePerRound,
+        dt.to_string().c_str(), reduction);
+
+    report.add_scalar("delta.keyframe_bytes_per_session",
+                      keyframe_per_session);
+    report.add_scalar("delta.quant_keyframe_bytes_per_session",
+                      quant_keyframe_per_session);
+    report.add_scalar("delta.delta_bytes_per_session", delta_per_session);
+    report.add_scalar("delta.reduction_x", reduction);
+    report.add_scalar("delta.wave_p50_us",
+                      stats::percentile(wave_us, 50.0));
+    report.add_scalar("delta.restore_ok", 1.0);
+  }
+
   bench::report_json(report);
   return 0;
 }

@@ -1,0 +1,321 @@
+// Bench: city-scale soak -- the 1M-session persistence story at a scale
+// one build machine can actually hold. A single inline server (workers=0
+// keeps the soak deterministic on any core count) carries
+// UNILOC_SOAK_WALKERS warm sessions (default 100k). Steady state then
+// runs UNILOC_SOAK_ROUNDS rounds of:
+//
+//   churn     kChurn sessions say kBye and kChurn new phones hello
+//             (arrival/departure at ~1%/round, the mall-at-noon shape)
+//   traffic   a rotating kActive-session window advances one epoch
+//   wave      one quantized delta wave is cut and handed to the async
+//             group committer (keyframe every kKeyframeInterval waves)
+//
+// Reported: arrival throughput, steady-state epoch throughput, wave
+// latency (serialize + enqueue; the acceptance bar is sub-second delta
+// waves), delta-vs-keyframe bytes ratio, bytes per dirty session, RSS
+// per round (VmRSS from /proc/self/status; the bar is a bounded curve,
+// not a creep), and a cold restore_chain of the directory the soak
+// actually wrote -- population must survive bit-exactly at full scale.
+//
+// The scaled-down CI smoke (scripts/check.sh) runs the same binary with
+// UNILOC_SOAK_WALKERS=2000.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/virtual_clock.h"
+#include "svc/committer.h"
+#include "svc/delta.h"
+#include "svc/epoch_codec.h"
+#include "svc/server.h"
+#include "svc/wire.h"
+
+using namespace uniloc;
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const long long parsed = std::atoll(v);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+std::vector<std::uint8_t> hello_frame(std::uint64_t sid, geo::Vec2 start,
+                                      double heading) {
+  svc::Frame f;
+  f.type = svc::FrameType::kHello;
+  f.session_id = sid;
+  f.payload = svc::encode_hello({start, heading});
+  return svc::encode_frame(f);
+}
+
+std::vector<std::uint8_t> epoch_frame(std::uint64_t sid) {
+  svc::Frame f;
+  f.type = svc::FrameType::kEpoch;
+  f.session_id = sid;
+  f.payload = svc::encode_epoch({}, sim::SensorFrame{});
+  return svc::encode_frame(f);
+}
+
+std::vector<std::uint8_t> bye_frame(std::uint64_t sid) {
+  svc::Frame f;
+  f.type = svc::FrameType::kBye;
+  f.session_id = sid;
+  return svc::encode_frame(f);
+}
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// VmRSS in MiB from /proc/self/status (0.0 where the file is absent,
+/// e.g. non-Linux -- the bench still runs, the RSS series is just flat).
+double rss_mib() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  char line[256];
+  double kib = 0.0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      kib = std::atof(line + 6);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib / 1024.0;
+}
+
+}  // namespace
+
+int main() {
+  obs::BenchReport report = bench::make_report("soak");
+  const std::size_t walkers = env_size("UNILOC_SOAK_WALKERS", 100'000);
+  const std::size_t rounds = env_size("UNILOC_SOAK_ROUNDS", 12);
+  // A delta wave is priced by the sessions that moved since the last
+  // wave, not by the population -- that is the whole point of delta
+  // checkpoints. The default models a 1-second wave cadence where 1% of
+  // the city advances between waves (and 0.5% churns); crank
+  // UNILOC_SOAK_ACTIVE to price hotter wave windows.
+  const std::size_t active =
+      env_size("UNILOC_SOAK_ACTIVE", std::max<std::size_t>(walkers / 100, 1));
+  const std::size_t churn =
+      env_size("UNILOC_SOAK_CHURN", std::max<std::size_t>(walkers / 200, 1));
+  constexpr std::size_t kKeyframeInterval = 8;
+
+  const core::Deployment campus = core::make_deployment(
+      sim::campus(42), core::DeploymentOptions{.seed = 42});
+  const auto factory = [&campus](std::uint64_t sid) {
+    return std::make_unique<core::Uniloc>(core::make_uniloc(
+        campus, bench::standard_models(), {}, false, /*seed=*/7 + sid));
+  };
+  const auto& ways = campus.place->walkways();
+  const auto start_of = [&ways](std::uint64_t sid) {
+    return ways[(sid - 1) % ways.size()].line.points().front();
+  };
+
+  const std::string dir =
+      "/tmp/uniloc_soak_" + std::to_string(::getpid());
+  std::filesystem::create_directories(dir);
+
+  sim::VirtualClock clock;
+  svc::GroupCommitter committer;
+  svc::ServerConfig cfg;
+  cfg.now_us = clock.now_fn();
+  cfg.checkpoint_dir = dir;
+  cfg.keyframe_interval = kKeyframeInterval;
+  cfg.snapshot_quantize = true;
+  cfg.committer = &committer;
+  // TTL eviction stays out of the way: the soak's churn is explicit.
+  cfg.idle_ttl_s = 1e9;
+  svc::LocalizationServer server(cfg, factory, nullptr);
+
+  // ---- arrival wave --------------------------------------------------
+  const double rss_before = rss_mib();
+  double t0 = now_us();
+  for (std::uint64_t sid = 1; sid <= walkers; ++sid) {
+    server.submit(hello_frame(sid, start_of(sid), 0.0)).get();
+  }
+  const double arrival_s = (now_us() - t0) / 1e6;
+  const double rss_after_arrival = rss_mib();
+  std::printf("soak: %zu walkers arrived in %.1fs (%.0f hellos/s), RSS %.0f"
+              " -> %.0f MiB\n",
+              walkers, arrival_s,
+              static_cast<double>(walkers) / arrival_s, rss_before,
+              rss_after_arrival);
+
+  // Anchor the chain with one keyframe before steady state begins.
+  server.checkpoint_wave_now();
+
+  // ---- steady state --------------------------------------------------
+  std::vector<double> wave_ms;           // delta waves (the latency bar)
+  std::vector<double> keyframe_wave_ms;  // periodic re-anchors, reported apart
+  std::vector<double> rss_rounds;
+  std::vector<double> epoch_us;
+  std::uint64_t next_sid = walkers + 1;   // arrivals take fresh ids
+  std::uint64_t oldest_sid = 1;           // departures take the oldest
+  std::size_t cursor = 0;                 // rotating activity window
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < churn; ++i) {
+      server.submit(bye_frame(oldest_sid++)).get();
+      const std::uint64_t sid = next_sid++;
+      server.submit(hello_frame(sid, start_of(sid), 0.0)).get();
+    }
+    const std::uint64_t live_span = next_sid - oldest_sid;
+    const double e0 = now_us();
+    for (std::size_t i = 0; i < active; ++i) {
+      const std::uint64_t sid =
+          oldest_sid + (cursor + i) % live_span;
+      server.submit(epoch_frame(sid)).get();
+    }
+    epoch_us.push_back((now_us() - e0) / static_cast<double>(active));
+    cursor = (cursor + active) % live_span;
+
+    clock.advance_s(60.0);
+    const std::uint64_t keyframes_before =
+        server.checkpoint_stats().keyframes;
+    const double w0 = now_us();
+    server.checkpoint_wave_now();
+    const double ms = (now_us() - w0) / 1e3;
+    if (server.checkpoint_stats().keyframes > keyframes_before) {
+      keyframe_wave_ms.push_back(ms);
+    } else {
+      wave_ms.push_back(ms);
+    }
+    rss_rounds.push_back(rss_mib());
+  }
+  committer.flush();
+
+  const svc::LocalizationServer::CheckpointStats st =
+      server.checkpoint_stats();
+  const svc::GroupCommitter::Stats gc = committer.stats();
+  const double delta_waves =
+      static_cast<double>(st.waves - st.keyframes);
+  const double delta_wave_bytes =
+      delta_waves > 0 ? static_cast<double>(st.delta_bytes) / delta_waves
+                      : 0.0;
+  const double keyframe_wave_bytes =
+      st.keyframes > 0
+          ? static_cast<double>(st.keyframe_bytes) /
+                static_cast<double>(st.keyframes)
+          : 0.0;
+  const double bytes_per_dirty =
+      st.delta_records > 0 ? static_cast<double>(st.delta_bytes) /
+                                 static_cast<double>(st.delta_records)
+                           : 0.0;
+
+  // ---- cold restore of what the soak actually wrote ------------------
+  svc::ServerConfig rcfg;
+  rcfg.checkpoint_dir = dir;
+  rcfg.snapshot_quantize = true;
+  svc::LocalizationServer restored(rcfg, factory, nullptr);
+  t0 = now_us();
+  const svc::LocalizationServer::ChainRestoreResult rr =
+      restored.restore_chain();
+  const double restore_s = (now_us() - t0) / 1e6;
+  const bool restore_ok = rr.ok && rr.waves_rejected == 0 &&
+                          restored.live_sessions() == server.live_sessions();
+  if (!restore_ok) {
+    std::fprintf(stderr,
+                 "soak: cold restore FAILED (ok=%d rejected=%zu live %zu "
+                 "vs %zu)\n",
+                 rr.ok ? 1 : 0, rr.waves_rejected, restored.live_sessions(),
+                 server.live_sessions());
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  const double wave_p50 = stats::percentile(wave_ms, 50.0);
+  const double wave_max = stats::max_of(wave_ms);
+  const double rss_steady_growth =
+      rss_rounds.size() > 1 ? rss_rounds.back() - rss_rounds.front() : 0.0;
+
+  io::Table t({"metric", "value"});
+  t.add_row({"live sessions", std::to_string(server.live_sessions())});
+  t.add_row({"epoch cost (us, steady)",
+             io::Table::num(stats::mean(epoch_us), 1)});
+  t.add_row({"delta wave p50 (ms)", io::Table::num(wave_p50, 1)});
+  t.add_row({"delta wave max (ms)", io::Table::num(wave_max, 1)});
+  t.add_row({"keyframe wave (ms)",
+             keyframe_wave_ms.empty()
+                 ? std::string("-")
+                 : io::Table::num(stats::max_of(keyframe_wave_ms), 1)});
+  t.add_row({"delta wave bytes", io::Table::num(delta_wave_bytes, 0)});
+  t.add_row({"keyframe wave bytes", io::Table::num(keyframe_wave_bytes, 0)});
+  t.add_row({"bytes / dirty session", io::Table::num(bytes_per_dirty, 0)});
+  t.add_row({"wave us / dirty session",
+             io::Table::num(st.delta_records > 0
+                                ? stats::mean(wave_ms) * 1e3 *
+                                      static_cast<double>(wave_ms.size()) /
+                                      static_cast<double>(st.delta_records)
+                                : 0.0,
+                            1)});
+  t.add_row({"RSS end (MiB)", io::Table::num(rss_rounds.back(), 0)});
+  t.add_row({"RSS steady growth (MiB)",
+             io::Table::num(rss_steady_growth, 1)});
+  t.add_row({"restore (s)", io::Table::num(restore_s, 2)});
+  std::printf("%s", t.to_string().c_str());
+  std::printf("soak: %zu waves (%zu keyframes), delta/keyframe bytes "
+              "ratio %.3f, committer batches=%zu max_batch=%zu "
+              "sync_fallbacks=%zu, restore %s\n",
+              static_cast<std::size_t>(st.waves),
+              static_cast<std::size_t>(st.keyframes),
+              keyframe_wave_bytes > 0
+                  ? delta_wave_bytes / keyframe_wave_bytes
+                  : 0.0,
+              static_cast<std::size_t>(gc.batches),
+              static_cast<std::size_t>(gc.max_batch),
+              static_cast<std::size_t>(st.sync_fallbacks),
+              restore_ok ? "ok" : "FAILED");
+
+  report.add_scalar("walkers", static_cast<double>(walkers));
+  report.add_scalar("rounds", static_cast<double>(rounds));
+  report.add_scalar("active_per_round", static_cast<double>(active));
+  report.add_scalar("churn_per_round", static_cast<double>(churn));
+  report.add_scalar("arrival_s", arrival_s);
+  report.add_scalar("arrival_per_s",
+                    static_cast<double>(walkers) / arrival_s);
+  report.add_scalar("epoch_us_steady", stats::mean(epoch_us));
+  report.add_scalar("wave_p50_ms", wave_p50);
+  report.add_scalar("wave_max_ms", wave_max);
+  if (!keyframe_wave_ms.empty()) {
+    report.add_scalar("keyframe_wave_max_ms",
+                      stats::max_of(keyframe_wave_ms));
+  }
+  report.add_scalar("delta_wave_bytes", delta_wave_bytes);
+  report.add_scalar("keyframe_wave_bytes", keyframe_wave_bytes);
+  report.add_scalar("bytes_per_dirty_session", bytes_per_dirty);
+  report.add_scalar("wave_us_per_dirty_session",
+                    st.delta_records > 0
+                        ? stats::mean(wave_ms) * 1e3 *
+                              static_cast<double>(wave_ms.size()) /
+                              static_cast<double>(st.delta_records)
+                        : 0.0);
+  report.add_scalar("delta_vs_keyframe_ratio",
+                    keyframe_wave_bytes > 0
+                        ? delta_wave_bytes / keyframe_wave_bytes
+                        : 0.0);
+  report.add_scalar("publish_failures",
+                    static_cast<double>(st.publish_failures));
+  report.add_scalar("sync_fallbacks",
+                    static_cast<double>(st.sync_fallbacks));
+  report.add_scalar("rss_arrival_mib", rss_after_arrival);
+  report.add_scalar("rss_end_mib", rss_rounds.back());
+  report.add_scalar("rss_steady_growth_mib", rss_steady_growth);
+  report.add_scalar("restore_s", restore_s);
+  report.add_scalar("restore_ok", restore_ok ? 1.0 : 0.0);
+  report.add_series("wave_ms", wave_ms);
+  report.add_series("rss_mib", rss_rounds);
+  bench::report_json(report);
+  return restore_ok ? 0 : 1;
+}

@@ -55,6 +55,7 @@
 #include "sim/trace_io.h"
 #include "stats/descriptive.h"
 #include "svc/checkpoint.h"
+#include "svc/committer.h"
 #include "svc/loadgen.h"
 #include "svc/server.h"
 
@@ -239,9 +240,11 @@ struct ServeSimOptions {
   std::size_t epochs{50};  ///< Per walker; 0 = full paths.
   std::uint64_t seed{2024};
   std::string faults;  ///< Empty: perfect wire.
-  /// Empty: no checkpointing. Otherwise the server snapshots itself
-  /// every second into <dir>/checkpoint.bin (atomic replace, fsync'd);
-  /// a final snapshot is written when the run drains.
+  /// Empty: no checkpointing. Otherwise the server persists a wave
+  /// chain into <dir> (quantized keyframe + delta waves, published
+  /// atomically by an async group committer), restores from any chain
+  /// already there at startup, and flushes a final wave when the run
+  /// drains.
   std::string checkpoint_dir;
   bool metrics{false};
   /// Query the server's kStatus admin frame when the run drains and
@@ -334,18 +337,15 @@ int cmd_serve_sim(const ServeSimOptions& sopts) {
   obs::SloMonitor slo({}, &registry);
   cfg.slo = &slo;
   const bool sharded = sopts.shards > 1;
-  std::size_t checkpoints_written = 0;
+  // The committer outlives the server (declared first): the server's
+  // final wave may still sit in its queue when the server destructs.
+  std::unique_ptr<svc::GroupCommitter> committer;
   if (!sopts.checkpoint_dir.empty() && !sharded) {
+    committer = std::make_unique<svc::GroupCommitter>();
     cfg.checkpoint_period_us = 1'000'000;  // wall-clock second
-    cfg.on_checkpoint = [&sopts, &checkpoints_written](
-                            const std::vector<std::uint8_t>& snap) {
-      if (svc::write_checkpoint_file(sopts.checkpoint_dir, snap)) {
-        ++checkpoints_written;
-      } else {
-        std::fprintf(stderr, "warning: checkpoint write to %s failed\n",
-                     sopts.checkpoint_dir.c_str());
-      }
-    };
+    cfg.checkpoint_dir = sopts.checkpoint_dir;
+    cfg.snapshot_quantize = true;  // v2 waves: the durable-chain codec
+    cfg.committer = committer.get();
   }
   svc::UnilocFactory factory = [&](std::uint64_t sid) {
     return std::make_unique<core::Uniloc>(
@@ -369,6 +369,18 @@ int cmd_serve_sim(const ServeSimOptions& sopts) {
     server = std::make_unique<svc::LocalizationServer>(cfg, factory,
                                                        &registry);
     endpoint = server.get();
+    if (!sopts.checkpoint_dir.empty()) {
+      // Crash recovery: resume whatever chain a previous run left here.
+      const svc::LocalizationServer::ChainRestoreResult r =
+          server->restore_chain();
+      if (r.ok) {
+        std::printf("restored %zu sessions from the wave chain in %s "
+                    "(seq %llu, %zu deltas, %zu waves rejected)\n",
+                    server->live_sessions(), sopts.checkpoint_dir.c_str(),
+                    static_cast<unsigned long long>(r.seq),
+                    r.deltas_applied, r.waves_rejected);
+      }
+    }
   }
 
   if (sharded) {
@@ -407,13 +419,19 @@ int cmd_serve_sim(const ServeSimOptions& sopts) {
   }
   const svc::LoadReport report = svc::run_load(*endpoint, d, lg, &registry);
   if (!sopts.checkpoint_dir.empty() && !sharded) {
-    // One final snapshot so the file reflects the drained end state.
-    if (svc::write_checkpoint_file(sopts.checkpoint_dir,
-                                   server->snapshot())) {
-      ++checkpoints_written;
-    }
-    std::printf("wrote %zu checkpoints to %s\n", checkpoints_written,
-                svc::checkpoint_path(sopts.checkpoint_dir).c_str());
+    // One final wave so the chain reflects the drained end state, then
+    // drain the committer before reporting.
+    server->checkpoint_wave_now();
+    committer->flush();
+    const svc::LocalizationServer::CheckpointStats cs =
+        server->checkpoint_stats();
+    std::printf("wrote %llu waves (%llu keyframes, %llu delta records, "
+                "%llu publish failures) to %s\n",
+                static_cast<unsigned long long>(cs.waves),
+                static_cast<unsigned long long>(cs.keyframes),
+                static_cast<unsigned long long>(cs.delta_records),
+                static_cast<unsigned long long>(cs.publish_failures),
+                sopts.checkpoint_dir.c_str());
   }
   if (sopts.statusz) {
     // Live introspection through the wire protocol itself: the same
@@ -552,9 +570,11 @@ int usage() {
                "              (consistent-hash placement, per-round\n"
                "              checkpoints + rebalancing); statusz then\n"
                "              dumps every shard\n"
-               "      --checkpoint-dir: snapshot all sessions into\n"
-               "              <dir>/checkpoint.bin every second (atomic,\n"
-               "              fsync'd) plus once at the end of the run\n"
+               "      --checkpoint-dir: persist a delta wave chain into\n"
+               "              <dir> every second (quantized keyframe +\n"
+               "              delta waves, async group commit), restore\n"
+               "              any chain found there at startup, and flush\n"
+               "              a final wave when the run drains\n"
                "      --statusz: print the server's kStatus dump (JSON and\n"
                "              Prometheus text) when the run drains\n"
                "      --trace-spans: stream causal spans as JSONL (convert\n"

@@ -136,4 +136,24 @@ if [[ "${ASAN:-1}" != "0" ]]; then
   # stats/vecmath.h for UB).
   cmake --build "$ASAN_DIR" -j "$JOBS" --target test_simd_kernels
   ctest --test-dir "$ASAN_DIR" -L '^simd$' --output-on-failure -j "$JOBS"
+  # Decoder-fuzz gate: the delta suite is the wave-chain hostile-input
+  # boundary -- the wave decoder's bit-flip/truncation fuzz, the
+  # quantized (v2) particle codec fuzz, the torn-publish fault
+  # injection, and collapse_chain over damaged chains all rerun under
+  # ASan+UBSan, exactly where an OOB read in a length-prefixed parser
+  # would hide.
+  cmake --build "$ASAN_DIR" -j "$JOBS" --target test_delta
+  ctest --test-dir "$ASAN_DIR" -L '^delta$' --output-on-failure -j "$JOBS"
+fi
+
+# City-scale smoke: the soak bench at 2k walkers (the full 100k run
+# lives in EXPERIMENTS.md) -- arrival, churn, rotating traffic, delta
+# waves through the async group committer, and a cold restore_chain of
+# the directory it wrote. Exits nonzero if the restore loses a session.
+# Set SOAK=0 to skip.
+if [[ "${SOAK:-1}" != "0" ]]; then
+  # cwd = the build tree so the smoke's BENCH_soak.json does not clobber
+  # the committed full-scale report at the repo root.
+  (cd "$BUILD_DIR" && UNILOC_SOAK_WALKERS=2000 UNILOC_SOAK_ROUNDS=6 \
+    bench/soak)
 fi

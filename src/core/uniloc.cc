@@ -360,6 +360,16 @@ std::uint64_t Uniloc::scheme_cache_misses() const {
 }
 
 void Uniloc::snapshot_into(offload::ByteWriter& w) const {
+  snapshot_into(w, /*quantize=*/false);
+}
+
+bool Uniloc::restore_from(offload::ByteReader& r) {
+  return restore_from(r, /*quantize=*/false);
+}
+
+void Uniloc::snapshot_into(offload::ByteWriter& w, bool quantize) const {
+  const schemes::SnapshotContext ctx{
+      quantize, cfg_.place != nullptr ? cfg_.place->bounds() : geo::BBox{}};
   w.put_bool(gps_enable_);
   predictor_.snapshot_into(w);
   w.put_u32(static_cast<std::uint32_t>(entries_.size()));
@@ -370,12 +380,14 @@ void Uniloc::snapshot_into(offload::ByteWriter& w) const {
     const std::size_t len_pos = w.size();
     w.put_u32(0);
     const std::size_t start = w.size();
-    e.scheme->snapshot_into(w);
+    e.scheme->snapshot_into(w, ctx);
     w.patch_u32(len_pos, static_cast<std::uint32_t>(w.size() - start));
   }
 }
 
-bool Uniloc::restore_from(offload::ByteReader& r) {
+bool Uniloc::restore_from(offload::ByteReader& r, bool quantize) {
+  schemes::SnapshotContext ctx{
+      quantize, cfg_.place != nullptr ? cfg_.place->bounds() : geo::BBox{}};
   bool gps_enable;
   if (!r.get_bool(gps_enable)) return false;
   if (!predictor_.restore_from(r)) return false;
@@ -387,7 +399,7 @@ bool Uniloc::restore_from(offload::ByteReader& r) {
     std::uint32_t len;
     if (!r.get_u32(len) || len > r.remaining()) return false;
     const std::size_t before = r.pos();
-    if (!e.scheme->restore_from(r)) return false;
+    if (!e.scheme->restore_from(r, ctx)) return false;
     if (r.pos() - before != len) return false;
   }
   gps_enable_ = gps_enable;

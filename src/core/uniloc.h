@@ -128,6 +128,15 @@ class Uniloc {
   /// malformed input.
   bool restore_from(offload::ByteReader& r);
 
+  /// Codec-versioned snapshot pair: `quantize` selects the fixed-point
+  /// particle codec (checkpoint format v2), with the venue grid taken
+  /// from this framework's Place bounds (schemes::SnapshotContext). The
+  /// flag must match between snapshot and restore -- the checkpoint
+  /// header's version byte carries it across the file boundary.
+  /// quantize == false is byte-identical to the pair above.
+  void snapshot_into(offload::ByteWriter& w, bool quantize) const;
+  bool restore_from(offload::ByteReader& r, bool quantize);
+
   /// Attach latency/throughput instrumentation to `registry` (nullptr
   /// detaches, the default state). Histograms resolved once here, never
   /// on the hot path: `uniloc.update_us`, `uniloc.fuse_us`, and

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/flight_recorder.h"
+#include "svc/delta.h"
 
 namespace uniloc::fault {
 
@@ -35,6 +36,33 @@ void CrashInjector::on_round(std::size_t round) {
       if (flight_->dump_to_file(path)) dumps_.push_back(path);
     }
   }
+}
+
+void ChainCrashInjector::on_round(std::size_t round) {
+  const bool keyframe =
+      chain_.empty() || since_keyframe_ >= keyframe_interval_;
+  if (keyframe) {
+    // A keyframe re-anchors the chain: everything older is superseded
+    // (the on-disk analogue prunes the files).
+    chain_.clear();
+    since_keyframe_ = 0;
+    ++keyframes_;
+  }
+  chain_.push_back(server_->snapshot_wave(keyframe));
+  ++since_keyframe_;
+  ++waves_;
+  if (!plan_->crash_at(round)) return;
+  ++crashes_;
+  server_->crash();
+  const svc::ChainCollapse collapsed = svc::collapse_chain(chain_);
+  // Our own chain must collapse cleanly: a rejected wave here is a torn
+  // write WE produced, which the differential pass must surface.
+  if (!collapsed.ok || collapsed.waves_rejected != 0 ||
+      !server_->restore(collapsed.snapshot)) {
+    ++restore_failures_;
+    return;
+  }
+  deltas_applied_ += collapsed.deltas_applied;
 }
 
 void ShardCrashInjector::on_round(std::size_t round) {

@@ -69,6 +69,52 @@ class CrashInjector {
   std::size_t restore_failures_{0};
 };
 
+/// Delta-chain crash injection (svc/delta.h): the durable-checkpoint
+/// analogue of CrashInjector. Every round the injector appends one wave
+/// to an in-RAM chain -- a keyframe whenever the chain is empty or
+/// `keyframe_interval` deltas have accumulated (a keyframe supersedes and
+/// drops everything before it, mirroring prune_wave_files), a delta of
+/// the dirty sessions otherwise. At scripted crash rounds the server
+/// dies and is rebuilt from collapse_chain() over the retained waves.
+/// Because deltas only carry sessions that advanced, this pins the whole
+/// dirty-tracking + membership-pruning + overlay pipeline: the collapsed
+/// restore must reproduce the uninterrupted epoch stream bit for bit
+/// (proptest invariant I9). Any wave the collapse rejects is OUR OWN
+/// torn write and counts as a restore failure.
+class ChainCrashInjector {
+ public:
+  /// Both pointers must outlive the injector.
+  ChainCrashInjector(svc::LocalizationServer* server, const FaultPlan* plan,
+                     std::size_t keyframe_interval = 4)
+      : server_(server),
+        plan_(plan),
+        keyframe_interval_(keyframe_interval == 0 ? 1 : keyframe_interval) {}
+
+  /// Call from LoadGenConfig::on_round (all sessions idle between
+  /// rounds, so the wave is a clean cut).
+  void on_round(std::size_t round);
+
+  std::size_t waves() const { return waves_; }
+  std::size_t keyframes() const { return keyframes_; }
+  std::size_t crashes() const { return crashes_; }
+  /// Deltas collapse_chain applied across every restore performed.
+  std::size_t deltas_applied() const { return deltas_applied_; }
+  /// Restores that failed or rejected one of our own waves (must stay 0).
+  std::size_t restore_failures() const { return restore_failures_; }
+
+ private:
+  svc::LocalizationServer* server_;
+  const FaultPlan* plan_;
+  std::size_t keyframe_interval_;
+  std::vector<std::vector<std::uint8_t>> chain_;
+  std::size_t since_keyframe_{0};
+  std::size_t waves_{0};
+  std::size_t keyframes_{0};
+  std::size_t crashes_{0};
+  std::size_t deltas_applied_{0};
+  std::size_t restore_failures_{0};
+};
+
 /// Whole-shard chaos for a fleet (shard/router.h): every round the whole
 /// fleet checkpoints; at rounds scripted via FaultPlan::script_crash one
 /// shard (rotating round-robin over the fleet) is killed, its session

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <numbers>
 
 #include "obs/metrics.h"
 #include "obs/timer.h"
@@ -274,6 +275,143 @@ bool ParticleFilter::restore_from(offload::ByteReader& r) {
   heading_ = std::move(arrays[2]);
   scale_ = std::move(arrays[3]);
   weight_ = std::move(arrays[4]);
+  rng_.engine() = engine;
+  return true;
+}
+
+namespace {
+
+// --- Quantized codec (checkpoint format v2) ---------------------------
+//
+// Fixed-point u16 grids. The dequantizer places every value exactly on a
+// grid point and the quantizer rounds to nearest, so a dequantized value
+// re-quantizes to the same code (requantization exactness; the byte-
+// stability the delta chain relies on). Divisions by 65536 are exact
+// (power-of-two divisor); the residual float error of lo + frac * range
+// is ~ulp(lo), many orders of magnitude below the half-step rounding
+// boundary for any metric venue, so round-to-nearest can never flip.
+
+constexpr double kQuantScaleLo = 0.25;
+constexpr double kQuantScaleRange = 3.75;   // step scales live in ~[0.5, 2]
+constexpr double kQuantGridMargin = 64.0;   // m beyond the venue bbox
+constexpr double kQuantMinRange = 1.0;      // degenerate-bbox floor, m
+
+std::uint16_t quantize_u16(double v, double lo, double range) {
+  if (!std::isfinite(v)) return 0;  // poisoned state: park at the origin
+  const double t = (v - lo) / range * 65536.0;
+  if (!(t > 0.0)) return 0;  // also catches NaN from inf - inf
+  if (t >= 65535.0) return 65535;
+  return static_cast<std::uint16_t>(std::lround(t));
+}
+
+double dequantize_u16(std::uint16_t q, double lo, double range) {
+  return lo + (static_cast<double>(q) / 65536.0) * range;
+}
+
+}  // namespace
+
+void ParticleFilter::snapshot_into_quantized(offload::ByteWriter& w,
+                                             const geo::BBox& venue) const {
+  const std::size_t n = px_.size();
+  const geo::BBox grid = venue.empty()
+                             ? geo::BBox{{-kQuantGridMargin, -kQuantGridMargin},
+                                         {kQuantGridMargin, kQuantGridMargin}}
+                             : venue.inflated(kQuantGridMargin);
+  const double x_lo = grid.min.x;
+  const double x_range = std::max(grid.width(), kQuantMinRange);
+  const double y_lo = grid.min.y;
+  const double y_range = std::max(grid.height(), kQuantMinRange);
+  w.put_u32(static_cast<std::uint32_t>(n));
+  // The grid is stored in the stream: restore needs no venue, and a
+  // changed venue between snapshots only changes the codes, never the
+  // decode of old waves.
+  w.put_f64(x_lo);
+  w.put_f64(x_range);
+  w.put_f64(y_lo);
+  w.put_f64(y_range);
+  for (std::size_t i = 0; i < n; ++i) {
+    w.put_u16(quantize_u16(px_[i], x_lo, x_range));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    w.put_u16(quantize_u16(py_[i], y_lo, y_range));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    // Headings are wrapped to (-pi, pi] by init()/predict(); the grid
+    // covers exactly one turn, so the only clamp is pi -> pi - step.
+    w.put_u16(quantize_u16(heading_[i], -std::numbers::pi, 2.0 * std::numbers::pi));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    w.put_u16(quantize_u16(scale_[i], kQuantScaleLo, kQuantScaleRange));
+  }
+  // Weights encode relative to the cloud maximum. The max weight uses
+  // code 65535 over divisor 65535, so it dequantizes *exactly* (q/65535
+  // == 1.0): the restored cloud's max equals the stored w_max and the
+  // relative codes requantize unchanged. It also guarantees at least one
+  // strictly positive weight, so a restored cloud can never collapse to
+  // an all-zero (NaN-mean) state.
+  double w_max = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::isfinite(weight_[i]) && weight_[i] > w_max) w_max = weight_[i];
+  }
+  w.put_f64(w_max);
+  for (std::size_t i = 0; i < n; ++i) {
+    double ratio = w_max > 0.0 ? weight_[i] / w_max : 0.0;
+    if (!std::isfinite(ratio) || ratio < 0.0) ratio = 0.0;
+    if (ratio > 1.0) ratio = 1.0;
+    w.put_u16(static_cast<std::uint16_t>(std::lround(ratio * 65535.0)));
+  }
+  stats::snapshot_engine(rng_.engine(), w);
+}
+
+bool ParticleFilter::restore_from_quantized(offload::ByteReader& r) {
+  const std::size_t n = px_.size();
+  std::uint32_t count;
+  if (!r.get_u32(count) || count != n) return false;
+  double x_lo, x_range, y_lo, y_range;
+  if (!r.get_f64(x_lo) || !r.get_f64(x_range) || !r.get_f64(y_lo) ||
+      !r.get_f64(y_range)) {
+    return false;
+  }
+  // A hostile stream could carry NaN/inf grid parameters; dequantizing
+  // through them would poison every particle, so reject up front.
+  if (!std::isfinite(x_lo) || !std::isfinite(y_lo) ||
+      !std::isfinite(x_range) || !std::isfinite(y_range) ||
+      x_range <= 0.0 || y_range <= 0.0) {
+    return false;
+  }
+  // Scratch-decode-then-commit, same as restore_from.
+  std::vector<double> nx(n), ny(n), nh(n), ns(n), nw(n);
+  const auto read_axis = [&r, n](std::vector<double>& out, double lo,
+                                 double range) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint16_t q;
+      if (!r.get_u16(q)) return false;
+      out[i] = dequantize_u16(q, lo, range);
+    }
+    return true;
+  };
+  if (!read_axis(nx, x_lo, x_range) || !read_axis(ny, y_lo, y_range) ||
+      !read_axis(nh, -std::numbers::pi, 2.0 * std::numbers::pi) ||
+      !read_axis(ns, kQuantScaleLo, kQuantScaleRange)) {
+    return false;
+  }
+  double w_max;
+  if (!r.get_f64(w_max) || !std::isfinite(w_max) || w_max < 0.0) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint16_t q;
+    if (!r.get_u16(q)) return false;
+    // Division by 65535 last would round; dividing the code first makes
+    // q == 65535 an exact 1.0, restoring the max weight bit-exactly.
+    nw[i] = w_max > 0.0 ? (static_cast<double>(q) / 65535.0) * w_max
+                        : 1.0 / static_cast<double>(n);
+  }
+  std::mt19937_64 engine;
+  if (!stats::restore_engine(engine, r)) return false;
+  px_ = std::move(nx);
+  py_ = std::move(ny);
+  heading_ = std::move(nh);
+  scale_ = std::move(ns);
+  weight_ = std::move(nw);
   rng_.engine() = engine;
   return true;
 }

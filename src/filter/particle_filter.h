@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "geo/bbox.h"
 #include "geo/vec2.h"
 #include "offload/bytes.h"
 #include "stats/rng.h"
@@ -159,6 +160,24 @@ class ParticleFilter {
   /// Rejects (returns false, filter unchanged) on truncation, a particle
   /// count that does not match this filter's, or a corrupt engine state.
   bool restore_from(offload::ByteReader& r);
+
+  /// Quantized snapshot codec (checkpoint format v2): positions as u16
+  /// fixed-point per axis over `venue` (inflated by a fixed margin so
+  /// strayed particles stay on the grid), headings as u16 over (-pi, pi],
+  /// step scales as u16 over [0.25, 4], weights as u16 relative to the
+  /// cloud's max weight (the max restores exactly, so the cloud can never
+  /// dequantize to all-zero weights). The RNG engine is bit-exact -- only
+  /// the five SoA arrays are lossy, each value off by at most half a grid
+  /// step (DESIGN.md section 17 budgets the error). The codec is
+  /// *requantization-exact*: restore_from_quantized followed by
+  /// snapshot_into_quantized reproduces the identical bytes, so a delta
+  /// chain over quantized keyframes is byte-stable.
+  void snapshot_into_quantized(offload::ByteWriter& w,
+                               const geo::BBox& venue) const;
+  /// Hostile-input safe like restore_from: rejects truncation, particle
+  /// count mismatch, non-finite grid parameters, and corrupt engine
+  /// state, leaving the filter unchanged.
+  bool restore_from_quantized(offload::ByteReader& r);
 
   /// Route predict()/resample() latencies into `registry` histograms
   /// `<prefix>.predict_us` / `<prefix>.resample_us`. Null detaches (the

@@ -1,0 +1,42 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Guards the checkpoint wave files: a wave's trailing CRC covers every
+// preceding byte, so a torn write, a bit flip, or a truncated tail is
+// detected before any record is parsed. Table-driven, one byte per step;
+// the checksum is a few percent of the serialization cost and runs off
+// the worker strands (on the committer thread or a restore path).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace uniloc::offload {
+
+namespace detail {
+inline constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+}  // namespace detail
+
+/// CRC-32 of `n` bytes. `seed` chains partial updates:
+/// crc32(b, n) == crc32(b + k, n - k, crc32(b, k)).
+inline std::uint32_t crc32(const std::uint8_t* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = detail::kCrc32Table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace uniloc::offload

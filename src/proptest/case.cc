@@ -123,6 +123,7 @@ std::string to_json(const CaseSpec& s) {
   }
   w.end_array();
   w.kv("crash_restore", s.crash_restore);
+  w.kv("delta_chain", s.delta_chain);
   w.end_object();
   return w.str();
 }
@@ -220,6 +221,12 @@ std::optional<CaseSpec> from_json(const std::string& line) {
     s.churn.push_back(ev);
   }
   if (!parse_bool(doc->find("crash_restore"), &s.crash_restore)) {
+    return std::nullopt;
+  }
+  // "delta_chain" is newer than the oldest corpus lines: absent means
+  // false (no I9 pass), present must be well-typed.
+  const obs::JsonValue* delta_chain = doc->find("delta_chain");
+  if (delta_chain != nullptr && !parse_bool(delta_chain, &s.delta_chain)) {
     return std::nullopt;
   }
   return s;

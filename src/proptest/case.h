@@ -65,6 +65,11 @@ struct CaseSpec {
   /// Run a crash/restore pass at faults.crash_rounds that must be
   /// bit-identical to the uninterrupted run.
   bool crash_restore{false};
+  /// Run a delta-chain crash pass (invariant I9): the server checkpoints
+  /// via keyframe+delta waves and every scripted crash restores through
+  /// collapse_chain instead of a monolithic snapshot. Only meaningful
+  /// when faults.crash_rounds is non-empty.
+  bool delta_chain{false};
 
   bool operator==(const CaseSpec&) const = default;
 };

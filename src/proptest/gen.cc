@@ -37,6 +37,9 @@ CaseSpec generate_case(std::uint64_t engine_seed, std::size_t index) {
   s.faults = fault::generate_plan_spec(stats::hash_combine(case_seed, 4),
                                        limits);
   s.crash_restore = !s.faults.crash_rounds.empty();
+  // Half the crashing cases also run the I9 delta-chain pass: same crash
+  // schedule, but restoring through keyframe+delta collapse.
+  s.delta_chain = s.crash_restore && rng.chance(0.5);
 
   // Service shape: a quarter of the cases run a workers-N differential
   // pass, two-fifths a fleet pass, and fleet cases mix in migration

@@ -108,7 +108,12 @@ class CaseRunner {
   /// every pass, so the differential passes compare apples to apples.
   svc::LoadGenConfig load_config(const obs::Counter* up);
 
-  PassResult run_single(int workers, bool with_crash_injector,
+  /// Which crash machinery (if any) rides along with a single-server
+  /// pass: monolithic snapshot/restore (I5) or keyframe+delta chain
+  /// collapse (I9).
+  enum class Injector { kNone, kSnapshot, kChain };
+
+  PassResult run_single(int workers, Injector injector,
                         const std::string& label,
                         std::size_t epoch_batch = 1);
   PassResult run_fleet();
@@ -187,7 +192,7 @@ svc::LoadGenConfig CaseRunner::load_config(const obs::Counter* up) {
   return lg;
 }
 
-PassResult CaseRunner::run_single(int workers, bool with_crash_injector,
+PassResult CaseRunner::run_single(int workers, Injector injector,
                                   const std::string& label,
                                   std::size_t epoch_batch) {
   obs::MetricsRegistry reg;
@@ -203,17 +208,29 @@ PassResult CaseRunner::run_single(int workers, bool with_crash_injector,
   const obs::Counter* up = &reg.counter("offload.uplink_bytes");
   svc::LoadGenConfig lg = load_config(up);
 
-  fault::CrashInjector injector(&server, &plan_);
-  if (with_crash_injector) {
-    lg.on_round = [&injector](std::size_t round) { injector.on_round(round); };
+  fault::CrashInjector snap_injector(&server, &plan_);
+  fault::ChainCrashInjector chain_injector(&server, &plan_);
+  if (injector == Injector::kSnapshot) {
+    lg.on_round = [&snap_injector](std::size_t round) {
+      snap_injector.on_round(round);
+    };
+  } else if (injector == Injector::kChain) {
+    lg.on_round = [&chain_injector](std::size_t round) {
+      chain_injector.on_round(round);
+    };
   }
 
   PassResult pass;
   pass.report = run_load(server, deployment_, lg, &reg);
   pass.uplink_counter = up->value();
-  if (with_crash_injector && injector.restore_failures() > 0) {
-    violation("I5: " + std::to_string(injector.restore_failures()) +
+  if (injector == Injector::kSnapshot &&
+      snap_injector.restore_failures() > 0) {
+    violation("I5: " + std::to_string(snap_injector.restore_failures()) +
               " restore(s) of our own snapshot failed");
+  }
+  if (injector == Injector::kChain && chain_injector.restore_failures() > 0) {
+    violation("I9: " + std::to_string(chain_injector.restore_failures()) +
+              " collapse-restore(s) of our own delta chain failed");
   }
   return pass;
 }
@@ -401,22 +418,27 @@ void CaseRunner::compare_passes(const PassResult& ref, const PassResult& other,
 Verdict CaseRunner::run(const OracleOptions& opts) {
   // Base pass: one server, deterministic inline mode, no crashes. Every
   // differential pass below must reproduce its stream bit for bit.
-  const PassResult ref =
-      run_single(/*workers=*/0, /*with_crash_injector=*/false, "base");
+  const PassResult ref = run_single(/*workers=*/0, Injector::kNone, "base");
   check_report(ref);
 
   if (opts.check_crash_restore && spec_.crash_restore &&
       !spec_.faults.crash_rounds.empty()) {
     compare_passes(ref,
-                   run_single(/*workers=*/0, /*with_crash_injector=*/true,
-                              "crash"),
+                   run_single(/*workers=*/0, Injector::kSnapshot, "crash"),
                    "I5 (crash/restore)");
+  }
+
+  if (opts.check_delta_chain && spec_.delta_chain &&
+      !spec_.faults.crash_rounds.empty()) {
+    compare_passes(ref,
+                   run_single(/*workers=*/0, Injector::kChain, "chain"),
+                   "I9 (delta chain)");
   }
 
   if (opts.check_workers && spec_.workers > 0) {
     compare_passes(ref,
                    run_single(static_cast<int>(spec_.workers),
-                              /*with_crash_injector=*/false, "workers"),
+                              Injector::kNone, "workers"),
                    "I6 (workers)");
   }
 
@@ -432,8 +454,8 @@ Verdict CaseRunner::run(const OracleOptions& opts) {
     // and scalar == vector at once.
     const stats::ScopedSimd scalar_only(false);
     compare_passes(ref,
-                   run_single(/*workers=*/0, /*with_crash_injector=*/false,
-                              "batch", /*epoch_batch=*/spec_.batch),
+                   run_single(/*workers=*/0, Injector::kNone, "batch",
+                              /*epoch_batch=*/spec_.batch),
                    "I8 (batch+scalar)");
   }
 

@@ -24,6 +24,11 @@
 //       pass -- which runs unbatched with the kernels ON -- bit for bit.
 //       One comparison pins both equalities: batched == unbatched and
 //       scalar == vector, NaN-aware like every pass comparison.
+//   I9  Delta-chain durability is invisible: a run that checkpoints via
+//       keyframe+delta waves (dirty sessions only) and restores every
+//       scripted crash through collapse_chain is bit-identical to the
+//       undisturbed run, and the collapse never rejects a wave the
+//       server itself wrote.
 //
 // Violations come back as strings (the engine is gtest-free); each
 // carries enough context to read the failure without rerunning it.
@@ -55,6 +60,7 @@ struct OracleOptions {
   bool check_workers{true};
   bool check_fleet{true};
   bool check_batch{true};
+  bool check_delta_chain{true};
 };
 
 /// Run `spec` and return every invariant violation found. `models` is

@@ -201,6 +201,11 @@ CaseSpec shrink_case(const CaseSpec& failing, const FailFn& still_fails,
     }
     {
       CaseSpec c = s.best();
+      c.delta_chain = false;
+      s.accept(c);
+    }
+    {
+      CaseSpec c = s.best();
       c.gait = sim::GaitProfile{};
       s.accept(c);
     }

@@ -188,14 +188,34 @@ void PdrScheme::update_into(const sim::SensorFrame& frame, SchemeOutput& out) {
 }
 
 void PdrScheme::snapshot_into(offload::ByteWriter& w) const {
+  snapshot_into(w, SnapshotContext{});
+}
+
+bool PdrScheme::restore_from(offload::ByteReader& r) {
+  return restore_from(r, SnapshotContext{});
+}
+
+void PdrScheme::snapshot_into(offload::ByteWriter& w,
+                              const SnapshotContext& ctx) const {
   frontend_.snapshot_into(w);
-  pf_.snapshot_into(w);
+  // The particle filter is the only quantizable state: the frontend and
+  // the two scalars below are a handful of bytes, while the filter is
+  // ~12 KB of f64 arrays that compress 4x on the fixed-point grid.
+  if (ctx.quantize) {
+    pf_.snapshot_into_quantized(w, ctx.venue);
+  } else {
+    pf_.snapshot_into(w);
+  }
   w.put_f64(dist_since_landmark_);
   w.put_bool(started_);
 }
 
-bool PdrScheme::restore_from(offload::ByteReader& r) {
-  if (!frontend_.restore_from(r) || !pf_.restore_from(r)) return false;
+bool PdrScheme::restore_from(offload::ByteReader& r,
+                             const SnapshotContext& ctx) {
+  if (!frontend_.restore_from(r)) return false;
+  if (!(ctx.quantize ? pf_.restore_from_quantized(r) : pf_.restore_from(r))) {
+    return false;
+  }
   double dist;
   bool started;
   if (!r.get_f64(dist) || !r.get_bool(started)) return false;

@@ -48,6 +48,10 @@ class PdrScheme : public LocalizationScheme {
   void attach_metrics(obs::MetricsRegistry* registry) override;
   void snapshot_into(offload::ByteWriter& w) const override;
   bool restore_from(offload::ByteReader& r) override;
+  void snapshot_into(offload::ByteWriter& w,
+                     const SnapshotContext& ctx) const override;
+  bool restore_from(offload::ByteReader& r,
+                    const SnapshotContext& ctx) override;
 
   /// Meters walked since the last recognized landmark (beta1 of the
   /// motion error model).

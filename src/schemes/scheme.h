@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "geo/bbox.h"
 #include "geo/grid.h"
 #include "geo/vec2.h"
 #include "sim/sensor_frame.h"
@@ -30,6 +31,19 @@ class ByteReader;
 namespace uniloc::schemes {
 
 struct EpochContext;  // schemes/epoch_context.h
+
+/// Codec selection for scheme snapshots, threaded from the checkpoint
+/// format version (svc/checkpoint.h). `quantize` selects the fixed-point
+/// particle codec (format v2); `venue` supplies its position grid and
+/// must be identical between the snapshot and any later re-snapshot of
+/// the restored state (the server passes the session's Place bounds,
+/// which are immutable for a session's lifetime). The default context
+/// selects the lossless f64 codec (format v1) -- the only one permitted
+/// for live migration and crash/restore bit-identity.
+struct SnapshotContext {
+  bool quantize{false};
+  geo::BBox venue;
+};
 
 /// Families group schemes by the sensor data they consume; every family
 /// shares one error-model feature set (paper Table I).
@@ -153,6 +167,21 @@ class LocalizationScheme {
   virtual bool restore_from(offload::ByteReader& r) {
     (void)r;
     return true;
+  }
+
+  /// Context-aware snapshot codec. Schemes that hold particle state
+  /// override these to honor `ctx.quantize`; the defaults delegate to
+  /// the context-free pair, so stateless schemes and schemes with no
+  /// quantizable state serialize identically under every context.
+  virtual void snapshot_into(offload::ByteWriter& w,
+                             const SnapshotContext& ctx) const {
+    (void)ctx;
+    snapshot_into(w);
+  }
+  virtual bool restore_from(offload::ByteReader& r,
+                            const SnapshotContext& ctx) {
+    (void)ctx;
+    return restore_from(r);
   }
 
   /// Likelihood-cache query outcomes accumulated by this scheme's fast

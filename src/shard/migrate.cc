@@ -9,7 +9,11 @@ std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>
 split_snapshot_sessions(const std::vector<std::uint8_t>& snapshot) {
   std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> out;
   offload::ByteReader r(snapshot.data(), snapshot.size());
-  if (!svc::check_snapshot_header(r)) return out;
+  // Preserve the payload version: a checkpoint collapsed from a
+  // quantized delta chain is v2, and each split record must carry the
+  // same version or adoption would parse quantized bytes as f64.
+  std::uint8_t version;
+  if (!svc::check_snapshot_header(r, version)) return out;
   std::uint64_t accepted_since_scan;
   std::uint32_t count;
   if (!r.get_u64(accepted_since_scan) || !r.get_u32(count) ||
@@ -27,7 +31,7 @@ split_snapshot_sessions(const std::vector<std::uint8_t>& snapshot) {
     // Re-frame the record verbatim: header + the snapshot's own bytes,
     // so adoption restores exactly what the dead shard checkpointed.
     offload::ByteWriter w;
-    svc::write_snapshot_header(w);
+    svc::write_snapshot_header(w, version);
     w.put_bytes(snapshot.data() + record_start, r.pos() - record_start);
     out.emplace_back(rec.id, w.take());
   }

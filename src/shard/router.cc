@@ -22,6 +22,23 @@ ShardRouter::ShardRouter(RouterConfig cfg, svc::UnilocFactory factory,
     registries_.push_back(std::make_unique<obs::MetricsRegistry>());
     svc::ServerConfig sc = cfg_.server;
     if (cfg_.tune) cfg_.tune(k, sc);
+    // Propagate TTL eviction to the routing table: without this every
+    // kHello leaves a permanent overrides_ entry even after the shard
+    // forgot the session, so override churn (hello -> idle -> evict)
+    // grows the map without bound. Compare-and-erase only when the
+    // override still points at the evicting shard -- a session that
+    // migrated away since is someone else's to track. Lock order is
+    // safe: eviction fires inside servers_[k]->submit / evict_idle, and
+    // the router never calls into a server while holding route_mu_.
+    const std::function<void(std::uint64_t)> user_evict = sc.on_evict;
+    sc.on_evict = [this, k, user_evict](std::uint64_t sid) {
+      {
+        std::lock_guard<std::mutex> lock(route_mu_);
+        const auto it = overrides_.find(sid);
+        if (it != overrides_.end() && it->second == k) overrides_.erase(it);
+      }
+      if (user_evict) user_evict(sid);
+    };
     servers_.push_back(std::make_unique<svc::LocalizationServer>(
         std::move(sc), factory, registries_.back().get()));
     ring_.add_shard(k);

@@ -80,7 +80,10 @@ struct RouterConfig {
   /// Template applied to every shard's LocalizationServer.
   svc::ServerConfig server;
   /// Optional per-shard adjustment of the template (e.g. distinct
-  /// checkpoint directories) before the shard is constructed.
+  /// checkpoint directories) before the shard is constructed. The
+  /// router chains its own `on_evict` hook after whatever this sets:
+  /// eviction must erase the session's routing override or the table
+  /// grows without bound.
   std::function<void(std::size_t shard, svc::ServerConfig& cfg)> tune;
   RebalancePolicy rebalance;
   /// Test seam: called between extract and adopt of every migration,
@@ -145,6 +148,13 @@ class ShardRouter : public svc::Endpoint {
   /// Last checkpoint_all() snapshot of shard k (empty before the first).
   const std::vector<std::uint8_t>& last_checkpoint(std::size_t k) const {
     return checkpoints_[k];
+  }
+  /// Routing-override entries currently held. Bounded by the live
+  /// population: evictions and kBye erase their entries (regression
+  /// hook for the unbounded-overrides bug).
+  std::size_t override_count() const {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    return overrides_.size();
   }
 
   /// The shard a frame for `session_id` would be routed to right now.

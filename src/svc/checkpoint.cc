@@ -2,25 +2,23 @@
 
 #include <cstdio>
 
-#ifdef _WIN32
-#include <io.h>
-#else
-#include <unistd.h>
-#endif
-
 namespace uniloc::svc {
 
-void write_snapshot_header(offload::ByteWriter& w) {
+void write_snapshot_header(offload::ByteWriter& w, std::uint8_t version) {
   w.put_u32(kSnapshotMagic);
-  w.put_u8(kSnapshotVersion);
+  w.put_u8(version);
+}
+
+bool check_snapshot_header(offload::ByteReader& r, std::uint8_t& version) {
+  std::uint32_t magic;
+  if (!r.get_u32(magic) || magic != kSnapshotMagic) return false;
+  if (!r.get_u8(version)) return false;
+  return version == kSnapshotVersion || version == kSnapshotVersionQuantized;
 }
 
 bool check_snapshot_header(offload::ByteReader& r) {
-  std::uint32_t magic;
   std::uint8_t version;
-  if (!r.get_u32(magic) || magic != kSnapshotMagic) return false;
-  if (!r.get_u8(version) || version != kSnapshotVersion) return false;
-  return true;
+  return check_snapshot_header(r, version) && version == kSnapshotVersion;
 }
 
 bool read_session_record_header(offload::ByteReader& r,
@@ -37,43 +35,32 @@ std::string checkpoint_path(const std::string& dir) {
 }
 
 bool write_checkpoint_file(const std::string& dir,
-                           const std::vector<std::uint8_t>& bytes) {
-  // Temp file in the same directory so the rename is atomic (same fs).
-  const std::string tmp = dir + "/checkpoint.bin.tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return false;
-  bool ok = bytes.empty() ||
-            std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
-  ok = std::fflush(f) == 0 && ok;
-#ifndef _WIN32
-  // Durability: the data must hit disk before the rename publishes it,
-  // otherwise a crash could leave a renamed-but-empty checkpoint.
-  ok = ::fsync(::fileno(f)) == 0 && ok;
-#endif
-  ok = std::fclose(f) == 0 && ok;
-  if (!ok) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  const std::string target = checkpoint_path(dir);
-  if (std::rename(tmp.c_str(), target.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+                           const std::vector<std::uint8_t>& bytes,
+                           const FsOps& ops) {
+  // write(+fsync) temp -> rename -> fsync dir, all through atomic_publish
+  // so the checkpoint file and the delta-chain wave files share one
+  // durability discipline (DESIGN.md section 17).
+  return atomic_publish(ops, dir, "checkpoint.bin", bytes);
 }
 
 std::optional<std::vector<std::uint8_t>> read_checkpoint_file(
     const std::string& dir) {
   std::FILE* f = std::fopen(checkpoint_path(dir).c_str(), "rb");
   if (f == nullptr) return std::nullopt;
-  std::vector<std::uint8_t> bytes;
-  std::uint8_t buf[4096];
-  std::size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    bytes.insert(bytes.end(), buf, buf + n);
+  // Stat first: size the buffer once and enforce the hostile-input cap
+  // before allocating, instead of growing a vector 4 KB at a time with
+  // no bound (the PR-5 read path's bug).
+  long size = -1;
+  if (std::fseek(f, 0, SEEK_END) == 0) size = std::ftell(f);
+  if (size < 0 || static_cast<std::uint64_t>(size) > kMaxCheckpointFileBytes ||
+      std::fseek(f, 0, SEEK_SET) != 0) {
+    std::fclose(f);
+    return std::nullopt;
   }
-  const bool ok = std::ferror(f) == 0;
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  const bool ok =
+      bytes.empty() ||
+      std::fread(bytes.data(), 1, bytes.size(), f) == bytes.size();
   std::fclose(f);
   if (!ok) return std::nullopt;
   return bytes;

@@ -28,21 +28,42 @@
 #include <vector>
 
 #include "offload/bytes.h"
+#include "svc/fsio.h"
 
 namespace uniloc::svc {
 
 /// 'UCKP' little-endian ("Uniloc ChecKPoint").
 inline constexpr std::uint32_t kSnapshotMagic = 0x504B4355u;
+/// Version 1: per-session payloads carry full f64 particle state.
 inline constexpr std::uint8_t kSnapshotVersion = 1;
+/// Version 2: per-session payloads use the quantized particle codec
+/// (fixed-point u16 positions/headings within the venue bbox; see
+/// filter/particle_filter.h). Restore-then-resnapshot is byte-stable,
+/// but the dequantized state differs from the original by up to half a
+/// grid step -- v2 is for the durable checkpoint chain, never for live
+/// migration (which must be bit-lossless).
+inline constexpr std::uint8_t kSnapshotVersionQuantized = 2;
 
 /// Hard cap on the decoded session count: a 4-byte count field must not
 /// let a hostile snapshot drive a multi-gigabyte allocation loop.
 inline constexpr std::uint32_t kMaxSnapshotSessions = 1u << 20;
 
-/// Write the snapshot header (magic + version).
-void write_snapshot_header(offload::ByteWriter& w);
+/// Hard cap on a checkpoint file's size (4 GiB): read_checkpoint_file
+/// rejects anything larger before allocating a byte of it, so a hostile
+/// or corrupt path cannot drive an unbounded read loop.
+inline constexpr std::uint64_t kMaxCheckpointFileBytes = 1ull << 32;
 
-/// Consume and validate the header; false on bad magic or version.
+/// Write the snapshot header (magic + version). `version` must be
+/// kSnapshotVersion or kSnapshotVersionQuantized.
+void write_snapshot_header(offload::ByteWriter& w,
+                           std::uint8_t version = kSnapshotVersion);
+
+/// Consume and validate the header; false on bad magic or an unknown
+/// version. On success `version` holds the snapshot's payload codec
+/// version (callers thread it into Uniloc::restore_from).
+bool check_snapshot_header(offload::ByteReader& r, std::uint8_t& version);
+
+/// Back-compat shim: accepts only version-1 snapshots.
 bool check_snapshot_header(offload::ByteReader& r);
 
 /// The fixed-size prefix of one per-session record. Shared by the full
@@ -64,11 +85,15 @@ bool read_session_record_header(offload::ByteReader& r,
                                 SessionRecordHeader& out);
 
 /// Atomically replace `dir`/checkpoint.bin with `bytes`: written to a
-/// temp file in the same directory, fsync'd, then renamed over the
-/// target, so a crash mid-write leaves the previous checkpoint intact.
-/// Returns false on any I/O failure.
+/// temp file in the same directory, fsync'd, renamed over the target,
+/// then the directory fd is fsync'd so the rename itself survives a
+/// crash (without the dir fsync a crash after rename can lose the newly
+/// published checkpoint -- the regression the FsOps hook pins). Returns
+/// false on any I/O failure. `ops` injects the filesystem primitives
+/// for the torn-write tests; default uses the real implementation.
 bool write_checkpoint_file(const std::string& dir,
-                           const std::vector<std::uint8_t>& bytes);
+                           const std::vector<std::uint8_t>& bytes,
+                           const FsOps& ops = {});
 
 /// Read back `dir`/checkpoint.bin; nullopt when absent or unreadable.
 std::optional<std::vector<std::uint8_t>> read_checkpoint_file(

@@ -1,0 +1,71 @@
+// Injectable filesystem operations for the durable checkpoint path.
+//
+// Every byte the persistence engine publishes goes through exactly four
+// primitive operations, in this order:
+//
+//   1. write_bytes(tmp, data)   temp file in the target directory:
+//                               open, write, flush, fsync, close
+//   2. rename_file(tmp, final)  atomic publish (same filesystem)
+//   3. fsync_dir(dir)           make the rename itself durable -- without
+//                               this a crash after rename can lose the
+//                               directory entry and the "published"
+//                               checkpoint silently vanishes (the PR-5
+//                               write path had exactly this bug)
+//
+// plus remove_file for temp-file cleanup and chain pruning. FsOps makes
+// each primitive injectable so the torn-write tests can crash the
+// sequence between any two steps (and model metadata loss by undoing an
+// un-fsynced rename) without a real power cut. Production code uses
+// FsOps::real(); the default-constructed struct has null hooks and is
+// invalid -- helpers taking an FsOps treat null hooks as "use the real
+// implementation" via resolve().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace uniloc::svc {
+
+struct FsOps {
+  /// Create/truncate `path`, write `n` bytes, flush and fsync the file
+  /// descriptor, close. False on any failure (partial file may remain).
+  std::function<bool(const std::string& path, const std::uint8_t* data,
+                     std::size_t n)>
+      write_bytes;
+  /// Atomic rename within one filesystem. False on failure.
+  std::function<bool(const std::string& from, const std::string& to)>
+      rename_file;
+  /// fsync the directory fd so preceding renames in it are durable.
+  /// False on failure (no-op true on platforms without directory fds).
+  std::function<bool(const std::string& dir)> fsync_dir;
+  /// Best-effort unlink (cleanup; failure is not an error for callers).
+  std::function<bool(const std::string& path)> remove_file;
+
+  /// The real POSIX/stdio implementation of all four primitives.
+  static FsOps real();
+
+  /// `ops` with every null hook replaced by the real implementation, so
+  /// tests can inject only the primitive they want to sabotage.
+  static FsOps resolve(const FsOps& ops);
+};
+
+/// Atomically publish `bytes` as `dir`/`name`: write_bytes to
+/// `dir`/`name`.tmp, rename over the target, fsync the directory. On any
+/// failure the temp file is removed and false returned; the previous
+/// `dir`/`name` (if any) is never damaged.
+bool atomic_publish(const FsOps& ops, const std::string& dir,
+                    const std::string& name,
+                    const std::vector<std::uint8_t>& bytes);
+
+/// Steps 1+2 of atomic_publish without the directory fsync: the group
+/// committer (svc/committer.h) batches several publishes into one
+/// fsync_dir per directory, which is where the wave-commit throughput
+/// comes from. A caller using this directly MUST follow up with
+/// ops.fsync_dir(dir) before reporting the publish durable.
+bool publish_no_dirsync(const FsOps& ops, const std::string& dir,
+                        const std::string& name,
+                        const std::vector<std::uint8_t>& bytes);
+
+}  // namespace uniloc::svc

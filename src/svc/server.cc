@@ -12,6 +12,7 @@
 #include "offload/bytes.h"
 #include "offload/payload.h"
 #include "svc/checkpoint.h"
+#include "svc/delta.h"
 #include "svc/epoch_codec.h"
 
 namespace uniloc::svc {
@@ -456,8 +457,143 @@ void LocalizationServer::maybe_checkpoint() {
     if (now < last_checkpoint_us_ + cfg_.checkpoint_period_us) return;
     last_checkpoint_us_ = now;
   }
+  if (!cfg_.checkpoint_dir.empty()) {
+    checkpoint_wave_now();
+    return;
+  }
   const std::vector<std::uint8_t> bytes = snapshot();
   if (cfg_.on_checkpoint) cfg_.on_checkpoint(bytes);
+}
+
+void LocalizationServer::checkpoint_wave_now() {
+  bool keyframe;
+  {
+    std::lock_guard<std::mutex> lock(chain_mu_);
+    keyframe = force_keyframe_ ||
+               waves_since_keyframe_ + 1 >= std::max<std::size_t>(
+                                                1, cfg_.keyframe_interval);
+  }
+  std::vector<std::uint8_t> bytes = snapshot_wave(keyframe);
+  std::uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(chain_mu_);
+    seq = wave_seq_;
+  }
+  const std::string dir = cfg_.checkpoint_dir;
+  // On success a keyframe makes every older wave reclaimable; on failure
+  // the chain must re-anchor (the next delta would otherwise link onto a
+  // wave that may not be durable).
+  auto settle = [this, dir, seq, keyframe](bool ok) {
+    std::size_t pruned = 0;
+    if (ok && keyframe) pruned = prune_wave_files(dir, seq);
+    (void)pruned;
+    if (!ok) {
+      std::lock_guard<std::mutex> lock(chain_mu_);
+      force_keyframe_ = true;
+      ++ckpt_stats_.publish_failures;
+    }
+  };
+  if (cfg_.committer != nullptr) {
+    GroupCommitter::Request req;
+    req.dir = dir;
+    req.name = wave_file_name(seq);
+    req.bytes = std::move(bytes);
+    req.done = settle;
+    if (cfg_.committer->enqueue(std::move(req))) return;
+    // Committer backpressure: a checkpoint is never silently dropped --
+    // fall back to the synchronous path (req is untouched on rejection)
+    // and record the stall.
+    {
+      std::lock_guard<std::mutex> lock(chain_mu_);
+      ++ckpt_stats_.sync_fallbacks;
+    }
+    settle(write_wave_file(dir, seq, req.bytes));
+    return;
+  }
+  settle(write_wave_file(dir, seq, bytes));
+}
+
+std::vector<std::uint8_t> LocalizationServer::snapshot_wave(bool keyframe) {
+  WaveHeader h;
+  h.kind = keyframe ? kWaveKeyframe : kWaveDelta;
+  h.payload_version =
+      cfg_.snapshot_quantize ? kSnapshotVersionQuantized : kSnapshotVersion;
+  {
+    std::lock_guard<std::mutex> lock(chain_mu_);
+    h.seq = ++wave_seq_;
+    h.parent_seq = keyframe ? 0 : h.seq - 1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    h.accepted_since_scan = static_cast<std::uint64_t>(accepted_since_scan_);
+  }
+  const std::vector<SessionPtr> sessions = sessions_.all();  // id-sorted
+  std::vector<std::uint64_t> members;
+  members.reserve(sessions.size());
+  for (const SessionPtr& s : sessions) members.push_back(s->id());
+  WaveBuilder builder(h, members);
+  std::uint64_t records = 0;
+  for (const SessionPtr& s : sessions) {
+    // The dirty check races benignly with live traffic: a session that
+    // turns dirty after the check stays dirty and is caught by the next
+    // wave; one that looks dirty but didn't change just costs bytes.
+    if (!keyframe && !s->dirty()) continue;
+    s->run_exclusive([&] {
+      offload::ByteWriter& w = builder.begin_session(
+          s->id(), s->last_active_us(),
+          static_cast<std::uint64_t>(s->epochs_served()));
+      s->uniloc().snapshot_into(w, cfg_.snapshot_quantize);
+      builder.end_session();
+      // Inside the exclusive section: the clean mark covers exactly the
+      // state this wave serialized.
+      s->mark_clean();
+    });
+    ++records;
+  }
+  std::vector<std::uint8_t> bytes = builder.finish();
+  {
+    std::lock_guard<std::mutex> lock(chain_mu_);
+    ++ckpt_stats_.waves;
+    if (keyframe) {
+      ++ckpt_stats_.keyframes;
+      ckpt_stats_.keyframe_records += records;
+      ckpt_stats_.keyframe_bytes += bytes.size();
+      waves_since_keyframe_ = 0;
+      force_keyframe_ = false;
+    } else {
+      ckpt_stats_.delta_records += records;
+      ckpt_stats_.delta_bytes += bytes.size();
+      ++waves_since_keyframe_;
+    }
+  }
+  return bytes;
+}
+
+LocalizationServer::ChainRestoreResult LocalizationServer::restore_chain() {
+  ChainRestoreResult out;
+  if (cfg_.checkpoint_dir.empty()) return out;
+  const ChainCollapse collapsed =
+      collapse_chain(load_wave_files(cfg_.checkpoint_dir));
+  out.deltas_applied = collapsed.deltas_applied;
+  out.waves_rejected = collapsed.waves_rejected;
+  if (!collapsed.ok) return out;
+  out.ok = restore(collapsed.snapshot);
+  out.seq = collapsed.seq;
+  if (out.ok) {
+    std::lock_guard<std::mutex> lock(chain_mu_);
+    // Continue the sequence past every file on disk (including rejected
+    // tail waves, whose seqs must not be reused) and re-anchor: restored
+    // sessions all start dirty, and the next wave keyframes them.
+    wave_seq_ = std::max(wave_seq_, collapsed.seq + collapsed.waves_rejected);
+    force_keyframe_ = true;
+  }
+  return out;
+}
+
+LocalizationServer::CheckpointStats LocalizationServer::checkpoint_stats()
+    const {
+  std::lock_guard<std::mutex> lock(chain_mu_);
+  return ckpt_stats_;
 }
 
 std::vector<std::uint8_t> LocalizationServer::snapshot() {
@@ -491,7 +627,9 @@ std::vector<std::uint8_t> LocalizationServer::snapshot() {
 
 bool LocalizationServer::restore(const std::vector<std::uint8_t>& snapshot) {
   offload::ByteReader r(snapshot.data(), snapshot.size());
-  if (!check_snapshot_header(r)) return false;
+  std::uint8_t version;
+  if (!check_snapshot_header(r, version)) return false;
+  const bool quantized = version == kSnapshotVersionQuantized;
   std::uint64_t accepted_since_scan;
   std::uint32_t count;
   if (!r.get_u64(accepted_since_scan) || !r.get_u32(count) ||
@@ -517,7 +655,8 @@ bool LocalizationServer::restore(const std::vector<std::uint8_t>& snapshot) {
     std::unique_ptr<core::Uniloc> uniloc = factory_(rec.id);
     uniloc->attach_tracer(cfg_.tracer);
     const std::size_t before = r.pos();
-    if (!uniloc->restore_from(r) || r.pos() - before != rec.payload_len) {
+    if (!uniloc->restore_from(r, quantized) ||
+        r.pos() - before != rec.payload_len) {
       ok = false;
       break;
     }
@@ -590,7 +729,12 @@ std::optional<std::vector<std::uint8_t>> LocalizationServer::extract_session(
 std::optional<ErrorCode> LocalizationServer::adopt_session(
     const std::vector<std::uint8_t>& payload, std::uint64_t expected_id) {
   offload::ByteReader r(payload.data(), payload.size());
-  if (!check_snapshot_header(r)) return ErrorCode::kMalformed;
+  // Live migration always ships the lossless v1 codec, but recovery from
+  // a quantized delta chain splits a v2 snapshot into kMigrate payloads,
+  // so adoption accepts either version.
+  std::uint8_t version;
+  if (!check_snapshot_header(r, version)) return ErrorCode::kMalformed;
+  const bool quantized = version == kSnapshotVersionQuantized;
   SessionRecordHeader rec;
   if (!read_session_record_header(r, rec)) return ErrorCode::kMalformed;
   // The record's embedded id must match the frame's routing id: a payload
@@ -602,8 +746,8 @@ std::optional<ErrorCode> LocalizationServer::adopt_session(
   std::unique_ptr<core::Uniloc> uniloc = factory_(rec.id);
   uniloc->attach_tracer(cfg_.tracer);
   const std::size_t before = r.pos();
-  if (!uniloc->restore_from(r) || r.pos() - before != rec.payload_len ||
-      r.remaining() != 0) {
+  if (!uniloc->restore_from(r, quantized) ||
+      r.pos() - before != rec.payload_len || r.remaining() != 0) {
     return ErrorCode::kMalformed;
   }
   const SessionPtr session = sessions_.create(rec.id, std::move(uniloc), 0);
@@ -654,15 +798,19 @@ void LocalizationServer::crash() {
 }
 
 std::size_t LocalizationServer::evict_idle() {
+  std::vector<std::uint64_t> evicted_ids;
   const std::size_t evicted = sessions_.evict_idle(
-      now_us(),
-      static_cast<std::uint64_t>(cfg_.idle_ttl_s * 1e6));
+      now_us(), static_cast<std::uint64_t>(cfg_.idle_ttl_s * 1e6),
+      cfg_.on_evict ? &evicted_ids : nullptr);
   if (evicted > 0) {
     {
       std::lock_guard<std::mutex> lock(ins_.mu);
       if (ins_.evicted != nullptr) ins_.evicted->inc(evicted);
     }
     note_live_sessions();
+    // Propagate departures to placement layers (e.g. the shard router's
+    // affinity overrides) after the stripe locks are released.
+    for (const std::uint64_t id : evicted_ids) cfg_.on_evict(id);
   }
   return evicted;
 }

@@ -39,6 +39,7 @@
 #include "obs/span.h"
 #include "obs/timer.h"
 #include "svc/batcher.h"
+#include "svc/committer.h"
 #include "svc/endpoint.h"
 #include "svc/session_manager.h"
 #include "svc/statusz.h"
@@ -109,6 +110,32 @@ struct ServerConfig {
   std::uint64_t checkpoint_period_us{0};
   std::function<void(const std::vector<std::uint8_t>& snapshot)>
       on_checkpoint;
+  /// Durable delta-chain checkpointing (svc/delta.h). When non-empty,
+  /// periodic checkpoints write wave files into this directory (keyframe
+  /// + dirty-session deltas) instead of full snapshots through
+  /// `on_checkpoint`. Pair with restore_chain() at startup.
+  std::string checkpoint_dir;
+  /// Every Nth wave is a full keyframe (bounds both recovery length and
+  /// how long a departed session's bytes linger in the chain). Waves in
+  /// between serialize only sessions whose strand ran since the last
+  /// wave.
+  std::size_t keyframe_interval{16};
+  /// Encode chain waves with the quantized particle codec (checkpoint
+  /// format v2, ~4x smaller; filter/particle_filter.h documents the
+  /// error budget). Never applies to snapshot()/extract_session, which
+  /// stay lossless -- migration and crash/restore bit-identity depend
+  /// on it.
+  bool snapshot_quantize{false};
+  /// Async group commit (svc/committer.h). Non-null offloads wave file
+  /// I/O (write, fsync, rename, dir fsync) to the committer's thread;
+  /// on committer backpressure the wave falls back to a synchronous
+  /// publish rather than being dropped. Null publishes synchronously.
+  /// Not owned; must outlive the server.
+  GroupCommitter* committer{nullptr};
+  /// Called (on the evicting thread) with each session id dropped by a
+  /// TTL scan, so placement layers can forget the session -- the shard
+  /// router's affinity override map otherwise grows without bound.
+  std::function<void(std::uint64_t session_id)> on_evict;
   /// Causal span tracing (obs/span.h). Null = disabled; the detached
   /// cost on the epoch path is a branch per instrumentation point. One
   /// span tree per served epoch: svc.epoch > {svc.queue_wait,
@@ -151,7 +178,55 @@ class LocalizationServer : public Endpoint {
   /// path) and their serialized state restored on top. Returns false --
   /// with ALL sessions dropped -- on a malformed, truncated, corrupted or
   /// version-mismatched snapshot; never crashes on hostile input.
+  /// Accepts both payload versions (the v2 quantized codec is what
+  /// collapse_chain emits for quantized chains).
   bool restore(const std::vector<std::uint8_t>& snapshot);
+
+  /// Serialize one checkpoint wave (svc/delta.h) and advance the wave
+  /// sequence. A keyframe wave carries every live session; a delta wave
+  /// only those whose strand ran since they were last serialized (their
+  /// dirty mark), plus the full membership list so departures collapse
+  /// away. Sessions are quiesced one at a time exactly like snapshot();
+  /// each serialized session is marked clean inside its exclusive
+  /// section. Payload codec follows cfg.snapshot_quantize.
+  std::vector<std::uint8_t> snapshot_wave(bool keyframe);
+
+  /// Outcome of a delta-chain recovery.
+  struct ChainRestoreResult {
+    bool ok{false};               ///< A valid keyframe restored.
+    std::size_t deltas_applied{0};
+    std::size_t waves_rejected{0};  ///< Damaged/unlinked waves skipped.
+    std::uint64_t seq{0};           ///< Last applied wave.
+  };
+
+  /// Recover the session population from the wave chain in
+  /// cfg.checkpoint_dir: newest valid keyframe + the longest contiguous
+  /// valid run of deltas after it (torn or corrupt waves are rejected as
+  /// units and reported). On success the next periodic wave is forced to
+  /// be a keyframe, re-anchoring the chain.
+  ChainRestoreResult restore_chain();
+
+  /// Cumulative delta-chain persistence counters (soak bench, statusz).
+  struct CheckpointStats {
+    std::uint64_t waves{0};
+    std::uint64_t keyframes{0};
+    std::uint64_t keyframe_records{0};
+    std::uint64_t delta_records{0};
+    std::uint64_t keyframe_bytes{0};
+    std::uint64_t delta_bytes{0};
+    std::uint64_t publish_failures{0};
+    /// Waves published synchronously because the committer queue was
+    /// full (explicit backpressure, never a silent drop).
+    std::uint64_t sync_fallbacks{0};
+  };
+  CheckpointStats checkpoint_stats() const;
+
+  /// Serialize + publish one wave into cfg.checkpoint_dir right now
+  /// (async via the committer when configured, else synchronously),
+  /// regardless of the checkpoint period. Clean-shutdown flush: the
+  /// periodic path only fires on the next submit, so a server that goes
+  /// quiet would otherwise leave its last epochs off the chain.
+  void checkpoint_wave_now();
 
   /// Remove one session for migration: pin it against TTL eviction, wait
   /// for its strand to drain (quiesce), serialize it as a standalone
@@ -245,6 +320,17 @@ class LocalizationServer : public Endpoint {
   bool stopping_{false};
   std::size_t accepted_since_scan_{0};
   std::uint64_t last_checkpoint_us_{0};
+  /// Delta-chain state (guarded by chain_mu_; serialization itself runs
+  /// outside the lock -- waves are produced by one thread at a time, the
+  /// submit path's maybe_checkpoint or an explicit snapshot_wave call).
+  mutable std::mutex chain_mu_;
+  std::uint64_t wave_seq_{0};
+  std::size_t waves_since_keyframe_{0};
+  /// Start keyframed; also re-set after a chain restore or a publish
+  /// failure so the chain re-anchors instead of chaining onto a wave
+  /// that may not be durable.
+  bool force_keyframe_{true};
+  CheckpointStats ckpt_stats_{};
 };
 
 }  // namespace uniloc::svc

@@ -47,6 +47,9 @@ void Session::drain() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++epochs_served_;
+      // Every strand task may have advanced the Uniloc state; the delta
+      // checkpoint wave keys off this mark (see dirty()).
+      ++dirty_mark_;
     }
   }
 }
@@ -114,6 +117,16 @@ std::size_t Session::queue_depth() const {
   return inbox_count_ + (draining_ ? 1 : 0);
 }
 
+bool Session::dirty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dirty_mark_ != clean_mark_;
+}
+
+void Session::mark_clean() {
+  std::lock_guard<std::mutex> lock(mu_);
+  clean_mark_ = dirty_mark_;
+}
+
 SessionManager::SessionManager(std::size_t stripes) {
   stripes_.reserve(std::max<std::size_t>(stripes, 1));
   for (std::size_t i = 0; i < std::max<std::size_t>(stripes, 1); ++i) {
@@ -164,7 +177,8 @@ bool SessionManager::erase(std::uint64_t id) {
 }
 
 std::size_t SessionManager::evict_idle(std::uint64_t now_us,
-                                       std::uint64_t idle_ttl_us) {
+                                       std::uint64_t idle_ttl_us,
+                                       std::vector<std::uint64_t>* evicted_ids) {
   std::size_t evicted = 0;
   for (std::unique_ptr<Stripe>& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe->mu);
@@ -172,7 +186,10 @@ std::size_t SessionManager::evict_idle(std::uint64_t now_us,
       const bool evict = s->idle() && !s->pinned() &&
                          now_us >= s->last_active_us() &&
                          now_us - s->last_active_us() >= idle_ttl_us;
-      if (evict) ++evicted;
+      if (evict) {
+        ++evicted;
+        if (evicted_ids != nullptr) evicted_ids->push_back(s->id());
+      }
       return evict;
     });
   }

@@ -102,6 +102,16 @@ class Session {
   /// Pending strand work: queued tasks plus the running one, if any.
   std::size_t queue_depth() const;
 
+  /// Dirty tracking for delta checkpoints. drain() bumps a change mark
+  /// after every task; the checkpoint wave reads dirty() and calls
+  /// mark_clean() *inside its run_exclusive section*, so the clean mark
+  /// records exactly the state the wave serialized -- any task that runs
+  /// afterwards re-dirties the session for the next wave. Fresh sessions
+  /// start dirty (mark 1 vs clean mark 0): a session that never served
+  /// an epoch still must reach the first keyframe.
+  bool dirty() const;
+  void mark_clean();
+
  private:
   const std::uint64_t id_;
   std::unique_ptr<core::Uniloc> uniloc_;
@@ -122,6 +132,10 @@ class Session {
   bool pinned_{false};
   std::uint64_t last_active_us_{0};
   std::size_t epochs_served_{0};
+  /// Monotonic state-change counter vs. the mark the last checkpoint
+  /// wave consumed. Starts at 1 vs 0: new sessions are dirty.
+  std::uint64_t dirty_mark_{1};
+  std::uint64_t clean_mark_{0};
 };
 
 using SessionPtr = std::shared_ptr<Session>;
@@ -141,7 +155,12 @@ class SessionManager {
 
   /// Evict every idle session older than `idle_ttl_us`. Returns the
   /// number evicted. Busy sessions (queued/running work) are skipped.
-  std::size_t evict_idle(std::uint64_t now_us, std::uint64_t idle_ttl_us);
+  /// `evicted_ids` (optional) collects the ids that were dropped, so the
+  /// caller can propagate the departure -- e.g. the shard router must
+  /// erase its affinity override or it pins a dead session's placement
+  /// forever (the unbounded-overrides bug this parameter fixes).
+  std::size_t evict_idle(std::uint64_t now_us, std::uint64_t idle_ttl_us,
+                         std::vector<std::uint64_t>* evicted_ids = nullptr);
 
   std::size_t size() const;
   std::size_t stripes() const { return stripes_.size(); }

@@ -33,6 +33,7 @@
 #include "obs/slo.h"
 #include "shard/migrate.h"
 #include "shard/router.h"
+#include "sim/virtual_clock.h"
 #include "svc/epoch_codec.h"
 #include "svc/loadgen.h"
 #include "svc/server.h"
@@ -668,6 +669,61 @@ TEST(Concurrency, RebalanceAndCheckpointDuringLiveTraffic) {
     EXPECT_EQ(w.rehellos, 0u) << "walker " << w.session_id;
   }
   EXPECT_EQ(router.live_sessions(), 0u);
+}
+
+TEST(Eviction, TtlSweepKeepsRouterOverridesBounded) {
+  // Regression for the unbounded-overrides leak: kHello pins sid->shard
+  // in the router's override map, and before the router chained its own
+  // eviction hook a TTL sweep on a shard silently dropped the session
+  // while the override entry lived forever -- at city scale (millions of
+  // short-lived sessions per day) an unbounded leak. The sweep must now
+  // shrink the map in lockstep with the sessions it evicts.
+  FleetFixture fx;
+  sim::VirtualClock clock;
+  shard::RouterConfig cfg = fleet_cfg(3);
+  cfg.server.now_us = clock.now_fn();
+  cfg.server.idle_ttl_s = 10.0;
+  shard::ShardRouter router(cfg, fx.factory(), nullptr);
+
+  constexpr std::uint64_t kSessions = 24;
+  for (std::uint64_t sid = 1; sid <= kSessions; ++sid) {
+    get_reply(router, hello_frame(sid, {2, 2}, 0.0));
+  }
+  EXPECT_EQ(router.live_sessions(), kSessions);
+  EXPECT_EQ(router.override_count(), kSessions);
+
+  // A polite goodbye erases its override immediately (the old path).
+  svc::Frame bye;
+  bye.type = svc::FrameType::kBye;
+  bye.session_id = 1;
+  get_reply(router, svc::encode_frame(bye));
+  EXPECT_EQ(router.override_count(), kSessions - 1);
+
+  // Everyone else goes idle past the TTL; the sweep evicts them and the
+  // chained hook must erase every override along the way.
+  clock.advance_s(11.0);
+  std::size_t evicted = 0;
+  for (std::size_t k = 0; k < router.shard_count(); ++k) {
+    evicted += router.server(k).evict_idle();
+  }
+  EXPECT_EQ(evicted, kSessions - 1);
+  EXPECT_EQ(router.live_sessions(), 0u);
+  EXPECT_EQ(router.override_count(), 0u);
+
+  // Churn proof: repeat arrivals + sweeps and the map stays bounded by
+  // the live population instead of growing with the historical one.
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t sid = 100 + 50 * round; sid < 110 + 50 * round;
+         ++sid) {
+      get_reply(router, hello_frame(sid, {2, 2}, 0.0));
+    }
+    EXPECT_EQ(router.override_count(), 10u);
+    clock.advance_s(11.0);
+    for (std::size_t k = 0; k < router.shard_count(); ++k) {
+      router.server(k).evict_idle();
+    }
+    EXPECT_EQ(router.override_count(), 0u);
+  }
 }
 
 }  // namespace

@@ -743,7 +743,7 @@ TEST(Migrate, BadSnapshotMagicAndVersionAreRejected) {
   EXPECT_EQ(error_code(get_reply(b, migrate_frame(5, bad_magic))),
             ErrorCode::kMalformed);
   std::vector<std::uint8_t> bad_version = payload;
-  bad_version[4] = kSnapshotVersion + 1;
+  bad_version[4] = 99;  // unknown to both codec versions (v1 f64, v2 quantized)
   EXPECT_EQ(error_code(get_reply(b, migrate_frame(5, bad_version))),
             ErrorCode::kMalformed);
   EXPECT_EQ(error_code(get_reply(b, migrate_frame(5, {}))),
